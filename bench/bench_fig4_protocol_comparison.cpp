@@ -1,0 +1,62 @@
+// Reproduces Fig. 4: total KD protocol processing time on the STM32F767
+// (the graphical companion of Table I's STM32F767 column), rendered as an
+// ASCII bar chart with model-vs-paper values.
+#include <cstdio>
+#include <string>
+
+#include "report.hpp"
+#include "sim/calibrate.hpp"
+#include "sim/schedule.hpp"
+
+using namespace ecqv;
+
+int main() {
+  const auto fits = sim::calibrate_all_paper_devices();
+  const sim::DeviceModel& stm32 = fits[2].model;
+  const sim::RunRecord sts = sim::record_run(proto::ProtocolKind::kSts);
+
+  bench::section("Fig. 4 reproduction: total KD processing time on STM32F767 (ms)");
+
+  struct Bar {
+    std::string name;
+    double model;
+    double paper;
+  };
+  std::vector<Bar> bars;
+  for (const auto kind : sim::kTable1Rows) {
+    double predicted = 0;
+    switch (kind) {
+      case proto::ProtocolKind::kStsOptI:
+      case proto::ProtocolKind::kStsOptII: {
+        const auto ta = sim::sts_op_times(sts.initiator_segments, stm32);
+        const auto tb = sim::sts_op_times(sts.responder_segments, stm32);
+        predicted = sim::sts_total_ms(ta, tb,
+                                      kind == proto::ProtocolKind::kStsOptI
+                                          ? proto::StsVariant::kOptI
+                                          : proto::StsVariant::kOptII);
+        break;
+      }
+      default:
+        predicted = sim::sequential_total_ms(sim::record_run(kind), stm32, stm32);
+    }
+    bars.push_back(
+        {std::string(proto::protocol_name(kind)), predicted,
+         sim::table1_ms(kind, sim::PaperDevice::kStm32F767)});
+  }
+
+  double max_value = 0;
+  for (const auto& b : bars) max_value = std::max({max_value, b.model, b.paper});
+  constexpr int kWidth = 48;
+  for (const auto& b : bars) {
+    const int model_len = static_cast<int>(b.model / max_value * kWidth);
+    const int paper_len = static_cast<int>(b.paper / max_value * kWidth);
+    std::printf("%-16s model %-*s %8.1f ms\n", b.name.c_str(), kWidth,
+                std::string(static_cast<std::size_t>(model_len), '#').c_str(), b.model);
+    std::printf("%-16s paper %-*s %8.1f ms  (%s)\n", "", kWidth,
+                std::string(static_cast<std::size_t>(paper_len), '=').c_str(), b.paper,
+                bench::fmt_ratio(b.model, b.paper).c_str());
+  }
+  std::printf("\nShape check (paper Fig. 4): SCIANC < PORAMB < STS(opt.II) < S-ECDSA <\n"
+              "S-ECDSA(ext.) < STS(opt.I) < STS, with opt. II undercutting S-ECDSA.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Native (this-machine) microbenchmarks of every cryptographic primitive —
+// the source of the relative weights in sim/device.cpp and the "what does
+// this library really cost" numbers in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "aes/cmac.hpp"
+#include "aes/modes.hpp"
+#include "ec/curve.hpp"
+#include "ec/encoding.hpp"
+#include "ec/fixed_base.hpp"
+#include "ecdsa/ecdsa.hpp"
+#include "ecqv/ca.hpp"
+#include "hash/hkdf.hpp"
+#include "kdf/session_keys.hpp"
+#include "rng/test_rng.hpp"
+
+namespace {
+
+using namespace ecqv;
+
+const ec::Curve& curve() { return ec::Curve::p256(); }
+
+struct EcFixtureData {
+  bi::U256 k;
+  ec::AffinePoint p;
+  EcFixtureData() {
+    rng::TestRng rng(1);
+    k = curve().random_scalar(rng);
+    p = curve().mul_base(curve().random_scalar(rng));
+  }
+};
+const EcFixtureData& ec_fixture() {
+  static const EcFixtureData data;
+  return data;
+}
+
+void BM_EcMulLadderBase(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(curve().mul_base(ec_fixture().k));
+}
+BENCHMARK(BM_EcMulLadderBase);
+
+void BM_EcMulLadderVar(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(curve().mul(ec_fixture().k, ec_fixture().p));
+}
+BENCHMARK(BM_EcMulLadderVar);
+
+void BM_EcMulWnafVartime(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(curve().mul_vartime(ec_fixture().k, ec_fixture().p));
+}
+BENCHMARK(BM_EcMulWnafVartime);
+
+void BM_EcDualMulStraus(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(curve().dual_mul(ec_fixture().k, ec_fixture().k, ec_fixture().p));
+}
+BENCHMARK(BM_EcDualMulStraus);
+
+void BM_EcMulFixedBaseComb(benchmark::State& state) {
+  const ec::FixedBaseTable& table = ec::FixedBaseTable::p256();
+  for (auto _ : state) benchmark::DoNotOptimize(table.mul(ec_fixture().k));
+}
+BENCHMARK(BM_EcMulFixedBaseComb);
+
+void BM_EcPointAdd(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(curve().add(ec_fixture().p, curve().generator()));
+}
+BENCHMARK(BM_EcPointAdd);
+
+void BM_FieldInversion(benchmark::State& state) {
+  const bi::U256 v = curve().fp().to_mont(ec_fixture().k);
+  for (auto _ : state) benchmark::DoNotOptimize(curve().fp().inv(v));
+}
+BENCHMARK(BM_FieldInversion);
+
+void BM_PointDecodeCompressed(benchmark::State& state) {
+  const Bytes enc = ec::encode_compressed(ec_fixture().p);
+  for (auto _ : state) benchmark::DoNotOptimize(ec::decode_point(curve(), enc));
+}
+BENCHMARK(BM_PointDecodeCompressed);
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(hash::sha256(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x0b);
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xcd);
+  for (auto _ : state) benchmark::DoNotOptimize(hash::hmac_sha256(key, data));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(256);
+
+void BM_HkdfSessionKeys(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kdf::derive_session_keys(bytes_of("premaster"), bytes_of("salt"),
+                                                      bytes_of("bench")));
+}
+BENCHMARK(BM_HkdfSessionKeys);
+
+void BM_AesCtr(benchmark::State& state) {
+  const aes::Aes128 cipher(Bytes(16, 0x11));
+  aes::Iv iv{};
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x22);
+  for (auto _ : state) benchmark::DoNotOptimize(aes::ctr_crypt(cipher, iv, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(64)->Arg(1024);
+
+void BM_AesCmac(benchmark::State& state) {
+  const Bytes key(16, 0x2b);
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x6b);
+  for (auto _ : state) benchmark::DoNotOptimize(aes::cmac(key, data));
+}
+BENCHMARK(BM_AesCmac)->Arg(16)->Arg(64);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  rng::TestRng rng(2);
+  const sig::PrivateKey key = sig::PrivateKey::generate(rng);
+  const Bytes msg = bytes_of("benchmark message");
+  for (auto _ : state) benchmark::DoNotOptimize(key.sign(msg));
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  rng::TestRng rng(3);
+  const sig::PrivateKey key = sig::PrivateKey::generate(rng);
+  const Bytes msg = bytes_of("benchmark message");
+  const sig::Signature s = key.sign(msg);
+  const ec::AffinePoint q = key.public_point();
+  for (auto _ : state) benchmark::DoNotOptimize(sig::verify(q, msg, s));
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_EcqvEnroll(benchmark::State& state) {
+  rng::TestRng rng(4);
+  cert::CertificateAuthority ca(cert::DeviceId::from_string("ca"),
+                                curve().random_scalar(rng));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ca.enroll(cert::DeviceId::from_string("dev"), 1000, 3600, rng));
+}
+BENCHMARK(BM_EcqvEnroll);
+
+void BM_EcqvExtractPublicKey(benchmark::State& state) {
+  rng::TestRng rng(5);
+  cert::CertificateAuthority ca(cert::DeviceId::from_string("ca"),
+                                curve().random_scalar(rng));
+  const auto enrollment = ca.enroll(cert::DeviceId::from_string("dev"), 1000, 3600, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cert::extract_public_key(enrollment->certificate, ca.public_key()));
+}
+BENCHMARK(BM_EcqvExtractPublicKey);
+
+void BM_HmacDrbg(benchmark::State& state) {
+  rng::HmacDrbg drbg(bytes_of("seed"));
+  Bytes out(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    drbg.fill(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_HmacDrbg)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

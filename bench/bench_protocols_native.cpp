@@ -1,0 +1,113 @@
+// Native end-to-end benchmarks: complete handshakes of all seven protocol
+// variants on this machine, plus secure-channel record throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/secure_channel.hpp"
+#include "sim/counts.hpp"
+#include "rng/test_rng.hpp"
+
+namespace {
+
+using namespace ecqv;
+
+constexpr std::uint64_t kNow = 1700000000;
+
+struct WorldFixture {
+  cert::CertificateAuthority ca;
+  proto::Credentials alice;
+  proto::Credentials bob;
+  WorldFixture()
+      : ca(cert::DeviceId::from_string("ca"),
+           [] {
+             rng::TestRng boot(1);
+             return ec::Curve::p256().random_scalar(boot);
+           }()),
+        alice([&] {
+          rng::TestRng r(2);
+          return proto::provision_device(ca, cert::DeviceId::from_string("alice"), kNow, 86400,
+                                         r);
+        }()),
+        bob([&] {
+          rng::TestRng r(3);
+          return proto::provision_device(ca, cert::DeviceId::from_string("bob"), kNow, 86400, r);
+        }()) {
+    rng::TestRng r(4);
+    proto::install_pairwise_key(alice, bob, r);
+  }
+};
+
+WorldFixture& world() {
+  static WorldFixture w;
+  return w;
+}
+
+void handshake_bench(benchmark::State& state, proto::ProtocolKind kind) {
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    rng::TestRng ra(seed);
+    rng::TestRng rb(seed + 1);
+    seed += 2;
+    auto pair = proto::make_parties(kind, world().alice, world().bob, ra, rb, kNow);
+    const auto result = proto::run_handshake(*pair.initiator, *pair.responder);
+    if (!result.success) state.SkipWithError("handshake failed");
+    benchmark::DoNotOptimize(result.transcript.size());
+  }
+}
+
+void BM_Handshake_SEcdsa(benchmark::State& state) {
+  handshake_bench(state, proto::ProtocolKind::kSEcdsa);
+}
+void BM_Handshake_SEcdsaExt(benchmark::State& state) {
+  handshake_bench(state, proto::ProtocolKind::kSEcdsaExt);
+}
+void BM_Handshake_Sts(benchmark::State& state) {
+  handshake_bench(state, proto::ProtocolKind::kSts);
+}
+void BM_Handshake_StsOptI(benchmark::State& state) {
+  handshake_bench(state, proto::ProtocolKind::kStsOptI);
+}
+void BM_Handshake_StsOptII(benchmark::State& state) {
+  handshake_bench(state, proto::ProtocolKind::kStsOptII);
+}
+void BM_Handshake_Scianc(benchmark::State& state) {
+  handshake_bench(state, proto::ProtocolKind::kScianc);
+}
+void BM_Handshake_Poramb(benchmark::State& state) {
+  handshake_bench(state, proto::ProtocolKind::kPoramb);
+}
+BENCHMARK(BM_Handshake_SEcdsa)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Handshake_SEcdsaExt)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Handshake_Sts)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Handshake_StsOptI)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Handshake_StsOptII)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Handshake_Scianc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Handshake_Poramb)->Unit(benchmark::kMillisecond);
+
+void BM_SecureChannelSeal(benchmark::State& state) {
+  const auto keys =
+      kdf::derive_session_keys(bytes_of("premaster"), bytes_of("salt"), bytes_of("bench"));
+  proto::SecureChannel channel(keys, proto::Role::kInitiator);
+  Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) benchmark::DoNotOptimize(channel.seal(payload));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SecureChannelSeal)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_SecureChannelRoundTrip(benchmark::State& state) {
+  const auto keys =
+      kdf::derive_session_keys(bytes_of("premaster"), bytes_of("salt"), bytes_of("bench"));
+  proto::SecureChannel tx(keys, proto::Role::kInitiator);
+  proto::SecureChannel rx(keys, proto::Role::kResponder);
+  Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    auto opened = rx.open(tx.seal(payload));
+    if (!opened.ok()) state.SkipWithError("open failed");
+    benchmark::DoNotOptimize(opened.value().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SecureChannelRoundTrip)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Reproduces Table I: execution time of the seven KD protocol variants on
+// the four embedded platforms.
+//
+// Method (DESIGN.md §4): primitive-operation counts are measured from real
+// protocol executions; per-device cost factors are least-squares calibrated
+// against the five non-optimized paper rows; the two STS optimization rows
+// are *predicted* by the eq. (6)-(8) scheduler and compared out-of-sample.
+#include <cstdio>
+
+#include "report.hpp"
+#include "rng/test_rng.hpp"
+#include "sim/calibrate.hpp"
+#include "sim/jitter.hpp"
+#include "sim/schedule.hpp"
+
+using namespace ecqv;
+
+int main() {
+  bench::section("Table I reproduction: KD protocol execution time (ms)");
+  std::printf("model = predicted from measured op counts x calibrated device factors\n");
+  std::printf("paper = Basic et al., DATE 2023, Table I (mean)\n");
+  std::printf("STS (opt. I/II) rows are out-of-sample predictions (never fitted).\n\n");
+
+  const auto fits = sim::calibrate_all_paper_devices();
+  const sim::RunRecord sts = sim::record_run(proto::ProtocolKind::kSts);
+
+  bench::Table table({"Protocol / Device", "ATmega2560", "", "S32K144", "", "STM32F767", "",
+                      "RaspberryPi4", ""});
+  table.add_row({"", "model", "paper", "model", "paper", "model", "paper", "model", "paper"});
+
+  for (const auto kind : sim::kTable1Rows) {
+    std::vector<std::string> row{std::string(proto::protocol_name(kind))};
+    for (std::size_t d = 0; d < sim::kPaperDevices.size(); ++d) {
+      const sim::DeviceModel& model = fits[d].model;
+      double predicted = 0;
+      switch (kind) {
+        case proto::ProtocolKind::kStsOptI:
+        case proto::ProtocolKind::kStsOptII: {
+          const auto ta = sim::sts_op_times(sts.initiator_segments, model);
+          const auto tb = sim::sts_op_times(sts.responder_segments, model);
+          predicted = sim::sts_total_ms(
+              ta, tb,
+              kind == proto::ProtocolKind::kStsOptI ? proto::StsVariant::kOptI
+                                                    : proto::StsVariant::kOptII);
+          break;
+        }
+        default:
+          predicted = sim::sequential_total_ms(sim::record_run(kind), model, model);
+      }
+      const double paper = sim::table1_ms(kind, sim::kPaperDevices[d]);
+      row.push_back(bench::fmt(predicted, 1));
+      row.push_back(bench::fmt(paper, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  bench::section("Calibrated device factors and fit residuals");
+  bench::Table factors({"Device", "EC factor (ms/unit)", "Symmetric factor (ms/unit)",
+                        "max |err| over calibration rows"});
+  for (const auto& fit : fits) {
+    factors.add_row({fit.model.name, bench::fmt(fit.model.ec_factor_ms, 4),
+                     bench::fmt(fit.model.sym_factor_ms, 4),
+                     bench::fmt(fit.max_rel_error * 100, 1) + "%"});
+  }
+  factors.print();
+
+  bench::section("Mean +/- sigma over 10 simulated runs (paper's Table I cell format, S32K144)");
+  {
+    rng::TestRng jitter_rng(99);
+    bench::Table noisy({"Protocol", "model mean +/- sigma (ms)", "paper mean +/- sigma (ms)"});
+    // The paper's relative sigma on the S32K144 is ~3e-3 (e.g. 2894.1+/-9.8).
+    const double rel_sigma = 0.003;
+    struct PaperSigma {
+      proto::ProtocolKind kind;
+      double sigma;
+    };
+    const PaperSigma paper_sigmas[] = {
+        {proto::ProtocolKind::kSEcdsa, 9.83},   {proto::ProtocolKind::kSEcdsaExt, 11.56},
+        {proto::ProtocolKind::kSts, 7.03},      {proto::ProtocolKind::kStsOptI, 12.97},
+        {proto::ProtocolKind::kStsOptII, 13.13},{proto::ProtocolKind::kScianc, 0.28},
+        {proto::ProtocolKind::kPoramb, 0.63},
+    };
+    for (const auto& row : paper_sigmas) {
+      double base;
+      switch (row.kind) {
+        case proto::ProtocolKind::kStsOptI:
+        case proto::ProtocolKind::kStsOptII: {
+          const auto ta = sim::sts_op_times(sts.initiator_segments, fits[1].model);
+          const auto tb = sim::sts_op_times(sts.responder_segments, fits[1].model);
+          base = sim::sts_total_ms(ta, tb,
+                                   row.kind == proto::ProtocolKind::kStsOptI
+                                       ? proto::StsVariant::kOptI
+                                       : proto::StsVariant::kOptII);
+          break;
+        }
+        default:
+          base = sim::sequential_total_ms(sim::record_run(row.kind), fits[1].model,
+                                          fits[1].model);
+      }
+      const sim::SampleStats stats = sim::sample_run_stats(base, rel_sigma, 10, jitter_rng);
+      noisy.add_row({std::string(proto::protocol_name(row.kind)),
+                     bench::fmt(stats.mean, 2) + " +/- " + bench::fmt(stats.stddev, 2),
+                     bench::fmt(sim::table1_ms(row.kind, sim::PaperDevice::kS32K144), 2) +
+                         " +/- " + bench::fmt(row.sigma, 2)});
+    }
+    noisy.print();
+  }
+
+  bench::section("Headline ratios (paper: STS ~ +20% over S-ECDSA; opt. II fastest EC variant)");
+  for (std::size_t d = 0; d < sim::kPaperDevices.size(); ++d) {
+    const sim::DeviceModel& model = fits[d].model;
+    const double t_sts = sim::sequential_total_ms(sts, model, model);
+    const double t_secdsa =
+        sim::sequential_total_ms(sim::record_run(proto::ProtocolKind::kSEcdsa), model, model);
+    const auto ta = sim::sts_op_times(sts.initiator_segments, model);
+    const auto tb = sim::sts_op_times(sts.responder_segments, model);
+    const double t_opt2 = sim::sts_total_ms(ta, tb, proto::StsVariant::kOptII);
+    const double paper_ratio = sim::table1_ms(proto::ProtocolKind::kSts, sim::kPaperDevices[d]) /
+                               sim::table1_ms(proto::ProtocolKind::kSEcdsa, sim::kPaperDevices[d]);
+    std::printf("  %-14s STS/S-ECDSA: model %.3f, paper %.3f; opt.II beats S-ECDSA: %s\n",
+                model.name.c_str(), t_sts / t_secdsa, paper_ratio,
+                t_opt2 < t_secdsa ? "yes (as in paper)" : "no");
+  }
+  return 0;
+}

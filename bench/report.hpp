@@ -1,0 +1,58 @@
+// Small fixed-width table printer shared by the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ecqv::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_)
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], row[i].size());
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (const auto w : widths) std::printf("%s|", std::string(w + 2, '-').c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double value, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+inline std::string fmt_ratio(double model, double paper) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * (model - paper) / paper);
+  return buf;
+}
+
+inline void section(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+}  // namespace ecqv::bench

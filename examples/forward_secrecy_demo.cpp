@@ -1,0 +1,91 @@
+// Forward secrecy demonstration — the paper's core security argument
+// (threats T1/T4, Table III) as an executable story:
+//
+//  1. Alice and Bob run a session and exchange an encrypted message while
+//     Eve records everything on the wire.
+//  2. Months later both devices are captured and their long-term
+//     credentials (ECQV private keys, certificates, pairwise keys) leak.
+//  3. Eve replays her recording against the leaked material:
+//       - S-ECDSA / SCIANC / PORAMB: she reconstructs the session keys from
+//         the transcript and decrypts the recorded traffic;
+//       - STS: the ephemeral scalars are gone — her best attempt produces
+//         garbage keys and the MAC check rejects every record.
+#include <cstdio>
+
+#include "attack/reconstruct.hpp"
+#include "core/driver.hpp"
+#include "core/secure_channel.hpp"
+#include "rng/test_rng.hpp"
+
+using namespace ecqv;
+
+namespace {
+
+constexpr std::uint64_t kNow = 1700000000;
+
+void demo(proto::ProtocolKind kind, const proto::Credentials& alice,
+          const proto::Credentials& bob) {
+  std::printf("--- %s ---------------------------------------\n",
+              std::string(proto::protocol_name(kind)).c_str());
+
+  // 1. The recorded session.
+  rng::TestRng ra(10), rb(11);
+  auto pair = proto::make_parties(kind, alice, bob, ra, rb, kNow);
+  const proto::HandshakeResult handshake = proto::run_handshake(*pair.initiator, *pair.responder);
+  if (!handshake.success) {
+    std::printf("  handshake failed\n");
+    return;
+  }
+  proto::SecureChannel alice_ch(pair.initiator->session_keys(), proto::Role::kInitiator);
+  const Bytes secret = bytes_of("VIN 5YJ3E1EA7KF317..., owner card 4929-xxxx, route home");
+  const Bytes recorded = alice_ch.seal(secret);
+  std::printf("  Eve recorded %zu handshake bytes + a %zu-byte encrypted record\n",
+              handshake.total_bytes(), recorded.size());
+
+  // 2. The later credential leak.
+  const attack::LeakedMaterial leaked{alice, bob};
+
+  // 3. Eve's reconstruction attempt.
+  const auto keys = attack::reconstruct_session_keys(kind, handshake.transcript, leaked);
+  if (keys.has_value()) {
+    proto::SecureChannel eve(*keys, proto::Role::kResponder);
+    auto opened = eve.open(recorded);
+    if (opened.ok()) {
+      std::printf("  BROKEN: Eve decrypted the recording: \"%.*s\"\n",
+                  static_cast<int>(opened->size()),
+                  reinterpret_cast<const char*>(opened->data()));
+      return;
+    }
+    std::printf("  reconstruction produced keys, but decryption failed (unexpected)\n");
+    return;
+  }
+  // No known reconstruction — demonstrate the best-effort attack failing.
+  const kdf::SessionKeys guess = attack::sts_static_dh_guess(handshake.transcript, leaked);
+  proto::SecureChannel eve(guess, proto::Role::kResponder);
+  auto opened = eve.open(recorded);
+  std::printf("  SAFE: no reconstruction exists; static-DH guess -> record %s\n",
+              opened.ok() ? "decrypted (bug!)" : "rejected (forward secrecy holds)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Forward secrecy across the four KD protocols (paper T1/T4)\n");
+  std::printf("===========================================================\n\n");
+  rng::TestRng rng(99);
+  cert::CertificateAuthority ca(cert::DeviceId::from_string("ca"), rng);
+  proto::Credentials alice =
+      proto::provision_device(ca, cert::DeviceId::from_string("alice"), kNow, 86400, rng);
+  proto::Credentials bob =
+      proto::provision_device(ca, cert::DeviceId::from_string("bob"), kNow, 86400, rng);
+  proto::install_pairwise_key(alice, bob, rng);
+
+  demo(proto::ProtocolKind::kSEcdsa, alice, bob);
+  demo(proto::ProtocolKind::kScianc, alice, bob);
+  demo(proto::ProtocolKind::kPoramb, alice, bob);
+  demo(proto::ProtocolKind::kSts, alice, bob);
+
+  std::printf("\nOnly STS leaves Eve with nothing — the ~20%% compute premium the paper\n"
+              "quantifies is the price of exactly this property.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// In-vehicle group session: a gateway distributes epoch group keys to a set
+// of ECUs over pairwise STS-ECQV sessions (the composition of this paper's
+// dynamic KD with the group-key use case of its reference [8]).
+//
+// Flow: enrollment -> pairwise STS per ECU -> group key distribution ->
+// encrypted broadcast -> membership change forces rekey.
+#include <cstdio>
+#include <map>
+
+#include "core/group.hpp"
+#include "core/driver.hpp"
+#include "rng/test_rng.hpp"
+
+using namespace ecqv;
+
+namespace {
+constexpr std::uint64_t kNow = 1700000000;
+}
+
+int main() {
+  std::printf("Vehicle group session over STS-ECQV pairwise channels\n");
+  std::printf("=====================================================\n\n");
+
+  rng::TestRng rng(4242);
+  cert::CertificateAuthority ca(cert::DeviceId::from_string("vehicle-ca"), rng);
+  proto::Credentials gateway =
+      proto::provision_device(ca, cert::DeviceId::from_string("gateway"), kNow, 86400, rng);
+
+  proto::GroupLeader leader(rng);
+  std::map<cert::DeviceId, proto::GroupMember> members;
+
+  auto join = [&](const char* name, std::uint64_t seed) {
+    const cert::DeviceId id = cert::DeviceId::from_string(name);
+    rng::TestRng prov(seed), ra(seed + 1), rb(seed + 2);
+    proto::Credentials creds = proto::provision_device(ca, id, kNow, 86400, prov);
+    auto pair = proto::make_parties(proto::ProtocolKind::kSts, gateway, creds, ra, rb, kNow);
+    if (!proto::run_handshake(*pair.initiator, *pair.responder).success) {
+      std::printf("  %s: handshake FAILED\n", name);
+      return;
+    }
+    leader.admit(id, pair.initiator->session_keys());
+    members.emplace(id, proto::GroupMember(pair.responder->session_keys()));
+    for (auto& [mid, record] : leader.take_pending_updates()) {
+      auto it = members.find(mid);
+      if (it != members.end()) (void)it->second.accept_key_record(record);
+    }
+    std::printf("  %-10s joined (STS handshake + key record); epoch now %u\n", name,
+                leader.current_key().epoch);
+  };
+
+  std::printf("admitting ECUs:\n");
+  join("bms", 10);
+  join("evcc", 20);
+  join("inverter", 30);
+  join("telematics", 40);
+
+  std::printf("\nbroadcast under epoch %u:\n", leader.current_key().epoch);
+  const Bytes news = bytes_of("drive mode: eco; max discharge 40kW");
+  const Bytes record = leader.seal_broadcast(news);
+  for (auto& [id, member] : members) {
+    auto opened = member.open_broadcast(record);
+    std::printf("  %-10s %s\n", id.to_string().c_str(),
+                opened.ok() ? "decrypted broadcast" : "FAILED");
+  }
+
+  std::printf("\nevicting telematics (e.g. OTA module compromised):\n");
+  leader.evict(cert::DeviceId::from_string("telematics"));
+  for (auto& [mid, krecord] : leader.take_pending_updates()) {
+    auto it = members.find(mid);
+    if (it != members.end()) (void)it->second.accept_key_record(krecord);
+  }
+  std::printf("  epoch now %u, members %zu\n", leader.current_key().epoch,
+              leader.member_count());
+
+  const Bytes secret = bytes_of("post-eviction: rotate charging credentials");
+  const Bytes record2 = leader.seal_broadcast(secret);
+  for (auto& [id, member] : members) {
+    auto opened = member.open_broadcast(record2);
+    const bool evicted = id == cert::DeviceId::from_string("telematics");
+    std::printf("  %-10s %s%s\n", id.to_string().c_str(),
+                opened.ok() ? "reads new traffic" : "locked out",
+                evicted ? " (evicted, as intended)" : "");
+  }
+  std::printf("\ndone: membership changes rotate the group key; pairwise forward\n"
+              "secrecy protects every key distribution retroactively.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// AES-128 block cipher (FIPS 197).
+//
+// Straightforward S-box/xtime implementation, matching what tiny-AES (the
+// paper's symmetric library) does on the microcontrollers. Lookup-table
+// cache-timing is out of scope here (see README "Security scope"); the
+// device cost model prices symmetric work per block via Op::kAesBlock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace ecqv::aes {
+
+inline constexpr std::size_t kBlockSize = 16;
+inline constexpr std::size_t kKeySize = 16;
+
+using Block = std::array<std::uint8_t, kBlockSize>;
+using Key = std::array<std::uint8_t, kKeySize>;
+using Iv = std::array<std::uint8_t, kBlockSize>;
+
+class Aes128 {
+ public:
+  explicit Aes128(ByteView key);  // requires key.size() == 16
+
+  /// Encrypts/decrypts one 16-byte block in place.
+  void encrypt_block(ByteSpan block) const;
+  void decrypt_block(ByteSpan block) const;
+
+ private:
+  // 11 round keys of 16 bytes.
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+/// Builds a Key from a view (size-checked).
+Key make_key(ByteView key);
+
+}  // namespace ecqv::aes

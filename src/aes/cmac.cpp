@@ -1,0 +1,66 @@
+#include "aes/cmac.hpp"
+
+#include "common/metrics.hpp"
+
+namespace ecqv::aes {
+
+namespace {
+
+// Left-shift a 128-bit block by one bit, returning the shifted-out MSB.
+std::uint8_t shl_block(Block& b) {
+  std::uint8_t carry = 0;
+  for (int i = kBlockSize - 1; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint8_t new_carry = static_cast<std::uint8_t>(b[idx] >> 7);
+    b[idx] = static_cast<std::uint8_t>((b[idx] << 1) | carry);
+    carry = new_carry;
+  }
+  return carry;
+}
+
+}  // namespace
+
+CmacSubkeys cmac_subkeys(const Aes128& cipher) {
+  Block l{};
+  cipher.encrypt_block(l);
+  CmacSubkeys sk;
+  sk.k1 = l;
+  if (shl_block(sk.k1) != 0) sk.k1[kBlockSize - 1] ^= 0x87;
+  sk.k2 = sk.k1;
+  if (shl_block(sk.k2) != 0) sk.k2[kBlockSize - 1] ^= 0x87;
+  return sk;
+}
+
+Tag cmac(ByteView key, ByteView data) {
+  count_op(Op::kCmac);
+  const Aes128 cipher(key);
+  const CmacSubkeys sk = cmac_subkeys(cipher);
+
+  const std::size_t n_full = data.size() / kBlockSize;
+  const std::size_t rem = data.size() % kBlockSize;
+  const bool last_complete = data.size() != 0 && rem == 0;
+  const std::size_t n_blocks = last_complete ? n_full : n_full + 1;
+
+  Block x{};
+  for (std::size_t b = 0; b + 1 < n_blocks; ++b) {
+    for (std::size_t i = 0; i < kBlockSize; ++i) x[i] ^= data[b * kBlockSize + i];
+    cipher.encrypt_block(x);
+  }
+  // Last block: XOR with K1 when complete, pad + K2 otherwise.
+  Block last{};
+  const std::size_t last_off = (n_blocks - 1) * kBlockSize;
+  if (last_complete) {
+    for (std::size_t i = 0; i < kBlockSize; ++i)
+      last[i] = static_cast<std::uint8_t>(data[last_off + i] ^ sk.k1[i]);
+  } else {
+    const std::size_t tail = data.size() - last_off;  // 0..15 (0 only when data empty)
+    for (std::size_t i = 0; i < tail; ++i) last[i] = data[last_off + i];
+    last[tail] = 0x80;
+    for (std::size_t i = 0; i < kBlockSize; ++i) last[i] ^= sk.k2[i];
+  }
+  for (std::size_t i = 0; i < kBlockSize; ++i) x[i] ^= last[i];
+  cipher.encrypt_block(x);
+  return x;
+}
+
+}  // namespace ecqv::aes

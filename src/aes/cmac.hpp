@@ -1,0 +1,23 @@
+// AES-CMAC (RFC 4493 / SP 800-38B).
+//
+// Used by the SCIANC/PORAMB comparison protocols for symmetric
+// authentication tags (paper §V-A: "128-bits for the AES and CMAC").
+#pragma once
+
+#include "aes/aes128.hpp"
+
+namespace ecqv::aes {
+
+using Tag = Block;  // 16-byte CMAC tag
+
+/// One-shot AES-CMAC over `data` with a 16-byte key.
+Tag cmac(ByteView key, ByteView data);
+
+/// Subkey generation exposed for tests (RFC 4493 §2.3).
+struct CmacSubkeys {
+  Block k1{};
+  Block k2{};
+};
+CmacSubkeys cmac_subkeys(const Aes128& cipher);
+
+}  // namespace ecqv::aes

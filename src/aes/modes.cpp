@@ -1,0 +1,77 @@
+#include "aes/modes.hpp"
+
+#include <stdexcept>
+
+namespace ecqv::aes {
+
+Bytes cbc_encrypt_raw(const Aes128& cipher, const Iv& iv, ByteView plaintext) {
+  if (plaintext.size() % kBlockSize != 0)
+    throw std::invalid_argument("cbc_encrypt_raw: plaintext must be block-aligned");
+  Bytes out(plaintext.begin(), plaintext.end());
+  Block chain{};
+  std::copy(iv.begin(), iv.end(), chain.begin());
+  for (std::size_t off = 0; off < out.size(); off += kBlockSize) {
+    for (std::size_t i = 0; i < kBlockSize; ++i) out[off + i] ^= chain[i];
+    cipher.encrypt_block(ByteSpan(out.data() + off, kBlockSize));
+    std::copy(out.begin() + static_cast<std::ptrdiff_t>(off),
+              out.begin() + static_cast<std::ptrdiff_t>(off + kBlockSize), chain.begin());
+  }
+  return out;
+}
+
+Result<Bytes> cbc_decrypt_raw(const Aes128& cipher, const Iv& iv, ByteView ciphertext) {
+  if (ciphertext.size() % kBlockSize != 0 || ciphertext.empty()) return Error::kBadLength;
+  Bytes out(ciphertext.begin(), ciphertext.end());
+  Block chain{};
+  std::copy(iv.begin(), iv.end(), chain.begin());
+  for (std::size_t off = 0; off < out.size(); off += kBlockSize) {
+    Block next_chain{};
+    std::copy(ciphertext.begin() + static_cast<std::ptrdiff_t>(off),
+              ciphertext.begin() + static_cast<std::ptrdiff_t>(off + kBlockSize),
+              next_chain.begin());
+    cipher.decrypt_block(ByteSpan(out.data() + off, kBlockSize));
+    for (std::size_t i = 0; i < kBlockSize; ++i) out[off + i] ^= chain[i];
+    chain = next_chain;
+  }
+  return out;
+}
+
+Bytes cbc_encrypt(const Aes128& cipher, const Iv& iv, ByteView plaintext) {
+  const std::size_t pad = kBlockSize - (plaintext.size() % kBlockSize);
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+  return cbc_encrypt_raw(cipher, iv, padded);
+}
+
+Result<Bytes> cbc_decrypt(const Aes128& cipher, const Iv& iv, ByteView ciphertext) {
+  auto raw = cbc_decrypt_raw(cipher, iv, ciphertext);
+  if (!raw) return raw.error();
+  Bytes& pt = raw.value();
+  const std::uint8_t pad = pt.back();
+  if (pad == 0 || pad > kBlockSize || pad > pt.size()) return Error::kDecodeFailed;
+  for (std::size_t i = pt.size() - pad; i < pt.size(); ++i)
+    if (pt[i] != pad) return Error::kDecodeFailed;
+  pt.resize(pt.size() - pad);
+  return pt;
+}
+
+Bytes ctr_crypt(const Aes128& cipher, const Iv& iv, ByteView data) {
+  Bytes out(data.begin(), data.end());
+  Block counter{};
+  std::copy(iv.begin(), iv.end(), counter.begin());
+  std::size_t off = 0;
+  while (off < out.size()) {
+    Block keystream = counter;
+    cipher.encrypt_block(keystream);
+    const std::size_t take = std::min(kBlockSize, out.size() - off);
+    for (std::size_t i = 0; i < take; ++i) out[off + i] ^= keystream[i];
+    off += take;
+    // Big-endian increment across the full block.
+    for (int i = kBlockSize - 1; i >= 0; --i) {
+      if (++counter[static_cast<std::size_t>(i)] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ecqv::aes

@@ -1,0 +1,28 @@
+// AES-128 block cipher modes (SP 800-38A): CBC with PKCS#7 padding, CBC
+// without padding (block-aligned payloads such as the 64-byte STS auth
+// responses), and CTR.
+#pragma once
+
+#include "aes/aes128.hpp"
+#include "common/result.hpp"
+
+namespace ecqv::aes {
+
+/// CBC encrypt with PKCS#7 padding; output is a multiple of 16 bytes and
+/// always at least one block longer than... exactly: pt.size() rounded up to
+/// the next block boundary (a full padding block when already aligned).
+Bytes cbc_encrypt(const Aes128& cipher, const Iv& iv, ByteView plaintext);
+
+/// CBC decrypt + PKCS#7 unpad. Fails on bad length or malformed padding.
+Result<Bytes> cbc_decrypt(const Aes128& cipher, const Iv& iv, ByteView ciphertext);
+
+/// Raw CBC over block-aligned data (no padding). Used where the wire format
+/// fixes the ciphertext length (e.g. 64-byte STS responses, Table II).
+Bytes cbc_encrypt_raw(const Aes128& cipher, const Iv& iv, ByteView plaintext);
+Result<Bytes> cbc_decrypt_raw(const Aes128& cipher, const Iv& iv, ByteView ciphertext);
+
+/// CTR keystream en/decryption (involutory). The initial counter block is
+/// `iv`; the counter increments big-endian over the whole block.
+Bytes ctr_crypt(const Aes128& cipher, const Iv& iv, ByteView data);
+
+}  // namespace ecqv::aes

@@ -1,0 +1,194 @@
+#include "attack/kci.hpp"
+
+#include <optional>
+
+#include "core/driver.hpp"
+#include "core/poramb.hpp"
+#include "core/s_ecdsa.hpp"
+#include "core/scianc.hpp"
+#include "core/sts.hpp"
+#include "ecqv/scheme.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::attack {
+
+namespace {
+
+using proto::Message;
+using proto::ProtocolKind;
+using proto::Role;
+
+constexpr std::size_t kIdSize = cert::kDeviceIdSize;
+
+/// The static DH secret Eve computes from the *victim's* leaked private key
+/// and the peer's public certificate — the KCI lever.
+std::optional<ec::AffinePoint> kci_shared_secret(const proto::Credentials& victim,
+                                                 const cert::Certificate& peer_cert) {
+  auto qb = cert::extract_public_key(peer_cert, victim.ca_public);
+  if (!qb) return std::nullopt;
+  const ec::AffinePoint shared = ec::Curve::p256().mul(victim.private_key, qb.value());
+  if (shared.infinity) return std::nullopt;
+  return shared;
+}
+
+Message make(Role sender, std::string step, Bytes payload) {
+  Message m;
+  m.sender = sender;
+  m.step = std::move(step);
+  m.payload = std::move(payload);
+  return m;
+}
+
+/// Eve vs SCIANC: full impersonation from the victim's key material.
+KciOutcome kci_scianc(const proto::Credentials& victim, const cert::Certificate& peer_cert,
+                      std::uint64_t now, std::uint64_t seed) {
+  KciOutcome outcome;
+  outcome.attempted = true;
+  rng::TestRng victim_rng(seed), eve_rng(seed + 1);
+  proto::SciancConfig config;
+  config.now = now;
+  proto::SciancInitiator alice(victim, victim_rng, config);
+
+  auto a1 = alice.start();
+  if (!a1) return outcome;
+  const ByteView a1_payload(a1->payload);
+  const ByteView nonce_a = a1_payload.subspan(kIdSize, proto::scianc_detail::kNonceSize);
+
+  // Eve's forged B1: the peer's public identity and certificate, her nonce.
+  const Bytes nonce_b = eve_rng.bytes(proto::scianc_detail::kNonceSize);
+  const Bytes b1_payload = concat(
+      {ByteView(peer_cert.subject.bytes), ByteView(nonce_b), ByteView(peer_cert.encode())});
+
+  // The KCI step: session keys from the victim's own leaked private key.
+  const auto shared = kci_shared_secret(victim, peer_cert);
+  if (!shared) return outcome;
+  const kdf::SessionKeys keys = kdf::derive_session_keys(
+      *shared, concat({nonce_a, ByteView(nonce_b)}),
+      bytes_of(std::string(proto::scianc_detail::kKdfLabel)));
+
+  auto a2 = alice.on_message(make(Role::kResponder, "B1", b1_payload));
+  if (!a2.ok() || !a2->has_value()) return outcome;
+
+  // Eve does not even need to check A's MAC; she answers with a forged B2.
+  const Bytes transcript = concat({ByteView(a1->payload), ByteView(b1_payload)});
+  const Bytes mac_b = proto::scianc_detail::auth_mac(keys, Role::kResponder, transcript);
+  auto final_reply = alice.on_message(make(Role::kResponder, "B2", mac_b));
+  outcome.victim_accepted = final_reply.ok() && alice.established();
+  return outcome;
+}
+
+/// Eve vs PORAMB: impersonation via the victim's leaked pairwise key store.
+KciOutcome kci_poramb(const proto::Credentials& victim, const cert::Certificate& peer_cert,
+                      std::uint64_t now, std::uint64_t seed) {
+  KciOutcome outcome;
+  const auto pairwise = victim.pairwise_keys.find(peer_cert.subject);
+  if (pairwise == victim.pairwise_keys.end()) return outcome;  // nothing to exploit
+  outcome.attempted = true;
+
+  rng::TestRng victim_rng(seed), eve_rng(seed + 1);
+  proto::PorambConfig config;
+  config.now = now;
+  proto::PorambInitiator alice(victim, victim_rng, config);
+
+  auto a1 = alice.start();
+  if (!a1) return outcome;
+  const Bytes hello_a(a1->payload.begin(),
+                      a1->payload.begin() + proto::poramb_detail::kHelloSize);
+
+  const Bytes hello_b = eve_rng.bytes(proto::poramb_detail::kHelloSize);
+  auto a2 = alice.on_message(make(Role::kResponder, "B1",
+                                  concat({ByteView(hello_b), ByteView(peer_cert.subject.bytes)})));
+  if (!a2.ok() || !a2->has_value()) return outcome;
+
+  // Forged B2 under the stolen pairwise key.
+  const Bytes peer_cert_bytes = peer_cert.encode();
+  const Bytes nonce_b = eve_rng.bytes(proto::poramb_detail::kNonceSize);
+  const Bytes mac_b = proto::poramb_detail::phase_mac(pairwise->second, hello_a, nonce_b,
+                                                      peer_cert.subject, peer_cert_bytes);
+  auto a3 = alice.on_message(make(
+      Role::kResponder, "B2", concat({ByteView(peer_cert_bytes), ByteView(nonce_b), ByteView(mac_b)})));
+  if (!a3.ok() || !a3->has_value()) return outcome;
+
+  // Session keys from the victim's leaked ECQV private key; forged finish.
+  const auto shared = kci_shared_secret(victim, peer_cert);
+  if (!shared) return outcome;
+  const Bytes salt = concat({ByteView(victim.id.bytes), ByteView(peer_cert.subject.bytes)});
+  const kdf::SessionKeys keys = kdf::derive_session_keys(
+      *shared, salt, bytes_of(std::string(proto::poramb_detail::kKdfLabel)));
+  const Bytes fin_b = proto::poramb_detail::make_finish(keys, Role::kResponder, peer_cert_bytes,
+                                                        hello_a, hello_b);
+  auto done = alice.on_message(make(Role::kResponder, "B3", fin_b));
+  outcome.victim_accepted = done.ok() && alice.established();
+  return outcome;
+}
+
+/// Eve vs the ECDSA-authenticated protocols: her best move is a garbage
+/// signature — the victim's verification against the peer's implicit
+/// public key must reject it.
+KciOutcome kci_signature_protocol(ProtocolKind kind, const proto::Credentials& victim,
+                                  const cert::Certificate& peer_cert, std::uint64_t now,
+                                  std::uint64_t seed) {
+  KciOutcome outcome;
+  outcome.attempted = true;
+  rng::TestRng victim_rng(seed), eve_rng(seed + 1);
+
+  if (kind == ProtocolKind::kSEcdsa || kind == ProtocolKind::kSEcdsaExt) {
+    proto::SEcdsaConfig config;
+    config.now = now;
+    config.extended = kind == ProtocolKind::kSEcdsaExt;
+    proto::SEcdsaInitiator alice(victim, victim_rng, config);
+    auto a1 = alice.start();
+    const Bytes forged_sig = eve_rng.bytes(sig::kSignatureSize);
+    const Bytes nonce_b = eve_rng.bytes(proto::s_ecdsa_detail::kNonceSize);
+    const Bytes b1 = concat({ByteView(peer_cert.subject.bytes), ByteView(peer_cert.encode()),
+                             ByteView(forged_sig), ByteView(nonce_b)});
+    auto reply = alice.on_message(make(Role::kResponder, "B1", b1));
+    outcome.victim_accepted = reply.ok() && alice.established();
+    return outcome;
+  }
+
+  // STS: Eve can agree on keys (unauthenticated DH) but cannot produce
+  // Resp_B = Enc_KS(Sign_B(XG_E || XG_A)).
+  proto::StsConfig config;
+  config.now = now;
+  proto::StsInitiator alice(victim, victim_rng, config);
+  auto a1 = alice.start();
+  if (!a1) return outcome;
+  const ByteView xga = ByteView(a1->payload).subspan(kIdSize, ec::kRawXySize);
+  const auto& curve = ec::Curve::p256();
+  const bi::U256 xe = curve.random_scalar(eve_rng);
+  const Bytes xge = ec::encode_raw_xy(curve.mul_base(xe));
+  auto xga_point = ec::decode_raw_xy(curve, xga);
+  if (!xga_point) return outcome;
+  const kdf::SessionKeys keys = kdf::derive_session_keys(
+      curve.mul(xe, xga_point.value()),
+      proto::sts_detail::kd_salt(victim.id, peer_cert.subject),
+      bytes_of(std::string(proto::sts_detail::kKdfLabel)));
+  const Bytes forged_sig = eve_rng.bytes(sig::kSignatureSize);
+  const Bytes resp_b = proto::sts_detail::crypt_resp(keys, Role::kResponder, forged_sig);
+  const Bytes b1 = concat({ByteView(peer_cert.subject.bytes), ByteView(peer_cert.encode()),
+                           ByteView(xge), ByteView(resp_b)});
+  auto reply = alice.on_message(make(Role::kResponder, "B1", b1));
+  outcome.victim_accepted = reply.ok() && alice.established();
+  return outcome;
+}
+
+}  // namespace
+
+KciOutcome kci_attempt(ProtocolKind kind, const proto::Credentials& victim,
+                       const cert::Certificate& peer_certificate, std::uint64_t now,
+                       std::uint64_t seed) {
+  switch (kind) {
+    case ProtocolKind::kScianc: return kci_scianc(victim, peer_certificate, now, seed);
+    case ProtocolKind::kPoramb: return kci_poramb(victim, peer_certificate, now, seed);
+    case ProtocolKind::kSEcdsa:
+    case ProtocolKind::kSEcdsaExt:
+    case ProtocolKind::kSts:
+    case ProtocolKind::kStsOptI:
+    case ProtocolKind::kStsOptII:
+      return kci_signature_protocol(proto::wire_base(kind), victim, peer_certificate, now, seed);
+  }
+  return {};
+}
+
+}  // namespace ecqv::attack

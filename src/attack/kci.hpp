@@ -1,0 +1,41 @@
+// Key compromise impersonation (KCI) — the attack the paper's introduction
+// singles out ("an especially dangerous attack, which is also prevalent in
+// TLS" [12]).
+//
+// Setting: Eve has obtained the *victim's* (initiator A's) long-term
+// credentials — private key, certificates, pairwise key store — but NOT the
+// peer B's. KCI asks: can Eve now impersonate *B towards A*?
+//
+//  * SCIANC: yes. Authentication MACs are keyed from the session key, and
+//    the session key is the static DH secret d_B*Q_A = d_A*Q_B — computable
+//    from A's leaked d_A and B's public certificate. Eve forges B's side
+//    entirely.
+//  * PORAMB: yes. A's leaked pairwise key store contains the symmetric key
+//    A shares with B; Eve MACs as B directly.
+//  * S-ECDSA / STS: no. B's side requires an ECDSA signature under B's
+//    implicitly-certified key, which Eve cannot produce from A's material.
+//
+// Each impersonation is implemented as a real adversary that crafts wire
+// messages from the leaked material and drives the honest victim's state
+// machine; "success" means the victim reaches established().
+#pragma once
+
+#include "core/credentials.hpp"
+#include "core/protocol_ids.hpp"
+
+namespace ecqv::attack {
+
+struct KciOutcome {
+  bool attempted = false;   // an impersonation strategy exists and ran
+  bool victim_accepted = false;  // the honest initiator completed the handshake
+  [[nodiscard]] bool resistant() const { return !victim_accepted; }
+};
+
+/// Runs the KCI experiment for `kind`: honest initiator `victim` (whose
+/// credentials Eve holds) against Eve impersonating `peer_identity` (whose
+/// certificate is public but whose private key Eve lacks).
+KciOutcome kci_attempt(proto::ProtocolKind kind, const proto::Credentials& victim,
+                       const cert::Certificate& peer_certificate, std::uint64_t now,
+                       std::uint64_t seed);
+
+}  // namespace ecqv::attack

@@ -1,0 +1,77 @@
+#include "attack/matrix.hpp"
+
+#include <sstream>
+
+namespace ecqv::attack {
+
+using sim::SecurityProperty;
+using sim::Verdict;
+
+Verdict score(SecurityProperty property, const SecurityFacts& facts) {
+  switch (property) {
+    case SecurityProperty::kDataExposure:
+      return facts.past_traffic_exposed ? Verdict::kWeak : Verdict::kFull;
+
+    case SecurityProperty::kNodeCapturing:
+      // Nobody is fully protected: captured credentials always allow
+      // impersonating the captured node in future sessions.
+      return facts.signature_auth ? Verdict::kPartial : Verdict::kWeak;
+
+    case SecurityProperty::kKeyDataReuse:
+      if (!facts.fresh_keys_per_session) return Verdict::kWeak;
+      return facts.keys_derivable_from_longterm ? Verdict::kPartial : Verdict::kFull;
+
+    case SecurityProperty::kKeyDerivationExploit:
+      if (facts.fresh_keys_per_session && !facts.keys_derivable_from_longterm &&
+          !facts.past_traffic_exposed)
+        return Verdict::kFull;
+      return Verdict::kPartial;  // DH-rooted, high entropy, but static/coupled
+
+    case SecurityProperty::kAuthProcedure:
+      return facts.signature_auth && facts.mitm_rejected ? Verdict::kFull : Verdict::kPartial;
+  }
+  return Verdict::kWeak;
+}
+
+std::vector<MatrixCell> build_matrix(std::uint64_t seed) {
+  std::vector<MatrixCell> cells;
+  for (const auto protocol : sim::kTable3Columns) {
+    const SecurityFacts facts = run_scenarios(protocol, seed);
+    for (const auto property : sim::kTable3Rows) {
+      cells.push_back(MatrixCell{property, protocol, score(property, facts),
+                                 sim::table3_verdict(property, protocol)});
+    }
+  }
+  return cells;
+}
+
+std::string fig8_dot() {
+  std::ostringstream dot;
+  dot << "digraph sts_ecqv_threat_model {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=box];\n"
+      << "  subgraph cluster_assets { label=\"Assets\";\n"
+      << "    session_data [label=\"Session Data\"];\n"
+      << "    credentials [label=\"Security Credentials\"];\n  }\n"
+      << "  subgraph cluster_threats { label=\"Threats\";\n"
+      << "    t1 [label=\"[T1] Past Data Exposure\"];\n"
+      << "    t2 [label=\"[T2] MitM Attacks\"];\n"
+      << "    t3 [label=\"[T3] Node Capture\"];\n"
+      << "    t4 [label=\"[T4] Key Data Reuse\"];\n"
+      << "    t5 [label=\"[T5] Key Deriv. Exploitation\"];\n  }\n"
+      << "  subgraph cluster_counters { label=\"Countermeasures\";\n"
+      << "    c1 [label=\"[C1] Forward Secrecy\"];\n"
+      << "    c2 [label=\"[C2] ECDSA Authentication\"];\n"
+      << "    c3 [label=\"[C3] STS & ECQV Property\"];\n"
+      << "    r [label=\"[R] Partial Protection\", style=dashed];\n  }\n"
+      << "  t1 -> session_data; t2 -> session_data; t2 -> credentials;\n"
+      << "  t3 -> credentials; t4 -> credentials; t5 -> credentials;\n"
+      << "  c1 -> t1; c1 -> t4;\n"
+      << "  c2 -> t2;\n"
+      << "  c3 -> t4; c3 -> t5;\n"
+      << "  r -> t3;\n"
+      << "}\n";
+  return dot.str();
+}
+
+}  // namespace ecqv::attack

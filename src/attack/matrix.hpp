@@ -1,0 +1,51 @@
+// Security matrix: maps measured SecurityFacts to the paper's Table III
+// verdicts (✗ weak / ∆ partial / ✓ full) using the scoring rationale of
+// §V-D, and renders the Fig. 8 threat-countermeasure mapping.
+//
+// The facts are measured (src/attack/scenarios.hpp); only this mapping —
+// which mirrors the paper's own qualitative judgment — is fixed:
+//
+//  * Data exposure (T1): Full iff recorded traffic stays confidential after
+//    a long-term key leak (forward secrecy); Weak otherwise.
+//  * Node capturing (T3): no protocol is Full (the paper: even STS only
+//    protects *previous* messages, not future ones). Partial with
+//    asymmetric signature authentication (a captured key impersonates only
+//    the captured node); Weak with symmetric authentication.
+//  * Key data reuse (T4): Full iff each session derives a fresh key that is
+//    not derivable from long-term material; Partial if fresh but derivable
+//    (nonce-diversified SKD); Weak if the same key recurs.
+//  * Key derivation exploit (T5): Full iff keys are ephemeral and
+//    underivable; Partial when the derivation roots in a static secret or
+//    couples authentication to the session key.
+//  * Auth. procedure: Full for certificate-bound signature authentication;
+//    Partial for symmetric MAC schemes (key distribution/coupling caveats).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/scenarios.hpp"
+#include "sim/paper_data.hpp"
+
+namespace ecqv::attack {
+
+struct MatrixCell {
+  sim::SecurityProperty property;
+  proto::ProtocolKind protocol;
+  sim::Verdict measured;
+  sim::Verdict paper;
+  [[nodiscard]] bool matches() const { return measured == paper; }
+};
+
+/// Scores one protocol's facts into the five Table III verdicts.
+sim::Verdict score(sim::SecurityProperty property, const SecurityFacts& facts);
+
+/// Builds the full measured-vs-paper matrix (4 protocols x 5 properties).
+std::vector<MatrixCell> build_matrix(std::uint64_t seed = 7);
+
+/// Fig. 8: threat -> countermeasure mapping for the STS-ECQV design,
+/// rendered as Graphviz DOT (assets: session data, security credentials;
+/// threats T1-T5; countermeasures C1-C3 and the partial-protection note).
+std::string fig8_dot();
+
+}  // namespace ecqv::attack

@@ -1,0 +1,102 @@
+#include "attack/reconstruct.hpp"
+
+#include "core/poramb.hpp"
+#include "core/s_ecdsa.hpp"
+#include "core/scianc.hpp"
+#include "core/sts.hpp"
+#include "ecqv/scheme.hpp"
+
+namespace ecqv::attack {
+
+namespace {
+
+using proto::ProtocolKind;
+
+/// Finds the first transcript message with the given step label.
+const proto::Message* find_step(const proto::Transcript& transcript, std::string_view step) {
+  for (const auto& m : transcript)
+    if (m.step == step) return &m;
+  return nullptr;
+}
+
+/// Static DH secret between the leaked identities (what every SKD protocol
+/// bottoms out in). Recomputed from scratch: d_A * Q_B with Q_B extracted
+/// from B's public certificate.
+std::optional<ec::AffinePoint> leaked_static_dh(const LeakedMaterial& leaked) {
+  auto qb = cert::extract_public_key(leaked.responder.certificate, leaked.initiator.ca_public);
+  if (!qb) return std::nullopt;
+  const ec::AffinePoint shared = ec::Curve::p256().mul(leaked.initiator.private_key, qb.value());
+  if (shared.infinity) return std::nullopt;
+  return shared;
+}
+
+std::optional<kdf::SessionKeys> reconstruct_s_ecdsa(const LeakedMaterial& leaked) {
+  // KS = KDF(dh.x, ID_A || ID_B, label): nothing session-specific needed.
+  const auto dh = leaked_static_dh(leaked);
+  if (!dh) return std::nullopt;
+  const Bytes salt =
+      concat({ByteView(leaked.initiator.id.bytes), ByteView(leaked.responder.id.bytes)});
+  return kdf::derive_session_keys(*dh, salt,
+                                  bytes_of(std::string(proto::s_ecdsa_detail::kKdfLabel)));
+}
+
+std::optional<kdf::SessionKeys> reconstruct_scianc(const proto::Transcript& transcript,
+                                                   const LeakedMaterial& leaked) {
+  // KS = KDF(dh.x, Nonce_A || Nonce_B): nonces are plaintext in A1/B1.
+  const proto::Message* a1 = find_step(transcript, "A1");
+  const proto::Message* b1 = find_step(transcript, "B1");
+  if (a1 == nullptr || b1 == nullptr) return std::nullopt;
+  constexpr std::size_t kId = cert::kDeviceIdSize;
+  constexpr std::size_t kNonce = proto::scianc_detail::kNonceSize;
+  if (a1->payload.size() < kId + kNonce || b1->payload.size() < kId + kNonce)
+    return std::nullopt;
+  const ByteView nonce_a = ByteView(a1->payload).subspan(kId, kNonce);
+  const ByteView nonce_b = ByteView(b1->payload).subspan(kId, kNonce);
+  const auto dh = leaked_static_dh(leaked);
+  if (!dh) return std::nullopt;
+  const Bytes salt = concat({nonce_a, nonce_b});
+  return kdf::derive_session_keys(*dh, salt,
+                                  bytes_of(std::string(proto::scianc_detail::kKdfLabel)));
+}
+
+std::optional<kdf::SessionKeys> reconstruct_poramb(const LeakedMaterial& leaked) {
+  const auto dh = leaked_static_dh(leaked);
+  if (!dh) return std::nullopt;
+  const Bytes salt =
+      concat({ByteView(leaked.initiator.id.bytes), ByteView(leaked.responder.id.bytes)});
+  return kdf::derive_session_keys(*dh, salt,
+                                  bytes_of(std::string(proto::poramb_detail::kKdfLabel)));
+}
+
+}  // namespace
+
+kdf::SessionKeys sts_static_dh_guess(const proto::Transcript& transcript,
+                                     const LeakedMaterial& leaked) {
+  (void)transcript;  // nothing in the transcript helps: XG scalars are gone
+  const auto dh = leaked_static_dh(leaked);
+  const Bytes salt = proto::sts_detail::kd_salt(leaked.initiator.id, leaked.responder.id);
+  if (!dh) return kdf::SessionKeys{};
+  return kdf::derive_session_keys(*dh, salt,
+                                  bytes_of(std::string(proto::sts_detail::kKdfLabel)));
+}
+
+std::optional<kdf::SessionKeys> reconstruct_session_keys(proto::ProtocolKind kind,
+                                                         const proto::Transcript& transcript,
+                                                         const LeakedMaterial& leaked) {
+  switch (kind) {
+    case ProtocolKind::kSEcdsa:
+    case ProtocolKind::kSEcdsaExt: return reconstruct_s_ecdsa(leaked);
+    case ProtocolKind::kScianc: return reconstruct_scianc(transcript, leaked);
+    case ProtocolKind::kPoramb: return reconstruct_poramb(leaked);
+    case ProtocolKind::kSts:
+    case ProtocolKind::kStsOptI:
+    case ProtocolKind::kStsOptII:
+      // Perfect forward secrecy: no reconstruction from long-term keys +
+      // transcript. (See sts_static_dh_guess for the demonstrably failing
+      // attempt.)
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ecqv::attack

@@ -1,0 +1,46 @@
+// Session-key reconstruction attacks.
+//
+// The central question behind the paper's Table III: given a *recorded*
+// handshake transcript and *later-leaked* long-term credentials (node
+// capture, extracted flash, court order...), can an adversary recompute the
+// session key and decrypt the recorded traffic?
+//
+// For the SKD protocols the answer is yes, by construction: the session key
+// is a deterministic function of long-term keys plus public transcript
+// fields. This module implements those reconstructions as an attacker would
+// — parsing the raw transcript bytes, never touching the honest parties'
+// state. For STS the premaster is X_A*X_B*G with both scalars ephemeral and
+// wiped; no reconstruction from (transcript, long-term keys) exists, which
+// the harness demonstrates by running the best available attempt (static
+// DH) and watching decryption fail.
+#pragma once
+
+#include <optional>
+
+#include "core/credentials.hpp"
+#include "core/message.hpp"
+#include "core/protocol_ids.hpp"
+#include "kdf/session_keys.hpp"
+
+namespace ecqv::attack {
+
+/// What the adversary holds after a node-capture/credential leak: both
+/// devices' long-term material (worst case) and the public transcript.
+struct LeakedMaterial {
+  proto::Credentials initiator;  // copies: private keys, certs, pairwise keys
+  proto::Credentials responder;
+};
+
+/// Attempts to reconstruct the session keys of a recorded handshake.
+/// Returns the keys if the protocol's derivation is reproducible from the
+/// leaked material; std::nullopt if no reconstruction is known (STS).
+std::optional<kdf::SessionKeys> reconstruct_session_keys(proto::ProtocolKind kind,
+                                                         const proto::Transcript& transcript,
+                                                         const LeakedMaterial& leaked);
+
+/// The *best-effort wrong* attempt against STS (static-DH guess), used to
+/// demonstrate that the obvious SKD-style attack yields garbage keys.
+kdf::SessionKeys sts_static_dh_guess(const proto::Transcript& transcript,
+                                     const LeakedMaterial& leaked);
+
+}  // namespace ecqv::attack

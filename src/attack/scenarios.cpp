@@ -1,0 +1,141 @@
+#include "attack/scenarios.hpp"
+
+#include <stdexcept>
+
+#include "attack/kci.hpp"
+#include "core/secure_channel.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::attack {
+
+namespace {
+
+using proto::ProtocolKind;
+
+constexpr std::uint64_t kNow = 1700000000;
+constexpr std::uint64_t kLifetime = 86400;
+
+struct World {
+  cert::CertificateAuthority ca;
+  proto::Credentials alice;
+  proto::Credentials bob;
+
+  explicit World(std::uint64_t seed)
+      : ca(cert::DeviceId::from_string("gateway-ca"),
+           [&] {
+             rng::TestRng boot(seed);
+             return ec::Curve::p256().random_scalar(boot);
+           }()),
+        alice([&] {
+          rng::TestRng r(seed + 1);
+          return proto::provision_device(ca, cert::DeviceId::from_string("alice"), kNow,
+                                         kLifetime, r);
+        }()),
+        bob([&] {
+          rng::TestRng r(seed + 2);
+          return proto::provision_device(ca, cert::DeviceId::from_string("bob"), kNow, kLifetime,
+                                         r);
+        }()) {
+    rng::TestRng r(seed + 3);
+    proto::install_pairwise_key(alice, bob, r);
+  }
+};
+
+struct SessionRun {
+  proto::HandshakeResult handshake;
+  kdf::SessionKeys keys;
+};
+
+SessionRun run_session(ProtocolKind kind, World& world, std::uint64_t seed) {
+  rng::TestRng rng_a(seed);
+  rng::TestRng rng_b(seed + 1);
+  auto pair = proto::make_parties(kind, world.alice, world.bob, rng_a, rng_b, kNow);
+  SessionRun run;
+  run.handshake = proto::run_handshake(*pair.initiator, *pair.responder);
+  if (run.handshake.success) run.keys = pair.initiator->session_keys();
+  return run;
+}
+
+/// The active splice: Eve runs her own CA, issues herself a certificate
+/// *claiming Bob's identity*, and answers Alice's handshake with it.
+bool mitm_attempt_rejected(ProtocolKind kind, World& world, std::uint64_t seed) {
+  rng::TestRng eve_boot(seed + 100);
+  cert::CertificateAuthority eve_ca(cert::DeviceId::from_string("evil-ca"),
+                                    ec::Curve::p256().random_scalar(eve_boot));
+  rng::TestRng eve_rng(seed + 101);
+  proto::Credentials eve = proto::provision_device(
+      eve_ca, cert::DeviceId::from_string("bob"), kNow, kLifetime, eve_rng);
+  // Eve copies Bob's *public* identity but cannot know the alice-bob
+  // pairwise key nor forge a CA-rooted certificate.
+
+  rng::TestRng rng_a(seed + 102);
+  rng::TestRng rng_e(seed + 103);
+  auto pair = proto::make_parties(kind, world.alice, eve, rng_a, rng_e, kNow);
+  const auto result = proto::run_handshake(*pair.initiator, *pair.responder);
+  return !result.success;
+}
+
+}  // namespace
+
+SecurityFacts run_scenarios(ProtocolKind kind, std::uint64_t seed) {
+  World world(seed);
+  SecurityFacts facts;
+  facts.kind = kind;
+
+  // --- honest session 1, with recorded encrypted application data (T1 prep)
+  const SessionRun session1 = run_session(kind, world, seed + 10);
+  if (!session1.handshake.success)
+    throw std::runtime_error("run_scenarios: honest handshake failed");
+  facts.handshake_ok = true;
+
+  proto::SecureChannel alice_channel(session1.keys, proto::Role::kInitiator);
+  const Bytes secret = bytes_of("BMS cell voltages: 3.91 3.92 3.90 3.93 [confidential]");
+  const Bytes recorded_ciphertext = alice_channel.seal(secret);
+
+  // --- session 2 under the same certificates (T4)
+  const SessionRun session2 = run_session(kind, world, seed + 20);
+  if (!session2.handshake.success)
+    throw std::runtime_error("run_scenarios: second handshake failed");
+  facts.fresh_keys_per_session = !(session1.keys == session2.keys);
+
+  // --- long-term credential leak, then reconstruction attack (T1/T4/T5)
+  const LeakedMaterial leaked{world.alice, world.bob};
+  const auto reconstructed =
+      reconstruct_session_keys(kind, session1.handshake.transcript, leaked);
+  facts.keys_derivable_from_longterm =
+      reconstructed.has_value() && *reconstructed == session1.keys;
+
+  if (facts.keys_derivable_from_longterm) {
+    proto::SecureChannel adversary(*reconstructed, proto::Role::kResponder);
+    auto opened = adversary.open(recorded_ciphertext);
+    facts.past_traffic_exposed = opened.ok() && ct_equal(opened.value(), secret);
+  } else if (proto::is_dynamic_kd(kind)) {
+    // Demonstrate the best-effort SKD-style attack failing against STS.
+    const kdf::SessionKeys guess =
+        sts_static_dh_guess(session1.handshake.transcript, leaked);
+    proto::SecureChannel adversary(guess, proto::Role::kResponder);
+    auto opened = adversary.open(recorded_ciphertext);
+    facts.past_traffic_exposed = opened.ok();  // must stay false
+  }
+
+  // --- active MitM splice without CA credentials (T2)
+  facts.mitm_rejected = mitm_attempt_rejected(kind, world, seed);
+
+  // --- key compromise impersonation with the victim's leaked state (T2/[12])
+  const KciOutcome kci = kci_attempt(kind, world.alice, world.bob.certificate, kNow, seed + 200);
+  facts.kci_resistant = kci.resistant();
+
+  // --- structural design properties
+  switch (kind) {
+    case ProtocolKind::kSts:
+    case ProtocolKind::kStsOptI:
+    case ProtocolKind::kStsOptII:
+    case ProtocolKind::kSEcdsa:
+    case ProtocolKind::kSEcdsaExt: facts.signature_auth = true; break;
+    case ProtocolKind::kScianc: facts.auth_tied_to_session_key = true; break;
+    case ProtocolKind::kPoramb: facts.pairwise_storage_required = true; break;
+  }
+  return facts;
+}
+
+}  // namespace ecqv::attack

@@ -1,0 +1,48 @@
+// Attack scenarios: concrete experiments that measure the security facts
+// behind the paper's Table III (threats T1-T5 of §IV-A).
+//
+// Each fact is established by *running the attack*, not by asserting the
+// expected answer:
+//  * forward secrecy (T1): a session is recorded including encrypted
+//    application data; afterwards both devices' long-term credentials leak;
+//    the adversary reconstructs candidate session keys and tries to decrypt
+//    the recording.
+//  * key freshness (T4): two communication sessions under one certificate
+//    session; the derived keys are compared.
+//  * derivability (T4/T5): whether the reconstruction of recorded session
+//    keys from (long-term keys, transcript) succeeds.
+//  * MitM resistance (T2): an active adversary without CA-issued
+//    credentials splices into the handshake with a self-made certificate;
+//    honest parties must abort.
+//  * node capture scope (T3): with one node's full state captured, which
+//    sessions fall — past recordings, and impersonation of *other* nodes.
+#pragma once
+
+#include "attack/reconstruct.hpp"
+#include "core/driver.hpp"
+
+namespace ecqv::attack {
+
+/// Mechanically measured facts about one protocol.
+struct SecurityFacts {
+  proto::ProtocolKind kind{};
+
+  // Measured by experiment:
+  bool fresh_keys_per_session = false;   // two sessions yield distinct keys
+  bool past_traffic_exposed = false;     // recorded data decrypted post-leak
+  bool keys_derivable_from_longterm = false;
+  bool mitm_rejected = false;            // splice attempt aborted
+  bool kci_resistant = false;            // victim-key leak can't impersonate peers
+  bool handshake_ok = false;             // sanity: honest run succeeded
+
+  // Structural properties of the protocol design:
+  bool signature_auth = false;           // ECDSA-based mutual authentication
+  bool auth_tied_to_session_key = false; // SCIANC's coupling
+  bool pairwise_storage_required = false;// PORAMB's per-peer keys
+};
+
+/// Runs the full scenario suite for one protocol (deterministic under
+/// `seed`). Throws std::runtime_error if the honest handshake itself fails.
+SecurityFacts run_scenarios(proto::ProtocolKind kind, std::uint64_t seed = 7);
+
+}  // namespace ecqv::attack

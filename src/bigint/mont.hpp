@@ -1,0 +1,64 @@
+// Montgomery-domain modular arithmetic over an odd 256-bit modulus.
+//
+// One MontCtx instance exists per modulus (the secp256r1 field prime p and
+// the group order n). Multiplication uses the CIOS method with 64x64->128
+// multiply-accumulate; addition/subtraction work identically in and out of
+// the Montgomery domain, so the same helpers serve both.
+//
+// Variable-time notes: pow() scans exponent bits high-to-low and is
+// variable-time in the exponent *length* but uses a fixed 256-iteration
+// window internally, so exponentiations with secret exponents (inversion via
+// Fermat) do not leak the exponent hamming weight through the multiply
+// schedule. See README "Security scope".
+#pragma once
+
+#include "bigint/u256.hpp"
+
+namespace ecqv::bi {
+
+class MontCtx {
+ public:
+  /// Constructs the context for an odd modulus > 2^255 (both secp256r1
+  /// moduli qualify; the reduce() shortcut relies on this bound).
+  explicit MontCtx(const U256& modulus);
+
+  [[nodiscard]] const U256& modulus() const { return m_; }
+  /// 1 in Montgomery form (i.e. R mod m).
+  [[nodiscard]] const U256& one() const { return one_; }
+
+  /// a * b * R^-1 mod m; inputs/outputs in Montgomery form.
+  [[nodiscard]] U256 mul(const U256& a, const U256& b) const;
+  [[nodiscard]] U256 sqr(const U256& a) const { return mul(a, a); }
+
+  /// Domain conversions.
+  [[nodiscard]] U256 to_mont(const U256& a) const { return mul(a, r2_); }
+  [[nodiscard]] U256 from_mont(const U256& a) const { return mul(a, U256(1)); }
+
+  /// Modular add/sub (domain-agnostic: valid for plain or Montgomery form).
+  [[nodiscard]] U256 add(const U256& a, const U256& b) const;
+  [[nodiscard]] U256 sub(const U256& a, const U256& b) const;
+
+  /// Reduces any 256-bit value modulo m using a single conditional subtract
+  /// (valid because m > 2^255 implies a < 2m for all 256-bit a).
+  [[nodiscard]] U256 reduce(const U256& a) const;
+
+  /// a^e mod m with a in Montgomery form; result in Montgomery form.
+  [[nodiscard]] U256 pow(const U256& a_mont, const U256& e) const;
+
+  /// Multiplicative inverse via Fermat (modulus must be prime); Montgomery
+  /// form in and out. Precondition: a_mont represents a nonzero residue.
+  [[nodiscard]] U256 inv(const U256& a_mont) const;
+
+  /// Convenience: plain-domain modular multiplication (converts in/out).
+  [[nodiscard]] U256 mul_plain(const U256& a, const U256& b) const {
+    return from_mont(mul(to_mont(a), to_mont(b)));
+  }
+
+ private:
+  U256 m_;
+  U256 r2_;    // R^2 mod m, R = 2^256
+  U256 one_;   // R mod m
+  std::uint64_t n0_;  // -m^-1 mod 2^64
+};
+
+}  // namespace ecqv::bi

@@ -1,0 +1,144 @@
+#include "bigint/u256.hpp"
+
+#include <stdexcept>
+
+#include "common/hex.hpp"
+
+namespace ecqv::bi {
+
+using u128 = unsigned __int128;
+
+unsigned U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (w[static_cast<std::size_t>(i)] != 0) {
+      const auto limb = w[static_cast<std::size_t>(i)];
+      return static_cast<unsigned>(i) * 64 + (64 - static_cast<unsigned>(__builtin_clzll(limb)));
+    }
+  }
+  return 0;
+}
+
+int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    const auto ai = a.w[static_cast<std::size_t>(i)];
+    const auto bi = b.w[static_cast<std::size_t>(i)];
+    if (ai != bi) return ai < bi ? -1 : 1;
+  }
+  return 0;
+}
+
+std::uint64_t add(U256& out, const U256& a, const U256& b) {
+  u128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 s = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t sub(U256& out, const U256& a, const U256& b) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<std::uint64_t>(d);
+    borrow = static_cast<std::uint64_t>((d >> 64) & 1);
+  }
+  return borrow;
+}
+
+bool U512::is_zero() const {
+  std::uint64_t acc = 0;
+  for (auto limb : w) acc |= limb;
+  return acc == 0;
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+  U512 r{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.w[i]) * b.w[j] + r.w[i + j] + carry;
+      r.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    r.w[i + 4] = carry;
+  }
+  return r;
+}
+
+U256 shl1(const U256& a) {
+  U256 r;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.w[i] = (a.w[i] << 1) | carry;
+    carry = a.w[i] >> 63;
+  }
+  return r;
+}
+
+U256 shr1(const U256& a) {
+  U256 r;
+  std::uint64_t carry = 0;
+  for (int i = 3; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    r.w[idx] = (a.w[idx] >> 1) | (carry << 63);
+    carry = a.w[idx] & 1;
+  }
+  return r;
+}
+
+U256 ct_select(std::uint64_t flag, const U256& a, const U256& b) {
+  // mask is all-ones when flag==1; branchless limb blend.
+  const std::uint64_t mask = 0 - flag;
+  U256 r;
+  for (std::size_t i = 0; i < 4; ++i) r.w[i] = (a.w[i] & mask) | (b.w[i] & ~mask);
+  return r;
+}
+
+void ct_swap(std::uint64_t flag, U256& a, U256& b) {
+  const std::uint64_t mask = 0 - flag;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t t = mask & (a.w[i] ^ b.w[i]);
+    a.w[i] ^= t;
+    b.w[i] ^= t;
+  }
+}
+
+U256 from_be_bytes(ByteView bytes) {
+  if (bytes.size() != 32) throw std::invalid_argument("U256::from_be_bytes: need 32 bytes");
+  U256 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t limb = 0;
+    for (std::size_t j = 0; j < 8; ++j) limb = (limb << 8) | bytes[i * 8 + j];
+    r.w[3 - i] = limb;
+  }
+  return r;
+}
+
+void to_be_bytes(const U256& a, ByteSpan out) {
+  if (out.size() < 32) throw std::invalid_argument("U256::to_be_bytes: need 32 bytes");
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t limb = a.w[3 - i];
+    for (std::size_t j = 0; j < 8; ++j)
+      out[i * 8 + j] = static_cast<std::uint8_t>(limb >> (56 - 8 * j));
+  }
+}
+
+Bytes to_be_bytes(const U256& a) {
+  Bytes out(32);
+  to_be_bytes(a, out);
+  return out;
+}
+
+U256 from_hex256(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.size() > 64) throw std::invalid_argument("from_hex256: more than 64 digits");
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  return from_be_bytes(from_hex(padded));
+}
+
+std::string to_hex(const U256& a) { return ecqv::to_hex(to_be_bytes(a)); }
+
+}  // namespace ecqv::bi

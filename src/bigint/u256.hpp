@@ -1,0 +1,83 @@
+// Fixed-width 256-bit unsigned integers.
+//
+// All elliptic-curve and scalar arithmetic in this library runs over
+// secp256r1, so a fixed four-limb representation (little-endian 64-bit
+// limbs) is used throughout: no heap allocation, trivially copyable, and
+// every loop bound is a compile-time constant — exactly what constrained
+// targets want and what makes timing behaviour predictable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace ecqv::bi {
+
+struct U256 {
+  // w[0] is the least-significant limb.
+  std::array<std::uint64_t, 4> w{};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : w{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2, std::uint64_t w3)
+      : w{w0, w1, w2, w3} {}
+
+  [[nodiscard]] constexpr bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  [[nodiscard]] constexpr bool is_odd() const { return (w[0] & 1) != 0; }
+
+  /// Value of bit `i` (0 = LSB). Precondition: i < 256.
+  [[nodiscard]] constexpr unsigned bit(unsigned i) const {
+    return static_cast<unsigned>((w[i / 64] >> (i % 64)) & 1);
+  }
+
+  /// Index of the highest set bit plus one; 0 for zero.
+  [[nodiscard]] unsigned bit_length() const;
+
+  bool operator==(const U256&) const = default;
+};
+
+/// Three-way compare: -1, 0, +1.
+int cmp(const U256& a, const U256& b);
+inline bool operator<(const U256& a, const U256& b) { return cmp(a, b) < 0; }
+inline bool operator>(const U256& a, const U256& b) { return cmp(a, b) > 0; }
+inline bool operator<=(const U256& a, const U256& b) { return cmp(a, b) <= 0; }
+inline bool operator>=(const U256& a, const U256& b) { return cmp(a, b) >= 0; }
+
+/// out = a + b; returns the carry-out (0 or 1).
+std::uint64_t add(U256& out, const U256& a, const U256& b);
+
+/// out = a - b; returns the borrow-out (0 or 1).
+std::uint64_t sub(U256& out, const U256& a, const U256& b);
+
+/// Full 256x256 -> 512-bit product, little-endian 8 limbs.
+struct U512 {
+  std::array<std::uint64_t, 8> w{};
+  [[nodiscard]] bool is_zero() const;
+  bool operator==(const U512&) const = default;
+};
+U512 mul_wide(const U256& a, const U256& b);
+
+/// Logical shifts by one bit (used by ladder-style loops and reduction).
+U256 shl1(const U256& a);  // discards the top bit
+U256 shr1(const U256& a);
+
+/// Constant-time conditional select: returns (flag ? a : b); flag in {0,1}.
+U256 ct_select(std::uint64_t flag, const U256& a, const U256& b);
+
+/// Constant-time conditional swap of a and b when flag == 1.
+void ct_swap(std::uint64_t flag, U256& a, U256& b);
+
+/// Big-endian 32-byte (de)serialization used by all wire formats (SEC1).
+U256 from_be_bytes(ByteView bytes);  // requires bytes.size() == 32
+void to_be_bytes(const U256& a, ByteSpan out);  // requires out.size() >= 32
+Bytes to_be_bytes(const U256& a);
+
+/// Hex helpers for test vectors and debugging. from_hex accepts up to
+/// 64 digits (shorter input is zero-extended on the left).
+U256 from_hex256(std::string_view hex);
+std::string to_hex(const U256& a);
+
+}  // namespace ecqv::bi

@@ -1,0 +1,101 @@
+#include "canfd/bitstream.hpp"
+
+namespace ecqv::can {
+
+void BitWriter::push_bits(std::uint32_t value, unsigned count) {
+  for (unsigned i = count; i-- > 0;) push(((value >> i) & 1u) != 0);
+}
+
+std::uint32_t crc_bits(const std::vector<bool>& bits, std::uint32_t polynomial,
+                       unsigned crc_width) {
+  // Classic LFSR: shift in one message bit at a time, XOR the polynomial
+  // when the bit leaving the register differs from the incoming bit.
+  std::uint32_t reg = 0;
+  const std::uint32_t top = 1u << (crc_width - 1);
+  const std::uint32_t mask = (crc_width == 32) ? 0xffffffffu : ((1u << crc_width) - 1);
+  for (const bool bit : bits) {
+    const bool do_xor = (((reg & top) != 0) != bit);
+    reg = (reg << 1) & mask;
+    if (do_xor) reg ^= polynomial & mask;
+  }
+  return reg;
+}
+
+std::size_t count_dynamic_stuff_bits(const std::vector<bool>& bits) {
+  std::size_t stuffed = 0;
+  std::size_t run = 0;
+  bool last = false;
+  bool have_last = false;
+  for (const bool bit : bits) {
+    if (have_last && bit == last) {
+      ++run;
+    } else {
+      run = 1;
+      last = bit;
+      have_last = true;
+    }
+    if (run == 5) {
+      // A complement bit is inserted on the wire; it starts a new run.
+      ++stuffed;
+      run = 1;
+      last = !last;
+    }
+  }
+  return stuffed;
+}
+
+ExactFrameBits exact_frame_bits(const CanFdFrame& frame) {
+  // Serialize the dynamically-stuffed region: SOF, 11-bit ID, RRS, IDE,
+  // FDF, res, BRS | ESI, DLC, data. The bit-rate switch happens at BRS;
+  // everything before (7 + 11 = 18 bits) is nominal phase.
+  BitWriter pre_crc;
+  pre_crc.push(false);                                     // SOF (dominant)
+  pre_crc.push_bits(frame.id & 0x7ff, 11);                 // identifier
+  pre_crc.push(false);                                     // RRS
+  pre_crc.push(false);                                     // IDE (base format)
+  pre_crc.push(true);                                      // FDF (CAN FD)
+  pre_crc.push(false);                                     // res
+  pre_crc.push(true);                                      // BRS (switch rate)
+  constexpr std::size_t kNominalPrefixBits = 18;           // SOF..BRS
+  pre_crc.push(false);                                     // ESI (active)
+  pre_crc.push_bits(dlc_code(frame.data.size()), 4);       // DLC
+  for (const std::uint8_t byte : frame.data) pre_crc.push_bits(byte, 8);
+
+  const bool long_crc = frame.data.size() > 16;
+  const unsigned crc_width = long_crc ? 21 : 17;
+  const std::uint32_t polynomial = long_crc ? kCrc21Poly : kCrc17Poly;
+  const std::uint32_t crc = crc_bits(pre_crc.bits(), polynomial, crc_width);
+
+  const std::size_t dynamic_stuff = count_dynamic_stuff_bits(pre_crc.bits());
+
+  // Stuffing splits between the phases. Count stuff bits landing in the
+  // nominal prefix by re-running the counter on the prefix alone (stuff
+  // insertion is causal, so the prefix count is exact).
+  std::vector<bool> prefix(pre_crc.bits().begin(),
+                           pre_crc.bits().begin() + kNominalPrefixBits);
+  const std::size_t prefix_stuff = count_dynamic_stuff_bits(prefix);
+
+  // CRC field (data phase): stuff count (4 bits incl. parity per spec,
+  // modeled as 4) with one fixed stuff bit before it, then the CRC bits
+  // with a fixed stuff bit after every 4.
+  const std::size_t crc_field_bits = 1 + 4 + crc_width + crc_width / 4;
+  // Tail at nominal rate: CRC delimiter, ACK, ACK delimiter, EOF(7), IFS(3).
+  constexpr std::size_t kTailBits = 1 + 1 + 1 + 7 + 3;
+
+  ExactFrameBits out;
+  out.crc = crc;
+  out.dynamic_stuff = dynamic_stuff;
+  out.nominal = kNominalPrefixBits + prefix_stuff + kTailBits;
+  out.data = (pre_crc.size() - kNominalPrefixBits) + (dynamic_stuff - prefix_stuff) +
+             crc_field_bits;
+  return out;
+}
+
+double exact_frame_duration_ms(const CanFdFrame& frame, const BusTiming& timing) {
+  const ExactFrameBits bits = exact_frame_bits(frame);
+  const double seconds = static_cast<double>(bits.nominal) / timing.nominal_bitrate +
+                         static_cast<double>(bits.data) / timing.data_bitrate;
+  return seconds * 1e3;
+}
+
+}  // namespace ecqv::can

@@ -1,0 +1,63 @@
+// Bit-level CAN-FD frame model: exact dynamic stuff-bit counting and frame
+// CRC computation over the serialized bitstream.
+//
+// The coarse model in frame.hpp adds a flat 10% stuffing estimate; this
+// module serializes the actual frame fields and applies the real rules of
+// ISO 11898-1:2015:
+//  * dynamic stuffing (insert a complement after five equal bits) from SOF
+//    through the end of the data field;
+//  * the CRC field uses *fixed* stuff bits instead: one before the 4-bit
+//    stuff count and one after every 4 CRC bits;
+//  * CRC-17 for frames with up to 16 data bytes, CRC-21 above (polynomial
+//    constants per ISO 11898-1; no public KATs exist, so tests validate
+//    structural invariants: error detection, length monotonicity, stuffing
+//    bounds).
+//
+// The payload-dependent result feeds the timing model when
+// BusTiming::stuffing == StuffModel::kExact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "canfd/frame.hpp"
+
+namespace ecqv::can {
+
+/// A growable bit sequence (MSB-first order of emission).
+class BitWriter {
+ public:
+  void push(bool bit) { bits_.push_back(bit); }
+  void push_bits(std::uint32_t value, unsigned count);  // MSB first
+  [[nodiscard]] const std::vector<bool>& bits() const { return bits_; }
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+/// CRC over a bit sequence with a given polynomial (MSB-first shift
+/// register, initial value 0, as used by CAN).
+std::uint32_t crc_bits(const std::vector<bool>& bits, std::uint32_t polynomial,
+                       unsigned crc_width);
+
+/// ISO 11898-1 CAN FD CRC polynomials (17/21 bit).
+inline constexpr std::uint32_t kCrc17Poly = 0x1685B;   // x^17+... (17-bit field)
+inline constexpr std::uint32_t kCrc21Poly = 0x102899;  // x^21+... (21-bit field)
+
+/// Number of dynamic stuff bits the 5-in-a-row rule inserts into `bits`.
+std::size_t count_dynamic_stuff_bits(const std::vector<bool>& bits);
+
+/// Exact serialized bit budget of one frame.
+struct ExactFrameBits {
+  std::size_t nominal = 0;        // arbitration-phase bits (incl. their stuffing)
+  std::size_t data = 0;           // data-phase bits (incl. stuffing + CRC field)
+  std::size_t dynamic_stuff = 0;  // informational: inserted stuff bits
+  std::uint32_t crc = 0;          // the computed CRC value
+};
+ExactFrameBits exact_frame_bits(const CanFdFrame& frame);
+
+/// Frame duration using the exact bit counts.
+double exact_frame_duration_ms(const CanFdFrame& frame, const BusTiming& timing);
+
+}  // namespace ecqv::can

@@ -1,0 +1,42 @@
+#include "canfd/bus.hpp"
+
+#include <algorithm>
+
+namespace ecqv::can {
+
+CanBus::NodeId CanBus::attach(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  node_clock_.push_back(0.0);
+  return handlers_.size() - 1;
+}
+
+void CanBus::send(NodeId sender, const CanFdFrame& frame) {
+  queue_.push_back(Pending{sender, frame, node_clock_.at(sender)});
+}
+
+void CanBus::advance_node_time(NodeId node, double ms) {
+  node_clock_.at(node) = std::max(node_clock_.at(node), now_ms_) + ms;
+}
+
+double CanBus::run() {
+  // Frames go out in FIFO order per CAN arbitration at equal priority;
+  // handlers may enqueue replies, so iterate until drained.
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const Pending pending = queue_[head++];
+    const double start = std::max({bus_free_ms_, pending.ready_ms, now_ms_});
+    const double duration = frame_duration_ms(pending.frame, timing_);
+    now_ms_ = start + duration;
+    bus_free_ms_ = now_ms_;
+    ++frames_delivered_;
+    for (std::size_t node = 0; node < handlers_.size(); ++node) {
+      if (node == pending.sender) continue;
+      node_clock_[node] = std::max(node_clock_[node], now_ms_);
+      handlers_[node](pending.frame, now_ms_);
+    }
+  }
+  queue_.clear();
+  return now_ms_;
+}
+
+}  // namespace ecqv::can

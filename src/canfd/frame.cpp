@@ -1,0 +1,69 @@
+#include "canfd/frame.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace ecqv::can {
+
+namespace {
+constexpr std::array<std::size_t, 16> kDlcSizes = {0, 1, 2,  3,  4,  5,  6,  7,
+                                                   8, 12, 16, 20, 24, 32, 48, 64};
+}  // namespace
+
+std::size_t dlc_round_up(std::size_t len) {
+  for (const std::size_t size : kDlcSizes)
+    if (size >= len) return size;
+  throw std::invalid_argument("dlc_round_up: exceeds 64 bytes");
+}
+
+std::uint8_t dlc_code(std::size_t len) {
+  for (std::size_t i = 0; i < kDlcSizes.size(); ++i)
+    if (kDlcSizes[i] == len) return static_cast<std::uint8_t>(i);
+  throw std::invalid_argument("dlc_code: not a valid CAN-FD payload size");
+}
+
+std::size_t dlc_size(std::uint8_t code) {
+  if (code >= kDlcSizes.size()) throw std::invalid_argument("dlc_size: bad code");
+  return kDlcSizes[code];
+}
+
+CanFdFrame CanFdFrame::make(std::uint32_t id, ByteView payload) {
+  if (payload.size() > kMaxDataBytes) throw std::invalid_argument("CanFdFrame: payload > 64");
+  if (id > 0x7ff) throw std::invalid_argument("CanFdFrame: standard id exceeds 11 bits");
+  CanFdFrame frame;
+  frame.id = id;
+  frame.data.assign(payload.begin(), payload.end());
+  frame.data.resize(dlc_round_up(payload.size()), 0x00);
+  return frame;
+}
+
+FrameBits frame_bits(std::size_t data_len, bool include_stuff_estimate) {
+  // Nominal phase: SOF(1) + ID(11) + RRS(1) + IDE(1) + FDF(1) + res(1) +
+  // BRS(1) = 17 bits before the rate switch, plus the tail after the CRC
+  // delimiter: ACK(1) + ACK-delim(1) + EOF(7) + IFS(3) = 12 bits.
+  // Data phase: ESI(1) + DLC(4) + data(8n) + stuff-count(4) + CRC(17|21) +
+  // CRC-delim(1).
+  FrameBits bits;
+  bits.nominal = 17 + 12;
+  const std::size_t crc = data_len <= 16 ? 17 : 21;
+  bits.data = 1 + 4 + 8 * data_len + 4 + crc + 1;
+  if (include_stuff_estimate) {
+    bits.nominal += bits.nominal / 10;
+    bits.data += bits.data / 10;
+  }
+  return bits;
+}
+
+double frame_duration_ms(std::size_t data_len, const BusTiming& timing) {
+  const FrameBits bits = frame_bits(data_len, timing.include_stuff_estimate);
+  const double seconds = static_cast<double>(bits.nominal) / timing.nominal_bitrate +
+                         static_cast<double>(bits.data) / timing.data_bitrate;
+  return seconds * 1e3;
+}
+
+double frame_duration_ms(const CanFdFrame& frame, const BusTiming& timing) {
+  return frame_duration_ms(frame.data.size(), timing);
+}
+
+}  // namespace ecqv::can

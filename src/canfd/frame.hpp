@@ -1,0 +1,55 @@
+// CAN-FD data link layer model (paper Fig. 6, bottom row; §V-C: nominal
+// phase 0.5 Mbit/s, data phase 2 Mbit/s).
+//
+// The timing model counts bits per phase:
+//  * nominal (arbitration) phase: SOF, 11-bit identifier, control bits up
+//    to the BRS switch, plus the post-CRC tail (ACK slot, delimiters, EOF,
+//    inter-frame space);
+//  * data phase: remaining control bits, DLC, data bytes, stuff count and
+//    CRC (17 bits for <=16 data bytes, 21 above).
+// Dynamic stuff bits depend on payload content; we add the expected-case
+// 1-in-10 estimate to the data phase (documented approximation; the paper
+// itself reports the physical link time as negligible, <1 ms per §V-C).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace ecqv::can {
+
+inline constexpr std::size_t kMaxDataBytes = 64;
+
+/// Valid CAN-FD payload lengths and the DLC quantization.
+std::size_t dlc_round_up(std::size_t len);   // next valid payload size
+std::uint8_t dlc_code(std::size_t len);      // 4-bit DLC for a valid size
+std::size_t dlc_size(std::uint8_t code);     // inverse
+
+struct CanFdFrame {
+  std::uint32_t id = 0;  // 11-bit standard identifier
+  Bytes data;            // padded to a valid DLC size by the sender
+
+  /// Builds a frame, padding `payload` with zeros up to the DLC boundary.
+  static CanFdFrame make(std::uint32_t id, ByteView payload);
+};
+
+struct BusTiming {
+  double nominal_bitrate = 500'000.0;   // paper §V-C
+  double data_bitrate = 2'000'000.0;
+  bool include_stuff_estimate = true;
+};
+
+/// Bits transmitted in each phase for a frame with `data_len` bytes
+/// (data_len must be a valid DLC size).
+struct FrameBits {
+  std::size_t nominal = 0;
+  std::size_t data = 0;
+};
+FrameBits frame_bits(std::size_t data_len, bool include_stuff_estimate = true);
+
+/// Wall-clock duration of one frame on the bus, in milliseconds.
+double frame_duration_ms(const CanFdFrame& frame, const BusTiming& timing);
+double frame_duration_ms(std::size_t data_len, const BusTiming& timing);
+
+}  // namespace ecqv::can

@@ -1,0 +1,131 @@
+#include "canfd/isotp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecqv::can {
+
+namespace {
+constexpr std::size_t kSfPlainMax = 7;    // 1-byte PCI
+constexpr std::size_t kSfEscapeMax = 62;  // 2-byte PCI in a 64-byte frame
+constexpr std::size_t kFfData = 62;       // 64 - 2-byte PCI
+constexpr std::size_t kCfData = 63;       // 64 - 1-byte PCI
+}  // namespace
+
+std::vector<CanFdFrame> isotp_segment(std::uint32_t can_id, ByteView payload) {
+  if (payload.size() > kIsoTpMaxPayload) throw std::invalid_argument("isotp: payload too large");
+  std::vector<CanFdFrame> frames;
+  // Zero-length payloads use the escape form: a plain PCI of 0x00 would be
+  // indistinguishable from the escape marker on the receive side.
+  if (payload.size() >= 1 && payload.size() <= kSfPlainMax) {
+    Bytes data;
+    data.push_back(static_cast<std::uint8_t>(payload.size()));  // 0x0L
+    append(data, payload);
+    frames.push_back(CanFdFrame::make(can_id, data));
+    return frames;
+  }
+  if (payload.size() <= kSfEscapeMax) {
+    Bytes data;
+    data.push_back(0x00);  // SF escape
+    data.push_back(static_cast<std::uint8_t>(payload.size()));
+    append(data, payload);
+    frames.push_back(CanFdFrame::make(can_id, data));
+    return frames;
+  }
+  // First frame: 12-bit length + 62 data bytes.
+  Bytes first;
+  first.push_back(static_cast<std::uint8_t>(0x10 | (payload.size() >> 8)));
+  first.push_back(static_cast<std::uint8_t>(payload.size() & 0xff));
+  append(first, payload.subspan(0, kFfData));
+  frames.push_back(CanFdFrame::make(can_id, first));
+  // Consecutive frames with rolling 4-bit sequence starting at 1.
+  std::size_t offset = kFfData;
+  std::uint8_t seq = 1;
+  while (offset < payload.size()) {
+    const std::size_t take = std::min(kCfData, payload.size() - offset);
+    Bytes cf;
+    cf.push_back(static_cast<std::uint8_t>(0x20 | seq));
+    append(cf, payload.subspan(offset, take));
+    frames.push_back(CanFdFrame::make(can_id, cf));
+    offset += take;
+    seq = static_cast<std::uint8_t>((seq + 1) & 0x0f);
+  }
+  return frames;
+}
+
+CanFdFrame flow_control_frame(std::uint32_t can_id) {
+  // ContinueToSend, BS=0 (no more FCs), STmin=0.
+  return CanFdFrame::make(can_id, Bytes{0x30, 0x00, 0x00});
+}
+
+std::size_t isotp_frame_count(std::size_t payload_size) {
+  if (payload_size <= kSfEscapeMax) return 1;
+  const std::size_t rest = payload_size - kFfData;
+  return 1 + (rest + kCfData - 1) / kCfData;
+}
+
+Result<std::optional<Bytes>> IsoTpReassembler::feed(const CanFdFrame& frame) {
+  if (frame.data.empty()) return Error::kDecodeFailed;
+  const std::uint8_t pci = frame.data[0];
+  const std::uint8_t type = pci >> 4;
+  ByteView data(frame.data);
+
+  if (type == 0x0) {  // single frame
+    if (in_progress()) {
+      expected_ = 0;
+      return Error::kBadState;
+    }
+    std::size_t len = pci & 0x0f;
+    std::size_t header = 1;
+    if (len == 0) {  // escape form
+      if (data.size() < 2) return Error::kDecodeFailed;
+      len = data[1];
+      header = 2;
+    }
+    if (header + len > data.size()) return Error::kDecodeFailed;
+    return std::optional<Bytes>(Bytes(data.begin() + static_cast<std::ptrdiff_t>(header),
+                                      data.begin() + static_cast<std::ptrdiff_t>(header + len)));
+  }
+
+  if (type == 0x1) {  // first frame
+    if (in_progress()) {
+      expected_ = 0;
+      return Error::kBadState;
+    }
+    if (data.size() < 2) return Error::kDecodeFailed;
+    expected_ = (static_cast<std::size_t>(pci & 0x0f) << 8) | data[1];
+    if (expected_ <= kSfEscapeMax) {
+      expected_ = 0;
+      return Error::kDecodeFailed;  // must have been a single frame
+    }
+    buffer_.assign(data.begin() + 2, data.end());
+    if (buffer_.size() > expected_) buffer_.resize(expected_);
+    next_seq_ = 1;
+    return std::optional<Bytes>(std::nullopt);
+  }
+
+  if (type == 0x2) {  // consecutive frame
+    if (!in_progress()) return Error::kBadState;
+    if ((pci & 0x0f) != next_seq_) {
+      expected_ = 0;
+      return Error::kDecodeFailed;  // sequence error
+    }
+    next_seq_ = static_cast<std::uint8_t>((next_seq_ + 1) & 0x0f);
+    const std::size_t want = expected_ - buffer_.size();
+    const std::size_t take = std::min(want, data.size() - 1);
+    buffer_.insert(buffer_.end(), data.begin() + 1,
+                   data.begin() + 1 + static_cast<std::ptrdiff_t>(take));
+    if (buffer_.size() == expected_) {
+      expected_ = 0;
+      return std::optional<Bytes>(std::move(buffer_));
+    }
+    return std::optional<Bytes>(std::nullopt);
+  }
+
+  if (type == 0x3) {  // flow control — transparent to reassembly
+    return std::optional<Bytes>(std::nullopt);
+  }
+  return Error::kDecodeFailed;
+}
+
+}  // namespace ecqv::can

@@ -1,0 +1,50 @@
+// ISO-TP (ISO 15765-2) transport over CAN-FD — the paper's "CAN-TP layer
+// for message fragmentation" (Fig. 6, §V-C).
+//
+// Frame types (first PCI nibble): 0 = Single Frame, 1 = First Frame,
+// 2 = Consecutive Frame, 3 = Flow Control. CAN-FD mapping:
+//  * SF up to 7 bytes: 1-byte PCI (0x0L);
+//  * SF up to 62 bytes: escape PCI (0x00, length);
+//  * FF: 2-byte PCI (0x1h, ll) with 12-bit total length, then 62 data
+//    bytes; receiver answers with FC (0x30, block size, STmin);
+//  * CF: 1-byte PCI (0x2s) with 4-bit rolling sequence, 63 data bytes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "canfd/frame.hpp"
+
+namespace ecqv::can {
+
+inline constexpr std::size_t kIsoTpMaxPayload = 4095;  // 12-bit FF length
+
+/// Segments an application payload into ISO-TP frames (sender side).
+/// Does not include the receiver's flow-control frame — see
+/// `flow_control_frame`.
+std::vector<CanFdFrame> isotp_segment(std::uint32_t can_id, ByteView payload);
+
+/// The FC frame the receiver sends after a First Frame (ContinueToSend,
+/// block size 0 = no further FCs, STmin 0).
+CanFdFrame flow_control_frame(std::uint32_t can_id);
+
+/// Number of frames (sender direction only) a payload needs.
+std::size_t isotp_frame_count(std::size_t payload_size);
+
+/// Streaming reassembler (receiver side).
+class IsoTpReassembler {
+ public:
+  /// Feeds one frame. Returns the completed payload when the last frame
+  /// arrives, std::nullopt while in progress. Errors reset the state.
+  Result<std::optional<Bytes>> feed(const CanFdFrame& frame);
+
+  /// True while a segmented transfer is in flight.
+  [[nodiscard]] bool in_progress() const { return expected_ > 0; }
+
+ private:
+  Bytes buffer_;
+  std::size_t expected_ = 0;
+  std::uint8_t next_seq_ = 0;
+};
+
+}  // namespace ecqv::can

@@ -1,0 +1,66 @@
+#include "canfd/session_layer.hpp"
+
+#include <stdexcept>
+
+namespace ecqv::can {
+
+Bytes AppPdu::encode() const {
+  Bytes out;
+  out.reserve(kAppHeaderSize + data.size());
+  out.push_back(static_cast<std::uint8_t>(comm_code));
+  out.push_back(static_cast<std::uint8_t>(session_id >> 8));
+  out.push_back(static_cast<std::uint8_t>(session_id));
+  out.push_back(op_code);
+  append(out, data);
+  return out;
+}
+
+Result<AppPdu> AppPdu::decode(ByteView bytes) {
+  if (bytes.size() < kAppHeaderSize) return Error::kBadLength;
+  AppPdu pdu;
+  switch (bytes[0]) {
+    case 0x10: pdu.comm_code = CommCode::kKeyDerivation; break;
+    case 0x20: pdu.comm_code = CommCode::kSessionData; break;
+    case 0x30: pdu.comm_code = CommCode::kEnrollment; break;
+    default: return Error::kDecodeFailed;
+  }
+  pdu.session_id = static_cast<std::uint16_t>((bytes[1] << 8) | bytes[2]);
+  pdu.op_code = bytes[3];
+  pdu.data = Bytes(bytes.begin() + kAppHeaderSize, bytes.end());
+  return pdu;
+}
+
+std::uint8_t op_code_for_step(const std::string& step) {
+  // Steps are "<role><index>": A1=0x01, A2=0x02, ..., B1=0x11, ...
+  if (step.size() != 2 || (step[0] != 'A' && step[0] != 'B') || step[1] < '1' || step[1] > '9')
+    throw std::invalid_argument("op_code_for_step: bad step label: " + step);
+  const std::uint8_t role_bits = step[0] == 'A' ? 0x00 : 0x10;
+  return static_cast<std::uint8_t>(role_bits | (step[1] - '0'));
+}
+
+std::string step_for_op_code(std::uint8_t op) {
+  const char role = (op & 0x10) != 0 ? 'B' : 'A';
+  const auto index = static_cast<char>('0' + (op & 0x0f));
+  if (index < '1' || index > '9') throw std::invalid_argument("step_for_op_code: bad op code");
+  return std::string{role, index};
+}
+
+AppPdu wrap_message(const proto::Message& message, std::uint16_t session_id) {
+  AppPdu pdu;
+  pdu.comm_code = CommCode::kKeyDerivation;
+  pdu.session_id = session_id;
+  pdu.op_code = op_code_for_step(message.step);
+  pdu.data = message.payload;
+  return pdu;
+}
+
+Result<proto::Message> unwrap_message(const AppPdu& pdu) {
+  if (pdu.comm_code != CommCode::kKeyDerivation) return Error::kDecodeFailed;
+  proto::Message message;
+  message.step = step_for_op_code(pdu.op_code);
+  message.sender = message.step[0] == 'A' ? proto::Role::kInitiator : proto::Role::kResponder;
+  message.payload = pdu.data;
+  return message;
+}
+
+}  // namespace ecqv::can

@@ -1,0 +1,43 @@
+// Application/session layer of the test suite's network stack (paper
+// Fig. 6, top row): every protocol message travels as
+//
+//   comm code (1) || session comm id (2) || op code (1) || data
+//
+// The comm code distinguishes traffic classes (key derivation handshake,
+// encrypted application data, CA enrollment); the session comm id ties
+// messages of one communication session together; the op code encodes the
+// protocol step.
+#pragma once
+
+#include "common/result.hpp"
+#include "core/message.hpp"
+
+namespace ecqv::can {
+
+enum class CommCode : std::uint8_t {
+  kKeyDerivation = 0x10,
+  kSessionData = 0x20,
+  kEnrollment = 0x30,
+};
+
+inline constexpr std::size_t kAppHeaderSize = 4;
+
+struct AppPdu {
+  CommCode comm_code = CommCode::kKeyDerivation;
+  std::uint16_t session_id = 0;
+  std::uint8_t op_code = 0;
+  Bytes data;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<AppPdu> decode(ByteView bytes);
+};
+
+/// Maps a protocol step label ("A1".."B3") to an op code and back.
+std::uint8_t op_code_for_step(const std::string& step);
+std::string step_for_op_code(std::uint8_t op);
+
+/// Wraps a handshake message into a PDU (and back).
+AppPdu wrap_message(const proto::Message& message, std::uint16_t session_id);
+Result<proto::Message> unwrap_message(const AppPdu& pdu);
+
+}  // namespace ecqv::can

@@ -1,0 +1,28 @@
+#include "canfd/transfer.hpp"
+
+#include "canfd/isotp.hpp"
+#include "canfd/session_layer.hpp"
+
+namespace ecqv::can {
+
+TransferBreakdown message_transfer(const proto::Message& message, const BusTiming& timing) {
+  const AppPdu pdu = wrap_message(message, /*session_id=*/1);
+  const Bytes app = pdu.encode();
+  const std::vector<CanFdFrame> frames = isotp_segment(/*can_id=*/0x123, app);
+
+  TransferBreakdown breakdown;
+  breakdown.app_bytes = app.size();
+  breakdown.frame_count = frames.size();
+  for (const auto& frame : frames) breakdown.duration_ms += frame_duration_ms(frame, timing);
+  if (frames.size() > 1) {
+    breakdown.flow_control = true;
+    breakdown.duration_ms += frame_duration_ms(flow_control_frame(0x124), timing);
+  }
+  return breakdown;
+}
+
+double message_transfer_ms(const proto::Message& message, const BusTiming& timing) {
+  return message_transfer(message, timing).duration_ms;
+}
+
+}  // namespace ecqv::can

@@ -1,0 +1,23 @@
+// On-wire cost of one protocol message over the full Fig. 6 stack:
+// application header + ISO-TP segmentation + per-frame CAN-FD timing,
+// including the receiver's flow-control frame for segmented transfers.
+#pragma once
+
+#include "canfd/frame.hpp"
+#include "core/message.hpp"
+
+namespace ecqv::can {
+
+struct TransferBreakdown {
+  std::size_t app_bytes = 0;     // header + payload
+  std::size_t frame_count = 0;   // sender frames
+  bool flow_control = false;     // receiver FC frame present
+  double duration_ms = 0.0;      // total bus occupancy
+};
+
+TransferBreakdown message_transfer(const proto::Message& message, const BusTiming& timing);
+
+/// Adapter with the sim::TransferTime signature (ms per message).
+double message_transfer_ms(const proto::Message& message, const BusTiming& timing);
+
+}  // namespace ecqv::can

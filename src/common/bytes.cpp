@@ -1,0 +1,73 @@
+#include "common/bytes.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ecqv {
+
+Bytes& append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+  return dst;
+}
+
+Bytes concat(std::initializer_list<ByteView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+Bytes bytes_of(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  return acc == 0;
+}
+
+void xor_into(ByteSpan dst, ByteView src) {
+  if (dst.size() != src.size()) throw std::invalid_argument("xor_into: size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+void store_be16(ByteSpan out, std::uint16_t v) {
+  if (out.size() < 2) throw std::invalid_argument("store_be16: need 2 bytes");
+  out[0] = static_cast<std::uint8_t>(v >> 8);
+  out[1] = static_cast<std::uint8_t>(v);
+}
+
+void store_be32(ByteSpan out, std::uint32_t v) {
+  if (out.size() < 4) throw std::invalid_argument("store_be32: need 4 bytes");
+  for (int i = 0; i < 4; ++i) out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
+}
+
+void store_be64(ByteSpan out, std::uint64_t v) {
+  if (out.size() < 8) throw std::invalid_argument("store_be64: need 8 bytes");
+  for (int i = 0; i < 8; ++i) out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+}
+
+std::uint16_t load_be16(ByteView in) {
+  if (in.size() < 2) throw std::invalid_argument("load_be16: need 2 bytes");
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(in[0]) << 8) | in[1]);
+}
+
+std::uint32_t load_be32(ByteView in) {
+  if (in.size() < 4) throw std::invalid_argument("load_be32: need 4 bytes");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | in[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t load_be64(ByteView in) {
+  if (in.size() < 8) throw std::invalid_argument("load_be64: need 8 bytes");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace ecqv

@@ -1,0 +1,48 @@
+#include "common/hex.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace ecqv {
+
+namespace {
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int n = nibble(c);
+    if (n < 0) throw std::invalid_argument("from_hex: invalid character");
+    if (hi < 0) {
+      hi = n;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | n));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) throw std::invalid_argument("from_hex: odd number of digits");
+  return out;
+}
+
+}  // namespace ecqv

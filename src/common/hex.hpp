@@ -1,0 +1,18 @@
+// Hexadecimal encoding/decoding for test vectors, logging and certificates.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace ecqv {
+
+/// Lower-case hex encoding of a byte view.
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string (case-insensitive, optional "0x" prefix, embedded
+/// whitespace ignored). Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace ecqv

@@ -1,0 +1,60 @@
+#include "common/metrics.hpp"
+
+#include "common/result.hpp"
+
+namespace ecqv {
+
+namespace {
+thread_local CountScope* g_active = nullptr;
+}  // namespace
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::kEcMulBase: return "ec_mul_base";
+    case Op::kEcMulVar: return "ec_mul_var";
+    case Op::kEcMulDual: return "ec_mul_dual";
+    case Op::kEcAdd: return "ec_add";
+    case Op::kModInv: return "mod_inv";
+    case Op::kSha256Block: return "sha256_block";
+    case Op::kAesBlock: return "aes_block";
+    case Op::kHmac: return "hmac";
+    case Op::kCmac: return "cmac";
+    case Op::kDrbgByte: return "drbg_byte";
+    case Op::kCount: break;
+  }
+  return "?";
+}
+
+OpCounts& OpCounts::operator+=(const OpCounts& other) {
+  for (std::size_t i = 0; i < kOpCount; ++i) counts[i] += other.counts[i];
+  return *this;
+}
+
+void count_op(Op op, std::uint64_t n) {
+  // Only the innermost scope is bumped live; totals propagate outward when
+  // scopes unwind, so nesting stays O(1) per count_op call.
+  if (g_active != nullptr) g_active->counts_[op] += n;
+}
+
+CountScope::CountScope() : parent_(g_active) { g_active = this; }
+
+CountScope::~CountScope() {
+  g_active = parent_;
+  if (parent_ != nullptr) parent_->counts_ += counts_;
+}
+
+const char* error_name(Error e) {
+  switch (e) {
+    case Error::kOk: return "ok";
+    case Error::kDecodeFailed: return "decode_failed";
+    case Error::kInvalidPoint: return "invalid_point";
+    case Error::kInvalidSignature: return "invalid_signature";
+    case Error::kAuthenticationFailed: return "authentication_failed";
+    case Error::kBadState: return "bad_state";
+    case Error::kBadLength: return "bad_length";
+    case Error::kInternal: return "internal";
+  }
+  return "?";
+}
+
+}  // namespace ecqv

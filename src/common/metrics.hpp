@@ -1,0 +1,75 @@
+// Primitive-operation accounting.
+//
+// The embedded device cost model (src/sim) predicts per-device execution
+// times as dot(primitive counts, per-device primitive costs). Counts are
+// collected from *real* executions of the crypto code: every primitive bumps
+// the thread-local counter when a CountScope is active. This keeps the model
+// honest — the counts can never drift from what the implementation actually
+// computes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ecqv {
+
+/// Primitive operation classes priced by the device model. The granularity
+/// matches what dominates on the paper's microcontrollers: EC scalar
+/// multiplications dwarf everything, then hashing/AES block work, then RNG.
+enum class Op : std::uint8_t {
+  kEcMulBase,   // scalar * G (known base point)
+  kEcMulVar,    // scalar * P (arbitrary point)
+  kEcMulDual,   // u1*G + u2*P via Straus (ECDSA verify, ECQV extract)
+  kEcAdd,       // standalone point addition
+  kModInv,      // modular inversion (affine conversion, ECDSA)
+  kSha256Block, // one SHA-256 compression
+  kAesBlock,    // one AES-128 block (any mode)
+  kHmac,        // one HMAC invocation (fixed small input)
+  kCmac,        // one AES-CMAC invocation
+  kDrbgByte,    // one byte of DRBG output
+  kCount,
+};
+
+inline constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kCount);
+
+/// Short mnemonic for reports ("ec_mul_base", ...).
+std::string_view op_name(Op op);
+
+/// A vector of per-primitive counts. Value type: freely copyable.
+struct OpCounts {
+  std::array<std::uint64_t, kOpCount> counts{};
+
+  std::uint64_t& operator[](Op op) { return counts[static_cast<std::size_t>(op)]; }
+  std::uint64_t operator[](Op op) const { return counts[static_cast<std::size_t>(op)]; }
+
+  OpCounts& operator+=(const OpCounts& other);
+  friend OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+  bool operator==(const OpCounts&) const = default;
+};
+
+/// Bumps the active thread-local counter (no-op when none is active).
+/// Called from the crypto primitives themselves.
+void count_op(Op op, std::uint64_t n = 1);
+
+/// RAII scope that makes a fresh counter active on this thread. Scopes nest;
+/// inner scopes forward their tallies to the enclosing scope on destruction
+/// so an outer "whole protocol" scope sees everything.
+class CountScope {
+ public:
+  CountScope();
+  ~CountScope();
+  CountScope(const CountScope&) = delete;
+  CountScope& operator=(const CountScope&) = delete;
+
+  /// Counts accumulated so far inside this scope.
+  [[nodiscard]] const OpCounts& counts() const { return counts_; }
+
+ private:
+  friend void count_op(Op op, std::uint64_t n);
+
+  OpCounts counts_;
+  CountScope* parent_;
+};
+
+}  // namespace ecqv

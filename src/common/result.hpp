@@ -1,0 +1,71 @@
+// Lightweight Result<T> for recoverable protocol/crypto failures.
+//
+// Policy (see README "Error handling"): exceptions signal programming errors
+// (bad sizes handed to codecs, contract violations); Result signals expected
+// runtime outcomes an embedded caller must branch on (signature invalid,
+// certificate malformed, MAC mismatch). This mirrors E.2/E.3 of the C++ Core
+// Guidelines.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ecqv {
+
+enum class Error {
+  kOk = 0,
+  kDecodeFailed,         // malformed wire data / certificate
+  kInvalidPoint,         // point not on curve or at infinity where forbidden
+  kInvalidSignature,     // ECDSA verification failed
+  kAuthenticationFailed, // MAC / response verification failed
+  kBadState,             // protocol message arrived in the wrong state
+  kBadLength,            // field length mismatch
+  kInternal,             // invariant violation escaping as a value
+};
+
+/// Human-readable name for diagnostics and logs.
+const char* error_name(Error e);
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and errors keeps call sites terse,
+  // matching std::expected usage patterns.
+  Result(T value) : value_(std::move(value)), error_(Error::kOk) {}  // NOLINT
+  Result(Error error) : error_(error) {}                             // NOLINT
+
+  [[nodiscard]] bool ok() const { return error_ == Error::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] Error error() const { return error_; }
+
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+};
+
+/// Result<void> specialization-alike for operations with no payload.
+class Status {
+ public:
+  Status() : error_(Error::kOk) {}
+  Status(Error error) : error_(error) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return error_ == Error::kOk; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] Error error() const { return error_; }
+
+ private:
+  Error error_;
+};
+
+}  // namespace ecqv

@@ -1,0 +1,15 @@
+#include "common/wipe.hpp"
+
+namespace ecqv {
+
+void secure_wipe(ByteSpan data) {
+  volatile std::uint8_t* p = data.data();
+  for (std::size_t i = 0; i < data.size(); ++i) p[i] = 0;
+}
+
+void secure_wipe(Bytes& data) {
+  secure_wipe(ByteSpan(data));
+  data.clear();
+}
+
+}  // namespace ecqv

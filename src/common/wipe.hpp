@@ -1,0 +1,17 @@
+// Best-effort secret erasure. The paper's threat model (T3 node capture)
+// assumes device credentials can be extracted; wiping retired session keys
+// narrows the capture window to the live session.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace ecqv {
+
+/// Overwrites the view with zeros through a volatile pointer so the store is
+/// not elided by the optimizer.
+void secure_wipe(ByteSpan data);
+
+/// Convenience overload wiping an entire owned buffer, then clearing it.
+void secure_wipe(Bytes& data);
+
+}  // namespace ecqv

@@ -1,0 +1,143 @@
+#include "core/group.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "aes/modes.hpp"
+#include "hash/hkdf.hpp"
+#include "hash/hmac.hpp"
+
+namespace ecqv::proto {
+
+namespace group_detail {
+
+namespace {
+
+struct GroupSubkeys {
+  aes::Key enc{};
+  std::array<std::uint8_t, 32> mac{};
+};
+
+GroupSubkeys subkeys(const GroupKey& key) {
+  std::array<std::uint8_t, 4> epoch_be{};
+  store_be32(epoch_be, key.epoch);
+  const Bytes okm = hash::hkdf(epoch_be, key.key, bytes_of("ecqv-group-v1"), 16 + 32);
+  GroupSubkeys out;
+  std::copy_n(okm.begin(), out.enc.size(), out.enc.begin());
+  std::copy_n(okm.begin() + 16, out.mac.size(), out.mac.begin());
+  return out;
+}
+
+aes::Iv broadcast_iv(std::uint64_t sequence) {
+  aes::Iv iv{};
+  store_be64(ByteSpan(iv.data() + 8, 8), sequence);
+  iv[0] = 0x6b;  // group-broadcast lane marker
+  return iv;
+}
+
+}  // namespace
+
+Bytes encode_group_key(const GroupKey& key) {
+  Bytes out(4);
+  store_be32(out, key.epoch);
+  append(out, key.key);
+  return out;
+}
+
+Result<GroupKey> decode_group_key(ByteView data) {
+  if (data.size() != 4 + 32) return Error::kBadLength;
+  GroupKey key;
+  key.epoch = load_be32(data);
+  std::copy_n(data.begin() + 4, key.key.size(), key.key.begin());
+  return key;
+}
+
+Bytes seal_group(const GroupKey& key, std::uint64_t sequence, ByteView plaintext) {
+  const GroupSubkeys sub = subkeys(key);
+  const aes::Aes128 cipher(sub.enc);
+  const Bytes ciphertext = aes::ctr_crypt(cipher, broadcast_iv(sequence), plaintext);
+  Bytes record(4 + 8);
+  store_be32(ByteSpan(record.data(), 4), key.epoch);
+  store_be64(ByteSpan(record.data() + 4, 8), sequence);
+  const hash::Digest mac =
+      hash::hmac_sha256(sub.mac, {ByteView(record.data(), 12), ByteView(ciphertext)});
+  append(record, ciphertext);
+  append(record, mac);
+  return record;
+}
+
+Result<Bytes> open_group(const GroupKey& key, ByteView record) {
+  if (record.size() < kBroadcastOverhead) return Error::kBadLength;
+  const std::uint32_t epoch = load_be32(record.subspan(0, 4));
+  if (epoch != key.epoch) return Error::kBadState;  // stale or future epoch
+  const std::uint64_t sequence = load_be64(record.subspan(4, 8));
+  const ByteView ciphertext = record.subspan(12, record.size() - kBroadcastOverhead);
+  const ByteView mac = record.subspan(record.size() - 32);
+  const GroupSubkeys sub = subkeys(key);
+  const hash::Digest expected =
+      hash::hmac_sha256(sub.mac, {record.subspan(0, 12), ciphertext});
+  if (!ct_equal(mac, expected)) return Error::kAuthenticationFailed;
+  const aes::Aes128 cipher(sub.enc);
+  return aes::ctr_crypt(cipher, broadcast_iv(sequence), ciphertext);
+}
+
+}  // namespace group_detail
+
+// ------------------------------------------------------------------- leader
+
+GroupLeader::GroupLeader(rng::Rng& rng) : rng_(rng) {
+  key_.epoch = 0;
+  rng_.fill(key_.key);
+}
+
+void GroupLeader::rotate_and_stage() {
+  ++key_.epoch;
+  rng_.fill(key_.key);
+  broadcast_seq_ = 0;
+  pending_updates_.clear();
+  const Bytes record_plain = group_detail::encode_group_key(key_);
+  for (auto& [id, channel] : members_) {
+    pending_updates_.emplace_back(id, channel.seal(record_plain));
+  }
+}
+
+void GroupLeader::admit(const cert::DeviceId& member, const kdf::SessionKeys& pairwise) {
+  members_.erase(member);  // re-admission replaces the channel
+  members_.emplace(member, SecureChannel(pairwise, Role::kInitiator));
+  rotate_and_stage();
+}
+
+void GroupLeader::evict(const cert::DeviceId& member) {
+  members_.erase(member);
+  rotate_and_stage();
+}
+
+std::vector<std::pair<cert::DeviceId, Bytes>> GroupLeader::take_pending_updates() {
+  return std::exchange(pending_updates_, {});
+}
+
+Bytes GroupLeader::seal_broadcast(ByteView plaintext) {
+  return group_detail::seal_group(key_, broadcast_seq_++, plaintext);
+}
+
+// ------------------------------------------------------------------- member
+
+GroupMember::GroupMember(const kdf::SessionKeys& pairwise)
+    : channel_(pairwise, Role::kResponder) {}
+
+Status GroupMember::accept_key_record(ByteView record) {
+  auto plain = channel_.open(record);
+  if (!plain) return plain.error();
+  auto key = group_detail::decode_group_key(plain.value());
+  if (!key) return key.error();
+  if (key_.has_value() && key->epoch <= key_->epoch) return Error::kBadState;  // replay
+  key_ = key.value();
+  return {};
+}
+
+Result<Bytes> GroupMember::open_broadcast(ByteView record) const {
+  if (!key_.has_value()) return Error::kBadState;
+  return group_detail::open_group(*key_, record);
+}
+
+}  // namespace ecqv::proto

@@ -1,0 +1,105 @@
+// Authenticated group sessions over pairwise STS channels.
+//
+// The paper's related work (Puellen et al. [8]) establishes authenticated
+// *group* keys for in-vehicle networks from implicit certificates; the
+// paper itself stops at two-party sessions. This extension composes the
+// two: a group leader (e.g. the gateway) runs the paper's STS-ECQV
+// handshake with each member, then distributes epoch group keys over the
+// established pairwise secure channels.
+//
+// Properties inherited from the substrate:
+//  * membership is CA-rooted — each pairwise handshake authenticated the
+//    member's ECQV certificate before any group key flows;
+//  * group-key transport enjoys the pairwise sessions' forward secrecy:
+//    recording the distribution and later stealing long-term keys reveals
+//    nothing (T1);
+//  * epoch discipline: every membership change rotates the group key, so
+//    departed members cannot read post-departure traffic and joiners
+//    cannot read pre-join traffic (epoch-granular group secrecy).
+//
+// Division of labour: the *caller* runs the STS handshakes (it owns the
+// transports); the leader consumes the resulting pairwise session keys.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/secure_channel.hpp"
+#include "ecqv/certificate.hpp"
+#include "rng/rng.hpp"
+
+namespace ecqv::proto {
+
+/// A distributed group key for one epoch.
+struct GroupKey {
+  std::uint32_t epoch = 0;
+  std::array<std::uint8_t, 32> key{};
+  bool operator==(const GroupKey&) const = default;
+};
+
+class GroupLeader {
+ public:
+  explicit GroupLeader(rng::Rng& rng);
+
+  /// Admits a member whose pairwise STS session keys are `pairwise`.
+  /// Rotates the group key (join-rekey) and stages sealed key records for
+  /// every member including the new one.
+  void admit(const cert::DeviceId& member, const kdf::SessionKeys& pairwise);
+
+  /// Removes a member, rotates the key and stages records for the rest.
+  void evict(const cert::DeviceId& member);
+
+  /// Sealed key-update records staged by the last admit/evict, one per
+  /// current member, in member order. Consumed on read.
+  std::vector<std::pair<cert::DeviceId, Bytes>> take_pending_updates();
+
+  [[nodiscard]] const GroupKey& current_key() const { return key_; }
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+
+  /// Seals a broadcast under the current group key.
+  [[nodiscard]] Bytes seal_broadcast(ByteView plaintext);
+
+ private:
+  void rotate_and_stage();
+
+  rng::Rng& rng_;
+  GroupKey key_;
+  std::uint64_t broadcast_seq_ = 0;
+  std::map<cert::DeviceId, SecureChannel> members_;  // leader->member lanes
+  std::vector<std::pair<cert::DeviceId, Bytes>> pending_updates_;
+};
+
+class GroupMember {
+ public:
+  /// `pairwise` are this member's session keys from its STS handshake with
+  /// the leader.
+  explicit GroupMember(const kdf::SessionKeys& pairwise);
+
+  /// Processes a sealed group-key record. Enforces epoch monotonicity —
+  /// replaying an older epoch's record is rejected.
+  Status accept_key_record(ByteView record);
+
+  [[nodiscard]] const std::optional<GroupKey>& group_key() const { return key_; }
+
+  /// Opens a leader broadcast under the current group key.
+  [[nodiscard]] Result<Bytes> open_broadcast(ByteView record) const;
+
+ private:
+  SecureChannel channel_;  // receive lane of the pairwise session
+  std::optional<GroupKey> key_;
+};
+
+/// Broadcast framing shared by both sides:
+///   epoch(4) || seq(8) || AES-CTR ciphertext || HMAC-SHA256(32)
+/// keyed from the group key (enc/MAC subkeys via HKDF).
+namespace group_detail {
+inline constexpr std::size_t kBroadcastOverhead = 4 + 8 + 32;
+Bytes seal_group(const GroupKey& key, std::uint64_t sequence, ByteView plaintext);
+Result<Bytes> open_group(const GroupKey& key, ByteView record);
+/// Key-record plaintext codec: epoch(4) || key(32).
+Bytes encode_group_key(const GroupKey& key);
+Result<GroupKey> decode_group_key(ByteView data);
+}  // namespace group_detail
+
+}  // namespace ecqv::proto

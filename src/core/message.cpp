@@ -1,0 +1,11 @@
+#include "core/message.hpp"
+
+namespace ecqv::proto {
+
+std::size_t transcript_bytes(const Transcript& t) {
+  std::size_t total = 0;
+  for (const auto& m : t) total += m.size();
+  return total;
+}
+
+}  // namespace ecqv::proto

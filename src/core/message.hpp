@@ -1,0 +1,40 @@
+// Protocol messages and transcripts.
+//
+// A Message is one application-level protocol transmission (one row of the
+// paper's Table II: "A1", "B1", ...). The payload holds exactly the
+// protocol-affiliated bytes the paper counts — framing added by lower
+// layers (CAN-FD / ISO-TP, Fig. 6) is accounted separately by src/canfd.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ecqv/certificate.hpp"
+
+namespace ecqv::proto {
+
+/// Which endpoint emitted the message.
+enum class Role : std::uint8_t { kInitiator, kResponder };
+
+inline constexpr std::string_view role_name(Role r) {
+  return r == Role::kInitiator ? "A" : "B";
+}
+
+struct Message {
+  Role sender = Role::kInitiator;
+  /// Step label as used in Table II ("A1", "B2", ...).
+  std::string step;
+  /// Application-level payload (the counted bytes).
+  Bytes payload;
+
+  [[nodiscard]] std::size_t size() const { return payload.size(); }
+};
+
+/// Ordered record of every message exchanged in one handshake.
+using Transcript = std::vector<Message>;
+
+/// Sum of payload sizes (the paper's "Total ... B" row).
+std::size_t transcript_bytes(const Transcript& t);
+
+}  // namespace ecqv::proto

@@ -1,0 +1,7 @@
+#include "core/party.hpp"
+
+namespace ecqv::proto {
+
+// Party is header-only apart from anchoring the vtable here.
+
+}  // namespace ecqv::proto

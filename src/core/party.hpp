@@ -1,0 +1,79 @@
+// Protocol party: one endpoint's state machine for one handshake.
+//
+// Every concrete protocol (STS, S-ECDSA, SCIANC, PORAMB) implements this
+// interface for both roles. The driver moves messages between two parties
+// until both report `established()`.
+//
+// Parties also record *operation segments*: for each processing step, the
+// primitive-operation counts measured by common/metrics.hpp plus the
+// paper's operation label (Op1–Op4 for STS). The device cost model (src/sim)
+// prices these segments to regenerate the paper's Table I / Fig. 3 / Fig. 7,
+// and the Opt I/II scheduler overlaps them per eqs. (6)–(8).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/result.hpp"
+#include "core/message.hpp"
+#include "kdf/session_keys.hpp"
+
+namespace ecqv::proto {
+
+/// One contiguous chunk of local computation, tagged with the paper's
+/// operation label. `trigger` names the message whose arrival started the
+/// segment ("" for the initiator's opening computation).
+struct OpSegment {
+  std::string label;    // e.g. "Op1", "Op2", "Op3", "Op4", "KD", "Fin"
+  std::string trigger;  // step id of the message that triggered it
+  OpCounts counts;
+};
+
+class Party {
+ public:
+  virtual ~Party() = default;
+
+  /// Initiator entry point: produce the first message. Responders return
+  /// std::nullopt.
+  virtual std::optional<Message> start() = 0;
+
+  /// Feed one incoming message; produce the reply (if any).
+  /// Errors abort the handshake (the driver surfaces them).
+  virtual Result<std::optional<Message>> on_message(const Message& incoming) = 0;
+
+  /// True once the session keys are established *and* the peer is
+  /// authenticated (for protocols with a final ack, after that ack).
+  [[nodiscard]] virtual bool established() const = 0;
+
+  /// The derived session keys; only meaningful once established().
+  [[nodiscard]] virtual const kdf::SessionKeys& session_keys() const = 0;
+
+  /// Authenticated peer identity; only meaningful once established().
+  [[nodiscard]] virtual const cert::DeviceId& peer_id() const = 0;
+
+  /// Recorded computation segments, in execution order.
+  [[nodiscard]] const std::vector<OpSegment>& segments() const { return segments_; }
+
+ protected:
+  /// Runs `body` inside a counting scope and records the segment.
+  template <typename F>
+  auto record_segment(std::string label, std::string trigger, F&& body) {
+    CountScope scope;
+    if constexpr (std::is_void_v<decltype(body())>) {
+      body();
+      segments_.push_back(OpSegment{std::move(label), std::move(trigger), scope.counts()});
+    } else {
+      auto result = body();
+      segments_.push_back(OpSegment{std::move(label), std::move(trigger), scope.counts()});
+      return result;
+    }
+  }
+
+  std::vector<OpSegment> segments_;
+};
+
+}  // namespace ecqv::proto

@@ -1,0 +1,35 @@
+#include "core/protocol_ids.hpp"
+
+namespace ecqv::proto {
+
+std::string_view protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kSEcdsa: return "S-ECDSA";
+    case ProtocolKind::kSEcdsaExt: return "S-ECDSA (ext.)";
+    case ProtocolKind::kSts: return "STS";
+    case ProtocolKind::kStsOptI: return "STS (opt. I)";
+    case ProtocolKind::kStsOptII: return "STS (opt. II)";
+    case ProtocolKind::kScianc: return "SCIANC";
+    case ProtocolKind::kPoramb: return "PORAMB";
+  }
+  return "?";
+}
+
+bool is_dynamic_kd(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kSts:
+    case ProtocolKind::kStsOptI:
+    case ProtocolKind::kStsOptII: return true;
+    default: return false;
+  }
+}
+
+ProtocolKind wire_base(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kStsOptI:
+    case ProtocolKind::kStsOptII: return ProtocolKind::kSts;
+    default: return kind;
+  }
+}
+
+}  // namespace ecqv::proto

@@ -1,0 +1,31 @@
+// Identifiers for the key-derivation protocols compared in the paper.
+#pragma once
+
+#include <string_view>
+
+namespace ecqv::proto {
+
+/// The seven protocol variants of Table I (four base protocols; the
+/// S-ECDSA extension and the two STS optimizations are variants).
+enum class ProtocolKind {
+  kSEcdsa,     // static ECDSA KD, Basic et al. [5]
+  kSEcdsaExt,  // + authenticated finished messages (Porambage-style acks)
+  kSts,        // this paper: STS over ECQV (dynamic KD)
+  kStsOptI,    // STS with Op2 overlapped across devices (paper §IV-C)
+  kStsOptII,   // STS with Op2 and Op3 overlapped
+  kScianc,     // Sciancalepore et al. [4]
+  kPoramb,     // Porambage et al. [3]
+};
+
+/// Paper row label ("S-ECDSA", "STS (opt. II)", ...).
+std::string_view protocol_name(ProtocolKind kind);
+
+/// True for the one dynamic key derivation protocol family (STS): a fresh
+/// session secret per communication session, i.e. forward secrecy.
+bool is_dynamic_kd(ProtocolKind kind);
+
+/// The wire-identical base protocol (opt variants share STS's messages;
+/// ext shares S-ECDSA's plus the finished messages).
+ProtocolKind wire_base(ProtocolKind kind);
+
+}  // namespace ecqv::proto

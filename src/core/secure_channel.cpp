@@ -1,0 +1,60 @@
+#include "core/secure_channel.hpp"
+
+#include "aes/modes.hpp"
+#include "hash/hmac.hpp"
+
+namespace ecqv::proto {
+
+namespace {
+
+aes::Iv record_iv(const kdf::SessionKeys& keys, Role sender, std::uint64_t seq) {
+  aes::Iv iv = keys.iv_seed;
+  iv[1] ^= sender == Role::kInitiator ? 0x0A : 0x0B;
+  // Fold the sequence number into the low half so every record gets a
+  // distinct counter prefix; CTR's own 128-bit increment spans the rest.
+  std::array<std::uint8_t, 8> seq_be{};
+  store_be64(seq_be, seq);
+  for (std::size_t i = 0; i < 8; ++i) iv[8 + i] ^= seq_be[i];
+  return iv;
+}
+
+hash::Digest record_mac(const kdf::SessionKeys& keys, Role sender, std::uint64_t seq,
+                        ByteView ciphertext) {
+  std::array<std::uint8_t, 8> seq_be{};
+  store_be64(seq_be, seq);
+  const std::uint8_t dir = sender == Role::kInitiator ? 0x00 : 0x01;
+  return hash::hmac_sha256(keys.mac_key, {ByteView(seq_be), ByteView(&dir, 1), ciphertext});
+}
+
+}  // namespace
+
+SecureChannel::SecureChannel(const kdf::SessionKeys& keys, Role role)
+    : keys_(keys), role_(role) {}
+
+Bytes SecureChannel::seal(ByteView plaintext) {
+  const std::uint64_t seq = send_seq_++;
+  const aes::Aes128 cipher(keys_.enc_key);
+  const Bytes ciphertext = aes::ctr_crypt(cipher, record_iv(keys_, role_, seq), plaintext);
+  const hash::Digest mac = record_mac(keys_, role_, seq, ciphertext);
+  Bytes record(8);
+  store_be64(record, seq);
+  append(record, ciphertext);
+  append(record, mac);
+  return record;
+}
+
+Result<Bytes> SecureChannel::open(ByteView record) {
+  if (record.size() < kOverhead) return Error::kBadLength;
+  const std::uint64_t seq = load_be64(record.subspan(0, 8));
+  if (seq != recv_seq_) return Error::kAuthenticationFailed;  // replay/reorder
+  const ByteView ciphertext = record.subspan(8, record.size() - kOverhead);
+  const ByteView mac = record.subspan(record.size() - 32);
+  const Role peer = role_ == Role::kInitiator ? Role::kResponder : Role::kInitiator;
+  const hash::Digest expected = record_mac(keys_, peer, seq, ciphertext);
+  if (!ct_equal(mac, expected)) return Error::kAuthenticationFailed;
+  ++recv_seq_;
+  const aes::Aes128 cipher(keys_.enc_key);
+  return aes::ctr_crypt(cipher, record_iv(keys_, peer, seq), ciphertext);
+}
+
+}  // namespace ecqv::proto

@@ -1,0 +1,40 @@
+// Post-handshake secure channel: encrypt-then-MAC record protection under
+// the established session keys (paper Fig. 1 stage 3, "Encrypted Session").
+//
+// Record format: seq(8, big-endian) || AES-128-CTR ciphertext || HMAC(32)
+// where the MAC covers seq || direction || ciphertext. Sequence numbers are
+// per-direction and reject replays/reordering.
+#pragma once
+
+#include "common/result.hpp"
+#include "core/message.hpp"
+#include "kdf/session_keys.hpp"
+
+namespace ecqv::proto {
+
+class SecureChannel {
+ public:
+  /// `role` is this endpoint's handshake role; it selects the send/receive
+  /// IV lanes so the two directions never share keystream.
+  SecureChannel(const kdf::SessionKeys& keys, Role role);
+
+  /// Seals a plaintext into a record (adds 40 bytes of overhead).
+  Bytes seal(ByteView plaintext);
+
+  /// Opens a record: authenticates, checks the expected sequence number,
+  /// decrypts. kAuthenticationFailed on MAC mismatch or replay.
+  Result<Bytes> open(ByteView record);
+
+  [[nodiscard]] std::uint64_t sent() const { return send_seq_; }
+  [[nodiscard]] std::uint64_t received() const { return recv_seq_; }
+
+  static constexpr std::size_t kOverhead = 8 + 32;
+
+ private:
+  kdf::SessionKeys keys_;
+  Role role_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+};
+
+}  // namespace ecqv::proto

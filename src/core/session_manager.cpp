@@ -1,0 +1,49 @@
+#include "core/session_manager.hpp"
+
+namespace ecqv::proto {
+
+void SessionManager::install(const cert::DeviceId& peer, const kdf::SessionKeys& keys,
+                             std::uint64_t now) {
+  retire(peer);
+  sessions_.emplace(peer, Session{keys, SecureChannel(keys, role_), now, 0});
+}
+
+bool SessionManager::session_usable(const Session& session, std::uint64_t now) const {
+  if (session.records >= policy_.max_records) return false;
+  if (now < session.established_at) return false;  // clock went backwards
+  if (policy_.max_age_seconds != UINT64_MAX &&
+      now - session.established_at > policy_.max_age_seconds)
+    return false;
+  return true;
+}
+
+bool SessionManager::needs_rekey(const cert::DeviceId& peer, std::uint64_t now) const {
+  const auto it = sessions_.find(peer);
+  return it == sessions_.end() || !session_usable(it->second, now);
+}
+
+Result<Bytes> SessionManager::seal(const cert::DeviceId& peer, ByteView plaintext,
+                                   std::uint64_t now) {
+  const auto it = sessions_.find(peer);
+  if (it == sessions_.end() || !session_usable(it->second, now)) return Error::kBadState;
+  ++it->second.records;
+  return it->second.channel.seal(plaintext);
+}
+
+Result<Bytes> SessionManager::open(const cert::DeviceId& peer, ByteView record,
+                                   std::uint64_t now) {
+  const auto it = sessions_.find(peer);
+  if (it == sessions_.end() || !session_usable(it->second, now)) return Error::kBadState;
+  auto plaintext = it->second.channel.open(record);
+  if (plaintext.ok()) ++it->second.records;
+  return plaintext;
+}
+
+void SessionManager::retire(const cert::DeviceId& peer) {
+  const auto it = sessions_.find(peer);
+  if (it == sessions_.end()) return;
+  it->second.keys.wipe();
+  sessions_.erase(it);
+}
+
+}  // namespace ecqv::proto

@@ -1,0 +1,69 @@
+// Communication-session lifecycle management (paper §II-A).
+//
+// The paper's core complaint about SKD deployments is that "due to the
+// limitations in the system's architecture, constrained nature of the
+// devices, or neglect from the developers" the same session key stays in
+// use far longer than intended. This manager makes the intended behaviour
+// structural: every peer session carries a rekey policy (record-count and
+// age budgets), the secure channel refuses to seal once the budget is
+// spent, and retiring a session wipes its keys (shrinking the T3 node-
+// capture window to the live session).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/secure_channel.hpp"
+#include "ecqv/certificate.hpp"
+
+namespace ecqv::proto {
+
+struct RekeyPolicy {
+  std::uint64_t max_records = 1024;     // seal+open budget per session
+  std::uint64_t max_age_seconds = 600;  // communication session lifetime
+
+  [[nodiscard]] static RekeyPolicy unlimited() {
+    return RekeyPolicy{UINT64_MAX, UINT64_MAX};
+  }
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(Role role, RekeyPolicy policy = {})
+      : role_(role), policy_(policy) {}
+
+  /// Installs freshly negotiated keys for `peer`, replacing (and wiping)
+  /// any previous session.
+  void install(const cert::DeviceId& peer, const kdf::SessionKeys& keys, std::uint64_t now);
+
+  /// True when no usable session exists (none yet, expired, or budget
+  /// exhausted) and the caller must run a new key derivation handshake.
+  [[nodiscard]] bool needs_rekey(const cert::DeviceId& peer, std::uint64_t now) const;
+
+  /// Seals/opens application data for `peer`. Fails with kBadState when the
+  /// session is missing or its budget is exhausted — by construction the
+  /// stale-key condition the paper warns about cannot be reached silently.
+  Result<Bytes> seal(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
+  Result<Bytes> open(const cert::DeviceId& peer, ByteView record, std::uint64_t now);
+
+  /// Retires a session and wipes its key material.
+  void retire(const cert::DeviceId& peer);
+
+  [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    kdf::SessionKeys keys;
+    SecureChannel channel;
+    std::uint64_t established_at = 0;
+    std::uint64_t records = 0;
+  };
+
+  [[nodiscard]] bool session_usable(const Session& session, std::uint64_t now) const;
+
+  Role role_;
+  RekeyPolicy policy_;
+  std::map<cert::DeviceId, Session> sessions_;
+};
+
+}  // namespace ecqv::proto

@@ -1,0 +1,363 @@
+#include <algorithm>
+
+#include "core/sts.hpp"
+
+#include "aes/modes.hpp"
+#include "ec/encoding.hpp"
+#include "ecdsa/ecdsa.hpp"
+#include "ecqv/scheme.hpp"
+#include "hash/hmac.hpp"
+
+namespace ecqv::proto {
+
+namespace sts_detail {
+
+Bytes kd_salt(const cert::DeviceId& initiator, const cert::DeviceId& responder) {
+  return concat({ByteView(initiator.bytes), ByteView(responder.bytes)});
+}
+
+Bytes crypt_resp(const kdf::SessionKeys& keys, Role sender, ByteView resp) {
+  const aes::Aes128 cipher(keys.enc_key);
+  aes::Iv iv = keys.iv_seed;
+  iv[0] ^= sender == Role::kInitiator ? 0xA1 : 0xB1;
+  return aes::ctr_crypt(cipher, iv, resp);
+}
+
+Bytes resp_sign_input(ByteView own_xg, ByteView peer_xg) {
+  return concat({own_xg, peer_xg});
+}
+
+std::size_t resp_size(StsAuthMode mode) {
+  return mode == StsAuthMode::kEncryptedSignature ? sig::kSignatureSize
+                                                  : sig::kSignatureSize + 32;
+}
+
+namespace {
+hash::Digest resp_mac(const kdf::SessionKeys& keys, Role sender, ByteView signature_bytes) {
+  const std::uint8_t role_byte = sender == Role::kInitiator ? 0xA2 : 0xB2;
+  return hash::hmac_sha256(keys.mac_key, {ByteView(&role_byte, 1), signature_bytes});
+}
+}  // namespace
+
+Bytes make_resp(const kdf::SessionKeys& keys, Role sender, ByteView signature_bytes,
+                StsAuthMode mode) {
+  if (mode == StsAuthMode::kEncryptedSignature)
+    return crypt_resp(keys, sender, signature_bytes);
+  return concat({signature_bytes, ByteView(resp_mac(keys, sender, signature_bytes))});
+}
+
+Result<Bytes> open_resp(const kdf::SessionKeys& keys, Role sender, ByteView resp,
+                        StsAuthMode mode) {
+  if (resp.size() != resp_size(mode)) return Error::kBadLength;
+  if (mode == StsAuthMode::kEncryptedSignature) return crypt_resp(keys, sender, resp);
+  const ByteView signature_bytes = resp.subspan(0, sig::kSignatureSize);
+  const hash::Digest expected = resp_mac(keys, sender, signature_bytes);
+  if (!ct_equal(resp.subspan(sig::kSignatureSize), expected))
+    return Error::kAuthenticationFailed;
+  return Bytes(signature_bytes.begin(), signature_bytes.end());
+}
+
+}  // namespace sts_detail
+
+namespace {
+
+using sts_detail::kd_salt;
+using sts_detail::make_resp;
+using sts_detail::open_resp;
+using sts_detail::resp_sign_input;
+using sts_detail::resp_size;
+
+constexpr std::size_t kIdSize = cert::kDeviceIdSize;
+constexpr std::size_t kXgSize = ec::kRawXySize;
+constexpr std::size_t kCertSize = cert::kCertificateSize;
+
+kdf::SessionKeys derive_keys(const ec::AffinePoint& premaster, const cert::DeviceId& a,
+                             const cert::DeviceId& b) {
+  return kdf::derive_session_keys(premaster, kd_salt(a, b),
+                                  bytes_of(std::string(sts_detail::kKdfLabel)));
+}
+
+/// Validates a peer certificate: window, subject, usable curve point.
+Result<ec::AffinePoint> check_and_extract(const cert::Certificate& certificate,
+                                          const cert::DeviceId& claimed_subject,
+                                          const ec::AffinePoint& q_ca, const StsConfig& config) {
+  if (!(certificate.subject == claimed_subject)) return Error::kAuthenticationFailed;
+  if (config.check_cert_validity && !certificate.valid_at(config.now))
+    return Error::kAuthenticationFailed;
+  return cert::extract_public_key(certificate, q_ca);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- initiator
+
+StsInitiator::StsInitiator(const Credentials& creds, rng::Rng& rng, StsConfig config)
+    : creds_(creds), rng_(rng), config_(config) {}
+
+std::optional<Message> StsInitiator::start() {
+  // Op1: ephemeral point XG_A = X_A * G (paper eq. (2)).
+  record_segment("Op1", "", [&] {
+    xa_ = ec::Curve::p256().random_scalar(rng_);
+    xga_ = ec::encode_raw_xy(ec::Curve::p256().mul_base(xa_));
+  });
+  Message m;
+  m.sender = Role::kInitiator;
+  m.step = "A1";
+  if (config_.variant == StsVariant::kBaseline) {
+    m.payload = concat({ByteView(creds_.id.bytes), ByteView(xga_)});
+  } else {
+    // Opt. I/II: certificate rides along in the request so the responder
+    // can start its public-key derivation immediately (§IV-C).
+    m.payload =
+        concat({ByteView(creds_.id.bytes), ByteView(creds_.certificate.encode()), ByteView(xga_)});
+  }
+  state_ = State::kAwaitB1;
+  return m;
+}
+
+Result<std::optional<Message>> StsInitiator::on_message(const Message& incoming) {
+  if (state_ == State::kAwaitB1 && incoming.step == "B1") {
+    const std::size_t resp_bytes = resp_size(config_.auth_mode);
+    if (incoming.payload.size() != kIdSize + kCertSize + kXgSize + resp_bytes) {
+      state_ = State::kFailed;
+      return Error::kBadLength;
+    }
+    ByteView p(incoming.payload);
+    cert::DeviceId claimed_id;
+    std::copy_n(p.begin(), kIdSize, claimed_id.bytes.begin());
+    auto certificate = cert::Certificate::decode(p.subspan(kIdSize, kCertSize));
+    if (!certificate) {
+      state_ = State::kFailed;
+      return certificate.error();
+    }
+    const ByteView xgb_bytes = p.subspan(kIdSize + kCertSize, kXgSize);
+    const ByteView resp_b = p.subspan(kIdSize + kCertSize + kXgSize, resp_bytes);
+
+    // Op2: premaster + KS (eqs. (3),(4)).
+    Error failure = Error::kOk;
+    record_segment("Op2", "B1", [&] {
+      auto xgb_point = ec::decode_raw_xy(ec::Curve::p256(), xgb_bytes);
+      if (!xgb_point) {
+        failure = xgb_point.error();
+        return;
+      }
+      const ec::AffinePoint premaster = ec::Curve::p256().mul(xa_, xgb_point.value());
+      if (premaster.infinity) {
+        failure = Error::kInvalidPoint;
+        return;
+      }
+      keys_ = derive_keys(premaster, creds_.id, claimed_id);
+      xgb_ = Bytes(xgb_bytes.begin(), xgb_bytes.end());
+    });
+    if (failure != Error::kOk) {
+      state_ = State::kFailed;
+      return failure;
+    }
+
+    // Op4: decrypt + implicit public key derivation + verify — exactly
+    // Algorithm 2, which folds eq. (1) into verification.
+    record_segment("Op4", "B1", [&] {
+      auto extracted = check_and_extract(certificate.value(), claimed_id, creds_.ca_public, config_);
+      if (!extracted) {
+        failure = extracted.error();
+        return;
+      }
+      auto dsign = open_resp(keys_, Role::kResponder, resp_b, config_.auth_mode);
+      if (!dsign) {
+        failure = dsign.error();
+        return;
+      }
+      auto signature = sig::decode_signature(dsign.value());
+      if (!signature) {
+        failure = signature.error();
+        return;
+      }
+      const Bytes signed_data = resp_sign_input(xgb_, xga_);
+      if (!sig::verify(extracted.value(), signed_data, signature.value()))
+        failure = Error::kAuthenticationFailed;
+    });
+    if (failure != Error::kOk) {
+      state_ = State::kFailed;
+      return failure;
+    }
+
+    // Op3: own authentication response (Algorithm 1).
+    Message reply;
+    record_segment("Op3", "B1", [&] {
+      const sig::PrivateKey key(creds_.private_key);
+      const Bytes dsign = sig::encode_signature(key.sign(resp_sign_input(xga_, xgb_)));
+      const Bytes resp_a = make_resp(keys_, Role::kInitiator, dsign, config_.auth_mode);
+      reply.sender = Role::kInitiator;
+      reply.step = "A2";
+      reply.payload = config_.variant == StsVariant::kBaseline
+                          ? concat({ByteView(creds_.certificate.encode()), ByteView(resp_a)})
+                          : resp_a;
+    });
+    peer_id_ = claimed_id;
+    state_ = State::kAwaitAck;
+    return std::optional<Message>(std::move(reply));
+  }
+  if (state_ == State::kAwaitAck && incoming.step == "B2") {
+    if (incoming.payload.size() != 1 || incoming.payload[0] != 0x01) {
+      state_ = State::kFailed;
+      return Error::kDecodeFailed;
+    }
+    state_ = State::kEstablished;
+    return std::optional<Message>(std::nullopt);
+  }
+  state_ = State::kFailed;
+  return Error::kBadState;
+}
+
+// ---------------------------------------------------------------- responder
+
+StsResponder::StsResponder(const Credentials& creds, rng::Rng& rng, StsConfig config)
+    : creds_(creds), rng_(rng), config_(config) {}
+
+Result<std::optional<Message>> StsResponder::handle_a1(const Message& incoming) {
+  const bool with_cert = config_.variant != StsVariant::kBaseline;
+  const std::size_t expected = with_cert ? kIdSize + kCertSize + kXgSize : kIdSize + kXgSize;
+  if (incoming.payload.size() != expected) return Error::kBadLength;
+  ByteView p(incoming.payload);
+  cert::DeviceId claimed_id;
+  std::copy_n(p.begin(), kIdSize, claimed_id.bytes.begin());
+  std::optional<cert::Certificate> peer_cert;
+  ByteView xga_bytes;
+  if (with_cert) {
+    auto decoded = cert::Certificate::decode(p.subspan(kIdSize, kCertSize));
+    if (!decoded) return decoded.error();
+    peer_cert = decoded.value();
+    xga_bytes = p.subspan(kIdSize + kCertSize, kXgSize);
+  } else {
+    xga_bytes = p.subspan(kIdSize, kXgSize);
+  }
+
+  auto xga_point = ec::decode_raw_xy(ec::Curve::p256(), xga_bytes);
+  if (!xga_point) return xga_point.error();
+  xga_ = Bytes(xga_bytes.begin(), xga_bytes.end());
+
+  // Op1: own ephemeral point.
+  record_segment("Op1", "A1", [&] {
+    xb_ = ec::Curve::p256().random_scalar(rng_);
+    xgb_ = ec::encode_raw_xy(ec::Curve::p256().mul_base(xb_));
+  });
+
+  // Op2a: premaster + session keys (B can do this before seeing A's cert).
+  Error failure = Error::kOk;
+  record_segment("Op2a", "A1", [&] {
+    const ec::AffinePoint premaster = ec::Curve::p256().mul(xb_, xga_point.value());
+    if (premaster.infinity) {
+      failure = Error::kInvalidPoint;
+      return;
+    }
+    keys_ = derive_keys(premaster, claimed_id, creds_.id);
+  });
+  if (failure != Error::kOk) return failure;
+
+  // Opt. I/II: A's certificate arrived with the request, so Q_A derivation
+  // (Op2b) runs here — in the slot the scheduler can overlap (§IV-C).
+  if (with_cert) {
+    record_segment("Op2b", "A1", [&] {
+      auto extracted = check_and_extract(*peer_cert, claimed_id, creds_.ca_public, config_);
+      if (!extracted) {
+        failure = extracted.error();
+        return;
+      }
+      peer_public_ = extracted.value();
+      have_peer_public_ = true;
+    });
+    if (failure != Error::kOk) return failure;
+  }
+
+  // Op3: authentication response Resp_B (Algorithm 1).
+  Bytes resp_b;
+  record_segment("Op3", "A1", [&] {
+    const sig::PrivateKey key(creds_.private_key);
+    const Bytes dsign = sig::encode_signature(key.sign(resp_sign_input(xgb_, xga_)));
+    resp_b = make_resp(keys_, Role::kResponder, dsign, config_.auth_mode);
+  });
+
+  peer_id_ = claimed_id;
+  Message reply;
+  reply.sender = Role::kResponder;
+  reply.step = "B1";
+  reply.payload = concat({ByteView(creds_.id.bytes), ByteView(creds_.certificate.encode()),
+                          ByteView(xgb_), ByteView(resp_b)});
+  state_ = State::kAwaitA2;
+  return std::optional<Message>(std::move(reply));
+}
+
+Result<std::optional<Message>> StsResponder::handle_a2(const Message& incoming) {
+  const bool with_cert = config_.variant == StsVariant::kBaseline;
+  const std::size_t resp_bytes = resp_size(config_.auth_mode);
+  const std::size_t expected = with_cert ? kCertSize + resp_bytes : resp_bytes;
+  if (incoming.payload.size() != expected) return Error::kBadLength;
+  ByteView p(incoming.payload);
+
+  Error failure = Error::kOk;
+  if (with_cert) {
+    // Baseline: A's certificate only arrives now, so the implicit public
+    // key derivation runs inside verification (Algorithm 2) — "Op4a".
+    auto certificate = cert::Certificate::decode(p.subspan(0, kCertSize));
+    if (!certificate) return certificate.error();
+    record_segment("Op4a", "A2", [&] {
+      auto extracted = check_and_extract(certificate.value(), peer_id_, creds_.ca_public, config_);
+      if (!extracted) {
+        failure = extracted.error();
+        return;
+      }
+      peer_public_ = extracted.value();
+      have_peer_public_ = true;
+    });
+    if (failure != Error::kOk) {
+      state_ = State::kFailed;
+      return failure;
+    }
+    p = p.subspan(kCertSize);
+  }
+  if (!have_peer_public_) {
+    state_ = State::kFailed;
+    return Error::kBadState;
+  }
+
+  // Op4: decrypt + verify Resp_A (Algorithm 2).
+  record_segment("Op4", "A2", [&] {
+    auto dsign = open_resp(keys_, Role::kInitiator, p.subspan(0, resp_bytes), config_.auth_mode);
+    if (!dsign) {
+      failure = dsign.error();
+      return;
+    }
+    auto signature = sig::decode_signature(dsign.value());
+    if (!signature) {
+      failure = signature.error();
+      return;
+    }
+    const Bytes signed_data = resp_sign_input(xga_, xgb_);
+    if (!sig::verify(peer_public_, signed_data, signature.value()))
+      failure = Error::kAuthenticationFailed;
+  });
+  if (failure != Error::kOk) {
+    state_ = State::kFailed;
+    return failure;
+  }
+
+  Message ack;
+  ack.sender = Role::kResponder;
+  ack.step = "B2";
+  ack.payload = Bytes{0x01};
+  state_ = State::kEstablished;
+  return std::optional<Message>(std::move(ack));
+}
+
+Result<std::optional<Message>> StsResponder::on_message(const Message& incoming) {
+  if (state_ == State::kAwaitA1 && incoming.step == "A1") {
+    auto result = handle_a1(incoming);
+    if (!result) state_ = State::kFailed;
+    return result;
+  }
+  if (state_ == State::kAwaitA2 && incoming.step == "A2") return handle_a2(incoming);
+  state_ = State::kFailed;
+  return Error::kBadState;
+}
+
+}  // namespace ecqv::proto

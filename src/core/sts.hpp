@@ -1,0 +1,146 @@
+// Station-to-Station key derivation over ECQV implicit certificates —
+// the paper's contribution (§IV, Fig. 2, Algorithms 1 & 2).
+//
+//   ALICE                                   BOB
+//   Gen XG_A            --(ID_A, XG_A)-->
+//                                           Gen XG_B
+//                                           Derive key KS
+//                                           Authentication Resp_B
+//                       <--(ID_B, Cert_B, XG_B, Resp_B)--
+//   Derive pub. key Q_B
+//   Derive key KS
+//   Verify Resp_B
+//   Authentication Resp_A
+//                       --(Cert_A, Resp_A)-->
+//                                           Derive pub. key Q_A
+//                                           Verify Resp_A
+//                       <--(ACK)--
+//
+// with (paper eqs. (2)-(4)):
+//   XG_X = X * G,  X ∈R [1, n-1]                      (ephemeral points)
+//   KPM  = X_A * XG_B = X_B * XG_A                    (premaster)
+//   KS   = KDF(KPM, salt)
+//   Resp_X = Enc_KS(Sign_X(XG_X || XG_peer))          (Algorithm 1)
+// and verification via the implicit public key Q_X = Hn(Cert_X)*P_X + Q_CA
+// (Algorithm 2 / eq. (1)).
+//
+// Optimization variants (§IV-C): Opt. I and Opt. II move Cert_A into the
+// initial request (content order varies, transmitted bytes identical —
+// exactly as the paper states) so the responder can run its public-key
+// derivation, premaster computation and even its signature generation
+// while the initiator is still busy with its own Op2/Op3. The wire data is
+// the same 491 bytes; the win is scheduling, reproduced by sim/schedule.
+#pragma once
+
+#include "core/credentials.hpp"
+#include "core/party.hpp"
+#include "core/protocol_ids.hpp"
+#include "rng/rng.hpp"
+
+namespace ecqv::proto {
+
+enum class StsVariant : std::uint8_t { kBaseline, kOptI, kOptII };
+
+/// How the authentication response binds the signature to the session
+/// (Diffie, van Oorschot, Wiener 1992 offer both forms):
+///  * kEncryptedSignature — Resp = Enc_KS(sign(...)), 64 bytes. The paper's
+///    Algorithm 1 and the Table II sizes.
+///  * kMacSignature — Resp = sign(...) || HMAC_KS(sign(...)), 96 bytes.
+///    STS-MAC: avoids using the session key as an encryption key before
+///    the handshake completes, at +32 B per response. Provided as a
+///    library extension; both ends must agree on the mode.
+enum class StsAuthMode : std::uint8_t { kEncryptedSignature, kMacSignature };
+
+struct StsConfig {
+  std::uint64_t now = 0;            // unix time for certificate validity
+  bool check_cert_validity = true;  // disable only in tests
+  StsVariant variant = StsVariant::kBaseline;
+  StsAuthMode auth_mode = StsAuthMode::kEncryptedSignature;
+};
+
+class StsInitiator final : public Party {
+ public:
+  StsInitiator(const Credentials& creds, rng::Rng& rng, StsConfig config = {});
+
+  std::optional<Message> start() override;
+  Result<std::optional<Message>> on_message(const Message& incoming) override;
+  [[nodiscard]] bool established() const override { return state_ == State::kEstablished; }
+  [[nodiscard]] const kdf::SessionKeys& session_keys() const override { return keys_; }
+  [[nodiscard]] const cert::DeviceId& peer_id() const override { return peer_id_; }
+
+ private:
+  enum class State { kIdle, kAwaitB1, kAwaitAck, kEstablished, kFailed };
+
+  const Credentials& creds_;
+  rng::Rng& rng_;
+  StsConfig config_;
+  State state_ = State::kIdle;
+
+  bi::U256 xa_;               // ephemeral secret X_A
+  Bytes xga_;                 // XG_A, raw 64-byte encoding
+  Bytes xgb_;                 // XG_B as received
+  kdf::SessionKeys keys_;
+  cert::DeviceId peer_id_;
+};
+
+class StsResponder final : public Party {
+ public:
+  StsResponder(const Credentials& creds, rng::Rng& rng, StsConfig config = {});
+
+  std::optional<Message> start() override { return std::nullopt; }
+  Result<std::optional<Message>> on_message(const Message& incoming) override;
+  [[nodiscard]] bool established() const override { return state_ == State::kEstablished; }
+  [[nodiscard]] const kdf::SessionKeys& session_keys() const override { return keys_; }
+  [[nodiscard]] const cert::DeviceId& peer_id() const override { return peer_id_; }
+
+ private:
+  enum class State { kAwaitA1, kAwaitA2, kEstablished, kFailed };
+
+  Result<std::optional<Message>> handle_a1(const Message& incoming);
+  Result<std::optional<Message>> handle_a2(const Message& incoming);
+
+  const Credentials& creds_;
+  rng::Rng& rng_;
+  StsConfig config_;
+  State state_ = State::kAwaitA1;
+
+  bi::U256 xb_;
+  Bytes xgb_;
+  Bytes xga_;
+  ec::AffinePoint peer_public_;   // Q_A (opt variants derive it early)
+  bool have_peer_public_ = false;
+  kdf::SessionKeys keys_;
+  cert::DeviceId peer_id_;
+};
+
+/// Shared helpers (also used by the attack harness to build adversarial
+/// messages).
+namespace sts_detail {
+
+/// Session-key derivation salt: ID_A || ID_B.
+Bytes kd_salt(const cert::DeviceId& initiator, const cert::DeviceId& responder);
+
+/// Domain-separation label fed to the KDF.
+inline constexpr std::string_view kKdfLabel = "ecqv-sts-v1";
+
+/// Encrypts/decrypts a 64-byte Resp under the session keys; the IV is the
+/// session IV seed tweaked per direction so the two responses never share
+/// a keystream.
+Bytes crypt_resp(const kdf::SessionKeys& keys, Role sender, ByteView resp);
+
+/// Signature input per Algorithm 1: own XG first, peer's second.
+Bytes resp_sign_input(ByteView own_xg, ByteView peer_xg);
+
+/// Wire size of one authentication response under a mode (64 or 96).
+std::size_t resp_size(StsAuthMode mode);
+
+/// Builds / opens an authentication response in either mode. open_resp
+/// returns the raw 64-byte signature encoding on success.
+Bytes make_resp(const kdf::SessionKeys& keys, Role sender, ByteView signature_bytes,
+                StsAuthMode mode);
+Result<Bytes> open_resp(const kdf::SessionKeys& keys, Role sender, ByteView resp,
+                        StsAuthMode mode);
+
+}  // namespace sts_detail
+
+}  // namespace ecqv::proto

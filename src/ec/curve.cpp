@@ -1,0 +1,102 @@
+#include "ec/curve.hpp"
+
+#include "ec/jacobian.hpp"
+
+#include <stdexcept>
+
+#include "common/metrics.hpp"
+#include "hash/sha256.hpp"
+
+namespace ecqv::ec {
+
+namespace {
+
+// secp256r1 domain parameters (SEC 2 v2.0, §2.4.2).
+const char* kP = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+const char* kB = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+const char* kGx = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+const char* kGy = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+const char* kN = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+
+}  // namespace
+
+Curve::Curve()
+    : fp_(bi::from_hex256(kP)),
+      fn_(bi::from_hex256(kN)),
+      b_(bi::from_hex256(kB)),
+      g_{bi::from_hex256(kGx), bi::from_hex256(kGy), false} {
+  b_mont_ = fp_.to_mont(b_);
+  three_mont_ = fp_.to_mont(bi::U256(3));
+  if (!is_on_curve(g_)) throw std::logic_error("secp256r1: generator fails curve equation");
+}
+
+const Curve& Curve::p256() {
+  static const Curve curve;
+  return curve;
+}
+
+bool Curve::is_on_curve(const AffinePoint& pt) const {
+  if (pt.infinity) return true;
+  if (bi::cmp(pt.x, field_prime()) >= 0 || bi::cmp(pt.y, field_prime()) >= 0) return false;
+  const bi::U256 x = fp_.to_mont(pt.x);
+  const bi::U256 y = fp_.to_mont(pt.y);
+  // y^2 == x^3 - 3x + b
+  const bi::U256 lhs = fp_.sqr(y);
+  const bi::U256 x3 = fp_.mul(fp_.sqr(x), x);
+  const bi::U256 rhs = fp_.add(fp_.sub(x3, fp_.mul(three_mont_, x)), b_mont_);
+  return lhs == rhs;
+}
+
+AffinePoint Curve::add(const AffinePoint& a, const AffinePoint& b) const {
+  count_op(Op::kEcAdd);
+  const CurveOps ops(*this);
+  return ops.to_affine(ops.add(ops.to_jacobian(a), ops.to_jacobian(b)));
+}
+
+AffinePoint Curve::negate(const AffinePoint& a) const {
+  if (a.infinity) return a;
+  bi::U256 ny;
+  bi::sub(ny, field_prime(), a.y);
+  return AffinePoint{a.x, a.y.is_zero() ? a.y : ny, false};
+}
+
+AffinePoint Curve::mul_base(const bi::U256& k) const {
+  count_op(Op::kEcMulBase);
+  const CurveOps ops(*this);
+  return ops.to_affine(ops.ladder_mul(k, ops.to_jacobian(g_)));
+}
+
+AffinePoint Curve::mul(const bi::U256& k, const AffinePoint& p) const {
+  count_op(Op::kEcMulVar);
+  const CurveOps ops(*this);
+  return ops.to_affine(ops.ladder_mul(k, ops.to_jacobian(p)));
+}
+
+AffinePoint Curve::mul_vartime(const bi::U256& k, const AffinePoint& p) const {
+  count_op(Op::kEcMulVar);
+  const CurveOps ops(*this);
+  return ops.to_affine(ops.wnaf_mul(k, ops.to_jacobian(p)));
+}
+
+AffinePoint Curve::dual_mul(const bi::U256& u1, const bi::U256& u2, const AffinePoint& q) const {
+  count_op(Op::kEcMulDual);
+  const CurveOps ops(*this);
+  return ops.to_affine(ops.straus_dual(u1, ops.to_jacobian(g_), u2, ops.to_jacobian(q)));
+}
+
+bi::U256 Curve::random_scalar(rng::Rng& rng) const {
+  Bytes buf(32);
+  for (;;) {
+    rng.fill(buf);
+    const bi::U256 k = bi::from_be_bytes(buf);
+    if (!k.is_zero() && bi::cmp(k, order()) < 0) return k;
+  }
+}
+
+bi::U256 Curve::hash_to_scalar(ByteView data) const {
+  const hash::Digest d = hash::sha256(data);
+  // One conditional subtraction reduces any 256-bit value (n > 2^255).
+  return fn_.reduce(bi::from_be_bytes(d));
+}
+
+}  // namespace ecqv::ec

@@ -1,0 +1,94 @@
+// secp256r1 (NIST P-256) group arithmetic.
+//
+// The paper evaluates every protocol on secp256r1 (§V-A); this module is the
+// only curve implementation the library needs, so the curve is a singleton
+// with its two Montgomery contexts (field prime p, group order n) built
+// once.
+//
+// Scalar-multiplication strategy:
+//  * mul() / mul_base(): X25519-style Montgomery ladder over Jacobian
+//    points with branchless limb swaps — used wherever the scalar is secret
+//    (key generation, ECDH, signing). Uniform add+double schedule per bit.
+//  * mul_vartime() / dual_mul(): 4-bit wNAF (interleaved for the dual form)
+//    — used only on public inputs (signature verification, implicit public
+//    key extraction).
+// Cost accounting: each entry point bumps its Op so the device model prices
+// exactly what ran.
+#pragma once
+
+#include "bigint/mont.hpp"
+#include "bigint/u256.hpp"
+#include "common/result.hpp"
+#include "rng/rng.hpp"
+
+namespace ecqv::ec {
+
+/// Affine point with plain-domain (non-Montgomery) coordinates.
+/// The point at infinity is represented explicitly.
+struct AffinePoint {
+  bi::U256 x;
+  bi::U256 y;
+  bool infinity = false;
+
+  [[nodiscard]] static AffinePoint make_infinity() { return AffinePoint{{}, {}, true}; }
+  bool operator==(const AffinePoint&) const = default;
+};
+
+class Curve {
+ public:
+  /// The process-wide secp256r1 instance.
+  static const Curve& p256();
+
+  [[nodiscard]] const bi::MontCtx& fp() const { return fp_; }
+  [[nodiscard]] const bi::MontCtx& fn() const { return fn_; }
+  [[nodiscard]] const bi::U256& field_prime() const { return fp_.modulus(); }
+  [[nodiscard]] const bi::U256& order() const { return fn_.modulus(); }
+  [[nodiscard]] const AffinePoint& generator() const { return g_; }
+  [[nodiscard]] const bi::U256& b_coeff() const { return b_; }
+
+  /// Checks y^2 = x^3 - 3x + b (and accepts infinity).
+  [[nodiscard]] bool is_on_curve(const AffinePoint& pt) const;
+
+  /// Group operations on affine points (converted through Jacobian space).
+  [[nodiscard]] AffinePoint add(const AffinePoint& a, const AffinePoint& b) const;
+  [[nodiscard]] AffinePoint negate(const AffinePoint& a) const;
+
+  /// k*G, constant-schedule ladder. Precondition: k < n.
+  [[nodiscard]] AffinePoint mul_base(const bi::U256& k) const;
+
+  /// k*P, constant-schedule ladder. Precondition: k < n, P on curve.
+  [[nodiscard]] AffinePoint mul(const bi::U256& k, const AffinePoint& p) const;
+
+  /// k*P, variable-time wNAF — public inputs only.
+  [[nodiscard]] AffinePoint mul_vartime(const bi::U256& k, const AffinePoint& p) const;
+
+  /// u1*G + u2*Q via interleaved wNAF (Straus) — public inputs only.
+  /// This is ECDSA verification's core and ECQV public-key extraction
+  /// (paper eq. (1) with u1 = 1).
+  [[nodiscard]] AffinePoint dual_mul(const bi::U256& u1, const bi::U256& u2,
+                                     const AffinePoint& q) const;
+
+  /// Uniform scalar in [1, n-1] by rejection sampling.
+  [[nodiscard]] bi::U256 random_scalar(rng::Rng& rng) const;
+
+  /// SHA-256(data) reduced mod n — the paper's Hash() in eq. (1).
+  [[nodiscard]] bi::U256 hash_to_scalar(ByteView data) const;
+
+  Curve(const Curve&) = delete;
+  Curve& operator=(const Curve&) = delete;
+
+ private:
+  Curve();
+
+  bi::MontCtx fp_;
+  bi::MontCtx fn_;
+  bi::U256 b_;
+  AffinePoint g_;
+  // Montgomery-domain curve constants used by the point formulas.
+  bi::U256 b_mont_;
+  bi::U256 three_mont_;
+
+  friend struct CurveOps;  // internal Jacobian engine (curve.cpp)
+};
+
+}  // namespace ecqv::ec

@@ -1,0 +1,82 @@
+#include "ec/encoding.hpp"
+
+#include <stdexcept>
+
+namespace ecqv::ec {
+
+Bytes encode_compressed(const AffinePoint& pt) {
+  if (pt.infinity) throw std::invalid_argument("encode_compressed: infinity");
+  Bytes out(kCompressedSize);
+  out[0] = pt.y.is_odd() ? 0x03 : 0x02;
+  bi::to_be_bytes(pt.x, ByteSpan(out.data() + 1, 32));
+  return out;
+}
+
+Bytes encode_uncompressed(const AffinePoint& pt) {
+  if (pt.infinity) throw std::invalid_argument("encode_uncompressed: infinity");
+  Bytes out(kUncompressedSize);
+  out[0] = 0x04;
+  bi::to_be_bytes(pt.x, ByteSpan(out.data() + 1, 32));
+  bi::to_be_bytes(pt.y, ByteSpan(out.data() + 33, 32));
+  return out;
+}
+
+Bytes encode_raw_xy(const AffinePoint& pt) {
+  if (pt.infinity) throw std::invalid_argument("encode_raw_xy: infinity");
+  Bytes out(kRawXySize);
+  bi::to_be_bytes(pt.x, ByteSpan(out.data(), 32));
+  bi::to_be_bytes(pt.y, ByteSpan(out.data() + 32, 32));
+  return out;
+}
+
+Result<bi::U256> sqrt_mod_p(const Curve& curve, const bi::U256& value) {
+  const bi::MontCtx& fp = curve.fp();
+  // exponent = (p + 1) / 4; p + 1 never overflows 256 bits for secp256r1.
+  bi::U256 exp;
+  bi::add(exp, curve.field_prime(), bi::U256(1));
+  exp = bi::shr1(bi::shr1(exp));
+  const bi::U256 v_mont = fp.to_mont(fp.reduce(value));
+  const bi::U256 root = fp.pow(v_mont, exp);
+  if (fp.sqr(root) != v_mont) return Error::kInvalidPoint;
+  return fp.from_mont(root);
+}
+
+Result<AffinePoint> decode_point(const Curve& curve, ByteView data) {
+  if (data.size() == kUncompressedSize && data[0] == 0x04) {
+    return decode_raw_xy(curve, data.subspan(1));
+  }
+  if (data.size() == kCompressedSize && (data[0] == 0x02 || data[0] == 0x03)) {
+    const bi::U256 x = bi::from_be_bytes(data.subspan(1, 32));
+    if (bi::cmp(x, curve.field_prime()) >= 0) return Error::kInvalidPoint;
+    const bi::MontCtx& fp = curve.fp();
+    const bi::U256 xm = fp.to_mont(x);
+    const bi::U256 x3 = fp.mul(fp.sqr(xm), xm);
+    const bi::U256 three = fp.to_mont(bi::U256(3));
+    const bi::U256 bm = fp.to_mont(curve.b_coeff());
+    const bi::U256 rhs = fp.from_mont(fp.add(fp.sub(x3, fp.mul(three, xm)), bm));
+    auto root = sqrt_mod_p(curve, rhs);
+    if (!root) return root.error();
+    bi::U256 y = root.value();
+    const bool want_odd = data[0] == 0x03;
+    if (y.is_odd() != want_odd) {
+      bi::U256 ny;
+      bi::sub(ny, curve.field_prime(), y);
+      y = ny;
+    }
+    const AffinePoint pt{x, y, false};
+    if (!curve.is_on_curve(pt)) return Error::kInvalidPoint;  // belt and braces
+    return pt;
+  }
+  return Error::kDecodeFailed;
+}
+
+Result<AffinePoint> decode_raw_xy(const Curve& curve, ByteView data) {
+  if (data.size() != kRawXySize) return Error::kBadLength;
+  const bi::U256 x = bi::from_be_bytes(data.subspan(0, 32));
+  const bi::U256 y = bi::from_be_bytes(data.subspan(32, 32));
+  const AffinePoint pt{x, y, false};
+  if (!curve.is_on_curve(pt)) return Error::kInvalidPoint;
+  return pt;
+}
+
+}  // namespace ecqv::ec

@@ -1,0 +1,34 @@
+// SEC1 point encodings plus the paper's raw 64-byte x||y format.
+//
+// Wire sizes matter here: Table II's byte counts assume XG points of
+// 64 bytes (raw x||y) and certificates carrying a 33-byte compressed
+// reconstruction point inside the 101-byte minimal encoding.
+#pragma once
+
+#include "common/result.hpp"
+#include "ec/curve.hpp"
+
+namespace ecqv::ec {
+
+inline constexpr std::size_t kCompressedSize = 33;   // 0x02/0x03 || x
+inline constexpr std::size_t kUncompressedSize = 65; // 0x04 || x || y
+inline constexpr std::size_t kRawXySize = 64;        // x || y (paper's XG)
+
+/// SEC1 §2.3.3. Infinity is not encodable (returns kInvalidPoint on encode
+/// attempts via the Result overloads; the plain overloads throw).
+Bytes encode_compressed(const AffinePoint& pt);
+Bytes encode_uncompressed(const AffinePoint& pt);
+Bytes encode_raw_xy(const AffinePoint& pt);
+
+/// SEC1 §2.3.4 with full validation (on-curve check, square-root existence
+/// for compressed form). Accepts 33- or 65-byte SEC1 strings.
+Result<AffinePoint> decode_point(const Curve& curve, ByteView data);
+
+/// Raw 64-byte x||y with on-curve validation.
+Result<AffinePoint> decode_raw_xy(const Curve& curve, ByteView data);
+
+/// Square root modulo the field prime (p ≡ 3 mod 4 ⇒ candidate is
+/// rhs^((p+1)/4)). Returns kInvalidPoint when rhs is a non-residue.
+Result<bi::U256> sqrt_mod_p(const Curve& curve, const bi::U256& value);
+
+}  // namespace ecqv::ec

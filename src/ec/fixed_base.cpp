@@ -1,0 +1,55 @@
+#include "ec/fixed_base.hpp"
+
+#include <stdexcept>
+
+#include "common/metrics.hpp"
+#include "ec/jacobian.hpp"
+
+namespace ecqv::ec {
+
+FixedBaseTable::FixedBaseTable(const Curve& curve) : curve_(curve) {
+  const CurveOps ops(curve);
+  // window_base = (2^(4w)) * G, maintained by four doublings per window.
+  CurveOps::JPoint window_base = ops.to_jacobian(curve.generator());
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    CurveOps::JPoint multiple = window_base;  // 1 * base
+    for (std::size_t d = 1; d <= kEntriesPerWindow; ++d) {
+      const AffinePoint affine = ops.to_affine(multiple);
+      if (affine.infinity) throw std::logic_error("FixedBaseTable: unexpected infinity");
+      table_[w][d - 1] =
+          Entry{curve.fp().to_mont(affine.x), curve.fp().to_mont(affine.y)};
+      if (d < kEntriesPerWindow) multiple = ops.add(multiple, window_base);
+    }
+    for (int i = 0; i < 4; ++i) window_base = ops.dbl(window_base);
+  }
+}
+
+AffinePoint FixedBaseTable::mul(const bi::U256& k) const {
+  count_op(Op::kEcMulBase);
+  if (bi::cmp(k, curve_.order()) >= 0)
+    throw std::invalid_argument("FixedBaseTable::mul: scalar out of range");
+  const CurveOps ops(curve_);
+  CurveOps::JPoint acc{curve_.fp().one(), curve_.fp().one(), bi::U256(0)};  // infinity
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const std::uint64_t digit = (k.w[w / 16] >> ((w % 16) * 4)) & 0x0f;
+    if (digit == 0) continue;
+    // Branchless entry selection: scan the whole window, blend with masks.
+    Entry selected{};
+    for (std::size_t d = 1; d <= kEntriesPerWindow; ++d) {
+      const std::uint64_t match = digit == d ? 1u : 0u;
+      selected.x = bi::ct_select(match, table_[w][d - 1].x, selected.x);
+      selected.y = bi::ct_select(match, table_[w][d - 1].y, selected.y);
+    }
+    // Mixed addition: the table entry has an implicit Z = 1.
+    const CurveOps::JPoint entry{selected.x, selected.y, curve_.fp().one()};
+    acc = ops.add(acc, entry);
+  }
+  return ops.to_affine(acc);
+}
+
+const FixedBaseTable& FixedBaseTable::p256() {
+  static const FixedBaseTable table(Curve::p256());
+  return table;
+}
+
+}  // namespace ecqv::ec

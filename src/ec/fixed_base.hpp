@@ -1,0 +1,53 @@
+// Fixed-base comb precomputation for base-point scalar multiplication.
+//
+// The paper's future work asks about hardware support for the implicit
+// certificate protocols; on many MCUs the cheaper first step is a flash-
+// resident precomputation table for G. This class implements a 4-bit
+// windowed comb: 64 windows x 15 odd..15 multiples of (16^w)G stored as
+// affine Montgomery-domain coordinates (~60 KiB — flashable), turning a
+// base-point multiplication into ≤64 mixed additions with no doublings.
+//
+// Lookup discipline: within a window the table entry is selected by a
+// branchless full scan (digit *values* do not influence the memory trace);
+// zero windows are skipped, so the number of additions — the count of
+// nonzero 4-bit windows of the scalar — is observable. For uniformly random
+// 256-bit scalars this leaks ~binomial noise with no known exploitation,
+// but callers wanting full uniformity should keep using Curve::mul_base's
+// ladder. This trade-off is the same one micro-ecc & friends ship.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "ec/curve.hpp"
+
+namespace ecqv::ec {
+
+class FixedBaseTable {
+ public:
+  /// Builds the table for the curve's generator (one-time ~1000 point ops).
+  explicit FixedBaseTable(const Curve& curve);
+
+  /// k * G with k < n. Counts as Op::kEcMulBase (same class of work, priced
+  /// separately in the accelerator ablation).
+  [[nodiscard]] AffinePoint mul(const bi::U256& k) const;
+
+  /// The process-wide table for secp256r1 (built on first use).
+  static const FixedBaseTable& p256();
+
+  static constexpr std::size_t kWindowBits = 4;
+  static constexpr std::size_t kWindows = 256 / kWindowBits;       // 64
+  static constexpr std::size_t kEntriesPerWindow = (1u << kWindowBits) - 1;  // 15
+
+ private:
+  struct Entry {
+    bi::U256 x;  // Montgomery domain
+    bi::U256 y;
+  };
+
+  const Curve& curve_;
+  // table_[w][d-1] = d * (2^(4w)) * G
+  std::array<std::array<Entry, kEntriesPerWindow>, kWindows> table_{};
+};
+
+}  // namespace ecqv::ec

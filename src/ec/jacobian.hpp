@@ -1,0 +1,186 @@
+// Internal Jacobian-coordinate engine shared by the scalar-multiplication
+// paths in curve.cpp and the fixed-base comb table in fixed_base.cpp.
+// Coordinates live in the Montgomery domain of fp; Z == 0 encodes the point
+// at infinity. Not part of the public API.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "ec/curve.hpp"
+
+namespace ecqv::ec {
+
+// Internal Jacobian-coordinate engine. Coordinates live in the Montgomery
+// domain of fp; Z == 0 encodes the point at infinity.
+struct CurveOps {
+  struct JPoint {
+    bi::U256 x;
+    bi::U256 y;
+    bi::U256 z;
+    [[nodiscard]] bool is_infinity() const { return z.is_zero(); }
+  };
+
+  const Curve& c;
+  const bi::MontCtx& fp;
+
+  explicit CurveOps(const Curve& curve) : c(curve), fp(curve.fp()) {}
+
+  [[nodiscard]] JPoint to_jacobian(const AffinePoint& a) const {
+    if (a.infinity) return JPoint{fp.one(), fp.one(), bi::U256(0)};
+    return JPoint{fp.to_mont(a.x), fp.to_mont(a.y), fp.one()};
+  }
+
+  [[nodiscard]] AffinePoint to_affine(const JPoint& p) const {
+    if (p.is_infinity()) return AffinePoint::make_infinity();
+    count_op(Op::kModInv);
+    const bi::U256 zinv = fp.inv(p.z);
+    const bi::U256 zinv2 = fp.sqr(zinv);
+    const bi::U256 zinv3 = fp.mul(zinv2, zinv);
+    return AffinePoint{fp.from_mont(fp.mul(p.x, zinv2)), fp.from_mont(fp.mul(p.y, zinv3)),
+                       false};
+  }
+
+  [[nodiscard]] JPoint dbl(const JPoint& p) const {
+    if (p.is_infinity() || p.y.is_zero()) return JPoint{fp.one(), fp.one(), bi::U256(0)};
+    // a = -3 doubling: M = 3(X - Z^2)(X + Z^2).
+    const bi::U256 z2 = fp.sqr(p.z);
+    const bi::U256 m = fp.mul(fp.add(fp.add(fp.sub(p.x, z2), fp.sub(p.x, z2)), fp.sub(p.x, z2)),
+                              fp.add(p.x, z2));
+    const bi::U256 y2 = fp.sqr(p.y);
+    const bi::U256 s4 = fp.mul(p.x, y2);
+    const bi::U256 s = fp.add(fp.add(s4, s4), fp.add(s4, s4));  // 4*X*Y^2
+    const bi::U256 x3 = fp.sub(fp.sqr(m), fp.add(s, s));
+    const bi::U256 y4 = fp.sqr(y2);
+    const bi::U256 y4_8 = fp.add(fp.add(fp.add(y4, y4), fp.add(y4, y4)),
+                                 fp.add(fp.add(y4, y4), fp.add(y4, y4)));  // 8*Y^4
+    const bi::U256 y3 = fp.sub(fp.mul(m, fp.sub(s, x3)), y4_8);
+    const bi::U256 z3 = fp.mul(fp.add(p.y, p.y), p.z);
+    return JPoint{x3, y3, z3};
+  }
+
+  [[nodiscard]] JPoint add(const JPoint& p, const JPoint& q) const {
+    if (p.is_infinity()) return q;
+    if (q.is_infinity()) return p;
+    const bi::U256 z1z1 = fp.sqr(p.z);
+    const bi::U256 z2z2 = fp.sqr(q.z);
+    const bi::U256 u1 = fp.mul(p.x, z2z2);
+    const bi::U256 u2 = fp.mul(q.x, z1z1);
+    const bi::U256 s1 = fp.mul(fp.mul(p.y, q.z), z2z2);
+    const bi::U256 s2 = fp.mul(fp.mul(q.y, p.z), z1z1);
+    if (u1 == u2) {
+      if (s1 == s2) return dbl(p);
+      return JPoint{fp.one(), fp.one(), bi::U256(0)};  // P + (-P) = infinity
+    }
+    const bi::U256 h = fp.sub(u2, u1);
+    const bi::U256 r = fp.sub(s2, s1);
+    const bi::U256 h2 = fp.sqr(h);
+    const bi::U256 h3 = fp.mul(h, h2);
+    const bi::U256 u1h2 = fp.mul(u1, h2);
+    const bi::U256 x3 = fp.sub(fp.sub(fp.sqr(r), h3), fp.add(u1h2, u1h2));
+    const bi::U256 y3 = fp.sub(fp.mul(r, fp.sub(u1h2, x3)), fp.mul(s1, h3));
+    const bi::U256 z3 = fp.mul(fp.mul(p.z, q.z), h);
+    return JPoint{x3, y3, z3};
+  }
+
+  static void cswap(std::uint64_t flag, JPoint& a, JPoint& b) {
+    bi::ct_swap(flag, a.x, b.x);
+    bi::ct_swap(flag, a.y, b.y);
+    bi::ct_swap(flag, a.z, b.z);
+  }
+
+  /// Montgomery-ladder scalar multiplication (uniform schedule per bit).
+  [[nodiscard]] JPoint ladder_mul(const bi::U256& k, const JPoint& p) const {
+    JPoint r0{fp.one(), fp.one(), bi::U256(0)};  // infinity
+    JPoint r1 = p;
+    std::uint64_t swapped = 0;
+    for (int i = 255; i >= 0; --i) {
+      const std::uint64_t bit = k.bit(static_cast<unsigned>(i));
+      cswap(swapped ^ bit, r0, r1);
+      swapped = bit;
+      r1 = add(r0, r1);
+      r0 = dbl(r0);
+    }
+    cswap(swapped, r0, r1);
+    return r0;
+  }
+
+  /// Computes the wNAF (width 4) digit expansion of k, most significant
+  /// digit last. Digits are odd in [-15, 15] or zero.
+  static std::vector<int> wnaf4(const bi::U256& k) {
+    std::vector<int> digits;
+    digits.reserve(257);
+    bi::U256 d = k;
+    while (!d.is_zero()) {
+      int digit = 0;
+      if (d.is_odd()) {
+        const int mod16 = static_cast<int>(d.w[0] & 0x0f);
+        digit = mod16 >= 8 ? mod16 - 16 : mod16;
+        if (digit > 0) {
+          bi::U256 t;
+          bi::sub(t, d, bi::U256(static_cast<std::uint64_t>(digit)));
+          d = t;
+        } else {
+          bi::U256 t;
+          bi::add(t, d, bi::U256(static_cast<std::uint64_t>(-digit)));
+          d = t;
+        }
+      }
+      digits.push_back(digit);
+      d = bi::shr1(d);
+    }
+    return digits;
+  }
+
+  /// Precomputes odd multiples P, 3P, ..., 15P.
+  void precompute_odd(const JPoint& p, std::array<JPoint, 8>& table) const {
+    table[0] = p;
+    const JPoint p2 = dbl(p);
+    for (std::size_t i = 1; i < table.size(); ++i) table[i] = add(table[i - 1], p2);
+  }
+
+  [[nodiscard]] static JPoint neg(const JPoint& p, const bi::MontCtx& fld) {
+    if (p.is_infinity()) return p;
+    return JPoint{p.x, fld.sub(bi::U256(0), p.y), p.z};
+  }
+
+  [[nodiscard]] JPoint wnaf_mul(const bi::U256& k, const JPoint& p) const {
+    const std::vector<int> digits = wnaf4(k);
+    std::array<JPoint, 8> table{};
+    precompute_odd(p, table);
+    JPoint acc{fp.one(), fp.one(), bi::U256(0)};
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+      acc = dbl(acc);
+      const int d = *it;
+      if (d > 0) acc = add(acc, table[static_cast<std::size_t>((d - 1) / 2)]);
+      if (d < 0) acc = add(acc, neg(table[static_cast<std::size_t>((-d - 1) / 2)], fp));
+    }
+    return acc;
+  }
+
+  [[nodiscard]] JPoint straus_dual(const bi::U256& u1, const JPoint& g, const bi::U256& u2,
+                                   const JPoint& q) const {
+    std::vector<int> d1 = wnaf4(u1);
+    std::vector<int> d2 = wnaf4(u2);
+    const std::size_t len = std::max(d1.size(), d2.size());
+    d1.resize(len, 0);
+    d2.resize(len, 0);
+    std::array<JPoint, 8> tg{};
+    std::array<JPoint, 8> tq{};
+    precompute_odd(g, tg);
+    precompute_odd(q, tq);
+    JPoint acc{fp.one(), fp.one(), bi::U256(0)};
+    for (std::size_t i = len; i-- > 0;) {
+      acc = dbl(acc);
+      if (d1[i] > 0) acc = add(acc, tg[static_cast<std::size_t>((d1[i] - 1) / 2)]);
+      if (d1[i] < 0) acc = add(acc, neg(tg[static_cast<std::size_t>((-d1[i] - 1) / 2)], fp));
+      if (d2[i] > 0) acc = add(acc, tq[static_cast<std::size_t>((d2[i] - 1) / 2)]);
+      if (d2[i] < 0) acc = add(acc, neg(tq[static_cast<std::size_t>((-d2[i] - 1) / 2)], fp));
+    }
+    return acc;
+  }
+};
+
+
+}  // namespace ecqv::ec

@@ -1,0 +1,75 @@
+#include "ecdsa/der.hpp"
+
+namespace ecqv::sig {
+
+namespace {
+
+constexpr std::uint8_t kTagInteger = 0x02;
+constexpr std::uint8_t kTagSequence = 0x30;
+
+/// Minimal unsigned big-endian representation with a leading 0x00 when the
+/// top bit is set (DER INTEGERs are signed).
+Bytes der_integer_body(const bi::U256& value) {
+  const Bytes full = bi::to_be_bytes(value);
+  std::size_t skip = 0;
+  while (skip < full.size() - 1 && full[skip] == 0x00) ++skip;
+  Bytes body;
+  if ((full[skip] & 0x80) != 0) body.push_back(0x00);
+  body.insert(body.end(), full.begin() + static_cast<std::ptrdiff_t>(skip), full.end());
+  return body;
+}
+
+/// Parses one INTEGER at `offset`; advances offset past it.
+Result<bi::U256> parse_integer(ByteView data, std::size_t& offset) {
+  if (offset + 2 > data.size()) return Error::kDecodeFailed;
+  if (data[offset] != kTagInteger) return Error::kDecodeFailed;
+  const std::size_t len = data[offset + 1];
+  if (len == 0 || len > 33) return Error::kDecodeFailed;  // P-256: <= 32 + sign pad
+  offset += 2;
+  if (offset + len > data.size()) return Error::kDecodeFailed;
+  const ByteView body = data.subspan(offset, len);
+  if ((body[0] & 0x80) != 0) return Error::kDecodeFailed;  // negative
+  if (body[0] == 0x00) {
+    if (len == 1) return Error::kDecodeFailed;             // zero is invalid for r/s
+    if ((body[1] & 0x80) == 0) return Error::kDecodeFailed;  // non-minimal pad
+  }
+  const std::size_t value_len = body[0] == 0x00 ? len - 1 : len;
+  if (value_len > 32) return Error::kDecodeFailed;
+  Bytes padded(32 - value_len, 0x00);
+  padded.insert(padded.end(), body.end() - static_cast<std::ptrdiff_t>(value_len), body.end());
+  offset += len;
+  return bi::from_be_bytes(padded);
+}
+
+}  // namespace
+
+Bytes encode_signature_der(const Signature& signature) {
+  const Bytes r = der_integer_body(signature.r);
+  const Bytes s = der_integer_body(signature.s);
+  Bytes out;
+  out.push_back(kTagSequence);
+  out.push_back(static_cast<std::uint8_t>(2 + r.size() + 2 + s.size()));
+  out.push_back(kTagInteger);
+  out.push_back(static_cast<std::uint8_t>(r.size()));
+  append(out, r);
+  out.push_back(kTagInteger);
+  out.push_back(static_cast<std::uint8_t>(s.size()));
+  append(out, s);
+  return out;
+}
+
+Result<Signature> decode_signature_der(ByteView data) {
+  if (data.size() < 8 || data[0] != kTagSequence) return Error::kDecodeFailed;
+  const std::size_t seq_len = data[1];
+  if (seq_len > 0x7f || seq_len + 2 != data.size()) return Error::kDecodeFailed;
+  std::size_t offset = 2;
+  auto r = parse_integer(data, offset);
+  if (!r) return r.error();
+  auto s = parse_integer(data, offset);
+  if (!s) return s.error();
+  if (offset != data.size()) return Error::kDecodeFailed;  // trailing bytes
+  if (r->is_zero() || s->is_zero()) return Error::kDecodeFailed;
+  return Signature{r.value(), s.value()};
+}
+
+}  // namespace ecqv::sig

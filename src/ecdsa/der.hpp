@@ -1,0 +1,23 @@
+// DER encoding of ECDSA signatures (RFC 3279 Ecdsa-Sig-Value):
+//
+//   SEQUENCE { r INTEGER, s INTEGER }
+//
+// The protocols in this library use the fixed 64-byte r||s form (that is
+// what the paper's Table II counts), but interoperating with X.509/TLS
+// tooling requires DER. Encoding is strict (minimal-length, no negative
+// values); decoding rejects every non-canonical form.
+#pragma once
+
+#include "common/result.hpp"
+#include "ecdsa/ecdsa.hpp"
+
+namespace ecqv::sig {
+
+/// Strict DER encoding; 70..72 bytes for P-256 signatures.
+Bytes encode_signature_der(const Signature& signature);
+
+/// Strict DER decoding. Rejects trailing bytes, non-minimal lengths,
+/// negative or padded integers and out-of-range sizes.
+Result<Signature> decode_signature_der(ByteView data);
+
+}  // namespace ecqv::sig

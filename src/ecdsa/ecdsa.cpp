@@ -1,0 +1,102 @@
+#include <algorithm>
+
+#include "ecdsa/ecdsa.hpp"
+
+#include <stdexcept>
+
+#include "common/metrics.hpp"
+#include "ecdsa/rfc6979.hpp"
+
+namespace ecqv::sig {
+
+namespace {
+
+const ec::Curve& curve() { return ec::Curve::p256(); }
+
+// e = leftmost 256 bits of the digest, reduced mod n.
+bi::U256 digest_to_scalar(const hash::Digest& digest) {
+  return curve().fn().reduce(bi::from_be_bytes(digest));
+}
+
+Signature sign_with_nonce(const bi::U256& d, const hash::Digest& digest, const bi::U256& k) {
+  const auto& fn = curve().fn();
+  const ec::AffinePoint kg = curve().mul_base(k);
+  const bi::U256 r = fn.reduce(kg.x);
+  if (r.is_zero()) return Signature{bi::U256(0), bi::U256(0)};
+  const bi::U256 e = digest_to_scalar(digest);
+  // s = k^-1 (e + r d) mod n, all in the Montgomery domain of n.
+  const bi::U256 km = fn.to_mont(k);
+  const bi::U256 rd = fn.mul(fn.to_mont(r), fn.to_mont(d));
+  const bi::U256 sum = fn.add(rd, fn.to_mont(e));
+  count_op(Op::kModInv);
+  const bi::U256 s = fn.from_mont(fn.mul(fn.inv(km), sum));
+  return Signature{r, s};
+}
+
+}  // namespace
+
+Bytes encode_signature(const Signature& sig) {
+  Bytes out(kSignatureSize);
+  bi::to_be_bytes(sig.r, ByteSpan(out.data(), 32));
+  bi::to_be_bytes(sig.s, ByteSpan(out.data() + 32, 32));
+  return out;
+}
+
+Result<Signature> decode_signature(ByteView data) {
+  if (data.size() != kSignatureSize) return Error::kBadLength;
+  Signature sig{bi::from_be_bytes(data.subspan(0, 32)), bi::from_be_bytes(data.subspan(32, 32))};
+  return sig;
+}
+
+PrivateKey::PrivateKey(const bi::U256& d) : d_(d) {
+  if (d.is_zero() || bi::cmp(d, curve().order()) >= 0)
+    throw std::invalid_argument("PrivateKey: scalar out of range");
+}
+
+PrivateKey PrivateKey::generate(rng::Rng& rng) {
+  return PrivateKey(curve().random_scalar(rng));
+}
+
+ec::AffinePoint PrivateKey::public_point() const { return curve().mul_base(d_); }
+
+Signature PrivateKey::sign_digest(const hash::Digest& digest) const {
+  for (unsigned retry = 0;; ++retry) {
+    const bi::U256 k = rfc6979_nonce(d_, digest, retry);
+    const Signature sig = sign_with_nonce(d_, digest, k);
+    if (!sig.r.is_zero() && !sig.s.is_zero()) return sig;
+  }
+}
+
+Signature PrivateKey::sign(ByteView message) const { return sign_digest(hash::sha256(message)); }
+
+Signature PrivateKey::sign_randomized(ByteView message, rng::Rng& rng) const {
+  const hash::Digest digest = hash::sha256(message);
+  for (;;) {
+    const bi::U256 k = curve().random_scalar(rng);
+    const Signature sig = sign_with_nonce(d_, digest, k);
+    if (!sig.r.is_zero() && !sig.s.is_zero()) return sig;
+  }
+}
+
+bool verify_digest(const ec::AffinePoint& q, const hash::Digest& digest, const Signature& sig) {
+  const auto& fn = curve().fn();
+  const bi::U256& n = curve().order();
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (bi::cmp(sig.r, n) >= 0 || bi::cmp(sig.s, n) >= 0) return false;
+  if (q.infinity || !curve().is_on_curve(q)) return false;
+
+  const bi::U256 e = digest_to_scalar(digest);
+  count_op(Op::kModInv);
+  const bi::U256 w = fn.inv(fn.to_mont(sig.s));
+  const bi::U256 u1 = fn.from_mont(fn.mul(fn.to_mont(e), w));
+  const bi::U256 u2 = fn.from_mont(fn.mul(fn.to_mont(sig.r), w));
+  const ec::AffinePoint rp = curve().dual_mul(u1, u2, q);
+  if (rp.infinity) return false;
+  return fn.reduce(rp.x) == sig.r;
+}
+
+bool verify(const ec::AffinePoint& q, ByteView message, const Signature& sig) {
+  return verify_digest(q, hash::sha256(message), sig);
+}
+
+}  // namespace ecqv::sig

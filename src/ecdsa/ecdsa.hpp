@@ -1,0 +1,63 @@
+// ECDSA over secp256r1 with SHA-256 (X9.62 / FIPS 186-4).
+//
+// This is the authentication primitive of the paper's Algorithms 1 and 2:
+// STS responses are ECDSA signatures over the concatenated ephemeral points,
+// verified against implicitly-derived ECQV public keys. Signatures are
+// encoded as the fixed 64-byte r||s form the paper's Table II assumes.
+//
+// Nonce generation is deterministic per RFC 6979 by default — the safest
+// choice on embedded targets where entropy at signing time is questionable
+// (the paper's citation [1] is exactly about embedded RNG failures) — but a
+// caller-supplied RNG variant is provided for comparison benchmarks.
+#pragma once
+
+#include "common/result.hpp"
+#include "ec/curve.hpp"
+#include "hash/sha256.hpp"
+#include "rng/rng.hpp"
+
+namespace ecqv::sig {
+
+struct Signature {
+  bi::U256 r;
+  bi::U256 s;
+  bool operator==(const Signature&) const = default;
+};
+
+inline constexpr std::size_t kSignatureSize = 64;
+
+/// Fixed-width r||s wire codec (32 + 32 bytes, big-endian).
+Bytes encode_signature(const Signature& sig);
+Result<Signature> decode_signature(ByteView data);
+
+class PrivateKey {
+ public:
+  /// Wraps an existing scalar d in [1, n-1].
+  explicit PrivateKey(const bi::U256& d);
+
+  /// Generates a fresh key pair.
+  static PrivateKey generate(rng::Rng& rng);
+
+  [[nodiscard]] const bi::U256& scalar() const { return d_; }
+  [[nodiscard]] ec::AffinePoint public_point() const;
+
+  /// Deterministic (RFC 6979) signature over SHA-256(message).
+  [[nodiscard]] Signature sign(ByteView message) const;
+
+  /// Signature over a precomputed digest.
+  [[nodiscard]] Signature sign_digest(const hash::Digest& digest) const;
+
+  /// Randomized-nonce signing (benchmark comparison with the RFC 6979 path).
+  [[nodiscard]] Signature sign_randomized(ByteView message, rng::Rng& rng) const;
+
+ private:
+  bi::U256 d_;
+};
+
+/// Verifies `sig` over SHA-256(message) against public point `q`.
+/// Rejects out-of-range r/s and off-curve public keys.
+[[nodiscard]] bool verify(const ec::AffinePoint& q, ByteView message, const Signature& sig);
+[[nodiscard]] bool verify_digest(const ec::AffinePoint& q, const hash::Digest& digest,
+                                 const Signature& sig);
+
+}  // namespace ecqv::sig

@@ -1,0 +1,71 @@
+#include "ecdsa/rfc6979.hpp"
+
+#include "ec/curve.hpp"
+#include "hash/hmac.hpp"
+
+namespace ecqv::sig {
+
+namespace {
+
+// bits2octets per RFC 6979 §2.3.4: reduce the digest-as-integer mod n, then
+// encode in 32 bytes. For P-256 qlen == hlen == 256 so no bit shifting.
+Bytes bits2octets(const hash::Digest& digest) {
+  const auto& curve = ec::Curve::p256();
+  const bi::U256 z = curve.fn().reduce(bi::from_be_bytes(digest));
+  return bi::to_be_bytes(z);
+}
+
+}  // namespace
+
+bi::U256 rfc6979_nonce(const bi::U256& private_key, const hash::Digest& digest, unsigned retry) {
+  const auto& curve = ec::Curve::p256();
+  const Bytes x = bi::to_be_bytes(private_key);
+  const Bytes h = bits2octets(digest);
+
+  std::array<std::uint8_t, 32> v{};
+  std::array<std::uint8_t, 32> k{};
+  v.fill(0x01);
+  k.fill(0x00);
+  constexpr std::uint8_t kZero = 0x00;
+  constexpr std::uint8_t kOne = 0x01;
+
+  {
+    hash::HmacSha256 mac(k);
+    mac.update(v);
+    mac.update(ByteView(&kZero, 1));
+    mac.update(x);
+    mac.update(h);
+    k = mac.finish();
+  }
+  v = hash::hmac_sha256(k, v);
+  {
+    hash::HmacSha256 mac(k);
+    mac.update(v);
+    mac.update(ByteView(&kOne, 1));
+    mac.update(x);
+    mac.update(h);
+    k = mac.finish();
+  }
+  v = hash::hmac_sha256(k, v);
+
+  unsigned produced = 0;
+  for (;;) {
+    // qlen == hlen: one HMAC output is a full candidate.
+    v = hash::hmac_sha256(k, v);
+    const bi::U256 candidate = bi::from_be_bytes(v);
+    if (!candidate.is_zero() && bi::cmp(candidate, curve.order()) < 0) {
+      if (produced == retry) return candidate;
+      ++produced;
+    }
+    // Candidate rejected or reserved for an earlier retry: K/V update.
+    {
+      hash::HmacSha256 mac(k);
+      mac.update(v);
+      mac.update(ByteView(&kZero, 1));
+      k = mac.finish();
+    }
+    v = hash::hmac_sha256(k, v);
+  }
+}
+
+}  // namespace ecqv::sig

@@ -1,0 +1,16 @@
+// RFC 6979 deterministic nonce derivation for ECDSA over secp256r1/SHA-256.
+#pragma once
+
+#include "bigint/u256.hpp"
+#include "hash/sha256.hpp"
+
+namespace ecqv::sig {
+
+/// Derives the per-signature nonce k in [1, n-1] from the private key and
+/// message digest per RFC 6979 §3.2 (HMAC-SHA256 instantiation). The
+/// `retry` counter requests the retry-th candidate (0 for the first); the
+/// ECDSA layer increments it when a candidate yields r == 0 or s == 0.
+bi::U256 rfc6979_nonce(const bi::U256& private_key, const hash::Digest& digest,
+                       unsigned retry = 0);
+
+}  // namespace ecqv::sig

@@ -1,0 +1,54 @@
+#include "ecqv/ca.hpp"
+
+namespace ecqv::cert {
+
+namespace {
+const ec::Curve& curve() { return ec::Curve::p256(); }
+}  // namespace
+
+CertificateAuthority::CertificateAuthority(DeviceId id, rng::Rng& rng)
+    : CertificateAuthority(id, curve().random_scalar(rng)) {}
+
+CertificateAuthority::CertificateAuthority(DeviceId id, const bi::U256& root_private_key)
+    : id_(id), d_ca_(root_private_key), q_ca_(curve().mul_base(root_private_key)) {}
+
+Result<IssuedCertificate> CertificateAuthority::issue(const DeviceId& subject,
+                                                      const ec::AffinePoint& ru,
+                                                      std::uint64_t now,
+                                                      std::uint64_t lifetime_seconds,
+                                                      rng::Rng& rng) {
+  if (ru.infinity || !curve().is_on_curve(ru)) return Error::kInvalidPoint;
+  const auto& fn = curve().fn();
+
+  // SEC4 §2.4: the CA's ephemeral contribution and the reconstruction point.
+  const bi::U256 k = curve().random_scalar(rng);
+  const ec::AffinePoint kg = curve().mul_base(k);
+  const ec::AffinePoint pu = curve().add(ru, kg);
+  if (pu.infinity) return Error::kInvalidPoint;  // R_U == -kG, retry-able
+
+  Certificate certificate;
+  certificate.serial = next_serial_++;
+  certificate.issuer = id_;
+  certificate.subject = subject;
+  certificate.valid_from = now;
+  certificate.valid_to = now + lifetime_seconds;
+  certificate.reconstruction_point = pu;
+
+  // r = e*k + d_CA mod n.
+  const bi::U256 e = cert_hash_scalar(certificate);
+  const bi::U256 ek = fn.from_mont(fn.mul(fn.to_mont(e), fn.to_mont(k)));
+  const bi::U256 r = fn.add(ek, d_ca_);
+  return IssuedCertificate{certificate, r};
+}
+
+Result<CertificateAuthority::Enrollment> CertificateAuthority::enroll(
+    const DeviceId& subject, std::uint64_t now, std::uint64_t lifetime_seconds, rng::Rng& rng) {
+  const CertRequest request = make_cert_request(subject, rng);
+  auto issued = issue(subject, request.ru, now, lifetime_seconds, rng);
+  if (!issued) return issued.error();
+  auto key = reconstruct_private_key(issued->certificate, request.ku, issued->r, q_ca_);
+  if (!key) return key.error();
+  return Enrollment{issued->certificate, key->private_key, key->public_key};
+}
+
+}  // namespace ecqv::cert

@@ -1,0 +1,69 @@
+// Certificate authority for ECQV enrollment (paper Fig. 1: the "Central
+// Authority" / gateway device).
+//
+// The CA owns the root key pair (d_CA, Q_CA), hands out implicit
+// certificates, and tracks serial numbers. Certificate *sessions* (paper
+// §II-A: the validity window of the currently issued certificates, e.g. one
+// engine start) are modeled by the validity horizon passed at issuance and
+// by reissue().
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "ecdsa/ecdsa.hpp"
+#include "ecqv/certificate.hpp"
+#include "ecqv/scheme.hpp"
+#include "rng/rng.hpp"
+
+namespace ecqv::cert {
+
+/// What the CA returns to the requester: the implicit certificate plus the
+/// private-key contribution r (SEC4 calls it the "private key reconstruction
+/// data").
+struct IssuedCertificate {
+  Certificate certificate;
+  bi::U256 r;
+};
+
+class CertificateAuthority {
+ public:
+  /// Creates a CA with a fresh root key.
+  CertificateAuthority(DeviceId id, rng::Rng& rng);
+
+  /// Creates a CA from an existing root private key (fleet provisioning,
+  /// tests).
+  CertificateAuthority(DeviceId id, const bi::U256& root_private_key);
+
+  [[nodiscard]] const DeviceId& id() const { return id_; }
+  [[nodiscard]] const ec::AffinePoint& public_key() const { return q_ca_; }
+
+  /// Issues an implicit certificate for `subject` from its request point
+  /// R_U. Validity window is [now, now + lifetime]. Rejects off-curve
+  /// request points (a malicious R_U would otherwise poison the scheme).
+  Result<IssuedCertificate> issue(const DeviceId& subject, const ec::AffinePoint& ru,
+                                  std::uint64_t now, std::uint64_t lifetime_seconds,
+                                  rng::Rng& rng);
+
+  /// Convenience wrapper for a full enrollment round-trip performed locally
+  /// (request + issue + reconstruct). Used by tests, examples and the
+  /// session layer when provisioning simulated devices.
+  struct Enrollment {
+    Certificate certificate;
+    bi::U256 private_key;
+    ec::AffinePoint public_key;
+  };
+  Result<Enrollment> enroll(const DeviceId& subject, std::uint64_t now,
+                            std::uint64_t lifetime_seconds, rng::Rng& rng);
+
+  /// Number of certificates issued so far (also the next serial number).
+  [[nodiscard]] std::uint64_t issued_count() const { return next_serial_; }
+
+ private:
+  DeviceId id_;
+  bi::U256 d_ca_;
+  ec::AffinePoint q_ca_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace ecqv::cert

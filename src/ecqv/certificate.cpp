@@ -1,0 +1,64 @@
+#include "ecqv/certificate.hpp"
+
+#include <algorithm>
+
+namespace ecqv::cert {
+
+DeviceId DeviceId::from_string(std::string_view name) {
+  DeviceId id;
+  const std::size_t n = std::min(name.size(), kDeviceIdSize);
+  std::copy_n(name.begin(), n, id.bytes.begin());
+  return id;
+}
+
+std::string DeviceId::to_string() const {
+  std::string out;
+  for (std::uint8_t b : bytes) {
+    if (b == 0) break;
+    out.push_back(b >= 0x20 && b < 0x7f ? static_cast<char>(b) : '?');
+  }
+  return out;
+}
+
+Bytes Certificate::encode() const {
+  Bytes out(kCertificateSize);
+  ByteSpan s(out);
+  out[0] = version;
+  store_be64(s.subspan(1, 8), serial);
+  std::copy(issuer.bytes.begin(), issuer.bytes.end(), out.begin() + 9);
+  std::copy(subject.bytes.begin(), subject.bytes.end(), out.begin() + 25);
+  store_be64(s.subspan(41, 8), valid_from);
+  store_be64(s.subspan(49, 8), valid_to);
+  out[57] = curve_id;
+  store_be16(s.subspan(58, 2), key_usage);
+  const Bytes point = ec::encode_compressed(reconstruction_point);
+  std::copy(point.begin(), point.end(), out.begin() + 60);
+  std::copy(reserved.begin(), reserved.end(), out.begin() + 93);
+  return out;
+}
+
+Result<Certificate> Certificate::decode(ByteView data) {
+  if (data.size() != kCertificateSize) return Error::kBadLength;
+  Certificate c;
+  c.version = data[0];
+  if (c.version != kVersion1) return Error::kDecodeFailed;
+  c.serial = load_be64(data.subspan(1, 8));
+  std::copy_n(data.begin() + 9, kDeviceIdSize, c.issuer.bytes.begin());
+  std::copy_n(data.begin() + 25, kDeviceIdSize, c.subject.bytes.begin());
+  c.valid_from = load_be64(data.subspan(41, 8));
+  c.valid_to = load_be64(data.subspan(49, 8));
+  c.curve_id = data[57];
+  if (c.curve_id != kCurveSecp256r1) return Error::kDecodeFailed;
+  c.key_usage = load_be16(data.subspan(58, 2));
+  auto point = ec::decode_point(ec::Curve::p256(), data.subspan(60, 33));
+  if (!point) return point.error();
+  c.reconstruction_point = point.value();
+  std::copy_n(data.begin() + 93, 8, c.reserved.begin());
+  return c;
+}
+
+bool Certificate::valid_at(std::uint64_t unix_seconds) const {
+  return valid_from <= unix_seconds && unix_seconds <= valid_to;
+}
+
+}  // namespace ecqv::cert

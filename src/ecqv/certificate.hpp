@@ -1,0 +1,81 @@
+// ECQV implicit certificate: the 101-byte minimal encoding.
+//
+// The paper (§V-B) assumes "the minimal certificate encoding with 101 total
+// bytes [7]" — [7] being SEC4. SEC4 leaves the certificate structure to the
+// profile; this library fixes the following fixed-width layout, which sums
+// to exactly 101 bytes and carries everything the protocols need:
+//
+//   offset  size  field
+//        0     1  version              (0x01)
+//        1     8  serial               (big-endian)
+//        9    16  issuer id
+//       25    16  subject id
+//       41     8  valid_from           (unix seconds, big-endian)
+//       49     8  valid_to             (unix seconds, big-endian)
+//       57     1  curve id             (0x01 = secp256r1)
+//       58     2  key usage flags
+//       60    33  public-key reconstruction point P_U (SEC1 compressed)
+//       93     8  reserved / profile extension
+//     ----  ----
+//             101
+//
+// An implicit certificate carries no CA signature — authenticity is
+// established arithmetically when the reconstructed public key is used
+// successfully (paper eq. (1)); that is the entire size advantage over
+// X.509.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "ec/curve.hpp"
+#include "ec/encoding.hpp"
+
+namespace ecqv::cert {
+
+inline constexpr std::size_t kDeviceIdSize = 16;
+inline constexpr std::size_t kCertificateSize = 101;
+inline constexpr std::uint8_t kVersion1 = 0x01;
+inline constexpr std::uint8_t kCurveSecp256r1 = 0x01;
+
+/// 16-byte device identity (paper §V-B: "IDs to be of 16 bytes").
+struct DeviceId {
+  std::array<std::uint8_t, kDeviceIdSize> bytes{};
+
+  static DeviceId from_string(std::string_view name);  // zero-padded/truncated
+  [[nodiscard]] std::string to_string() const;         // printable, trimmed
+  auto operator<=>(const DeviceId&) const = default;
+};
+
+/// Key-usage flag bits carried in the certificate.
+enum KeyUsage : std::uint16_t {
+  kUsageKeyAgreement = 0x0001,
+  kUsageSignature = 0x0002,
+};
+
+struct Certificate {
+  std::uint8_t version = kVersion1;
+  std::uint64_t serial = 0;
+  DeviceId issuer;
+  DeviceId subject;
+  std::uint64_t valid_from = 0;
+  std::uint64_t valid_to = 0;
+  std::uint8_t curve_id = kCurveSecp256r1;
+  std::uint16_t key_usage = kUsageKeyAgreement | kUsageSignature;
+  ec::AffinePoint reconstruction_point;  // P_U
+  std::array<std::uint8_t, 8> reserved{};
+
+  /// Fixed 101-byte encoding (the hash input for e = Hn(Cert)).
+  [[nodiscard]] Bytes encode() const;
+
+  /// Strict decode: size, version, curve id and point validity enforced.
+  static Result<Certificate> decode(ByteView data);
+
+  /// Validity-window check against a unix timestamp.
+  [[nodiscard]] bool valid_at(std::uint64_t unix_seconds) const;
+
+  bool operator==(const Certificate&) const = default;
+};
+
+}  // namespace ecqv::cert

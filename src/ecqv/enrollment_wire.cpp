@@ -1,0 +1,62 @@
+#include "ecqv/enrollment_wire.hpp"
+
+#include <algorithm>
+
+#include "ec/encoding.hpp"
+
+namespace ecqv::cert {
+
+Bytes EnrollmentRequest::encode() const {
+  return concat({ByteView(subject.bytes), ByteView(ec::encode_compressed(ru))});
+}
+
+Result<EnrollmentRequest> EnrollmentRequest::decode(ByteView data) {
+  if (data.size() != kEnrollmentRequestSize) return Error::kBadLength;
+  EnrollmentRequest request;
+  std::copy_n(data.begin(), kDeviceIdSize, request.subject.bytes.begin());
+  auto point = ec::decode_point(ec::Curve::p256(), data.subspan(kDeviceIdSize));
+  if (!point) return point.error();
+  request.ru = point.value();
+  return request;
+}
+
+Bytes EnrollmentResponse::encode() const {
+  return concat({ByteView(certificate.encode()), ByteView(bi::to_be_bytes(r))});
+}
+
+Result<EnrollmentResponse> EnrollmentResponse::decode(ByteView data) {
+  if (data.size() != kEnrollmentResponseSize) return Error::kBadLength;
+  auto certificate = Certificate::decode(data.subspan(0, kCertificateSize));
+  if (!certificate) return certificate.error();
+  EnrollmentResponse response;
+  response.certificate = certificate.value();
+  response.r = bi::from_be_bytes(data.subspan(kCertificateSize));
+  if (response.r.is_zero() || bi::cmp(response.r, ec::Curve::p256().order()) >= 0)
+    return Error::kDecodeFailed;
+  return response;
+}
+
+Result<Bytes> handle_enrollment(CertificateAuthority& ca, ByteView request_bytes,
+                                std::uint64_t now, std::uint64_t lifetime_seconds,
+                                rng::Rng& rng) {
+  auto request = EnrollmentRequest::decode(request_bytes);
+  if (!request) return request.error();
+  auto issued = ca.issue(request->subject, request->ru, now, lifetime_seconds, rng);
+  if (!issued) return issued.error();
+  return EnrollmentResponse{issued->certificate, issued->r}.encode();
+}
+
+Result<ReconstructedKey> complete_enrollment(const CertRequest& request,
+                                             ByteView response_bytes,
+                                             const ec::AffinePoint& q_ca,
+                                             Certificate* certificate_out) {
+  auto response = EnrollmentResponse::decode(response_bytes);
+  if (!response) return response.error();
+  if (!(response->certificate.subject == request.subject)) return Error::kAuthenticationFailed;
+  auto key = reconstruct_private_key(response->certificate, request.ku, response->r, q_ca);
+  if (!key) return key.error();
+  if (certificate_out != nullptr) *certificate_out = response->certificate;
+  return key;
+}
+
+}  // namespace ecqv::cert

@@ -1,0 +1,53 @@
+// Wire format for the certificate derivation phase (paper Fig. 1, stages
+// 1-2): what actually travels between a device and the CA gateway during
+// enrollment, sized for constrained links.
+//
+//   request : subject id (16) || R_U compressed (33)            = 49 B
+//   response: certificate (101) || r (32)                       = 133 B
+//
+// The response is deliberately *not* signed: ECQV's implicit verification
+// (reconstruct, then check Q_U == e*P_U + Q_CA) detects any tampering with
+// either field, which the tests demonstrate. Transport privacy/authenticity
+// of the enrollment channel itself is the deployment phase's problem
+// (paper §II: "device authentication and deployment").
+#pragma once
+
+#include "common/result.hpp"
+#include "ecqv/ca.hpp"
+#include "ecqv/scheme.hpp"
+
+namespace ecqv::cert {
+
+inline constexpr std::size_t kEnrollmentRequestSize = kDeviceIdSize + 33;
+inline constexpr std::size_t kEnrollmentResponseSize = kCertificateSize + 32;
+
+struct EnrollmentRequest {
+  DeviceId subject;
+  ec::AffinePoint ru;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<EnrollmentRequest> decode(ByteView data);
+};
+
+struct EnrollmentResponse {
+  Certificate certificate;
+  bi::U256 r;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<EnrollmentResponse> decode(ByteView data);
+};
+
+/// CA side: decode a request, issue, encode the response.
+Result<Bytes> handle_enrollment(CertificateAuthority& ca, ByteView request_bytes,
+                                std::uint64_t now, std::uint64_t lifetime_seconds,
+                                rng::Rng& rng);
+
+/// Device side: decode the response and reconstruct the key pair, verifying
+/// implicitly against the CA public key. `request` is the local state kept
+/// from make_cert_request().
+Result<ReconstructedKey> complete_enrollment(const CertRequest& request,
+                                             ByteView response_bytes,
+                                             const ec::AffinePoint& q_ca,
+                                             Certificate* certificate_out = nullptr);
+
+}  // namespace ecqv::cert

@@ -1,0 +1,51 @@
+#include "ecqv/scheme.hpp"
+
+namespace ecqv::cert {
+
+namespace {
+const ec::Curve& curve() { return ec::Curve::p256(); }
+}  // namespace
+
+CertRequest make_cert_request(const DeviceId& subject, rng::Rng& rng) {
+  CertRequest req;
+  req.subject = subject;
+  req.ku = curve().random_scalar(rng);
+  req.ru = curve().mul_base(req.ku);
+  return req;
+}
+
+bi::U256 cert_hash_scalar(const Certificate& certificate) {
+  return curve().hash_to_scalar(certificate.encode());
+}
+
+Result<ReconstructedKey> reconstruct_private_key(const Certificate& certificate,
+                                                 const bi::U256& ku, const bi::U256& r,
+                                                 const ec::AffinePoint& q_ca) {
+  const auto& fn = curve().fn();
+  if (r.is_zero() || bi::cmp(r, curve().order()) >= 0) return Error::kDecodeFailed;
+  const bi::U256 e = cert_hash_scalar(certificate);
+  // d_U = e * k_U + r mod n
+  const bi::U256 eku = fn.from_mont(fn.mul(fn.to_mont(e), fn.to_mont(ku)));
+  const bi::U256 du = fn.add(eku, r);
+  if (du.is_zero()) return Error::kInternal;  // negligible probability
+  const ec::AffinePoint qu = curve().mul_base(du);
+  // Implicit verification: Q_U must equal e*P_U + Q_CA.
+  auto expected = extract_public_key(certificate, q_ca);
+  if (!expected) return expected.error();
+  if (!(qu == expected.value())) return Error::kAuthenticationFailed;
+  return ReconstructedKey{du, qu};
+}
+
+Result<ec::AffinePoint> extract_public_key(const Certificate& certificate,
+                                           const ec::AffinePoint& q_ca) {
+  const ec::AffinePoint& pu = certificate.reconstruction_point;
+  if (pu.infinity || !curve().is_on_curve(pu)) return Error::kInvalidPoint;
+  if (q_ca.infinity || !curve().is_on_curve(q_ca)) return Error::kInvalidPoint;
+  const bi::U256 e = cert_hash_scalar(certificate);
+  const ec::AffinePoint epu = curve().mul_vartime(e, pu);
+  const ec::AffinePoint qu = curve().add(epu, q_ca);
+  if (qu.infinity) return Error::kInvalidPoint;
+  return qu;
+}
+
+}  // namespace ecqv::cert

@@ -1,0 +1,64 @@
+// The ECQV implicit certificate scheme (SEC4 §2.4–2.7).
+//
+// Roles and flow (paper Fig. 1, stages 1–2):
+//
+//   requester U                      certificate authority CA
+//   ----------------                 ------------------------
+//   k_U ∈R [1,n-1]
+//   R_U = k_U·G          --(ID_U, R_U)-->
+//                                     k ∈R [1,n-1]
+//                                     P_U = R_U + k·G
+//                                     Cert_U = Encode(P_U, ID_U, meta)
+//                                     e = Hn(Cert_U)
+//                                     r = e·k + d_CA  mod n
+//                        <--(Cert_U, r)--
+//   e = Hn(Cert_U)
+//   d_U = e·k_U + r  mod n            (private key reconstruction)
+//   Q_U = d_U·G
+//   check Q_U == e·P_U + Q_CA         (implicit verification)
+//
+// Any third party later derives U's public key from the certificate alone:
+//   Q_U = Hn(Cert_U)·P_U + Q_CA       (paper eq. (1))
+#pragma once
+
+#include "common/result.hpp"
+#include "ec/curve.hpp"
+#include "ecqv/certificate.hpp"
+#include "rng/rng.hpp"
+
+namespace ecqv::cert {
+
+/// Requester-side state for one certificate enrollment. `ku` is secret and
+/// must not leave the device.
+struct CertRequest {
+  DeviceId subject;
+  bi::U256 ku;           // request secret k_U
+  ec::AffinePoint ru;    // R_U = k_U * G
+};
+
+/// Starts an enrollment: fresh k_U and R_U.
+CertRequest make_cert_request(const DeviceId& subject, rng::Rng& rng);
+
+/// Result of private key reconstruction on the requester.
+struct ReconstructedKey {
+  bi::U256 private_key;       // d_U
+  ec::AffinePoint public_key; // Q_U = d_U * G
+};
+
+/// e = Hn(Cert): the certificate's hash scalar (paper eq. (1) "Hash(Cert)").
+bi::U256 cert_hash_scalar(const Certificate& certificate);
+
+/// Requester-side key reconstruction and implicit verification.
+/// `r` is the CA's private-key contribution; `q_ca` the CA public key.
+/// Fails with kAuthenticationFailed when Q_U != e*P_U + Q_CA (i.e. the
+/// certificate was not issued by this CA for this request).
+Result<ReconstructedKey> reconstruct_private_key(const Certificate& certificate,
+                                                 const bi::U256& ku, const bi::U256& r,
+                                                 const ec::AffinePoint& q_ca);
+
+/// Third-party public key extraction (paper eq. (1)); the operation that
+/// makes the certificate "implicit". Validates the reconstruction point.
+Result<ec::AffinePoint> extract_public_key(const Certificate& certificate,
+                                           const ec::AffinePoint& q_ca);
+
+}  // namespace ecqv::cert

@@ -1,0 +1,35 @@
+#include "hash/hkdf.hpp"
+
+#include <stdexcept>
+
+namespace ecqv::hash {
+
+Digest hkdf_extract(ByteView salt, ByteView ikm) { return hmac_sha256(salt, ikm); }
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize) throw std::invalid_argument("hkdf_expand: too long");
+  Bytes okm;
+  okm.reserve(length);
+  Digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    HmacSha256 mac(prk);
+    mac.update(ByteView(t.data(), t_len));
+    mac.update(info);
+    mac.update(ByteView(&counter, 1));
+    t = mac.finish();
+    t_len = t.size();
+    const std::size_t take = std::min(t_len, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return okm;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  const Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace ecqv::hash

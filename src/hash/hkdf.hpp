@@ -1,0 +1,21 @@
+// HKDF (RFC 5869) over HMAC-SHA256.
+//
+// This is the KDF of paper eq. (4): KS = KDF(KPM, salt). extract() condenses
+// the ECDH premaster into a PRK; expand() stretches it into the session key
+// hierarchy (see kdf/session_keys.hpp).
+#pragma once
+
+#include "hash/hmac.hpp"
+
+namespace ecqv::hash {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Digest hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: OKM of `length` bytes (<= 255 * 32) from PRK and info.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace ecqv::hash

@@ -1,0 +1,28 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include "hash/sha256.hpp"
+
+namespace ecqv::hash {
+
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void update(ByteView data);
+  [[nodiscard]] Digest finish();
+
+  /// Restarts a MAC computation under the same key.
+  void reset();
+
+ private:
+  std::array<std::uint8_t, kSha256BlockSize> ipad_{};
+  std::array<std::uint8_t, kSha256BlockSize> opad_{};
+  Sha256 inner_;
+};
+
+/// One-shot convenience.
+Digest hmac_sha256(ByteView key, ByteView data);
+Digest hmac_sha256(ByteView key, std::initializer_list<ByteView> parts);
+
+}  // namespace ecqv::hash

@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4).
+//
+// Streaming interface plus one-shot helper. The compression function bumps
+// Op::kSha256Block so the device cost model prices hashing by the number of
+// 64-byte blocks actually processed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace ecqv::hash {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// further use.
+  [[nodiscard]] Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kSha256BlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(ByteView data);
+
+/// One-shot over a concatenation, avoiding an intermediate buffer.
+Digest sha256(std::initializer_list<ByteView> parts);
+
+}  // namespace ecqv::hash

@@ -1,0 +1,41 @@
+#include <algorithm>
+
+#include "kdf/session_keys.hpp"
+
+#include "hash/hkdf.hpp"
+
+namespace ecqv::kdf {
+
+void SessionKeys::wipe() {
+  secure_wipe(ByteSpan(enc_key));
+  secure_wipe(ByteSpan(mac_key));
+  secure_wipe(ByteSpan(iv_seed));
+}
+
+namespace {
+SessionKeys split(const Bytes& okm) {
+  SessionKeys keys;
+  std::copy_n(okm.begin(), keys.enc_key.size(), keys.enc_key.begin());
+  std::copy_n(okm.begin() + static_cast<std::ptrdiff_t>(keys.enc_key.size()),
+              keys.mac_key.size(), keys.mac_key.begin());
+  std::copy_n(okm.begin() + static_cast<std::ptrdiff_t>(keys.enc_key.size() + keys.mac_key.size()),
+              keys.iv_seed.size(), keys.iv_seed.begin());
+  return keys;
+}
+}  // namespace
+
+SessionKeys derive_session_keys(const ec::AffinePoint& premaster, ByteView salt,
+                                ByteView info_label) {
+  const Bytes x = bi::to_be_bytes(premaster.x);
+  return derive_session_keys(x, salt, info_label);
+}
+
+SessionKeys derive_session_keys(ByteView secret, ByteView salt, ByteView info_label) {
+  const std::size_t total = aes::kKeySize + 32 + aes::kBlockSize;
+  Bytes okm = hash::hkdf(salt, secret, info_label, total);
+  SessionKeys keys = split(okm);
+  secure_wipe(okm);
+  return keys;
+}
+
+}  // namespace ecqv::kdf

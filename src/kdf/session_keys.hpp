@@ -1,0 +1,43 @@
+// Session key derivation — paper eqs. (3) and (4):
+//
+//   KPM = X_A * XG_B = X_B * XG_A        (premaster, an EC point)
+//   KS  = KDF(KPM, salt)
+//
+// KDF is HKDF-SHA256. The session key KS is split into an AES-128
+// encryption key, a 256-bit MAC key and an IV seed so that no key is ever
+// used for two purposes. The same derivation serves both DKD (STS: KPM from
+// ephemeral points) and SKD (S-ECDSA/SCIANC/PORAMB: KPM from static Diffie-
+// Hellman), which is exactly what makes the comparison in the paper fair —
+// only the *inputs* differ.
+#pragma once
+
+#include "aes/aes128.hpp"
+#include "common/bytes.hpp"
+#include "common/wipe.hpp"
+#include "ec/curve.hpp"
+
+namespace ecqv::kdf {
+
+struct SessionKeys {
+  aes::Key enc_key{};                                    // AES-128
+  std::array<std::uint8_t, 32> mac_key{};                // HMAC-SHA256
+  aes::Iv iv_seed{};                                     // per-session IV base
+
+  /// Wipes all key material.
+  void wipe();
+
+  bool operator==(const SessionKeys&) const = default;
+};
+
+/// The paper's KDF(KPM, salt): premaster point -> session key hierarchy.
+/// The premaster enters as the x-coordinate (SEC1 §3.3.1 field-element
+/// ECDH convention); `salt` binds the session context (identities and, for
+/// the nonce-based protocols, the exchanged nonces).
+SessionKeys derive_session_keys(const ec::AffinePoint& premaster, ByteView salt,
+                                ByteView info_label);
+
+/// Raw-secret variant for symmetric-only protocols (PORAMB pre-shared
+/// pairwise keys).
+SessionKeys derive_session_keys(ByteView secret, ByteView salt, ByteView info_label);
+
+}  // namespace ecqv::kdf

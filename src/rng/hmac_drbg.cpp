@@ -1,0 +1,61 @@
+#include "rng/hmac_drbg.hpp"
+
+#include "common/metrics.hpp"
+
+namespace ecqv::rng {
+
+namespace {
+constexpr std::uint8_t kSep0 = 0x00;
+constexpr std::uint8_t kSep1 = 0x01;
+}  // namespace
+
+HmacDrbg::HmacDrbg(ByteView entropy, ByteView nonce, ByteView personalization) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  update(entropy, nonce, personalization);
+}
+
+void HmacDrbg::update(ByteView data1, ByteView data2, ByteView data3) {
+  // K = HMAC(K, V || 0x00 || data); V = HMAC(K, V)
+  {
+    hash::HmacSha256 mac(key_);
+    mac.update(value_);
+    mac.update(ByteView(&kSep0, 1));
+    mac.update(data1);
+    mac.update(data2);
+    mac.update(data3);
+    key_ = mac.finish();
+  }
+  value_ = hash::hmac_sha256(key_, value_);
+  if (data1.empty() && data2.empty() && data3.empty()) return;
+  {
+    hash::HmacSha256 mac(key_);
+    mac.update(value_);
+    mac.update(ByteView(&kSep1, 1));
+    mac.update(data1);
+    mac.update(data2);
+    mac.update(data3);
+    key_ = mac.finish();
+  }
+  value_ = hash::hmac_sha256(key_, value_);
+}
+
+void HmacDrbg::generate(ByteSpan out, ByteView additional) {
+  count_op(Op::kDrbgByte, out.size());
+  if (!additional.empty()) update(additional);
+  std::size_t off = 0;
+  while (off < out.size()) {
+    value_ = hash::hmac_sha256(key_, value_);
+    const std::size_t take = std::min(value_.size(), out.size() - off);
+    std::copy(value_.begin(), value_.begin() + static_cast<std::ptrdiff_t>(take),
+              out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += take;
+  }
+  update(additional);
+}
+
+void HmacDrbg::fill(ByteSpan out) { generate(out, {}); }
+
+void HmacDrbg::reseed(ByteView entropy, ByteView additional) { update(entropy, additional); }
+
+}  // namespace ecqv::rng

@@ -1,0 +1,33 @@
+// HMAC_DRBG with SHA-256 (NIST SP 800-90A §10.1.2), no prediction
+// resistance, reseed via reseed().
+//
+// Doubles as the deterministic-nonce engine for RFC 6979 (ecdsa/rfc6979.cpp
+// instantiates it with the private key and message digest per that RFC).
+#pragma once
+
+#include "hash/hmac.hpp"
+#include "rng/rng.hpp"
+
+namespace ecqv::rng {
+
+class HmacDrbg final : public Rng {
+ public:
+  /// Instantiates from entropy (+ optional nonce/personalization).
+  explicit HmacDrbg(ByteView entropy, ByteView nonce = {}, ByteView personalization = {});
+
+  void fill(ByteSpan out) override;
+
+  /// Mixes fresh entropy into the state (SP 800-90A reseed).
+  void reseed(ByteView entropy, ByteView additional = {});
+
+  /// Generates with additional input (used by RFC 6979 retry loop).
+  void generate(ByteSpan out, ByteView additional);
+
+ private:
+  void update(ByteView data1, ByteView data2 = {}, ByteView data3 = {});
+
+  std::array<std::uint8_t, hash::kSha256DigestSize> key_{};
+  std::array<std::uint8_t, hash::kSha256DigestSize> value_{};
+};
+
+}  // namespace ecqv::rng

@@ -1,0 +1,31 @@
+// Random number generation interface.
+//
+// Weak randomness is the paper's introduction in a nutshell ([1], [13]):
+// ephemeral key security is only as good as the RNG feeding eq. (2). The
+// library routes all randomness through this interface so deployments can
+// plug a TRNG, tests can inject determinism, and the DRBG can be reseeded
+// per policy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace ecqv::rng {
+
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(ByteSpan out) = 0;
+
+  /// Convenience: a fresh buffer of `n` random bytes.
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+};
+
+}  // namespace ecqv::rng

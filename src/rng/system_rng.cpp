@@ -1,0 +1,21 @@
+#include "rng/system_rng.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace ecqv::rng {
+
+void SystemRng::fill(ByteSpan out) {
+  static thread_local std::ifstream urandom("/dev/urandom", std::ios::binary);
+  if (!urandom.is_open()) throw std::runtime_error("SystemRng: cannot open /dev/urandom");
+  urandom.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(out.size()));
+  if (urandom.gcount() != static_cast<std::streamsize>(out.size()))
+    throw std::runtime_error("SystemRng: short read from /dev/urandom");
+}
+
+SystemRng& SystemRng::instance() {
+  static SystemRng rng;
+  return rng;
+}
+
+}  // namespace ecqv::rng

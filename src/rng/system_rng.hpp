@@ -1,0 +1,16 @@
+// OS entropy source (/dev/urandom), the default production RNG.
+#pragma once
+
+#include "rng/rng.hpp"
+
+namespace ecqv::rng {
+
+class SystemRng final : public Rng {
+ public:
+  void fill(ByteSpan out) override;
+
+  /// Process-wide shared instance (thread-safe: the underlying read is).
+  static SystemRng& instance();
+};
+
+}  // namespace ecqv::rng

@@ -1,0 +1,18 @@
+#include "rng/test_rng.hpp"
+
+namespace ecqv::rng {
+
+namespace {
+Bytes seed_bytes(std::uint64_t seed) {
+  Bytes b(8);
+  store_be64(b, seed);
+  return b;
+}
+}  // namespace
+
+TestRng::TestRng(std::uint64_t seed)
+    : drbg_(seed_bytes(seed), bytes_of("ecqv-sts-test-rng"), {}) {}
+
+void TestRng::fill(ByteSpan out) { drbg_.fill(out); }
+
+}  // namespace ecqv::rng

@@ -1,0 +1,23 @@
+// Deterministic RNG for tests and reproducible benchmarks: an HMAC-DRBG
+// seeded from a caller-provided integer. Identical seeds yield identical
+// protocol transcripts, which the property tests and the attack harness rely
+// on. Never use outside tests/benches.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/hmac_drbg.hpp"
+
+namespace ecqv::rng {
+
+class TestRng final : public Rng {
+ public:
+  explicit TestRng(std::uint64_t seed);
+
+  void fill(ByteSpan out) override;
+
+ private:
+  HmacDrbg drbg_;
+};
+
+}  // namespace ecqv::rng

@@ -1,0 +1,144 @@
+#include "sim/calibrate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecqv::sim {
+
+namespace {
+
+/// Splits a workload into its EC-weighted and symmetric-weighted masses.
+struct Mass {
+  double ec = 0.0;
+  double sym = 0.0;
+};
+
+Mass weighted_mass(const OpCounts& counts) {
+  const auto& w = reference_weights();
+  Mass m;
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const Op op = static_cast<Op>(i);
+    const double contribution = static_cast<double>(counts.counts[i]) * w[op];
+    if (is_ec_op(op)) {
+      m.ec += contribution;
+    } else {
+      m.sym += contribution;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+DeviceFit fit_device(std::string device_label, const std::vector<CalibrationRow>& rows) {
+  if (rows.empty()) throw std::invalid_argument("fit_device: no calibration rows");
+  std::vector<Mass> masses;
+  masses.reserve(rows.size());
+  for (const auto& row : rows) masses.push_back(weighted_mass(row.counts));
+
+  // Identify the symmetric factor from the (S-ECDSA ext − S-ECDSA) pair
+  // when available: the two rows do identical EC work, so their time
+  // difference isolates the symmetric stack. This avoids the usual
+  // colinearity problem (every protocol's EC mass dominates, so a joint
+  // 2-var LSQ drives the symmetric factor to zero).
+  double beta = -1.0;
+  {
+    const CalibrationRow* base = nullptr;
+    const CalibrationRow* ext = nullptr;
+    const Mass* base_mass = nullptr;
+    const Mass* ext_mass = nullptr;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].kind == proto::ProtocolKind::kSEcdsa) {
+        base = &rows[i];
+        base_mass = &masses[i];
+      }
+      if (rows[i].kind == proto::ProtocolKind::kSEcdsaExt) {
+        ext = &rows[i];
+        ext_mass = &masses[i];
+      }
+    }
+    if (base != nullptr && ext != nullptr) {
+      const double d_sym = ext_mass->sym - base_mass->sym;
+      const double d_ec = ext_mass->ec - base_mass->ec;  // ~0 by construction
+      if (d_sym > 1e-12 && std::abs(d_ec) < 1e-9) {
+        beta = std::max(0.0, (ext->target_ms - base->target_ms) / d_sym);
+      }
+    }
+  }
+
+  // EC factor by LSQ on the symmetric-corrected targets (falls back to a
+  // joint 2-var fit when the difference pair was unavailable).
+  double alpha = 0;
+  if (beta >= 0.0) {
+    double saa = 0, say = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      saa += masses[i].ec * masses[i].ec;
+      say += masses[i].ec * (rows[i].target_ms - beta * masses[i].sym);
+    }
+    alpha = saa > 0 ? std::max(0.0, say / saa) : 0.0;
+  } else {
+    double saa = 0, sab = 0, sbb = 0, say = 0, sby = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      saa += masses[i].ec * masses[i].ec;
+      sab += masses[i].ec * masses[i].sym;
+      sbb += masses[i].sym * masses[i].sym;
+      say += masses[i].ec * rows[i].target_ms;
+      sby += masses[i].sym * rows[i].target_ms;
+    }
+    const double det = saa * sbb - sab * sab;
+    if (std::abs(det) > 1e-12 * saa * sbb + 1e-30) {
+      alpha = (say * sbb - sby * sab) / det;
+      beta = (sby * saa - say * sab) / det;
+    }
+    if (beta < 0.0) {
+      beta = 0.0;
+      alpha = saa > 0 ? say / saa : 0.0;
+    }
+    if (alpha < 0.0) {
+      alpha = 0.0;
+      beta = sbb > 0 ? sby / sbb : 0.0;
+    }
+  }
+
+  DeviceFit fit;
+  fit.model.name = std::move(device_label);
+  fit.model.ec_factor_ms = alpha;
+  fit.model.sym_factor_ms = beta;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double predicted = alpha * masses[i].ec + beta * masses[i].sym;
+    fit.predicted_ms.push_back(predicted);
+    const double rel = std::abs(predicted - rows[i].target_ms) / rows[i].target_ms;
+    fit.max_rel_error = std::max(fit.max_rel_error, rel);
+  }
+  return fit;
+}
+
+std::vector<CalibrationRow> calibration_rows(PaperDevice device, std::uint64_t seed) {
+  std::vector<CalibrationRow> rows;
+  rows.reserve(kCalibrationRows.size());
+  for (const auto kind : kCalibrationRows) {
+    const RunRecord record = record_run(kind, seed);
+    rows.push_back(CalibrationRow{kind, record.total(), table1_ms(kind, device)});
+  }
+  return rows;
+}
+
+std::vector<DeviceFit> calibrate_all_paper_devices(std::uint64_t seed) {
+  // Record each protocol once; reuse counts for all four devices.
+  std::vector<std::pair<proto::ProtocolKind, OpCounts>> counted;
+  for (const auto kind : kCalibrationRows) {
+    const RunRecord record = record_run(kind, seed);
+    counted.emplace_back(kind, record.total());
+  }
+  std::vector<DeviceFit> fits;
+  for (const auto device : kPaperDevices) {
+    std::vector<CalibrationRow> rows;
+    rows.reserve(counted.size());
+    for (const auto& [kind, counts] : counted)
+      rows.push_back(CalibrationRow{kind, counts, table1_ms(kind, device)});
+    fits.push_back(fit_device(std::string(device_name(device)), rows));
+  }
+  return fits;
+}
+
+}  // namespace ecqv::sim

@@ -1,0 +1,88 @@
+#include "sim/counts.hpp"
+
+#include <stdexcept>
+
+#include "rng/test_rng.hpp"
+
+namespace ecqv::sim {
+
+namespace {
+
+constexpr std::uint64_t kNow = 1700000000;  // fixed epoch for validity checks
+constexpr std::uint64_t kLifetime = 86400;
+
+struct Fixture {
+  cert::CertificateAuthority ca;
+  proto::Credentials alice;
+  proto::Credentials bob;
+
+  explicit Fixture(std::uint64_t seed)
+      : ca(cert::DeviceId::from_string("gateway-ca"),
+           [&] {
+             rng::TestRng boot(seed);
+             return ec::Curve::p256().random_scalar(boot);
+           }()),
+        alice([&] {
+          rng::TestRng r(seed + 1);
+          return proto::provision_device(ca, cert::DeviceId::from_string("alice"), kNow,
+                                         kLifetime, r);
+        }()),
+        bob([&] {
+          rng::TestRng r(seed + 2);
+          return proto::provision_device(ca, cert::DeviceId::from_string("bob"), kNow, kLifetime,
+                                         r);
+        }()) {
+    rng::TestRng r(seed + 3);
+    proto::install_pairwise_key(alice, bob, r);
+  }
+};
+
+}  // namespace
+
+OpCounts RunRecord::initiator_total() const {
+  OpCounts total;
+  for (const auto& s : initiator_segments) total += s.counts;
+  return total;
+}
+
+OpCounts RunRecord::responder_total() const {
+  OpCounts total;
+  for (const auto& s : responder_segments) total += s.counts;
+  return total;
+}
+
+OpCounts RunRecord::total() const { return initiator_total() + responder_total(); }
+
+OpCounts counts_with_prefix(const std::vector<proto::OpSegment>& segments,
+                            std::string_view prefix) {
+  OpCounts total;
+  for (const auto& s : segments)
+    if (std::string_view(s.label).starts_with(prefix)) total += s.counts;
+  return total;
+}
+
+RunRecord record_run(proto::ProtocolKind kind, std::uint64_t seed) {
+  Fixture fixture(seed);
+  rng::TestRng rng_a(seed + 10);
+  rng::TestRng rng_b(seed + 11);
+
+  if (kind == proto::ProtocolKind::kScianc) {
+    // Warm the extraction caches: the measured run is the steady state.
+    auto warm = proto::make_parties(kind, fixture.alice, fixture.bob, rng_a, rng_b, kNow);
+    const auto warm_result = proto::run_handshake(*warm.initiator, *warm.responder);
+    if (!warm_result.success) throw std::runtime_error("record_run: SCIANC warm-up failed");
+  }
+
+  auto pair = proto::make_parties(kind, fixture.alice, fixture.bob, rng_a, rng_b, kNow);
+  const auto result = proto::run_handshake(*pair.initiator, *pair.responder);
+  if (!result.success) throw std::runtime_error("record_run: handshake failed");
+
+  RunRecord record;
+  record.kind = kind;
+  record.transcript = result.transcript;
+  record.initiator_segments = pair.initiator->segments();
+  record.responder_segments = pair.responder->segments();
+  return record;
+}
+
+}  // namespace ecqv::sim

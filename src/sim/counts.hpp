@@ -1,0 +1,36 @@
+// Instrumented protocol runs: executes the real protocol implementations
+// over an ideal link with deterministic RNG and records the transcript plus
+// every party's operation segments. This is the measurement side of the
+// device cost model — the counts fed into calibration and prediction.
+#pragma once
+
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/party.hpp"
+
+namespace ecqv::sim {
+
+/// Everything observed in one instrumented handshake.
+struct RunRecord {
+  proto::ProtocolKind kind;
+  proto::Transcript transcript;
+  std::vector<proto::OpSegment> initiator_segments;
+  std::vector<proto::OpSegment> responder_segments;
+
+  [[nodiscard]] OpCounts initiator_total() const;
+  [[nodiscard]] OpCounts responder_total() const;
+  [[nodiscard]] OpCounts total() const;
+};
+
+/// Runs `kind` between two freshly provisioned devices (deterministic under
+/// `seed`) and records it. SCIANC runs one warm-up handshake first so the
+/// peer-public-key cache is warm (the protocol's steady state; see
+/// core/scianc.hpp). Throws std::runtime_error if the handshake fails.
+RunRecord record_run(proto::ProtocolKind kind, std::uint64_t seed = 42);
+
+/// Sums the counts of all segments whose label starts with `prefix`.
+OpCounts counts_with_prefix(const std::vector<proto::OpSegment>& segments,
+                            std::string_view prefix);
+
+}  // namespace ecqv::sim

@@ -1,0 +1,54 @@
+#include "sim/device.hpp"
+
+namespace ecqv::sim {
+
+ReferenceWeights::ReferenceWeights() {
+  auto set = [&](Op op, double w) { weight[static_cast<std::size_t>(op)] = w; };
+  // Relative costs of this library's primitives, in units of one
+  // Montgomery-ladder scalar multiplication (measured natively on the dev
+  // machine with bench_primitives_native; stable to within a few percent).
+  set(Op::kEcMulBase, 1.00);
+  set(Op::kEcMulVar, 1.00);    // ladder: same schedule as base mult
+  set(Op::kEcMulDual, 0.68);   // interleaved 4-bit wNAF Straus
+  set(Op::kEcAdd, 0.058);      // one Jacobian add + affine conversion
+  set(Op::kModInv, 0.069);     // Fermat inversion (256 sqr + ~128 mul)
+  set(Op::kSha256Block, 1.23e-3);
+  set(Op::kAesBlock, 7.3e-4);
+  // HMAC/CMAC/DRBG already count their internal SHA/AES blocks; only the
+  // residual bookkeeping is priced here.
+  set(Op::kHmac, 1.0e-5);
+  set(Op::kCmac, 1.0e-5);
+  set(Op::kDrbgByte, 1.0e-5);
+}
+
+bool is_ec_op(Op op) {
+  switch (op) {
+    case Op::kEcMulBase:
+    case Op::kEcMulVar:
+    case Op::kEcMulDual:
+    case Op::kEcAdd:
+    case Op::kModInv: return true;
+    default: return false;
+  }
+}
+
+const ReferenceWeights& reference_weights() {
+  static const ReferenceWeights weights;
+  return weights;
+}
+
+double DeviceModel::op_cost_ms(Op op) const {
+  const double w = reference_weights()[op];
+  return w * (is_ec_op(op) ? ec_factor_ms : sym_factor_ms);
+}
+
+double DeviceModel::time_ms(const OpCounts& counts) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const Op op = static_cast<Op>(i);
+    total += static_cast<double>(counts.counts[i]) * op_cost_ms(op);
+  }
+  return total;
+}
+
+}  // namespace ecqv::sim

@@ -1,0 +1,57 @@
+// Embedded device cost model.
+//
+// We cannot run on the paper's four boards (ATmega2560, S32K144, STM32F767,
+// Raspberry Pi 4), so device execution time is modeled as
+//
+//     time_ms = Σ_op  count(op) · cost_ms(device, op)
+//
+// where the counts come from *real executions* of this library's protocol
+// code (common/metrics.hpp) and the per-device costs are calibrated against
+// the paper's published Table I aggregates (sim/calibrate.hpp). One cost
+// table per device must reproduce all protocol rows simultaneously — that
+// consistency requirement is what makes the model predictive rather than
+// transcribed: the STS Opt. I / Opt. II rows and the Fig. 3 / Fig. 7
+// breakdowns are *predictions* from tables fitted without them.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/metrics.hpp"
+
+namespace ecqv::sim {
+
+/// Per-primitive relative weights of this library's implementation,
+/// measured natively (see bench/bench_primitives_native.cpp; values are the
+/// dev-machine medians, units: one ladder scalar-mult = 1.0). They pin the
+/// *ratios* between primitives; calibration scales the EC and symmetric
+/// groups per device.
+struct ReferenceWeights {
+  std::array<double, kOpCount> weight{};
+  ReferenceWeights();
+
+  [[nodiscard]] double operator[](Op op) const {
+    return weight[static_cast<std::size_t>(op)];
+  }
+};
+
+/// True for primitives in the elliptic-curve group (scaled by the device's
+/// EC factor); the rest scale with the symmetric factor.
+bool is_ec_op(Op op);
+
+struct DeviceModel {
+  std::string name;
+  double ec_factor_ms = 1.0;   // ms per unit EC weight
+  double sym_factor_ms = 1.0;  // ms per unit symmetric weight
+
+  /// Predicted milliseconds for a counted workload.
+  [[nodiscard]] double time_ms(const OpCounts& counts) const;
+
+  /// Cost of a single primitive in ms.
+  [[nodiscard]] double op_cost_ms(Op op) const;
+};
+
+/// The global reference weights instance.
+const ReferenceWeights& reference_weights();
+
+}  // namespace ecqv::sim

@@ -1,0 +1,46 @@
+#include "sim/jitter.hpp"
+
+#include <cmath>
+
+namespace ecqv::sim {
+
+namespace {
+/// Uniform in (0, 1]: 52 random mantissa bits, never exactly zero.
+double uniform01(rng::Rng& rng) {
+  Bytes b(8);
+  rng.fill(b);
+  const std::uint64_t v = load_be64(b) >> 12;  // 52 bits
+  return (static_cast<double>(v) + 1.0) / 4503599627370497.0;  // 2^52 + 1
+}
+}  // namespace
+
+double gaussian_sample(rng::Rng& rng) {
+  const double u1 = uniform01(rng);
+  const double u2 = uniform01(rng);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double sample_time_ms(double base_ms, double rel_sigma, rng::Rng& rng) {
+  const double noisy = base_ms * (1.0 + rel_sigma * gaussian_sample(rng));
+  return noisy < 0.0 ? 0.0 : noisy;
+}
+
+SampleStats sample_run_stats(double base_ms, double rel_sigma, std::size_t runs,
+                             rng::Rng& rng) {
+  SampleStats stats;
+  stats.n = runs;
+  if (runs == 0) return stats;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const double sample = sample_time_ms(base_ms, rel_sigma, rng);
+    sum += sample;
+    sum_sq += sample * sample;
+  }
+  stats.mean = sum / static_cast<double>(runs);
+  const double variance =
+      sum_sq / static_cast<double>(runs) - stats.mean * stats.mean;
+  stats.stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  return stats;
+}
+
+}  // namespace ecqv::sim

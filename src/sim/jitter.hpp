@@ -1,0 +1,34 @@
+// Run-to-run timing variation model.
+//
+// Table I reports mean ± σ over ten runs; the deterministic cost model
+// alone reproduces only the means. This adds the paper's measurement-noise
+// layer: multiplicative Gaussian jitter applied per protocol run (the
+// boards' variation is dominated by interrupt/timer jitter that scales
+// with runtime; the paper's relative σ is ~1e-5..5e-3). Sampling is
+// deterministic under a caller-supplied RNG.
+#pragma once
+
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "sim/device.hpp"
+
+namespace ecqv::sim {
+
+/// One standard Gaussian variate (Box-Muller over the RNG's uniforms).
+double gaussian_sample(rng::Rng& rng);
+
+/// A single noisy execution-time sample: base_ms * (1 + rel_sigma * N(0,1)),
+/// clamped at zero.
+double sample_time_ms(double base_ms, double rel_sigma, rng::Rng& rng);
+
+struct SampleStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t n = 0;
+};
+
+/// Mean ± σ over `runs` noisy samples — the Table I cell format.
+SampleStats sample_run_stats(double base_ms, double rel_sigma, std::size_t runs, rng::Rng& rng);
+
+}  // namespace ecqv::sim

@@ -1,0 +1,116 @@
+#include "sim/paper_data.hpp"
+
+#include <stdexcept>
+
+namespace ecqv::sim {
+
+using proto::ProtocolKind;
+
+std::string_view device_name(PaperDevice device) {
+  switch (device) {
+    case PaperDevice::kAtmega2560: return "ATmega2560";
+    case PaperDevice::kS32K144: return "S32K144";
+    case PaperDevice::kStm32F767: return "STM32F767";
+    case PaperDevice::kRaspberryPi4: return "RaspberryPi 4";
+  }
+  return "?";
+}
+
+double table1_ms(ProtocolKind protocol, PaperDevice device) {
+  // Table I, mean values (ms).
+  struct Row {
+    ProtocolKind kind;
+    double atmega, s32k, stm32, rpi4;
+  };
+  static constexpr std::array<Row, 7> kRows = {{
+      {ProtocolKind::kSEcdsa, 36859.26, 2894.10, 2521.77, 18.76},
+      {ProtocolKind::kSEcdsaExt, 36882.64, 2976.20, 2602.69, 18.68},
+      {ProtocolKind::kSts, 46262.03, 3622.71, 3162.07, 23.26},
+      {ProtocolKind::kStsOptI, 41680.23, 3246.55, 2818.02, 20.87},
+      {ProtocolKind::kStsOptII, 32410.81, 2556.84, 2219.25, 16.31},
+      {ProtocolKind::kScianc, 8990.49, 721.67, 628.10, 4.58},
+      {ProtocolKind::kPoramb, 17932.17, 1471.66, 1263.00, 8.98},
+  }};
+  for (const auto& row : kRows) {
+    if (row.kind != protocol) continue;
+    switch (device) {
+      case PaperDevice::kAtmega2560: return row.atmega;
+      case PaperDevice::kS32K144: return row.s32k;
+      case PaperDevice::kStm32F767: return row.stm32;
+      case PaperDevice::kRaspberryPi4: return row.rpi4;
+    }
+  }
+  throw std::invalid_argument("table1_ms: unknown protocol/device");
+}
+
+const std::vector<Table2Row>& table2() {
+  static const std::vector<Table2Row> kTable = {
+      {ProtocolKind::kSEcdsa,
+       {{"A1", 48}, {"B1", 213}, {"A2", 165}, {"B2", 1}},
+       427},
+      {ProtocolKind::kSEcdsaExt,
+       {{"A1", 48}, {"B1", 213}, {"A2", 165}, {"B2", 97}, {"A3", 96}},
+       619},
+      {ProtocolKind::kSts,
+       {{"A1", 80}, {"B1", 245}, {"A2", 165}, {"B2", 1}},
+       491},
+      {ProtocolKind::kScianc,
+       {{"A1", 149}, {"B1", 149}, {"A2", 32}, {"B2", 32}},
+       362},
+      {ProtocolKind::kPoramb,
+       {{"A1", 48}, {"B1", 48}, {"A2", 165}, {"B2", 165}, {"A3", 197}, {"B3", 197}},
+       820},
+  };
+  return kTable;
+}
+
+std::string_view verdict_symbol(Verdict v) {
+  switch (v) {
+    case Verdict::kWeak: return "X";
+    case Verdict::kPartial: return "D";  // paper: ∆
+    case Verdict::kFull: return "OK";    // paper: ✓
+  }
+  return "?";
+}
+
+std::string_view property_name(SecurityProperty p) {
+  switch (p) {
+    case SecurityProperty::kDataExposure: return "Data exposure";
+    case SecurityProperty::kNodeCapturing: return "Node capturing";
+    case SecurityProperty::kKeyDataReuse: return "Key data reuse";
+    case SecurityProperty::kKeyDerivationExploit: return "Key der. exploit";
+    case SecurityProperty::kAuthProcedure: return "Auth. procedure";
+  }
+  return "?";
+}
+
+Verdict table3_verdict(SecurityProperty property, ProtocolKind protocol) {
+  // Table III as printed.
+  auto col = [&](Verdict secdsa, Verdict sts, Verdict scianc, Verdict poramb) {
+    switch (protocol) {
+      case ProtocolKind::kSEcdsa:
+      case ProtocolKind::kSEcdsaExt: return secdsa;
+      case ProtocolKind::kSts:
+      case ProtocolKind::kStsOptI:
+      case ProtocolKind::kStsOptII: return sts;
+      case ProtocolKind::kScianc: return scianc;
+      case ProtocolKind::kPoramb: return poramb;
+    }
+    throw std::invalid_argument("table3_verdict: unknown protocol");
+  };
+  switch (property) {
+    case SecurityProperty::kDataExposure:
+      return col(Verdict::kWeak, Verdict::kFull, Verdict::kWeak, Verdict::kWeak);
+    case SecurityProperty::kNodeCapturing:
+      return col(Verdict::kPartial, Verdict::kPartial, Verdict::kWeak, Verdict::kWeak);
+    case SecurityProperty::kKeyDataReuse:
+      return col(Verdict::kWeak, Verdict::kFull, Verdict::kPartial, Verdict::kWeak);
+    case SecurityProperty::kKeyDerivationExploit:
+      return col(Verdict::kPartial, Verdict::kFull, Verdict::kPartial, Verdict::kPartial);
+    case SecurityProperty::kAuthProcedure:
+      return col(Verdict::kFull, Verdict::kFull, Verdict::kPartial, Verdict::kPartial);
+  }
+  throw std::invalid_argument("table3_verdict: unknown property");
+}
+
+}  // namespace ecqv::sim

@@ -1,0 +1,79 @@
+// The paper's published measurements, used as calibration anchors and as
+// the "paper" column in every reproduction report (EXPERIMENTS.md).
+// Source: Basic, Steger, Kofler, DATE 2023 (arXiv:2311.11444), Tables I-III,
+// Figs. 3, 4, 7 and §V-C text.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/protocol_ids.hpp"
+
+namespace ecqv::sim {
+
+/// The four hardware platforms of Table I (paper §V-A).
+enum class PaperDevice { kAtmega2560, kS32K144, kStm32F767, kRaspberryPi4 };
+inline constexpr std::array<PaperDevice, 4> kPaperDevices = {
+    PaperDevice::kAtmega2560, PaperDevice::kS32K144, PaperDevice::kStm32F767,
+    PaperDevice::kRaspberryPi4};
+
+std::string_view device_name(PaperDevice device);
+
+/// Table I cell: mean execution time in ms (we do not model the ±σ).
+double table1_ms(proto::ProtocolKind protocol, PaperDevice device);
+
+/// Table I row order as printed in the paper.
+inline constexpr std::array<proto::ProtocolKind, 7> kTable1Rows = {
+    proto::ProtocolKind::kSEcdsa,   proto::ProtocolKind::kSEcdsaExt,
+    proto::ProtocolKind::kSts,      proto::ProtocolKind::kStsOptI,
+    proto::ProtocolKind::kStsOptII, proto::ProtocolKind::kScianc,
+    proto::ProtocolKind::kPoramb};
+
+/// Protocols whose Table I rows are used as calibration anchors. The STS
+/// optimization rows are deliberately excluded — they are predicted by the
+/// scheduler and compared against the paper as validation.
+inline constexpr std::array<proto::ProtocolKind, 5> kCalibrationRows = {
+    proto::ProtocolKind::kSEcdsa, proto::ProtocolKind::kSEcdsaExt, proto::ProtocolKind::kSts,
+    proto::ProtocolKind::kScianc, proto::ProtocolKind::kPoramb};
+
+/// Table II: expected per-step payload sizes (bytes) and totals.
+struct Table2Row {
+  proto::ProtocolKind protocol;
+  std::vector<std::pair<std::string_view, std::size_t>> steps;
+  std::size_t total_bytes;
+};
+const std::vector<Table2Row>& table2();
+
+/// Table III verdicts.
+enum class Verdict { kWeak, kPartial, kFull };  // paper: ✗ / ∆ / ✓
+std::string_view verdict_symbol(Verdict v);
+
+/// Table III rows (properties) in paper order.
+enum class SecurityProperty {
+  kDataExposure,
+  kNodeCapturing,
+  kKeyDataReuse,
+  kKeyDerivationExploit,
+  kAuthProcedure,
+};
+inline constexpr std::array<SecurityProperty, 5> kTable3Rows = {
+    SecurityProperty::kDataExposure, SecurityProperty::kNodeCapturing,
+    SecurityProperty::kKeyDataReuse, SecurityProperty::kKeyDerivationExploit,
+    SecurityProperty::kAuthProcedure};
+std::string_view property_name(SecurityProperty p);
+
+/// Table III columns use the four base protocols.
+inline constexpr std::array<proto::ProtocolKind, 4> kTable3Columns = {
+    proto::ProtocolKind::kSEcdsa, proto::ProtocolKind::kSts, proto::ProtocolKind::kScianc,
+    proto::ProtocolKind::kPoramb};
+
+Verdict table3_verdict(SecurityProperty property, proto::ProtocolKind protocol);
+
+/// §V-C prototype headline numbers (S32K144 pair over CAN-FD).
+inline constexpr double kFig7StsTotalSeconds = 3.257;
+inline constexpr double kFig7SEcdsaTotalSeconds = 2.677;
+inline constexpr double kFig7IncreasePercent = 21.67;
+
+}  // namespace ecqv::sim

@@ -1,0 +1,94 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecqv::sim {
+
+StsOpTimes sts_op_times(const std::vector<proto::OpSegment>& segments,
+                        const DeviceModel& device) {
+  StsOpTimes times;
+  for (const auto& s : segments) {
+    const std::string_view label(s.label);
+    const double ms = device.time_ms(s.counts);
+    if (label.starts_with("Op1")) {
+      times.t1 += ms;
+    } else if (label.starts_with("Op2")) {
+      times.t2 += ms;
+    } else if (label.starts_with("Op3")) {
+      times.t3 += ms;
+    } else if (label.starts_with("Op4")) {
+      times.t4 += ms;
+    } else {
+      throw std::invalid_argument("sts_op_times: non-STS segment label: " + s.label);
+    }
+  }
+  return times;
+}
+
+double sequential_total_ms(const RunRecord& record, const DeviceModel& initiator_device,
+                           const DeviceModel& responder_device) {
+  return initiator_device.time_ms(record.initiator_total()) +
+         responder_device.time_ms(record.responder_total());
+}
+
+double sts_total_ms(const StsOpTimes& a, const StsOpTimes& b, proto::StsVariant variant) {
+  switch (variant) {
+    case proto::StsVariant::kBaseline:
+      return a.total() + b.total();  // eq. (5)
+    case proto::StsVariant::kOptI:
+      // A's Op2 hides under B's Op2+Op3 window (or vice versa if A is the
+      // slower device — the max() covers both directions of eq. (6)).
+      return a.t1 + b.t1 + std::max(a.t2, b.t2 + b.t3) + a.t3 + a.t4 + b.t4;
+    case proto::StsVariant::kOptII:
+      // A speculatively signs before verifying; Op2+Op3 on both sides
+      // overlap fully.
+      return a.t1 + b.t1 + std::max(a.t2 + a.t3, b.t2 + b.t3) + a.t4 + b.t4;
+  }
+  throw std::invalid_argument("sts_total_ms: unknown variant");
+}
+
+std::vector<TimelineEntry> build_timeline(const RunRecord& record,
+                                          const DeviceModel& initiator_device,
+                                          const DeviceModel& responder_device,
+                                          const std::string& initiator_name,
+                                          const std::string& responder_name,
+                                          const TransferTime& transfer) {
+  std::vector<TimelineEntry> timeline;
+  double clock = 0.0;
+
+  auto emit_segments = [&](const std::vector<proto::OpSegment>& segments,
+                           const std::string& device_name, const DeviceModel& device,
+                           std::string_view trigger) {
+    for (const auto& s : segments) {
+      if (s.trigger != trigger) continue;
+      const double ms = device.time_ms(s.counts);
+      timeline.push_back(TimelineEntry{device_name, s.label, clock, clock + ms});
+      clock += ms;
+    }
+  };
+
+  // Initiator's opening computation (trigger "").
+  emit_segments(record.initiator_segments, initiator_name, initiator_device, "");
+
+  for (const auto& message : record.transcript) {
+    const double tx = transfer ? transfer(message) : 0.0;
+    const bool from_initiator = message.sender == proto::Role::kInitiator;
+    timeline.push_back(TimelineEntry{from_initiator ? initiator_name : responder_name,
+                                     "tx:" + message.step, clock, clock + tx});
+    clock += tx;
+    // The receiver's segments triggered by this message.
+    if (from_initiator) {
+      emit_segments(record.responder_segments, responder_name, responder_device, message.step);
+    } else {
+      emit_segments(record.initiator_segments, initiator_name, initiator_device, message.step);
+    }
+  }
+  return timeline;
+}
+
+double timeline_total_ms(const std::vector<TimelineEntry>& timeline) {
+  return timeline.empty() ? 0.0 : timeline.back().end_ms;
+}
+
+}  // namespace ecqv::sim

@@ -1,0 +1,78 @@
+// Timeline composition: turns per-segment operation counts into end-to-end
+// protocol execution times on modeled devices, implementing the paper's
+// timing algebra:
+//
+//   eq. (5):  τ_T  = Σ T_OpA_i + Σ T_OpB_i                  (sequential)
+//   eq. (7):  τ'_T  = 2 T1 + T2 + 2 T3 + 2 T4               (Opt. I)
+//   eq. (8):  τ''_T = 2 T1 + T2 + T3 + 2 T4                 (Opt. II)
+//
+// Generalized to non-identical devices (the |T_OpAx - T_OpBx| form of
+// eq. (6)):
+//   Opt. I : T1A + T1B + max(T2A, T2B + T3B) + T3A + T4A + T4B
+//   Opt. II: T1A + T1B + max(T2A + T3A, T2B + T3B) + T4A + T4B
+//
+// The overlap window exists because the optimized request carries the
+// initiator's certificate: while B computes its response (Op2+Op3 after its
+// Op1), A — already in possession of XG_B once B forwards it — runs its own
+// Op2 (Opt. I) or Op2+Op3 (Opt. II, speculative signing before
+// verification) concurrently.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sts.hpp"
+#include "sim/counts.hpp"
+#include "sim/device.hpp"
+
+namespace ecqv::sim {
+
+/// The paper's per-device operation times for STS (ms on the given device).
+struct StsOpTimes {
+  double t1 = 0, t2 = 0, t3 = 0, t4 = 0;
+  [[nodiscard]] double total() const { return t1 + t2 + t3 + t4; }
+};
+
+/// Prices a party's recorded segments into Op1-Op4 buckets ("Op2a"/"Op2b"
+/// both fold into T2 — the paper's Op2 covers public-key and premaster
+/// generation wherever they execute).
+StsOpTimes sts_op_times(const std::vector<proto::OpSegment>& segments, const DeviceModel& device);
+
+/// eq. (5): both devices' complete workloads, serialized.
+double sequential_total_ms(const RunRecord& record, const DeviceModel& initiator_device,
+                           const DeviceModel& responder_device);
+
+/// Total STS time under a given optimization variant (generalized
+/// eqs. (5)/(7)/(8); see file header).
+double sts_total_ms(const StsOpTimes& initiator, const StsOpTimes& responder,
+                    proto::StsVariant variant);
+
+/// One rendered timeline row (Fig. 7 reproduction): which device computes
+/// which labeled segment over which interval. Message transfer entries are
+/// labeled "tx:<step>".
+struct TimelineEntry {
+  std::string device;
+  std::string label;
+  double start_ms = 0;
+  double end_ms = 0;
+  [[nodiscard]] double duration_ms() const { return end_ms - start_ms; }
+};
+
+/// Per-message transfer time hook (ms); the CAN-FD layer supplies real
+/// frame arithmetic, tests use zero or constants.
+using TransferTime = std::function<double(const proto::Message&)>;
+
+/// Builds the sequential (non-optimized, as deployed in the paper's §V-C
+/// prototype) timeline of a recorded run.
+std::vector<TimelineEntry> build_timeline(const RunRecord& record,
+                                          const DeviceModel& initiator_device,
+                                          const DeviceModel& responder_device,
+                                          const std::string& initiator_name,
+                                          const std::string& responder_name,
+                                          const TransferTime& transfer);
+
+/// End time of the last entry (total protocol latency).
+double timeline_total_ms(const std::vector<TimelineEntry>& timeline);
+
+}  // namespace ecqv::sim

@@ -1,0 +1,65 @@
+// Shared test fixture: a CA and two provisioned devices with pairwise keys
+// installed, fully deterministic under a seed.
+#pragma once
+
+#include "core/credentials.hpp"
+#include "core/driver.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::testing {
+
+inline constexpr std::uint64_t kNow = 1700000000;
+inline constexpr std::uint64_t kLifetime = 86400;
+
+struct World {
+  cert::CertificateAuthority ca;
+  proto::Credentials alice;
+  proto::Credentials bob;
+
+  explicit World(std::uint64_t seed = 1000)
+      : ca(cert::DeviceId::from_string("gateway-ca"),
+           [&] {
+             rng::TestRng boot(seed);
+             return ec::Curve::p256().random_scalar(boot);
+           }()),
+        alice([&] {
+          rng::TestRng r(seed + 1);
+          return proto::provision_device(ca, cert::DeviceId::from_string("alice"), kNow,
+                                         kLifetime, r);
+        }()),
+        bob([&] {
+          rng::TestRng r(seed + 2);
+          return proto::provision_device(ca, cert::DeviceId::from_string("bob"), kNow, kLifetime,
+                                         r);
+        }()) {
+    rng::TestRng r(seed + 3);
+    proto::install_pairwise_key(alice, bob, r);
+  }
+};
+
+/// Runs a full handshake of `kind` and returns the result plus both
+/// parties' session keys (valid only on success).
+struct RunOutcome {
+  proto::HandshakeResult result;
+  kdf::SessionKeys initiator_keys;
+  kdf::SessionKeys responder_keys;
+  std::vector<proto::OpSegment> initiator_segments;
+  std::vector<proto::OpSegment> responder_segments;
+};
+
+inline RunOutcome run(proto::ProtocolKind kind, World& world, std::uint64_t seed = 5000) {
+  rng::TestRng rng_a(seed);
+  rng::TestRng rng_b(seed + 1);
+  auto pair = proto::make_parties(kind, world.alice, world.bob, rng_a, rng_b, kNow);
+  RunOutcome outcome;
+  outcome.result = proto::run_handshake(*pair.initiator, *pair.responder);
+  if (outcome.result.success) {
+    outcome.initiator_keys = pair.initiator->session_keys();
+    outcome.responder_keys = pair.responder->session_keys();
+  }
+  outcome.initiator_segments = pair.initiator->segments();
+  outcome.responder_segments = pair.responder->segments();
+  return outcome;
+}
+
+}  // namespace ecqv::testing

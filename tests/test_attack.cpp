@@ -1,0 +1,182 @@
+// Security evaluation harness tests — culminating in the headline check:
+// the measured attack outcomes must reproduce the paper's Table III.
+#include <gtest/gtest.h>
+
+#include "attack/kci.hpp"
+#include "attack/matrix.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::attack {
+namespace {
+
+using proto::ProtocolKind;
+using sim::SecurityProperty;
+using sim::Verdict;
+
+TEST(Scenarios, StsHasForwardSecrecy) {
+  const SecurityFacts facts = run_scenarios(ProtocolKind::kSts);
+  EXPECT_TRUE(facts.handshake_ok);
+  EXPECT_TRUE(facts.fresh_keys_per_session);
+  EXPECT_FALSE(facts.keys_derivable_from_longterm);
+  EXPECT_FALSE(facts.past_traffic_exposed);  // the paper's whole point
+  EXPECT_TRUE(facts.mitm_rejected);
+  EXPECT_TRUE(facts.signature_auth);
+}
+
+TEST(Scenarios, SEcdsaBreaksUnderKeyLeak) {
+  const SecurityFacts facts = run_scenarios(ProtocolKind::kSEcdsa);
+  EXPECT_TRUE(facts.handshake_ok);
+  EXPECT_FALSE(facts.fresh_keys_per_session);     // static KD
+  EXPECT_TRUE(facts.keys_derivable_from_longterm);
+  EXPECT_TRUE(facts.past_traffic_exposed);        // recorded data decrypted
+  EXPECT_TRUE(facts.mitm_rejected);               // auth is still sound
+}
+
+TEST(Scenarios, SciancDiversifiesButRemainsDerivable) {
+  const SecurityFacts facts = run_scenarios(ProtocolKind::kScianc);
+  EXPECT_TRUE(facts.fresh_keys_per_session);       // nonce-diversified
+  EXPECT_TRUE(facts.keys_derivable_from_longterm); // ... but reconstructible
+  EXPECT_TRUE(facts.past_traffic_exposed);
+  EXPECT_TRUE(facts.auth_tied_to_session_key);
+}
+
+TEST(Scenarios, PorambReusesKeysAndNeedsPairwiseStorage) {
+  const SecurityFacts facts = run_scenarios(ProtocolKind::kPoramb);
+  EXPECT_FALSE(facts.fresh_keys_per_session);
+  EXPECT_TRUE(facts.keys_derivable_from_longterm);
+  EXPECT_TRUE(facts.past_traffic_exposed);
+  EXPECT_TRUE(facts.pairwise_storage_required);
+  EXPECT_TRUE(facts.mitm_rejected);
+}
+
+TEST(Scenarios, AllProtocolsRejectRogueCaMitm) {
+  // T2: an adversary without CA-rooted credentials cannot splice into any
+  // of the four protocols.
+  for (const auto kind : sim::kTable3Columns) {
+    const SecurityFacts facts = run_scenarios(kind);
+    EXPECT_TRUE(facts.mitm_rejected) << proto::protocol_name(kind);
+  }
+}
+
+TEST(Matrix, ScoringMapsFactsFaithfully) {
+  SecurityFacts sts_like;
+  sts_like.fresh_keys_per_session = true;
+  sts_like.signature_auth = true;
+  sts_like.mitm_rejected = true;
+  EXPECT_EQ(score(SecurityProperty::kDataExposure, sts_like), Verdict::kFull);
+  EXPECT_EQ(score(SecurityProperty::kNodeCapturing, sts_like), Verdict::kPartial);
+  EXPECT_EQ(score(SecurityProperty::kKeyDataReuse, sts_like), Verdict::kFull);
+
+  SecurityFacts skd_like;
+  skd_like.past_traffic_exposed = true;
+  skd_like.keys_derivable_from_longterm = true;
+  EXPECT_EQ(score(SecurityProperty::kDataExposure, skd_like), Verdict::kWeak);
+  EXPECT_EQ(score(SecurityProperty::kNodeCapturing, skd_like), Verdict::kWeak);
+  EXPECT_EQ(score(SecurityProperty::kKeyDataReuse, skd_like), Verdict::kWeak);
+  EXPECT_EQ(score(SecurityProperty::kKeyDerivationExploit, skd_like), Verdict::kPartial);
+}
+
+TEST(Matrix, ReproducesPaperTableThree) {
+  // The headline reproduction: 5 properties x 4 protocols, measured
+  // verdicts vs the paper's printed table.
+  const auto cells = build_matrix();
+  ASSERT_EQ(cells.size(), 20u);
+  for (const auto& cell : cells) {
+    EXPECT_TRUE(cell.matches())
+        << sim::property_name(cell.property) << " / " << proto::protocol_name(cell.protocol)
+        << ": measured " << sim::verdict_symbol(cell.measured) << ", paper "
+        << sim::verdict_symbol(cell.paper);
+  }
+}
+
+TEST(Matrix, Fig8DotMentionsAllThreatsAndCountermeasures) {
+  const std::string dot = fig8_dot();
+  for (const auto* label : {"T1", "T2", "T3", "T4", "T5", "C1", "C2", "C3",
+                            "Session Data", "Security Credentials"}) {
+    EXPECT_NE(dot.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(Reconstruct, StsGuessYieldsUselessKeys) {
+  // The best-effort static-DH attack against STS produces keys that fail
+  // to decrypt the recorded traffic (exercised end-to-end inside
+  // run_scenarios, which attempts the decryption with the guessed keys).
+  const SecurityFacts facts = run_scenarios(ProtocolKind::kSts, 99);
+  EXPECT_FALSE(facts.past_traffic_exposed);
+}
+
+// ------------------------------------------------------- KCI experiments
+
+struct KciWorld {
+  rng::TestRng rng{404};
+  cert::CertificateAuthority ca{cert::DeviceId::from_string("ca"),
+                                ec::Curve::p256().random_scalar(rng)};
+  proto::Credentials alice{
+      proto::provision_device(ca, cert::DeviceId::from_string("alice"), 1700000000, 86400, rng)};
+  proto::Credentials bob{
+      proto::provision_device(ca, cert::DeviceId::from_string("bob"), 1700000000, 86400, rng)};
+  KciWorld() { proto::install_pairwise_key(alice, bob, rng); }
+};
+
+TEST(Kci, SciancVictimIsImpersonated) {
+  KciWorld world;
+  const KciOutcome outcome =
+      kci_attempt(ProtocolKind::kScianc, world.alice, world.bob.certificate, 1700000000, 1);
+  EXPECT_TRUE(outcome.attempted);
+  EXPECT_TRUE(outcome.victim_accepted);  // Eve completed the handshake as "bob"
+  EXPECT_FALSE(outcome.resistant());
+}
+
+TEST(Kci, PorambVictimIsImpersonated) {
+  KciWorld world;
+  const KciOutcome outcome =
+      kci_attempt(ProtocolKind::kPoramb, world.alice, world.bob.certificate, 1700000000, 2);
+  EXPECT_TRUE(outcome.attempted);
+  EXPECT_TRUE(outcome.victim_accepted);
+  EXPECT_FALSE(outcome.resistant());
+}
+
+TEST(Kci, PorambWithoutLeakedPairwiseKeyHasNoLever) {
+  KciWorld world;
+  world.alice.pairwise_keys.clear();  // nothing usable leaked
+  const KciOutcome outcome =
+      kci_attempt(ProtocolKind::kPoramb, world.alice, world.bob.certificate, 1700000000, 3);
+  EXPECT_FALSE(outcome.attempted);
+  EXPECT_TRUE(outcome.resistant());
+}
+
+TEST(Kci, EcdsaProtocolsResist) {
+  KciWorld world;
+  for (const auto kind : {ProtocolKind::kSEcdsa, ProtocolKind::kSEcdsaExt, ProtocolKind::kSts,
+                          ProtocolKind::kStsOptI, ProtocolKind::kStsOptII}) {
+    const KciOutcome outcome =
+        kci_attempt(kind, world.alice, world.bob.certificate, 1700000000, 4);
+    EXPECT_TRUE(outcome.attempted) << proto::protocol_name(kind);
+    EXPECT_TRUE(outcome.resistant()) << proto::protocol_name(kind);
+  }
+}
+
+TEST(Kci, FactsIntegration) {
+  EXPECT_TRUE(run_scenarios(ProtocolKind::kSts).kci_resistant);
+  EXPECT_TRUE(run_scenarios(ProtocolKind::kSEcdsa).kci_resistant);
+  EXPECT_FALSE(run_scenarios(ProtocolKind::kScianc).kci_resistant);
+  EXPECT_FALSE(run_scenarios(ProtocolKind::kPoramb).kci_resistant);
+}
+
+class MatrixSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatrixSeeds, VerdictsAreSeedIndependent) {
+  // Security verdicts must not depend on RNG luck.
+  for (const auto kind : sim::kTable3Columns) {
+    const SecurityFacts facts = run_scenarios(kind, GetParam());
+    for (const auto property : sim::kTable3Rows) {
+      EXPECT_EQ(score(property, facts), sim::table3_verdict(property, kind))
+          << proto::protocol_name(kind) << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixSeeds, ::testing::Values(7, 1234, 987654));
+
+}  // namespace
+}  // namespace ecqv::attack

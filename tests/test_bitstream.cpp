@@ -1,0 +1,128 @@
+// Bit-level CAN-FD model tests: CRC properties, stuffing rules, phase
+// accounting, and agreement bounds with the coarse estimate.
+#include <gtest/gtest.h>
+
+#include "canfd/bitstream.hpp"
+
+namespace ecqv::can {
+namespace {
+
+std::vector<bool> bits_of(std::initializer_list<int> values) {
+  std::vector<bool> out;
+  for (int v : values) out.push_back(v != 0);
+  return out;
+}
+
+TEST(BitWriter, PushBitsMsbFirst) {
+  BitWriter w;
+  w.push_bits(0b1011, 4);
+  EXPECT_EQ(w.bits(), bits_of({1, 0, 1, 1}));
+  w.push_bits(0xff, 2);  // only the low "count" bits matter, MSB-first of them
+  EXPECT_EQ(w.size(), 6u);
+}
+
+TEST(Crc, DetectsSingleBitErrors) {
+  BitWriter w;
+  w.push_bits(0xdeadbeef, 32);
+  w.push_bits(0x1234, 16);
+  const std::uint32_t reference = crc_bits(w.bits(), kCrc17Poly, 17);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    std::vector<bool> mutated = w.bits();
+    mutated[i] = !mutated[i];
+    EXPECT_NE(crc_bits(mutated, kCrc17Poly, 17), reference) << "bit " << i;
+  }
+}
+
+TEST(Crc, DetectsBurstErrorsUpToWidth) {
+  BitWriter w;
+  for (int i = 0; i < 100; ++i) w.push(i % 3 == 0);
+  const std::uint32_t reference = crc_bits(w.bits(), kCrc21Poly, 21);
+  // Flip a burst of up to 21 consecutive bits: CRC must change.
+  for (std::size_t burst = 2; burst <= 21; burst += 3) {
+    std::vector<bool> mutated = w.bits();
+    for (std::size_t i = 10; i < 10 + burst; ++i) mutated[i] = !mutated[i];
+    EXPECT_NE(crc_bits(mutated, kCrc21Poly, 21), reference) << "burst " << burst;
+  }
+}
+
+TEST(Crc, ZeroMessageHasZeroCrc) {
+  // With init=0, an all-zero message leaves the register at 0 — matching
+  // the LFSR definition (CAN adds SOF=0 etc., so real frames never hit it).
+  EXPECT_EQ(crc_bits(std::vector<bool>(64, false), kCrc17Poly, 17), 0u);
+}
+
+TEST(Stuffing, FiveEqualBitsInsertOne) {
+  EXPECT_EQ(count_dynamic_stuff_bits(bits_of({1, 1, 1, 1, 1})), 1u);
+  EXPECT_EQ(count_dynamic_stuff_bits(bits_of({0, 0, 0, 0, 0})), 1u);
+  EXPECT_EQ(count_dynamic_stuff_bits(bits_of({1, 0, 1, 0, 1, 0})), 0u);
+}
+
+TEST(Stuffing, StuffBitCanStartNewRun) {
+  // 5 ones -> stuff(0); then 4 more ones + that stuffed 0 do not retrigger
+  // until five equal again: 111111111 (9 ones) stuffs at bit5 and the
+  // following run of ones re-stuffs after 5 more.
+  EXPECT_EQ(count_dynamic_stuff_bits(std::vector<bool>(9, true)), 1u);
+  EXPECT_EQ(count_dynamic_stuff_bits(std::vector<bool>(10, true)), 2u);
+  EXPECT_EQ(count_dynamic_stuff_bits(std::vector<bool>(14, true)), 2u);
+  EXPECT_EQ(count_dynamic_stuff_bits(std::vector<bool>(15, true)), 3u);
+}
+
+TEST(Stuffing, BoundedByFifth) {
+  for (std::size_t n : {16u, 64u, 256u}) {
+    const std::size_t stuffed = count_dynamic_stuff_bits(std::vector<bool>(n, false));
+    EXPECT_LE(stuffed, n / 4 + 1);
+    EXPECT_GE(stuffed, n / 5);
+  }
+}
+
+TEST(ExactFrame, WorstCasePayloadStuffsMost) {
+  const CanFdFrame zeros = CanFdFrame::make(0x000, Bytes(64, 0x00));
+  const CanFdFrame alternating = CanFdFrame::make(0x555, Bytes(64, 0xAA));
+  const ExactFrameBits worst = exact_frame_bits(zeros);
+  const ExactFrameBits best = exact_frame_bits(alternating);
+  EXPECT_GT(worst.dynamic_stuff, best.dynamic_stuff);
+  EXPECT_GT(worst.data, best.data);
+  // Alternating payload needs (almost) no stuffing in the data field.
+  EXPECT_LE(best.dynamic_stuff, 4u);
+}
+
+TEST(ExactFrame, CrcWidthSwitchesAt16Bytes) {
+  const ExactFrameBits small = exact_frame_bits(CanFdFrame::make(0x1, Bytes(16, 0x5a)));
+  const ExactFrameBits large = exact_frame_bits(CanFdFrame::make(0x1, Bytes(20, 0x5a)));
+  // 4 extra data bytes plus the wider CRC field (21+5 vs 17+4 incl. fixed
+  // stuffing).
+  EXPECT_GE(large.data, small.data + 32);
+  EXPECT_LT(large.crc, 1u << 21);
+  EXPECT_LT(small.crc, 1u << 17);
+}
+
+TEST(ExactFrame, PayloadContentChangesCrcNotLength) {
+  const ExactFrameBits a = exact_frame_bits(CanFdFrame::make(0x1, Bytes(32, 0x11)));
+  const ExactFrameBits b = exact_frame_bits(CanFdFrame::make(0x1, Bytes(32, 0x12)));
+  EXPECT_NE(a.crc, b.crc);
+  // Same field lengths; only stuffing may differ slightly.
+  EXPECT_NEAR(static_cast<double>(a.data), static_cast<double>(b.data), 12.0);
+}
+
+TEST(ExactFrame, EstimateBracketsExactDuration) {
+  // The coarse 10% estimate should be within ~15% of the exact duration
+  // for typical payloads — justifying its use in the fast paths.
+  const BusTiming timing;
+  for (const std::size_t len : {1u, 8u, 16u, 32u, 64u}) {
+    Bytes payload(len);
+    for (std::size_t i = 0; i < len; ++i) payload[i] = static_cast<std::uint8_t>(i * 37 + 5);
+    const CanFdFrame frame = CanFdFrame::make(0x123, payload);
+    const double exact = exact_frame_duration_ms(frame, timing);
+    const double coarse = frame_duration_ms(frame, timing);
+    EXPECT_NEAR(coarse, exact, exact * 0.15) << "len " << len;
+  }
+}
+
+TEST(ExactFrame, NominalPhaseIsPayloadIndependent) {
+  const ExactFrameBits small = exact_frame_bits(CanFdFrame::make(0x40, Bytes(4, 0xf0)));
+  const ExactFrameBits large = exact_frame_bits(CanFdFrame::make(0x40, Bytes(64, 0xf0)));
+  EXPECT_EQ(small.nominal, large.nominal);
+}
+
+}  // namespace
+}  // namespace ecqv::can

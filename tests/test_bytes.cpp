@@ -1,0 +1,143 @@
+// Unit tests for common/: byte utilities, hex codec, constant-time
+// comparison, big-endian stores, secure wipe, op counting.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/hex.hpp"
+#include "common/metrics.hpp"
+#include "common/result.hpp"
+#include "common/wipe.hpp"
+
+namespace ecqv {
+namespace {
+
+TEST(Bytes, ConcatJoinsAllParts) {
+  const Bytes a = {1, 2};
+  const Bytes b = {};
+  const Bytes c = {3, 4, 5};
+  EXPECT_EQ(concat({ByteView(a), ByteView(b), ByteView(c)}), (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Bytes, AppendReturnsSameBuffer) {
+  Bytes dst = {9};
+  const Bytes src = {8, 7};
+  append(dst, src);
+  EXPECT_EQ(dst, (Bytes{9, 8, 7}));
+}
+
+TEST(Bytes, BytesOfUsesRawCharacters) {
+  EXPECT_EQ(bytes_of("AB"), (Bytes{0x41, 0x42}));
+  EXPECT_TRUE(bytes_of("").empty());
+}
+
+TEST(Bytes, CtEqualMatchesContent) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));  // size mismatch
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, XorIntoElementwise) {
+  Bytes dst = {0xff, 0x00, 0x0f};
+  xor_into(dst, Bytes{0x0f, 0x0f, 0x0f});
+  EXPECT_EQ(dst, (Bytes{0xf0, 0x0f, 0x00}));
+  EXPECT_THROW(xor_into(dst, Bytes{1}), std::invalid_argument);
+}
+
+TEST(Bytes, BigEndianRoundTrip) {
+  Bytes buf(8);
+  store_be16(buf, 0xbeef);
+  EXPECT_EQ(load_be16(buf), 0xbeef);
+  store_be32(buf, 0xdeadbeef);
+  EXPECT_EQ(load_be32(buf), 0xdeadbeefu);
+  store_be64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(load_be64(buf), 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+}
+
+TEST(Bytes, BigEndianLengthChecks) {
+  Bytes small(1);
+  EXPECT_THROW(store_be16(small, 1), std::invalid_argument);
+  EXPECT_THROW(load_be32(small), std::invalid_argument);
+  EXPECT_THROW(store_be64(small, 1), std::invalid_argument);
+}
+
+TEST(Hex, EncodesLowercase) {
+  EXPECT_EQ(to_hex(Bytes{0x00, 0xab, 0xff}), "00abff");
+  EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+TEST(Hex, DecodeAcceptsCaseAndPrefixAndSpace) {
+  EXPECT_EQ(from_hex("00ABff"), (Bytes{0x00, 0xab, 0xff}));
+  EXPECT_EQ(from_hex("0xdead"), (Bytes{0xde, 0xad}));
+  EXPECT_EQ(from_hex("de ad be ef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, DecodeRejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd digits
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad chars
+}
+
+TEST(Hex, RoundTripsArbitraryData) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Wipe, ZeroesBuffer) {
+  Bytes secret = {1, 2, 3, 4};
+  secure_wipe(ByteSpan(secret));
+  EXPECT_EQ(secret, (Bytes{0, 0, 0, 0}));
+}
+
+TEST(Wipe, OwnedOverloadClears) {
+  Bytes secret = {1, 2, 3};
+  secure_wipe(secret);
+  EXPECT_TRUE(secret.empty());
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  Result<int> bad(Error::kDecodeFailed);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Error::kDecodeFailed);
+  EXPECT_STREQ(error_name(Error::kInvalidSignature), "invalid_signature");
+}
+
+TEST(Metrics, CountScopeCollects) {
+  CountScope outer;
+  count_op(Op::kEcMulBase);
+  {
+    CountScope inner;
+    count_op(Op::kEcMulBase, 2);
+    count_op(Op::kSha256Block, 5);
+    EXPECT_EQ(inner.counts()[Op::kEcMulBase], 2u);
+  }
+  // Inner tallies propagate outward on scope exit.
+  EXPECT_EQ(outer.counts()[Op::kEcMulBase], 3u);
+  EXPECT_EQ(outer.counts()[Op::kSha256Block], 5u);
+}
+
+TEST(Metrics, NoScopeIsNoOp) {
+  count_op(Op::kAesBlock);  // must not crash
+  CountScope scope;
+  EXPECT_EQ(scope.counts()[Op::kAesBlock], 0u);
+}
+
+TEST(Metrics, OpCountsArithmetic) {
+  OpCounts a;
+  a[Op::kHmac] = 2;
+  OpCounts b;
+  b[Op::kHmac] = 3;
+  b[Op::kCmac] = 1;
+  const OpCounts sum = a + b;
+  EXPECT_EQ(sum[Op::kHmac], 5u);
+  EXPECT_EQ(sum[Op::kCmac], 1u);
+  EXPECT_EQ(op_name(Op::kEcMulDual), "ec_mul_dual");
+}
+
+}  // namespace
+}  // namespace ecqv

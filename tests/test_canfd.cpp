@@ -1,0 +1,246 @@
+// CAN-FD frame model, ISO-TP fragmentation and the Fig. 6 session layer.
+#include <gtest/gtest.h>
+
+#include "canfd/bus.hpp"
+#include "canfd/isotp.hpp"
+#include "canfd/session_layer.hpp"
+#include "canfd/transfer.hpp"
+
+namespace ecqv::can {
+namespace {
+
+TEST(Frame, DlcQuantization) {
+  EXPECT_EQ(dlc_round_up(0), 0u);
+  EXPECT_EQ(dlc_round_up(7), 7u);
+  EXPECT_EQ(dlc_round_up(9), 12u);
+  EXPECT_EQ(dlc_round_up(13), 16u);
+  EXPECT_EQ(dlc_round_up(33), 48u);
+  EXPECT_EQ(dlc_round_up(64), 64u);
+  EXPECT_THROW(dlc_round_up(65), std::invalid_argument);
+  EXPECT_EQ(dlc_size(dlc_code(48)), 48u);
+  EXPECT_THROW(dlc_code(9), std::invalid_argument);
+}
+
+TEST(Frame, MakePadsToValidSize) {
+  const CanFdFrame f = CanFdFrame::make(0x123, Bytes(10, 0xaa));
+  EXPECT_EQ(f.data.size(), 12u);
+  EXPECT_EQ(f.data[9], 0xaa);
+  EXPECT_EQ(f.data[10], 0x00);
+  EXPECT_THROW(CanFdFrame::make(0x800, Bytes(1)), std::invalid_argument);  // 12-bit id
+  EXPECT_THROW(CanFdFrame::make(0x1, Bytes(65)), std::invalid_argument);
+}
+
+TEST(Frame, BitCountsGrowWithPayload) {
+  const FrameBits small = frame_bits(8, false);
+  const FrameBits large = frame_bits(64, false);
+  EXPECT_LT(small.data, large.data);
+  EXPECT_EQ(small.nominal, large.nominal);  // arbitration phase fixed
+  // CRC switches from 17 to 21 bits above 16 data bytes.
+  EXPECT_EQ(frame_bits(20, false).data - frame_bits(16, false).data, 4u * 8u + 4u);
+}
+
+TEST(Frame, DurationUsesBothBitrates) {
+  const BusTiming paper;  // 0.5 / 2.0 Mbit/s (§V-C)
+  const double d64 = frame_duration_ms(64, paper);
+  // 64-byte frame: ~32 nominal bits at 0.5 Mbit/s + ~600 data bits at
+  // 2 Mbit/s — well under 1 ms (the paper: "CAN-FD transfer time ... was
+  // negligible (<1 ms)").
+  EXPECT_GT(d64, 0.1);
+  EXPECT_LT(d64, 1.0);
+  // Same frame on a slower data phase takes longer.
+  BusTiming slow = paper;
+  slow.data_bitrate = 500'000.0;
+  EXPECT_GT(frame_duration_ms(64, slow), d64);
+}
+
+TEST(IsoTp, SingleFramePlain) {
+  const auto frames = isotp_segment(0x1, Bytes(7, 0x11));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].data[0], 0x07);
+  EXPECT_EQ(isotp_frame_count(7), 1u);
+}
+
+TEST(IsoTp, SingleFrameEscape) {
+  const auto frames = isotp_segment(0x1, Bytes(62, 0x22));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].data[0], 0x00);
+  EXPECT_EQ(frames[0].data[1], 62);
+}
+
+TEST(IsoTp, MultiFrameLayout) {
+  const auto frames = isotp_segment(0x1, Bytes(200, 0x33));
+  // 62 in FF + ceil(138/63) = 62 + 3*63 -> 1 + 3 frames.
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].data[0] & 0xf0, 0x10);
+  EXPECT_EQ(frames[1].data[0], 0x21);
+  EXPECT_EQ(frames[2].data[0], 0x22);
+  EXPECT_EQ(frames[3].data[0], 0x23);
+  EXPECT_EQ(isotp_frame_count(200), 4u);
+}
+
+TEST(IsoTp, RejectsOversizedPayload) {
+  EXPECT_THROW(isotp_segment(0x1, Bytes(4096)), std::invalid_argument);
+}
+
+class IsoTpRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IsoTpRoundTrip, SegmentsAndReassembles) {
+  Bytes payload(GetParam());
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 13 + 7);
+  const auto frames = isotp_segment(0x42, payload);
+  EXPECT_EQ(frames.size(), isotp_frame_count(payload.size()));
+  IsoTpReassembler rx;
+  std::optional<Bytes> completed;
+  for (const auto& f : frames) {
+    auto result = rx.feed(f);
+    ASSERT_TRUE(result.ok());
+    if (result->has_value()) {
+      ASSERT_FALSE(completed.has_value()) << "completed twice";
+      completed = **result;
+    }
+  }
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, payload);
+  EXPECT_FALSE(rx.in_progress());
+}
+
+// Sizes cover all Table II message sizes plus fragmentation edges.
+INSTANTIATE_TEST_SUITE_P(Sizes, IsoTpRoundTrip,
+                         ::testing::Values(0, 1, 7, 8, 48, 62, 63, 80, 125, 126, 149, 165, 197,
+                                           213, 245, 427, 491, 820, 4095));
+
+TEST(IsoTp, ReassemblerRejectsSequenceError) {
+  const auto frames = isotp_segment(0x1, Bytes(300, 0x44));
+  ASSERT_GE(frames.size(), 3u);
+  IsoTpReassembler rx;
+  ASSERT_TRUE(rx.feed(frames[0]).ok());
+  // Skip frames[1]: sequence number mismatch must reset.
+  auto result = rx.feed(frames[2]);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(rx.in_progress());
+}
+
+TEST(IsoTp, ReassemblerRejectsUnexpectedConsecutive) {
+  IsoTpReassembler rx;
+  CanFdFrame orphan = CanFdFrame::make(0x1, Bytes{0x21, 0xaa});
+  EXPECT_FALSE(rx.feed(orphan).ok());
+}
+
+TEST(IsoTp, FlowControlIsTransparent) {
+  IsoTpReassembler rx;
+  auto result = rx.feed(flow_control_frame(0x2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_value());
+}
+
+TEST(SessionLayer, PduRoundTrip) {
+  AppPdu pdu;
+  pdu.comm_code = CommCode::kKeyDerivation;
+  pdu.session_id = 0xbeef;
+  pdu.op_code = 0x11;
+  pdu.data = bytes_of("payload");
+  auto back = AppPdu::decode(pdu.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->session_id, 0xbeef);
+  EXPECT_EQ(back->op_code, 0x11);
+  EXPECT_EQ(back->data, bytes_of("payload"));
+}
+
+TEST(SessionLayer, RejectsBadHeader) {
+  EXPECT_FALSE(AppPdu::decode(Bytes(3)).ok());
+  Bytes bad = {0x99, 0, 0, 0};
+  EXPECT_FALSE(AppPdu::decode(bad).ok());
+}
+
+TEST(SessionLayer, StepOpCodeRoundTrip) {
+  for (const auto* step : {"A1", "A2", "A3", "B1", "B2", "B3"}) {
+    EXPECT_EQ(step_for_op_code(op_code_for_step(step)), step);
+  }
+  EXPECT_THROW(op_code_for_step("C1"), std::invalid_argument);
+  EXPECT_THROW(step_for_op_code(0x10), std::invalid_argument);
+}
+
+TEST(SessionLayer, WrapUnwrapMessage) {
+  proto::Message m;
+  m.sender = proto::Role::kResponder;
+  m.step = "B2";
+  m.payload = bytes_of("ack");
+  auto back = unwrap_message(wrap_message(m, 7));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->step, "B2");
+  EXPECT_EQ(back->sender, proto::Role::kResponder);
+  EXPECT_EQ(back->payload, m.payload);
+}
+
+TEST(Transfer, SmallMessageSingleFrame) {
+  proto::Message ack;
+  ack.step = "B2";
+  ack.payload = Bytes{0x01};
+  const auto breakdown = message_transfer(ack, BusTiming{});
+  EXPECT_EQ(breakdown.frame_count, 1u);
+  EXPECT_FALSE(breakdown.flow_control);
+  EXPECT_EQ(breakdown.app_bytes, 1u + kAppHeaderSize);
+}
+
+TEST(Transfer, LargeMessageFragmentsWithFlowControl) {
+  proto::Message b1;
+  b1.step = "B1";
+  b1.payload = Bytes(245, 0x55);  // STS B1
+  const auto breakdown = message_transfer(b1, BusTiming{});
+  EXPECT_GT(breakdown.frame_count, 1u);
+  EXPECT_TRUE(breakdown.flow_control);
+  EXPECT_LT(breakdown.duration_ms, 2.0);  // still "negligible" per §V-C
+}
+
+TEST(Bus, DeliversToAllOtherNodes) {
+  CanBus bus(BusTiming{});
+  int received_by_b = 0, received_by_c = 0;
+  const auto a = bus.attach([](const CanFdFrame&, double) {});
+  bus.attach([&](const CanFdFrame&, double) { ++received_by_b; });
+  bus.attach([&](const CanFdFrame&, double) { ++received_by_c; });
+  bus.send(a, CanFdFrame::make(0x10, Bytes(8, 1)));
+  bus.send(a, CanFdFrame::make(0x10, Bytes(8, 2)));
+  bus.run();
+  EXPECT_EQ(received_by_b, 2);
+  EXPECT_EQ(received_by_c, 2);
+  EXPECT_EQ(bus.frames_delivered(), 2u);
+}
+
+TEST(Bus, ClockAdvancesWithTraffic) {
+  CanBus bus(BusTiming{});
+  const auto a = bus.attach([](const CanFdFrame&, double) {});
+  bus.attach([](const CanFdFrame&, double) {});
+  bus.send(a, CanFdFrame::make(0x10, Bytes(64, 0)));
+  const double t1 = bus.run();
+  EXPECT_GT(t1, 0.0);
+  bus.send(a, CanFdFrame::make(0x10, Bytes(64, 0)));
+  EXPECT_GT(bus.run(), t1);
+}
+
+TEST(Bus, NodeComputeTimeGatesInjection) {
+  CanBus bus(BusTiming{});
+  const auto a = bus.attach([](const CanFdFrame&, double) {});
+  bus.attach([](const CanFdFrame&, double) {});
+  bus.advance_node_time(a, 5.0);  // node busy computing for 5 ms
+  bus.send(a, CanFdFrame::make(0x10, Bytes(8, 0)));
+  EXPECT_GT(bus.run(), 5.0);
+}
+
+TEST(Bus, RepliesFromHandlersAreDelivered) {
+  CanBus bus(BusTiming{});
+  CanBus::NodeId b_id = 0;
+  bool a_got_reply = false;
+  const auto a = bus.attach([&](const CanFdFrame& f, double) {
+    if (f.id == 0x20) a_got_reply = true;
+  });
+  b_id = bus.attach([&](const CanFdFrame& f, double) {
+    if (f.id == 0x10) bus.send(b_id, CanFdFrame::make(0x20, Bytes(1, 0)));
+  });
+  bus.send(a, CanFdFrame::make(0x10, Bytes(1, 0)));
+  bus.run();
+  EXPECT_TRUE(a_got_reply);
+}
+
+}  // namespace
+}  // namespace ecqv::can

@@ -1,0 +1,71 @@
+// AES-CMAC known-answer tests (RFC 4493 §4).
+#include <gtest/gtest.h>
+
+#include "aes/cmac.hpp"
+#include "common/hex.hpp"
+
+namespace ecqv::aes {
+namespace {
+
+const Bytes kKey = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+
+TEST(Cmac, Rfc4493Subkeys) {
+  const Aes128 cipher(kKey);
+  const CmacSubkeys sk = cmac_subkeys(cipher);
+  EXPECT_EQ(to_hex(sk.k1), "fbeed618357133667c85e08f7236a8de");
+  EXPECT_EQ(to_hex(sk.k2), "f7ddac306ae266ccf90bc11ee46d513b");
+}
+
+TEST(Cmac, Rfc4493EmptyMessage) {
+  EXPECT_EQ(to_hex(cmac(kKey, {})), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(Cmac, Rfc4493SixteenBytes) {
+  EXPECT_EQ(to_hex(cmac(kKey, from_hex("6bc1bee22e409f96e93d7e117393172a"))),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(Cmac, Rfc4493FortyBytes) {
+  const Bytes msg = from_hex(
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411");
+  EXPECT_EQ(to_hex(cmac(kKey, msg)), "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(Cmac, Rfc4493SixtyFourBytes) {
+  const Bytes msg = from_hex(
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(to_hex(cmac(kKey, msg)), "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(Cmac, TagChangesWithAnyBitFlip) {
+  Bytes msg = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const Tag reference = cmac(kKey, msg);
+  msg[0] ^= 0x80;
+  EXPECT_NE(cmac(kKey, msg), reference);
+  msg[0] ^= 0x80;
+  msg[15] ^= 0x01;
+  EXPECT_NE(cmac(kKey, msg), reference);
+}
+
+TEST(Cmac, DifferentKeysDiffer) {
+  const Bytes msg = bytes_of("same message");
+  EXPECT_NE(cmac(kKey, msg), cmac(from_hex("000102030405060708090a0b0c0d0e0f"), msg));
+}
+
+TEST(Cmac, LengthsAroundBlockBoundary) {
+  // No KAT, but every length near the 16-byte boundary must produce a
+  // stable, distinct tag (exercises the K1/K2 padding split).
+  Tag prev{};
+  for (const std::size_t len : {15u, 16u, 17u, 31u, 32u, 33u}) {
+    Bytes msg(len, 0xa5);
+    const Tag tag = cmac(kKey, msg);
+    EXPECT_EQ(cmac(kKey, msg), tag) << "len=" << len;
+    EXPECT_NE(tag, prev) << "len=" << len;
+    prev = tag;
+  }
+}
+
+}  // namespace
+}  // namespace ecqv::aes

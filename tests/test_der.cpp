@@ -1,0 +1,107 @@
+// DER ECDSA signature codec tests: round trips, canonical-form
+// enforcement, malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "ecdsa/der.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::sig {
+namespace {
+
+Signature sample_signature(std::uint64_t seed) {
+  rng::TestRng rng(seed);
+  const PrivateKey key = PrivateKey::generate(rng);
+  return key.sign(bytes_of("der test message"));
+}
+
+TEST(Der, RoundTripsRealSignatures) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Signature s = sample_signature(seed);
+    const Bytes der = encode_signature_der(s);
+    EXPECT_GE(der.size(), 70u);
+    EXPECT_LE(der.size(), 72u);
+    auto back = decode_signature_der(der);
+    ASSERT_TRUE(back.ok()) << "seed=" << seed;
+    EXPECT_EQ(back.value(), s);
+  }
+}
+
+TEST(Der, SmallValuesEncodeMinimally) {
+  // r = 1, s = 127: single-byte integers, total 2+3+3 = 8 bytes.
+  const Signature s{bi::U256(1), bi::U256(127)};
+  const Bytes der = encode_signature_der(s);
+  EXPECT_EQ(to_hex(der), "300602010102017f");
+  EXPECT_EQ(der.size(), 8u);
+  EXPECT_EQ(der[0], 0x30);
+  EXPECT_EQ(der[1], 6);
+  auto back = decode_signature_der(der);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), s);
+}
+
+TEST(Der, HighBitValuesGetSignPad) {
+  // s = 128 has the top bit set -> 0x00 pad byte.
+  const Signature s{bi::U256(1), bi::U256(128)};
+  const Bytes der = encode_signature_der(s);
+  auto back = decode_signature_der(der);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), s);
+  // The s INTEGER body must be 00 80.
+  EXPECT_EQ(der[der.size() - 2], 0x00);
+  EXPECT_EQ(der[der.size() - 1], 0x80);
+}
+
+TEST(Der, RejectsTrailingBytes) {
+  Bytes der = encode_signature_der(sample_signature(3));
+  der.push_back(0x00);
+  EXPECT_FALSE(decode_signature_der(der).ok());
+}
+
+TEST(Der, RejectsWrongTags) {
+  Bytes der = encode_signature_der(sample_signature(4));
+  Bytes bad_seq = der;
+  bad_seq[0] = 0x31;
+  EXPECT_FALSE(decode_signature_der(bad_seq).ok());
+  Bytes bad_int = der;
+  bad_int[2] = 0x03;
+  EXPECT_FALSE(decode_signature_der(bad_int).ok());
+}
+
+TEST(Der, RejectsNonMinimalPadding) {
+  // Hand-built: r INTEGER = 00 01 (non-minimal pad of a positive value).
+  const Bytes bad = from_hex("30080202" "0001" "020101");
+  EXPECT_FALSE(decode_signature_der(bad).ok());
+}
+
+TEST(Der, RejectsNegativeIntegers) {
+  // r INTEGER = 81 (negative without pad).
+  const Bytes bad = from_hex("30060201" "81" "020101");
+  EXPECT_FALSE(decode_signature_der(bad).ok());
+}
+
+TEST(Der, RejectsZeroComponents) {
+  const Bytes zero_r = from_hex("30060201" "00" "020101");
+  EXPECT_FALSE(decode_signature_der(zero_r).ok());
+}
+
+TEST(Der, RejectsLengthMismatch) {
+  Bytes der = encode_signature_der(sample_signature(5));
+  der[1] = static_cast<std::uint8_t>(der[1] + 1);
+  EXPECT_FALSE(decode_signature_der(der).ok());
+  EXPECT_FALSE(decode_signature_der(Bytes{0x30}).ok());
+  EXPECT_FALSE(decode_signature_der(Bytes{}).ok());
+}
+
+TEST(Der, RejectsOversizedInteger) {
+  // 34-byte INTEGER cannot be a P-256 component.
+  Bytes bad = {0x30, 0x26, 0x02, 0x22};
+  bad.insert(bad.end(), 34, 0x7f);
+  bad.push_back(0x02);
+  bad.push_back(0x01);
+  bad.push_back(0x01);
+  EXPECT_FALSE(decode_signature_der(bad).ok());
+}
+
+}  // namespace
+}  // namespace ecqv::sig

@@ -1,0 +1,159 @@
+// secp256r1 group arithmetic: known values, group laws, scalar-mult
+// cross-checks between the constant-schedule ladder and the variable-time
+// wNAF paths.
+#include <gtest/gtest.h>
+
+#include "common/metrics.hpp"
+#include "ec/curve.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::ec {
+namespace {
+
+const Curve& c() { return Curve::p256(); }
+
+TEST(Curve, GeneratorMatchesSec2) {
+  EXPECT_EQ(bi::to_hex(c().generator().x),
+            "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+  EXPECT_EQ(bi::to_hex(c().generator().y),
+            "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+  EXPECT_TRUE(c().is_on_curve(c().generator()));
+}
+
+TEST(Curve, OrderTimesGeneratorIsInfinity) {
+  EXPECT_TRUE(c().mul(c().order(), c().generator()).infinity);
+  EXPECT_TRUE(c().mul_vartime(c().order(), c().generator()).infinity);
+}
+
+TEST(Curve, OrderMinusOneGivesNegatedGenerator) {
+  bi::U256 nm1;
+  bi::sub(nm1, c().order(), bi::U256(1));
+  const AffinePoint p = c().mul_base(nm1);
+  EXPECT_EQ(p.x, c().generator().x);
+  EXPECT_NE(p.y, c().generator().y);
+  // P + (-P) = infinity
+  EXPECT_TRUE(c().add(p, c().generator()).infinity);
+}
+
+TEST(Curve, SmallMultiplesAddUp) {
+  const AffinePoint g = c().generator();
+  const AffinePoint g2 = c().add(g, g);          // doubling branch
+  const AffinePoint g3 = c().add(g2, g);         // general add
+  EXPECT_EQ(c().mul_base(bi::U256(2)), g2);
+  EXPECT_EQ(c().mul_base(bi::U256(3)), g3);
+  EXPECT_EQ(c().mul_vartime(bi::U256(3), g), g3);
+  EXPECT_TRUE(c().is_on_curve(g2));
+  EXPECT_TRUE(c().is_on_curve(g3));
+}
+
+TEST(Curve, AddIdentityLaws) {
+  const AffinePoint inf = AffinePoint::make_infinity();
+  const AffinePoint g = c().generator();
+  EXPECT_EQ(c().add(g, inf), g);
+  EXPECT_EQ(c().add(inf, g), g);
+  EXPECT_TRUE(c().add(inf, inf).infinity);
+  EXPECT_TRUE(c().is_on_curve(inf));
+}
+
+TEST(Curve, MulByZeroAndOne) {
+  EXPECT_TRUE(c().mul_base(bi::U256(0)).infinity);
+  EXPECT_EQ(c().mul_base(bi::U256(1)), c().generator());
+  EXPECT_TRUE(c().mul_vartime(bi::U256(0), c().generator()).infinity);
+}
+
+TEST(Curve, DualMulMatchesSeparateOps) {
+  rng::TestRng rng(5);
+  const bi::U256 u1 = c().random_scalar(rng);
+  const bi::U256 u2 = c().random_scalar(rng);
+  const AffinePoint q = c().mul_base(c().random_scalar(rng));
+  const AffinePoint expected = c().add(c().mul_base(u1), c().mul_vartime(u2, q));
+  EXPECT_EQ(c().dual_mul(u1, u2, q), expected);
+}
+
+TEST(Curve, DualMulEdgeScalars) {
+  const AffinePoint q = c().mul_base(bi::U256(7));
+  EXPECT_EQ(c().dual_mul(bi::U256(0), bi::U256(1), q), q);
+  EXPECT_EQ(c().dual_mul(bi::U256(1), bi::U256(0), q), c().generator());
+  EXPECT_TRUE(c().dual_mul(bi::U256(0), bi::U256(0), q).infinity);
+}
+
+TEST(Curve, RejectsOffCurvePoints) {
+  AffinePoint bogus = c().generator();
+  bi::U256 y = bogus.y;
+  bi::U256 one(1);
+  bi::add(y, y, one);
+  bogus.y = y;
+  EXPECT_FALSE(c().is_on_curve(bogus));
+  // Coordinates >= p are rejected too.
+  AffinePoint oversized{c().field_prime(), c().generator().y, false};
+  EXPECT_FALSE(c().is_on_curve(oversized));
+}
+
+TEST(Curve, RandomScalarInRange) {
+  rng::TestRng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const bi::U256 k = c().random_scalar(rng);
+    EXPECT_FALSE(k.is_zero());
+    EXPECT_LT(bi::cmp(k, c().order()), 0);
+  }
+}
+
+TEST(Curve, HashToScalarReducesModN) {
+  const bi::U256 e = c().hash_to_scalar(bytes_of("certificate bytes"));
+  EXPECT_LT(bi::cmp(e, c().order()), 0);
+  EXPECT_EQ(e, c().hash_to_scalar(bytes_of("certificate bytes")));
+  EXPECT_NE(e, c().hash_to_scalar(bytes_of("different bytes")));
+}
+
+TEST(Curve, CountsScalarMultOps) {
+  CountScope scope;
+  (void)c().mul_base(bi::U256(5));
+  (void)c().mul(bi::U256(5), c().generator());
+  (void)c().dual_mul(bi::U256(2), bi::U256(3), c().generator());
+  EXPECT_EQ(scope.counts()[Op::kEcMulBase], 1u);
+  EXPECT_EQ(scope.counts()[Op::kEcMulVar], 1u);
+  EXPECT_EQ(scope.counts()[Op::kEcMulDual], 1u);
+  EXPECT_GE(scope.counts()[Op::kModInv], 3u);  // affine conversions
+}
+
+// ------------------------------------------------------------- properties
+
+class EcProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcProperty, LadderMatchesWnaf) {
+  rng::TestRng rng(GetParam());
+  const AffinePoint p = c().mul_base(c().random_scalar(rng));
+  for (int i = 0; i < 6; ++i) {
+    const bi::U256 k = c().random_scalar(rng);
+    const AffinePoint ladder = c().mul(k, p);
+    const AffinePoint wnaf = c().mul_vartime(k, p);
+    EXPECT_EQ(ladder, wnaf);
+    EXPECT_TRUE(c().is_on_curve(ladder));
+  }
+}
+
+TEST_P(EcProperty, ScalarMulIsHomomorphic) {
+  // (a+b)G == aG + bG  (mod-n addition)
+  rng::TestRng rng(GetParam() + 500);
+  const auto& fn = c().fn();
+  for (int i = 0; i < 4; ++i) {
+    const bi::U256 a = c().random_scalar(rng);
+    const bi::U256 b = c().random_scalar(rng);
+    const bi::U256 sum = fn.add(a, b);
+    EXPECT_EQ(c().mul_base(sum), c().add(c().mul_base(a), c().mul_base(b)));
+  }
+}
+
+TEST_P(EcProperty, AdditionCommutesAndAssociates) {
+  rng::TestRng rng(GetParam() + 900);
+  const AffinePoint p = c().mul_base(c().random_scalar(rng));
+  const AffinePoint q = c().mul_base(c().random_scalar(rng));
+  const AffinePoint r = c().mul_base(c().random_scalar(rng));
+  EXPECT_EQ(c().add(p, q), c().add(q, p));
+  EXPECT_EQ(c().add(c().add(p, q), r), c().add(p, c().add(q, r)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcProperty, ::testing::Values(31, 32, 33, 34, 35));
+
+}  // namespace
+}  // namespace ecqv::ec

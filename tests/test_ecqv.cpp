@@ -1,0 +1,188 @@
+// ECQV implicit certificate scheme tests: enrollment round trips, implicit
+// verification, certificate codec, tamper detection.
+#include <gtest/gtest.h>
+
+#include "ecdsa/ecdsa.hpp"
+#include "ecqv/ca.hpp"
+#include "ecqv/scheme.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::cert {
+namespace {
+
+constexpr std::uint64_t kNow = 1700000000;
+constexpr std::uint64_t kLife = 3600;
+
+struct CaFixture {
+  rng::TestRng rng{77};
+  CertificateAuthority ca{DeviceId::from_string("root-ca"),
+                          ec::Curve::p256().random_scalar(rng)};
+};
+
+TEST(DeviceId, StringRoundTrip) {
+  const DeviceId id = DeviceId::from_string("bms-controller");
+  EXPECT_EQ(id.to_string(), "bms-controller");
+  // Longer names truncate at 16 bytes.
+  const DeviceId long_id = DeviceId::from_string("a-very-long-device-name");
+  EXPECT_EQ(long_id.to_string().size(), kDeviceIdSize);
+}
+
+TEST(Certificate, EncodesToExactly101Bytes) {
+  CaFixture f;
+  auto e = f.ca.enroll(DeviceId::from_string("dev"), kNow, kLife, f.rng);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->certificate.encode().size(), kCertificateSize);
+  EXPECT_EQ(kCertificateSize, 101u);  // the paper's minimal encoding size
+}
+
+TEST(Certificate, CodecRoundTrip) {
+  CaFixture f;
+  auto e = f.ca.enroll(DeviceId::from_string("dev"), kNow, kLife, f.rng);
+  ASSERT_TRUE(e.ok());
+  auto back = Certificate::decode(e->certificate.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), e->certificate);
+}
+
+TEST(Certificate, DecodeRejectsBadInput) {
+  CaFixture f;
+  auto e = f.ca.enroll(DeviceId::from_string("dev"), kNow, kLife, f.rng);
+  Bytes enc = e->certificate.encode();
+  EXPECT_FALSE(Certificate::decode(Bytes(100)).ok());
+  Bytes bad_version = enc;
+  bad_version[0] = 0x02;
+  EXPECT_FALSE(Certificate::decode(bad_version).ok());
+  Bytes bad_curve = enc;
+  bad_curve[57] = 0x09;
+  EXPECT_FALSE(Certificate::decode(bad_curve).ok());
+  Bytes bad_point = enc;
+  bad_point[60] = 0x07;  // invalid SEC1 prefix
+  EXPECT_FALSE(Certificate::decode(bad_point).ok());
+}
+
+TEST(Certificate, ValidityWindow) {
+  CaFixture f;
+  auto e = f.ca.enroll(DeviceId::from_string("dev"), kNow, kLife, f.rng);
+  EXPECT_TRUE(e->certificate.valid_at(kNow));
+  EXPECT_TRUE(e->certificate.valid_at(kNow + kLife));
+  EXPECT_FALSE(e->certificate.valid_at(kNow - 1));
+  EXPECT_FALSE(e->certificate.valid_at(kNow + kLife + 1));
+}
+
+TEST(Ecqv, EnrollmentReconstructsConsistentKeyPair) {
+  CaFixture f;
+  auto e = f.ca.enroll(DeviceId::from_string("alice"), kNow, kLife, f.rng);
+  ASSERT_TRUE(e.ok());
+  // d_U * G == Q_U
+  EXPECT_EQ(ec::Curve::p256().mul_base(e->private_key), e->public_key);
+}
+
+TEST(Ecqv, ExtractionMatchesReconstruction) {
+  // The property that makes certificates implicit (paper eq. (1)): any
+  // third party derives the same Q_U the device reconstructed.
+  CaFixture f;
+  auto e = f.ca.enroll(DeviceId::from_string("alice"), kNow, kLife, f.rng);
+  auto extracted = extract_public_key(e->certificate, f.ca.public_key());
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted.value(), e->public_key);
+}
+
+TEST(Ecqv, ReconstructedKeySignsVerifiably) {
+  // End-to-end: ECQV-reconstructed private key signs; implicitly extracted
+  // public key verifies — the composition the STS protocol relies on.
+  CaFixture f;
+  auto e = f.ca.enroll(DeviceId::from_string("signer"), kNow, kLife, f.rng);
+  const sig::PrivateKey key(e->private_key);
+  const sig::Signature s = key.sign(bytes_of("authenticated payload"));
+  auto q = extract_public_key(e->certificate, f.ca.public_key());
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(sig::verify(q.value(), bytes_of("authenticated payload"), s));
+}
+
+TEST(Ecqv, TamperedCertificateYieldsDifferentKey) {
+  // Flipping any certificate bit changes e = Hn(Cert), so the extracted
+  // public key silently diverges and signatures stop verifying — implicit
+  // authentication in action (no explicit CA signature to check).
+  CaFixture f;
+  auto e = f.ca.enroll(DeviceId::from_string("signer"), kNow, kLife, f.rng);
+  const sig::PrivateKey key(e->private_key);
+  const sig::Signature s = key.sign(bytes_of("payload"));
+
+  Certificate tampered = e->certificate;
+  tampered.subject = DeviceId::from_string("mallory");
+  auto q_tampered = extract_public_key(tampered, f.ca.public_key());
+  ASSERT_TRUE(q_tampered.ok());
+  EXPECT_NE(q_tampered.value(), e->public_key);
+  EXPECT_FALSE(sig::verify(q_tampered.value(), bytes_of("payload"), s));
+}
+
+TEST(Ecqv, ReconstructionDetectsWrongCa) {
+  CaFixture f;
+  const CertRequest req = make_cert_request(DeviceId::from_string("dev"), f.rng);
+  auto issued = f.ca.issue(req.subject, req.ru, kNow, kLife, f.rng);
+  ASSERT_TRUE(issued.ok());
+  // Reconstructing against a different CA's public key must fail the
+  // implicit verification step.
+  rng::TestRng rng2(78);
+  CertificateAuthority other_ca(DeviceId::from_string("other"),
+                                ec::Curve::p256().random_scalar(rng2));
+  auto bad = reconstruct_private_key(issued->certificate, req.ku, issued->r,
+                                     other_ca.public_key());
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Ecqv, ReconstructionDetectsTamperedR) {
+  CaFixture f;
+  const CertRequest req = make_cert_request(DeviceId::from_string("dev"), f.rng);
+  auto issued = f.ca.issue(req.subject, req.ru, kNow, kLife, f.rng);
+  ASSERT_TRUE(issued.ok());
+  bi::U256 bad_r = issued->r;
+  bi::add(bad_r, bad_r, bi::U256(1));
+  bad_r = ec::Curve::p256().fn().reduce(bad_r);
+  auto bad = reconstruct_private_key(issued->certificate, req.ku, bad_r, f.ca.public_key());
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Ecqv, IssueRejectsInvalidRequestPoint) {
+  CaFixture f;
+  EXPECT_FALSE(f.ca.issue(DeviceId::from_string("x"), ec::AffinePoint::make_infinity(), kNow,
+                          kLife, f.rng)
+                   .ok());
+  ec::AffinePoint off_curve = ec::Curve::p256().generator();
+  bi::add(off_curve.y, off_curve.y, bi::U256(1));
+  EXPECT_FALSE(f.ca.issue(DeviceId::from_string("x"), off_curve, kNow, kLife, f.rng).ok());
+}
+
+TEST(Ecqv, SerialNumbersIncrement) {
+  CaFixture f;
+  auto e1 = f.ca.enroll(DeviceId::from_string("d1"), kNow, kLife, f.rng);
+  auto e2 = f.ca.enroll(DeviceId::from_string("d2"), kNow, kLife, f.rng);
+  EXPECT_LT(e1->certificate.serial, e2->certificate.serial);
+  EXPECT_EQ(f.ca.issued_count(), 3u);  // next serial
+}
+
+TEST(Ecqv, DistinctDevicesGetDistinctKeys) {
+  CaFixture f;
+  auto e1 = f.ca.enroll(DeviceId::from_string("d1"), kNow, kLife, f.rng);
+  auto e2 = f.ca.enroll(DeviceId::from_string("d2"), kNow, kLife, f.rng);
+  EXPECT_NE(e1->private_key, e2->private_key);
+  EXPECT_FALSE(e1->public_key == e2->public_key);
+}
+
+class EcqvEnrollment : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcqvEnrollment, RandomizedRoundTrips) {
+  rng::TestRng rng(GetParam());
+  CertificateAuthority ca(DeviceId::from_string("ca"), ec::Curve::p256().random_scalar(rng));
+  auto e = ca.enroll(DeviceId::from_string("node"), kNow, kLife, rng);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ec::Curve::p256().mul_base(e->private_key), e->public_key);
+  auto q = extract_public_key(e->certificate, ca.public_key());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value(), e->public_key);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcqvEnrollment, ::testing::Range<std::uint64_t>(200, 210));
+
+}  // namespace
+}  // namespace ecqv::cert

@@ -1,0 +1,116 @@
+// Enrollment wire protocol tests: the certificate derivation phase as
+// actual messages, including the implicit tamper detection that replaces a
+// CA signature on the response.
+#include <gtest/gtest.h>
+
+#include "ecqv/enrollment_wire.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::cert {
+namespace {
+
+constexpr std::uint64_t kNow = 1700000000;
+
+struct Fixture {
+  rng::TestRng rng{808};
+  CertificateAuthority ca{DeviceId::from_string("ca"), ec::Curve::p256().random_scalar(rng)};
+};
+
+TEST(EnrollmentWire, RequestCodecRoundTrip) {
+  Fixture f;
+  const CertRequest request = make_cert_request(DeviceId::from_string("node"), f.rng);
+  const EnrollmentRequest wire{request.subject, request.ru};
+  const Bytes encoded = wire.encode();
+  EXPECT_EQ(encoded.size(), kEnrollmentRequestSize);  // 49 B on the wire
+  auto back = EnrollmentRequest::decode(encoded);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->subject, request.subject);
+  EXPECT_EQ(back->ru, request.ru);
+}
+
+TEST(EnrollmentWire, RequestDecodeRejectsBadPointAndLength) {
+  Fixture f;
+  const CertRequest request = make_cert_request(DeviceId::from_string("node"), f.rng);
+  Bytes encoded = EnrollmentRequest{request.subject, request.ru}.encode();
+  EXPECT_FALSE(EnrollmentRequest::decode(Bytes(48)).ok());
+  encoded[kDeviceIdSize] = 0x07;  // invalid SEC1 prefix
+  EXPECT_FALSE(EnrollmentRequest::decode(encoded).ok());
+}
+
+TEST(EnrollmentWire, FullExchangeYieldsWorkingKeys) {
+  Fixture f;
+  const CertRequest request = make_cert_request(DeviceId::from_string("node"), f.rng);
+  auto response_bytes =
+      handle_enrollment(f.ca, EnrollmentRequest{request.subject, request.ru}.encode(), kNow,
+                        3600, f.rng);
+  ASSERT_TRUE(response_bytes.ok());
+  EXPECT_EQ(response_bytes->size(), kEnrollmentResponseSize);  // 133 B on the wire
+
+  Certificate certificate;
+  auto key = complete_enrollment(request, response_bytes.value(), f.ca.public_key(),
+                                 &certificate);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(ec::Curve::p256().mul_base(key->private_key), key->public_key);
+  auto extracted = extract_public_key(certificate, f.ca.public_key());
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted.value(), key->public_key);
+}
+
+TEST(EnrollmentWire, TamperedCertificateIsRejectedImplicitly) {
+  // No signature on the response — but flipping any certificate bit makes
+  // reconstruction fail the Q_U == e*P_U + Q_CA check.
+  Fixture f;
+  const CertRequest request = make_cert_request(DeviceId::from_string("node"), f.rng);
+  auto response = handle_enrollment(
+      f.ca, EnrollmentRequest{request.subject, request.ru}.encode(), kNow, 3600, f.rng);
+  ASSERT_TRUE(response.ok());
+  for (const std::size_t tamper_at : {9u, 30u, 45u, 70u}) {
+    Bytes tampered = response.value();
+    tampered[tamper_at] ^= 0x01;
+    auto key = complete_enrollment(request, tampered, f.ca.public_key());
+    EXPECT_FALSE(key.ok()) << "offset " << tamper_at;
+  }
+}
+
+TEST(EnrollmentWire, TamperedRIsRejected) {
+  Fixture f;
+  const CertRequest request = make_cert_request(DeviceId::from_string("node"), f.rng);
+  auto response = handle_enrollment(
+      f.ca, EnrollmentRequest{request.subject, request.ru}.encode(), kNow, 3600, f.rng);
+  Bytes tampered = response.value();
+  tampered[kCertificateSize + 5] ^= 0x01;  // inside r
+  EXPECT_FALSE(complete_enrollment(request, tampered, f.ca.public_key()).ok());
+}
+
+TEST(EnrollmentWire, SubjectSwapIsRejected) {
+  // A response for a different subject must not be accepted by this
+  // requester even if internally consistent.
+  Fixture f;
+  const CertRequest request = make_cert_request(DeviceId::from_string("node-a"), f.rng);
+  const CertRequest other = make_cert_request(DeviceId::from_string("node-b"), f.rng);
+  auto response = handle_enrollment(
+      f.ca, EnrollmentRequest{other.subject, other.ru}.encode(), kNow, 3600, f.rng);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(complete_enrollment(request, response.value(), f.ca.public_key()).ok());
+}
+
+TEST(EnrollmentWire, WrongCaPublicKeyIsRejected) {
+  Fixture f;
+  rng::TestRng rng2(809);
+  CertificateAuthority other_ca(DeviceId::from_string("other"),
+                                ec::Curve::p256().random_scalar(rng2));
+  const CertRequest request = make_cert_request(DeviceId::from_string("node"), f.rng);
+  auto response = handle_enrollment(
+      f.ca, EnrollmentRequest{request.subject, request.ru}.encode(), kNow, 3600, f.rng);
+  EXPECT_FALSE(complete_enrollment(request, response.value(), other_ca.public_key()).ok());
+}
+
+TEST(EnrollmentWire, HandleRejectsGarbageRequests) {
+  Fixture f;
+  EXPECT_FALSE(handle_enrollment(f.ca, Bytes(10), kNow, 3600, f.rng).ok());
+  EXPECT_FALSE(handle_enrollment(f.ca, Bytes(kEnrollmentRequestSize, 0xff), kNow, 3600, f.rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ecqv::cert

@@ -1,0 +1,72 @@
+// Fixed-base comb table: correctness against the ladder over random and
+// adversarial scalars.
+#include <gtest/gtest.h>
+
+#include "common/metrics.hpp"
+#include "ec/fixed_base.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::ec {
+namespace {
+
+const Curve& c() { return Curve::p256(); }
+const FixedBaseTable& table() { return FixedBaseTable::p256(); }
+
+TEST(FixedBase, MatchesLadderOnSmallScalars) {
+  for (std::uint64_t k = 1; k <= 32; ++k) {
+    EXPECT_EQ(table().mul(bi::U256(k)), c().mul_base(bi::U256(k))) << "k=" << k;
+  }
+}
+
+TEST(FixedBase, ZeroGivesInfinity) {
+  EXPECT_TRUE(table().mul(bi::U256(0)).infinity);
+}
+
+TEST(FixedBase, EdgeScalars) {
+  bi::U256 nm1;
+  bi::sub(nm1, c().order(), bi::U256(1));
+  EXPECT_EQ(table().mul(nm1), c().mul_base(nm1));
+  EXPECT_EQ(table().mul(bi::U256(1)), c().generator());
+  EXPECT_THROW(table().mul(c().order()), std::invalid_argument);
+}
+
+TEST(FixedBase, WindowBoundaryScalars) {
+  // Scalars with exactly one nonzero window, at every window position.
+  for (unsigned w = 0; w < FixedBaseTable::kWindows; w += 7) {
+    bi::U256 k;
+    k.w[w / 16] = static_cast<std::uint64_t>(0x0b) << ((w % 16) * 4);
+    if (bi::cmp(k, c().order()) >= 0) continue;
+    EXPECT_EQ(table().mul(k), c().mul_base(k)) << "window " << w;
+  }
+}
+
+TEST(FixedBase, SparseAndDenseScalars) {
+  // All-windows-set (0xff..) style scalars exercise every table row.
+  const bi::U256 dense = bi::from_hex256(
+      "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(table().mul(dense), c().mul_base(dense));
+  const bi::U256 sparse = bi::from_hex256(
+      "8000000000000000000000000000000000000000000000000000000000000001");
+  EXPECT_EQ(table().mul(sparse), c().mul_base(sparse));
+}
+
+class FixedBaseProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedBaseProperty, MatchesLadderOnRandomScalars) {
+  rng::TestRng rng(GetParam());
+  for (int i = 0; i < 8; ++i) {
+    const bi::U256 k = c().random_scalar(rng);
+    EXPECT_EQ(table().mul(k), c().mul_base(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedBaseProperty, ::testing::Values(51, 52, 53, 54));
+
+TEST(FixedBase, CountsAsBaseMultiplication) {
+  CountScope scope;
+  (void)table().mul(bi::U256(12345));
+  EXPECT_EQ(scope.counts()[Op::kEcMulBase], 1u);
+}
+
+}  // namespace
+}  // namespace ecqv::ec

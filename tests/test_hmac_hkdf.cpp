@@ -1,0 +1,96 @@
+// HMAC-SHA256 (RFC 4231) and HKDF (RFC 5869) known-answer tests.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "hash/hkdf.hpp"
+#include "hash/hmac.hpp"
+
+namespace ecqv::hash {
+namespace {
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, StreamingMatchesOneShot) {
+  const Bytes key = bytes_of("streaming-key");
+  const Bytes data = bytes_of("the quick brown fox jumps over the lazy dog");
+  HmacSha256 mac(key);
+  for (std::uint8_t b : data) mac.update(ByteView(&b, 1));
+  EXPECT_EQ(mac.finish(), hmac_sha256(key, data));
+}
+
+TEST(Hmac, ResetReusesKey) {
+  HmacSha256 mac(bytes_of("k"));
+  mac.update(bytes_of("first"));
+  (void)mac.finish();
+  mac.reset();
+  mac.update(bytes_of("second"));
+  EXPECT_EQ(mac.finish(), hmac_sha256(bytes_of("k"), bytes_of("second")));
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+  const Bytes data = bytes_of("payload");
+  EXPECT_NE(hmac_sha256(bytes_of("k1"), data), hmac_sha256(bytes_of("k2"), data));
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengthBound) {
+  const Digest prk = hkdf_extract(bytes_of("salt"), bytes_of("ikm"));
+  EXPECT_NO_THROW(hkdf_expand(prk, {}, 255 * 32));
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+TEST(Hkdf, OutputIsPrefixConsistent) {
+  // HKDF output truncation: first N bytes of a longer expansion equal the
+  // shorter expansion (RFC 5869 property).
+  const Digest prk = hkdf_extract(bytes_of("s"), bytes_of("k"));
+  const Bytes long_okm = hkdf_expand(prk, bytes_of("ctx"), 96);
+  const Bytes short_okm = hkdf_expand(prk, bytes_of("ctx"), 17);
+  EXPECT_TRUE(std::equal(short_okm.begin(), short_okm.end(), long_okm.begin()));
+}
+
+TEST(Hkdf, InfoSeparatesOutputs) {
+  const Digest prk = hkdf_extract(bytes_of("s"), bytes_of("k"));
+  EXPECT_NE(hkdf_expand(prk, bytes_of("a"), 32), hkdf_expand(prk, bytes_of("b"), 32));
+}
+
+}  // namespace
+}  // namespace ecqv::hash

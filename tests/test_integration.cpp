@@ -1,0 +1,236 @@
+// Full-stack integration tests: enrollment -> handshake over simulated
+// CAN-FD -> encrypted application traffic -> certificate rotation.
+#include <gtest/gtest.h>
+
+#include "canfd/bus.hpp"
+#include "canfd/isotp.hpp"
+#include "canfd/session_layer.hpp"
+#include "canfd/transfer.hpp"
+#include "core/secure_channel.hpp"
+#include "ecqv/enrollment_wire.hpp"
+#include "protocol_fixture.hpp"
+#include "sim/calibrate.hpp"
+#include "sim/schedule.hpp"
+
+namespace ecqv {
+namespace {
+
+using ecqv::testing::World;
+using ecqv::testing::kNow;
+
+TEST(Integration, HandshakeOverIsoTpStack) {
+  // Every protocol message is wrapped (Fig. 6 app header), ISO-TP
+  // segmented, frame-transferred, reassembled and unwrapped — the
+  // handshake must still converge with identical keys.
+  World world;
+  rng::TestRng ra(300), rb(301);
+  auto pair = proto::make_parties(proto::ProtocolKind::kSts, world.alice, world.bob, ra, rb,
+                                  kNow);
+  can::IsoTpReassembler rx_a, rx_b;
+
+  auto via_stack = [&](const proto::Message& m,
+                       can::IsoTpReassembler& rx) -> proto::Message {
+    const can::AppPdu pdu = can::wrap_message(m, 0x0042);
+    std::optional<Bytes> reassembled;
+    for (const auto& frame : can::isotp_segment(0x123, pdu.encode())) {
+      auto fed = rx.feed(frame);
+      EXPECT_TRUE(fed.ok());
+      if (fed->has_value()) reassembled = **fed;
+    }
+    EXPECT_TRUE(reassembled.has_value());
+    auto back = can::AppPdu::decode(*reassembled);
+    EXPECT_TRUE(back.ok());
+    auto unwrapped = can::unwrap_message(back.value());
+    EXPECT_TRUE(unwrapped.ok());
+    return unwrapped.value();
+  };
+
+  std::optional<proto::Message> in_flight = pair.initiator->start();
+  bool to_responder = true;
+  int hops = 0;
+  while (in_flight.has_value() && hops++ < 10) {
+    const proto::Message delivered =
+        via_stack(*in_flight, to_responder ? rx_b : rx_a);
+    auto reply = (to_responder ? *pair.responder : *pair.initiator).on_message(delivered);
+    ASSERT_TRUE(reply.ok());
+    in_flight = std::move(reply.value());
+    to_responder = !to_responder;
+  }
+  EXPECT_TRUE(pair.initiator->established());
+  EXPECT_TRUE(pair.responder->established());
+  EXPECT_EQ(pair.initiator->session_keys(), pair.responder->session_keys());
+}
+
+TEST(Integration, EncryptedSessionAfterHandshake) {
+  World world;
+  const auto outcome = ecqv::testing::run(proto::ProtocolKind::kSts, world);
+  ASSERT_TRUE(outcome.result.success);
+  proto::SecureChannel bms(outcome.initiator_keys, proto::Role::kInitiator);
+  proto::SecureChannel evcc(outcome.responder_keys, proto::Role::kResponder);
+  // A realistic monitoring exchange (paper Fig. 1 stage 3).
+  for (int i = 0; i < 20; ++i) {
+    const Bytes request = bytes_of("read: pack temperature " + std::to_string(i));
+    auto opened = evcc.open(bms.seal(request));
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(opened.value(), request);
+    const Bytes response = bytes_of("temp=23.4C seq=" + std::to_string(i));
+    auto reply = bms.open(evcc.seal(response));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value(), response);
+  }
+}
+
+TEST(Integration, CertificateRotationStartsNewCertificateSession) {
+  // Paper §II-A: certificate session vs communication session. After
+  // re-enrollment (e.g. new engine start), even the static protocols
+  // derive different keys; caches must be invalidated.
+  World world;
+  const auto before = ecqv::testing::run(proto::ProtocolKind::kSEcdsa, world);
+  ASSERT_TRUE(before.result.success);
+
+  rng::TestRng r(555);
+  world.alice =
+      proto::provision_device(world.ca, world.alice.id, kNow, ecqv::testing::kLifetime, r);
+  world.bob =
+      proto::provision_device(world.ca, world.bob.id, kNow, ecqv::testing::kLifetime, r);
+  world.alice.invalidate_caches();
+  world.bob.invalidate_caches();
+
+  const auto after = ecqv::testing::run(proto::ProtocolKind::kSEcdsa, world);
+  ASSERT_TRUE(after.result.success);
+  EXPECT_FALSE(before.initiator_keys == after.initiator_keys);
+}
+
+TEST(Integration, HandshakeTimeDominatedByComputeNotTransfer) {
+  // Reproduces the paper's §V-C observation: CAN-FD link time < 1 ms per
+  // message while S32K144-class compute is seconds.
+  const sim::RunRecord record = sim::record_run(proto::ProtocolKind::kSts, 77);
+  const auto fits = sim::calibrate_all_paper_devices(77);
+  const sim::DeviceModel& s32k = fits[1].model;  // kPaperDevices order
+  const can::BusTiming timing;
+  double transfer_total = 0;
+  for (const auto& m : record.transcript)
+    transfer_total += can::message_transfer_ms(m, timing);
+  const double compute_total = sim::sequential_total_ms(record, s32k, s32k);
+  EXPECT_LT(transfer_total, 5.0);
+  EXPECT_GT(compute_total, 1000.0);
+  EXPECT_LT(transfer_total / compute_total, 0.01);
+}
+
+TEST(Integration, MultiNodeBusCarriesConcurrentSessions) {
+  // Three nodes on one bus; two overlapping ISO-TP transfers with distinct
+  // CAN ids must reassemble independently.
+  can::CanBus bus(can::BusTiming{});
+  can::IsoTpReassembler rx_b, rx_c;
+  std::optional<Bytes> got_b, got_c;
+  const auto node_a = bus.attach([](const can::CanFdFrame&, double) {});
+  bus.attach([&](const can::CanFdFrame& f, double) {
+    if (f.id == 0x0b) {
+      auto r = rx_b.feed(f);
+      if (r.ok() && r->has_value()) got_b = **r;
+    }
+  });
+  bus.attach([&](const can::CanFdFrame& f, double) {
+    if (f.id == 0x0c) {
+      auto r = rx_c.feed(f);
+      if (r.ok() && r->has_value()) got_c = **r;
+    }
+  });
+
+  const Bytes payload_b(300, 0xbb);
+  const Bytes payload_c(150, 0xcc);
+  for (const auto& f : can::isotp_segment(0x0b, payload_b)) bus.send(node_a, f);
+  for (const auto& f : can::isotp_segment(0x0c, payload_c)) bus.send(node_a, f);
+  bus.run();
+  ASSERT_TRUE(got_b.has_value());
+  ASSERT_TRUE(got_c.has_value());
+  EXPECT_EQ(*got_b, payload_b);
+  EXPECT_EQ(*got_c, payload_c);
+}
+
+TEST(Integration, EnrollmentOverCanBus) {
+  // Certificate derivation phase end-to-end over the simulated network:
+  // the device sends its 49-byte enrollment request as an kEnrollment PDU,
+  // the CA gateway answers with the 133-byte response, the device
+  // reconstructs and verifies its key pair.
+  rng::TestRng device_rng(910);
+  rng::TestRng ca_rng(911);
+  cert::CertificateAuthority gateway(cert::DeviceId::from_string("gateway"),
+                                     ec::Curve::p256().random_scalar(ca_rng));
+
+  can::CanBus bus(can::BusTiming{});
+  can::IsoTpReassembler gateway_rx, device_rx;
+  std::optional<Bytes> response_bytes;
+
+  can::CanBus::NodeId gateway_id = 0;
+  const auto device_id = bus.attach([&](const can::CanFdFrame& f, double) {
+    if (f.id != 0x20) return;
+    auto fed = device_rx.feed(f);
+    if (!fed.ok() || !fed->has_value()) return;
+    auto pdu = can::AppPdu::decode(**fed);
+    ASSERT_TRUE(pdu.ok());
+    ASSERT_EQ(pdu->comm_code, can::CommCode::kEnrollment);
+    response_bytes = pdu->data;
+  });
+  gateway_id = bus.attach([&](const can::CanFdFrame& f, double) {
+    if (f.id != 0x10) return;
+    auto fed = gateway_rx.feed(f);
+    if (!fed.ok() || !fed->has_value()) return;
+    auto pdu = can::AppPdu::decode(**fed);
+    ASSERT_TRUE(pdu.ok());
+    auto response = cert::handle_enrollment(gateway, pdu->data, kNow, 86400, ca_rng);
+    ASSERT_TRUE(response.ok());
+    can::AppPdu reply;
+    reply.comm_code = can::CommCode::kEnrollment;
+    reply.session_id = pdu->session_id;
+    reply.op_code = 0x02;
+    reply.data = response.value();
+    for (const auto& frame : can::isotp_segment(0x20, reply.encode()))
+      bus.send(gateway_id, frame);
+  });
+
+  const cert::CertRequest request =
+      cert::make_cert_request(cert::DeviceId::from_string("new-ecu"), device_rng);
+  can::AppPdu pdu;
+  pdu.comm_code = can::CommCode::kEnrollment;
+  pdu.session_id = 9;
+  pdu.op_code = 0x01;
+  pdu.data = cert::EnrollmentRequest{request.subject, request.ru}.encode();
+  for (const auto& frame : can::isotp_segment(0x10, pdu.encode())) bus.send(device_id, frame);
+  bus.run();
+
+  ASSERT_TRUE(response_bytes.has_value());
+  cert::Certificate certificate;
+  auto key = cert::complete_enrollment(request, *response_bytes, gateway.public_key(),
+                                       &certificate);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(ec::Curve::p256().mul_base(key->private_key), key->public_key);
+  EXPECT_EQ(certificate.subject, request.subject);
+}
+
+TEST(Integration, FleetProvisioningScales) {
+  // One CA provisions a small fleet; every pair can establish STS sessions.
+  rng::TestRng boot(700);
+  cert::CertificateAuthority ca(cert::DeviceId::from_string("fleet-ca"),
+                                ec::Curve::p256().random_scalar(boot));
+  std::vector<proto::Credentials> fleet;
+  for (int i = 0; i < 4; ++i) {
+    rng::TestRng r(701 + static_cast<std::uint64_t>(i));
+    fleet.push_back(proto::provision_device(
+        ca, cert::DeviceId::from_string("node-" + std::to_string(i)), kNow,
+        ecqv::testing::kLifetime, r));
+  }
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    for (std::size_t j = i + 1; j < fleet.size(); ++j) {
+      rng::TestRng ra(800 + i * 10 + j), rb(900 + i * 10 + j);
+      auto pair =
+          proto::make_parties(proto::ProtocolKind::kSts, fleet[i], fleet[j], ra, rb, kNow);
+      const auto result = proto::run_handshake(*pair.initiator, *pair.responder);
+      EXPECT_TRUE(result.success) << i << "-" << j;
+      EXPECT_EQ(pair.initiator->session_keys(), pair.responder->session_keys());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecqv

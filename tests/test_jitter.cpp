@@ -1,0 +1,63 @@
+// Timing-jitter model tests: distribution sanity and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/test_rng.hpp"
+#include "sim/jitter.hpp"
+
+namespace ecqv::sim {
+namespace {
+
+TEST(Jitter, GaussianHasZeroMeanUnitVariance) {
+  rng::TestRng rng(1);
+  double sum = 0, sum_sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = gaussian_sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double variance = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(variance, 1.0, 0.05);
+}
+
+TEST(Jitter, SampleScalesWithBase) {
+  rng::TestRng rng(2);
+  const double sample = sample_time_ms(1000.0, 0.001, rng);
+  EXPECT_NEAR(sample, 1000.0, 10.0);  // 10-sigma band
+  EXPECT_GE(sample_time_ms(0.0, 0.5, rng), 0.0);
+}
+
+TEST(Jitter, ZeroSigmaIsExact) {
+  rng::TestRng rng(3);
+  EXPECT_DOUBLE_EQ(sample_time_ms(123.45, 0.0, rng), 123.45);
+}
+
+TEST(Jitter, StatsMatchConfiguredSigma) {
+  rng::TestRng rng(4);
+  const SampleStats stats = sample_run_stats(2521.77, 0.002, 4000, rng);
+  EXPECT_NEAR(stats.mean, 2521.77, 2521.77 * 0.002);        // sem ≈ σ/63
+  EXPECT_NEAR(stats.stddev, 2521.77 * 0.002, 2521.77 * 0.0006);
+  EXPECT_EQ(stats.n, 4000u);
+}
+
+TEST(Jitter, DeterministicUnderSeed) {
+  rng::TestRng a(5), b(5);
+  const SampleStats sa = sample_run_stats(100.0, 0.01, 10, a);
+  const SampleStats sb = sample_run_stats(100.0, 0.01, 10, b);
+  EXPECT_DOUBLE_EQ(sa.mean, sb.mean);
+  EXPECT_DOUBLE_EQ(sa.stddev, sb.stddev);
+}
+
+TEST(Jitter, EmptyStats) {
+  rng::TestRng rng(6);
+  const SampleStats stats = sample_run_stats(100.0, 0.01, 0, rng);
+  EXPECT_EQ(stats.n, 0u);
+  EXPECT_EQ(stats.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace ecqv::sim

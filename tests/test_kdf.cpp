@@ -1,0 +1,77 @@
+// Session key derivation tests (paper eqs. (3)-(4)).
+#include <gtest/gtest.h>
+
+#include "kdf/session_keys.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::kdf {
+namespace {
+
+ec::AffinePoint random_point(std::uint64_t seed) {
+  rng::TestRng rng(seed);
+  return ec::Curve::p256().mul_base(ec::Curve::p256().random_scalar(rng));
+}
+
+TEST(SessionKeys, DeterministicForSameInputs) {
+  const ec::AffinePoint premaster = random_point(1);
+  const SessionKeys a = derive_session_keys(premaster, bytes_of("salt"), bytes_of("label"));
+  const SessionKeys b = derive_session_keys(premaster, bytes_of("salt"), bytes_of("label"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SessionKeys, SaltSeparates) {
+  const ec::AffinePoint premaster = random_point(2);
+  EXPECT_FALSE(derive_session_keys(premaster, bytes_of("salt-1"), bytes_of("l")) ==
+               derive_session_keys(premaster, bytes_of("salt-2"), bytes_of("l")));
+}
+
+TEST(SessionKeys, LabelSeparates) {
+  const ec::AffinePoint premaster = random_point(3);
+  EXPECT_FALSE(derive_session_keys(premaster, bytes_of("s"), bytes_of("proto-a")) ==
+               derive_session_keys(premaster, bytes_of("s"), bytes_of("proto-b")));
+}
+
+TEST(SessionKeys, PremasterSeparates) {
+  EXPECT_FALSE(derive_session_keys(random_point(4), bytes_of("s"), bytes_of("l")) ==
+               derive_session_keys(random_point(5), bytes_of("s"), bytes_of("l")));
+}
+
+TEST(SessionKeys, SubkeysAreDistinct) {
+  const SessionKeys keys = derive_session_keys(random_point(6), bytes_of("s"), bytes_of("l"));
+  // enc key must not equal the head of the MAC key or IV seed (split, not
+  // reuse).
+  EXPECT_FALSE(std::equal(keys.enc_key.begin(), keys.enc_key.end(), keys.mac_key.begin()));
+  EXPECT_FALSE(std::equal(keys.iv_seed.begin(), keys.iv_seed.end(), keys.enc_key.begin()));
+}
+
+TEST(SessionKeys, DhSymmetryYieldsSameSessionKeys) {
+  // The protocol-level property: KDF(X_A * XG_B) == KDF(X_B * XG_A).
+  rng::TestRng rng(7);
+  const auto& c = ec::Curve::p256();
+  const bi::U256 xa = c.random_scalar(rng);
+  const bi::U256 xb = c.random_scalar(rng);
+  const ec::AffinePoint xga = c.mul_base(xa);
+  const ec::AffinePoint xgb = c.mul_base(xb);
+  const ec::AffinePoint k1 = c.mul(xa, xgb);
+  const ec::AffinePoint k2 = c.mul(xb, xga);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(derive_session_keys(k1, bytes_of("s"), bytes_of("l")),
+            derive_session_keys(k2, bytes_of("s"), bytes_of("l")));
+}
+
+TEST(SessionKeys, WipeZeroesMaterial) {
+  SessionKeys keys = derive_session_keys(random_point(8), bytes_of("s"), bytes_of("l"));
+  keys.wipe();
+  const SessionKeys zeroed{};
+  EXPECT_EQ(keys, zeroed);
+}
+
+TEST(SessionKeys, RawSecretOverloadMatchesPointOverload) {
+  const ec::AffinePoint premaster = random_point(9);
+  const Bytes x = bi::to_be_bytes(premaster.x);
+  EXPECT_EQ(derive_session_keys(premaster, bytes_of("s"), bytes_of("l")),
+            derive_session_keys(x, bytes_of("s"), bytes_of("l")));
+}
+
+}  // namespace
+}  // namespace ecqv::kdf

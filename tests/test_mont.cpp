@@ -1,0 +1,124 @@
+// Montgomery-domain modular arithmetic tests over both secp256r1 moduli.
+#include <gtest/gtest.h>
+
+#include "bigint/mont.hpp"
+#include "ec/curve.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::bi {
+namespace {
+
+const MontCtx& fp() { return ec::Curve::p256().fp(); }
+const MontCtx& fn() { return ec::Curve::p256().fn(); }
+
+U256 random_mod(const MontCtx& ctx, rng::Rng& rng) {
+  Bytes b(32);
+  for (;;) {
+    rng.fill(b);
+    const U256 v = from_be_bytes(b);
+    if (cmp(v, ctx.modulus()) < 0) return v;
+  }
+}
+
+TEST(Mont, RejectsEvenAndSmallModuli) {
+  EXPECT_THROW(MontCtx(U256(4)), std::invalid_argument);
+  EXPECT_THROW(MontCtx(U256(7)), std::invalid_argument);  // below 2^255
+}
+
+TEST(Mont, DomainRoundTrip) {
+  rng::TestRng rng(11);
+  for (const auto* ctx : {&fp(), &fn()}) {
+    for (int i = 0; i < 20; ++i) {
+      const U256 v = random_mod(*ctx, rng);
+      EXPECT_EQ(ctx->from_mont(ctx->to_mont(v)), v);
+    }
+  }
+}
+
+TEST(Mont, OneIsMultiplicativeIdentity) {
+  rng::TestRng rng(12);
+  const U256 v = random_mod(fp(), rng);
+  const U256 vm = fp().to_mont(v);
+  EXPECT_EQ(fp().mul(vm, fp().one()), vm);
+}
+
+TEST(Mont, MulMatchesSmallIntegers) {
+  EXPECT_EQ(fp().mul_plain(U256(7), U256(6)), U256(42));
+  EXPECT_EQ(fn().mul_plain(U256(123456), U256(1000)), U256(123456000));
+}
+
+TEST(Mont, AddSubInverse) {
+  rng::TestRng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    const U256 a = random_mod(fp(), rng);
+    const U256 b = random_mod(fp(), rng);
+    EXPECT_EQ(fp().sub(fp().add(a, b), b), a);
+    EXPECT_EQ(fp().add(fp().sub(a, b), b), a);
+  }
+}
+
+TEST(Mont, SubWrapsCorrectly) {
+  // 0 - 1 == m - 1
+  U256 expected;
+  sub(expected, fp().modulus(), U256(1));
+  EXPECT_EQ(fp().sub(U256(0), U256(1)), expected);
+}
+
+TEST(Mont, ReduceSingleConditionalSubtract) {
+  U256 above;
+  add(above, fp().modulus(), U256(5));
+  EXPECT_EQ(fp().reduce(above), U256(5));
+  EXPECT_EQ(fp().reduce(U256(5)), U256(5));
+}
+
+TEST(Mont, PowMatchesRepeatedMul) {
+  const U256 base = fp().to_mont(U256(3));
+  U256 acc = fp().one();
+  for (int i = 0; i < 10; ++i) acc = fp().mul(acc, base);
+  EXPECT_EQ(fp().pow(base, U256(10)), acc);
+  EXPECT_EQ(fp().pow(base, U256(0)), fp().one());
+}
+
+TEST(Mont, FermatLittleTheorem) {
+  // a^(m-1) == 1 mod m for prime m, a != 0.
+  rng::TestRng rng(14);
+  for (const auto* ctx : {&fp(), &fn()}) {
+    const U256 a = ctx->to_mont(random_mod(*ctx, rng));
+    U256 exp;
+    sub(exp, ctx->modulus(), U256(1));
+    EXPECT_EQ(ctx->pow(a, exp), ctx->one());
+  }
+}
+
+TEST(Mont, InverseIsInverse) {
+  rng::TestRng rng(15);
+  for (const auto* ctx : {&fp(), &fn()}) {
+    for (int i = 0; i < 10; ++i) {
+      U256 v = random_mod(*ctx, rng);
+      if (v.is_zero()) v = U256(1);
+      const U256 vm = ctx->to_mont(v);
+      EXPECT_EQ(ctx->mul(vm, ctx->inv(vm)), ctx->one());
+    }
+  }
+}
+
+// Distributivity / associativity property sweep.
+class MontProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MontProperty, RingLaws) {
+  rng::TestRng rng(GetParam());
+  for (int i = 0; i < 12; ++i) {
+    const U256 a = fp().to_mont(random_mod(fp(), rng));
+    const U256 b = fp().to_mont(random_mod(fp(), rng));
+    const U256 c = fp().to_mont(random_mod(fp(), rng));
+    EXPECT_EQ(fp().mul(a, b), fp().mul(b, a));
+    EXPECT_EQ(fp().mul(fp().mul(a, b), c), fp().mul(a, fp().mul(b, c)));
+    EXPECT_EQ(fp().mul(a, fp().add(b, c)), fp().add(fp().mul(a, b), fp().mul(a, c)));
+    EXPECT_EQ(fp().sqr(a), fp().mul(a, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MontProperty, ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace ecqv::bi

@@ -1,0 +1,94 @@
+// RNG layer tests: HMAC-DRBG behaviour, deterministic test RNG, system
+// entropy source.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/metrics.hpp"
+#include "rng/hmac_drbg.hpp"
+#include "rng/system_rng.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::rng {
+namespace {
+
+TEST(HmacDrbg, DeterministicUnderSameSeed) {
+  HmacDrbg a(bytes_of("entropy"), bytes_of("nonce"));
+  HmacDrbg b(bytes_of("entropy"), bytes_of("nonce"));
+  EXPECT_EQ(a.bytes(48), b.bytes(48));
+}
+
+TEST(HmacDrbg, SeedSeparation) {
+  HmacDrbg a(bytes_of("entropy-1"));
+  HmacDrbg b(bytes_of("entropy-2"));
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(HmacDrbg, PersonalizationSeparates) {
+  HmacDrbg a(bytes_of("e"), {}, bytes_of("app-A"));
+  HmacDrbg b(bytes_of("e"), {}, bytes_of("app-B"));
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(HmacDrbg, StreamAdvances) {
+  HmacDrbg drbg(bytes_of("entropy"));
+  const Bytes first = drbg.bytes(32);
+  const Bytes second = drbg.bytes(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(HmacDrbg, ReseedChangesStream) {
+  HmacDrbg a(bytes_of("entropy"));
+  HmacDrbg b(bytes_of("entropy"));
+  (void)a.bytes(16);
+  (void)b.bytes(16);
+  b.reseed(bytes_of("fresh"));
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(HmacDrbg, AdditionalInputSeparates) {
+  HmacDrbg a(bytes_of("entropy"));
+  HmacDrbg b(bytes_of("entropy"));
+  Bytes out_a(32), out_b(32);
+  a.generate(out_a, bytes_of("extra"));
+  b.generate(out_b, {});
+  EXPECT_NE(out_a, out_b);
+}
+
+TEST(HmacDrbg, LargeRequestSpansHmacBlocks) {
+  HmacDrbg drbg(bytes_of("entropy"));
+  const Bytes big = drbg.bytes(1000);
+  EXPECT_EQ(big.size(), 1000u);
+  // Not all zero / not trivially repeating.
+  std::set<Bytes> chunks;
+  for (std::size_t off = 0; off + 32 <= 1000; off += 32)
+    chunks.insert(Bytes(big.begin() + static_cast<std::ptrdiff_t>(off),
+                        big.begin() + static_cast<std::ptrdiff_t>(off + 32)));
+  EXPECT_GT(chunks.size(), 25u);
+}
+
+TEST(TestRng, ReproducibleAndSeedSeparated) {
+  TestRng a(42), b(42), c(43);
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  TestRng a2(42);
+  (void)a2.bytes(1);
+  EXPECT_NE(a2.bytes(64), c.bytes(64));
+}
+
+TEST(TestRng, CountsDrbgBytes) {
+  TestRng rng(1);
+  CountScope scope;
+  (void)rng.bytes(100);
+  EXPECT_EQ(scope.counts()[Op::kDrbgByte], 100u);
+}
+
+TEST(SystemRng, ProducesNonConstantOutput) {
+  SystemRng& rng = SystemRng::instance();
+  const Bytes a = rng.bytes(64);
+  const Bytes b = rng.bytes(64);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_NE(a, b);  // 2^-512 false-failure probability
+}
+
+}  // namespace
+}  // namespace ecqv::rng

@@ -1,0 +1,206 @@
+// SCIANC and PORAMB comparison-protocol tests.
+#include <gtest/gtest.h>
+
+#include "core/poramb.hpp"
+#include "core/scianc.hpp"
+#include "protocol_fixture.hpp"
+
+namespace ecqv::proto {
+namespace {
+
+using ecqv::testing::World;
+using ecqv::testing::kNow;
+
+// ------------------------------------------------------------------ SCIANC
+
+TEST(Scianc, HandshakeEstablishesMatchingKeys) {
+  World world;
+  const auto outcome = ecqv::testing::run(ProtocolKind::kScianc, world);
+  ASSERT_TRUE(outcome.result.success) << error_name(outcome.result.error);
+  EXPECT_EQ(outcome.initiator_keys, outcome.responder_keys);
+  EXPECT_EQ(outcome.result.transcript.size(), 4u);
+  EXPECT_EQ(outcome.result.total_bytes(), 362u);  // Table II
+}
+
+TEST(Scianc, MessageSizesMatchTableII) {
+  World world;
+  const auto steps = ecqv::testing::run(ProtocolKind::kScianc, world).result.step_sizes();
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_EQ(steps[0].second, 149u);
+  EXPECT_EQ(steps[1].second, 149u);
+  EXPECT_EQ(steps[2].second, 32u);
+  EXPECT_EQ(steps[3].second, 32u);
+}
+
+TEST(Scianc, NoncesDiversifyKeysAcrossSessions) {
+  // SCIANC *does* derive a different key per session (Table III T4: ∆,
+  // not ✗) — the weakness is derivability, not reuse.
+  World world;
+  const auto s1 = ecqv::testing::run(ProtocolKind::kScianc, world, 8000);
+  const auto s2 = ecqv::testing::run(ProtocolKind::kScianc, world, 8001);
+  ASSERT_TRUE(s1.result.success && s2.result.success);
+  EXPECT_FALSE(s1.initiator_keys == s2.initiator_keys);
+}
+
+TEST(Scianc, PublicKeyCacheWarmsAcrossSessions) {
+  World world;
+  EXPECT_TRUE(world.alice.peer_public_cache.empty());
+  (void)ecqv::testing::run(ProtocolKind::kScianc, world, 8002);
+  EXPECT_EQ(world.alice.peer_public_cache.size(), 1u);
+  EXPECT_EQ(world.bob.peer_public_cache.size(), 1u);
+  // Warm run: no extraction, exactly one EC multiplication per device.
+  rng::TestRng ra(8100), rb(8101);
+  auto pair = make_parties(ProtocolKind::kScianc, world.alice, world.bob, ra, rb, kNow);
+  CountScope scope;
+  ASSERT_TRUE(run_handshake(*pair.initiator, *pair.responder).success);
+  EXPECT_EQ(scope.counts()[Op::kEcMulVar], 2u);   // one ECDH per device
+  EXPECT_EQ(scope.counts()[Op::kEcMulDual], 0u);  // no verification mults
+  EXPECT_EQ(scope.counts()[Op::kEcMulBase], 0u);
+}
+
+TEST(Scianc, RejectsTamperedAuthMac) {
+  World world;
+  rng::TestRng ra(50), rb(51);
+  SciancConfig config;
+  config.now = kNow;
+  SciancInitiator alice(world.alice, ra, config);
+  SciancResponder bob(world.bob, rb, config);
+  auto a1 = alice.start();
+  auto b1 = bob.on_message(*a1);
+  auto a2 = alice.on_message(**b1);
+  ASSERT_TRUE(a2.ok());
+  Message tampered = **a2;
+  tampered.payload[0] ^= 0x01;
+  auto reply = bob.on_message(tampered);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error(), Error::kAuthenticationFailed);
+}
+
+TEST(Scianc, RejectsCertificateSubjectMismatch) {
+  World world;
+  rng::TestRng ra(52), rb(53);
+  SciancConfig config;
+  config.now = kNow;
+  SciancResponder bob(world.bob, rb, config);
+  SciancInitiator alice(world.alice, ra, config);
+  auto a1 = alice.start();
+  Message forged = *a1;
+  forged.payload[2] ^= 0xff;  // claimed ID no longer matches certificate
+  EXPECT_FALSE(bob.on_message(forged).ok());
+}
+
+TEST(Scianc, RejectsBadLengths) {
+  World world;
+  rng::TestRng rb(54);
+  SciancConfig config;
+  config.now = kNow;
+  SciancResponder bob(world.bob, rb, config);
+  Message bad;
+  bad.step = "A1";
+  bad.payload = Bytes(100);
+  EXPECT_EQ(bob.on_message(bad).error(), Error::kBadLength);
+}
+
+// ------------------------------------------------------------------ PORAMB
+
+TEST(Poramb, HandshakeEstablishesMatchingKeys) {
+  World world;
+  const auto outcome = ecqv::testing::run(ProtocolKind::kPoramb, world);
+  ASSERT_TRUE(outcome.result.success) << error_name(outcome.result.error);
+  EXPECT_EQ(outcome.initiator_keys, outcome.responder_keys);
+  EXPECT_EQ(outcome.result.transcript.size(), 6u);
+  EXPECT_EQ(outcome.result.total_bytes(), 820u);  // Table II
+}
+
+TEST(Poramb, MessageSizesMatchTableII) {
+  World world;
+  const auto steps = ecqv::testing::run(ProtocolKind::kPoramb, world).result.step_sizes();
+  ASSERT_EQ(steps.size(), 6u);
+  EXPECT_EQ(steps[0].second, 48u);
+  EXPECT_EQ(steps[1].second, 48u);
+  EXPECT_EQ(steps[2].second, 165u);
+  EXPECT_EQ(steps[3].second, 165u);
+  EXPECT_EQ(steps[4].second, 197u);
+  EXPECT_EQ(steps[5].second, 197u);
+}
+
+TEST(Poramb, StaticKeysReusedAcrossSessions) {
+  World world;
+  const auto s1 = ecqv::testing::run(ProtocolKind::kPoramb, world, 9000);
+  const auto s2 = ecqv::testing::run(ProtocolKind::kPoramb, world, 9001);
+  ASSERT_TRUE(s1.result.success && s2.result.success);
+  EXPECT_EQ(s1.initiator_keys, s2.initiator_keys);  // the ✗ in Table III
+}
+
+TEST(Poramb, FailsWithoutPairwiseKey) {
+  // The deployment burden the paper criticizes: no pre-embedded pairwise
+  // key, no session.
+  World world;
+  world.alice.pairwise_keys.clear();
+  const auto outcome = ecqv::testing::run(ProtocolKind::kPoramb, world);
+  EXPECT_FALSE(outcome.result.success);
+  EXPECT_EQ(outcome.result.error, Error::kAuthenticationFailed);
+}
+
+TEST(Poramb, RejectsWrongPairwiseKey) {
+  World world;
+  rng::TestRng evil(60);
+  // Bob's key for alice is replaced: MACs stop verifying.
+  PairwiseKey wrong{};
+  evil.fill(wrong);
+  world.bob.pairwise_keys[world.alice.id] = wrong;
+  const auto outcome = ecqv::testing::run(ProtocolKind::kPoramb, world);
+  EXPECT_FALSE(outcome.result.success);
+}
+
+TEST(Poramb, RejectsTamperedPhaseMac) {
+  World world;
+  rng::TestRng ra(61), rb(62);
+  PorambConfig config;
+  config.now = kNow;
+  PorambInitiator alice(world.alice, ra, config);
+  PorambResponder bob(world.bob, rb, config);
+  auto a1 = alice.start();
+  auto b1 = bob.on_message(*a1);
+  auto a2 = alice.on_message(**b1);
+  ASSERT_TRUE(a2.ok());
+  Message tampered = **a2;
+  tampered.payload.back() ^= 0x01;  // MAC byte
+  EXPECT_FALSE(bob.on_message(tampered).ok());
+}
+
+TEST(Poramb, RejectsTamperedFinish) {
+  World world;
+  rng::TestRng ra(63), rb(64);
+  PorambConfig config;
+  config.now = kNow;
+  PorambInitiator alice(world.alice, ra, config);
+  PorambResponder bob(world.bob, rb, config);
+  auto a1 = alice.start();
+  auto b1 = bob.on_message(*a1);
+  auto a2 = alice.on_message(**b1);
+  auto b2 = bob.on_message(**a2);
+  ASSERT_TRUE(b2.ok());
+  auto a3 = alice.on_message(**b2);
+  ASSERT_TRUE(a3.ok());
+  Message tampered = **a3;
+  tampered.payload[150] ^= 0x01;
+  EXPECT_FALSE(bob.on_message(tampered).ok());
+  EXPECT_FALSE(bob.established());
+}
+
+TEST(Poramb, FinishConfirmationIsRoleBound) {
+  kdf::SessionKeys keys{};
+  keys.mac_key.fill(0x11);
+  keys.enc_key.fill(0x22);
+  const Bytes cert_bytes(cert::kCertificateSize, 0xcc);
+  const Bytes ha(32, 0xaa), hb(32, 0xbb);
+  const Bytes fin = poramb_detail::make_finish(keys, Role::kInitiator, cert_bytes, ha, hb);
+  EXPECT_EQ(fin.size(), poramb_detail::kFinishSize);
+  EXPECT_TRUE(poramb_detail::verify_finish(keys, Role::kInitiator, cert_bytes, ha, hb, fin));
+  EXPECT_FALSE(poramb_detail::verify_finish(keys, Role::kResponder, cert_bytes, ha, hb, fin));
+  EXPECT_FALSE(poramb_detail::verify_finish(keys, Role::kInitiator, cert_bytes, hb, ha, fin));
+}
+
+}  // namespace
+}  // namespace ecqv::proto

@@ -1,0 +1,118 @@
+// Post-handshake secure channel: confidentiality, integrity, replay
+// protection.
+#include <gtest/gtest.h>
+
+#include "core/secure_channel.hpp"
+#include "kdf/session_keys.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::proto {
+namespace {
+
+kdf::SessionKeys test_keys() {
+  return kdf::derive_session_keys(bytes_of("premaster secret"), bytes_of("salt"),
+                                  bytes_of("channel-test"));
+}
+
+TEST(SecureChannel, RoundTrip) {
+  const auto keys = test_keys();
+  SecureChannel a(keys, Role::kInitiator);
+  SecureChannel b(keys, Role::kResponder);
+  const Bytes msg = bytes_of("cell voltage report");
+  auto opened = b.open(a.seal(msg));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), msg);
+}
+
+TEST(SecureChannel, BothDirectionsIndependently) {
+  const auto keys = test_keys();
+  SecureChannel a(keys, Role::kInitiator);
+  SecureChannel b(keys, Role::kResponder);
+  auto from_a = b.open(a.seal(bytes_of("ping")));
+  auto from_b = a.open(b.seal(bytes_of("pong")));
+  ASSERT_TRUE(from_a.ok());
+  ASSERT_TRUE(from_b.ok());
+  EXPECT_EQ(from_a.value(), bytes_of("ping"));
+  EXPECT_EQ(from_b.value(), bytes_of("pong"));
+}
+
+TEST(SecureChannel, CiphertextHidesPlaintext) {
+  const auto keys = test_keys();
+  SecureChannel a(keys, Role::kInitiator);
+  const Bytes msg = bytes_of("secret content here");
+  const Bytes record = a.seal(msg);
+  EXPECT_EQ(record.size(), msg.size() + SecureChannel::kOverhead);
+  EXPECT_EQ(std::search(record.begin(), record.end(), msg.begin(), msg.end()), record.end());
+}
+
+TEST(SecureChannel, RejectsTamperedCiphertext) {
+  const auto keys = test_keys();
+  SecureChannel a(keys, Role::kInitiator);
+  SecureChannel b(keys, Role::kResponder);
+  Bytes record = a.seal(bytes_of("data"));
+  record[10] ^= 0x01;
+  EXPECT_EQ(b.open(record).error(), Error::kAuthenticationFailed);
+}
+
+TEST(SecureChannel, RejectsTamperedMac) {
+  const auto keys = test_keys();
+  SecureChannel a(keys, Role::kInitiator);
+  SecureChannel b(keys, Role::kResponder);
+  Bytes record = a.seal(bytes_of("data"));
+  record.back() ^= 0x01;
+  EXPECT_FALSE(b.open(record).ok());
+}
+
+TEST(SecureChannel, RejectsReplay) {
+  const auto keys = test_keys();
+  SecureChannel a(keys, Role::kInitiator);
+  SecureChannel b(keys, Role::kResponder);
+  const Bytes record = a.seal(bytes_of("one-shot"));
+  ASSERT_TRUE(b.open(record).ok());
+  EXPECT_EQ(b.open(record).error(), Error::kAuthenticationFailed);
+}
+
+TEST(SecureChannel, RejectsReorder) {
+  const auto keys = test_keys();
+  SecureChannel a(keys, Role::kInitiator);
+  SecureChannel b(keys, Role::kResponder);
+  const Bytes r1 = a.seal(bytes_of("first"));
+  const Bytes r2 = a.seal(bytes_of("second"));
+  EXPECT_FALSE(b.open(r2).ok());  // out of order
+  EXPECT_TRUE(b.open(r1).ok());
+  EXPECT_TRUE(b.open(r2).ok());
+}
+
+TEST(SecureChannel, RejectsWrongKeys) {
+  SecureChannel a(test_keys(), Role::kInitiator);
+  const auto other =
+      kdf::derive_session_keys(bytes_of("different"), bytes_of("salt"), bytes_of("channel-test"));
+  SecureChannel b(other, Role::kResponder);
+  EXPECT_FALSE(b.open(a.seal(bytes_of("data"))).ok());
+}
+
+TEST(SecureChannel, RejectsTruncatedRecords) {
+  SecureChannel b(test_keys(), Role::kResponder);
+  EXPECT_EQ(b.open(Bytes(SecureChannel::kOverhead - 1)).error(), Error::kBadLength);
+}
+
+TEST(SecureChannel, SequenceCountersAdvance) {
+  const auto keys = test_keys();
+  SecureChannel a(keys, Role::kInitiator);
+  SecureChannel b(keys, Role::kResponder);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(b.open(a.seal(bytes_of("msg"))).ok());
+  EXPECT_EQ(a.sent(), 5u);
+  EXPECT_EQ(b.received(), 5u);
+}
+
+TEST(SecureChannel, EmptyPayloadAllowed) {
+  const auto keys = test_keys();
+  SecureChannel a(keys, Role::kInitiator);
+  SecureChannel b(keys, Role::kResponder);
+  auto opened = b.open(a.seal({}));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened.value().empty());
+}
+
+}  // namespace
+}  // namespace ecqv::proto

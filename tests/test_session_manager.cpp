@@ -1,0 +1,103 @@
+// Session lifecycle management: rekey budgets, expiry, retirement wiping.
+#include <gtest/gtest.h>
+
+#include "core/session_manager.hpp"
+#include "kdf/session_keys.hpp"
+
+namespace ecqv::proto {
+namespace {
+
+const cert::DeviceId kPeer = cert::DeviceId::from_string("peer");
+constexpr std::uint64_t kT0 = 1700000000;
+
+kdf::SessionKeys keys_for(std::string_view tag) {
+  return kdf::derive_session_keys(bytes_of(std::string(tag)), bytes_of("salt"),
+                                  bytes_of("session-manager-test"));
+}
+
+TEST(SessionManager, NeedsRekeyBeforeInstall) {
+  SessionManager manager(Role::kInitiator);
+  EXPECT_TRUE(manager.needs_rekey(kPeer, kT0));
+  EXPECT_FALSE(manager.seal(kPeer, bytes_of("x"), kT0).ok());
+  EXPECT_EQ(manager.active_sessions(), 0u);
+}
+
+TEST(SessionManager, SealOpenAcrossTwoManagers) {
+  SessionManager a(Role::kInitiator);
+  SessionManager b(Role::kResponder);
+  const auto keys = keys_for("s1");
+  a.install(kPeer, keys, kT0);
+  b.install(kPeer, keys, kT0);
+  auto record = a.seal(kPeer, bytes_of("telemetry"), kT0 + 1);
+  ASSERT_TRUE(record.ok());
+  auto opened = b.open(kPeer, record.value(), kT0 + 1);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), bytes_of("telemetry"));
+}
+
+TEST(SessionManager, RecordBudgetTriggersRekey) {
+  SessionManager manager(Role::kInitiator, RekeyPolicy{3, UINT64_MAX});
+  manager.install(kPeer, keys_for("s2"), kT0);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(manager.seal(kPeer, bytes_of("m"), kT0).ok()) << i;
+  EXPECT_TRUE(manager.needs_rekey(kPeer, kT0));
+  EXPECT_EQ(manager.seal(kPeer, bytes_of("m"), kT0).error(), Error::kBadState);
+}
+
+TEST(SessionManager, AgeBudgetTriggersRekey) {
+  SessionManager manager(Role::kInitiator, RekeyPolicy{UINT64_MAX, 60});
+  manager.install(kPeer, keys_for("s3"), kT0);
+  EXPECT_FALSE(manager.needs_rekey(kPeer, kT0 + 60));
+  EXPECT_TRUE(manager.needs_rekey(kPeer, kT0 + 61));
+  EXPECT_FALSE(manager.seal(kPeer, bytes_of("m"), kT0 + 61).ok());
+}
+
+TEST(SessionManager, ReinstallResetsBudgets) {
+  SessionManager manager(Role::kInitiator, RekeyPolicy{2, 60});
+  manager.install(kPeer, keys_for("s4"), kT0);
+  (void)manager.seal(kPeer, bytes_of("m"), kT0);
+  (void)manager.seal(kPeer, bytes_of("m"), kT0);
+  EXPECT_TRUE(manager.needs_rekey(kPeer, kT0));
+  manager.install(kPeer, keys_for("s5"), kT0 + 100);
+  EXPECT_FALSE(manager.needs_rekey(kPeer, kT0 + 100));
+  EXPECT_TRUE(manager.seal(kPeer, bytes_of("m"), kT0 + 100).ok());
+}
+
+TEST(SessionManager, RekeyChangesKeysOnTheWire) {
+  // Records sealed under the old session must not open under the new one.
+  SessionManager a1(Role::kInitiator), b(Role::kResponder);
+  a1.install(kPeer, keys_for("old"), kT0);
+  const Bytes old_record = a1.seal(kPeer, bytes_of("m"), kT0).value();
+  b.install(kPeer, keys_for("new"), kT0);
+  EXPECT_FALSE(b.open(kPeer, old_record, kT0).ok());
+}
+
+TEST(SessionManager, RetireRemovesSession) {
+  SessionManager manager(Role::kInitiator);
+  manager.install(kPeer, keys_for("s6"), kT0);
+  EXPECT_EQ(manager.active_sessions(), 1u);
+  manager.retire(kPeer);
+  EXPECT_EQ(manager.active_sessions(), 0u);
+  EXPECT_TRUE(manager.needs_rekey(kPeer, kT0));
+  manager.retire(kPeer);  // idempotent
+}
+
+TEST(SessionManager, IndependentPeers) {
+  SessionManager manager(Role::kInitiator, RekeyPolicy{1, UINT64_MAX});
+  const cert::DeviceId other = cert::DeviceId::from_string("other");
+  manager.install(kPeer, keys_for("p1"), kT0);
+  manager.install(other, keys_for("p2"), kT0);
+  EXPECT_TRUE(manager.seal(kPeer, bytes_of("m"), kT0).ok());
+  EXPECT_TRUE(manager.needs_rekey(kPeer, kT0));   // budget spent
+  EXPECT_FALSE(manager.needs_rekey(other, kT0));  // untouched
+  EXPECT_EQ(manager.active_sessions(), 2u);
+}
+
+TEST(SessionManager, ClockRegressionForcesRekey) {
+  SessionManager manager(Role::kInitiator);
+  manager.install(kPeer, keys_for("s7"), kT0);
+  EXPECT_TRUE(manager.needs_rekey(kPeer, kT0 - 1));
+}
+
+}  // namespace
+}  // namespace ecqv::proto

@@ -1,0 +1,76 @@
+// SHA-256 known-answer (FIPS 180-4 examples) and streaming-equivalence
+// tests.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "common/metrics.hpp"
+#include "hash/sha256.hpp"
+
+namespace ecqv::hash {
+namespace {
+
+std::string digest_hex(ByteView data) { return to_hex(sha256(data)); }
+
+TEST(Sha256, NistShortVectors) {
+  EXPECT_EQ(digest_hex(bytes_of("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(digest_hex(bytes_of("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(digest_hex(bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Bytes data(1000000, 'a');
+  EXPECT_EQ(digest_hex(data),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must all work.
+  for (const std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    Bytes data(len, 0x5a);
+    Sha256 h;
+    h.update(data);
+    const Digest once = h.finish();
+    EXPECT_EQ(once, sha256(data)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1024; ++i) data.push_back(static_cast<std::uint8_t>(i * 31));
+  const Digest oneshot = sha256(data);
+  for (const std::size_t chunk : {1u, 3u, 17u, 64u, 100u, 1024u}) {
+    Sha256 h;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      const std::size_t take = std::min(chunk, data.size() - off);
+      h.update(ByteView(data.data() + off, take));
+    }
+    EXPECT_EQ(h.finish(), oneshot) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256, ResetRestartsState) {
+  Sha256 h;
+  h.update(bytes_of("garbage"));
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, MultiPartOverloadConcatenates) {
+  const Bytes a = bytes_of("ab");
+  const Bytes b = bytes_of("c");
+  EXPECT_EQ(sha256({ByteView(a), ByteView(b)}), sha256(bytes_of("abc")));
+}
+
+TEST(Sha256, CountsCompressionBlocks) {
+  CountScope scope;
+  sha256(Bytes(64, 0));  // 64 bytes + padding = 2 blocks
+  EXPECT_EQ(scope.counts()[Op::kSha256Block], 2u);
+}
+
+}  // namespace
+}  // namespace ecqv::hash

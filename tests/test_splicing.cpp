@@ -1,0 +1,140 @@
+// Cross-session splicing, reflection and downgrade-style attacks on the
+// handshake state machines: messages from one legitimate session must not
+// be acceptable in another, and reflected messages must not self-complete.
+#include <gtest/gtest.h>
+
+#include "core/sts.hpp"
+#include "core/s_ecdsa.hpp"
+#include "protocol_fixture.hpp"
+
+namespace ecqv::proto {
+namespace {
+
+using ecqv::testing::World;
+using ecqv::testing::kNow;
+
+/// Captures the transcript of a complete honest session.
+Transcript honest_transcript(ProtocolKind kind, World& world, std::uint64_t seed) {
+  const auto outcome = ecqv::testing::run(kind, world, seed);
+  EXPECT_TRUE(outcome.result.success);
+  return outcome.result.transcript;
+}
+
+class CrossSessionSplice : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(CrossSessionSplice, RecordedB1DoesNotCompleteAFreshSession) {
+  // Eve records session 1 and splices its B1 into Alice's session 2.
+  // Fresh ephemeral points / nonces must make the stale message useless.
+  World world;
+  const Transcript recorded = honest_transcript(GetParam(), world, 3100);
+
+  rng::TestRng ra(3200), rb(3201);
+  auto pair = make_parties(GetParam(), world.alice, world.bob, ra, rb, kNow);
+  (void)pair.initiator->start();
+  auto result = pair.initiator->on_message(recorded[1]);  // stale B1
+  if (result.ok()) {
+    // Protocols that cannot detect it at B1 (none currently) must still
+    // fail before establishment.
+    EXPECT_FALSE(pair.initiator->established());
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST_P(CrossSessionSplice, FullReplayOfResponderSideFails) {
+  // Eve replays B's entire recorded side against a fresh initiator.
+  World world;
+  const Transcript recorded = honest_transcript(GetParam(), world, 3300);
+
+  rng::TestRng ra(3400);
+  rng::TestRng rb_unused(3401);
+  auto pair = make_parties(GetParam(), world.alice, world.bob, ra, rb_unused, kNow);
+  (void)pair.initiator->start();
+  bool failed = false;
+  for (const auto& message : recorded) {
+    if (message.sender != Role::kResponder) continue;
+    auto reply = pair.initiator->on_message(message);
+    if (!reply.ok()) {
+      failed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(failed || !pair.initiator->established());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, CrossSessionSplice,
+                         ::testing::Values(ProtocolKind::kSts, ProtocolKind::kSEcdsa,
+                                           ProtocolKind::kScianc, ProtocolKind::kPoramb),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ProtocolKind::kSts: return "Sts";
+                             case ProtocolKind::kSEcdsa: return "SEcdsa";
+                             case ProtocolKind::kScianc: return "Scianc";
+                             default: return "Poramb";
+                           }
+                         });
+
+TEST(Reflection, StsInitiatorRejectsOwnA1Reflected) {
+  // Eve reflects Alice's A1 back at her dressed up as a B1-shaped message.
+  World world;
+  rng::TestRng ra(3500);
+  StsConfig config;
+  config.now = kNow;
+  StsInitiator alice(world.alice, ra, config);
+  auto a1 = alice.start();
+  ASSERT_TRUE(a1.has_value());
+  Message reflected;
+  reflected.sender = Role::kResponder;
+  reflected.step = "B1";
+  // Pad/shape A1 into B1's layout with Alice's own cert and point.
+  reflected.payload =
+      concat({ByteView(world.alice.id.bytes), ByteView(world.alice.certificate.encode()),
+              ByteView(a1->payload).subspan(16),  // her own XG_A
+              ByteView(Bytes(64, 0))});
+  auto result = alice.on_message(reflected);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Reflection, SEcdsaResponderRejectsSelfSession) {
+  // A responder fed its own identity as the initiator: signature binds the
+  // signer id, so Bob's own cert under "alice"'s claimed id fails.
+  World world;
+  rng::TestRng ra(3600), rb(3601);
+  SEcdsaConfig config;
+  config.now = kNow;
+  SEcdsaInitiator alice(world.alice, ra, config);
+  SEcdsaResponder bob(world.bob, rb, config);
+  auto a1 = alice.start();
+  auto b1 = bob.on_message(*a1);
+  ASSERT_TRUE(b1.ok());
+  // Eve renames Bob's B1 to claim Alice's identity; subject check fails.
+  Message forged = **b1;
+  std::copy(world.alice.id.bytes.begin(), world.alice.id.bytes.end(), forged.payload.begin());
+  EXPECT_FALSE(alice.on_message(forged).ok());
+}
+
+TEST(Splice, Sessions_DifferentPeers_DoNotMix) {
+  // B1 from a bob-session spliced into a carol-session must fail even
+  // though both are CA-legitimate.
+  World world;
+  rng::TestRng prov(3700);
+  proto::Credentials carol = provision_device(
+      world.ca, cert::DeviceId::from_string("carol"), kNow, ecqv::testing::kLifetime, prov);
+
+  rng::TestRng ra1(3701), rb1(3702);
+  auto bob_pair = make_parties(ProtocolKind::kSts, world.alice, world.bob, ra1, rb1, kNow);
+  auto a1_bob = bob_pair.initiator->start();
+  auto b1_bob = bob_pair.responder->on_message(*a1_bob);
+  ASSERT_TRUE(b1_bob.ok());
+
+  rng::TestRng ra2(3703), rb2(3704);
+  auto carol_pair = make_parties(ProtocolKind::kSts, world.alice, carol, ra2, rb2, kNow);
+  (void)carol_pair.initiator->start();
+  // Splicing bob's B1 into the carol session: fresh X_A makes the premaster
+  // differ, so Resp_B fails to verify.
+  auto spliced = carol_pair.initiator->on_message(**b1_bob);
+  EXPECT_FALSE(spliced.ok());
+}
+
+}  // namespace
+}  // namespace ecqv::proto

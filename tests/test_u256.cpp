@@ -1,0 +1,171 @@
+// Unit + property tests for the fixed-width 256-bit integer layer.
+#include <gtest/gtest.h>
+
+#include "bigint/u256.hpp"
+#include "common/hex.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::bi {
+namespace {
+
+U256 random_u256(rng::Rng& rng) {
+  Bytes b(32);
+  rng.fill(b);
+  return from_be_bytes(b);
+}
+
+TEST(U256, ZeroAndOddPredicates) {
+  EXPECT_TRUE(U256().is_zero());
+  EXPECT_FALSE(U256(1).is_zero());
+  EXPECT_TRUE(U256(3).is_odd());
+  EXPECT_FALSE(U256(4).is_odd());
+}
+
+TEST(U256, BitAccess) {
+  const U256 v(0x8000000000000001ULL, 0, 0, 0x8000000000000000ULL);
+  EXPECT_EQ(v.bit(0), 1u);
+  EXPECT_EQ(v.bit(63), 1u);
+  EXPECT_EQ(v.bit(1), 0u);
+  EXPECT_EQ(v.bit(255), 1u);
+  EXPECT_EQ(v.bit_length(), 256u);
+  EXPECT_EQ(U256().bit_length(), 0u);
+  EXPECT_EQ(U256(1).bit_length(), 1u);
+  EXPECT_EQ(U256(0xff).bit_length(), 8u);
+}
+
+TEST(U256, CompareOrdersLimbwise) {
+  const U256 small(5);
+  const U256 big(0, 1, 0, 0);  // 2^64
+  EXPECT_LT(cmp(small, big), 0);
+  EXPECT_GT(cmp(big, small), 0);
+  EXPECT_EQ(cmp(big, big), 0);
+  EXPECT_TRUE(small < big);
+  EXPECT_TRUE(big >= small);
+}
+
+TEST(U256, AddCarriesAcrossLimbs) {
+  const U256 max_limb(~0ULL, 0, 0, 0);
+  U256 sum;
+  EXPECT_EQ(add(sum, max_limb, U256(1)), 0u);
+  EXPECT_EQ(sum, U256(0, 1, 0, 0));
+}
+
+TEST(U256, AddReportsOverflow) {
+  const U256 all_ones(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  U256 sum;
+  EXPECT_EQ(add(sum, all_ones, U256(1)), 1u);
+  EXPECT_TRUE(sum.is_zero());
+}
+
+TEST(U256, SubBorrowsAndReportsUnderflow) {
+  U256 diff;
+  EXPECT_EQ(sub(diff, U256(5), U256(7)), 1u);
+  U256 expected(~0ULL - 1, ~0ULL, ~0ULL, ~0ULL);
+  EXPECT_EQ(diff, expected);
+  EXPECT_EQ(sub(diff, U256(7), U256(5)), 0u);
+  EXPECT_EQ(diff, U256(2));
+}
+
+TEST(U256, MulWideSmallValues) {
+  const U512 p = mul_wide(U256(6), U256(7));
+  EXPECT_EQ(p.w[0], 42u);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(p.w[i], 0u);
+}
+
+TEST(U256, MulWideMaxValue) {
+  const U256 max(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  const U512 p = mul_wide(max, max);
+  // (2^256-1)^2 = 2^512 - 2^257 + 1
+  EXPECT_EQ(p.w[0], 1u);
+  EXPECT_EQ(p.w[1], 0u);
+  EXPECT_EQ(p.w[2], 0u);
+  EXPECT_EQ(p.w[3], 0u);
+  EXPECT_EQ(p.w[4], ~0ULL - 1);
+  EXPECT_EQ(p.w[5], ~0ULL);
+  EXPECT_EQ(p.w[6], ~0ULL);
+  EXPECT_EQ(p.w[7], ~0ULL);
+}
+
+TEST(U256, ShiftsByOne) {
+  const U256 v(0x8000000000000000ULL, 0, 0, 0);
+  EXPECT_EQ(shl1(v), U256(0, 1, 0, 0));
+  EXPECT_EQ(shr1(U256(0, 1, 0, 0)), v);
+  EXPECT_EQ(shr1(U256(1)), U256(0));
+}
+
+TEST(U256, CtSelectAndSwap) {
+  U256 a(1), b(2);
+  EXPECT_EQ(ct_select(1, a, b), U256(1));
+  EXPECT_EQ(ct_select(0, a, b), U256(2));
+  ct_swap(1, a, b);
+  EXPECT_EQ(a, U256(2));
+  EXPECT_EQ(b, U256(1));
+  ct_swap(0, a, b);
+  EXPECT_EQ(a, U256(2));
+}
+
+TEST(U256, BytesRoundTrip) {
+  const U256 v = from_hex256("0123456789abcdef00112233445566778899aabbccddeeff0102030405060708");
+  EXPECT_EQ(bi::to_hex(v).size(), 64u);
+  EXPECT_EQ(from_be_bytes(to_be_bytes(v)), v);
+}
+
+TEST(U256, FromHexPadsShortInput) {
+  EXPECT_EQ(from_hex256("ff"), U256(255));
+  EXPECT_EQ(from_hex256("0x10"), U256(16));
+  EXPECT_THROW(from_hex256(std::string(66, 'a')), std::invalid_argument);
+}
+
+TEST(U256, FromBytesRejectsWrongSize) {
+  EXPECT_THROW(from_be_bytes(Bytes(31)), std::invalid_argument);
+  EXPECT_THROW(from_be_bytes(Bytes(33)), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- properties
+
+class U256Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U256Property, AdditionCommutesAndSubtractsBack) {
+  rng::TestRng rng(GetParam());
+  for (int i = 0; i < 32; ++i) {
+    const U256 a = random_u256(rng);
+    const U256 b = random_u256(rng);
+    U256 ab, ba;
+    const auto c1 = add(ab, a, b);
+    const auto c2 = add(ba, b, a);
+    EXPECT_EQ(ab, ba);
+    EXPECT_EQ(c1, c2);
+    U256 back;
+    sub(back, ab, b);  // modulo 2^256 the borrow cancels the carry
+    EXPECT_EQ(back, a);
+  }
+}
+
+TEST_P(U256Property, MulWideCommutesAndDistributesOverShift) {
+  rng::TestRng rng(GetParam() + 1000);
+  for (int i = 0; i < 16; ++i) {
+    const U256 a = random_u256(rng);
+    const U256 b = random_u256(rng);
+    EXPECT_EQ(mul_wide(a, b), mul_wide(b, a));
+    // a * 2 == a << 1 (when no overflow: clear top bit first)
+    U256 a2 = a;
+    a2.w[3] &= 0x7fffffffffffffffULL;
+    const U512 doubled = mul_wide(a2, U256(2));
+    const U256 shifted = shl1(a2);
+    for (std::size_t limb = 0; limb < 4; ++limb) EXPECT_EQ(doubled.w[limb], shifted.w[limb]);
+  }
+}
+
+TEST_P(U256Property, ShiftRoundTrip) {
+  rng::TestRng rng(GetParam() + 2000);
+  for (int i = 0; i < 32; ++i) {
+    U256 a = random_u256(rng);
+    a.w[3] &= 0x7fffffffffffffffULL;  // keep top bit clear
+    EXPECT_EQ(shr1(shl1(a)), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256Property, ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace ecqv::bi

@@ -1,0 +1,179 @@
+// ecqv_tool — command-line front end for the library's certificate and
+// signature operations. Everything is hex-on-stdio so the tool composes
+// with shell pipelines; keys are printed, not stored (this is a research
+// tool, not a key manager).
+//
+//   ecqv_tool ca-new
+//       -> prints CA private key and public key (hex)
+//   ecqv_tool request <subject>
+//       -> prints the requester secret k_U and the 49-byte enrollment
+//          request
+//   ecqv_tool issue <ca-priv-hex> <request-hex> <now> <lifetime>
+//       -> prints the 133-byte enrollment response
+//   ecqv_tool complete <subject> <ku-hex> <response-hex> <ca-pub-hex>
+//       -> prints the reconstructed private key, public key & certificate
+//   ecqv_tool extract <cert-hex> <ca-pub-hex>
+//       -> prints the implicitly derived public key (paper eq. (1))
+//   ecqv_tool sign <priv-hex> <message>
+//       -> prints the 64-byte r||s signature and its DER form
+//   ecqv_tool verify <pub-hex (65B uncompressed)> <message> <sig-hex>
+//       -> prints ok / FAIL
+//   ecqv_tool sizes
+//       -> prints the Table II wire formats of all protocols
+#include <cstdio>
+#include <string>
+
+#include "common/hex.hpp"
+#include "ec/encoding.hpp"
+#include "ecdsa/der.hpp"
+#include "ecdsa/ecdsa.hpp"
+#include "ecqv/enrollment_wire.hpp"
+#include "rng/system_rng.hpp"
+#include "sim/paper_data.hpp"
+
+using namespace ecqv;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ecqv_tool <ca-new | request | issue | complete | extract | sign | "
+               "verify | sizes> [args]\n(see header comment in tools/ecqv_tool.cpp)\n");
+  return 2;
+}
+
+std::string hex_of_point(const ec::AffinePoint& p) { return to_hex(ec::encode_uncompressed(p)); }
+
+int cmd_ca_new() {
+  rng::Rng& rng = rng::SystemRng::instance();
+  const bi::U256 priv = ec::Curve::p256().random_scalar(rng);
+  std::printf("ca_private %s\n", bi::to_hex(priv).c_str());
+  std::printf("ca_public  %s\n", hex_of_point(ec::Curve::p256().mul_base(priv)).c_str());
+  return 0;
+}
+
+int cmd_request(const std::string& subject) {
+  rng::Rng& rng = rng::SystemRng::instance();
+  const cert::CertRequest request =
+      cert::make_cert_request(cert::DeviceId::from_string(subject), rng);
+  std::printf("ku      %s\n", bi::to_hex(request.ku).c_str());
+  std::printf("request %s\n",
+              to_hex(cert::EnrollmentRequest{request.subject, request.ru}.encode()).c_str());
+  return 0;
+}
+
+int cmd_issue(const std::string& ca_priv, const std::string& request_hex,
+              const std::string& now, const std::string& lifetime) {
+  rng::Rng& rng = rng::SystemRng::instance();
+  cert::CertificateAuthority ca(cert::DeviceId::from_string("cli-ca"),
+                                bi::from_hex256(ca_priv));
+  auto response = cert::handle_enrollment(ca, from_hex(request_hex), std::stoull(now),
+                                          std::stoull(lifetime), rng);
+  if (!response) {
+    std::fprintf(stderr, "issue failed: %s\n", error_name(response.error()));
+    return 1;
+  }
+  std::printf("response %s\n", to_hex(response.value()).c_str());
+  return 0;
+}
+
+int cmd_complete(const std::string& subject, const std::string& ku_hex,
+                 const std::string& response_hex, const std::string& ca_pub_hex) {
+  cert::CertRequest request;
+  request.subject = cert::DeviceId::from_string(subject);
+  request.ku = bi::from_hex256(ku_hex);
+  request.ru = ec::Curve::p256().mul_base(request.ku);
+  auto ca_pub = ec::decode_point(ec::Curve::p256(), from_hex(ca_pub_hex));
+  if (!ca_pub) {
+    std::fprintf(stderr, "bad CA public key\n");
+    return 1;
+  }
+  cert::Certificate certificate;
+  auto key =
+      cert::complete_enrollment(request, from_hex(response_hex), ca_pub.value(), &certificate);
+  if (!key) {
+    std::fprintf(stderr, "complete failed: %s\n", error_name(key.error()));
+    return 1;
+  }
+  std::printf("private     %s\n", bi::to_hex(key->private_key).c_str());
+  std::printf("public      %s\n", hex_of_point(key->public_key).c_str());
+  std::printf("certificate %s\n", to_hex(certificate.encode()).c_str());
+  return 0;
+}
+
+int cmd_extract(const std::string& cert_hex, const std::string& ca_pub_hex) {
+  auto certificate = cert::Certificate::decode(from_hex(cert_hex));
+  auto ca_pub = ec::decode_point(ec::Curve::p256(), from_hex(ca_pub_hex));
+  if (!certificate || !ca_pub) {
+    std::fprintf(stderr, "bad certificate or CA key\n");
+    return 1;
+  }
+  auto q = cert::extract_public_key(certificate.value(), ca_pub.value());
+  if (!q) {
+    std::fprintf(stderr, "extract failed: %s\n", error_name(q.error()));
+    return 1;
+  }
+  std::printf("subject %s\n", certificate->subject.to_string().c_str());
+  std::printf("public  %s\n", hex_of_point(q.value()).c_str());
+  return 0;
+}
+
+int cmd_sign(const std::string& priv_hex, const std::string& message) {
+  const sig::PrivateKey key(bi::from_hex256(priv_hex));
+  const sig::Signature s = key.sign(bytes_of(message));
+  std::printf("sig_raw %s\n", to_hex(sig::encode_signature(s)).c_str());
+  std::printf("sig_der %s\n", to_hex(sig::encode_signature_der(s)).c_str());
+  return 0;
+}
+
+int cmd_verify(const std::string& pub_hex, const std::string& message,
+               const std::string& sig_hex) {
+  auto q = ec::decode_point(ec::Curve::p256(), from_hex(pub_hex));
+  if (!q) {
+    std::fprintf(stderr, "bad public key\n");
+    return 1;
+  }
+  const Bytes sig_bytes = from_hex(sig_hex);
+  auto s = sig_bytes.size() == sig::kSignatureSize ? sig::decode_signature(sig_bytes)
+                                                   : sig::decode_signature_der(sig_bytes);
+  if (!s) {
+    std::fprintf(stderr, "bad signature encoding\n");
+    return 1;
+  }
+  const bool ok = sig::verify(q.value(), bytes_of(message), s.value());
+  std::printf("%s\n", ok ? "ok" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int cmd_sizes() {
+  for (const auto& row : sim::table2()) {
+    std::printf("%-16s", std::string(proto::protocol_name(row.protocol)).c_str());
+    for (const auto& [step, size] : row.steps) {
+      std::printf(" %s(%zu)", std::string(step).c_str(), size);
+    }
+    std::printf("  total %zuB\n", row.total_bytes);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "ca-new" && argc == 2) return cmd_ca_new();
+    if (command == "request" && argc == 3) return cmd_request(argv[2]);
+    if (command == "issue" && argc == 6) return cmd_issue(argv[2], argv[3], argv[4], argv[5]);
+    if (command == "complete" && argc == 6)
+      return cmd_complete(argv[2], argv[3], argv[4], argv[5]);
+    if (command == "extract" && argc == 4) return cmd_extract(argv[2], argv[3]);
+    if (command == "sign" && argc == 4) return cmd_sign(argv[2], argv[3]);
+    if (command == "verify" && argc == 5) return cmd_verify(argv[2], argv[3], argv[4]);
+    if (command == "sizes" && argc == 2) return cmd_sizes();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
