@@ -1,20 +1,333 @@
 // Montgomery-domain modular arithmetic over an odd 256-bit modulus.
 //
 // One MontCtx instance exists per modulus (the secp256r1 field prime p and
-// the group order n). Multiplication uses the CIOS method with 64x64->128
-// multiply-accumulate; addition/subtraction work identically in and out of
-// the Montgomery domain, so the same helpers serve both.
+// the group order n). This is the library's fast path, so the hot
+// operations are defined inline in this header:
+//
+//  * mul(): for the P-256 field prime, a fully unrolled two-pass routine —
+//    a 4x4 Comba product with all 16 limb products independent (so they
+//    pipeline), followed by a Montgomery reduction that is multiplication-
+//    free: -p^-1 mod 2^64 == 1 for the P-256 prime and p's limbs are
+//    0xffffffffffffffff / 0xffffffff / 0 / 0xffffffff00000001, so every
+//    m*p partial product folds into shifts and adds. Other moduli (the
+//    group order n) take the generic unrolled CIOS path in mont.cpp.
+//  * sqr(): dedicated squaring — each cross product computed once and
+//    doubled in-column: 10 limb products instead of 16.
+//  * add()/sub(): branchless (compute both candidates, mask-select); the
+//    carry/overflow condition is data-dependent ~50% of the time, so a
+//    branch would mispredict constantly on the scalar-multiplication path.
+//  * inv(): for the P-256 prime, a fixed 255-squaring/13-multiply addition
+//    chain replaces the generic 256-iteration Fermat ladder.
+//  * inv_vartime(): binary extended-gcd inverse for PUBLIC values only
+//    (signature verification, table normalization) — several times faster
+//    than any Fermat route but value-dependent in its branching.
+//
+// tests/test_mont_fastpath.cpp pins every operation bit-exactly to the
+// generic reference implementation in mont_ref.hpp on tens of thousands of
+// random inputs.
 //
 // Variable-time notes: pow() scans exponent bits high-to-low and is
 // variable-time in the exponent *length* but uses a fixed 256-iteration
-// window internally, so exponentiations with secret exponents (inversion via
-// Fermat) do not leak the exponent hamming weight through the multiply
-// schedule. See README "Security scope".
+// window internally, so exponentiations with secret exponents do not leak
+// the exponent hamming weight through the multiply schedule. The addition-
+// chain inversion is a fixed operation sequence independent of the input
+// value. inv_vartime() is variable-time by design; callers must only pass
+// public values. See README "Security scope".
+//
+// Cost accounting: mul() and sqr() bump Op::kFpMul / Op::kFpSqr so protocol
+// runs can report exact field-operation counts per scalar multiplication
+// (count_op is an inline TLS check, so this costs ~1 ns per operation).
 #pragma once
 
 #include "bigint/u256.hpp"
+#include "common/metrics.hpp"
+
+// Hand-scheduled BMI2/ADX kernels for the P-256 prime (p256_asm.cpp).
+// Compile-time gate; MontCtx additionally checks CPU support at run time.
+#if defined(__x86_64__) && defined(__ELF__) && !defined(ECQV_NO_ASM)
+#define ECQV_P256_ASM 1
+extern "C" {
+// The access attributes tell GCC these only touch memory through their
+// pointer arguments, so calls don't act as full memory barriers when
+// scheduling the surrounding point-formula code.
+__attribute__((access(write_only, 1), access(read_only, 2), access(read_only, 3))) void
+ecqv_p256_mul_mont(std::uint64_t out[4], const std::uint64_t a[4], const std::uint64_t b[4]);
+__attribute__((access(write_only, 1), access(read_only, 2))) void ecqv_p256_sqr_mont(
+    std::uint64_t out[4], const std::uint64_t a[4]);
+// Paired variants: two INDEPENDENT operations per call, overlapped by the
+// out-of-order core — near the throughput bound instead of 2x the latency.
+// o1 must not alias the second operation's inputs.
+__attribute__((access(write_only, 1), access(read_only, 2), access(read_only, 3),
+               access(write_only, 4), access(read_only, 5), access(read_only, 6))) void
+ecqv_p256_mul2_mont(std::uint64_t o1[4], const std::uint64_t a1[4], const std::uint64_t b1[4],
+                    std::uint64_t o2[4], const std::uint64_t a2[4], const std::uint64_t b2[4]);
+__attribute__((access(write_only, 1), access(read_only, 2), access(write_only, 3),
+               access(read_only, 4))) void
+ecqv_p256_sqr2_mont(std::uint64_t o1[4], const std::uint64_t a1[4], std::uint64_t o2[4],
+                    const std::uint64_t a2[4]);
+}
+#endif
 
 namespace ecqv::bi {
+
+namespace p256 {
+
+// secp256r1 field prime p = 2^256 - 2^224 + 2^192 + 2^96 - 1.
+inline constexpr U256 kPrime{0xffffffffffffffffULL, 0x00000000ffffffffULL,
+                             0x0000000000000000ULL, 0xffffffff00000001ULL};
+
+using u128 = unsigned __int128;
+
+struct Wide {
+  std::uint64_t w0, w1, w2, w3, w4, w5, w6, w7;
+};
+
+// Fully unrolled 4x4 -> 8 limb Comba product. All 16 limb products are
+// mutually independent, so the multiplier pipeline stays full while the
+// column carry chains retire.
+inline Wide mul4_wide(const U256& a, const U256& b) {
+  Wide t;
+  u128 carry;
+  {
+    const u128 p = static_cast<u128>(a.w[0]) * b.w[0];
+    t.w0 = static_cast<std::uint64_t>(p);
+    carry = p >> 64;
+  }
+  const auto col = [&carry](std::uint64_t& out, u128 lo, u128 hi) {
+    out = static_cast<std::uint64_t>(lo);
+    carry = hi + (lo >> 64);
+  };
+  const auto mac = [](u128& lo, u128& hi, std::uint64_t x, std::uint64_t y) {
+    const u128 p = static_cast<u128>(x) * y;
+    lo += static_cast<std::uint64_t>(p);
+    hi += p >> 64;
+  };
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac(lo, hi, a.w[0], b.w[1]);
+    mac(lo, hi, a.w[1], b.w[0]);
+    col(t.w1, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac(lo, hi, a.w[0], b.w[2]);
+    mac(lo, hi, a.w[1], b.w[1]);
+    mac(lo, hi, a.w[2], b.w[0]);
+    col(t.w2, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac(lo, hi, a.w[0], b.w[3]);
+    mac(lo, hi, a.w[1], b.w[2]);
+    mac(lo, hi, a.w[2], b.w[1]);
+    mac(lo, hi, a.w[3], b.w[0]);
+    col(t.w3, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac(lo, hi, a.w[1], b.w[3]);
+    mac(lo, hi, a.w[2], b.w[2]);
+    mac(lo, hi, a.w[3], b.w[1]);
+    col(t.w4, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac(lo, hi, a.w[2], b.w[3]);
+    mac(lo, hi, a.w[3], b.w[2]);
+    col(t.w5, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac(lo, hi, a.w[3], b.w[3]);
+    col(t.w6, lo, hi);
+  }
+  t.w7 = static_cast<std::uint64_t>(carry);
+  return t;
+}
+
+// Dedicated squaring: each cross product a[i]*a[j] (i < j) is computed once
+// and doubled in its column — 10 limb products instead of 16.
+inline Wide sqr4_wide(const U256& a) {
+  Wide t;
+  u128 carry;
+  {
+    const u128 p = static_cast<u128>(a.w[0]) * a.w[0];
+    t.w0 = static_cast<std::uint64_t>(p);
+    carry = p >> 64;
+  }
+  const auto col = [&carry](std::uint64_t& out, u128 lo, u128 hi) {
+    out = static_cast<std::uint64_t>(lo);
+    carry = hi + (lo >> 64);
+  };
+  const auto mac = [](u128& lo, u128& hi, std::uint64_t x, std::uint64_t y) {
+    const u128 p = static_cast<u128>(x) * y;
+    lo += static_cast<std::uint64_t>(p);
+    hi += p >> 64;
+  };
+  const auto mac2 = [](u128& lo, u128& hi, std::uint64_t x, std::uint64_t y) {
+    const u128 p = static_cast<u128>(x) * y;
+    const std::uint64_t pl = static_cast<std::uint64_t>(p);
+    const std::uint64_t ph = static_cast<std::uint64_t>(p >> 64);
+    lo += pl;
+    lo += pl;
+    hi += ph;
+    hi += ph;
+  };
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac2(lo, hi, a.w[0], a.w[1]);
+    col(t.w1, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac2(lo, hi, a.w[0], a.w[2]);
+    mac(lo, hi, a.w[1], a.w[1]);
+    col(t.w2, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac2(lo, hi, a.w[0], a.w[3]);
+    mac2(lo, hi, a.w[1], a.w[2]);
+    col(t.w3, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac2(lo, hi, a.w[1], a.w[3]);
+    mac(lo, hi, a.w[2], a.w[2]);
+    col(t.w4, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac2(lo, hi, a.w[2], a.w[3]);
+    col(t.w5, lo, hi);
+  }
+  {
+    u128 lo = static_cast<std::uint64_t>(carry), hi = carry >> 64;
+    mac(lo, hi, a.w[3], a.w[3]);
+    col(t.w6, lo, hi);
+  }
+  t.w7 = static_cast<std::uint64_t>(carry);
+  return t;
+}
+
+// Montgomery reduction specialized to the P-256 prime. Four CIOS-style
+// rounds; because -p^-1 mod 2^64 == 1 the m factor IS the low limb, and
+// because p = 2^256 - 2^224 + 2^192 + 2^96 - 1 each m*p partial product is
+// a shift/add combination:
+//   limb 0: m*(2^64-1) + t0 = m<<64            (t0 == m)  -> carry m
+//   limb 1: m*(2^32-1) + t1 + m = (m<<32) + t1
+//   limb 2: 0 + t2 + carry
+//   limb 3: m*(2^64 - 2^32 + 1) + t3 + carry
+// The final conditional subtraction is branchless: the result is >= p about
+// half the time for random inputs, so a branch would mispredict constantly.
+inline U256 redc(const Wide& w) {
+  std::uint64_t t0 = w.w0, t1 = w.w1, t2 = w.w2, t3 = w.w3;
+  std::uint64_t g = 0;  // guard: carry beyond the active window
+  const std::uint64_t inj[4] = {w.w4, w.w5, w.w6, w.w7};
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t m = t0;
+    u128 cur = (static_cast<u128>(m) << 32) + t1;
+    t0 = static_cast<std::uint64_t>(cur);
+    std::uint64_t c = static_cast<std::uint64_t>(cur >> 64);
+    cur = static_cast<u128>(t2) + c;
+    t1 = static_cast<std::uint64_t>(cur);
+    c = static_cast<std::uint64_t>(cur >> 64);
+    cur = (static_cast<u128>(m) << 64) - (static_cast<u128>(m) << 32) + m + t3 + c;
+    t2 = static_cast<std::uint64_t>(cur);
+    c = static_cast<std::uint64_t>(cur >> 64);
+    cur = static_cast<u128>(inj[i]) + c + g;
+    t3 = static_cast<std::uint64_t>(cur);
+    g = static_cast<std::uint64_t>(cur >> 64);
+  }
+  U256 r{t0, t1, t2, t3};
+  U256 d;
+  const std::uint64_t borrow = bi::sub(d, r, kPrime);
+  return ct_select(g | (borrow ^ 1), d, r);
+}
+
+/// a * b * R^-1 mod p; inputs/outputs in Montgomery form. Deliberately
+/// out-of-line (mont.cpp): inlining the ~150-instruction body into the
+/// point formulas bloats them past what the register allocator and L1i
+/// handle well — measured slower than paying the call.
+[[nodiscard]] U256 mont_mul(const U256& a, const U256& b);
+
+/// a^2 * R^-1 mod p.
+[[nodiscard]] U256 mont_sqr(const U256& a);
+
+#if defined(__x86_64__) && !defined(ECQV_NO_ASM)
+#define ECQV_P256_ADDSUB_ASM 1
+
+/// a + b mod p, branchless (base x86-64 ISA only — no feature check
+/// needed). The generic C version compiles to ~40 instructions under GCC;
+/// this is 22, and the point formulas run ~15 modular adds per doubling.
+inline U256 mod_add(const U256& a, const U256& b) {
+  U256 s = a;
+  U256 d;
+  std::uint64_t c, m;
+  asm("addq %[b0], %[s0]\n\t"
+      "adcq %[b1], %[s1]\n\t"
+      "adcq %[b2], %[s2]\n\t"
+      "adcq %[b3], %[s3]\n\t"
+      "sbbq %[c], %[c]\n\t"    // c = -carry
+      "movq %[s0], %[d0]\n\t"
+      "movq %[s1], %[d1]\n\t"
+      "movq %[s2], %[d2]\n\t"
+      "movq %[s3], %[d3]\n\t"
+      "subq $-1, %[d0]\n\t"    // d = s - p
+      "sbbq %[p1], %[d1]\n\t"
+      "sbbq $0, %[d2]\n\t"
+      "sbbq %[p3], %[d3]\n\t"
+      "sbbq %[m], %[m]\n\t"    // m = -borrow
+      "notq %[c]\n\t"
+      "andq %[m], %[c]\n\t"    // keep s iff no carry AND borrow
+      "testq %[c], %[c]\n\t"
+      "cmovneq %[s0], %[d0]\n\t"
+      "cmovneq %[s1], %[d1]\n\t"
+      "cmovneq %[s2], %[d2]\n\t"
+      "cmovneq %[s3], %[d3]\n\t"
+      : [s0] "+&r"(s.w[0]), [s1] "+&r"(s.w[1]), [s2] "+&r"(s.w[2]), [s3] "+&r"(s.w[3]),
+        [d0] "=&r"(d.w[0]), [d1] "=&r"(d.w[1]), [d2] "=&r"(d.w[2]), [d3] "=&r"(d.w[3]),
+        [c] "=&r"(c), [m] "=&r"(m)
+      : [b0] "rm"(b.w[0]), [b1] "rm"(b.w[1]), [b2] "rm"(b.w[2]), [b3] "rm"(b.w[3]),
+        [p1] "r"(kPrime.w[1]), [p3] "r"(kPrime.w[3])
+      : "cc");
+  return d;
+}
+
+/// a - b mod p, branchless.
+inline U256 mod_sub(const U256& a, const U256& b) {
+  U256 d = a;
+  U256 s;
+  std::uint64_t m;
+  asm("subq %[b0], %[d0]\n\t"
+      "sbbq %[b1], %[d1]\n\t"
+      "sbbq %[b2], %[d2]\n\t"
+      "sbbq %[b3], %[d3]\n\t"
+      "sbbq %[m], %[m]\n\t"    // m = -borrow; add p back iff borrow
+      "movq %[d0], %[s0]\n\t"
+      "movq %[d1], %[s1]\n\t"
+      "movq %[d2], %[s2]\n\t"
+      "movq %[d3], %[s3]\n\t"
+      "addq $-1, %[s0]\n\t"    // s = d + p
+      "adcq %[p1], %[s1]\n\t"
+      "adcq $0, %[s2]\n\t"
+      "adcq %[p3], %[s3]\n\t"
+      "testq %[m], %[m]\n\t"
+      "cmovneq %[s0], %[d0]\n\t"
+      "cmovneq %[s1], %[d1]\n\t"
+      "cmovneq %[s2], %[d2]\n\t"
+      "cmovneq %[s3], %[d3]\n\t"
+      : [d0] "+&r"(d.w[0]), [d1] "+&r"(d.w[1]), [d2] "+&r"(d.w[2]), [d3] "+&r"(d.w[3]),
+        [s0] "=&r"(s.w[0]), [s1] "=&r"(s.w[1]), [s2] "=&r"(s.w[2]), [s3] "=&r"(s.w[3]),
+        [m] "=&r"(m)
+      : [b0] "rm"(b.w[0]), [b1] "rm"(b.w[1]), [b2] "rm"(b.w[2]), [b3] "rm"(b.w[3]),
+        [p1] "r"(kPrime.w[1]), [p3] "r"(kPrime.w[3])
+      : "cc");
+  return d;
+}
+#endif  // x86-64
+
+}  // namespace p256
 
 class MontCtx {
  public:
@@ -27,27 +340,122 @@ class MontCtx {
   [[nodiscard]] const U256& one() const { return one_; }
 
   /// a * b * R^-1 mod m; inputs/outputs in Montgomery form.
-  [[nodiscard]] U256 mul(const U256& a, const U256& b) const;
-  [[nodiscard]] U256 sqr(const U256& a) const { return mul(a, a); }
+  [[nodiscard]] U256 mul(const U256& a, const U256& b) const {
+    count_op(Op::kFpMul);
+    return mul_raw(a, b);
+  }
+
+  /// a^2 * R^-1 mod m; dedicated squaring (cheaper than mul(a, a)).
+  [[nodiscard]] U256 sqr(const U256& a) const {
+    count_op(Op::kFpSqr);
+    return sqr_raw(a);
+  }
+
+  /// Uncounted variants for the elliptic-curve engine, which accounts for
+  /// field operations in bulk per point formula (one count_op per formula
+  /// instead of one TLS round-trip per field multiplication).
+  [[nodiscard]] U256 mul_raw(const U256& a, const U256& b) const {
+#if defined(ECQV_P256_ASM)
+    if (use_asm_) {
+      U256 r;
+      ecqv_p256_mul_mont(r.w.data(), a.w.data(), b.w.data());
+      return r;
+    }
+#endif
+    if (is_p256_prime_) return p256::mont_mul(a, b);
+    return mul_generic(a, b);
+  }
+  [[nodiscard]] U256 sqr_raw(const U256& a) const {
+#if defined(ECQV_P256_ASM)
+    if (use_asm_) {
+      U256 r;
+      ecqv_p256_sqr_mont(r.w.data(), a.w.data());
+      return r;
+    }
+#endif
+    if (is_p256_prime_) return p256::mont_sqr(a);
+    return sqr_generic(a);
+  }
+
+  /// Two INDEPENDENT raw multiplications in one call. On the asm path the
+  /// bodies overlap in the out-of-order window (near-throughput cost for
+  /// both); otherwise they run sequentially. o1 must not alias a2/b2.
+  void mul2_raw(U256& o1, const U256& a1, const U256& b1, U256& o2, const U256& a2,
+                const U256& b2) const {
+#if defined(ECQV_P256_ASM)
+    if (use_asm_) {
+      ecqv_p256_mul2_mont(o1.w.data(), a1.w.data(), b1.w.data(), o2.w.data(), a2.w.data(),
+                          b2.w.data());
+      return;
+    }
+#endif
+    o1 = mul_raw(a1, b1);
+    o2 = mul_raw(a2, b2);
+  }
+
+  /// Two INDEPENDENT raw squarings in one call. o1 must not alias a2.
+  void sqr2_raw(U256& o1, const U256& a1, U256& o2, const U256& a2) const {
+#if defined(ECQV_P256_ASM)
+    if (use_asm_) {
+      ecqv_p256_sqr2_mont(o1.w.data(), a1.w.data(), o2.w.data(), a2.w.data());
+      return;
+    }
+#endif
+    o1 = sqr_raw(a1);
+    o2 = sqr_raw(a2);
+  }
 
   /// Domain conversions.
   [[nodiscard]] U256 to_mont(const U256& a) const { return mul(a, r2_); }
   [[nodiscard]] U256 from_mont(const U256& a) const { return mul(a, U256(1)); }
 
   /// Modular add/sub (domain-agnostic: valid for plain or Montgomery form).
-  [[nodiscard]] U256 add(const U256& a, const U256& b) const;
-  [[nodiscard]] U256 sub(const U256& a, const U256& b) const;
+  /// Branchless: both candidates are computed and mask-selected. The P-256
+  /// prime takes the 22-instruction inline-asm path on x86-64.
+  [[nodiscard]] U256 add(const U256& a, const U256& b) const {
+#if defined(ECQV_P256_ADDSUB_ASM)
+    if (is_p256_prime_) return p256::mod_add(a, b);
+#endif
+    U256 s;
+    const std::uint64_t carry = bi::add(s, a, b);
+    U256 d;
+    const std::uint64_t borrow = bi::sub(d, s, m_);
+    return ct_select(carry | (borrow ^ 1), d, s);
+  }
+  [[nodiscard]] U256 sub(const U256& a, const U256& b) const {
+#if defined(ECQV_P256_ADDSUB_ASM)
+    if (is_p256_prime_) return p256::mod_sub(a, b);
+#endif
+    U256 d;
+    const std::uint64_t borrow = bi::sub(d, a, b);
+    U256 s;
+    bi::add(s, d, m_);
+    return ct_select(borrow, s, d);
+  }
 
   /// Reduces any 256-bit value modulo m using a single conditional subtract
   /// (valid because m > 2^255 implies a < 2m for all 256-bit a).
-  [[nodiscard]] U256 reduce(const U256& a) const;
+  [[nodiscard]] U256 reduce(const U256& a) const {
+    U256 d;
+    const std::uint64_t borrow = bi::sub(d, a, m_);
+    return ct_select(borrow ^ 1, d, a);
+  }
 
   /// a^e mod m with a in Montgomery form; result in Montgomery form.
   [[nodiscard]] U256 pow(const U256& a_mont, const U256& e) const;
 
   /// Multiplicative inverse via Fermat (modulus must be prime); Montgomery
-  /// form in and out. Precondition: a_mont represents a nonzero residue.
+  /// form in and out. Uses the fixed P-256 addition chain when the modulus
+  /// is the secp256r1 field prime, the generic ladder otherwise. Fixed
+  /// operation schedule: safe for secret values.
+  /// Precondition: a_mont represents a nonzero residue.
   [[nodiscard]] U256 inv(const U256& a_mont) const;
+
+  /// Multiplicative inverse via binary extended gcd — several times faster
+  /// than inv() but VARIABLE-TIME in the value: public inputs only
+  /// (signature verification, precomputed-table normalization).
+  /// Montgomery form in and out. Precondition: nonzero residue.
+  [[nodiscard]] U256 inv_vartime(const U256& a_mont) const;
 
   /// Convenience: plain-domain modular multiplication (converts in/out).
   [[nodiscard]] U256 mul_plain(const U256& a, const U256& b) const {
@@ -55,10 +463,16 @@ class MontCtx {
   }
 
  private:
+  [[nodiscard]] U256 mul_generic(const U256& a, const U256& b) const;
+  [[nodiscard]] U256 sqr_generic(const U256& a) const;
+  [[nodiscard]] U256 inv_p256_chain(const U256& a_mont) const;
+
   U256 m_;
   U256 r2_;    // R^2 mod m, R = 2^256
   U256 one_;   // R mod m
   std::uint64_t n0_;  // -m^-1 mod 2^64
+  bool is_p256_prime_ = false;  // modulus == secp256r1 field prime p
+  bool use_asm_ = false;        // p256 prime AND the CPU has BMI2+ADX
 };
 
 }  // namespace ecqv::bi

@@ -1,0 +1,131 @@
+#include "bigint/mont_ref.hpp"
+
+#include <stdexcept>
+
+namespace ecqv::bi {
+
+using u128 = unsigned __int128;
+
+namespace {
+
+// -m^-1 mod 2^64 by Newton iteration on the word inverse.
+std::uint64_t neg_inv64(std::uint64_t m0) {
+  std::uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - m0 * inv;  // inv = m0^-1 mod 2^64
+  return ~inv + 1;                                  // -inv
+}
+
+}  // namespace
+
+RefMontCtx::RefMontCtx(const U256& modulus) : m_(modulus) {
+  if (!modulus.is_odd()) throw std::invalid_argument("RefMontCtx: modulus must be odd");
+  if (modulus.bit(255) == 0) throw std::invalid_argument("RefMontCtx: modulus must exceed 2^255");
+  n0_ = neg_inv64(modulus.w[0]);
+
+  // R mod m and R^2 mod m by repeated modular doubling of 1: double 512
+  // times for R^2 and capture R after 256 doublings.
+  U256 acc(1);
+  for (int i = 0; i < 512; ++i) {
+    const std::uint64_t top = acc.bit(255);
+    acc = shl1(acc);
+    // acc may have dropped a top bit; value is acc + top*2^256. Reduce:
+    // subtract m when the dropped bit is set (2^256 mod m = 2^256 - m since
+    // m > 2^255 implies 2^256 < 2m) or when acc >= m.
+    if (top != 0) {
+      U256 t;
+      ::ecqv::bi::sub(t, acc, m_);
+      acc = t;
+    }
+    if (cmp(acc, m_) >= 0) {
+      U256 t;
+      ::ecqv::bi::sub(t, acc, m_);
+      acc = t;
+    }
+    if (i == 255) one_ = acc;
+  }
+  r2_ = acc;
+}
+
+U256 RefMontCtx::mul(const U256& a, const U256& b) const {
+  // CIOS Montgomery multiplication, 4 limbs + 2 guard words.
+  std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.w[i]) * b.w[j] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    {
+      const u128 cur = static_cast<u128>(t[4]) + carry;
+      t[4] = static_cast<std::uint64_t>(cur);
+      t[5] = static_cast<std::uint64_t>(cur >> 64);
+    }
+    // m-step: fold out the low limb.
+    const std::uint64_t mfac = t[0] * n0_;
+    carry = 0;
+    {
+      const u128 cur = static_cast<u128>(mfac) * m_.w[0] + t[0];
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    for (std::size_t j = 1; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(mfac) * m_.w[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    {
+      const u128 cur = static_cast<u128>(t[4]) + carry;
+      t[3] = static_cast<std::uint64_t>(cur);
+      t[4] = t[5] + static_cast<std::uint64_t>(cur >> 64);
+      t[5] = 0;
+    }
+  }
+  U256 r{t[0], t[1], t[2], t[3]};
+  // At most one final subtraction needed (result < 2m).
+  if (t[4] != 0 || cmp(r, m_) >= 0) {
+    U256 d;
+    ::ecqv::bi::sub(d, r, m_);
+    r = d;
+  }
+  return r;
+}
+
+U256 RefMontCtx::add(const U256& a, const U256& b) const {
+  U256 s;
+  const std::uint64_t carry = ::ecqv::bi::add(s, a, b);
+  if (carry != 0 || cmp(s, m_) >= 0) {
+    U256 d;
+    ::ecqv::bi::sub(d, s, m_);
+    return d;
+  }
+  return s;
+}
+
+U256 RefMontCtx::sub(const U256& a, const U256& b) const {
+  U256 d;
+  const std::uint64_t borrow = ::ecqv::bi::sub(d, a, b);
+  if (borrow != 0) {
+    U256 s;
+    ::ecqv::bi::add(s, d, m_);
+    return s;
+  }
+  return d;
+}
+
+U256 RefMontCtx::pow(const U256& a_mont, const U256& e) const {
+  U256 result = one_;
+  for (int i = 255; i >= 0; --i) {
+    result = sqr(result);
+    if (e.bit(static_cast<unsigned>(i)) != 0) result = mul(result, a_mont);
+  }
+  return result;
+}
+
+U256 RefMontCtx::inv(const U256& a_mont) const {
+  U256 e;
+  ::ecqv::bi::sub(e, m_, U256(2));  // m - 2
+  return pow(a_mont, e);
+}
+
+}  // namespace ecqv::bi

@@ -1,0 +1,52 @@
+// Reference (generic, loop-based) Montgomery arithmetic — the property-test
+// oracle for the specialized fast path in mont.cpp.
+//
+// This is the original pedagogical implementation: CIOS multiplication with
+// dynamic loops, squaring via mul(a, a), and inversion via a generic
+// 256-iteration Fermat ladder. It is deliberately kept simple and is NOT on
+// any hot path; tests/test_mont_fastpath.cpp cross-checks MontCtx against it
+// on tens of thousands of random inputs so the unrolled/addition-chain code
+// can never silently drift from the textbook semantics.
+#pragma once
+
+#include "bigint/u256.hpp"
+
+namespace ecqv::bi {
+
+class RefMontCtx {
+ public:
+  /// Constructs the context for an odd modulus > 2^255 (both secp256r1
+  /// moduli qualify; the reduce() shortcut relies on this bound).
+  explicit RefMontCtx(const U256& modulus);
+
+  [[nodiscard]] const U256& modulus() const { return m_; }
+  /// 1 in Montgomery form (i.e. R mod m).
+  [[nodiscard]] const U256& one() const { return one_; }
+
+  /// a * b * R^-1 mod m; inputs/outputs in Montgomery form.
+  [[nodiscard]] U256 mul(const U256& a, const U256& b) const;
+  [[nodiscard]] U256 sqr(const U256& a) const { return mul(a, a); }
+
+  /// Domain conversions.
+  [[nodiscard]] U256 to_mont(const U256& a) const { return mul(a, r2_); }
+  [[nodiscard]] U256 from_mont(const U256& a) const { return mul(a, U256(1)); }
+
+  /// Modular add/sub (domain-agnostic: valid for plain or Montgomery form).
+  [[nodiscard]] U256 add(const U256& a, const U256& b) const;
+  [[nodiscard]] U256 sub(const U256& a, const U256& b) const;
+
+  /// a^e mod m with a in Montgomery form; result in Montgomery form.
+  [[nodiscard]] U256 pow(const U256& a_mont, const U256& e) const;
+
+  /// Multiplicative inverse via Fermat (modulus must be prime); Montgomery
+  /// form in and out. Precondition: a_mont represents a nonzero residue.
+  [[nodiscard]] U256 inv(const U256& a_mont) const;
+
+ private:
+  U256 m_;
+  U256 r2_;    // R^2 mod m, R = 2^256
+  U256 one_;   // R mod m
+  std::uint64_t n0_;  // -m^-1 mod 2^64
+};
+
+}  // namespace ecqv::bi

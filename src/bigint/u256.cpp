@@ -18,35 +18,6 @@ unsigned U256::bit_length() const {
   return 0;
 }
 
-int cmp(const U256& a, const U256& b) {
-  for (int i = 3; i >= 0; --i) {
-    const auto ai = a.w[static_cast<std::size_t>(i)];
-    const auto bi = b.w[static_cast<std::size_t>(i)];
-    if (ai != bi) return ai < bi ? -1 : 1;
-  }
-  return 0;
-}
-
-std::uint64_t add(U256& out, const U256& a, const U256& b) {
-  u128 carry = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    const u128 s = static_cast<u128>(a.w[i]) + b.w[i] + carry;
-    out.w[i] = static_cast<std::uint64_t>(s);
-    carry = s >> 64;
-  }
-  return static_cast<std::uint64_t>(carry);
-}
-
-std::uint64_t sub(U256& out, const U256& a, const U256& b) {
-  std::uint64_t borrow = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    const u128 d = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
-    out.w[i] = static_cast<std::uint64_t>(d);
-    borrow = static_cast<std::uint64_t>((d >> 64) & 1);
-  }
-  return borrow;
-}
-
 bool U512::is_zero() const {
   std::uint64_t acc = 0;
   for (auto limb : w) acc |= limb;
@@ -65,44 +36,6 @@ U512 mul_wide(const U256& a, const U256& b) {
     r.w[i + 4] = carry;
   }
   return r;
-}
-
-U256 shl1(const U256& a) {
-  U256 r;
-  std::uint64_t carry = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    r.w[i] = (a.w[i] << 1) | carry;
-    carry = a.w[i] >> 63;
-  }
-  return r;
-}
-
-U256 shr1(const U256& a) {
-  U256 r;
-  std::uint64_t carry = 0;
-  for (int i = 3; i >= 0; --i) {
-    const auto idx = static_cast<std::size_t>(i);
-    r.w[idx] = (a.w[idx] >> 1) | (carry << 63);
-    carry = a.w[idx] & 1;
-  }
-  return r;
-}
-
-U256 ct_select(std::uint64_t flag, const U256& a, const U256& b) {
-  // mask is all-ones when flag==1; branchless limb blend.
-  const std::uint64_t mask = 0 - flag;
-  U256 r;
-  for (std::size_t i = 0; i < 4; ++i) r.w[i] = (a.w[i] & mask) | (b.w[i] & ~mask);
-  return r;
-}
-
-void ct_swap(std::uint64_t flag, U256& a, U256& b) {
-  const std::uint64_t mask = 0 - flag;
-  for (std::size_t i = 0; i < 4; ++i) {
-    const std::uint64_t t = mask & (a.w[i] ^ b.w[i]);
-    a.w[i] ^= t;
-    b.w[i] ^= t;
-  }
 }
 
 U256 from_be_bytes(ByteView bytes) {

@@ -39,18 +39,42 @@ struct U256 {
   bool operator==(const U256&) const = default;
 };
 
-/// Three-way compare: -1, 0, +1.
-int cmp(const U256& a, const U256& b);
+/// Three-way compare: -1, 0, +1. (Inline: this sits under every modular
+/// reduction on the scalar-multiplication hot path.)
+inline int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    const auto ai = a.w[static_cast<std::size_t>(i)];
+    const auto bi = b.w[static_cast<std::size_t>(i)];
+    if (ai != bi) return ai < bi ? -1 : 1;
+  }
+  return 0;
+}
 inline bool operator<(const U256& a, const U256& b) { return cmp(a, b) < 0; }
 inline bool operator>(const U256& a, const U256& b) { return cmp(a, b) > 0; }
 inline bool operator<=(const U256& a, const U256& b) { return cmp(a, b) <= 0; }
 inline bool operator>=(const U256& a, const U256& b) { return cmp(a, b) >= 0; }
 
-/// out = a + b; returns the carry-out (0 or 1).
-std::uint64_t add(U256& out, const U256& a, const U256& b);
+/// out = a + b; returns the carry-out (0 or 1). Inline for the hot path.
+inline std::uint64_t add(U256& out, const U256& a, const U256& b) {
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned __int128 s = static_cast<unsigned __int128>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
 
-/// out = a - b; returns the borrow-out (0 or 1).
-std::uint64_t sub(U256& out, const U256& a, const U256& b);
+/// out = a - b; returns the borrow-out (0 or 1). Inline for the hot path.
+inline std::uint64_t sub(U256& out, const U256& a, const U256& b) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned __int128 d = static_cast<unsigned __int128>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<std::uint64_t>(d);
+    borrow = static_cast<std::uint64_t>((d >> 64) & 1);
+  }
+  return borrow;
+}
 
 /// Full 256x256 -> 512-bit product, little-endian 8 limbs.
 struct U512 {
@@ -61,14 +85,44 @@ struct U512 {
 U512 mul_wide(const U256& a, const U256& b);
 
 /// Logical shifts by one bit (used by ladder-style loops and reduction).
-U256 shl1(const U256& a);  // discards the top bit
-U256 shr1(const U256& a);
+inline U256 shl1(const U256& a) {  // discards the top bit
+  U256 r;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.w[i] = (a.w[i] << 1) | carry;
+    carry = a.w[i] >> 63;
+  }
+  return r;
+}
+inline U256 shr1(const U256& a) {
+  U256 r;
+  std::uint64_t carry = 0;
+  for (int i = 3; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    r.w[idx] = (a.w[idx] >> 1) | (carry << 63);
+    carry = a.w[idx] & 1;
+  }
+  return r;
+}
 
 /// Constant-time conditional select: returns (flag ? a : b); flag in {0,1}.
-U256 ct_select(std::uint64_t flag, const U256& a, const U256& b);
+inline U256 ct_select(std::uint64_t flag, const U256& a, const U256& b) {
+  // mask is all-ones when flag==1; branchless limb blend.
+  const std::uint64_t mask = 0 - flag;
+  U256 r;
+  for (std::size_t i = 0; i < 4; ++i) r.w[i] = (a.w[i] & mask) | (b.w[i] & ~mask);
+  return r;
+}
 
 /// Constant-time conditional swap of a and b when flag == 1.
-void ct_swap(std::uint64_t flag, U256& a, U256& b);
+inline void ct_swap(std::uint64_t flag, U256& a, U256& b) {
+  const std::uint64_t mask = 0 - flag;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t t = mask & (a.w[i] ^ b.w[i]);
+    a.w[i] ^= t;
+    b.w[i] ^= t;
+  }
+}
 
 /// Big-endian 32-byte (de)serialization used by all wire formats (SEC1).
 U256 from_be_bytes(ByteView bytes);  // requires bytes.size() == 32

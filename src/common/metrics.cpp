@@ -4,9 +4,9 @@
 
 namespace ecqv {
 
-namespace {
-thread_local CountScope* g_active = nullptr;
-}  // namespace
+namespace detail {
+thread_local CountScope* g_active_scope = nullptr;
+}  // namespace detail
 
 std::string_view op_name(Op op) {
   switch (op) {
@@ -20,6 +20,8 @@ std::string_view op_name(Op op) {
     case Op::kHmac: return "hmac";
     case Op::kCmac: return "cmac";
     case Op::kDrbgByte: return "drbg_byte";
+    case Op::kFpMul: return "fp_mul";
+    case Op::kFpSqr: return "fp_sqr";
     case Op::kCount: break;
   }
   return "?";
@@ -30,16 +32,12 @@ OpCounts& OpCounts::operator+=(const OpCounts& other) {
   return *this;
 }
 
-void count_op(Op op, std::uint64_t n) {
-  // Only the innermost scope is bumped live; totals propagate outward when
-  // scopes unwind, so nesting stays O(1) per count_op call.
-  if (g_active != nullptr) g_active->counts_[op] += n;
-}
-
-CountScope::CountScope() : parent_(g_active) { g_active = this; }
+// Only the innermost scope is bumped live (see inline count_op); totals
+// propagate outward when scopes unwind, so nesting stays O(1) per count.
+CountScope::CountScope() : parent_(detail::g_active_scope) { detail::g_active_scope = this; }
 
 CountScope::~CountScope() {
-  g_active = parent_;
+  detail::g_active_scope = parent_;
   if (parent_ != nullptr) parent_->counts_ += counts_;
 }
 

@@ -28,6 +28,8 @@ enum class Op : std::uint8_t {
   kHmac,        // one HMAC invocation (fixed small input)
   kCmac,        // one AES-CMAC invocation
   kDrbgByte,    // one byte of DRBG output
+  kFpMul,       // one Montgomery field/scalar multiplication (either modulus)
+  kFpSqr,       // one dedicated Montgomery squaring (either modulus)
   kCount,
 };
 
@@ -48,10 +50,6 @@ struct OpCounts {
   bool operator==(const OpCounts&) const = default;
 };
 
-/// Bumps the active thread-local counter (no-op when none is active).
-/// Called from the crypto primitives themselves.
-void count_op(Op op, std::uint64_t n = 1);
-
 /// RAII scope that makes a fresh counter active on this thread. Scopes nest;
 /// inner scopes forward their tallies to the enclosing scope on destruction
 /// so an outer "whole protocol" scope sees everything.
@@ -65,11 +63,26 @@ class CountScope {
   /// Counts accumulated so far inside this scope.
   [[nodiscard]] const OpCounts& counts() const { return counts_; }
 
- private:
-  friend void count_op(Op op, std::uint64_t n);
+  /// Direct bump used by the inline count_op fast path.
+  void bump(Op op, std::uint64_t n) { counts_[op] += n; }
 
+ private:
   OpCounts counts_;
   CountScope* parent_;
 };
+
+namespace detail {
+/// The innermost active scope on this thread (nullptr when counting is off).
+/// Exposed only so count_op below can inline to a TLS load + branch — it is
+/// called per field multiplication on the scalar-multiplication hot path,
+/// where an out-of-line call would cost more than the multiply bookkeeping.
+extern thread_local CountScope* g_active_scope;
+}  // namespace detail
+
+/// Bumps the active thread-local counter (no-op when none is active).
+/// Called from the crypto primitives themselves.
+inline void count_op(Op op, std::uint64_t n = 1) {
+  if (detail::g_active_scope != nullptr) detail::g_active_scope->bump(op, n);
+}
 
 }  // namespace ecqv

@@ -4,6 +4,7 @@
 
 #include "aes/modes.hpp"
 #include "ec/encoding.hpp"
+#include "ec/fixed_base.hpp"
 #include "ecdsa/ecdsa.hpp"
 #include "ecqv/scheme.hpp"
 #include "hash/hmac.hpp"
@@ -98,7 +99,7 @@ std::optional<Message> StsInitiator::start() {
   // Op1: ephemeral point XG_A = X_A * G (paper eq. (2)).
   record_segment("Op1", "", [&] {
     xa_ = ec::Curve::p256().random_scalar(rng_);
-    xga_ = ec::encode_raw_xy(ec::Curve::p256().mul_base(xa_));
+    xga_ = ec::encode_raw_xy(ec::FixedBaseTable::p256().mul(xa_));
   });
   Message m;
   m.sender = Role::kInitiator;
@@ -239,7 +240,7 @@ Result<std::optional<Message>> StsResponder::handle_a1(const Message& incoming) 
   // Op1: own ephemeral point.
   record_segment("Op1", "A1", [&] {
     xb_ = ec::Curve::p256().random_scalar(rng_);
-    xgb_ = ec::encode_raw_xy(ec::Curve::p256().mul_base(xb_));
+    xgb_ = ec::encode_raw_xy(ec::FixedBaseTable::p256().mul(xb_));
   });
 
   // Op2a: premaster + session keys (B can do this before seeing A's cert).

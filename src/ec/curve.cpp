@@ -28,7 +28,10 @@ Curve::Curve()
   b_mont_ = fp_.to_mont(b_);
   three_mont_ = fp_.to_mont(bi::U256(3));
   if (!is_on_curve(g_)) throw std::logic_error("secp256r1: generator fails curve equation");
+  ops_ = std::make_unique<const CurveOps>(*this);
 }
+
+Curve::~Curve() = default;
 
 const Curve& Curve::p256() {
   static const Curve curve;
@@ -49,39 +52,60 @@ bool Curve::is_on_curve(const AffinePoint& pt) const {
 
 AffinePoint Curve::add(const AffinePoint& a, const AffinePoint& b) const {
   count_op(Op::kEcAdd);
-  const CurveOps ops(*this);
-  return ops.to_affine(ops.add(ops.to_jacobian(a), ops.to_jacobian(b)));
+  const CurveOps& o = ops();
+  return o.to_affine(o.add(o.to_jacobian(a), o.to_jacobian(b)));
 }
 
 AffinePoint Curve::negate(const AffinePoint& a) const {
-  if (a.infinity) return a;
+  // Normalize: the infinity flag wins over whatever x/y carry, and the
+  // result always uses the canonical infinity encoding. -(x, 0) = (x, 0).
+  if (a.infinity) return AffinePoint::make_infinity();
+  if (a.y.is_zero()) return AffinePoint{a.x, bi::U256(0), false};
   bi::U256 ny;
-  bi::sub(ny, field_prime(), a.y);
-  return AffinePoint{a.x, a.y.is_zero() ? a.y : ny, false};
+  bi::sub(ny, field_prime(), fp_.reduce(a.y));
+  return AffinePoint{a.x, ny, false};
 }
 
 AffinePoint Curve::mul_base(const bi::U256& k) const {
   count_op(Op::kEcMulBase);
-  const CurveOps ops(*this);
-  return ops.to_affine(ops.ladder_mul(k, ops.to_jacobian(g_)));
+  const CurveOps& o = ops();
+  return o.to_affine(o.ladder_mul(k, o.g_jac));
 }
 
 AffinePoint Curve::mul(const bi::U256& k, const AffinePoint& p) const {
   count_op(Op::kEcMulVar);
-  const CurveOps ops(*this);
-  return ops.to_affine(ops.ladder_mul(k, ops.to_jacobian(p)));
+  const CurveOps& o = ops();
+  return o.to_affine(o.ladder_mul(k, o.to_jacobian(p)));
 }
 
 AffinePoint Curve::mul_vartime(const bi::U256& k, const AffinePoint& p) const {
   count_op(Op::kEcMulVar);
-  const CurveOps ops(*this);
-  return ops.to_affine(ops.wnaf_mul(k, ops.to_jacobian(p)));
+  const CurveOps& o = ops();
+  return o.to_affine_vartime(o.wnaf_mul(k, o.to_jacobian(p)));
 }
 
 AffinePoint Curve::dual_mul(const bi::U256& u1, const bi::U256& u2, const AffinePoint& q) const {
   count_op(Op::kEcMulDual);
-  const CurveOps ops(*this);
-  return ops.to_affine(ops.straus_dual(u1, ops.to_jacobian(g_), u2, ops.to_jacobian(q)));
+  const CurveOps& o = ops();
+  return o.to_affine_vartime(o.straus_dual(u1, u2, o.to_jacobian(q)));
+}
+
+bool Curve::dual_mul_checks_r(const bi::U256& u1, const bi::U256& u2, const AffinePoint& q,
+                              const bi::U256& r) const {
+  count_op(Op::kEcMulDual);
+  const CurveOps& o = ops();
+  const CurveOps::JPoint pt = o.straus_dual(u1, u2, o.to_jacobian(q));
+  if (pt.is_infinity()) return false;
+  // x(pt) mod n == r  <=>  X == v * Z^2 for v in {r, r + n} with v < p.
+  const bi::U256 z2 = fp_.sqr(pt.z);
+  bi::U256 v = r;
+  for (;;) {
+    if (fp_.mul(fp_.to_mont(v), z2) == pt.x) return true;
+    bi::U256 nv;
+    if (bi::add(nv, v, order()) != 0) return false;
+    if (bi::cmp(nv, field_prime()) >= 0) return false;
+    v = nv;
+  }
 }
 
 bi::U256 Curve::random_scalar(rng::Rng& rng) const {

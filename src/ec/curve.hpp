@@ -16,12 +16,16 @@
 // exactly what ran.
 #pragma once
 
+#include <memory>
+
 #include "bigint/mont.hpp"
 #include "bigint/u256.hpp"
 #include "common/result.hpp"
 #include "rng/rng.hpp"
 
 namespace ecqv::ec {
+
+struct CurveOps;  // internal Jacobian engine (jacobian.hpp)
 
 /// Affine point with plain-domain (non-Montgomery) coordinates.
 /// The point at infinity is represented explicitly.
@@ -68,6 +72,12 @@ class Curve {
   [[nodiscard]] AffinePoint dual_mul(const bi::U256& u1, const bi::U256& u2,
                                      const AffinePoint& q) const;
 
+  /// ECDSA verification core without any field inversion: computes
+  /// u1*G + u2*Q and checks x mod n == r by comparing r*Z^2 (and, when
+  /// r + n < p, (r+n)*Z^2) against the projective X — public inputs only.
+  [[nodiscard]] bool dual_mul_checks_r(const bi::U256& u1, const bi::U256& u2,
+                                       const AffinePoint& q, const bi::U256& r) const;
+
   /// Uniform scalar in [1, n-1] by rejection sampling.
   [[nodiscard]] bi::U256 random_scalar(rng::Rng& rng) const;
 
@@ -76,6 +86,11 @@ class Curve {
 
   Curve(const Curve&) = delete;
   Curve& operator=(const Curve&) = delete;
+  ~Curve();
+
+  /// The cached internal Jacobian engine (precomputed generator tables);
+  /// built once at construction so Curve::mul* never rebuilds state.
+  [[nodiscard]] const CurveOps& ops() const { return *ops_; }
 
  private:
   Curve();
@@ -87,8 +102,9 @@ class Curve {
   // Montgomery-domain curve constants used by the point formulas.
   bi::U256 b_mont_;
   bi::U256 three_mont_;
+  std::unique_ptr<const CurveOps> ops_;
 
-  friend struct CurveOps;  // internal Jacobian engine (curve.cpp)
+  friend struct CurveOps;  // internal Jacobian engine (jacobian.hpp)
 };
 
 }  // namespace ecqv::ec

@@ -1,50 +1,105 @@
 #include "ec/fixed_base.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "common/metrics.hpp"
 #include "ec/jacobian.hpp"
 
 namespace ecqv::ec {
 
+namespace {
+
+bi::U256 shr4(const bi::U256& a) {
+  bi::U256 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.w[i] = a.w[i] >> 4;
+    if (i + 1 < 4) r.w[i] |= a.w[i + 1] << 60;
+  }
+  return r;
+}
+
+}  // namespace
+
 FixedBaseTable::FixedBaseTable(const Curve& curve) : curve_(curve) {
-  const CurveOps ops(curve);
-  // window_base = (2^(4w)) * G, maintained by four doublings per window.
+  const CurveOps& ops = curve.ops();
+  // Collect every window's odd multiples in Jacobian form, then normalize
+  // the whole table with ONE shared inversion (Montgomery's trick).
+  std::vector<CurveOps::JPoint> jac(kWindows * kEntriesPerWindow);
   CurveOps::JPoint window_base = ops.to_jacobian(curve.generator());
   for (std::size_t w = 0; w < kWindows; ++w) {
-    CurveOps::JPoint multiple = window_base;  // 1 * base
-    for (std::size_t d = 1; d <= kEntriesPerWindow; ++d) {
-      const AffinePoint affine = ops.to_affine(multiple);
-      if (affine.infinity) throw std::logic_error("FixedBaseTable: unexpected infinity");
-      table_[w][d - 1] =
-          Entry{curve.fp().to_mont(affine.x), curve.fp().to_mont(affine.y)};
-      if (d < kEntriesPerWindow) multiple = ops.add(multiple, window_base);
-    }
+    const CurveOps::JPoint base2 = ops.dbl(window_base);
+    jac[w * kEntriesPerWindow] = window_base;  // 1 * 16^w * G
+    for (std::size_t i = 1; i < kEntriesPerWindow; ++i)
+      jac[w * kEntriesPerWindow + i] = ops.add(jac[w * kEntriesPerWindow + i - 1], base2);
     for (int i = 0; i < 4; ++i) window_base = ops.dbl(window_base);
   }
+  std::vector<CurveOps::AffineM> affine(jac.size());
+  ops.batch_to_affine(jac.data(), affine.data(), jac.size(), /*vartime=*/true);
+  for (std::size_t w = 0; w < kWindows; ++w)
+    for (std::size_t i = 0; i < kEntriesPerWindow; ++i) {
+      const CurveOps::AffineM& e = affine[w * kEntriesPerWindow + i];
+      table_[w][i] = Entry{e.x, e.y};
+    }
 }
 
 AffinePoint FixedBaseTable::mul(const bi::U256& k) const {
   count_op(Op::kEcMulBase);
   if (bi::cmp(k, curve_.order()) >= 0)
     throw std::invalid_argument("FixedBaseTable::mul: scalar out of range");
-  const CurveOps ops(curve_);
-  CurveOps::JPoint acc{curve_.fp().one(), curve_.fp().one(), bi::U256(0)};  // infinity
-  for (std::size_t w = 0; w < kWindows; ++w) {
-    const std::uint64_t digit = (k.w[w / 16] >> ((w % 16) * 4)) & 0x0f;
-    if (digit == 0) continue;
-    // Branchless entry selection: scan the whole window, blend with masks.
-    Entry selected{};
-    for (std::size_t d = 1; d <= kEntriesPerWindow; ++d) {
-      const std::uint64_t match = digit == d ? 1u : 0u;
-      selected.x = bi::ct_select(match, table_[w][d - 1].x, selected.x);
-      selected.y = bi::ct_select(match, table_[w][d - 1].y, selected.y);
-    }
-    // Mixed addition: the table entry has an implicit Z = 1.
-    const CurveOps::JPoint entry{selected.x, selected.y, curve_.fp().one()};
-    acc = ops.add(acc, entry);
+  const CurveOps& ops = curve_.ops();
+  const bi::MontCtx& fp = curve_.fp();
+
+  // Branchless conditional negation: work with an odd scalar (n - k is odd
+  // whenever k is even, since n is odd), undo at the end.
+  bi::U256 nk;
+  bi::sub(nk, curve_.order(), k);
+  const std::uint64_t is_even = 1u - (k.w[0] & 1u);
+  bi::U256 d = bi::ct_select(is_even, nk, k);
+
+  // Regular signed-digit recoding: d_w = (d mod 32) - 16 is odd in
+  // [-15, 15]; the quotient (d - d_w)/16 = 2*floor(d/32) + 1 stays odd, and
+  // after 64 steps the remainder is exactly 1 (weight 16^64). Branchless.
+  std::array<std::uint64_t, 64> mag;   // (|d_w| - 1) / 2, in [0, 7]
+  std::array<std::uint64_t, 64> sign;  // 1 if d_w < 0
+  for (std::size_t w = 0; w < 64; ++w) {
+    const std::uint64_t m = d.w[0] & 31u;
+    const std::uint64_t dig = m - 16u;  // two's complement; odd
+    const std::uint64_t s = dig >> 63;
+    const std::uint64_t neg = 0 - s;
+    const std::uint64_t abs = (dig ^ neg) - neg;
+    mag[w] = (abs - 1u) >> 1;
+    sign[w] = s;
+    // d = (d - dig) / 16: clears the low 5 bits then sets bit 4 — no carry.
+    d.w[0] = (d.w[0] - m) + 16u;
+    d = shr4(d);
   }
-  return ops.to_affine(acc);
+  // The 65th digit is always +1: start from the top window's 1-entry.
+  CurveOps::JPoint acc{table_[64][0].x, table_[64][0].y, fp.one()};
+
+  for (std::size_t w = 0; w < 64; ++w) {
+    // Branchless entry selection: scan the whole window, blend with masks.
+    bi::U256 ex{};
+    bi::U256 ey{};
+    for (std::uint64_t i = 0; i < kEntriesPerWindow; ++i) {
+      const std::uint64_t match = static_cast<std::uint64_t>(mag[w] == i);
+      ex = bi::ct_select(match, table_[w][i].x, ex);
+      ey = bi::ct_select(match, table_[w][i].y, ey);
+    }
+    // Apply the digit sign by masked selection of y vs p - y.
+    const bi::U256 ney = fp.sub(bi::U256(0), ey);
+    ey = bi::ct_select(sign[w], ney, ey);
+    acc = ops.madd(acc, CurveOps::AffineM{ex, ey});
+  }
+
+  AffinePoint r = ops.to_affine(acc);  // constant-schedule inversion
+  if (!r.infinity) {                   // infinity only for k = 0
+    bi::U256 ny;
+    bi::sub(ny, curve_.field_prime(), r.y);
+    const std::uint64_t y_nonzero = static_cast<std::uint64_t>(!r.y.is_zero());
+    r.y = bi::ct_select(is_even & y_nonzero, ny, r.y);
+  }
+  return r;
 }
 
 const FixedBaseTable& FixedBaseTable::p256() {

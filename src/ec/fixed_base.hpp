@@ -2,22 +2,28 @@
 //
 // The paper's future work asks about hardware support for the implicit
 // certificate protocols; on many MCUs the cheaper first step is a flash-
-// resident precomputation table for G. This class implements a 4-bit
-// windowed comb: 64 windows x 15 odd..15 multiples of (16^w)G stored as
-// affine Montgomery-domain coordinates (~60 KiB — flashable), turning a
-// base-point multiplication into ≤64 mixed additions with no doublings.
+// resident precomputation table for G. This class implements a signed-digit
+// 4-bit comb: the scalar is made odd by a branchless conditional negation
+// (k or n-k), recoded into 65 odd signed digits d_w in {+-1, +-3, ..., +-15}
+// (regular recoding: every digit nonzero by construction), and the result
+// accumulated as 64 mixed additions against a table of odd multiples
+// d * 16^w * G stored as affine Montgomery-domain coordinates
+// (65 windows x 8 entries, ~33 KiB — flashable). The final result is
+// conditionally negated back.
 //
-// Lookup discipline: within a window the table entry is selected by a
-// branchless full scan (digit *values* do not influence the memory trace);
-// zero windows are skipped, so the number of additions — the count of
-// nonzero 4-bit windows of the scalar — is observable. For uniformly random
-// 256-bit scalars this leaks ~binomial noise with no known exploitation,
-// but callers wanting full uniformity should keep using Curve::mul_base's
-// ladder. This trade-off is the same one micro-ecc & friends ship.
+// Constant-time discipline: the digit recoding is branchless, every window
+// performs exactly one mixed addition, the table entry is selected by a
+// branchless full scan of all 8 entries (digit values influence neither the
+// memory trace nor the schedule), and the digit sign is applied by masked
+// selection of y vs p-y. Unlike the earlier unsigned comb there is no
+// zero-digit skip, so the number of additions no longer leaks the scalar's
+// window pattern.
+//
+// Construction cost is one batch normalization: all 520 Jacobian entries
+// are converted to affine with a single shared field inversion.
 #pragma once
 
 #include <array>
-#include <memory>
 
 #include "ec/curve.hpp"
 
@@ -25,19 +31,22 @@ namespace ecqv::ec {
 
 class FixedBaseTable {
  public:
-  /// Builds the table for the curve's generator (one-time ~1000 point ops).
+  /// Builds the table for the curve's generator (one-time ~600 point ops,
+  /// one field inversion).
   explicit FixedBaseTable(const Curve& curve);
 
-  /// k * G with k < n. Counts as Op::kEcMulBase (same class of work, priced
-  /// separately in the accelerator ablation).
+  /// k * G with k < n (k = 0 yields infinity). Counts as Op::kEcMulBase
+  /// (same class of work, priced separately in the accelerator ablation).
   [[nodiscard]] AffinePoint mul(const bi::U256& k) const;
 
   /// The process-wide table for secp256r1 (built on first use).
   static const FixedBaseTable& p256();
 
   static constexpr std::size_t kWindowBits = 4;
-  static constexpr std::size_t kWindows = 256 / kWindowBits;       // 64
-  static constexpr std::size_t kEntriesPerWindow = (1u << kWindowBits) - 1;  // 15
+  // 65 windows: a 256-bit odd scalar recodes into 64 signed odd digits plus
+  // a final, always-+1 digit of weight 16^64.
+  static constexpr std::size_t kWindows = 256 / kWindowBits + 1;  // 65
+  static constexpr std::size_t kEntriesPerWindow = 1u << (kWindowBits - 1);  // 8
 
  private:
   struct Entry {
@@ -46,7 +55,7 @@ class FixedBaseTable {
   };
 
   const Curve& curve_;
-  // table_[w][d-1] = d * (2^(4w)) * G
+  // table_[w][i] = (2i+1) * (16^w) * G
   std::array<std::array<Entry, kEntriesPerWindow>, kWindows> table_{};
 };
 

@@ -2,9 +2,31 @@
 // paths in curve.cpp and the fixed-base comb table in fixed_base.cpp.
 // Coordinates live in the Montgomery domain of fp; Z == 0 encodes the point
 // at infinity. Not part of the public API.
+//
+// One CurveOps instance is built per Curve (Curve::ops() caches it): besides
+// the field-context references it precomputes the Jacobian generator and a
+// width-7 affine wNAF table of odd generator multiples (64 entries,
+// normalized with one shared inversion), so dual_mul never rebuilds the
+// generator half of its tables.
+//
+// Fast-path structure:
+//  * All formulas go through fmul/fsqr/fadd/fsub, which take MontCtx's raw
+//    (uncounted) ops; each formula bumps Op::kFpMul / Op::kFpSqr once in
+//    bulk, so op accounting stays exact without a TLS round-trip per field
+//    multiplication.
+//  * dbl() uses the 3M+5S a=-3 doubling (dbl-2001-b); madd() is the mixed
+//    Jacobian+affine addition (8M+3S) exploiting Z2 = 1 for table entries.
+//  * batch_to_affine(): Montgomery's batch-inversion trick — normalizes a
+//    whole precomputed table to affine with ONE field inversion plus 3(n-1)
+//    multiplications, after which every table hit is a cheap madd.
+//  * The variable-time paths (wnaf_mul, straus_dual, table normalization)
+//    use the variable-time extended-gcd inversion; constant-time paths
+//    (ladder, fixed-base comb, to_affine on secret outputs) keep the fixed
+//    addition-chain inversion.
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -22,66 +44,167 @@ struct CurveOps {
     [[nodiscard]] bool is_infinity() const { return z.is_zero(); }
   };
 
+  /// Affine point in the Montgomery domain with implicit Z = 1 (table
+  /// entries; never the point at infinity).
+  struct AffineM {
+    bi::U256 x;
+    bi::U256 y;
+  };
+
+  static constexpr unsigned kGenWnafWidth = 7;
+  static constexpr unsigned kVarWnafWidth = 4;
+  static constexpr std::size_t kGenTableSize = std::size_t{1} << (kGenWnafWidth - 1);
+  static constexpr std::size_t kVarTableSize = std::size_t{1} << (kVarWnafWidth - 1);
+
+  /// wNAF digits, least significant first, one per bit position.
+  struct Digits {
+    std::array<std::int8_t, 257> d;
+    std::size_t len = 0;
+  };
+
   const Curve& c;
   const bi::MontCtx& fp;
+  JPoint g_jac;  // generator, Jacobian/Montgomery form
+  std::array<AffineM, kGenTableSize> g_wnaf_tab;  // 1G, 3G, ..., 127G
 
-  explicit CurveOps(const Curve& curve) : c(curve), fp(curve.fp()) {}
+  explicit CurveOps(const Curve& curve) : c(curve), fp(curve.fp()) {
+    g_jac = to_jacobian(curve.generator());
+    std::array<JPoint, kGenTableSize> tab;
+    odd_multiples(g_jac, tab.data(), kGenTableSize);
+    batch_to_affine(tab.data(), g_wnaf_tab.data(), kGenTableSize, /*vartime=*/true);
+  }
+
+  // Raw field helpers: formulas count field work in bulk (see header note).
+  [[nodiscard]] bi::U256 fmul(const bi::U256& a, const bi::U256& b) const {
+    return fp.mul_raw(a, b);
+  }
+  [[nodiscard]] bi::U256 fsqr(const bi::U256& a) const { return fp.sqr_raw(a); }
+  [[nodiscard]] bi::U256 fadd(const bi::U256& a, const bi::U256& b) const {
+    return fp.add(a, b);
+  }
+  [[nodiscard]] bi::U256 fsub(const bi::U256& a, const bi::U256& b) const {
+    return fp.sub(a, b);
+  }
+
+  [[nodiscard]] JPoint infinity() const { return JPoint{fp.one(), fp.one(), bi::U256(0)}; }
 
   [[nodiscard]] JPoint to_jacobian(const AffinePoint& a) const {
-    if (a.infinity) return JPoint{fp.one(), fp.one(), bi::U256(0)};
+    if (a.infinity) return infinity();
+    // to_mont routes through the self-counting MontCtx::mul — no bulk count.
     return JPoint{fp.to_mont(a.x), fp.to_mont(a.y), fp.one()};
   }
 
-  [[nodiscard]] AffinePoint to_affine(const JPoint& p) const {
+  [[nodiscard]] AffinePoint to_affine_impl(const JPoint& p, bool vartime) const {
     if (p.is_infinity()) return AffinePoint::make_infinity();
     count_op(Op::kModInv);
-    const bi::U256 zinv = fp.inv(p.z);
-    const bi::U256 zinv2 = fp.sqr(zinv);
-    const bi::U256 zinv3 = fp.mul(zinv2, zinv);
-    return AffinePoint{fp.from_mont(fp.mul(p.x, zinv2)), fp.from_mont(fp.mul(p.y, zinv3)),
+    // 3 raw multiplications below; from_mont/inv count themselves.
+    count_op(Op::kFpMul, 3);
+    count_op(Op::kFpSqr, 1);
+    const bi::U256 zinv = vartime ? fp.inv_vartime(p.z) : fp.inv(p.z);
+    const bi::U256 zinv2 = fsqr(zinv);
+    const bi::U256 zinv3 = fmul(zinv2, zinv);
+    return AffinePoint{fp.from_mont(fmul(p.x, zinv2)), fp.from_mont(fmul(p.y, zinv3)),
                        false};
   }
 
+  /// Constant-schedule conversion — safe for secret-derived points.
+  [[nodiscard]] AffinePoint to_affine(const JPoint& p) const {
+    return to_affine_impl(p, /*vartime=*/false);
+  }
+
+  /// Variable-time conversion — public results only (verification,
+  /// public-key extraction).
+  [[nodiscard]] AffinePoint to_affine_vartime(const JPoint& p) const {
+    return to_affine_impl(p, /*vartime=*/true);
+  }
+
+  /// Point doubling, a = -3 (dbl-2001-b): 3M + 5S. Independent field
+  /// operations are paired (sqr2/mul2) so they overlap in the core.
   [[nodiscard]] JPoint dbl(const JPoint& p) const {
-    if (p.is_infinity() || p.y.is_zero()) return JPoint{fp.one(), fp.one(), bi::U256(0)};
-    // a = -3 doubling: M = 3(X - Z^2)(X + Z^2).
-    const bi::U256 z2 = fp.sqr(p.z);
-    const bi::U256 m = fp.mul(fp.add(fp.add(fp.sub(p.x, z2), fp.sub(p.x, z2)), fp.sub(p.x, z2)),
-                              fp.add(p.x, z2));
-    const bi::U256 y2 = fp.sqr(p.y);
-    const bi::U256 s4 = fp.mul(p.x, y2);
-    const bi::U256 s = fp.add(fp.add(s4, s4), fp.add(s4, s4));  // 4*X*Y^2
-    const bi::U256 x3 = fp.sub(fp.sqr(m), fp.add(s, s));
-    const bi::U256 y4 = fp.sqr(y2);
-    const bi::U256 y4_8 = fp.add(fp.add(fp.add(y4, y4), fp.add(y4, y4)),
-                                 fp.add(fp.add(y4, y4), fp.add(y4, y4)));  // 8*Y^4
-    const bi::U256 y3 = fp.sub(fp.mul(m, fp.sub(s, x3)), y4_8);
-    const bi::U256 z3 = fp.mul(fp.add(p.y, p.y), p.z);
+    if (p.is_infinity() || p.y.is_zero()) return infinity();
+    count_op(Op::kFpMul, 3);
+    count_op(Op::kFpSqr, 5);
+    bi::U256 delta, gamma;
+    fp.sqr2_raw(delta, p.z, gamma, p.y);
+    const bi::U256 t1 = fsub(p.x, delta);
+    const bi::U256 t2 = fadd(p.x, delta);
+    bi::U256 beta, alpha;
+    fp.mul2_raw(beta, p.x, gamma, alpha, fadd(fadd(t1, t1), t1), t2);
+    const bi::U256 beta2 = fadd(beta, beta);
+    const bi::U256 beta4 = fadd(beta2, beta2);
+    const bi::U256 beta8 = fadd(beta4, beta4);
+    bi::U256 a2, g2;
+    fp.sqr2_raw(a2, alpha, g2, gamma);
+    const bi::U256 x3 = fsub(a2, beta8);
+    const bi::U256 yz = fadd(p.y, p.z);
+    const bi::U256 z3 = fsub(fsub(fsqr(yz), gamma), delta);
+    const bi::U256 g2x4 = fadd(fadd(g2, g2), fadd(g2, g2));
+    const bi::U256 y3 = fsub(fmul(alpha, fsub(beta4, x3)), fadd(g2x4, g2x4));
     return JPoint{x3, y3, z3};
   }
 
+  /// General Jacobian addition: 12M + 4S, paired for overlap.
   [[nodiscard]] JPoint add(const JPoint& p, const JPoint& q) const {
     if (p.is_infinity()) return q;
     if (q.is_infinity()) return p;
-    const bi::U256 z1z1 = fp.sqr(p.z);
-    const bi::U256 z2z2 = fp.sqr(q.z);
-    const bi::U256 u1 = fp.mul(p.x, z2z2);
-    const bi::U256 u2 = fp.mul(q.x, z1z1);
-    const bi::U256 s1 = fp.mul(fp.mul(p.y, q.z), z2z2);
-    const bi::U256 s2 = fp.mul(fp.mul(q.y, p.z), z1z1);
+    count_op(Op::kFpMul, 12);
+    count_op(Op::kFpSqr, 4);
+    bi::U256 z1z1, z2z2;
+    fp.sqr2_raw(z1z1, p.z, z2z2, q.z);
+    bi::U256 u1, u2;
+    fp.mul2_raw(u1, p.x, z2z2, u2, q.x, z1z1);
+    bi::U256 py_qz, qy_pz;
+    fp.mul2_raw(py_qz, p.y, q.z, qy_pz, q.y, p.z);
+    bi::U256 s1, s2;
+    fp.mul2_raw(s1, py_qz, z2z2, s2, qy_pz, z1z1);
     if (u1 == u2) {
       if (s1 == s2) return dbl(p);
-      return JPoint{fp.one(), fp.one(), bi::U256(0)};  // P + (-P) = infinity
+      return infinity();  // P + (-P) = infinity
     }
-    const bi::U256 h = fp.sub(u2, u1);
-    const bi::U256 r = fp.sub(s2, s1);
-    const bi::U256 h2 = fp.sqr(h);
-    const bi::U256 h3 = fp.mul(h, h2);
-    const bi::U256 u1h2 = fp.mul(u1, h2);
-    const bi::U256 x3 = fp.sub(fp.sub(fp.sqr(r), h3), fp.add(u1h2, u1h2));
-    const bi::U256 y3 = fp.sub(fp.mul(r, fp.sub(u1h2, x3)), fp.mul(s1, h3));
-    const bi::U256 z3 = fp.mul(fp.mul(p.z, q.z), h);
+    const bi::U256 h = fsub(u2, u1);
+    const bi::U256 r = fsub(s2, s1);
+    bi::U256 h2, r2;
+    fp.sqr2_raw(h2, h, r2, r);
+    bi::U256 h3, u1h2;
+    fp.mul2_raw(h3, h, h2, u1h2, u1, h2);
+    const bi::U256 x3 = fsub(fsub(r2, h3), fadd(u1h2, u1h2));
+    bi::U256 zz, t;
+    fp.mul2_raw(zz, p.z, q.z, t, r, fsub(u1h2, x3));
+    bi::U256 z3, s1h3;
+    fp.mul2_raw(z3, zz, h, s1h3, s1, h3);
+    const bi::U256 y3 = fsub(t, s1h3);
     return JPoint{x3, y3, z3};
+  }
+
+  /// Mixed addition P (Jacobian) + Q (affine, Z = 1): 8M + 3S.
+  [[nodiscard]] JPoint madd(const JPoint& p, const AffineM& q) const {
+    if (p.is_infinity()) return JPoint{q.x, q.y, fp.one()};
+    count_op(Op::kFpMul, 8);
+    count_op(Op::kFpSqr, 3);
+    const bi::U256 z1z1 = fsqr(p.z);
+    bi::U256 u2, s2p;
+    fp.mul2_raw(u2, q.x, z1z1, s2p, q.y, p.z);
+    const bi::U256 s2 = fmul(s2p, z1z1);
+    const bi::U256 h = fsub(u2, p.x);
+    const bi::U256 r = fsub(s2, p.y);
+    if (h.is_zero()) {
+      if (r.is_zero()) return dbl(p);
+      return infinity();  // P + (-P) = infinity
+    }
+    bi::U256 h2, r2;
+    fp.sqr2_raw(h2, h, r2, r);
+    bi::U256 h3, v;
+    fp.mul2_raw(h3, h, h2, v, p.x, h2);
+    const bi::U256 x3 = fsub(fsub(r2, h3), fadd(v, v));
+    bi::U256 t, yh3;
+    fp.mul2_raw(t, r, fsub(v, x3), yh3, p.y, h3);
+    const bi::U256 y3 = fsub(t, yh3);
+    const bi::U256 z3 = fmul(p.z, h);
+    return JPoint{x3, y3, z3};
+  }
+
+  [[nodiscard]] AffineM neg(const AffineM& a) const {
+    return AffineM{a.x, fsub(bi::U256(0), a.y)};
   }
 
   static void cswap(std::uint64_t flag, JPoint& a, JPoint& b) {
@@ -92,7 +215,7 @@ struct CurveOps {
 
   /// Montgomery-ladder scalar multiplication (uniform schedule per bit).
   [[nodiscard]] JPoint ladder_mul(const bi::U256& k, const JPoint& p) const {
-    JPoint r0{fp.one(), fp.one(), bi::U256(0)};  // infinity
+    JPoint r0 = infinity();
     JPoint r1 = p;
     std::uint64_t swapped = 0;
     for (int i = 255; i >= 0; --i) {
@@ -106,17 +229,19 @@ struct CurveOps {
     return r0;
   }
 
-  /// Computes the wNAF (width 4) digit expansion of k, most significant
-  /// digit last. Digits are odd in [-15, 15] or zero.
-  static std::vector<int> wnaf4(const bi::U256& k) {
-    std::vector<int> digits;
-    digits.reserve(257);
+  /// Computes the width-w NAF digit expansion of k, least significant digit
+  /// first. Digits are odd in [-(2^w - 1), 2^w - 1] or zero; nonzero digits
+  /// are at least w+1 positions apart. Variable-time: public scalars only.
+  static Digits wnaf(const bi::U256& k, unsigned width) {
+    Digits out;
+    const std::uint64_t mod_mask = (std::uint64_t{1} << (width + 1)) - 1;
+    const int half = 1 << width;
     bi::U256 d = k;
     while (!d.is_zero()) {
       int digit = 0;
       if (d.is_odd()) {
-        const int mod16 = static_cast<int>(d.w[0] & 0x0f);
-        digit = mod16 >= 8 ? mod16 - 16 : mod16;
+        const int m = static_cast<int>(d.w[0] & mod_mask);
+        digit = m >= half ? m - 2 * half : m;
         if (digit > 0) {
           bi::U256 t;
           bi::sub(t, d, bi::U256(static_cast<std::uint64_t>(digit)));
@@ -127,60 +252,96 @@ struct CurveOps {
           d = t;
         }
       }
-      digits.push_back(digit);
+      out.d[out.len++] = static_cast<std::int8_t>(digit);
       d = bi::shr1(d);
     }
-    return digits;
+    return out;
   }
 
-  /// Precomputes odd multiples P, 3P, ..., 15P.
-  void precompute_odd(const JPoint& p, std::array<JPoint, 8>& table) const {
+  /// Precomputes the odd multiples P, 3P, ..., (2n-1)P in Jacobian form.
+  void odd_multiples(const JPoint& p, JPoint* table, std::size_t n) const {
     table[0] = p;
     const JPoint p2 = dbl(p);
-    for (std::size_t i = 1; i < table.size(); ++i) table[i] = add(table[i - 1], p2);
+    for (std::size_t i = 1; i < n; ++i) table[i] = add(table[i - 1], p2);
   }
 
-  [[nodiscard]] static JPoint neg(const JPoint& p, const bi::MontCtx& fld) {
-    if (p.is_infinity()) return p;
-    return JPoint{p.x, fld.sub(bi::U256(0), p.y), p.z};
+  /// Normalizes a batch of non-infinity Jacobian points to affine
+  /// (Montgomery-domain) coordinates with ONE shared field inversion
+  /// (Montgomery's trick): prefix products of the Z values, one inversion
+  /// of the total, then back-substitution peels off each Z^-1.
+  void batch_to_affine(const JPoint* pts, AffineM* out, std::size_t n, bool vartime) const {
+    if (n == 0) return;
+    // Stack buffer covers the wNAF tables; the fixed-base comb (520 points,
+    // one-time construction) takes the heap path.
+    std::array<bi::U256, kGenTableSize> stack_prefix;
+    std::vector<bi::U256> heap_prefix;
+    bi::U256* prefix = stack_prefix.data();
+    if (n > stack_prefix.size()) {
+      heap_prefix.resize(n);
+      prefix = heap_prefix.data();
+    }
+    bi::U256 total = fp.one();
+    for (std::size_t i = 0; i < n; ++i) {
+      prefix[i] = total;
+      total = fmul(total, pts[i].z);
+    }
+    count_op(Op::kModInv);
+    count_op(Op::kFpMul, 6 * n);
+    count_op(Op::kFpSqr, n);
+    bi::U256 inv_total = vartime ? fp.inv_vartime(total) : fp.inv(total);
+    for (std::size_t i = n; i-- > 0;) {
+      const bi::U256 zinv = fmul(inv_total, prefix[i]);
+      inv_total = fmul(inv_total, pts[i].z);
+      const bi::U256 zinv2 = fsqr(zinv);
+      out[i] = AffineM{fmul(pts[i].x, zinv2), fmul(pts[i].y, fmul(zinv2, zinv))};
+    }
   }
 
+  /// Variable-time k*P: width-4 wNAF over a batch-normalized affine table of
+  /// odd multiples; every table hit is a mixed addition.
   [[nodiscard]] JPoint wnaf_mul(const bi::U256& k, const JPoint& p) const {
-    const std::vector<int> digits = wnaf4(k);
-    std::array<JPoint, 8> table{};
-    precompute_odd(p, table);
-    JPoint acc{fp.one(), fp.one(), bi::U256(0)};
-    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (p.is_infinity() || k.is_zero()) return infinity();
+    const Digits digits = wnaf(k, kVarWnafWidth);
+    std::array<JPoint, kVarTableSize> jtab;
+    std::array<AffineM, kVarTableSize> table;
+    odd_multiples(p, jtab.data(), kVarTableSize);
+    batch_to_affine(jtab.data(), table.data(), kVarTableSize, /*vartime=*/true);
+    JPoint acc = infinity();
+    for (std::size_t i = digits.len; i-- > 0;) {
       acc = dbl(acc);
-      const int d = *it;
-      if (d > 0) acc = add(acc, table[static_cast<std::size_t>((d - 1) / 2)]);
-      if (d < 0) acc = add(acc, neg(table[static_cast<std::size_t>((-d - 1) / 2)], fp));
+      const int d = digits.d[i];
+      if (d > 0) acc = madd(acc, table[static_cast<std::size_t>((d - 1) / 2)]);
+      if (d < 0) acc = madd(acc, neg(table[static_cast<std::size_t>((-d - 1) / 2)]));
     }
     return acc;
   }
 
-  [[nodiscard]] JPoint straus_dual(const bi::U256& u1, const JPoint& g, const bi::U256& u2,
+  /// Variable-time u1*G + u2*Q (Straus/Shamir interleaving). The generator
+  /// half uses the cached width-7 affine table; the Q half builds a width-4
+  /// table normalized with one shared inversion.
+  [[nodiscard]] JPoint straus_dual(const bi::U256& u1, const bi::U256& u2,
                                    const JPoint& q) const {
-    std::vector<int> d1 = wnaf4(u1);
-    std::vector<int> d2 = wnaf4(u2);
-    const std::size_t len = std::max(d1.size(), d2.size());
-    d1.resize(len, 0);
-    d2.resize(len, 0);
-    std::array<JPoint, 8> tg{};
-    std::array<JPoint, 8> tq{};
-    precompute_odd(g, tg);
-    precompute_odd(q, tq);
-    JPoint acc{fp.one(), fp.one(), bi::U256(0)};
+    const Digits d1 = wnaf(u1, kGenWnafWidth);
+    const Digits d2 = q.is_infinity() ? Digits{} : wnaf(u2, kVarWnafWidth);
+    const std::size_t len = d1.len > d2.len ? d1.len : d2.len;
+    std::array<AffineM, kVarTableSize> tq;
+    if (!q.is_infinity()) {
+      std::array<JPoint, kVarTableSize> jtab;
+      odd_multiples(q, jtab.data(), kVarTableSize);
+      batch_to_affine(jtab.data(), tq.data(), kVarTableSize, /*vartime=*/true);
+    }
+    JPoint acc = infinity();
     for (std::size_t i = len; i-- > 0;) {
       acc = dbl(acc);
-      if (d1[i] > 0) acc = add(acc, tg[static_cast<std::size_t>((d1[i] - 1) / 2)]);
-      if (d1[i] < 0) acc = add(acc, neg(tg[static_cast<std::size_t>((-d1[i] - 1) / 2)], fp));
-      if (d2[i] > 0) acc = add(acc, tq[static_cast<std::size_t>((d2[i] - 1) / 2)]);
-      if (d2[i] < 0) acc = add(acc, neg(tq[static_cast<std::size_t>((-d2[i] - 1) / 2)], fp));
+      const int a = i < d1.len ? d1.d[i] : 0;
+      const int b = i < d2.len ? d2.d[i] : 0;
+      if (a > 0) acc = madd(acc, g_wnaf_tab[static_cast<std::size_t>((a - 1) / 2)]);
+      if (a < 0) acc = madd(acc, neg(g_wnaf_tab[static_cast<std::size_t>((-a - 1) / 2)]));
+      if (b > 0) acc = madd(acc, tq[static_cast<std::size_t>((b - 1) / 2)]);
+      if (b < 0) acc = madd(acc, neg(tq[static_cast<std::size_t>((-b - 1) / 2)]));
     }
     return acc;
   }
 };
-
 
 }  // namespace ecqv::ec

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/metrics.hpp"
+#include "ec/fixed_base.hpp"
 #include "ecdsa/rfc6979.hpp"
 
 namespace ecqv::sig {
@@ -20,7 +21,7 @@ bi::U256 digest_to_scalar(const hash::Digest& digest) {
 
 Signature sign_with_nonce(const bi::U256& d, const hash::Digest& digest, const bi::U256& k) {
   const auto& fn = curve().fn();
-  const ec::AffinePoint kg = curve().mul_base(k);
+  const ec::AffinePoint kg = ec::FixedBaseTable::p256().mul(k);
   const bi::U256 r = fn.reduce(kg.x);
   if (r.is_zero()) return Signature{bi::U256(0), bi::U256(0)};
   const bi::U256 e = digest_to_scalar(digest);
@@ -57,7 +58,9 @@ PrivateKey PrivateKey::generate(rng::Rng& rng) {
   return PrivateKey(curve().random_scalar(rng));
 }
 
-ec::AffinePoint PrivateKey::public_point() const { return curve().mul_base(d_); }
+ec::AffinePoint PrivateKey::public_point() const {
+  return ec::FixedBaseTable::p256().mul(d_);
+}
 
 Signature PrivateKey::sign_digest(const hash::Digest& digest) const {
   for (unsigned retry = 0;; ++retry) {
@@ -87,12 +90,13 @@ bool verify_digest(const ec::AffinePoint& q, const hash::Digest& digest, const S
 
   const bi::U256 e = digest_to_scalar(digest);
   count_op(Op::kModInv);
-  const bi::U256 w = fn.inv(fn.to_mont(sig.s));
+  // s is public: the variable-time gcd inverse is safe (and much faster
+  // than the Fermat ladder). The final x == r check runs in projective
+  // form inside dual_mul_checks_r, avoiding a field inversion entirely.
+  const bi::U256 w = fn.inv_vartime(fn.to_mont(sig.s));
   const bi::U256 u1 = fn.from_mont(fn.mul(fn.to_mont(e), w));
   const bi::U256 u2 = fn.from_mont(fn.mul(fn.to_mont(sig.r), w));
-  const ec::AffinePoint rp = curve().dual_mul(u1, u2, q);
-  if (rp.infinity) return false;
-  return fn.reduce(rp.x) == sig.r;
+  return curve().dual_mul_checks_r(u1, u2, q, sig.r);
 }
 
 bool verify(const ec::AffinePoint& q, ByteView message, const Signature& sig) {

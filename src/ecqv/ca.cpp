@@ -1,4 +1,5 @@
 #include "ecqv/ca.hpp"
+#include "ec/fixed_base.hpp"
 
 namespace ecqv::cert {
 
@@ -10,7 +11,7 @@ CertificateAuthority::CertificateAuthority(DeviceId id, rng::Rng& rng)
     : CertificateAuthority(id, curve().random_scalar(rng)) {}
 
 CertificateAuthority::CertificateAuthority(DeviceId id, const bi::U256& root_private_key)
-    : id_(id), d_ca_(root_private_key), q_ca_(curve().mul_base(root_private_key)) {}
+    : id_(id), d_ca_(root_private_key), q_ca_(ec::FixedBaseTable::p256().mul(root_private_key)) {}
 
 Result<IssuedCertificate> CertificateAuthority::issue(const DeviceId& subject,
                                                       const ec::AffinePoint& ru,
@@ -22,7 +23,7 @@ Result<IssuedCertificate> CertificateAuthority::issue(const DeviceId& subject,
 
   // SEC4 §2.4: the CA's ephemeral contribution and the reconstruction point.
   const bi::U256 k = curve().random_scalar(rng);
-  const ec::AffinePoint kg = curve().mul_base(k);
+  const ec::AffinePoint kg = ec::FixedBaseTable::p256().mul(k);
   const ec::AffinePoint pu = curve().add(ru, kg);
   if (pu.infinity) return Error::kInvalidPoint;  // R_U == -kG, retry-able
 

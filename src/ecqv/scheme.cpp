@@ -1,4 +1,5 @@
 #include "ecqv/scheme.hpp"
+#include "ec/fixed_base.hpp"
 
 namespace ecqv::cert {
 
@@ -10,7 +11,7 @@ CertRequest make_cert_request(const DeviceId& subject, rng::Rng& rng) {
   CertRequest req;
   req.subject = subject;
   req.ku = curve().random_scalar(rng);
-  req.ru = curve().mul_base(req.ku);
+  req.ru = ec::FixedBaseTable::p256().mul(req.ku);
   return req;
 }
 
@@ -28,7 +29,7 @@ Result<ReconstructedKey> reconstruct_private_key(const Certificate& certificate,
   const bi::U256 eku = fn.from_mont(fn.mul(fn.to_mont(e), fn.to_mont(ku)));
   const bi::U256 du = fn.add(eku, r);
   if (du.is_zero()) return Error::kInternal;  // negligible probability
-  const ec::AffinePoint qu = curve().mul_base(du);
+  const ec::AffinePoint qu = ec::FixedBaseTable::p256().mul(du);
   // Implicit verification: Q_U must equal e*P_U + Q_CA.
   auto expected = extract_public_key(certificate, q_ca);
   if (!expected) return expected.error();

@@ -68,5 +68,53 @@ TEST(FixedBase, CountsAsBaseMultiplication) {
   EXPECT_EQ(scope.counts()[Op::kEcMulBase], 1u);
 }
 
+TEST(FixedBase, EvenScalarsUseTheConditionalNegation) {
+  // The signed comb works on odd scalars and conditionally negates: even
+  // scalars exercise the k -> n-k -> -(n-k)G path end to end.
+  rng::TestRng rng(61);
+  for (int i = 0; i < 12; ++i) {
+    bi::U256 k = c().random_scalar(rng);
+    k.w[0] &= ~std::uint64_t{1};  // force even
+    if (k.is_zero()) continue;
+    EXPECT_EQ(table().mul(k), c().mul_base(k));
+  }
+}
+
+TEST(FixedBase, AllWindowMagnitudesAndSigns) {
+  // Scalars built from single digits of every magnitude hit each table
+  // entry with both signs somewhere in the recoding.
+  for (std::uint64_t d = 1; d <= 15; ++d) {
+    for (unsigned w = 0; w < 60; w += 13) {
+      bi::U256 k;
+      k.w[w / 16] = d << ((w % 16) * 4);
+      if (bi::cmp(k, c().order()) >= 0 || k.is_zero()) continue;
+      EXPECT_EQ(table().mul(k), c().mul_base(k)) << "d=" << d << " w=" << w;
+    }
+  }
+}
+
+TEST(FixedBase, UniformAdditionScheduleRegardlessOfZeros) {
+  // The old comb skipped zero windows, leaking the window pattern through
+  // the addition count. The signed comb performs the same field work for a
+  // near-zero scalar as for a dense one.
+  const bi::U256 sparse(2);  // even -> negated path, all-but-one windows "0"
+  const bi::U256 dense = bi::from_hex256(
+      "7ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff1");
+  OpCounts a, b;
+  {
+    CountScope scope;
+    (void)table().mul(sparse);
+    a = scope.counts();
+  }
+  {
+    CountScope scope;
+    (void)table().mul(dense);
+    b = scope.counts();
+  }
+  EXPECT_EQ(a[Op::kFpMul], b[Op::kFpMul]);
+  EXPECT_EQ(a[Op::kFpSqr], b[Op::kFpSqr]);
+  EXPECT_EQ(a[Op::kModInv], b[Op::kModInv]);
+}
+
 }  // namespace
 }  // namespace ecqv::ec

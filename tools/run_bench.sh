@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Reproducible microbenchmark run: builds the google-benchmark targets and
+# writes machine-readable snapshots at the repo root so successive PRs have
+# a perf trajectory to compare against.
+#
+#   tools/run_bench.sh [build-dir]
+#
+# Outputs:
+#   BENCH_primitives.json  — bench_primitives_native (EC/field/hash/AES ops)
+#   BENCH_protocols.json   — bench_protocols_native (STS/SCIANC/PorAmB etc.)
+#
+# Compare against the committed BENCH_baseline.json (the same suite captured
+# at the pre-fast-path seed) with e.g.:
+#   python3 - <<'EOF'
+#   import json
+#   base = {b["name"]: b["real_time"] for b in json.load(open("BENCH_baseline.json"))["benchmarks"]}
+#   cur  = {b["name"]: b["real_time"] for b in json.load(open("BENCH_primitives.json"))["benchmarks"]}
+#   for name in sorted(base.keys() & cur.keys()):
+#       print(f"{name:35s} {base[name]/cur[name]:6.2f}x")
+#   EOF
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target bench_primitives_native bench_protocols_native -j"$(nproc)"
+
+"$build_dir/bench_primitives_native" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_primitives.json" \
+  --benchmark_out_format=json
+
+"$build_dir/bench_protocols_native" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_protocols.json" \
+  --benchmark_out_format=json
+
+echo "Wrote $repo_root/BENCH_primitives.json and $repo_root/BENCH_protocols.json"
