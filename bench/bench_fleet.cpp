@@ -1,0 +1,262 @@
+// Fleet-scale session fabric benchmark.
+//
+// Measures the four claims the fabric makes over the two-party baseline:
+//
+//   1. batch ECQV public-key extraction (shared inversion, Montgomery's
+//      trick) vs the single-certificate path, per certificate;
+//   2. cached per-peer wNAF verification tables vs uncached verification;
+//   3. epoch-ratchet session resumption vs a full STS re-handshake
+//      (acceptance: ratchet >= 10x cheaper);
+//   4. steady-state seal/open throughput through the sharded store at
+//      fleet sizes 100 / 1000 / 5000, plus broker handshake throughput.
+//
+// Usage: bench_fleet [out.json]   (tools/run_bench.sh writes
+//        BENCH_fleet.json at the repo root)
+//
+// Output is google-benchmark-shaped JSON ({"benchmarks": [{name,
+// real_time, time_unit, ...}]}) so the comparison snippets in
+// tools/run_bench.sh work across all committed snapshots.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session_broker.hpp"
+#include "ec/verify_table.hpp"
+#include "ecdsa/ecdsa.hpp"
+#include "ecqv/ca.hpp"
+#include "rng/test_rng.hpp"
+
+using namespace ecqv;
+
+namespace {
+
+constexpr std::uint64_t kNow = 1700000000;
+constexpr std::uint64_t kLifetime = 7 * 86400;
+
+using Clock = std::chrono::steady_clock;
+
+template <typename F>
+double time_per_op_us(std::size_t iterations, F&& body) {
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) body(i);
+  const auto stop = Clock::now();
+  return std::chrono::duration<double, std::micro>(stop - start).count() /
+         static_cast<double>(iterations);
+}
+
+struct Entry {
+  std::string name;
+  std::size_t iterations;
+  double real_time_us;
+  std::string note;
+};
+
+std::vector<Entry> g_entries;
+
+void report(std::string name, std::size_t iterations, double us, std::string note = {}) {
+  std::printf("%-42s %12.3f us/op   %s\n", name.c_str(), us, note.c_str());
+  g_entries.push_back(Entry{std::move(name), iterations, us, std::move(note)});
+}
+
+void write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"context\": {\"suite\": \"bench_fleet\", \"time_unit\": \"us\"},\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < g_entries.size(); ++i) {
+    const Entry& e = g_entries[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iterations\": %zu, \"real_time\": %.3f, "
+                 "\"cpu_time\": %.3f, \"time_unit\": \"us\"%s%s%s}%s\n",
+                 e.name.c_str(), e.iterations, e.real_time_us, e.real_time_us,
+                 e.note.empty() ? "" : ", \"label\": \"", e.note.c_str(),
+                 e.note.empty() ? "" : "\"", i + 1 < g_entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+struct Fleet {
+  cert::CertificateAuthority ca;
+  std::vector<proto::Credentials> devices;
+  std::vector<cert::Certificate> certs;
+
+  explicit Fleet(std::size_t n)
+      : ca(cert::DeviceId::from_string("bench-ca"), [] {
+          rng::TestRng boot(42);
+          return ec::Curve::p256().random_scalar(boot);
+        }()) {
+    rng::TestRng rng(43);
+    devices.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      devices.push_back(proto::provision_device(
+          ca, cert::DeviceId::from_string("dev-" + std::to_string(i)), kNow, kLifetime, rng));
+      certs.push_back(devices.back().certificate);
+    }
+  }
+};
+
+// ---------------------------------------------------------------- sections
+
+void bench_extraction(const Fleet& fleet) {
+  const auto& q_ca = fleet.ca.public_key();
+  const std::size_t n = fleet.certs.size();
+
+  const double single = time_per_op_us(n, [&](std::size_t i) {
+    if (!cert::extract_public_key(fleet.certs[i], q_ca).ok()) std::abort();
+  });
+  report("BM_EcqvExtractPublicKeySingle", n, single);
+
+  constexpr std::size_t kReps = 8;
+  const double batch_total = time_per_op_us(kReps, [&](std::size_t) {
+    const auto keys = cert::extract_public_keys(fleet.certs, q_ca);
+    if (keys.size() != fleet.certs.size() || !keys[0].ok()) std::abort();
+  });
+  report("BM_EcqvExtractPublicKeyBatch", kReps * n, batch_total / static_cast<double>(n),
+         "per cert, batch of " + std::to_string(n));
+  std::printf("  -> batch extraction speedup: %.2fx\n",
+              single / (batch_total / static_cast<double>(n)));
+}
+
+void bench_verify(const Fleet& fleet) {
+  const sig::PrivateKey key(fleet.devices[0].private_key);
+  const ec::AffinePoint q = fleet.devices[0].public_key;
+  const Bytes msg = bytes_of("fleet record payload");
+  const sig::Signature signature = key.sign(msg);
+  const auto table = ec::VerifyTable::build(q);
+  if (!table.ok()) std::abort();
+
+  constexpr std::size_t kIters = 3000;
+  const double uncached = time_per_op_us(kIters, [&](std::size_t) {
+    if (!sig::verify(q, msg, signature)) std::abort();
+  });
+  const double cached = time_per_op_us(kIters, [&](std::size_t) {
+    if (!sig::verify(table.value(), msg, signature)) std::abort();
+  });
+  report("BM_EcdsaVerifyUncached", kIters, uncached);
+  report("BM_EcdsaVerifyCachedTable", kIters, cached);
+  std::printf("  -> cached-table verify: %.1f%% faster\n", 100.0 * (1.0 - cached / uncached));
+}
+
+/// Drives one full STS handshake between two brokers; returns messages
+/// exchanged (4) or 0 on failure.
+std::size_t run_handshake(proto::SessionBroker& client, proto::SessionBroker& server,
+                          const cert::DeviceId& /*client_id*/,
+                          const cert::DeviceId& server_id, std::uint64_t now) {
+  auto exchanged =
+      proto::SessionBroker::pump(client, server, client.connect(server_id, now), now);
+  return exchanged.ok() ? exchanged.value() : 0;
+}
+
+void bench_rekey(Fleet& fleet) {
+  proto::BrokerConfig config;
+  config.store.capacity = 16;
+  config.store.policy = proto::RekeyPolicy::unlimited();
+  config.store.max_epochs = 1u << 30;  // let the ratchet run for the bench
+  rng::TestRng rng_c(100), rng_s(101);
+  proto::SessionBroker client(fleet.devices[0], rng_c, config);
+  proto::SessionBroker server(fleet.devices[1], rng_s, config);
+  const cert::DeviceId client_id = fleet.devices[0].id;
+  const cert::DeviceId server_id = fleet.devices[1].id;
+
+  // Warm-up handshake (fills both peer caches).
+  if (run_handshake(client, server, client_id, server_id, kNow) != 4) std::abort();
+
+  constexpr std::size_t kHandshakes = 200;
+  const double full = time_per_op_us(kHandshakes, [&](std::size_t) {
+    if (run_handshake(client, server, client_id, server_id, kNow) != 4) std::abort();
+  });
+  report("BM_FullStsRekey", kHandshakes, full, "complete 4-message handshake, warm caches");
+
+  constexpr std::size_t kRatchets = 5000;
+  const double ratchet = time_per_op_us(kRatchets, [&](std::size_t) {
+    auto announce = client.initiate_ratchet(server_id, kNow);
+    if (!announce.ok()) std::abort();
+    if (!server.on_message(client_id, announce.value(), kNow).ok()) std::abort();
+  });
+  report("BM_EpochRatchetResume", kRatchets, ratchet, "RK1 announce + apply, both sides");
+  std::printf("  -> ratchet resumption is %.0fx cheaper than a full STS rekey\n",
+              full / ratchet);
+}
+
+void bench_handshake_fleet(Fleet& fleet, std::size_t n) {
+  proto::BrokerConfig server_config;
+  server_config.store.capacity = n;
+  server_config.store.shards = 64;
+  server_config.store.policy = proto::RekeyPolicy::unlimited();
+  server_config.max_pending = n;
+  server_config.peer_cache_capacity = n;
+  rng::TestRng server_rng(200);
+  proto::SessionBroker server(fleet.devices[0], server_rng, server_config);
+
+  proto::BrokerConfig client_config;
+  client_config.store.capacity = 2;
+  std::vector<std::unique_ptr<rng::TestRng>> rngs;
+  std::vector<std::unique_ptr<proto::SessionBroker>> clients;
+  for (std::size_t i = 1; i <= n; ++i) {
+    rngs.push_back(std::make_unique<rng::TestRng>(300 + i));
+    clients.push_back(
+        std::make_unique<proto::SessionBroker>(fleet.devices[i], *rngs.back(), client_config));
+  }
+
+  const double per_handshake = time_per_op_us(n, [&](std::size_t i) {
+    if (run_handshake(*clients[i], server, fleet.devices[i + 1].id, fleet.devices[0].id,
+                      kNow) != 4)
+      std::abort();
+  });
+  report("BM_FleetEnrollHandshake/" + std::to_string(n), n, per_handshake,
+         "server-terminated STS handshakes, cold peers");
+  std::printf("  -> %.0f handshakes/s server-side\n", 1e6 / per_handshake);
+}
+
+void bench_steady_state(std::size_t fleet_size) {
+  // Data plane only: pre-installed sessions, round-robin seal/open through
+  // the sharded store (server seals, mirror of the peer side opens).
+  proto::SessionStore::Config config;
+  config.capacity = fleet_size;
+  config.shards = 64;
+  config.policy = proto::RekeyPolicy::unlimited();
+  proto::SessionStore server(proto::Role::kInitiator, config);
+  proto::SessionStore mirror(proto::Role::kResponder, config);
+  std::vector<cert::DeviceId> peers;
+  peers.reserve(fleet_size);
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    peers.push_back(cert::DeviceId::from_string("p" + std::to_string(i)));
+    const auto keys = kdf::derive_session_keys(bytes_of("seed" + std::to_string(i)),
+                                               bytes_of("salt"), bytes_of("bench"));
+    server.install(peers.back(), keys, kNow);
+    mirror.install(peers.back(), keys, kNow);
+  }
+  const Bytes payload = bytes_of("12-byte load");
+  const std::size_t kRecords = 20000;
+  const double per_record = time_per_op_us(kRecords, [&](std::size_t i) {
+    const cert::DeviceId& peer = peers[i % fleet_size];
+    auto record = server.seal(peer, payload, kNow);
+    if (!record.ok()) std::abort();
+    if (!mirror.open(peer, record.value(), kNow).ok()) std::abort();
+  });
+  report("BM_FleetSealOpen/" + std::to_string(fleet_size), kRecords, per_record,
+         std::to_string(static_cast<long long>(1e6 / per_record)) + " records/s round-robin");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("fleet session fabric benchmark (N = enrolled devices)\n\n");
+  Fleet fleet(257);  // device 0 acts as the server endpoint in broker benches
+
+  bench_extraction(fleet);
+  bench_verify(fleet);
+  bench_rekey(fleet);
+  bench_handshake_fleet(fleet, 256);
+  for (const std::size_t n : {100u, 1000u, 5000u}) bench_steady_state(n);
+
+  write_json(argc > 1 ? argv[1] : "BENCH_fleet.json");
+  return 0;
+}

@@ -13,6 +13,7 @@ std::string_view op_name(Op op) {
     case Op::kEcMulBase: return "ec_mul_base";
     case Op::kEcMulVar: return "ec_mul_var";
     case Op::kEcMulDual: return "ec_mul_dual";
+    case Op::kEcMulDualCached: return "ec_mul_dual_cached";
     case Op::kEcAdd: return "ec_add";
     case Op::kModInv: return "mod_inv";
     case Op::kSha256Block: return "sha256_block";

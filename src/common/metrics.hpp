@@ -21,6 +21,7 @@ enum class Op : std::uint8_t {
   kEcMulBase,   // scalar * G (known base point)
   kEcMulVar,    // scalar * P (arbitrary point)
   kEcMulDual,   // u1*G + u2*P via Straus (ECDSA verify, ECQV extract)
+  kEcMulDualCached,  // Straus dual-mul over a cached per-peer table (no build)
   kEcAdd,       // standalone point addition
   kModInv,      // modular inversion (affine conversion, ECDSA)
   kSha256Block, // one SHA-256 compression

@@ -1,0 +1,68 @@
+#include "core/peer_cache.hpp"
+
+namespace ecqv::proto {
+
+void PeerKeyCache::insert(const cert::DeviceId& subject, Entry entry) {
+  const auto idx = index_.find(subject);
+  if (idx != index_.end()) {
+    idx->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, idx->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(subject, std::move(entry));
+  index_.emplace(subject, lru_.begin());
+}
+
+Result<const PeerKeyCache::Entry*> PeerKeyCache::get(const cert::Certificate& certificate,
+                                                     const ec::AffinePoint& q_ca) {
+  const auto idx = index_.find(certificate.subject);
+  // Field-wise comparison (covers every encoded byte) keeps the hit path
+  // allocation-free — verification hot paths call this per signature.
+  if (idx != index_.end() && idx->second->second.certificate == certificate) {
+    lru_.splice(lru_.begin(), lru_, idx->second);
+    ++stats_.hits;
+    return &lru_.front().second;
+  }
+
+  ++stats_.misses;
+  auto public_key = cert::extract_public_key(certificate, q_ca);
+  if (!public_key) return public_key.error();
+  auto table = ec::VerifyTable::build(public_key.value());
+  if (!table) return table.error();
+  insert(certificate.subject,
+         Entry{certificate, public_key.value(), std::move(table).value()});
+  return &lru_.front().second;
+}
+
+std::size_t PeerKeyCache::prewarm(const std::vector<cert::Certificate>& certificates,
+                                  const ec::AffinePoint& q_ca) {
+  // Phase 1: all public keys, one shared inversion.
+  const auto keys = cert::extract_public_keys(certificates, q_ca);
+  std::vector<ec::AffinePoint> points;
+  std::vector<std::size_t> cert_index;
+  points.reserve(certificates.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!keys[i].ok()) continue;
+    points.push_back(keys[i].value());
+    cert_index.push_back(i);
+  }
+  // Phase 2: all verification tables, one shared inversion.
+  auto tables = ec::VerifyTable::build_batch(points);
+  std::size_t cached = 0;
+  for (std::size_t slot = 0; slot < tables.size(); ++slot) {
+    if (!tables[slot].ok()) continue;
+    const cert::Certificate& certificate = certificates[cert_index[slot]];
+    insert(certificate.subject,
+           Entry{certificate, points[slot], std::move(tables[slot]).value()});
+    ++cached;
+  }
+  stats_.misses += cached;
+  return cached;
+}
+
+}  // namespace ecqv::proto

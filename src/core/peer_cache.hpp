@@ -1,0 +1,76 @@
+// Per-peer authentication cache: implicitly-extracted ECQV public keys and
+// their cached wNAF verification tables (ROADMAP item d).
+//
+// Implicit public key extraction (paper eq. (1), Q_U = Hn(Cert_U)·P_U +
+// Q_CA) is deterministic in the certificate bytes, so a backend serving a
+// fleet can compute it once per certificate and reuse it for every
+// handshake and signature from that peer. The cache keys on the subject
+// identity and revalidates by exact certificate encoding: a peer presenting
+// a rotated certificate replaces its entry (and table) atomically.
+//
+// Entries bundle the ec::VerifyTable so verification also skips the
+// per-call table build. prewarm() batches both the extractions and the
+// table normalizations across the whole fleet with one shared field
+// inversion each (Montgomery's trick) — the fleet-enrollment fast path.
+//
+// Bounded LRU, same discipline as SessionStore: public data only, so
+// eviction is purely a memory concern (no wiping needed).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session_store.hpp"
+#include "ec/verify_table.hpp"
+#include "ecqv/scheme.hpp"
+
+namespace ecqv::proto {
+
+class PeerKeyCache {
+ public:
+  struct Entry {
+    cert::Certificate certificate;  // exact certificate the key came from
+    ec::AffinePoint public_key;     // Q_U per eq. (1)
+    ec::VerifyTable table;          // cached odd-multiple wNAF table of Q_U
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;  // extractions performed (including replacements)
+    std::uint64_t evictions = 0;
+  };
+
+  explicit PeerKeyCache(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the cached entry for `certificate`, extracting the public key
+  /// and building the verification table on miss (or when the presented
+  /// certificate differs from the cached one). The pointer stays valid
+  /// until the next non-const call.
+  Result<const Entry*> get(const cert::Certificate& certificate, const ec::AffinePoint& q_ca);
+
+  /// Batch prewarm: extracts every certificate's public key and builds all
+  /// verification tables sharing one field inversion per phase. Returns the
+  /// number of certificates successfully cached (invalid ones are skipped).
+  std::size_t prewarm(const std::vector<cert::Certificate>& certificates,
+                      const ec::AffinePoint& q_ca);
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void clear() {
+    lru_.clear();
+    index_.clear();
+  }
+
+ private:
+  using LruList = std::list<std::pair<cert::DeviceId, Entry>>;
+  void insert(const cert::DeviceId& subject, Entry entry);
+
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<cert::DeviceId, LruList::iterator, DeviceIdHash> index_;
+  Stats stats_;
+};
+
+}  // namespace ecqv::proto

@@ -28,6 +28,11 @@ class SecureChannel {
   [[nodiscard]] std::uint64_t sent() const { return send_seq_; }
   [[nodiscard]] std::uint64_t received() const { return recv_seq_; }
 
+  /// Wipes the channel's internal key copy; the channel is unusable after.
+  /// Session teardown must call this in addition to wiping its own copy so
+  /// no duplicate of the hierarchy outlives the session.
+  void wipe_keys() { keys_.wipe(); }
+
   static constexpr std::size_t kOverhead = 8 + 32;
 
  private:

@@ -1,0 +1,229 @@
+#include "core/session_broker.hpp"
+
+#include "hash/hmac.hpp"
+
+namespace ecqv::proto {
+
+namespace {
+
+// RK1 payload: be32(new_epoch) || HMAC-SHA256(mac_key_i, label || role || epoch).
+// Keyed with the *current* (pre-ratchet) epoch's MAC key: only the two
+// session holders can move the chain forward, and the epoch index in both
+// payload and MAC input stops replays from re-applying an announcement.
+constexpr std::string_view kRatchetLabel = "ecqv-ratchet-v1";
+constexpr std::size_t kRatchetPayloadSize = 4 + hash::kSha256DigestSize;
+
+std::uint8_t ratchet_role_byte(Role sender) {
+  return sender == Role::kInitiator ? 0xA5 : 0xB5;
+}
+
+hash::Digest ratchet_mac(ByteView mac_key, Role sender, std::uint32_t new_epoch) {
+  std::array<std::uint8_t, 4> epoch_be{};
+  store_be32(ByteSpan(epoch_be), new_epoch);
+  const std::uint8_t role = ratchet_role_byte(sender);
+  return hash::hmac_sha256(mac_key,
+                           {bytes_of(kRatchetLabel), ByteView(&role, 1), ByteView(epoch_be)});
+}
+
+}  // namespace
+
+SessionBroker::SessionBroker(const Credentials& creds, rng::Rng& rng, BrokerConfig config)
+    : creds_(creds),
+      rng_(rng),
+      config_(config),
+      store_(Role::kResponder, config.store),
+      cache_(config.peer_cache_capacity) {}
+
+StsConfig SessionBroker::sts_config(std::uint64_t now) {
+  StsConfig sts = config_.sts;
+  sts.now = now;
+  sts.peer_cache = &cache_;
+  return sts;
+}
+
+Result<Message> SessionBroker::connect(const cert::DeviceId& peer, std::uint64_t now) {
+  if (pending_.size() >= config_.max_pending && pending_.find(peer) == pending_.end()) {
+    sweep_pending(now);
+    if (pending_.size() >= config_.max_pending) return Error::kBadState;
+  }
+  auto party = std::make_unique<StsInitiator>(creds_, rng_, sts_config(now));
+  auto first = party->start();
+  if (!first.has_value()) return Error::kInternal;
+  pending_[peer] = Pending{std::move(party), Role::kInitiator, now};
+  ++stats_.handshakes_started;
+  return std::move(*first);
+}
+
+Result<std::optional<Message>> SessionBroker::drive(const cert::DeviceId& peer, Pending& pending,
+                                                    const Message& incoming, std::uint64_t now,
+                                                    bool resident) {
+  auto reply = pending.party->on_message(incoming);
+  if (!reply) {
+    // Only drop the map entry when the failing party IS the map entry; a
+    // fresh A1 replacement that fails must not destroy a healthy in-flight
+    // handshake it never belonged to.
+    if (resident) pending_.erase(peer);
+    ++stats_.handshakes_failed;
+    return reply.error();
+  }
+  if (pending.party->established()) {
+    // The transport address must match the authenticated identity — a
+    // session installed under a different id than the certificate subject
+    // would route another peer's records to these keys.
+    if (!(pending.party->peer_id() == peer)) {
+      pending_.erase(peer);
+      ++stats_.handshakes_failed;
+      return Error::kAuthenticationFailed;
+    }
+    store_.install(peer, pending.party->session_keys(), pending.role, now);
+    pending_.erase(peer);
+    ++stats_.handshakes_completed;
+  }
+  return reply;
+}
+
+Result<std::optional<Message>> SessionBroker::on_message(const cert::DeviceId& peer,
+                                                         const Message& incoming,
+                                                         std::uint64_t now) {
+  if (incoming.step == kRatchetStep) return on_ratchet(peer, incoming, now);
+
+  if (incoming.step == "A1") {
+    const auto existing = pending_.find(peer);
+    // Simultaneous open: both endpoints sent A1 at once. Exactly one side
+    // must yield its initiator role or the crossing handshakes deadlock.
+    // Tie-break on identity: the larger id keeps initiating and ignores
+    // the peer's A1 (its own A1 is already in flight and the smaller-id
+    // side will answer it); the smaller id falls through and responds.
+    // Only a *live* initiator justifies the swallow — if ours stalled past
+    // the TTL (our A1 was probably lost) or the clock regressed, yielding
+    // to the inbound handshake is the only path that still converges.
+    const auto initiator_live = [&](const Pending& p) {
+      return now >= p.started_at && now - p.started_at <= config_.pending_ttl_seconds;
+    };
+    if (existing != pending_.end() && existing->second.role == Role::kInitiator &&
+        initiator_live(existing->second) && peer.bytes < creds_.id.bytes)
+      return std::optional<Message>(std::nullopt);
+    // Fresh inbound handshake; it replaces any stalled in-flight one with
+    // this peer (the established session, if any, stays live until the new
+    // keys install). Capacity check before allocating responder state.
+    if (pending_.size() >= config_.max_pending && existing == pending_.end()) {
+      sweep_pending(now);
+      if (pending_.size() >= config_.max_pending) return Error::kBadState;
+    }
+    Pending pending{std::make_unique<StsResponder>(creds_, rng_, sts_config(now)),
+                    Role::kResponder, now};
+    auto reply = drive(peer, pending, incoming, now, /*resident=*/false);
+    if (reply.ok()) pending_[peer] = std::move(pending);
+    ++stats_.handshakes_started;
+    return reply;
+  }
+
+  const auto it = pending_.find(peer);
+  if (it == pending_.end()) return Error::kBadState;
+  return drive(peer, it->second, incoming, now, /*resident=*/true);
+}
+
+bool SessionBroker::session_ready(const cert::DeviceId& peer, std::uint64_t now) {
+  return !store_.needs_rekey(peer, now);
+}
+
+Result<Message> SessionBroker::initiate_ratchet(const cert::DeviceId& peer, std::uint64_t now) {
+  if (!store_.can_ratchet(peer, now)) return Error::kBadState;
+  const auto role = store_.session_role(peer);
+  const auto current = store_.epoch(peer);
+  if (!role.has_value() || !current.has_value()) return Error::kBadState;
+  const std::uint32_t new_epoch = *current + 1;
+  // MAC under the *current* keys, then advance our own side.
+  const hash::Digest mac = ratchet_mac(store_.peer_mac_key(peer), *role, new_epoch);
+  auto advanced = store_.ratchet(peer, now);
+  if (!advanced) return advanced.error();
+
+  Message announce;
+  announce.sender = *role;
+  announce.step = std::string(kRatchetStep);
+  announce.payload.resize(kRatchetPayloadSize);
+  store_be32(ByteSpan(announce.payload).subspan(0, 4), new_epoch);
+  std::copy(mac.begin(), mac.end(), announce.payload.begin() + 4);
+  ++stats_.ratchets_sent;
+  return announce;
+}
+
+Result<std::optional<Message>> SessionBroker::on_ratchet(const cert::DeviceId& peer,
+                                                         const Message& incoming,
+                                                         std::uint64_t now) {
+  if (incoming.payload.size() != kRatchetPayloadSize) return Error::kBadLength;
+  if (!store_.can_ratchet(peer, now)) return Error::kBadState;
+  const auto our_role = store_.session_role(peer);
+  const auto current = store_.epoch(peer);
+  if (!our_role.has_value() || !current.has_value()) return Error::kBadState;
+
+  const std::uint32_t announced = load_be32(ByteView(incoming.payload).subspan(0, 4));
+  if (announced != *current + 1) return Error::kBadState;  // lockstep only
+  const Role sender_role =
+      *our_role == Role::kInitiator ? Role::kResponder : Role::kInitiator;
+  const hash::Digest expected = ratchet_mac(store_.peer_mac_key(peer), sender_role, announced);
+  if (!ct_equal(ByteView(incoming.payload).subspan(4), ByteView(expected)))
+    return Error::kAuthenticationFailed;
+
+  auto advanced = store_.ratchet(peer, now);
+  if (!advanced) return advanced.error();
+  ++stats_.ratchets_received;
+  return std::optional<Message>(std::nullopt);
+}
+
+Result<Message> SessionBroker::refresh(const cert::DeviceId& peer, std::uint64_t now) {
+  if (store_.can_ratchet(peer, now)) return initiate_ratchet(peer, now);
+  ++stats_.full_rekeys;
+  return connect(peer, now);
+}
+
+Result<Bytes> SessionBroker::seal(const cert::DeviceId& peer, ByteView plaintext,
+                                  std::uint64_t now) {
+  return store_.seal(peer, plaintext, now);
+}
+
+Result<Bytes> SessionBroker::open(const cert::DeviceId& peer, ByteView record,
+                                  std::uint64_t now) {
+  return store_.open(peer, record, now);
+}
+
+std::size_t SessionBroker::sweep_pending(std::uint64_t now) {
+  std::size_t removed = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    // Clock regression kills the entry too (mirrors SessionStore::usable):
+    // a handshake "started in the future" can never legitimately finish.
+    const bool stalled = now < it->second.started_at ||
+                         now - it->second.started_at > config_.pending_ttl_seconds;
+    if (stalled) {
+      it = pending_.erase(it);
+      ++stats_.pending_expired;
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t SessionBroker::sweep(std::uint64_t now) {
+  return store_.sweep(now) + sweep_pending(now);
+}
+
+Result<std::size_t> SessionBroker::pump(SessionBroker& sender, SessionBroker& receiver,
+                                        Result<Message> first, std::uint64_t now) {
+  if (!first.ok()) return first.error();
+  std::optional<Message> in_flight = std::move(first).value();
+  SessionBroker* to = &receiver;
+  SessionBroker* from = &sender;
+  std::size_t exchanged = 1;
+  while (in_flight.has_value()) {
+    auto reply = to->on_message(from->id(), *in_flight, now);
+    if (!reply.ok()) return reply.error();
+    in_flight = std::move(reply).value();
+    if (in_flight.has_value()) ++exchanged;
+    std::swap(to, from);
+  }
+  return exchanged;
+}
+
+}  // namespace ecqv::proto

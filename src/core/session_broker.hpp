@@ -1,0 +1,146 @@
+// Session broker: one endpoint serving many concurrent ECQV peers — the
+// fleet-scale replacement for the two-party test driver.
+//
+// The paper establishes dynamic sessions between exactly two devices wired
+// together by a blocking driver (core/driver.hpp). A realistic deployment
+// (one backend terminating sessions for a vehicle/IoT fleet, V2X-SCMS
+// style) inverts that: the endpoint is message-driven, holds thousands of
+// sessions at once, and cannot afford either unbounded state or a full STS
+// re-run per rekey. The broker composes the fabric's pieces:
+//
+//   transport msg in ──► on_message() ──► msg out (or none)
+//                         │
+//                         ├─ "A1".."B2"  interleaved STS handshakes, one
+//                         │              in-flight Party per peer, installed
+//                         │              into the sharded SessionStore on
+//                         │              establishment
+//                         ├─ "RK1"       authenticated epoch-ratchet
+//                         │              announcements (cheap resumption)
+//                         └─ seal()/open() data plane over the store
+//
+// Handshake verification shares one PeerKeyCache: implicit public keys are
+// extracted once per certificate (eq. (1)) and every signature from a peer
+// verifies over its cached wNAF table.
+//
+// Rekey ladder (the paper's "dynamic sessions", made cheap):
+//   1. epoch ratchet (refresh/initiate_ratchet): KS_{i+1} = HKDF(KS_i, ...)
+//      — a few HMAC compressions, forward secure per epoch; announced to
+//      the peer in one authenticated RK1 message.
+//   2. full rekey (after max_epochs resumptions, or when the session died):
+//      a fresh STS handshake re-anchors the chain in new ephemerals.
+//
+// Single-threaded by design (embedded event loop); the sharded store is
+// laid out so a future concurrent variant can lock per shard.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/peer_cache.hpp"
+#include "core/session_store.hpp"
+#include "core/sts.hpp"
+
+namespace ecqv::proto {
+
+struct BrokerConfig {
+  StsConfig sts{};                // variant / auth mode / validity checking
+  SessionStore::Config store{};   // capacity, shards, policy, max_epochs
+  std::size_t peer_cache_capacity = 4096;
+  std::size_t max_pending = 1024;           // concurrent in-flight handshakes
+  std::uint64_t pending_ttl_seconds = 30;   // stalled handshakes GC'd by sweep()
+};
+
+class SessionBroker {
+ public:
+  struct Stats {
+    std::uint64_t handshakes_started = 0;
+    std::uint64_t handshakes_completed = 0;
+    std::uint64_t handshakes_failed = 0;
+    std::uint64_t ratchets_sent = 0;
+    std::uint64_t ratchets_received = 0;
+    std::uint64_t full_rekeys = 0;  // refresh() escalations past the ratchet
+    std::uint64_t pending_expired = 0;
+  };
+
+  /// Epoch-ratchet announcement step id (alongside the STS "A1".."B2").
+  static constexpr std::string_view kRatchetStep = "RK1";
+
+  SessionBroker(const Credentials& creds, rng::Rng& rng, BrokerConfig config = {});
+  SessionBroker(const SessionBroker&) = delete;
+  SessionBroker& operator=(const SessionBroker&) = delete;
+
+  /// Starts a full STS handshake toward `peer`; returns the A1 message to
+  /// deliver. Any previous in-flight handshake with the peer is dropped;
+  /// an established session stays live until the new one installs.
+  Result<Message> connect(const cert::DeviceId& peer, std::uint64_t now);
+
+  /// Feeds one incoming message from `peer` (transport-authenticated
+  /// address); returns the reply to send back, if any. Handles handshake
+  /// steps, completion (installs the session) and ratchet announcements.
+  /// Simultaneous open resolves by identity tie-break: when both endpoints
+  /// connect() concurrently, the broker with the lexicographically larger
+  /// id keeps its initiator role and swallows the crossing A1 (no reply);
+  /// the smaller-id side yields and responds.
+  Result<std::optional<Message>> on_message(const cert::DeviceId& peer, const Message& incoming,
+                                            std::uint64_t now);
+
+  /// Ideal-link pump for tests, benches and examples: delivers `first`
+  /// (produced by `sender` — a connect(), refresh() or ratchet message for
+  /// `receiver`) and shuttles replies until neither side has output.
+  /// Returns the number of messages exchanged.
+  static Result<std::size_t> pump(SessionBroker& sender, SessionBroker& receiver,
+                                  Result<Message> first, std::uint64_t now);
+
+  /// True when a usable session with `peer` exists right now.
+  [[nodiscard]] bool session_ready(const cert::DeviceId& peer, std::uint64_t now);
+
+  /// Cheap rekey: advances the session one epoch and returns the
+  /// authenticated RK1 announcement for the peer (who ratchets on receipt).
+  /// kBadState when no resumable session exists — escalate to connect().
+  Result<Message> initiate_ratchet(const cert::DeviceId& peer, std::uint64_t now);
+
+  /// Policy-driven rekey: epoch ratchet while the budget allows, full STS
+  /// handshake once it is spent. Returns the message to deliver (RK1 or A1).
+  Result<Message> refresh(const cert::DeviceId& peer, std::uint64_t now);
+
+  /// Data plane: seal/open application records for `peer`.
+  Result<Bytes> seal(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
+  Result<Bytes> open(const cert::DeviceId& peer, ByteView record, std::uint64_t now);
+
+  /// Maintenance: bulk-expires dead sessions and stalled handshakes.
+  /// Returns the number of entries reclaimed.
+  std::size_t sweep(std::uint64_t now);
+
+  [[nodiscard]] SessionStore& store() { return store_; }
+  [[nodiscard]] PeerKeyCache& peer_cache() { return cache_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pending_handshakes() const { return pending_.size(); }
+  [[nodiscard]] const cert::DeviceId& id() const { return creds_.id; }
+
+ private:
+  struct Pending {
+    std::unique_ptr<Party> party;
+    Role role;
+    std::uint64_t started_at = 0;
+  };
+
+  [[nodiscard]] StsConfig sts_config(std::uint64_t now);
+  /// `resident` marks whether `pending` is the map entry for `peer` (and
+  /// may be erased on failure) or a not-yet-inserted replacement.
+  Result<std::optional<Message>> drive(const cert::DeviceId& peer, Pending& pending,
+                                       const Message& incoming, std::uint64_t now,
+                                       bool resident);
+  Result<std::optional<Message>> on_ratchet(const cert::DeviceId& peer, const Message& incoming,
+                                            std::uint64_t now);
+  std::size_t sweep_pending(std::uint64_t now);
+
+  const Credentials& creds_;
+  rng::Rng& rng_;
+  BrokerConfig config_;
+  SessionStore store_;
+  PeerKeyCache cache_;
+  std::unordered_map<cert::DeviceId, Pending, DeviceIdHash> pending_;
+  Stats stats_;
+};
+
+}  // namespace ecqv::proto

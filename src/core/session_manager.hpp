@@ -1,4 +1,5 @@
-// Communication-session lifecycle management (paper §II-A).
+// Communication-session lifecycle management (paper §II-A) — two-party
+// convenience shim over the sharded SessionStore.
 //
 // The paper's core complaint about SKD deployments is that "due to the
 // limitations in the system's architecture, constrained nature of the
@@ -6,64 +7,55 @@
 // use far longer than intended. This manager makes the intended behaviour
 // structural: every peer session carries a rekey policy (record-count and
 // age budgets), the secure channel refuses to seal once the budget is
-// spent, and retiring a session wipes its keys (shrinking the T3 node-
-// capture window to the live session).
+// spent, and a session whose budget is gone is wiped the moment it is
+// touched (shrinking the T3 node-capture window to the live session).
+//
+// Fleet endpoints should use SessionBroker / SessionStore directly; this
+// class keeps the original two-party API (single shard, unbounded capacity,
+// no ratcheting) for existing callers and tests.
 #pragma once
 
-#include <map>
-#include <optional>
-
-#include "core/secure_channel.hpp"
-#include "ecqv/certificate.hpp"
+#include "core/session_store.hpp"
 
 namespace ecqv::proto {
-
-struct RekeyPolicy {
-  std::uint64_t max_records = 1024;     // seal+open budget per session
-  std::uint64_t max_age_seconds = 600;  // communication session lifetime
-
-  [[nodiscard]] static RekeyPolicy unlimited() {
-    return RekeyPolicy{UINT64_MAX, UINT64_MAX};
-  }
-};
 
 class SessionManager {
  public:
   explicit SessionManager(Role role, RekeyPolicy policy = {})
-      : role_(role), policy_(policy) {}
+      : store_(role, SessionStore::Config{policy, /*capacity=*/SIZE_MAX / 2, /*shards=*/1,
+                                          /*max_epochs=*/0}) {}
 
   /// Installs freshly negotiated keys for `peer`, replacing (and wiping)
   /// any previous session.
-  void install(const cert::DeviceId& peer, const kdf::SessionKeys& keys, std::uint64_t now);
+  void install(const cert::DeviceId& peer, const kdf::SessionKeys& keys, std::uint64_t now) {
+    store_.install(peer, keys, now);
+  }
 
   /// True when no usable session exists (none yet, expired, or budget
   /// exhausted) and the caller must run a new key derivation handshake.
-  [[nodiscard]] bool needs_rekey(const cert::DeviceId& peer, std::uint64_t now) const;
+  /// A dead session found here is wiped and evicted on the spot.
+  [[nodiscard]] bool needs_rekey(const cert::DeviceId& peer, std::uint64_t now) const {
+    return store_.needs_rekey(peer, now);
+  }
 
   /// Seals/opens application data for `peer`. Fails with kBadState when the
   /// session is missing or its budget is exhausted — by construction the
   /// stale-key condition the paper warns about cannot be reached silently.
-  Result<Bytes> seal(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
-  Result<Bytes> open(const cert::DeviceId& peer, ByteView record, std::uint64_t now);
+  Result<Bytes> seal(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now) {
+    return store_.seal(peer, plaintext, now);
+  }
+  Result<Bytes> open(const cert::DeviceId& peer, ByteView record, std::uint64_t now) {
+    return store_.open(peer, record, now);
+  }
 
   /// Retires a session and wipes its key material.
-  void retire(const cert::DeviceId& peer);
+  void retire(const cert::DeviceId& peer) { store_.retire(peer); }
 
-  [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t active_sessions() const { return store_.active_sessions(); }
 
  private:
-  struct Session {
-    kdf::SessionKeys keys;
-    SecureChannel channel;
-    std::uint64_t established_at = 0;
-    std::uint64_t records = 0;
-  };
-
-  [[nodiscard]] bool session_usable(const Session& session, std::uint64_t now) const;
-
-  Role role_;
-  RekeyPolicy policy_;
-  std::map<cert::DeviceId, Session> sessions_;
+  // needs_rekey() stays const for callers but reclaims dead sessions.
+  mutable SessionStore store_;
 };
 
 }  // namespace ecqv::proto

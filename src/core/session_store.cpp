@@ -1,0 +1,194 @@
+#include "core/session_store.hpp"
+
+namespace ecqv::proto {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SessionStore::SessionStore(Role default_role, Config config)
+    : default_role_(default_role), config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  const std::size_t shard_count = round_up_pow2(config_.shards == 0 ? 1 : config_.shards);
+  shards_.resize(shard_count);
+  shard_mask_ = shard_count - 1;
+}
+
+SessionStore::Shard& SessionStore::shard_for(const cert::DeviceId& peer) {
+  return shards_[DeviceIdHash{}(peer) & shard_mask_];
+}
+
+const SessionStore::Shard& SessionStore::shard_for(const cert::DeviceId& peer) const {
+  return shards_[DeviceIdHash{}(peer) & shard_mask_];
+}
+
+bool SessionStore::usable(const Session& s, std::uint64_t now) const {
+  if (s.records >= config_.policy.max_records) return false;
+  if (now < s.established_at) return false;  // clock went backwards
+  if (config_.policy.max_age_seconds != UINT64_MAX &&
+      now - s.established_at > config_.policy.max_age_seconds)
+    return false;
+  return true;
+}
+
+bool SessionStore::resumable(const Session& s, std::uint64_t now) const {
+  if (s.epoch >= config_.max_epochs) return false;
+  if (now < s.established_at) return false;
+  // The epoch window itself must not have aged out: an expired session is
+  // dead, not resumable — ratcheting cannot launder stale key material.
+  if (config_.policy.max_age_seconds != UINT64_MAX &&
+      now - s.established_at > config_.policy.max_age_seconds)
+    return false;
+  return true;
+}
+
+void SessionStore::wipe_and_erase(Shard& shard, std::list<Session>::iterator it) {
+  it->keys.wipe();
+  it->channel.wipe_keys();
+  shard.index.erase(it->peer);
+  shard.lru.erase(it);
+  --size_;
+}
+
+SessionStore::Session* SessionStore::lookup(const cert::DeviceId& peer, std::uint64_t now) {
+  Shard& shard = shard_for(peer);
+  const auto idx = shard.index.find(peer);
+  if (idx == shard.index.end()) return nullptr;
+  const auto it = idx->second;
+  if (!usable(*it, now) && !resumable(*it, now)) {
+    wipe_and_erase(shard, it);
+    ++stats_.dead_evictions;
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it);  // touch
+  return &*it;
+}
+
+void SessionStore::evict_for_capacity(Shard& preferred) {
+  Shard* victim_shard = !preferred.lru.empty() ? &preferred : nullptr;
+  if (victim_shard == nullptr) {
+    // The inserting shard is empty but the store is full: evict from the
+    // fullest shard instead (rare — only under heavy hash skew).
+    for (Shard& s : shards_)
+      if (victim_shard == nullptr || s.lru.size() > victim_shard->lru.size())
+        victim_shard = &s;
+  }
+  if (victim_shard == nullptr || victim_shard->lru.empty()) return;
+  wipe_and_erase(*victim_shard, std::prev(victim_shard->lru.end()));
+  ++stats_.capacity_evictions;
+}
+
+void SessionStore::install(const cert::DeviceId& peer, const kdf::SessionKeys& keys,
+                           std::uint64_t now) {
+  install(peer, keys, default_role_, now);
+}
+
+void SessionStore::install(const cert::DeviceId& peer, const kdf::SessionKeys& keys, Role role,
+                           std::uint64_t now) {
+  Shard& shard = shard_for(peer);
+  const auto idx = shard.index.find(peer);
+  if (idx != shard.index.end()) wipe_and_erase(shard, idx->second);
+  while (size_ >= config_.capacity) evict_for_capacity(shard);
+  shard.lru.push_front(Session{peer, keys, SecureChannel(keys, role), role, now, 0, 0});
+  shard.index.emplace(peer, shard.lru.begin());
+  ++size_;
+  ++stats_.installs;
+}
+
+bool SessionStore::needs_rekey(const cert::DeviceId& peer, std::uint64_t now) {
+  const Session* s = lookup(peer, now);
+  return s == nullptr || !usable(*s, now);
+}
+
+bool SessionStore::can_ratchet(const cert::DeviceId& peer, std::uint64_t now) {
+  const Session* s = lookup(peer, now);
+  return s != nullptr && resumable(*s, now);
+}
+
+Result<std::uint32_t> SessionStore::ratchet(const cert::DeviceId& peer, std::uint64_t now) {
+  Session* s = lookup(peer, now);
+  if (s == nullptr || !resumable(*s, now)) return Error::kBadState;
+  kdf::SessionKeys next = kdf::ratchet_session_keys(s->keys, s->epoch + 1);
+  s->keys.wipe();
+  s->channel.wipe_keys();
+  s->keys = next;
+  s->channel = SecureChannel(next, s->role);
+  next.wipe();  // no stack copy of the new epoch outlives the call
+  ++s->epoch;
+  s->records = 0;
+  s->established_at = now;
+  ++stats_.ratchets;
+  return s->epoch;
+}
+
+Result<Bytes> SessionStore::seal(const cert::DeviceId& peer, ByteView plaintext,
+                                 std::uint64_t now) {
+  Session* s = lookup(peer, now);
+  if (s == nullptr || !usable(*s, now)) return Error::kBadState;
+  ++s->records;
+  ++stats_.seals;
+  return s->channel.seal(plaintext);
+}
+
+Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, std::uint64_t now) {
+  Session* s = lookup(peer, now);
+  if (s == nullptr || !usable(*s, now)) return Error::kBadState;
+  auto plaintext = s->channel.open(record);
+  if (plaintext.ok()) {
+    ++s->records;
+    ++stats_.opens;
+  }
+  return plaintext;
+}
+
+void SessionStore::retire(const cert::DeviceId& peer) {
+  Shard& shard = shard_for(peer);
+  const auto idx = shard.index.find(peer);
+  if (idx == shard.index.end()) return;
+  wipe_and_erase(shard, idx->second);
+}
+
+std::size_t SessionStore::sweep(std::uint64_t now) {
+  std::size_t removed = 0;
+  for (Shard& shard : shards_) {
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      const auto next = std::next(it);
+      if (!usable(*it, now) && !resumable(*it, now)) {
+        wipe_and_erase(shard, it);
+        ++stats_.dead_evictions;
+        ++removed;
+      }
+      it = next;
+    }
+  }
+  return removed;
+}
+
+std::optional<std::uint32_t> SessionStore::epoch(const cert::DeviceId& peer) const {
+  const Shard& shard = shard_for(peer);
+  const auto idx = shard.index.find(peer);
+  if (idx == shard.index.end()) return std::nullopt;
+  return idx->second->epoch;
+}
+
+std::optional<Role> SessionStore::session_role(const cert::DeviceId& peer) const {
+  const Shard& shard = shard_for(peer);
+  const auto idx = shard.index.find(peer);
+  if (idx == shard.index.end()) return std::nullopt;
+  return idx->second->role;
+}
+
+ByteView SessionStore::peer_mac_key(const cert::DeviceId& peer) const {
+  const Shard& shard = shard_for(peer);
+  const auto idx = shard.index.find(peer);
+  if (idx == shard.index.end()) return {};
+  return ByteView(idx->second->keys.mac_key);
+}
+
+}  // namespace ecqv::proto

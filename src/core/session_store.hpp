@@ -1,0 +1,160 @@
+// Sharded, capacity-bounded session store — the resident-state backbone of
+// the fleet session fabric.
+//
+// The paper's two-party model (§IV) keys exactly one peer; a backend
+// terminating sessions for an ECQV fleet (V2X SCMS-style, one endpoint vs
+// thousands of certificate holders) needs bounded memory and cheap rekeys.
+// This store replaces the old per-manager std::map with:
+//
+//  * Sharding: peers hash (FNV-1a over the 16-byte DeviceId) onto 2^k
+//    shards, each an LRU list + unordered index, so lookups stay O(1) and a
+//    future concurrent broker can lock per shard.
+//  * Capacity bound + LRU eviction: the store never holds more than
+//    `capacity` sessions; inserting past the bound wipes and evicts the
+//    least-recently-used session (per-shard order; exact global order with
+//    shards = 1). Evicted peers simply re-handshake.
+//  * No lingering state: a session that is neither usable (budget spent /
+//    aged out) nor resumable (ratchet epochs exhausted / expired) is wiped
+//    and removed the moment any lookup or sweep touches it — dead key
+//    material never survives in memory, and active_sessions() counts only
+//    live state (paper §II-A's stale-key complaint, made structural).
+//  * Epoch ratchet: a spent record budget can advance the session to the
+//    next key epoch (kdf::ratchet_session_keys) instead of re-running the
+//    full STS handshake. After `max_epochs` resumptions the session must be
+//    re-established from scratch (full rekey escalation) so the DKD
+//    property is re-anchored in fresh ephemerals.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/secure_channel.hpp"
+#include "ecqv/certificate.hpp"
+
+namespace ecqv::proto {
+
+struct RekeyPolicy {
+  std::uint64_t max_records = 1024;     // seal+open budget per epoch
+  std::uint64_t max_age_seconds = 600;  // communication session lifetime
+
+  [[nodiscard]] static RekeyPolicy unlimited() {
+    return RekeyPolicy{UINT64_MAX, UINT64_MAX};
+  }
+};
+
+/// FNV-1a over the 16 identity bytes: cheap, stable shard + bucket hash.
+struct DeviceIdHash {
+  std::size_t operator()(const cert::DeviceId& id) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const std::uint8_t b : id.bytes) h = (h ^ b) * 1099511628211ull;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class SessionStore {
+ public:
+  struct Config {
+    RekeyPolicy policy{};
+    std::size_t capacity = 4096;   // fleet-wide resident-session bound
+    std::size_t shards = 16;       // rounded up to a power of two
+    std::uint32_t max_epochs = 8;  // ratchet resumptions before full rekey
+  };
+
+  struct Stats {
+    std::uint64_t installs = 0;
+    std::uint64_t ratchets = 0;            // epoch resumptions
+    std::uint64_t capacity_evictions = 0;  // LRU pressure at the bound
+    std::uint64_t dead_evictions = 0;      // expired/exhausted, wiped on touch
+    std::uint64_t seals = 0;
+    std::uint64_t opens = 0;
+  };
+
+  SessionStore(Role default_role, Config config);
+
+  /// Installs freshly negotiated keys for `peer` at epoch 0, replacing (and
+  /// wiping) any previous session. May LRU-evict another peer when the
+  /// store is at capacity. The role selects the secure-channel direction
+  /// lanes; the overload without it uses the store's default role.
+  void install(const cert::DeviceId& peer, const kdf::SessionKeys& keys, std::uint64_t now);
+  void install(const cert::DeviceId& peer, const kdf::SessionKeys& keys, Role role,
+               std::uint64_t now);
+
+  /// True when no usable session exists and the caller must rekey (via
+  /// ratchet when can_ratchet() still holds, else a full handshake).
+  /// Dead sessions encountered here are wiped and evicted.
+  [[nodiscard]] bool needs_rekey(const cert::DeviceId& peer, std::uint64_t now);
+
+  /// True when the session can advance one more epoch cheaply.
+  [[nodiscard]] bool can_ratchet(const cert::DeviceId& peer, std::uint64_t now);
+
+  /// Advances `peer` to the next key epoch: derives KS_{i+1} from KS_i,
+  /// wipes the old keys, resets the record budget, age window and channel
+  /// sequence numbers. Returns the new epoch index. kBadState when the
+  /// session is missing or its ratchet budget is exhausted.
+  Result<std::uint32_t> ratchet(const cert::DeviceId& peer, std::uint64_t now);
+
+  /// Seals/opens application data for `peer`. kBadState when the session is
+  /// missing or its budget is exhausted — stale keys cannot be used
+  /// silently, exactly the property the paper asks for.
+  Result<Bytes> seal(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
+  Result<Bytes> open(const cert::DeviceId& peer, ByteView record, std::uint64_t now);
+
+  /// Retires a session and wipes its key material.
+  void retire(const cert::DeviceId& peer);
+
+  /// Bulk expiry sweep: wipes and evicts every dead session. Returns the
+  /// number removed. A fleet endpoint calls this periodically so expired
+  /// peers do not wait for their own next message to be reclaimed.
+  std::size_t sweep(std::uint64_t now);
+
+  /// Current epoch of `peer`'s session (nullopt when absent). Does not
+  /// disturb LRU order.
+  [[nodiscard]] std::optional<std::uint32_t> epoch(const cert::DeviceId& peer) const;
+
+  /// Session role of `peer` (nullopt when absent).
+  [[nodiscard]] std::optional<Role> session_role(const cert::DeviceId& peer) const;
+
+  /// MAC key view for `peer`'s current epoch (ratchet announcements are
+  /// authenticated under it). Empty view when absent.
+  [[nodiscard]] ByteView peer_mac_key(const cert::DeviceId& peer) const;
+
+  [[nodiscard]] std::size_t active_sessions() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return config_.capacity; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct Session {
+    cert::DeviceId peer;
+    kdf::SessionKeys keys;
+    SecureChannel channel;
+    Role role;
+    std::uint64_t established_at = 0;  // reset at every epoch
+    std::uint64_t records = 0;
+    std::uint32_t epoch = 0;
+  };
+  struct Shard {
+    std::list<Session> lru;  // front = most recently used
+    std::unordered_map<cert::DeviceId, std::list<Session>::iterator, DeviceIdHash> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(const cert::DeviceId& peer);
+  [[nodiscard]] const Shard& shard_for(const cert::DeviceId& peer) const;
+  [[nodiscard]] bool usable(const Session& s, std::uint64_t now) const;
+  [[nodiscard]] bool resumable(const Session& s, std::uint64_t now) const;
+  void wipe_and_erase(Shard& shard, std::list<Session>::iterator it);
+  /// Finds `peer`, evicting it when dead; on a hit, refreshes LRU order.
+  Session* lookup(const cert::DeviceId& peer, std::uint64_t now);
+  void evict_for_capacity(Shard& preferred);
+
+  Role default_role_;
+  Config config_;
+  std::vector<Shard> shards_;
+  std::size_t shard_mask_ = 0;
+  std::size_t size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ecqv::proto

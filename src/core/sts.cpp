@@ -3,8 +3,10 @@
 #include "core/sts.hpp"
 
 #include "aes/modes.hpp"
+#include "core/peer_cache.hpp"
 #include "ec/encoding.hpp"
 #include "ec/fixed_base.hpp"
+#include "ec/verify_table.hpp"
 #include "ecdsa/ecdsa.hpp"
 #include "ecqv/scheme.hpp"
 #include "hash/hmac.hpp"
@@ -72,20 +74,46 @@ constexpr std::size_t kIdSize = cert::kDeviceIdSize;
 constexpr std::size_t kXgSize = ec::kRawXySize;
 constexpr std::size_t kCertSize = cert::kCertificateSize;
 
+void wipe_scalar(bi::U256& k) {
+  secure_wipe(ByteSpan(reinterpret_cast<std::uint8_t*>(k.w.data()), sizeof(k.w)));
+}
+
 kdf::SessionKeys derive_keys(const ec::AffinePoint& premaster, const cert::DeviceId& a,
                              const cert::DeviceId& b) {
   return kdf::derive_session_keys(premaster, kd_salt(a, b),
                                   bytes_of(std::string(sts_detail::kKdfLabel)));
 }
 
+/// Peer authentication material for one verification: the implicit public
+/// key plus, when a broker-shared cache served it, the peer's cached wNAF
+/// verification table. The table pointer is only valid until the next cache
+/// call — use it within the same processing step, never across messages.
+struct PeerAuth {
+  ec::AffinePoint q;
+  const ec::VerifyTable* table = nullptr;
+};
+
 /// Validates a peer certificate: window, subject, usable curve point.
-Result<ec::AffinePoint> check_and_extract(const cert::Certificate& certificate,
-                                          const cert::DeviceId& claimed_subject,
-                                          const ec::AffinePoint& q_ca, const StsConfig& config) {
+/// Extraction goes through the per-peer cache when the config carries one.
+Result<PeerAuth> check_and_extract(const cert::Certificate& certificate,
+                                   const cert::DeviceId& claimed_subject,
+                                   const ec::AffinePoint& q_ca, const StsConfig& config) {
   if (!(certificate.subject == claimed_subject)) return Error::kAuthenticationFailed;
   if (config.check_cert_validity && !certificate.valid_at(config.now))
     return Error::kAuthenticationFailed;
-  return cert::extract_public_key(certificate, q_ca);
+  if (config.peer_cache != nullptr) {
+    auto entry = config.peer_cache->get(certificate, q_ca);
+    if (!entry) return entry.error();
+    return PeerAuth{entry.value()->public_key, &entry.value()->table};
+  }
+  auto q = cert::extract_public_key(certificate, q_ca);
+  if (!q) return q.error();
+  return PeerAuth{q.value(), nullptr};
+}
+
+bool verify_peer(const PeerAuth& auth, ByteView signed_data, const sig::Signature& signature) {
+  return auth.table != nullptr ? sig::verify(*auth.table, signed_data, signature)
+                               : sig::verify(auth.q, signed_data, signature);
 }
 
 }  // namespace
@@ -94,6 +122,11 @@ Result<ec::AffinePoint> check_and_extract(const cert::Certificate& certificate,
 
 StsInitiator::StsInitiator(const Credentials& creds, rng::Rng& rng, StsConfig config)
     : creds_(creds), rng_(rng), config_(config) {}
+
+StsInitiator::~StsInitiator() {
+  keys_.wipe();
+  wipe_scalar(xa_);
+}
 
 std::optional<Message> StsInitiator::start() {
   // Op1: ephemeral point XG_A = X_A * G (paper eq. (2)).
@@ -158,9 +191,9 @@ Result<std::optional<Message>> StsInitiator::on_message(const Message& incoming)
     // Op4: decrypt + implicit public key derivation + verify — exactly
     // Algorithm 2, which folds eq. (1) into verification.
     record_segment("Op4", "B1", [&] {
-      auto extracted = check_and_extract(certificate.value(), claimed_id, creds_.ca_public, config_);
-      if (!extracted) {
-        failure = extracted.error();
+      auto auth = check_and_extract(certificate.value(), claimed_id, creds_.ca_public, config_);
+      if (!auth) {
+        failure = auth.error();
         return;
       }
       auto dsign = open_resp(keys_, Role::kResponder, resp_b, config_.auth_mode);
@@ -174,7 +207,7 @@ Result<std::optional<Message>> StsInitiator::on_message(const Message& incoming)
         return;
       }
       const Bytes signed_data = resp_sign_input(xgb_, xga_);
-      if (!sig::verify(extracted.value(), signed_data, signature.value()))
+      if (!verify_peer(auth.value(), signed_data, signature.value()))
         failure = Error::kAuthenticationFailed;
     });
     if (failure != Error::kOk) {
@@ -214,6 +247,11 @@ Result<std::optional<Message>> StsInitiator::on_message(const Message& incoming)
 
 StsResponder::StsResponder(const Credentials& creds, rng::Rng& rng, StsConfig config)
     : creds_(creds), rng_(rng), config_(config) {}
+
+StsResponder::~StsResponder() {
+  keys_.wipe();
+  wipe_scalar(xb_);
+}
 
 Result<std::optional<Message>> StsResponder::handle_a1(const Message& incoming) {
   const bool with_cert = config_.variant != StsVariant::kBaseline;
@@ -259,13 +297,14 @@ Result<std::optional<Message>> StsResponder::handle_a1(const Message& incoming) 
   // (Op2b) runs here — in the slot the scheduler can overlap (§IV-C).
   if (with_cert) {
     record_segment("Op2b", "A1", [&] {
-      auto extracted = check_and_extract(*peer_cert, claimed_id, creds_.ca_public, config_);
-      if (!extracted) {
-        failure = extracted.error();
+      auto auth = check_and_extract(*peer_cert, claimed_id, creds_.ca_public, config_);
+      if (!auth) {
+        failure = auth.error();
         return;
       }
-      peer_public_ = extracted.value();
+      peer_public_ = auth.value().q;
       have_peer_public_ = true;
+      peer_cert_ = *peer_cert;  // re-fetches the cached table at verify time
     });
     if (failure != Error::kOk) return failure;
   }
@@ -302,13 +341,14 @@ Result<std::optional<Message>> StsResponder::handle_a2(const Message& incoming) 
     auto certificate = cert::Certificate::decode(p.subspan(0, kCertSize));
     if (!certificate) return certificate.error();
     record_segment("Op4a", "A2", [&] {
-      auto extracted = check_and_extract(certificate.value(), peer_id_, creds_.ca_public, config_);
-      if (!extracted) {
-        failure = extracted.error();
+      auto auth = check_and_extract(certificate.value(), peer_id_, creds_.ca_public, config_);
+      if (!auth) {
+        failure = auth.error();
         return;
       }
-      peer_public_ = extracted.value();
+      peer_public_ = auth.value().q;
       have_peer_public_ = true;
+      peer_cert_ = certificate.value();
     });
     if (failure != Error::kOk) {
       state_ = State::kFailed;
@@ -334,7 +374,14 @@ Result<std::optional<Message>> StsResponder::handle_a2(const Message& incoming) 
       return;
     }
     const Bytes signed_data = resp_sign_input(xga_, xgb_);
-    if (!sig::verify(peer_public_, signed_data, signature.value()))
+    // The cached-table pointer from Op2b/Op4a may have been invalidated by
+    // interleaved broker handshakes; re-fetch it (a cheap cache hit) here.
+    PeerAuth auth{peer_public_, nullptr};
+    if (config_.peer_cache != nullptr && peer_cert_.has_value()) {
+      auto entry = config_.peer_cache->get(*peer_cert_, creds_.ca_public);
+      if (entry.ok()) auth.table = &entry.value()->table;
+    }
+    if (!verify_peer(auth, signed_data, signature.value()))
       failure = Error::kAuthenticationFailed;
   });
   if (failure != Error::kOk) {

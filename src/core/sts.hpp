@@ -39,6 +39,8 @@
 
 namespace ecqv::proto {
 
+class PeerKeyCache;  // core/peer_cache.hpp
+
 enum class StsVariant : std::uint8_t { kBaseline, kOptI, kOptII };
 
 /// How the authentication response binds the signature to the session
@@ -56,11 +58,20 @@ struct StsConfig {
   bool check_cert_validity = true;  // disable only in tests
   StsVariant variant = StsVariant::kBaseline;
   StsAuthMode auth_mode = StsAuthMode::kEncryptedSignature;
+  /// Optional per-peer authentication cache (the broker shares one across
+  /// all its handshakes): implicit public key extraction hits the cache
+  /// instead of re-running eq. (1), and response verification runs over the
+  /// peer's cached wNAF table. Null keeps the self-contained two-party
+  /// behaviour.
+  PeerKeyCache* peer_cache = nullptr;
 };
 
 class StsInitiator final : public Party {
  public:
   StsInitiator(const Credentials& creds, rng::Rng& rng, StsConfig config = {});
+  /// Wipes the derived session keys and the ephemeral secret X_A: once the
+  /// keys are installed in a session store, no copy outlives the party.
+  ~StsInitiator() override;
 
   std::optional<Message> start() override;
   Result<std::optional<Message>> on_message(const Message& incoming) override;
@@ -86,6 +97,8 @@ class StsInitiator final : public Party {
 class StsResponder final : public Party {
  public:
   StsResponder(const Credentials& creds, rng::Rng& rng, StsConfig config = {});
+  /// Wipes the derived session keys and the ephemeral secret X_B.
+  ~StsResponder() override;
 
   std::optional<Message> start() override { return std::nullopt; }
   Result<std::optional<Message>> on_message(const Message& incoming) override;
@@ -109,6 +122,7 @@ class StsResponder final : public Party {
   Bytes xga_;
   ec::AffinePoint peer_public_;   // Q_A (opt variants derive it early)
   bool have_peer_public_ = false;
+  std::optional<cert::Certificate> peer_cert_;  // kept for cached-table verify
   kdf::SessionKeys keys_;
   cert::DeviceId peer_id_;
 };

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/metrics.hpp"
+#include "ec/verify_table.hpp"
 #include "hash/sha256.hpp"
 
 namespace ecqv::ec {
@@ -90,22 +91,49 @@ AffinePoint Curve::dual_mul(const bi::U256& u1, const bi::U256& u2, const Affine
   return o.to_affine_vartime(o.straus_dual(u1, u2, o.to_jacobian(q)));
 }
 
+namespace {
+
+// x(pt) mod n == r  <=>  X == v * Z^2 for v in {r, r + n} with v < p.
+bool projective_x_equals_r(const Curve& c, const CurveOps::JPoint& pt, const bi::U256& r) {
+  if (pt.is_infinity()) return false;
+  const bi::MontCtx& fp = c.fp();
+  const bi::U256 z2 = fp.sqr(pt.z);
+  bi::U256 v = r;
+  for (;;) {
+    if (fp.mul(fp.to_mont(v), z2) == pt.x) return true;
+    bi::U256 nv;
+    if (bi::add(nv, v, c.order()) != 0) return false;
+    if (bi::cmp(nv, c.field_prime()) >= 0) return false;
+    v = nv;
+  }
+}
+
+}  // namespace
+
 bool Curve::dual_mul_checks_r(const bi::U256& u1, const bi::U256& u2, const AffinePoint& q,
                               const bi::U256& r) const {
   count_op(Op::kEcMulDual);
   const CurveOps& o = ops();
-  const CurveOps::JPoint pt = o.straus_dual(u1, u2, o.to_jacobian(q));
-  if (pt.is_infinity()) return false;
-  // x(pt) mod n == r  <=>  X == v * Z^2 for v in {r, r + n} with v < p.
-  const bi::U256 z2 = fp_.sqr(pt.z);
-  bi::U256 v = r;
-  for (;;) {
-    if (fp_.mul(fp_.to_mont(v), z2) == pt.x) return true;
-    bi::U256 nv;
-    if (bi::add(nv, v, order()) != 0) return false;
-    if (bi::cmp(nv, field_prime()) >= 0) return false;
-    v = nv;
-  }
+  return projective_x_equals_r(*this, o.straus_dual(u1, u2, o.to_jacobian(q)), r);
+}
+
+AffinePoint Curve::dual_mul(const bi::U256& u1, const bi::U256& u2,
+                            const VerifyTable& q_table) const {
+  count_op(Op::kEcMulDualCached);
+  const CurveOps& o = ops();
+  return o.to_affine_vartime(o.straus_dual_split(u1, u2, q_table.entries_lo(),
+                                                 q_table.entries_hi(), VerifyTable::kWidth));
+}
+
+bool Curve::dual_mul_checks_r(const bi::U256& u1, const bi::U256& u2,
+                              const VerifyTable& q_table, const bi::U256& r) const {
+  count_op(Op::kEcMulDualCached);
+  const CurveOps& o = ops();
+  return projective_x_equals_r(
+      *this,
+      o.straus_dual_split(u1, u2, q_table.entries_lo(), q_table.entries_hi(),
+                          VerifyTable::kWidth),
+      r);
 }
 
 bi::U256 Curve::random_scalar(rng::Rng& rng) const {

@@ -25,7 +25,8 @@
 
 namespace ecqv::ec {
 
-struct CurveOps;  // internal Jacobian engine (jacobian.hpp)
+struct CurveOps;    // internal Jacobian engine (jacobian.hpp)
+class VerifyTable;  // cached per-peer wNAF table (verify_table.hpp)
 
 /// Affine point with plain-domain (non-Montgomery) coordinates.
 /// The point at infinity is represented explicitly.
@@ -77,6 +78,15 @@ class Curve {
   /// r + n < p, (r+n)*Z^2) against the projective X — public inputs only.
   [[nodiscard]] bool dual_mul_checks_r(const bi::U256& u1, const bi::U256& u2,
                                        const AffinePoint& q, const bi::U256& r) const;
+
+  /// Cached-table variants: Q's odd-multiple wNAF table was precomputed
+  /// once (per peer) so the dual multiplication skips the table build and
+  /// its shared inversion — public inputs only. Preconditions: `q_table`
+  /// non-empty.
+  [[nodiscard]] AffinePoint dual_mul(const bi::U256& u1, const bi::U256& u2,
+                                     const VerifyTable& q_table) const;
+  [[nodiscard]] bool dual_mul_checks_r(const bi::U256& u1, const bi::U256& u2,
+                                       const VerifyTable& q_table, const bi::U256& r) const;
 
   /// Uniform scalar in [1, n-1] by rejection sampling.
   [[nodiscard]] bi::U256 random_scalar(rng::Rng& rng) const;

@@ -25,6 +25,7 @@
 //    addition-chain inversion.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -65,13 +66,22 @@ struct CurveOps {
   const Curve& c;
   const bi::MontCtx& fp;
   JPoint g_jac;  // generator, Jacobian/Montgomery form
-  std::array<AffineM, kGenTableSize> g_wnaf_tab;  // 1G, 3G, ..., 127G
+  std::array<AffineM, kGenTableSize> g_wnaf_tab;     // 1G, 3G, ..., 127G
+  // Odd multiples of 2^128*G: the high half of split dual multiplications
+  // (straus_dual_split halves the doubling chain for cached-table verifies).
+  std::array<AffineM, kGenTableSize> g_wnaf_tab_hi;  // 2^128*G, 3*2^128*G, ...
 
   explicit CurveOps(const Curve& curve) : c(curve), fp(curve.fp()) {
     g_jac = to_jacobian(curve.generator());
-    std::array<JPoint, kGenTableSize> tab;
+    JPoint g_hi = g_jac;
+    for (int i = 0; i < 128; ++i) g_hi = dbl(g_hi);
+    std::array<JPoint, 2 * kGenTableSize> tab;
     odd_multiples(g_jac, tab.data(), kGenTableSize);
-    batch_to_affine(tab.data(), g_wnaf_tab.data(), kGenTableSize, /*vartime=*/true);
+    odd_multiples(g_hi, tab.data() + kGenTableSize, kGenTableSize);
+    std::array<AffineM, 2 * kGenTableSize> affine;
+    batch_to_affine(tab.data(), affine.data(), 2 * kGenTableSize, /*vartime=*/true);
+    std::copy_n(affine.begin(), kGenTableSize, g_wnaf_tab.begin());
+    std::copy_n(affine.begin() + kGenTableSize, kGenTableSize, g_wnaf_tab_hi.begin());
   }
 
   // Raw field helpers: formulas count field work in bulk (see header note).
@@ -297,15 +307,14 @@ struct CurveOps {
     }
   }
 
-  /// Variable-time k*P: width-4 wNAF over a batch-normalized affine table of
-  /// odd multiples; every table hit is a mixed addition.
-  [[nodiscard]] JPoint wnaf_mul(const bi::U256& k, const JPoint& p) const {
-    if (p.is_infinity() || k.is_zero()) return infinity();
-    const Digits digits = wnaf(k, kVarWnafWidth);
-    std::array<JPoint, kVarTableSize> jtab;
-    std::array<AffineM, kVarTableSize> table;
-    odd_multiples(p, jtab.data(), kVarTableSize);
-    batch_to_affine(jtab.data(), table.data(), kVarTableSize, /*vartime=*/true);
+  /// Variable-time k*P over a caller-supplied affine table of odd multiples
+  /// of P (P, 3P, ..., sized for `width`); every table hit is a mixed
+  /// addition. Batch workloads normalize many tables with one shared
+  /// inversion and then run this loop per scalar.
+  [[nodiscard]] JPoint wnaf_mul_tab(const bi::U256& k, const AffineM* table,
+                                    unsigned width) const {
+    if (table == nullptr || k.is_zero()) return infinity();
+    const Digits digits = wnaf(k, width);
     JPoint acc = infinity();
     for (std::size_t i = digits.len; i-- > 0;) {
       acc = dbl(acc);
@@ -316,20 +325,28 @@ struct CurveOps {
     return acc;
   }
 
-  /// Variable-time u1*G + u2*Q (Straus/Shamir interleaving). The generator
-  /// half uses the cached width-7 affine table; the Q half builds a width-4
-  /// table normalized with one shared inversion.
-  [[nodiscard]] JPoint straus_dual(const bi::U256& u1, const bi::U256& u2,
-                                   const JPoint& q) const {
+  /// Variable-time k*P: width-4 wNAF over a batch-normalized affine table of
+  /// odd multiples built on the spot.
+  [[nodiscard]] JPoint wnaf_mul(const bi::U256& k, const JPoint& p) const {
+    if (p.is_infinity() || k.is_zero()) return infinity();
+    std::array<JPoint, kVarTableSize> jtab;
+    std::array<AffineM, kVarTableSize> table;
+    odd_multiples(p, jtab.data(), kVarTableSize);
+    batch_to_affine(jtab.data(), table.data(), kVarTableSize, /*vartime=*/true);
+    return wnaf_mul_tab(k, table.data(), kVarWnafWidth);
+  }
+
+  /// Variable-time u1*G + u2*Q over a caller-supplied affine table of odd
+  /// multiples of Q (Q, 3Q, ..., (2n-1)Q; `q_width` is the wNAF width the
+  /// table was sized for). `tq` may be null for the degenerate u1*G case.
+  /// This is the shared core of straus_dual and the per-peer cached-table
+  /// verification path (the broker keeps a peer's table across signatures,
+  /// so repeat verifies skip the table build and its inversion entirely).
+  [[nodiscard]] JPoint straus_dual_tab(const bi::U256& u1, const bi::U256& u2,
+                                       const AffineM* tq, unsigned q_width) const {
     const Digits d1 = wnaf(u1, kGenWnafWidth);
-    const Digits d2 = q.is_infinity() ? Digits{} : wnaf(u2, kVarWnafWidth);
+    const Digits d2 = tq == nullptr ? Digits{} : wnaf(u2, q_width);
     const std::size_t len = d1.len > d2.len ? d1.len : d2.len;
-    std::array<AffineM, kVarTableSize> tq;
-    if (!q.is_infinity()) {
-      std::array<JPoint, kVarTableSize> jtab;
-      odd_multiples(q, jtab.data(), kVarTableSize);
-      batch_to_affine(jtab.data(), tq.data(), kVarTableSize, /*vartime=*/true);
-    }
     JPoint acc = infinity();
     for (std::size_t i = len; i-- > 0;) {
       acc = dbl(acc);
@@ -341,6 +358,50 @@ struct CurveOps {
       if (b < 0) acc = madd(acc, neg(tq[static_cast<std::size_t>((-b - 1) / 2)]));
     }
     return acc;
+  }
+
+  /// Split-scalar Straus: u*P = u_lo*P + u_hi*(2^128*P) with both halves
+  /// interleaved, so the doubling chain shrinks from 256 to 128 iterations.
+  /// Requires precomputed tables for BOTH P and 2^128*P — worthwhile
+  /// exactly when the tables are cached (the generator always; Q via a
+  /// per-peer VerifyTable). Four digit streams share the halved chain.
+  [[nodiscard]] JPoint straus_dual_split(const bi::U256& u1, const bi::U256& u2,
+                                         const AffineM* tq_lo, const AffineM* tq_hi,
+                                         unsigned q_width) const {
+    const bi::U256 u1_lo(u1.w[0], u1.w[1], 0, 0), u1_hi(u1.w[2], u1.w[3], 0, 0);
+    const bi::U256 u2_lo(u2.w[0], u2.w[1], 0, 0), u2_hi(u2.w[2], u2.w[3], 0, 0);
+    const Digits d1l = wnaf(u1_lo, kGenWnafWidth);
+    const Digits d1h = wnaf(u1_hi, kGenWnafWidth);
+    const Digits d2l = tq_lo == nullptr ? Digits{} : wnaf(u2_lo, q_width);
+    const Digits d2h = tq_hi == nullptr ? Digits{} : wnaf(u2_hi, q_width);
+    const std::size_t len = std::max(std::max(d1l.len, d1h.len), std::max(d2l.len, d2h.len));
+    const auto hit = [&](JPoint& acc, const AffineM* table, int digit) {
+      if (digit > 0) acc = madd(acc, table[static_cast<std::size_t>((digit - 1) / 2)]);
+      if (digit < 0) acc = madd(acc, neg(table[static_cast<std::size_t>((-digit - 1) / 2)]));
+    };
+    JPoint acc = infinity();
+    for (std::size_t i = len; i-- > 0;) {
+      acc = dbl(acc);
+      hit(acc, g_wnaf_tab.data(), i < d1l.len ? d1l.d[i] : 0);
+      hit(acc, g_wnaf_tab_hi.data(), i < d1h.len ? d1h.d[i] : 0);
+      if (tq_lo != nullptr) hit(acc, tq_lo, i < d2l.len ? d2l.d[i] : 0);
+      if (tq_hi != nullptr) hit(acc, tq_hi, i < d2h.len ? d2h.d[i] : 0);
+    }
+    return acc;
+  }
+
+  /// Variable-time u1*G + u2*Q (Straus/Shamir interleaving). The generator
+  /// half uses the cached width-7 affine table; the Q half builds a width-4
+  /// table normalized with one shared inversion.
+  [[nodiscard]] JPoint straus_dual(const bi::U256& u1, const bi::U256& u2,
+                                   const JPoint& q) const {
+    std::array<AffineM, kVarTableSize> tq;
+    if (!q.is_infinity()) {
+      std::array<JPoint, kVarTableSize> jtab;
+      odd_multiples(q, jtab.data(), kVarTableSize);
+      batch_to_affine(jtab.data(), tq.data(), kVarTableSize, /*vartime=*/true);
+    }
+    return straus_dual_tab(u1, u2, q.is_infinity() ? nullptr : tq.data(), kVarWnafWidth);
   }
 };
 

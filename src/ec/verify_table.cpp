@@ -1,0 +1,53 @@
+#include "ec/verify_table.hpp"
+
+namespace ecqv::ec {
+
+Result<VerifyTable> VerifyTable::build(const AffinePoint& q) {
+  std::vector<AffinePoint> one{q};
+  return build_batch(one)[0];
+}
+
+std::vector<Result<VerifyTable>> VerifyTable::build_batch(const std::vector<AffinePoint>& points) {
+  const Curve& curve = Curve::p256();
+  const CurveOps& o = curve.ops();
+
+  std::vector<Result<VerifyTable>> out;
+  out.reserve(points.size());
+  // Odd multiples of every valid point AND of its 2^128 multiple (for the
+  // split Straus loop), concatenated so batch_to_affine shares a single
+  // inversion across the whole fleet's tables.
+  constexpr std::size_t kPerPoint = 2 * kTableSize;
+  std::vector<CurveOps::JPoint> jac;
+  jac.reserve(points.size() * kPerPoint);
+  std::vector<std::size_t> valid_index;  // position in `points` per batch slot
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const AffinePoint& q = points[i];
+    if (q.infinity || !curve.is_on_curve(q)) {
+      out.push_back(Error::kInvalidPoint);
+      continue;
+    }
+    out.push_back(VerifyTable{});
+    const std::size_t base = jac.size();
+    jac.resize(base + kPerPoint);
+    const CurveOps::JPoint qj = o.to_jacobian(q);
+    CurveOps::JPoint q_hi = qj;
+    for (int d = 0; d < 128; ++d) q_hi = o.dbl(q_hi);
+    o.odd_multiples(qj, jac.data() + base, kTableSize);
+    o.odd_multiples(q_hi, jac.data() + base + kTableSize, kTableSize);
+    valid_index.push_back(i);
+  }
+  if (jac.empty()) return out;
+
+  std::vector<CurveOps::AffineM> affine(jac.size());
+  o.batch_to_affine(jac.data(), affine.data(), jac.size(), /*vartime=*/true);
+
+  for (std::size_t slot = 0; slot < valid_index.size(); ++slot) {
+    VerifyTable& table = out[valid_index[slot]].value();
+    table.q_ = points[valid_index[slot]];
+    table.entries_.assign(affine.begin() + static_cast<std::ptrdiff_t>(slot * kPerPoint),
+                          affine.begin() + static_cast<std::ptrdiff_t>((slot + 1) * kPerPoint));
+  }
+  return out;
+}
+
+}  // namespace ecqv::ec

@@ -1,0 +1,63 @@
+// Per-peer cached verification table (ROADMAP item d).
+//
+// Session workloads verify many signatures from the same peer: every STS
+// re-handshake and every signed application record authenticates against
+// the peer's implicitly-extracted ECQV public key Q. The uncached Straus
+// path rebuilds Q's odd-multiple wNAF table — 1 doubling, 2^(w-1)-1 full
+// additions and one shared field inversion — on *every* verification.
+//
+// A VerifyTable front-loads that work once per peer: the odd multiples of
+// BOTH Q and 2^128*Q are computed, batch-normalized to affine
+// Montgomery-domain coordinates (one shared inversion, Montgomery's trick),
+// and kept. Repeat verifications then run a *split* Straus loop
+// (u2*Q = u2_lo*Q + u2_hi*(2^128*Q), and likewise for the generator over
+// its cached high table), which halves the doubling chain from 256 to 128
+// iterations — the dominant cost of a dual multiplication. Caching also
+// buys a wider window than the on-the-fly path can afford (width 5 vs 4).
+//
+// Tables hold public points only; all paths are variable-time by design.
+#pragma once
+
+#include <vector>
+
+#include "ec/jacobian.hpp"
+
+namespace ecqv::ec {
+
+class VerifyTable {
+ public:
+  /// Cached tables use a wider window than the transient Straus path:
+  /// 16 entries (Q..31Q) amortize across every signature from the peer.
+  static constexpr unsigned kWidth = 5;
+  static constexpr std::size_t kTableSize = std::size_t{1} << (kWidth - 1);
+
+  VerifyTable() = default;
+
+  /// Builds the table for public point `q` (variable-time, one shared
+  /// inversion). Rejects infinity and off-curve points.
+  static Result<VerifyTable> build(const AffinePoint& q);
+
+  /// Batch build: ONE field inversion shared across the normalization of
+  /// every point's table (16*N points). Per-entry results so one bad point
+  /// does not poison the batch.
+  static std::vector<Result<VerifyTable>> build_batch(const std::vector<AffinePoint>& points);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const AffinePoint& point() const { return q_; }
+  /// Odd multiples of Q (the low half of the split); null when empty.
+  [[nodiscard]] const CurveOps::AffineM* entries_lo() const {
+    return entries_.empty() ? nullptr : entries_.data();
+  }
+  /// Odd multiples of 2^128*Q (the high half); null when empty.
+  [[nodiscard]] const CurveOps::AffineM* entries_hi() const {
+    return entries_.empty() ? nullptr : entries_.data() + kTableSize;
+  }
+
+ private:
+  AffinePoint q_;
+  // [0, kTableSize): Q, 3Q, ..., 31Q; [kTableSize, 2*kTableSize):
+  // 2^128*Q, 3*2^128*Q, ... — all affine Montgomery-domain.
+  std::vector<CurveOps::AffineM> entries_;
+};
+
+}  // namespace ecqv::ec

@@ -6,6 +6,7 @@
 
 #include "common/metrics.hpp"
 #include "ec/fixed_base.hpp"
+#include "ec/verify_table.hpp"
 #include "ecdsa/rfc6979.hpp"
 
 namespace ecqv::sig {
@@ -81,26 +82,51 @@ Signature PrivateKey::sign_randomized(ByteView message, rng::Rng& rng) const {
   }
 }
 
-bool verify_digest(const ec::AffinePoint& q, const hash::Digest& digest, const Signature& sig) {
+namespace {
+
+// Shared scalar-side preamble of verification: range checks and
+// u1 = e/s, u2 = r/s. Returns false for malformed signatures.
+bool verify_scalars(const hash::Digest& digest, const Signature& sig, bi::U256& u1,
+                    bi::U256& u2) {
   const auto& fn = curve().fn();
   const bi::U256& n = curve().order();
   if (sig.r.is_zero() || sig.s.is_zero()) return false;
   if (bi::cmp(sig.r, n) >= 0 || bi::cmp(sig.s, n) >= 0) return false;
-  if (q.infinity || !curve().is_on_curve(q)) return false;
-
   const bi::U256 e = digest_to_scalar(digest);
   count_op(Op::kModInv);
   // s is public: the variable-time gcd inverse is safe (and much faster
   // than the Fermat ladder). The final x == r check runs in projective
   // form inside dual_mul_checks_r, avoiding a field inversion entirely.
   const bi::U256 w = fn.inv_vartime(fn.to_mont(sig.s));
-  const bi::U256 u1 = fn.from_mont(fn.mul(fn.to_mont(e), w));
-  const bi::U256 u2 = fn.from_mont(fn.mul(fn.to_mont(sig.r), w));
+  u1 = fn.from_mont(fn.mul(fn.to_mont(e), w));
+  u2 = fn.from_mont(fn.mul(fn.to_mont(sig.r), w));
+  return true;
+}
+
+}  // namespace
+
+bool verify_digest(const ec::AffinePoint& q, const hash::Digest& digest, const Signature& sig) {
+  if (q.infinity || !curve().is_on_curve(q)) return false;
+  bi::U256 u1, u2;
+  if (!verify_scalars(digest, sig, u1, u2)) return false;
   return curve().dual_mul_checks_r(u1, u2, q, sig.r);
 }
 
 bool verify(const ec::AffinePoint& q, ByteView message, const Signature& sig) {
   return verify_digest(q, hash::sha256(message), sig);
+}
+
+bool verify_digest(const ec::VerifyTable& q_table, const hash::Digest& digest,
+                   const Signature& sig) {
+  // The table build already validated the point (on-curve, not infinity).
+  if (q_table.empty()) return false;
+  bi::U256 u1, u2;
+  if (!verify_scalars(digest, sig, u1, u2)) return false;
+  return curve().dual_mul_checks_r(u1, u2, q_table, sig.r);
+}
+
+bool verify(const ec::VerifyTable& q_table, ByteView message, const Signature& sig) {
+  return verify_digest(q_table, hash::sha256(message), sig);
 }
 
 }  // namespace ecqv::sig

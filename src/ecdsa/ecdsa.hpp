@@ -60,4 +60,12 @@ class PrivateKey {
 [[nodiscard]] bool verify_digest(const ec::AffinePoint& q, const hash::Digest& digest,
                                  const Signature& sig);
 
+/// Cached-table variants for session workloads: `q_table` was built once
+/// per peer (ec::VerifyTable::build), so repeat verifications skip the
+/// wNAF table construction and its field inversion (~15% of a verify).
+/// The table build validated the point; an empty table always rejects.
+[[nodiscard]] bool verify(const ec::VerifyTable& q_table, ByteView message, const Signature& sig);
+[[nodiscard]] bool verify_digest(const ec::VerifyTable& q_table, const hash::Digest& digest,
+                                 const Signature& sig);
+
 }  // namespace ecqv::sig

@@ -1,5 +1,8 @@
 #include "ecqv/scheme.hpp"
+
+#include "common/metrics.hpp"
 #include "ec/fixed_base.hpp"
+#include "ec/jacobian.hpp"
 
 namespace ecqv::cert {
 
@@ -47,6 +50,75 @@ Result<ec::AffinePoint> extract_public_key(const Certificate& certificate,
   const ec::AffinePoint qu = curve().add(epu, q_ca);
   if (qu.infinity) return Error::kInvalidPoint;
   return qu;
+}
+
+std::vector<Result<ec::AffinePoint>> extract_public_keys(
+    const std::vector<Certificate>& certificates, const ec::AffinePoint& q_ca) {
+  const ec::Curve& c = curve();
+  const ec::CurveOps& o = c.ops();
+
+  std::vector<Result<ec::AffinePoint>> out;
+  out.reserve(certificates.size());
+  if (q_ca.infinity || !c.is_on_curve(q_ca)) {
+    out.assign(certificates.size(), Error::kInvalidPoint);
+    return out;
+  }
+  const ec::CurveOps::AffineM ca_mont{c.fp().to_mont(q_ca.x), c.fp().to_mont(q_ca.y)};
+
+  // Phase 1: every valid certificate's odd-multiple table of P_U in
+  // Jacobian form, normalized together with ONE shared inversion (the
+  // single-cert path pays one inversion per certificate here).
+  constexpr std::size_t kTabSize = ec::CurveOps::kVarTableSize;
+  std::vector<ec::CurveOps::JPoint> jtabs;
+  jtabs.reserve(certificates.size() * kTabSize);
+  std::vector<std::size_t> valid;  // certificate index per table slot
+  for (std::size_t i = 0; i < certificates.size(); ++i) {
+    const ec::AffinePoint& pu = certificates[i].reconstruction_point;
+    if (pu.infinity || !c.is_on_curve(pu)) continue;
+    const std::size_t base = jtabs.size();
+    jtabs.resize(base + kTabSize);
+    o.odd_multiples(o.to_jacobian(pu), jtabs.data() + base, kTabSize);
+    valid.push_back(i);
+  }
+  std::vector<ec::CurveOps::AffineM> tables(jtabs.size());
+  if (!jtabs.empty())
+    o.batch_to_affine(jtabs.data(), tables.data(), jtabs.size(), /*vartime=*/true);
+
+  // Phase 2: eq. (1) per certificate — the wNAF loop over its table plus
+  // the mixed addition with Q_CA — still deferring every affine conversion.
+  std::vector<ec::CurveOps::JPoint> jac;
+  jac.reserve(valid.size());
+  std::vector<std::size_t> slot_to_out;
+  std::size_t next_valid = 0;
+  for (std::size_t i = 0; i < certificates.size(); ++i) {
+    if (next_valid >= valid.size() || valid[next_valid] != i) {
+      out.push_back(Error::kInvalidPoint);
+      continue;
+    }
+    const ec::CurveOps::AffineM* table = tables.data() + next_valid * kTabSize;
+    ++next_valid;
+    count_op(Op::kEcMulVar);
+    count_op(Op::kEcAdd);
+    const bi::U256 e = cert_hash_scalar(certificates[i]);
+    const ec::CurveOps::JPoint qu =
+        o.madd(o.wnaf_mul_tab(e, table, ec::CurveOps::kVarWnafWidth), ca_mont);
+    if (qu.is_infinity()) {  // e*P_U == -Q_CA: same rejection as the single path
+      out.push_back(Error::kInvalidPoint);
+      continue;
+    }
+    slot_to_out.push_back(out.size());
+    out.push_back(ec::AffinePoint{});
+    jac.push_back(qu);
+  }
+  if (jac.empty()) return out;
+
+  // ONE shared inversion normalizes the whole batch (public values).
+  std::vector<ec::CurveOps::AffineM> affine(jac.size());
+  o.batch_to_affine(jac.data(), affine.data(), jac.size(), /*vartime=*/true);
+  for (std::size_t i = 0; i < affine.size(); ++i)
+    out[slot_to_out[i]] = ec::AffinePoint{c.fp().from_mont(affine[i].x),
+                                          c.fp().from_mont(affine[i].y), false};
+  return out;
 }
 
 }  // namespace ecqv::cert

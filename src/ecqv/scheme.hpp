@@ -21,6 +21,8 @@
 //   Q_U = Hn(Cert_U)·P_U + Q_CA       (paper eq. (1))
 #pragma once
 
+#include <vector>
+
 #include "common/result.hpp"
 #include "ec/curve.hpp"
 #include "ecqv/certificate.hpp"
@@ -60,5 +62,15 @@ Result<ReconstructedKey> reconstruct_private_key(const Certificate& certificate,
 /// makes the certificate "implicit". Validates the reconstruction point.
 Result<ec::AffinePoint> extract_public_key(const Certificate& certificate,
                                            const ec::AffinePoint& q_ca);
+
+/// Batch public key extraction for fleet workloads: computes every
+/// certificate's e·P_U + Q_CA in Jacobian form and normalizes the whole
+/// batch to affine with ONE shared field inversion (Montgomery's trick)
+/// instead of the two per-certificate inversions the single-cert path pays.
+/// Results are per-certificate so one malformed certificate cannot poison
+/// the batch; entry i corresponds to certificates[i] and matches
+/// extract_public_key(certificates[i], q_ca) exactly.
+std::vector<Result<ec::AffinePoint>> extract_public_keys(
+    const std::vector<Certificate>& certificates, const ec::AffinePoint& q_ca);
 
 }  // namespace ecqv::cert

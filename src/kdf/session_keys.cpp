@@ -38,4 +38,16 @@ SessionKeys derive_session_keys(ByteView secret, ByteView salt, ByteView info_la
   return keys;
 }
 
+SessionKeys ratchet_session_keys(const SessionKeys& keys, std::uint32_t next_epoch) {
+  // IKM is the full current hierarchy so no single sub-key determines the
+  // next epoch; the epoch index in the salt pins the chain position.
+  Bytes ikm = concat({ByteView(keys.enc_key), ByteView(keys.mac_key), ByteView(keys.iv_seed)});
+  Bytes salt = bytes_of("epoch");
+  salt.resize(salt.size() + 4);
+  store_be32(ByteSpan(salt).subspan(salt.size() - 4), next_epoch);
+  SessionKeys next = derive_session_keys(ikm, salt, bytes_of("ecqv-epoch-ratchet-v1"));
+  secure_wipe(ikm);
+  return next;
+}
+
 }  // namespace ecqv::kdf

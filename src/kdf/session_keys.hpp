@@ -40,4 +40,18 @@ SessionKeys derive_session_keys(const ec::AffinePoint& premaster, ByteView salt,
 /// pairwise keys).
 SessionKeys derive_session_keys(ByteView secret, ByteView salt, ByteView info_label);
 
+/// Epoch ratchet for cheap dynamic-session resumption:
+///
+///   KS_{i+1} = HKDF(KS_i, "epoch" || i+1)
+///
+/// A spent record/age budget advances the epoch instead of re-running the
+/// full STS handshake: both peers derive the next key hierarchy from the
+/// current one and wipe the old keys, so each epoch is forward secure with
+/// respect to the previous one (HKDF is one-way) at the cost of a few
+/// HMAC-SHA256 compressions instead of four scalar multiplications.
+/// `next_epoch` is the 1-based index of the epoch being entered; feeding it
+/// to the KDF domain-separates the chain so replaying an announcement
+/// cannot re-derive an earlier epoch.
+SessionKeys ratchet_session_keys(const SessionKeys& keys, std::uint32_t next_epoch);
+
 }  // namespace ecqv::kdf

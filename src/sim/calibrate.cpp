@@ -14,7 +14,10 @@ struct Mass {
 };
 
 Mass weighted_mass(const OpCounts& counts) {
-  const auto& w = reference_weights();
+  // Table I was measured on paper-class MCUs: always fit against the
+  // embedded ratio profile (see ReferenceWeights::embedded()), never the
+  // native fast-path one.
+  const auto& w = ReferenceWeights::embedded();
   Mass m;
   for (std::size_t i = 0; i < kOpCount; ++i) {
     const Op op = static_cast<Op>(i);
@@ -104,6 +107,7 @@ DeviceFit fit_device(std::string device_label, const std::vector<CalibrationRow>
   fit.model.name = std::move(device_label);
   fit.model.ec_factor_ms = alpha;
   fit.model.sym_factor_ms = beta;
+  fit.model.weights = &ReferenceWeights::embedded();  // fitted in that basis
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const double predicted = alpha * masses[i].ec + beta * masses[i].sym;
     fit.predicted_ms.push_back(predicted);

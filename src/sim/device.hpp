@@ -21,14 +21,29 @@
 
 namespace ecqv::sim {
 
-/// Per-primitive relative weights of this library's implementation,
-/// measured natively (see bench/bench_primitives_native.cpp; values are the
-/// dev-machine medians, units: one ladder scalar-mult = 1.0). They pin the
-/// *ratios* between primitives; calibration scales the EC and symmetric
-/// groups per device.
+/// Per-primitive relative weights (units: one ladder scalar-mult = 1.0).
+/// They pin the *ratios* between primitives; calibration scales the EC and
+/// symmetric groups per device. Two profiles exist because the fast path
+/// changed this library's ratios in ways a paper-class MCU cannot follow:
+///
+///  * native()   — the PR-1 fast path, measured on the dev machine
+///    (committed BENCH_primitives.json / BENCH_fleet.json). Fixed-base
+///    comb at 0.17x a ladder mult, vartime-gcd inversions, split-table
+///    cached verifies. Use for native throughput prediction.
+///  * embedded() — paper-class microcontroller ratios (the seed
+///    implementation's measured spread). The comb's 33 KiB table does not
+///    even fit the ATmega2560's 8 KiB of RAM, so on the paper's boards a
+///    fixed-base mult costs a full ladder mult and inversions are Fermat
+///    ladders. Table I calibration MUST use this profile — fitting the
+///    paper's measurements with fast-path ratios is a category error.
 struct ReferenceWeights {
   std::array<double, kOpCount> weight{};
-  ReferenceWeights();
+  ReferenceWeights();  // constructs the native() fast-path profile
+
+  /// PR-1 fast-path profile (the process-wide default).
+  static const ReferenceWeights& native();
+  /// Paper-class embedded profile (Table I calibration).
+  static const ReferenceWeights& embedded();
 
   [[nodiscard]] double operator[](Op op) const {
     return weight[static_cast<std::size_t>(op)];
@@ -43,6 +58,9 @@ struct DeviceModel {
   std::string name;
   double ec_factor_ms = 1.0;   // ms per unit EC weight
   double sym_factor_ms = 1.0;  // ms per unit symmetric weight
+  /// Weight profile this model prices against; null means the native
+  /// fast-path profile. Calibrated paper devices point at embedded().
+  const ReferenceWeights* weights = nullptr;
 
   /// Predicted milliseconds for a counted workload.
   [[nodiscard]] double time_ms(const OpCounts& counts) const;
@@ -51,7 +69,7 @@ struct DeviceModel {
   [[nodiscard]] double op_cost_ms(Op op) const;
 };
 
-/// The global reference weights instance.
+/// The global reference weights instance: the native fast-path profile.
 const ReferenceWeights& reference_weights();
 
 }  // namespace ecqv::sim

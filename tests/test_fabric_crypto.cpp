@@ -1,0 +1,257 @@
+// Crypto layers under the session fabric: epoch-ratchet key derivation,
+// batch ECQV public-key extraction (shared-inversion), and cached per-peer
+// verification tables — each pinned against its single-shot reference path.
+#include <gtest/gtest.h>
+
+#include "core/peer_cache.hpp"
+#include "ec/verify_table.hpp"
+#include "ecdsa/ecdsa.hpp"
+#include "ecqv/ca.hpp"
+#include "kdf/session_keys.hpp"
+#include "protocol_fixture.hpp"
+
+namespace ecqv {
+namespace {
+
+using testing::kLifetime;
+using testing::kNow;
+
+kdf::SessionKeys keys_for(std::string_view tag) {
+  return kdf::derive_session_keys(bytes_of(std::string(tag)), bytes_of("salt"),
+                                  bytes_of("fabric-crypto-test"));
+}
+
+// ------------------------------------------------------------ epoch ratchet
+
+TEST(EpochRatchet, DerivesDistinctKeysPerEpoch) {
+  const kdf::SessionKeys ks0 = keys_for("ratchet");
+  const kdf::SessionKeys ks1 = kdf::ratchet_session_keys(ks0, 1);
+  const kdf::SessionKeys ks2 = kdf::ratchet_session_keys(ks1, 2);
+  EXPECT_NE(ks0, ks1);
+  EXPECT_NE(ks1, ks2);
+  EXPECT_NE(ks0, ks2);
+  // Every sub-key must change: the ratchet rolls the whole hierarchy.
+  EXPECT_NE(ks0.enc_key, ks1.enc_key);
+  EXPECT_NE(ks0.mac_key, ks1.mac_key);
+  EXPECT_NE(ks0.iv_seed, ks1.iv_seed);
+}
+
+TEST(EpochRatchet, DeterministicAndEpochBound) {
+  const kdf::SessionKeys ks0 = keys_for("ratchet");
+  // Both peers advancing from the same state agree...
+  EXPECT_EQ(kdf::ratchet_session_keys(ks0, 1), kdf::ratchet_session_keys(ks0, 1));
+  // ...but the epoch index domain-separates the chain position.
+  EXPECT_NE(kdf::ratchet_session_keys(ks0, 1), kdf::ratchet_session_keys(ks0, 2));
+}
+
+TEST(EpochRatchet, ChainIsOrderSensitive) {
+  // Two epochs of ratcheting differ from one (no shortcut across epochs).
+  const kdf::SessionKeys ks0 = keys_for("chain");
+  const kdf::SessionKeys two_steps =
+      kdf::ratchet_session_keys(kdf::ratchet_session_keys(ks0, 1), 2);
+  EXPECT_NE(two_steps, kdf::ratchet_session_keys(ks0, 2));
+}
+
+// ------------------------------------------------- batch public key extract
+
+std::vector<cert::Certificate> issue_fleet(cert::CertificateAuthority& ca, std::size_t n,
+                                           std::uint64_t seed) {
+  rng::TestRng rng(seed);
+  std::vector<cert::Certificate> certs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto enrollment =
+        ca.enroll(cert::DeviceId::from_string("node-" + std::to_string(i)), kNow, kLifetime, rng);
+    EXPECT_TRUE(enrollment.ok());
+    certs.push_back(enrollment->certificate);
+  }
+  return certs;
+}
+
+TEST(BatchExtract, MatchesSingleCertificatePath) {
+  testing::World world;
+  auto certs = issue_fleet(world.ca, 17, 9001);  // odd count: exercises tail
+  const auto batch = cert::extract_public_keys(certs, world.ca.public_key());
+  ASSERT_EQ(batch.size(), certs.size());
+  for (std::size_t i = 0; i < certs.size(); ++i) {
+    const auto single = cert::extract_public_key(certs[i], world.ca.public_key());
+    ASSERT_TRUE(single.ok());
+    ASSERT_TRUE(batch[i].ok()) << i;
+    EXPECT_EQ(batch[i].value(), single.value()) << i;
+  }
+}
+
+TEST(BatchExtract, SharesOneInversionAcrossTheBatch) {
+  testing::World world;
+  auto certs = issue_fleet(world.ca, 8, 9002);
+  OpCounts single_counts, batch_counts;
+  {
+    CountScope scope;
+    for (const auto& c : certs) (void)cert::extract_public_key(c, world.ca.public_key());
+    single_counts = scope.counts();
+  }
+  {
+    CountScope scope;
+    (void)cert::extract_public_keys(certs, world.ca.public_key());
+    batch_counts = scope.counts();
+  }
+  // Single path: >= 2 inversions per certificate (wNAF table + affine
+  // conversions). Batch path: ONE shared inversion for all the wNAF tables
+  // plus ONE for the final result normalization — regardless of fleet size.
+  EXPECT_GE(single_counts[Op::kModInv], 2 * certs.size());
+  EXPECT_EQ(batch_counts[Op::kModInv], 2u);
+  EXPECT_LT(batch_counts[Op::kFpMul], single_counts[Op::kFpMul]);
+}
+
+TEST(BatchExtract, BadCertificateDoesNotPoisonTheBatch) {
+  testing::World world;
+  auto certs = issue_fleet(world.ca, 4, 9003);
+  certs[1].reconstruction_point.y = bi::U256(12345);  // off curve
+  const auto batch = cert::extract_public_keys(certs, world.ca.public_key());
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_FALSE(batch[1].ok());
+  EXPECT_EQ(batch[1].error(), Error::kInvalidPoint);
+  EXPECT_TRUE(batch[2].ok());
+  EXPECT_TRUE(batch[3].ok());
+  EXPECT_EQ(batch[3].value(),
+            cert::extract_public_key(certs[3], world.ca.public_key()).value());
+}
+
+TEST(BatchExtract, EmptyAndInvalidCaInputs) {
+  testing::World world;
+  EXPECT_TRUE(cert::extract_public_keys({}, world.ca.public_key()).empty());
+  auto certs = issue_fleet(world.ca, 2, 9004);
+  const auto batch = cert::extract_public_keys(certs, ec::AffinePoint::make_infinity());
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].error(), Error::kInvalidPoint);
+  EXPECT_EQ(batch[1].error(), Error::kInvalidPoint);
+}
+
+// ------------------------------------------------- cached verification table
+
+TEST(VerifyTable, CachedVerifyMatchesUncached) {
+  rng::TestRng rng(777);
+  const sig::PrivateKey key = sig::PrivateKey::generate(rng);
+  const ec::AffinePoint q = key.public_point();
+  const auto table = ec::VerifyTable::build(q);
+  ASSERT_TRUE(table.ok());
+
+  for (int i = 0; i < 8; ++i) {
+    const Bytes msg = bytes_of("record-" + std::to_string(i));
+    const sig::Signature signature = key.sign(msg);
+    EXPECT_TRUE(sig::verify(q, msg, signature));
+    EXPECT_TRUE(sig::verify(table.value(), msg, signature));
+    // Tampered message must fail on both paths identically.
+    const Bytes bad = bytes_of("record-" + std::to_string(i) + "!");
+    EXPECT_FALSE(sig::verify(q, bad, signature));
+    EXPECT_FALSE(sig::verify(table.value(), bad, signature));
+  }
+}
+
+TEST(VerifyTable, RejectsForgedAndMalformedSignatures) {
+  rng::TestRng rng(778);
+  const sig::PrivateKey key = sig::PrivateKey::generate(rng);
+  const sig::PrivateKey other = sig::PrivateKey::generate(rng);
+  const auto table = ec::VerifyTable::build(key.public_point());
+  ASSERT_TRUE(table.ok());
+  const Bytes msg = bytes_of("authentic");
+  EXPECT_FALSE(sig::verify(table.value(), msg, other.sign(msg)));  // wrong key
+  sig::Signature zero{bi::U256(0), bi::U256(0)};
+  EXPECT_FALSE(sig::verify(table.value(), msg, zero));
+  EXPECT_FALSE(sig::verify(ec::VerifyTable{}, msg, key.sign(msg)));  // empty table
+}
+
+TEST(VerifyTable, BuildValidatesThePoint) {
+  EXPECT_FALSE(ec::VerifyTable::build(ec::AffinePoint::make_infinity()).ok());
+  ec::AffinePoint off{bi::U256(2), bi::U256(3), false};
+  EXPECT_FALSE(ec::VerifyTable::build(off).ok());
+}
+
+TEST(VerifyTable, BatchBuildMatchesSingleBuilds) {
+  rng::TestRng rng(779);
+  std::vector<ec::AffinePoint> points;
+  for (int i = 0; i < 5; ++i) points.push_back(sig::PrivateKey::generate(rng).public_point());
+  points.push_back(ec::AffinePoint::make_infinity());  // bad slot mid-batch
+  auto tables = ec::VerifyTable::build_batch(points);
+  ASSERT_EQ(tables.size(), 6u);
+  EXPECT_FALSE(tables[5].ok());
+  const hash::Digest digest = hash::sha256(bytes_of("batch"));
+  rng::TestRng rng2(779);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tables[i].ok()) << i;
+    const sig::PrivateKey key = sig::PrivateKey::generate(rng2);
+    const sig::Signature signature = key.sign_digest(digest);
+    EXPECT_TRUE(sig::verify_digest(tables[i].value(), digest, signature)) << i;
+  }
+}
+
+TEST(VerifyTable, CachedPathSkipsTableBuildWork) {
+  rng::TestRng rng(780);
+  const sig::PrivateKey key = sig::PrivateKey::generate(rng);
+  const ec::AffinePoint q = key.public_point();
+  const auto table = ec::VerifyTable::build(q);
+  const Bytes msg = bytes_of("hot-path");
+  const sig::Signature signature = key.sign(msg);
+  OpCounts uncached, cached;
+  {
+    CountScope scope;
+    ASSERT_TRUE(sig::verify(q, msg, signature));
+    uncached = scope.counts();
+  }
+  {
+    CountScope scope;
+    ASSERT_TRUE(sig::verify(table.value(), msg, signature));
+    cached = scope.counts();
+  }
+  EXPECT_EQ(uncached[Op::kEcMulDual], 1u);
+  EXPECT_EQ(cached[Op::kEcMulDual], 0u);
+  EXPECT_EQ(cached[Op::kEcMulDualCached], 1u);
+  // No table build: the cached path loses an inversion and ~the table's
+  // worth of field multiplications.
+  EXPECT_LT(cached[Op::kModInv], uncached[Op::kModInv]);
+  EXPECT_LT(cached[Op::kFpMul], uncached[Op::kFpMul]);
+}
+
+// ------------------------------------------------------------ peer key cache
+
+TEST(PeerKeyCache, HitsAfterFirstExtractionAndTracksRotation) {
+  testing::World world;
+  proto::PeerKeyCache cache(8);
+  const auto q_ca = world.ca.public_key();
+
+  auto first = cache.get(world.alice.certificate, q_ca);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value()->public_key, world.alice.public_key);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  auto second = cache.get(world.alice.certificate, q_ca);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Certificate rotation: same subject, new cert -> entry replaced.
+  rng::TestRng rng(881);
+  const auto rotated = proto::provision_device(world.ca, world.alice.id, kNow + 10, kLifetime, rng);
+  auto third = cache.get(rotated.certificate, q_ca);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value()->public_key, rotated.public_key);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PeerKeyCache, PrewarmBatchesTheFleetAndBoundsCapacity) {
+  testing::World world;
+  auto certs = issue_fleet(world.ca, 6, 9005);
+  proto::PeerKeyCache cache(4);  // smaller than the fleet
+  EXPECT_EQ(cache.prewarm(certs, world.ca.public_key()), 6u);
+  EXPECT_EQ(cache.size(), 4u);  // LRU-bounded
+  EXPECT_GE(cache.stats().evictions, 2u);
+  // Cached entries verify certificates correctly.
+  auto entry = cache.get(certs.back(), world.ca.public_key());
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value()->public_key,
+            cert::extract_public_key(certs.back(), world.ca.public_key()).value());
+}
+
+}  // namespace
+}  // namespace ecqv

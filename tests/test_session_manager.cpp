@@ -90,7 +90,19 @@ TEST(SessionManager, IndependentPeers) {
   EXPECT_TRUE(manager.seal(kPeer, bytes_of("m"), kT0).ok());
   EXPECT_TRUE(manager.needs_rekey(kPeer, kT0));   // budget spent
   EXPECT_FALSE(manager.needs_rekey(other, kT0));  // untouched
-  EXPECT_EQ(manager.active_sessions(), 2u);
+  // The spent session was wiped and evicted the moment it was touched —
+  // dead sessions no longer linger in the store inflating the count.
+  EXPECT_EQ(manager.active_sessions(), 1u);
+}
+
+TEST(SessionManager, DeadSessionsEvictedOnTouch) {
+  // Expired/budget-exhausted sessions must not linger until reinstall:
+  // any lookup that sees a dead session wipes and removes it.
+  SessionManager manager(Role::kInitiator, RekeyPolicy{UINT64_MAX, 60});
+  manager.install(kPeer, keys_for("s8"), kT0);
+  EXPECT_EQ(manager.active_sessions(), 1u);
+  EXPECT_TRUE(manager.needs_rekey(kPeer, kT0 + 61));  // aged out → evicted
+  EXPECT_EQ(manager.active_sessions(), 0u);
 }
 
 TEST(SessionManager, ClockRegressionForcesRekey) {

@@ -1,0 +1,188 @@
+// Sharded session store: LRU eviction order, capacity bounds, dead-session
+// reclamation (the lingering fix), epoch ratcheting and sweeps.
+#include <gtest/gtest.h>
+
+#include "core/session_store.hpp"
+#include "kdf/session_keys.hpp"
+
+namespace ecqv::proto {
+namespace {
+
+constexpr std::uint64_t kT0 = 1700000000;
+
+kdf::SessionKeys keys_for(std::string_view tag) {
+  return kdf::derive_session_keys(bytes_of(std::string(tag)), bytes_of("salt"),
+                                  bytes_of("session-store-test"));
+}
+
+cert::DeviceId peer(int i) { return cert::DeviceId::from_string("peer-" + std::to_string(i)); }
+
+SessionStore::Config config(std::size_t capacity, std::size_t shards = 1,
+                            RekeyPolicy policy = RekeyPolicy::unlimited(),
+                            std::uint32_t max_epochs = 8) {
+  return SessionStore::Config{policy, capacity, shards, max_epochs};
+}
+
+TEST(SessionStore, LruEvictionOrderIsExact) {
+  // One shard => exact global LRU order.
+  SessionStore store(Role::kInitiator, config(3));
+  for (int i = 0; i < 3; ++i) store.install(peer(i), keys_for("k" + std::to_string(i)), kT0);
+  EXPECT_EQ(store.active_sessions(), 3u);
+
+  // Touch peer 0 so peer 1 becomes least recently used.
+  EXPECT_TRUE(store.seal(peer(0), bytes_of("m"), kT0).ok());
+  store.install(peer(3), keys_for("k3"), kT0);  // forces one eviction
+  EXPECT_EQ(store.active_sessions(), 3u);
+  EXPECT_EQ(store.stats().capacity_evictions, 1u);
+  EXPECT_TRUE(store.needs_rekey(peer(1), kT0));   // the LRU victim
+  EXPECT_FALSE(store.needs_rekey(peer(0), kT0));  // survived (was touched)
+  EXPECT_FALSE(store.needs_rekey(peer(2), kT0));
+  EXPECT_FALSE(store.needs_rekey(peer(3), kT0));
+}
+
+TEST(SessionStore, CapacityBoundHoldsUnderChurn) {
+  SessionStore store(Role::kInitiator, config(16, /*shards=*/4));
+  for (int i = 0; i < 200; ++i) {
+    store.install(peer(i), keys_for("churn" + std::to_string(i)), kT0);
+    EXPECT_LE(store.active_sessions(), 16u);
+  }
+  EXPECT_EQ(store.active_sessions(), 16u);
+  EXPECT_EQ(store.stats().capacity_evictions, 200u - 16u);
+}
+
+TEST(SessionStore, SealOpenRoundTripAcrossStores) {
+  SessionStore a(Role::kInitiator, config(8));
+  SessionStore b(Role::kResponder, config(8));
+  const auto keys = keys_for("pair");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+  auto record = a.seal(peer(1), bytes_of("telemetry"), kT0);
+  ASSERT_TRUE(record.ok());
+  auto opened = b.open(peer(1), record.value(), kT0);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), bytes_of("telemetry"));
+}
+
+TEST(SessionStore, DeadSessionsReclaimedOnLookupAndSweep) {
+  // Age-expired sessions are wiped on the next touch (no lingering), and
+  // sweep() reclaims the rest in bulk without waiting for peer traffic.
+  SessionStore store(Role::kInitiator, config(64, 4, RekeyPolicy{UINT64_MAX, 60}));
+  for (int i = 0; i < 10; ++i) store.install(peer(i), keys_for("d" + std::to_string(i)), kT0);
+  EXPECT_EQ(store.active_sessions(), 10u);
+
+  EXPECT_TRUE(store.needs_rekey(peer(0), kT0 + 61));  // touch evicts
+  EXPECT_EQ(store.active_sessions(), 9u);
+  EXPECT_EQ(store.sweep(kT0 + 61), 9u);  // bulk sweep reclaims the rest
+  EXPECT_EQ(store.active_sessions(), 0u);
+  EXPECT_EQ(store.stats().dead_evictions, 10u);
+}
+
+TEST(SessionStore, SpentBudgetWithoutRatchetBudgetIsDead) {
+  // max_epochs = 0 disables resumption: a spent session dies on touch.
+  SessionStore store(Role::kInitiator, config(8, 1, RekeyPolicy{2, UINT64_MAX}, 0));
+  store.install(peer(1), keys_for("spend"), kT0);
+  (void)store.seal(peer(1), bytes_of("m"), kT0);
+  (void)store.seal(peer(1), bytes_of("m"), kT0);
+  EXPECT_TRUE(store.needs_rekey(peer(1), kT0));
+  EXPECT_EQ(store.active_sessions(), 0u);
+  EXPECT_EQ(store.stats().dead_evictions, 1u);
+}
+
+TEST(SessionStore, RatchetResumesSpentSession) {
+  SessionStore a(Role::kInitiator, config(8, 1, RekeyPolicy{2, UINT64_MAX}, 8));
+  SessionStore b(Role::kResponder, config(8, 1, RekeyPolicy{2, UINT64_MAX}, 8));
+  const auto keys = keys_for("resume");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+  (void)a.seal(peer(1), bytes_of("m1"), kT0);
+  (void)a.seal(peer(1), bytes_of("m2"), kT0);
+  EXPECT_TRUE(a.needs_rekey(peer(1), kT0));        // budget spent...
+  EXPECT_TRUE(a.can_ratchet(peer(1), kT0));        // ...but resumable
+  EXPECT_EQ(a.active_sessions(), 1u);              // stays resident
+
+  auto ea = a.ratchet(peer(1), kT0 + 1);
+  auto eb = b.ratchet(peer(1), kT0 + 1);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(ea.value(), 1u);
+  EXPECT_EQ(eb.value(), 1u);
+
+  // Both sides advanced to the same epoch keys: records flow again.
+  auto record = a.seal(peer(1), bytes_of("epoch1"), kT0 + 1);
+  ASSERT_TRUE(record.ok());
+  auto opened = b.open(peer(1), record.value(), kT0 + 1);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), bytes_of("epoch1"));
+}
+
+TEST(SessionStore, RatchetDivergenceAndWipe) {
+  // Keys must diverge across epochs: a record sealed under epoch 0 cannot
+  // open after the peer ratcheted to epoch 1 (old keys are gone).
+  SessionStore a(Role::kInitiator, config(8));
+  SessionStore b(Role::kResponder, config(8));
+  const auto keys = keys_for("diverge");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+  auto old_record = a.seal(peer(1), bytes_of("old"), kT0);
+  ASSERT_TRUE(old_record.ok());
+  ASSERT_TRUE(b.ratchet(peer(1), kT0).ok());
+  EXPECT_FALSE(b.open(peer(1), old_record.value(), kT0).ok());
+}
+
+TEST(SessionStore, RatchetBudgetEscalatesToFullRekey) {
+  SessionStore store(Role::kInitiator, config(8, 1, RekeyPolicy::unlimited(), 2));
+  store.install(peer(1), keys_for("esc"), kT0);
+  EXPECT_TRUE(store.ratchet(peer(1), kT0).ok());  // epoch 1
+  EXPECT_TRUE(store.ratchet(peer(1), kT0).ok());  // epoch 2
+  EXPECT_FALSE(store.can_ratchet(peer(1), kT0));  // budget exhausted
+  EXPECT_EQ(store.ratchet(peer(1), kT0).error(), Error::kBadState);
+  // Fresh install re-anchors at epoch 0.
+  store.install(peer(1), keys_for("esc2"), kT0);
+  EXPECT_EQ(store.epoch(peer(1)), std::optional<std::uint32_t>(0u));
+  EXPECT_TRUE(store.can_ratchet(peer(1), kT0));
+}
+
+TEST(SessionStore, RatchetResetsBudgetsAndSequenceNumbers) {
+  SessionStore a(Role::kInitiator, config(8, 1, RekeyPolicy{3, UINT64_MAX}, 8));
+  SessionStore b(Role::kResponder, config(8, 1, RekeyPolicy{3, UINT64_MAX}, 8));
+  const auto keys = keys_for("seq");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+  for (int i = 0; i < 3; ++i) {
+    auto r = a.seal(peer(1), bytes_of("x"), kT0);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(b.open(peer(1), r.value(), kT0).ok());
+  }
+  ASSERT_TRUE(a.ratchet(peer(1), kT0).ok());
+  ASSERT_TRUE(b.ratchet(peer(1), kT0).ok());
+  // Fresh channel: sequence numbers restart under the new keys on both
+  // ends and the record budget is whole again.
+  for (int i = 0; i < 3; ++i) {
+    auto r = a.seal(peer(1), bytes_of("y"), kT0);
+    ASSERT_TRUE(r.ok()) << i;
+    ASSERT_TRUE(b.open(peer(1), r.value(), kT0).ok()) << i;
+  }
+}
+
+TEST(SessionStore, ShardedLookupsStayIndependent) {
+  SessionStore store(Role::kInitiator, config(256, 16));
+  for (int i = 0; i < 128; ++i) store.install(peer(i), keys_for("s" + std::to_string(i)), kT0);
+  EXPECT_EQ(store.active_sessions(), 128u);
+  for (int i = 0; i < 128; ++i) {
+    auto record = store.seal(peer(i), bytes_of("ping"), kT0);
+    EXPECT_TRUE(record.ok()) << i;
+  }
+  store.retire(peer(42));
+  EXPECT_EQ(store.active_sessions(), 127u);
+  EXPECT_TRUE(store.needs_rekey(peer(42), kT0));
+  EXPECT_FALSE(store.needs_rekey(peer(43), kT0));
+}
+
+TEST(SessionStore, ClockRegressionForcesRekey) {
+  SessionStore store(Role::kInitiator, config(8));
+  store.install(peer(1), keys_for("clock"), kT0);
+  EXPECT_TRUE(store.needs_rekey(peer(1), kT0 - 1));
+}
+
+}  // namespace
+}  // namespace ecqv::proto

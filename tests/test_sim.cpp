@@ -30,6 +30,34 @@ TEST(Device, OpCostSplitsByGroup) {
   EXPECT_DOUBLE_EQ(dev.op_cost_ms(Op::kAesBlock), 1.0 * reference_weights()[Op::kAesBlock]);
 }
 
+TEST(Device, WeightProfilesReflectTheFastPath) {
+  // The default (native) profile carries the PR-1 fast-path ratios: the
+  // signed-digit comb makes fixed-base mults ~6x cheaper than the ladder,
+  // and cached split-table dual mults undercut the transient Straus path.
+  const ReferenceWeights& native = ReferenceWeights::native();
+  EXPECT_EQ(&reference_weights(), &native);
+  EXPECT_NEAR(native[Op::kEcMulBase], 0.17, 0.02);
+  EXPECT_NEAR(native[Op::kEcMulDual], 0.67, 0.05);
+  EXPECT_LT(native[Op::kEcMulDualCached], native[Op::kEcMulDual]);
+
+  // The embedded profile keeps paper-class MCU ratios (no comb tables in
+  // 8 KiB of RAM): fixed-base == ladder. Table I calibration depends on it.
+  const ReferenceWeights& embedded = ReferenceWeights::embedded();
+  EXPECT_DOUBLE_EQ(embedded[Op::kEcMulBase], 1.00);
+  EXPECT_GT(embedded[Op::kModInv], native[Op::kModInv]);
+
+  // A calibrated paper device prices in the embedded basis: the same
+  // factors applied to native weights would under-price fixed-base work.
+  DeviceModel paper_dev{"paper", 5.0, 1.0, &embedded};
+  DeviceModel native_dev{"native", 5.0, 1.0};
+  EXPECT_GT(paper_dev.op_cost_ms(Op::kEcMulBase), native_dev.op_cost_ms(Op::kEcMulBase));
+}
+
+TEST(Calibrate, FittedModelsUseTheEmbeddedProfile) {
+  const auto fits = calibrate_all_paper_devices(42);
+  for (const auto& fit : fits) EXPECT_EQ(fit.model.weights, &ReferenceWeights::embedded());
+}
+
 TEST(Counts, RunRecordsAreDeterministic) {
   const RunRecord a = record_run(ProtocolKind::kSts, 42);
   const RunRecord b = record_run(ProtocolKind::kSts, 42);

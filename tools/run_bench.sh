@@ -8,6 +8,9 @@
 # Outputs:
 #   BENCH_primitives.json  — bench_primitives_native (EC/field/hash/AES ops)
 #   BENCH_protocols.json   — bench_protocols_native (STS/SCIANC/PorAmB etc.)
+#   BENCH_fleet.json       — bench_fleet (session fabric: batch extraction,
+#                            cached-table verify, ratchet vs full rekey,
+#                            fleet seal/open throughput)
 #
 # Compare against the committed BENCH_baseline.json (the same suite captured
 # at the pre-fast-path seed) with e.g.:
@@ -24,7 +27,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target bench_primitives_native bench_protocols_native -j"$(nproc)"
+cmake --build "$build_dir" --target bench_primitives_native bench_protocols_native bench_fleet \
+  -j"$(nproc)"
 
 "$build_dir/bench_primitives_native" \
   --benchmark_format=json \
@@ -36,4 +40,6 @@ cmake --build "$build_dir" --target bench_primitives_native bench_protocols_nati
   --benchmark_out="$repo_root/BENCH_protocols.json" \
   --benchmark_out_format=json
 
-echo "Wrote $repo_root/BENCH_primitives.json and $repo_root/BENCH_protocols.json"
+"$build_dir/bench_fleet" "$repo_root/BENCH_fleet.json"
+
+echo "Wrote $repo_root/BENCH_primitives.json, BENCH_protocols.json and BENCH_fleet.json"
