@@ -1,0 +1,205 @@
+#include "canfd/canfd_transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ecqv::can {
+
+namespace {
+
+/// Fabric payload header: src id || dst id ahead of the AppPdu.
+constexpr std::size_t kFabricHeaderSize = 2 * cert::kDeviceIdSize;
+
+}  // namespace
+
+CanFdTransport::CanFdTransport(Config config)
+    : config_(std::move(config)), bus_(config_.timing) {
+  mutex_.enable(config_.concurrent);
+  // The switch: one silent bus node that sees every frame exactly once
+  // (it never transmits), reassembles per sender arbitration id, and
+  // routes completed datagrams to the destination inbox — the acceptance
+  // filtering a real controller does in hardware.
+  bus_.attach([this](const CanFdFrame& frame, double) { on_bus_frame(frame); });
+}
+
+void CanFdTransport::attach(const cert::DeviceId& endpoint) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  if (by_id_.find(endpoint) != by_id_.end()) return;
+  if (next_can_id_ > 0x7ff)
+    throw std::length_error("CanFdTransport: 11-bit arbitration id space exhausted");
+  auto node = std::make_unique<Node>();
+  node->id = endpoint;
+  node->can_id = next_can_id_++;
+  node->bus_node = bus_.attach([](const CanFdFrame&, double) {
+    // Endpoint nodes only transmit; reception is centralized in the switch.
+  });
+  node->txq = txq_.size();
+  by_id_.emplace(endpoint, node.get());
+  by_can_id_.emplace(node->can_id, node.get());
+  nodes_.push_back(std::move(node));
+  txq_.emplace_back();
+}
+
+Status CanFdTransport::send(const cert::DeviceId& src, const cert::DeviceId& dst,
+                            const proto::Message& message) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  const auto src_it = by_id_.find(src);
+  const auto dst_it = by_id_.find(dst);
+  if (src_it == by_id_.end() || dst_it == by_id_.end()) return Error::kBadState;
+  const Node& src_node = *src_it->second;
+  const Node& dst_node = *dst_it->second;
+
+  const std::uint64_t transfer = next_transfer_++;
+  Bytes payload;
+  payload.reserve(kFabricHeaderSize + kAppHeaderSize + message.payload.size());
+  payload.insert(payload.end(), src.bytes.begin(), src.bytes.end());
+  payload.insert(payload.end(), dst.bytes.begin(), dst.bytes.end());
+  append(payload, wrap_fabric(message, static_cast<std::uint16_t>(transfer)).encode());
+  if (payload.size() > kIsoTpMaxPayload) return Error::kBadLength;
+
+  const auto frames = isotp_segment(src_node.can_id, payload);
+  std::deque<OutFrame>& queue = txq_[src_node.txq];
+  const std::size_t queued_before = queue.size();
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    queue.push_back(OutFrame{src_node.bus_node, frames[i], transfer, false});
+    if (i == 0 && frames.size() > 1) {
+      // Segmented transfer: the receiver answers the First Frame with a
+      // Flow Control frame before the Consecutive Frames proceed.
+      queue.push_back(
+          OutFrame{dst_node.bus_node, flow_control_frame(dst_node.can_id), transfer, true});
+    }
+  }
+  queued_frames_ += queue.size() - queued_before;
+  ++stats_.messages_sent;
+  stats_.payload_bytes += message.payload.size();
+  return {};
+}
+
+void CanFdTransport::flush() {
+  // Idle fast path: receive()/idle() call flush() per datagram pull, and a
+  // fleet-sized endpoint list must not pay an O(endpoints) queue scan when
+  // nothing is waiting.
+  if (queued_frames_ == 0) return;
+  // Equal-priority arbitration: one frame per competing sender per turn,
+  // so concurrent multi-frame transfers genuinely interleave on the bus.
+  std::unordered_set<std::uint64_t> cancelled;
+  bool pending = true;
+  while (pending) {
+    pending = false;
+    for (auto& queue : txq_) {
+      if (queue.empty()) continue;
+      pending = true;
+      OutFrame out = std::move(queue.front());
+      queue.pop_front();
+      if (cancelled.count(out.transfer) != 0) continue;
+      if (config_.drop_frame && config_.drop_frame(out.frame)) {
+        ++stats_.frames_dropped;
+        const std::uint8_t type = out.frame.data.empty() ? 0xff : out.frame.data[0] >> 4;
+        if (out.flow_control) {
+          // The sender's N_Bs timeout fires: without the FC it must not
+          // push the Consecutive Frames. The transfer is lost; recovery
+          // belongs to the layers above.
+          ++stats_.fc_timeouts;
+          cancelled.insert(out.transfer);
+        } else if (type == 0x1) {
+          // Lost First Frame: the receiver never answers with an FC, so
+          // the sender times out and abandons the whole transfer.
+          ++stats_.aborted_transfers;
+          cancelled.insert(out.transfer);
+        }
+        continue;
+      }
+      stats_.wire_bytes += out.frame.data.size();
+      if (out.flow_control)
+        ++stats_.flow_controls;
+      else
+        ++stats_.frames_sent;
+      bus_.send(out.bus_node, out.frame);
+    }
+  }
+  queued_frames_ = 0;
+  bus_.run();
+}
+
+void CanFdTransport::on_bus_frame(const CanFdFrame& frame) {
+  const auto sender = by_can_id_.find(frame.id);
+  if (sender == by_can_id_.end()) return;  // switch's own FCs carry dst ids too
+  const std::uint8_t pci_type = frame.data.empty() ? 0xff : frame.data[0] >> 4;
+  if (pci_type == 0x3) return;  // flow control: transparent to reassembly
+  IsoTpReassembler& rx = reassembly_[frame.id];
+  const bool was_in_progress = rx.in_progress();
+  const std::size_t aborted_before = rx.aborted();
+  auto fed = rx.feed(frame);
+  // A transfer can die two ways: a feed error (sequence gap), or a fresh
+  // FF/SF terminating a stale in-flight transfer on the ok path (ISO
+  // 15765-2 preemption — e.g. after a lost final consecutive frame).
+  stats_.aborted_transfers += rx.aborted() - aborted_before;
+  if (!fed.ok()) {
+    // Orphan frames trailing an already-aborted transfer (consecutive
+    // frames arriving with no transfer open) are strays, not new aborts.
+    if (!was_in_progress) ++stats_.stray_frames;
+    return;
+  }
+  if (!fed->has_value()) return;
+  const Bytes& payload = **fed;
+  if (payload.size() < kFabricHeaderSize + kAppHeaderSize) {
+    ++stats_.aborted_transfers;
+    return;
+  }
+  cert::DeviceId src, dst;
+  std::copy_n(payload.begin(), cert::kDeviceIdSize, src.bytes.begin());
+  std::copy_n(payload.begin() + cert::kDeviceIdSize, cert::kDeviceIdSize, dst.bytes.begin());
+  // The arbitration id is the link-layer sender: a header claiming another
+  // source is malformed (or spoofed) and never reaches the session layer.
+  if (!(sender->second->id == src)) {
+    ++stats_.aborted_transfers;
+    return;
+  }
+  auto pdu = AppPdu::decode(ByteView(payload).subspan(kFabricHeaderSize));
+  if (!pdu.ok()) {
+    ++stats_.aborted_transfers;
+    return;
+  }
+  Result<proto::Message> message = Error::kDecodeFailed;
+  try {
+    message = unwrap_fabric(pdu.value());
+  } catch (const std::invalid_argument&) {
+    // step_for_op_code rejects op codes outside the fabric vocabulary.
+  }
+  if (!message.ok()) {
+    ++stats_.aborted_transfers;
+    return;
+  }
+  const auto dst_it = by_id_.find(dst);
+  if (dst_it == by_id_.end()) return;  // addressed to nobody we know
+  dst_it->second->inbox.push_back(
+      proto::Datagram{src, dst, std::move(message).value()});
+  ++stats_.messages_delivered;
+}
+
+std::optional<proto::Datagram> CanFdTransport::receive(const cert::DeviceId& dst) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  flush();
+  const auto it = by_id_.find(dst);
+  if (it == by_id_.end() || it->second->inbox.empty()) return std::nullopt;
+  proto::Datagram out = std::move(it->second->inbox.front());
+  it->second->inbox.pop_front();
+  return out;
+}
+
+bool CanFdTransport::idle() {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  flush();
+  for (const auto& node : nodes_)
+    if (!node->inbox.empty()) return false;
+  return true;
+}
+
+double CanFdTransport::bus_time_ms() {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  flush();
+  return bus_.now_ms();
+}
+
+}  // namespace ecqv::can

@@ -72,8 +72,11 @@ Result<std::optional<Bytes>> IsoTpReassembler::feed(const CanFdFrame& frame) {
 
   if (type == 0x0) {  // single frame
     if (in_progress()) {
+      // New message while a segmented transfer is in flight: ISO 15765-2
+      // terminates the stale transfer and processes the new frame — the
+      // recovery path when the old transfer lost its tail.
       expected_ = 0;
-      return Error::kBadState;
+      ++aborted_;
     }
     std::size_t len = pci & 0x0f;
     std::size_t header = 1;
@@ -89,8 +92,8 @@ Result<std::optional<Bytes>> IsoTpReassembler::feed(const CanFdFrame& frame) {
 
   if (type == 0x1) {  // first frame
     if (in_progress()) {
-      expected_ = 0;
-      return Error::kBadState;
+      expected_ = 0;  // stale transfer terminated; this FF starts fresh
+      ++aborted_;
     }
     if (data.size() < 2) return Error::kDecodeFailed;
     expected_ = (static_cast<std::size_t>(pci & 0x0f) << 8) | data[1];
@@ -108,6 +111,7 @@ Result<std::optional<Bytes>> IsoTpReassembler::feed(const CanFdFrame& frame) {
     if (!in_progress()) return Error::kBadState;
     if ((pci & 0x0f) != next_seq_) {
       expected_ = 0;
+      ++aborted_;
       return Error::kDecodeFailed;  // sequence error
     }
     next_seq_ = static_cast<std::uint8_t>((next_seq_ + 1) & 0x0f);

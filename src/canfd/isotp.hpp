@@ -36,15 +36,24 @@ class IsoTpReassembler {
  public:
   /// Feeds one frame. Returns the completed payload when the last frame
   /// arrives, std::nullopt while in progress. Errors reset the state.
+  /// Per ISO 15765-2, a new First Frame (or Single Frame) arriving while a
+  /// segmented transfer is still in flight *terminates* the old transfer
+  /// and starts (or delivers) the new one — the recovery path after a lost
+  /// final Consecutive Frame, counted in aborted().
   Result<std::optional<Bytes>> feed(const CanFdFrame& frame);
 
   /// True while a segmented transfer is in flight.
   [[nodiscard]] bool in_progress() const { return expected_ > 0; }
 
+  /// Transfers abandoned: sequence errors plus in-flight transfers
+  /// terminated by a fresh FF/SF.
+  [[nodiscard]] std::size_t aborted() const { return aborted_; }
+
  private:
   Bytes buffer_;
   std::size_t expected_ = 0;
   std::uint8_t next_seq_ = 0;
+  std::size_t aborted_ = 0;
 };
 
 }  // namespace ecqv::can

@@ -63,4 +63,31 @@ Result<proto::Message> unwrap_message(const AppPdu& pdu) {
   return message;
 }
 
+AppPdu wrap_fabric(const proto::Message& message, std::uint16_t session_id) {
+  if (message.step != proto::kRatchetStepLabel && message.step != proto::kDataStepLabel)
+    return wrap_message(message, session_id);
+  AppPdu pdu;
+  pdu.comm_code = CommCode::kSessionData;
+  pdu.session_id = session_id;
+  pdu.op_code = message.step == proto::kRatchetStepLabel ? kOpRatchet : kOpDataRecord;
+  if (message.sender == proto::Role::kResponder) pdu.op_code |= kOpResponderBit;
+  pdu.data = message.payload;
+  return pdu;
+}
+
+Result<proto::Message> unwrap_fabric(const AppPdu& pdu) {
+  if (pdu.comm_code == CommCode::kKeyDerivation) return unwrap_message(pdu);
+  if (pdu.comm_code != CommCode::kSessionData) return Error::kDecodeFailed;
+  proto::Message message;
+  message.sender = (pdu.op_code & kOpResponderBit) != 0 ? proto::Role::kResponder
+                                                        : proto::Role::kInitiator;
+  switch (pdu.op_code & static_cast<std::uint8_t>(~kOpResponderBit)) {
+    case kOpRatchet: message.step = std::string(proto::kRatchetStepLabel); break;
+    case kOpDataRecord: message.step = std::string(proto::kDataStepLabel); break;
+    default: return Error::kDecodeFailed;
+  }
+  message.payload = pdu.data;
+  return message;
+}
+
 }  // namespace ecqv::can

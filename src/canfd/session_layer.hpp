@@ -40,4 +40,20 @@ std::string step_for_op_code(std::uint8_t op);
 AppPdu wrap_message(const proto::Message& message, std::uint16_t session_id);
 Result<proto::Message> unwrap_message(const AppPdu& pdu);
 
+// ---- fabric extension: the full session lifecycle on the wire ----------
+//
+// Handshake steps ride CommCode::kKeyDerivation exactly as above; the
+// broker's epoch-ratchet announcements ("RK1") and sealed data records
+// ("DT1") ride CommCode::kSessionData with their own op codes. Bit 0x10
+// marks the responder as sender, mirroring the step-label convention.
+
+inline constexpr std::uint8_t kOpRatchet = 0x01;
+inline constexpr std::uint8_t kOpDataRecord = 0x02;
+inline constexpr std::uint8_t kOpResponderBit = 0x10;
+
+/// Maps ANY fabric message (handshake step, RK1 ratchet announcement, DT1
+/// data record) onto a PDU and back — what the CAN-FD transport speaks.
+AppPdu wrap_fabric(const proto::Message& message, std::uint16_t session_id);
+Result<proto::Message> unwrap_fabric(const AppPdu& pdu);
+
 }  // namespace ecqv::can

@@ -1,12 +1,23 @@
 #include "common/metrics.hpp"
 
+#include <stdexcept>
+
 #include "common/result.hpp"
 
 namespace ecqv {
 
 namespace detail {
 thread_local CountScope* g_active_scope = nullptr;
+std::atomic<AtomicCountSink*> g_global_sink{nullptr};
 }  // namespace detail
+
+GlobalCountScope::GlobalCountScope(AtomicCountSink& sink) {
+  AtomicCountSink* expected = nullptr;
+  if (!detail::g_global_sink.compare_exchange_strong(expected, &sink))
+    throw std::logic_error("GlobalCountScope: a global sink is already installed");
+}
+
+GlobalCountScope::~GlobalCountScope() { detail::g_global_sink.store(nullptr); }
 
 std::string_view op_name(Op op) {
   switch (op) {
@@ -39,7 +50,14 @@ CountScope::CountScope() : parent_(detail::g_active_scope) { detail::g_active_sc
 
 CountScope::~CountScope() {
   detail::g_active_scope = parent_;
-  if (parent_ != nullptr) parent_->counts_ += counts_;
+  if (parent_ != nullptr) {
+    parent_->counts_ += counts_;
+  } else if (AtomicCountSink* sink = detail::g_global_sink.load(std::memory_order_relaxed);
+             sink != nullptr) {
+    // Root scope on a worker thread: hand the tally to the process-wide
+    // sink so multi-threaded accounting loses nothing.
+    sink->add(counts_);
+  }
 }
 
 const char* error_name(Error e) {

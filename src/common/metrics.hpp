@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 
@@ -72,18 +73,77 @@ class CountScope {
   CountScope* parent_;
 };
 
+/// Process-wide atomic tally: the multi-threaded counterpart of OpCounts.
+/// Worker-pool code (the concurrent broker) bumps it from many threads at
+/// once; relaxed fetch_add guarantees no increment is ever lost, which the
+/// threaded soak test asserts exactly.
+class AtomicCountSink {
+ public:
+  void bump(Op op, std::uint64_t n) {
+    counts_[static_cast<std::size_t>(op)].fetch_add(n, std::memory_order_relaxed);
+  }
+  void add(const OpCounts& counts) {
+    for (std::size_t i = 0; i < kOpCount; ++i)
+      counts_[i].fetch_add(counts.counts[i], std::memory_order_relaxed);
+  }
+  [[nodiscard]] OpCounts snapshot() const {
+    OpCounts out;
+    for (std::size_t i = 0; i < kOpCount; ++i)
+      out.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+  void reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kOpCount> counts_{};
+};
+
 namespace detail {
 /// The innermost active scope on this thread (nullptr when counting is off).
 /// Exposed only so count_op below can inline to a TLS load + branch — it is
 /// called per field multiplication on the scalar-multiplication hot path,
 /// where an out-of-line call would cost more than the multiply bookkeeping.
 extern thread_local CountScope* g_active_scope;
+/// Process-global fallback sink (nullptr when none installed): threads with
+/// no active CountScope route their bumps here, and a root CountScope on
+/// any thread forwards its tally here on destruction. This is how the
+/// worker pool's primitive counts stay exact — every worker contributes to
+/// one shared atomic tally regardless of which thread ran the crypto.
+extern std::atomic<AtomicCountSink*> g_global_sink;
 }  // namespace detail
 
-/// Bumps the active thread-local counter (no-op when none is active).
-/// Called from the crypto primitives themselves.
+/// RAII: installs `sink` as the process-global fallback for the scope's
+/// lifetime. At most one may be active at a time (nesting throws). Ops on
+/// threads without their own CountScope land in the sink directly; root
+/// CountScopes (e.g. the per-operation segment scopes inside protocol
+/// parties running on worker threads) forward their totals on destruction.
+///
+/// Lifetime contract: destroy the scope only after every thread that may
+/// still call count_op() has quiesced (join the workers first). A thread
+/// racing the destructor could load the sink pointer just before it is
+/// cleared and bump a sink that no longer exists — same rule as any
+/// observer deregistration.
+class GlobalCountScope {
+ public:
+  explicit GlobalCountScope(AtomicCountSink& sink);
+  ~GlobalCountScope();
+  GlobalCountScope(const GlobalCountScope&) = delete;
+  GlobalCountScope& operator=(const GlobalCountScope&) = delete;
+};
+
+/// Bumps the active thread-local counter, falling back to the process-wide
+/// atomic sink when no scope is active on this thread. Called from the
+/// crypto primitives themselves.
 inline void count_op(Op op, std::uint64_t n = 1) {
-  if (detail::g_active_scope != nullptr) detail::g_active_scope->bump(op, n);
+  if (detail::g_active_scope != nullptr) {
+    detail::g_active_scope->bump(op, n);
+    return;
+  }
+  if (AtomicCountSink* sink = detail::g_global_sink.load(std::memory_order_relaxed);
+      sink != nullptr)
+    sink->bump(op, n);
 }
 
 }  // namespace ecqv

@@ -1,0 +1,88 @@
+// Concurrency primitives for the session fabric.
+//
+// The fabric serves two deployment shapes from one code base: the paper's
+// single-threaded embedded event loop, and a multi-core backend where a
+// worker pool terminates handshakes for thousands of peers concurrently
+// (ROADMAP item e). The store/broker data structures therefore take their
+// locking through OptionalMutex — a mutex that degrades to a branch on a
+// bool when concurrency is off — and count through StatCounter, a relaxed
+// atomic that still reads, copies and compares like a plain uint64_t so
+// every existing single-threaded call site keeps working unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace ecqv {
+
+/// A mutex with a runtime enable switch. Disabled (the default), lock() and
+/// unlock() are a predictable branch — the embedded single-threaded profile
+/// pays no atomic RMW per store operation. Enabled, it is a real
+/// std::mutex. BasicLockable, so std::lock_guard/std::scoped_lock work.
+///
+/// The switch must be thrown before the structure is shared across threads
+/// (constructors do this from a config flag); flipping it while threads are
+/// already inside is undefined, exactly like replacing a mutex in use.
+class OptionalMutex {
+ public:
+  OptionalMutex() = default;
+  explicit OptionalMutex(bool enabled) : enabled_(enabled) {}
+  OptionalMutex(const OptionalMutex&) = delete;
+  OptionalMutex& operator=(const OptionalMutex&) = delete;
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void lock() {
+    if (enabled_) mutex_.lock();
+  }
+  void unlock() {
+    if (enabled_) mutex_.unlock();
+  }
+  bool try_lock() { return !enabled_ || mutex_.try_lock(); }
+
+ private:
+  bool enabled_ = false;
+  std::mutex mutex_;
+};
+
+/// Monotonic event counter for Stats blocks: a relaxed std::atomic with the
+/// value semantics of a plain integer. Increments from any thread never
+/// lose updates (the worker pool's accounting stays exact); reads, copies
+/// and comparisons behave like uint64_t so Stats structs remain aggregate
+/// snapshots to their consumers.
+///
+/// Relaxed ordering is deliberate: these are tallies, not synchronization —
+/// readers only need each increment to eventually be visible and none to be
+/// lost, which relaxed fetch_add guarantees.
+class StatCounter {
+ public:
+  StatCounter(std::uint64_t v = 0) : value_(v) {}  // NOLINT(google-explicit-constructor)
+  StatCounter(const StatCounter& other) : value_(other.load()) {}
+  StatCounter& operator=(const StatCounter& other) {
+    value_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator=(std::uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  operator std::uint64_t() const { return load(); }  // NOLINT(google-explicit-constructor)
+
+  StatCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator+=(std::uint64_t n) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_;
+};
+
+}  // namespace ecqv

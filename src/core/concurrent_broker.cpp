@@ -1,0 +1,136 @@
+#include "core/concurrent_broker.hpp"
+
+namespace ecqv::proto {
+
+BrokerConfig ConcurrentSessionBroker::arm(BrokerConfig config, std::size_t workers) {
+  if (workers > 0) config.concurrent = true;
+  return config;
+}
+
+ConcurrentSessionBroker::ConcurrentSessionBroker(const Credentials& creds, rng::Rng& rng,
+                                                 Transport& transport, Config config)
+    : transport_(transport),
+      rng_(rng),
+      broker_(creds, rng_, arm(std::move(config.broker), config.workers)) {
+  transport_.attach(broker_.id());
+  workers_.reserve(config.workers);
+  for (std::size_t i = 0; i < config.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    Worker& worker = *workers_.back();
+    worker.thread = std::thread([this, &worker] { worker_loop(worker); });
+  }
+}
+
+ConcurrentSessionBroker::~ConcurrentSessionBroker() {
+  stop_.store(true);
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+    }
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
+}
+
+Status ConcurrentSessionBroker::connect(const cert::DeviceId& peer, std::uint64_t now) {
+  auto first = broker_.connect(peer, now);
+  if (!first.ok()) return first.error();
+  return transport_.send(broker_.id(), peer, std::move(first).value());
+}
+
+Status ConcurrentSessionBroker::send_data(const cert::DeviceId& peer, ByteView plaintext,
+                                          std::uint64_t now) {
+  auto message = broker_.make_data(peer, plaintext, now);
+  if (!message.ok()) return message.error();
+  return transport_.send(broker_.id(), peer, std::move(message).value());
+}
+
+void ConcurrentSessionBroker::process(const Job& job) {
+  auto reply = broker_.on_message(job.from, job.message, job.now);
+  if (!reply.ok()) {
+    ++stats_.errors;
+    return;
+  }
+  if (reply->has_value()) {
+    if (transport_.send(broker_.id(), job.from, **reply).ok())
+      ++stats_.replies;
+    else
+      ++stats_.errors;
+  }
+}
+
+void ConcurrentSessionBroker::worker_loop(Worker& worker) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(worker.mutex);
+      worker.cv.wait(lock, [&] { return stop_.load() || !worker.queue.empty(); });
+      if (worker.queue.empty()) return;  // stop requested, queue drained
+      job = std::move(worker.queue.front());
+      worker.queue.pop_front();
+    }
+    process(job);
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+std::size_t ConcurrentSessionBroker::poll(std::uint64_t now) {
+  std::size_t dispatched = 0;
+  while (auto datagram = transport_.receive(broker_.id())) {
+    ++dispatched;
+    ++stats_.dispatched;
+    Job job{datagram->src, std::move(datagram->message), now};
+    if (workers_.empty()) {
+      process(job);
+      continue;
+    }
+    Worker& worker = *workers_[DeviceIdHash{}(job.from) % workers_.size()];
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      worker.queue.push_back(std::move(job));
+    }
+    worker.cv.notify_one();
+  }
+  return dispatched;
+}
+
+void ConcurrentSessionBroker::drain() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [&] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+std::size_t ConcurrentSessionBroker::run_until_idle(std::uint64_t now) {
+  std::size_t processed = 0;
+  for (;;) {
+    const std::size_t dispatched = poll(now);
+    processed += dispatched;
+    drain();
+    if (dispatched == 0) {
+      if (transport_.idle()) return processed;
+      // Counterpart endpoints (driven on other threads) still owe traffic.
+      std::this_thread::yield();
+    }
+  }
+}
+
+std::size_t settle(const std::vector<ConcurrentSessionBroker*>& endpoints, std::uint64_t now) {
+  std::size_t processed = 0;
+  std::size_t round = 0;
+  do {
+    round = 0;
+    for (ConcurrentSessionBroker* endpoint : endpoints) round += endpoint->poll(now);
+    for (ConcurrentSessionBroker* endpoint : endpoints) endpoint->drain();
+    processed += round;
+    // A zero round means every inbox was empty *after* all workers had
+    // drained, so no endpoint can produce further traffic: fixpoint.
+  } while (round > 0);
+  return processed;
+}
+
+}  // namespace ecqv::proto

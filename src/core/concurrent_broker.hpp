@@ -1,0 +1,120 @@
+// Worker-pool session broker: the fabric's multi-core front end.
+//
+// A SessionBroker is message-driven but agnostic about who calls it. This
+// wrapper binds one broker to a Transport and dispatches every inbound
+// datagram onto a small worker pool keyed by peer-id→worker affinity
+// (FNV-1a of the peer id modulo pool size — the same hash the store's
+// shards use). The affinity gives the two properties the protocol needs:
+//
+//   * per-peer ordering: all messages from one peer land on one worker's
+//     FIFO queue, so a handshake's A1/A2 and a session's records are
+//     processed in arrival order;
+//   * cross-peer parallelism: handshakes for different peers run on
+//     different workers, hitting disjoint pending/store shards — the
+//     scalar multiplications that dominate STS (paper Table I) execute
+//     truly in parallel.
+//
+// Replies produced by a worker go straight back out through the bound
+// transport (which is thread-safe in concurrent configurations). With
+// workers = 0 the pool degrades to inline dispatch on the polling thread —
+// the single-threaded embedded profile, same API, no threads, no locks.
+//
+// The time model stays explicit (logical `now` seconds) like everywhere
+// else in the library: poll(now) stamps the datagrams it dispatches.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "core/session_broker.hpp"
+#include "core/transport.hpp"
+#include "rng/locked_rng.hpp"
+
+namespace ecqv::proto {
+
+class ConcurrentSessionBroker {
+ public:
+  struct Config {
+    BrokerConfig broker{};
+    /// Worker threads terminating handshakes. 0 = inline dispatch (no
+    /// threads spawned); N >= 1 spawns N workers and arms the broker's
+    /// internal locking.
+    std::size_t workers = 0;
+  };
+
+  struct Stats {
+    StatCounter dispatched = 0;  // datagrams handed to a worker (or inline)
+    StatCounter replies = 0;     // messages sent back through the transport
+    StatCounter errors = 0;      // on_message / transport failures
+  };
+
+  /// The broker sends and receives through `transport`; the endpoint is
+  /// attached on construction.
+  ConcurrentSessionBroker(const Credentials& creds, rng::Rng& rng, Transport& transport,
+                          Config config);
+  ~ConcurrentSessionBroker();
+  ConcurrentSessionBroker(const ConcurrentSessionBroker&) = delete;
+  ConcurrentSessionBroker& operator=(const ConcurrentSessionBroker&) = delete;
+
+  /// Starts a handshake toward `peer`; the A1 goes out via the transport.
+  Status connect(const cert::DeviceId& peer, std::uint64_t now);
+
+  /// Seals `plaintext` for `peer` and ships it as a DT1 datagram.
+  Status send_data(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
+
+  /// Pulls every datagram currently addressed to this endpoint and hands
+  /// each to its affinity worker (or processes inline with workers = 0).
+  /// Returns the number dispatched.
+  std::size_t poll(std::uint64_t now);
+
+  /// Blocks until every dispatched datagram has been processed and its
+  /// replies are on the transport.
+  void drain();
+
+  /// poll() + drain() until the transport reports idle and no further
+  /// datagrams arrive — the fleet-settling loop used by benches, tests and
+  /// examples. Returns the total number of datagrams this endpoint
+  /// processed.
+  std::size_t run_until_idle(std::uint64_t now);
+
+  [[nodiscard]] SessionBroker& broker() { return broker_; }
+  [[nodiscard]] const cert::DeviceId& id() const { return broker_.id(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t workers() const { return workers_.size(); }
+
+ private:
+  struct Job {
+    cert::DeviceId from;
+    Message message;
+    std::uint64_t now = 0;
+  };
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+    std::thread thread;
+  };
+
+  static BrokerConfig arm(BrokerConfig config, std::size_t workers);
+  void worker_loop(Worker& worker);
+  void process(const Job& job);
+
+  Transport& transport_;
+  rng::LockedRng rng_;  // workers draw ephemerals concurrently
+  SessionBroker broker_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::atomic<bool> stop_{false};
+  Stats stats_;
+};
+
+/// Settles a set of fabric endpoints sharing one transport: polls each in
+/// round-robin until every endpoint is drained and the transport is idle.
+/// Returns the total number of datagrams processed.
+std::size_t settle(const std::vector<ConcurrentSessionBroker*>& endpoints, std::uint64_t now);
+
+}  // namespace ecqv::proto

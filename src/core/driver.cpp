@@ -6,6 +6,7 @@
 #include "core/s_ecdsa.hpp"
 #include "core/scianc.hpp"
 #include "core/sts.hpp"
+#include "core/transport.hpp"
 
 namespace ecqv::proto {
 
@@ -17,21 +18,39 @@ std::vector<std::pair<std::string, std::size_t>> HandshakeResult::step_sizes() c
 }
 
 HandshakeResult run_handshake(Party& initiator, Party& responder) {
+  // The driver's old private shuttling loop is gone: both parties hang off
+  // an IdealLinkTransport and the shared pump moves the messages, exactly
+  // like every other fabric runner. The transcript records each datagram
+  // in wire (delivery) order.
   HandshakeResult result;
-  std::optional<Message> in_flight = initiator.start();
-  bool to_responder = true;
-  // Generous bound: no protocol here exceeds 8 messages; a loop guard keeps
-  // a buggy state machine from spinning forever.
-  for (int hop = 0; hop < 16 && in_flight.has_value(); ++hop) {
-    result.transcript.push_back(*in_flight);
-    Party& receiver = to_responder ? responder : initiator;
-    auto reply = receiver.on_message(*in_flight);
-    if (!reply) {
-      result.error = reply.error();
+  IdealLinkTransport link;
+  const cert::DeviceId initiator_id = cert::DeviceId::from_string("drv-initiator");
+  const cert::DeviceId responder_id = cert::DeviceId::from_string("drv-responder");
+  link.attach(initiator_id);
+  link.attach(responder_id);
+
+  const auto endpoint_for = [&result](Party& party, const cert::DeviceId& id) {
+    return Endpoint{id, [&result, &party](const cert::DeviceId&, const Message& message) {
+                      result.transcript.push_back(message);
+                      return party.on_message(message);
+                    }};
+  };
+
+  std::optional<Message> first = initiator.start();
+  if (first.has_value()) {
+    if (!link.send(initiator_id, responder_id, *first).ok()) {
+      result.error = Error::kInternal;
       return result;
     }
-    in_flight = std::move(reply.value());
-    to_responder = !to_responder;
+    // Generous bound: no protocol here exceeds 8 messages; the guard keeps
+    // a buggy state machine from ping-ponging forever.
+    auto pumped = pump_endpoints(
+        link, {endpoint_for(responder, responder_id), endpoint_for(initiator, initiator_id)},
+        /*max_messages=*/16);
+    if (!pumped.ok()) {
+      result.error = pumped.error();
+      return result;
+    }
   }
   result.success = initiator.established() && responder.established();
   if (!result.success && result.error == Error::kOk) result.error = Error::kBadState;

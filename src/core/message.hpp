@@ -21,6 +21,24 @@ inline constexpr std::string_view role_name(Role r) {
   return r == Role::kInitiator ? "A" : "B";
 }
 
+/// Fabric step labels beyond the handshake's "A1".."B9": the epoch-ratchet
+/// announcement and the sealed data-plane record. Both ride the same
+/// Message envelope so one transport/dispatch path (Fig. 6 stack included)
+/// carries the whole session lifecycle.
+inline constexpr std::string_view kRatchetStepLabel = "RK1";
+inline constexpr std::string_view kDataStepLabel = "DT1";
+
+/// FNV-1a over the 16 identity bytes: cheap, stable hash shared by the
+/// session store's shards, the broker's pending map, the transports'
+/// routing tables and the worker pool's peer affinity.
+struct DeviceIdHash {
+  std::size_t operator()(const cert::DeviceId& id) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const std::uint8_t b : id.bytes) h = (h ^ b) * 1099511628211ull;
+    return static_cast<std::size_t>(h);
+  }
+};
+
 struct Message {
   Role sender = Role::kInitiator;
   /// Step label as used in Table II ("A1", "B2", ...).

@@ -2,7 +2,7 @@
 
 namespace ecqv::proto {
 
-void PeerKeyCache::insert(const cert::DeviceId& subject, Entry entry) {
+void PeerKeyCache::locked_insert(const cert::DeviceId& subject, EntryPtr entry) {
   const auto idx = index_.find(subject);
   if (idx != index_.end()) {
     idx->second->second = std::move(entry);
@@ -18,25 +18,34 @@ void PeerKeyCache::insert(const cert::DeviceId& subject, Entry entry) {
   index_.emplace(subject, lru_.begin());
 }
 
-Result<const PeerKeyCache::Entry*> PeerKeyCache::get(const cert::Certificate& certificate,
-                                                     const ec::AffinePoint& q_ca) {
-  const auto idx = index_.find(certificate.subject);
-  // Field-wise comparison (covers every encoded byte) keeps the hit path
-  // allocation-free — verification hot paths call this per signature.
-  if (idx != index_.end() && idx->second->second.certificate == certificate) {
-    lru_.splice(lru_.begin(), lru_, idx->second);
-    ++stats_.hits;
-    return &lru_.front().second;
+Result<PeerKeyCache::EntryPtr> PeerKeyCache::get(const cert::Certificate& certificate,
+                                                 const ec::AffinePoint& q_ca) {
+  {
+    std::lock_guard<OptionalMutex> lock(mutex_);
+    const auto idx = index_.find(certificate.subject);
+    // Field-wise comparison (covers every encoded byte) keeps the hit path
+    // allocation-free — verification hot paths call this per signature.
+    if (idx != index_.end() && idx->second->second->certificate == certificate) {
+      lru_.splice(lru_.begin(), lru_, idx->second);
+      ++stats_.hits;
+      return idx->second->second;
+    }
   }
 
+  // Miss path: extraction and table build run outside the lock (they are
+  // the expensive part — two concurrent misses for the same peer just race
+  // benignly to insert identical entries).
   ++stats_.misses;
   auto public_key = cert::extract_public_key(certificate, q_ca);
   if (!public_key) return public_key.error();
   auto table = ec::VerifyTable::build(public_key.value());
   if (!table) return table.error();
-  insert(certificate.subject,
-         Entry{certificate, public_key.value(), std::move(table).value()});
-  return &lru_.front().second;
+  auto entry = std::make_shared<const Entry>(
+      Entry{certificate, public_key.value(), std::move(table).value()});
+
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  locked_insert(certificate.subject, entry);
+  return entry;
 }
 
 std::size_t PeerKeyCache::prewarm(const std::vector<cert::Certificate>& certificates,
@@ -54,11 +63,13 @@ std::size_t PeerKeyCache::prewarm(const std::vector<cert::Certificate>& certific
   // Phase 2: all verification tables, one shared inversion.
   auto tables = ec::VerifyTable::build_batch(points);
   std::size_t cached = 0;
+  std::lock_guard<OptionalMutex> lock(mutex_);
   for (std::size_t slot = 0; slot < tables.size(); ++slot) {
     if (!tables[slot].ok()) continue;
     const cert::Certificate& certificate = certificates[cert_index[slot]];
-    insert(certificate.subject,
-           Entry{certificate, points[slot], std::move(tables[slot]).value()});
+    locked_insert(certificate.subject,
+                  std::make_shared<const Entry>(
+                      Entry{certificate, points[slot], std::move(tables[slot]).value()}));
     ++cached;
   }
   stats_.misses += cached;

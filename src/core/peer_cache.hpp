@@ -13,14 +13,22 @@
 // table normalizations across the whole fleet with one shared field
 // inversion each (Montgomery's trick) — the fleet-enrollment fast path.
 //
+// Entries are handed out as shared_ptr<const Entry>: the concurrent
+// broker's workers all verify against one shared cache, and a hit must
+// outlive any LRU eviction another worker triggers mid-verify. The hit
+// path stays allocation-free (one refcount bump); set_concurrent() arms
+// the internal mutex, which single-threaded users never pay for.
+//
 // Bounded LRU, same discipline as SessionStore: public data only, so
 // eviction is purely a memory concern (no wiping needed).
 #pragma once
 
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "core/session_store.hpp"
 #include "ec/verify_table.hpp"
 #include "ecqv/scheme.hpp"
@@ -34,21 +42,26 @@ class PeerKeyCache {
     ec::AffinePoint public_key;     // Q_U per eq. (1)
     ec::VerifyTable table;          // cached odd-multiple wNAF table of Q_U
   };
+  using EntryPtr = std::shared_ptr<const Entry>;
 
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;  // extractions performed (including replacements)
-    std::uint64_t evictions = 0;
+    StatCounter hits = 0;
+    StatCounter misses = 0;  // extractions performed (including replacements)
+    StatCounter evictions = 0;
   };
 
   explicit PeerKeyCache(std::size_t capacity = 4096)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
+  /// Arms the internal mutex for shared use by a worker pool. Must be
+  /// called before the cache is touched from more than one thread.
+  void set_concurrent(bool on) { mutex_.enable(on); }
+
   /// Returns the cached entry for `certificate`, extracting the public key
   /// and building the verification table on miss (or when the presented
-  /// certificate differs from the cached one). The pointer stays valid
-  /// until the next non-const call.
-  Result<const Entry*> get(const cert::Certificate& certificate, const ec::AffinePoint& q_ca);
+  /// certificate differs from the cached one). The returned pointer keeps
+  /// the entry alive independent of later evictions or replacements.
+  Result<EntryPtr> get(const cert::Certificate& certificate, const ec::AffinePoint& q_ca);
 
   /// Batch prewarm: extracts every certificate's public key and builds all
   /// verification tables sharing one field inversion per phase. Returns the
@@ -56,18 +69,24 @@ class PeerKeyCache {
   std::size_t prewarm(const std::vector<cert::Certificate>& certificates,
                       const ec::AffinePoint& q_ca);
 
-  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<OptionalMutex> lock(mutex_);
+    return index_.size();
+  }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void clear() {
+    std::lock_guard<OptionalMutex> lock(mutex_);
     lru_.clear();
     index_.clear();
   }
 
  private:
-  using LruList = std::list<std::pair<cert::DeviceId, Entry>>;
-  void insert(const cert::DeviceId& subject, Entry entry);
+  using LruList = std::list<std::pair<cert::DeviceId, EntryPtr>>;
+  /// Lock must be held.
+  void locked_insert(const cert::DeviceId& subject, EntryPtr entry);
 
   std::size_t capacity_;
+  mutable OptionalMutex mutex_;
   LruList lru_;  // front = most recently used
   std::unordered_map<cert::DeviceId, LruList::iterator, DeviceIdHash> index_;
   Stats stats_;

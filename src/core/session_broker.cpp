@@ -1,5 +1,6 @@
 #include "core/session_broker.hpp"
 
+#include "common/wipe.hpp"
 #include "hash/hmac.hpp"
 
 namespace ecqv::proto {
@@ -25,14 +26,23 @@ hash::Digest ratchet_mac(ByteView mac_key, Role sender, std::uint32_t new_epoch)
                            {bytes_of(kRatchetLabel), ByteView(&role, 1), ByteView(epoch_be)});
 }
 
+SessionStore::Config store_config(const BrokerConfig& config) {
+  SessionStore::Config store = config.store;
+  store.concurrent = config.concurrent;
+  return store;
+}
+
 }  // namespace
 
 SessionBroker::SessionBroker(const Credentials& creds, rng::Rng& rng, BrokerConfig config)
     : creds_(creds),
       rng_(rng),
-      config_(config),
-      store_(Role::kResponder, config.store),
-      cache_(config.peer_cache_capacity) {}
+      config_(std::move(config)),
+      store_(Role::kResponder, store_config(config_)),
+      cache_(config_.peer_cache_capacity) {
+  cache_.set_concurrent(config_.concurrent);
+  for (auto& shard : pending_) shard.mutex.enable(config_.concurrent);
+}
 
 StsConfig SessionBroker::sts_config(std::uint64_t now) {
   StsConfig sts = config_.sts;
@@ -41,28 +51,52 @@ StsConfig SessionBroker::sts_config(std::uint64_t now) {
   return sts;
 }
 
-Result<Message> SessionBroker::connect(const cert::DeviceId& peer, std::uint64_t now) {
-  if (pending_.size() >= config_.max_pending && pending_.find(peer) == pending_.end()) {
-    sweep_pending(now);
-    if (pending_.size() >= config_.max_pending) return Error::kBadState;
+bool SessionBroker::ensure_pending_capacity(PendingShard& shard, const cert::DeviceId& peer,
+                                            std::uint64_t now) {
+  // Runs before the caller takes the shard lock: sweep_pending() visits
+  // every shard one at a time and must never nest inside one of them. The
+  // bound is soft under concurrency (racing admissions may overshoot by a
+  // few entries); it exists to cap memory, not to count precisely. A peer
+  // that is already pending is always admitted — replacing its entry does
+  // not grow the map.
+  if (pending_count_.load(std::memory_order_relaxed) < config_.max_pending) return true;
+  {
+    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    if (shard.map.find(peer) != shard.map.end()) return true;
   }
+  sweep_pending(now);
+  return pending_count_.load(std::memory_order_relaxed) < config_.max_pending;
+}
+
+Result<Message> SessionBroker::connect(const cert::DeviceId& peer, std::uint64_t now) {
+  PendingShard& shard = pending_shard(peer);
+  if (!ensure_pending_capacity(shard, peer, now)) return Error::kBadState;
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
   auto party = std::make_unique<StsInitiator>(creds_, rng_, sts_config(now));
   auto first = party->start();
   if (!first.has_value()) return Error::kInternal;
-  pending_[peer] = Pending{std::move(party), Role::kInitiator, now};
+  const bool inserted =
+      shard.map.insert_or_assign(peer, Pending{std::move(party), Role::kInitiator, now}).second;
+  if (inserted) pending_count_.fetch_add(1, std::memory_order_relaxed);
   ++stats_.handshakes_started;
   return std::move(*first);
 }
 
-Result<std::optional<Message>> SessionBroker::drive(const cert::DeviceId& peer, Pending& pending,
+Result<std::optional<Message>> SessionBroker::drive(PendingShard& shard,
+                                                    const cert::DeviceId& peer, Pending& pending,
                                                     const Message& incoming, std::uint64_t now,
                                                     bool resident) {
+  const auto erase_resident = [&] {
+    if (!resident) return;
+    shard.map.erase(peer);
+    pending_count_.fetch_sub(1, std::memory_order_relaxed);
+  };
   auto reply = pending.party->on_message(incoming);
   if (!reply) {
     // Only drop the map entry when the failing party IS the map entry; a
     // fresh A1 replacement that fails must not destroy a healthy in-flight
     // handshake it never belonged to.
-    if (resident) pending_.erase(peer);
+    erase_resident();
     ++stats_.handshakes_failed;
     return reply.error();
   }
@@ -71,12 +105,12 @@ Result<std::optional<Message>> SessionBroker::drive(const cert::DeviceId& peer, 
     // session installed under a different id than the certificate subject
     // would route another peer's records to these keys.
     if (!(pending.party->peer_id() == peer)) {
-      pending_.erase(peer);
+      erase_resident();
       ++stats_.handshakes_failed;
       return Error::kAuthenticationFailed;
     }
     store_.install(peer, pending.party->session_keys(), pending.role, now);
-    pending_.erase(peer);
+    erase_resident();
     ++stats_.handshakes_completed;
   }
   return reply;
@@ -86,9 +120,13 @@ Result<std::optional<Message>> SessionBroker::on_message(const cert::DeviceId& p
                                                          const Message& incoming,
                                                          std::uint64_t now) {
   if (incoming.step == kRatchetStep) return on_ratchet(peer, incoming, now);
+  if (incoming.step == kDataStep) return on_data(peer, incoming, now);
 
+  PendingShard& shard = pending_shard(peer);
   if (incoming.step == "A1") {
-    const auto existing = pending_.find(peer);
+    if (!ensure_pending_capacity(shard, peer, now)) return Error::kBadState;
+    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    const auto existing = shard.map.find(peer);
     // Simultaneous open: both endpoints sent A1 at once. Exactly one side
     // must yield its initiator role or the crossing handshakes deadlock.
     // Tie-break on identity: the larger id keeps initiating and ignores
@@ -100,27 +138,27 @@ Result<std::optional<Message>> SessionBroker::on_message(const cert::DeviceId& p
     const auto initiator_live = [&](const Pending& p) {
       return now >= p.started_at && now - p.started_at <= config_.pending_ttl_seconds;
     };
-    if (existing != pending_.end() && existing->second.role == Role::kInitiator &&
+    if (existing != shard.map.end() && existing->second.role == Role::kInitiator &&
         initiator_live(existing->second) && peer.bytes < creds_.id.bytes)
       return std::optional<Message>(std::nullopt);
     // Fresh inbound handshake; it replaces any stalled in-flight one with
     // this peer (the established session, if any, stays live until the new
-    // keys install). Capacity check before allocating responder state.
-    if (pending_.size() >= config_.max_pending && existing == pending_.end()) {
-      sweep_pending(now);
-      if (pending_.size() >= config_.max_pending) return Error::kBadState;
-    }
+    // keys install).
     Pending pending{std::make_unique<StsResponder>(creds_, rng_, sts_config(now)),
                     Role::kResponder, now};
-    auto reply = drive(peer, pending, incoming, now, /*resident=*/false);
-    if (reply.ok()) pending_[peer] = std::move(pending);
+    auto reply = drive(shard, peer, pending, incoming, now, /*resident=*/false);
+    if (reply.ok()) {
+      const bool inserted = shard.map.insert_or_assign(peer, std::move(pending)).second;
+      if (inserted) pending_count_.fetch_add(1, std::memory_order_relaxed);
+    }
     ++stats_.handshakes_started;
     return reply;
   }
 
-  const auto it = pending_.find(peer);
-  if (it == pending_.end()) return Error::kBadState;
-  return drive(peer, it->second, incoming, now, /*resident=*/true);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  const auto it = shard.map.find(peer);
+  if (it == shard.map.end()) return Error::kBadState;
+  return drive(shard, peer, it->second, incoming, now, /*resident=*/true);
 }
 
 bool SessionBroker::session_ready(const cert::DeviceId& peer, std::uint64_t now) {
@@ -133,8 +171,14 @@ Result<Message> SessionBroker::initiate_ratchet(const cert::DeviceId& peer, std:
   const auto current = store_.epoch(peer);
   if (!role.has_value() || !current.has_value()) return Error::kBadState;
   const std::uint32_t new_epoch = *current + 1;
-  // MAC under the *current* keys, then advance our own side.
-  const hash::Digest mac = ratchet_mac(store_.peer_mac_key(peer), *role, new_epoch);
+  // MAC under the *current* keys (a copy taken under the shard lock — the
+  // session may be LRU-evicted by another worker at any point), then
+  // advance our own side; if the session vanished in between, ratchet()
+  // fails and no announcement leaves.
+  std::array<std::uint8_t, 32> mac_key{};
+  if (!store_.copy_peer_mac_key(peer, mac_key)) return Error::kBadState;
+  const hash::Digest mac = ratchet_mac(ByteView(mac_key), *role, new_epoch);
+  secure_wipe(ByteSpan(mac_key));
   auto advanced = store_.ratchet(peer, now);
   if (!advanced) return advanced.error();
 
@@ -161,13 +205,26 @@ Result<std::optional<Message>> SessionBroker::on_ratchet(const cert::DeviceId& p
   if (announced != *current + 1) return Error::kBadState;  // lockstep only
   const Role sender_role =
       *our_role == Role::kInitiator ? Role::kResponder : Role::kInitiator;
-  const hash::Digest expected = ratchet_mac(store_.peer_mac_key(peer), sender_role, announced);
+  std::array<std::uint8_t, 32> mac_key{};
+  if (!store_.copy_peer_mac_key(peer, mac_key)) return Error::kBadState;
+  const hash::Digest expected = ratchet_mac(ByteView(mac_key), sender_role, announced);
+  secure_wipe(ByteSpan(mac_key));
   if (!ct_equal(ByteView(incoming.payload).subspan(4), ByteView(expected)))
     return Error::kAuthenticationFailed;
 
   auto advanced = store_.ratchet(peer, now);
   if (!advanced) return advanced.error();
   ++stats_.ratchets_received;
+  return std::optional<Message>(std::nullopt);
+}
+
+Result<std::optional<Message>> SessionBroker::on_data(const cert::DeviceId& peer,
+                                                      const Message& incoming,
+                                                      std::uint64_t now) {
+  auto plaintext = store_.open(peer, incoming.payload, now);
+  if (!plaintext.ok()) return plaintext.error();
+  ++stats_.records_delivered;
+  if (config_.on_data) config_.on_data(peer, std::move(plaintext).value());
   return std::optional<Message>(std::nullopt);
 }
 
@@ -187,19 +244,34 @@ Result<Bytes> SessionBroker::open(const cert::DeviceId& peer, ByteView record,
   return store_.open(peer, record, now);
 }
 
+Result<Message> SessionBroker::make_data(const cert::DeviceId& peer, ByteView plaintext,
+                                         std::uint64_t now) {
+  auto record = store_.seal(peer, plaintext, now);
+  if (!record.ok()) return record.error();
+  Message message;
+  message.sender = store_.session_role(peer).value_or(Role::kInitiator);
+  message.step = std::string(kDataStep);
+  message.payload = std::move(record).value();
+  return message;
+}
+
 std::size_t SessionBroker::sweep_pending(std::uint64_t now) {
   std::size_t removed = 0;
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    // Clock regression kills the entry too (mirrors SessionStore::usable):
-    // a handshake "started in the future" can never legitimately finish.
-    const bool stalled = now < it->second.started_at ||
-                         now - it->second.started_at > config_.pending_ttl_seconds;
-    if (stalled) {
-      it = pending_.erase(it);
-      ++stats_.pending_expired;
-      ++removed;
-    } else {
-      ++it;
+  for (auto& shard : pending_) {
+    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      // Clock regression kills the entry too (mirrors SessionStore::usable):
+      // a handshake "started in the future" can never legitimately finish.
+      const bool stalled = now < it->second.started_at ||
+                           now - it->second.started_at > config_.pending_ttl_seconds;
+      if (stalled) {
+        it = shard.map.erase(it);
+        pending_count_.fetch_sub(1, std::memory_order_relaxed);
+        ++stats_.pending_expired;
+        ++removed;
+      } else {
+        ++it;
+      }
     }
   }
   return removed;
@@ -212,18 +284,17 @@ std::size_t SessionBroker::sweep(std::uint64_t now) {
 Result<std::size_t> SessionBroker::pump(SessionBroker& sender, SessionBroker& receiver,
                                         Result<Message> first, std::uint64_t now) {
   if (!first.ok()) return first.error();
-  std::optional<Message> in_flight = std::move(first).value();
-  SessionBroker* to = &receiver;
-  SessionBroker* from = &sender;
-  std::size_t exchanged = 1;
-  while (in_flight.has_value()) {
-    auto reply = to->on_message(from->id(), *in_flight, now);
-    if (!reply.ok()) return reply.error();
-    in_flight = std::move(reply).value();
-    if (in_flight.has_value()) ++exchanged;
-    std::swap(to, from);
-  }
-  return exchanged;
+  IdealLinkTransport link;
+  link.attach(sender.id());
+  link.attach(receiver.id());
+  const Status kicked = link.send(sender.id(), receiver.id(), std::move(first).value());
+  if (!kicked.ok()) return kicked.error();
+  const auto endpoint_for = [now](SessionBroker& broker) {
+    return Endpoint{broker.id(), [&broker, now](const cert::DeviceId& from, const Message& m) {
+                      return broker.on_message(from, m, now);
+                    }};
+  };
+  return pump_endpoints(link, {endpoint_for(receiver), endpoint_for(sender)});
 }
 
 }  // namespace ecqv::proto

@@ -16,7 +16,9 @@
 //                         │              establishment
 //                         ├─ "RK1"       authenticated epoch-ratchet
 //                         │              announcements (cheap resumption)
-//                         └─ seal()/open() data plane over the store
+//                         └─ "DT1"       sealed data-plane records, opened
+//                                        through the store and delivered to
+//                                        the on_data callback
 //
 // Handshake verification shares one PeerKeyCache: implicit public keys are
 // extracted once per certificate (eq. (1)) and every signature from a peer
@@ -29,16 +31,26 @@
 //   2. full rekey (after max_epochs resumptions, or when the session died):
 //      a fresh STS handshake re-anchors the chain in new ephemerals.
 //
-// Single-threaded by design (embedded event loop); the sharded store is
-// laid out so a future concurrent variant can lock per shard.
+// Threading: with BrokerConfig::concurrent set, on_message() may be called
+// from many threads as long as calls FOR THE SAME PEER never overlap (the
+// worker pool in core/concurrent_broker.hpp guarantees this by hashing
+// peers onto workers). Pending-handshake state is sharded under per-shard
+// mutexes, the store locks per shard, the peer cache pins entries, and all
+// Stats are relaxed atomics — so handshakes for different peers run truly
+// in parallel. Left off (default), everything degrades to the
+// single-threaded embedded event loop with zero locking overhead.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
 #include "core/peer_cache.hpp"
 #include "core/session_store.hpp"
 #include "core/sts.hpp"
+#include "core/transport.hpp"
 
 namespace ecqv::proto {
 
@@ -48,22 +60,31 @@ struct BrokerConfig {
   std::size_t peer_cache_capacity = 4096;
   std::size_t max_pending = 1024;           // concurrent in-flight handshakes
   std::uint64_t pending_ttl_seconds = 30;   // stalled handshakes GC'd by sweep()
+  /// Arms the broker (and its store + peer cache) for multi-threaded
+  /// dispatch; see the threading contract in the class comment.
+  bool concurrent = false;
+  /// Delivery callback for opened data-plane records ("DT1" messages fed
+  /// through on_message). May be invoked from worker threads.
+  std::function<void(const cert::DeviceId& peer, Bytes plaintext)> on_data;
 };
 
 class SessionBroker {
  public:
   struct Stats {
-    std::uint64_t handshakes_started = 0;
-    std::uint64_t handshakes_completed = 0;
-    std::uint64_t handshakes_failed = 0;
-    std::uint64_t ratchets_sent = 0;
-    std::uint64_t ratchets_received = 0;
-    std::uint64_t full_rekeys = 0;  // refresh() escalations past the ratchet
-    std::uint64_t pending_expired = 0;
+    StatCounter handshakes_started = 0;
+    StatCounter handshakes_completed = 0;
+    StatCounter handshakes_failed = 0;
+    StatCounter ratchets_sent = 0;
+    StatCounter ratchets_received = 0;
+    StatCounter full_rekeys = 0;  // refresh() escalations past the ratchet
+    StatCounter pending_expired = 0;
+    StatCounter records_delivered = 0;  // data-plane records opened via on_message
   };
 
   /// Epoch-ratchet announcement step id (alongside the STS "A1".."B2").
-  static constexpr std::string_view kRatchetStep = "RK1";
+  static constexpr std::string_view kRatchetStep = ecqv::proto::kRatchetStepLabel;
+  /// Data-plane record step id.
+  static constexpr std::string_view kDataStep = ecqv::proto::kDataStepLabel;
 
   SessionBroker(const Credentials& creds, rng::Rng& rng, BrokerConfig config = {});
   SessionBroker(const SessionBroker&) = delete;
@@ -76,7 +97,8 @@ class SessionBroker {
 
   /// Feeds one incoming message from `peer` (transport-authenticated
   /// address); returns the reply to send back, if any. Handles handshake
-  /// steps, completion (installs the session) and ratchet announcements.
+  /// steps, completion (installs the session), ratchet announcements and
+  /// data-plane records (opened and handed to config.on_data).
   /// Simultaneous open resolves by identity tie-break: when both endpoints
   /// connect() concurrently, the broker with the lexicographically larger
   /// id keeps its initiator role and swallows the crossing A1 (no reply);
@@ -87,7 +109,9 @@ class SessionBroker {
   /// Ideal-link pump for tests, benches and examples: delivers `first`
   /// (produced by `sender` — a connect(), refresh() or ratchet message for
   /// `receiver`) and shuttles replies until neither side has output.
-  /// Returns the number of messages exchanged.
+  /// Returns the number of messages exchanged. Internally one
+  /// pump_endpoints() run over an IdealLinkTransport — the same loop every
+  /// other fabric runner uses.
   static Result<std::size_t> pump(SessionBroker& sender, SessionBroker& receiver,
                                   Result<Message> first, std::uint64_t now);
 
@@ -107,6 +131,11 @@ class SessionBroker {
   Result<Bytes> seal(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
   Result<Bytes> open(const cert::DeviceId& peer, ByteView record, std::uint64_t now);
 
+  /// Seals `plaintext` and wraps it as a transportable DT1 message — the
+  /// outbound half of the data plane when records ride the fabric
+  /// transport (the peer's on_message opens it).
+  Result<Message> make_data(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
+
   /// Maintenance: bulk-expires dead sessions and stalled handshakes.
   /// Returns the number of entries reclaimed.
   std::size_t sweep(std::uint64_t now);
@@ -114,7 +143,9 @@ class SessionBroker {
   [[nodiscard]] SessionStore& store() { return store_; }
   [[nodiscard]] PeerKeyCache& peer_cache() { return cache_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t pending_handshakes() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_handshakes() const {
+    return pending_count_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const cert::DeviceId& id() const { return creds_.id; }
 
  private:
@@ -123,15 +154,37 @@ class SessionBroker {
     Role role;
     std::uint64_t started_at = 0;
   };
+  /// Pending handshakes shard like the store: map operations and the
+  /// long-running party step for a peer both happen under the shard mutex,
+  /// so a sweep() on another thread can never free a party mid-step. The
+  /// worker pool's peer affinity means two peers of one shard virtually
+  /// always belong to the same worker anyway — the lock is a correctness
+  /// backstop, not a contention point.
+  struct PendingShard {
+    mutable OptionalMutex mutex;
+    std::unordered_map<cert::DeviceId, Pending, DeviceIdHash> map;
+  };
+  static constexpr std::size_t kPendingShards = 64;  // power of two
 
+  [[nodiscard]] PendingShard& pending_shard(const cert::DeviceId& peer) {
+    return pending_[DeviceIdHash{}(peer) & (kPendingShards - 1)];
+  }
   [[nodiscard]] StsConfig sts_config(std::uint64_t now);
-  /// `resident` marks whether `pending` is the map entry for `peer` (and
-  /// may be erased on failure) or a not-yet-inserted replacement.
-  Result<std::optional<Message>> drive(const cert::DeviceId& peer, Pending& pending,
-                                       const Message& incoming, std::uint64_t now,
-                                       bool resident);
+  /// Admission control for a new pending handshake with `peer`. Must be
+  /// called WITHOUT the shard lock held (it sweeps all shards when full).
+  /// False = at capacity even after a sweep; the caller rejects.
+  [[nodiscard]] bool ensure_pending_capacity(PendingShard& shard, const cert::DeviceId& peer,
+                                             std::uint64_t now);
+  /// Shard lock held by the caller. `resident` marks whether `pending` is
+  /// the map entry for `peer` (and may be erased on failure) or a
+  /// not-yet-inserted replacement.
+  Result<std::optional<Message>> drive(PendingShard& shard, const cert::DeviceId& peer,
+                                       Pending& pending, const Message& incoming,
+                                       std::uint64_t now, bool resident);
   Result<std::optional<Message>> on_ratchet(const cert::DeviceId& peer, const Message& incoming,
                                             std::uint64_t now);
+  Result<std::optional<Message>> on_data(const cert::DeviceId& peer, const Message& incoming,
+                                         std::uint64_t now);
   std::size_t sweep_pending(std::uint64_t now);
 
   const Credentials& creds_;
@@ -139,7 +192,8 @@ class SessionBroker {
   BrokerConfig config_;
   SessionStore store_;
   PeerKeyCache cache_;
-  std::unordered_map<cert::DeviceId, Pending, DeviceIdHash> pending_;
+  std::array<PendingShard, kPendingShards> pending_;
+  std::atomic<std::size_t> pending_count_{0};
   Stats stats_;
 };
 

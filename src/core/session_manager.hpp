@@ -15,7 +15,9 @@
 // no ratcheting) for existing callers and tests.
 #pragma once
 
+#include "core/party.hpp"
 #include "core/session_store.hpp"
+#include "core/transport.hpp"
 
 namespace ecqv::proto {
 
@@ -50,6 +52,36 @@ class SessionManager {
 
   /// Retires a session and wipes its key material.
   void retire(const cert::DeviceId& peer) { store_.retire(peer); }
+
+  /// Runs a full key-derivation handshake between two parties over
+  /// `transport` (the shared pump — the manager owns no message loop of
+  /// its own) and installs the negotiated keys into both managers under
+  /// the opposite endpoint's id. Returns the first protocol error, or
+  /// kBadState when the handshake ends unestablished.
+  static Status establish(SessionManager& a_manager, Party& a_party, const cert::DeviceId& a_id,
+                          SessionManager& b_manager, Party& b_party, const cert::DeviceId& b_id,
+                          Transport& transport, std::uint64_t now) {
+    transport.attach(a_id);
+    transport.attach(b_id);
+    const auto endpoint_for = [](Party& party, const cert::DeviceId& id) {
+      return Endpoint{id, [&party](const cert::DeviceId&, const Message& message) {
+                        return party.on_message(message);
+                      }};
+    };
+    std::optional<Message> first = a_party.start();
+    if (first.has_value()) {
+      const Status sent = transport.send(a_id, b_id, *first);
+      if (!sent.ok()) return sent.error();
+      auto pumped = pump_endpoints(
+          transport, {endpoint_for(b_party, b_id), endpoint_for(a_party, a_id)},
+          /*max_messages=*/16);
+      if (!pumped.ok()) return pumped.error();
+    }
+    if (!a_party.established() || !b_party.established()) return Error::kBadState;
+    a_manager.install(b_id, a_party.session_keys(), now);
+    b_manager.install(a_id, b_party.session_keys(), now);
+    return {};
+  }
 
   [[nodiscard]] std::size_t active_sessions() const { return store_.active_sessions(); }
 

@@ -1,5 +1,7 @@
 #include "core/session_store.hpp"
 
+#include <algorithm>
+
 namespace ecqv::proto {
 
 namespace {
@@ -16,16 +18,20 @@ SessionStore::SessionStore(Role default_role, Config config)
     : default_role_(default_role), config_(config) {
   if (config_.capacity == 0) config_.capacity = 1;
   const std::size_t shard_count = round_up_pow2(config_.shards == 0 ? 1 : config_.shards);
-  shards_.resize(shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->mutex.enable(config_.concurrent);
+  }
   shard_mask_ = shard_count - 1;
 }
 
 SessionStore::Shard& SessionStore::shard_for(const cert::DeviceId& peer) {
-  return shards_[DeviceIdHash{}(peer) & shard_mask_];
+  return *shards_[DeviceIdHash{}(peer) & shard_mask_];
 }
 
 const SessionStore::Shard& SessionStore::shard_for(const cert::DeviceId& peer) const {
-  return shards_[DeviceIdHash{}(peer) & shard_mask_];
+  return *shards_[DeviceIdHash{}(peer) & shard_mask_];
 }
 
 bool SessionStore::usable(const Session& s, std::uint64_t now) const {
@@ -53,11 +59,11 @@ void SessionStore::wipe_and_erase(Shard& shard, std::list<Session>::iterator it)
   it->channel.wipe_keys();
   shard.index.erase(it->peer);
   shard.lru.erase(it);
-  --size_;
+  size_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-SessionStore::Session* SessionStore::lookup(const cert::DeviceId& peer, std::uint64_t now) {
-  Shard& shard = shard_for(peer);
+SessionStore::Session* SessionStore::locked_lookup(Shard& shard, const cert::DeviceId& peer,
+                                                   std::uint64_t now) {
   const auto idx = shard.index.find(peer);
   if (idx == shard.index.end()) return nullptr;
   const auto it = idx->second;
@@ -70,17 +76,37 @@ SessionStore::Session* SessionStore::lookup(const cert::DeviceId& peer, std::uin
   return &*it;
 }
 
-void SessionStore::evict_for_capacity(Shard& preferred) {
-  Shard* victim_shard = !preferred.lru.empty() ? &preferred : nullptr;
-  if (victim_shard == nullptr) {
-    // The inserting shard is empty but the store is full: evict from the
-    // fullest shard instead (rare — only under heavy hash skew).
-    for (Shard& s : shards_)
-      if (victim_shard == nullptr || s.lru.size() > victim_shard->lru.size())
-        victim_shard = &s;
+void SessionStore::evict_one(Shard& inserting) {
+  // Preferred victim: the inserting shard's own LRU tail — but only while
+  // the shard holds more than the session that was just inserted (the tail
+  // must be an *old* entry, never the fresh install itself).
+  {
+    std::lock_guard<OptionalMutex> lock(inserting.mutex);
+    if (inserting.lru.size() > 1) {
+      wipe_and_erase(inserting, std::prev(inserting.lru.end()));
+      ++stats_.capacity_evictions;
+      return;
+    }
   }
-  if (victim_shard == nullptr || victim_shard->lru.empty()) return;
-  wipe_and_erase(*victim_shard, std::prev(victim_shard->lru.end()));
+  // The inserting shard has nothing old to give (rare — only under heavy
+  // hash skew): evict from the fullest other shard. Shards are probed and
+  // locked strictly one at a time; sizes read between locks are a
+  // heuristic, and the final re-check under the victim's lock keeps the
+  // operation safe when the picture shifted.
+  Shard* victim = nullptr;
+  std::size_t victim_size = 0;
+  for (auto& shard : shards_) {
+    if (shard.get() == &inserting) continue;
+    std::lock_guard<OptionalMutex> lock(shard->mutex);
+    if (shard->lru.size() > victim_size) {
+      victim = shard.get();
+      victim_size = shard->lru.size();
+    }
+  }
+  if (victim == nullptr) return;
+  std::lock_guard<OptionalMutex> lock(victim->mutex);
+  if (victim->lru.empty()) return;
+  wipe_and_erase(*victim, std::prev(victim->lru.end()));
   ++stats_.capacity_evictions;
 }
 
@@ -92,27 +118,39 @@ void SessionStore::install(const cert::DeviceId& peer, const kdf::SessionKeys& k
 void SessionStore::install(const cert::DeviceId& peer, const kdf::SessionKeys& keys, Role role,
                            std::uint64_t now) {
   Shard& shard = shard_for(peer);
-  const auto idx = shard.index.find(peer);
-  if (idx != shard.index.end()) wipe_and_erase(shard, idx->second);
-  while (size_ >= config_.capacity) evict_for_capacity(shard);
-  shard.lru.push_front(Session{peer, keys, SecureChannel(keys, role), role, now, 0, 0});
-  shard.index.emplace(peer, shard.lru.begin());
-  ++size_;
-  ++stats_.installs;
+  {
+    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    const auto idx = shard.index.find(peer);
+    if (idx != shard.index.end()) wipe_and_erase(shard, idx->second);
+    shard.lru.push_front(Session{peer, keys, SecureChannel(keys, role), role, now, 0, 0});
+    shard.index.emplace(peer, shard.lru.begin());
+    size_.fetch_add(1, std::memory_order_relaxed);
+    ++stats_.installs;
+  }
+  // Enforce the bound after the insert so no operation holds two shard
+  // locks. Concurrent installs may momentarily overshoot by one session
+  // each; every overshoot is reclaimed here before install returns.
+  while (size_.load(std::memory_order_relaxed) > config_.capacity) evict_one(shard);
 }
 
 bool SessionStore::needs_rekey(const cert::DeviceId& peer, std::uint64_t now) {
-  const Session* s = lookup(peer, now);
+  Shard& shard = shard_for(peer);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  const Session* s = locked_lookup(shard, peer, now);
   return s == nullptr || !usable(*s, now);
 }
 
 bool SessionStore::can_ratchet(const cert::DeviceId& peer, std::uint64_t now) {
-  const Session* s = lookup(peer, now);
+  Shard& shard = shard_for(peer);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  const Session* s = locked_lookup(shard, peer, now);
   return s != nullptr && resumable(*s, now);
 }
 
 Result<std::uint32_t> SessionStore::ratchet(const cert::DeviceId& peer, std::uint64_t now) {
-  Session* s = lookup(peer, now);
+  Shard& shard = shard_for(peer);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  Session* s = locked_lookup(shard, peer, now);
   if (s == nullptr || !resumable(*s, now)) return Error::kBadState;
   kdf::SessionKeys next = kdf::ratchet_session_keys(s->keys, s->epoch + 1);
   s->keys.wipe();
@@ -129,7 +167,9 @@ Result<std::uint32_t> SessionStore::ratchet(const cert::DeviceId& peer, std::uin
 
 Result<Bytes> SessionStore::seal(const cert::DeviceId& peer, ByteView plaintext,
                                  std::uint64_t now) {
-  Session* s = lookup(peer, now);
+  Shard& shard = shard_for(peer);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  Session* s = locked_lookup(shard, peer, now);
   if (s == nullptr || !usable(*s, now)) return Error::kBadState;
   ++s->records;
   ++stats_.seals;
@@ -137,7 +177,9 @@ Result<Bytes> SessionStore::seal(const cert::DeviceId& peer, ByteView plaintext,
 }
 
 Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, std::uint64_t now) {
-  Session* s = lookup(peer, now);
+  Shard& shard = shard_for(peer);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  Session* s = locked_lookup(shard, peer, now);
   if (s == nullptr || !usable(*s, now)) return Error::kBadState;
   auto plaintext = s->channel.open(record);
   if (plaintext.ok()) {
@@ -149,6 +191,7 @@ Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, st
 
 void SessionStore::retire(const cert::DeviceId& peer) {
   Shard& shard = shard_for(peer);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
   const auto idx = shard.index.find(peer);
   if (idx == shard.index.end()) return;
   wipe_and_erase(shard, idx->second);
@@ -156,11 +199,12 @@ void SessionStore::retire(const cert::DeviceId& peer) {
 
 std::size_t SessionStore::sweep(std::uint64_t now) {
   std::size_t removed = 0;
-  for (Shard& shard : shards_) {
-    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+  for (auto& shard : shards_) {
+    std::lock_guard<OptionalMutex> lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       const auto next = std::next(it);
       if (!usable(*it, now) && !resumable(*it, now)) {
-        wipe_and_erase(shard, it);
+        wipe_and_erase(*shard, it);
         ++stats_.dead_evictions;
         ++removed;
       }
@@ -172,6 +216,7 @@ std::size_t SessionStore::sweep(std::uint64_t now) {
 
 std::optional<std::uint32_t> SessionStore::epoch(const cert::DeviceId& peer) const {
   const Shard& shard = shard_for(peer);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
   const auto idx = shard.index.find(peer);
   if (idx == shard.index.end()) return std::nullopt;
   return idx->second->epoch;
@@ -179,16 +224,20 @@ std::optional<std::uint32_t> SessionStore::epoch(const cert::DeviceId& peer) con
 
 std::optional<Role> SessionStore::session_role(const cert::DeviceId& peer) const {
   const Shard& shard = shard_for(peer);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
   const auto idx = shard.index.find(peer);
   if (idx == shard.index.end()) return std::nullopt;
   return idx->second->role;
 }
 
-ByteView SessionStore::peer_mac_key(const cert::DeviceId& peer) const {
+bool SessionStore::copy_peer_mac_key(const cert::DeviceId& peer,
+                                     std::array<std::uint8_t, 32>& out) const {
   const Shard& shard = shard_for(peer);
+  std::lock_guard<OptionalMutex> lock(shard.mutex);
   const auto idx = shard.index.find(peer);
-  if (idx == shard.index.end()) return {};
-  return ByteView(idx->second->keys.mac_key);
+  if (idx == shard.index.end()) return false;
+  out = idx->second->keys.mac_key;
+  return true;
 }
 
 }  // namespace ecqv::proto

@@ -7,12 +7,20 @@
 // This store replaces the old per-manager std::map with:
 //
 //  * Sharding: peers hash (FNV-1a over the 16-byte DeviceId) onto 2^k
-//    shards, each an LRU list + unordered index, so lookups stay O(1) and a
-//    future concurrent broker can lock per shard.
+//    shards, each an LRU list + unordered index, so lookups stay O(1).
+//  * Per-shard locking: with Config::concurrent set, every shard carries
+//    its own mutex and the concurrent broker's workers operate on disjoint
+//    shards in parallel. No operation ever holds two shard locks at once
+//    (capacity eviction and sweep() lock one shard at a time), so the lock
+//    graph is trivially cycle-free. Stats are relaxed atomics readable
+//    without any lock; the single-threaded profile keeps zero overhead
+//    because a disabled OptionalMutex is a predicted branch.
 //  * Capacity bound + LRU eviction: the store never holds more than
-//    `capacity` sessions; inserting past the bound wipes and evicts the
-//    least-recently-used session (per-shard order; exact global order with
-//    shards = 1). Evicted peers simply re-handshake.
+//    `capacity` sessions at rest; inserting past the bound wipes and evicts
+//    the least-recently-used session (per-shard order; exact global order
+//    with shards = 1). Under concurrent insert bursts the bound may be
+//    exceeded transiently by at most one session per in-flight install.
+//    Evicted peers simply re-handshake.
 //  * No lingering state: a session that is neither usable (budget spent /
 //    aged out) nor resumable (ratchet epochs exhausted / expired) is wiped
 //    and removed the moment any lookup or sweep touches it — dead key
@@ -25,11 +33,14 @@
 //    property is re-anchored in fresh ephemerals.
 #pragma once
 
+#include <atomic>
 #include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "core/secure_channel.hpp"
 #include "ecqv/certificate.hpp"
 
@@ -44,14 +55,8 @@ struct RekeyPolicy {
   }
 };
 
-/// FNV-1a over the 16 identity bytes: cheap, stable shard + bucket hash.
-struct DeviceIdHash {
-  std::size_t operator()(const cert::DeviceId& id) const {
-    std::uint64_t h = 1469598103934665603ull;
-    for (const std::uint8_t b : id.bytes) h = (h ^ b) * 1099511628211ull;
-    return static_cast<std::size_t>(h);
-  }
-};
+// DeviceIdHash (FNV-1a shard + bucket hash) lives in core/message.hpp,
+// shared with the transports and the worker pool's peer affinity.
 
 class SessionStore {
  public:
@@ -60,15 +65,18 @@ class SessionStore {
     std::size_t capacity = 4096;   // fleet-wide resident-session bound
     std::size_t shards = 16;       // rounded up to a power of two
     std::uint32_t max_epochs = 8;  // ratchet resumptions before full rekey
+    /// Arms the per-shard mutexes. Off (default) the store is exactly the
+    /// single-threaded structure it always was — locks cost one branch.
+    bool concurrent = false;
   };
 
   struct Stats {
-    std::uint64_t installs = 0;
-    std::uint64_t ratchets = 0;            // epoch resumptions
-    std::uint64_t capacity_evictions = 0;  // LRU pressure at the bound
-    std::uint64_t dead_evictions = 0;      // expired/exhausted, wiped on touch
-    std::uint64_t seals = 0;
-    std::uint64_t opens = 0;
+    StatCounter installs = 0;
+    StatCounter ratchets = 0;            // epoch resumptions
+    StatCounter capacity_evictions = 0;  // LRU pressure at the bound
+    StatCounter dead_evictions = 0;      // expired/exhausted, wiped on touch
+    StatCounter seals = 0;
+    StatCounter opens = 0;
   };
 
   SessionStore(Role default_role, Config config);
@@ -104,9 +112,11 @@ class SessionStore {
   /// Retires a session and wipes its key material.
   void retire(const cert::DeviceId& peer);
 
-  /// Bulk expiry sweep: wipes and evicts every dead session. Returns the
-  /// number removed. A fleet endpoint calls this periodically so expired
-  /// peers do not wait for their own next message to be reclaimed.
+  /// Bulk expiry sweep: wipes and evicts every dead session, locking one
+  /// shard at a time (concurrent traffic on other shards is never blocked).
+  /// Returns the number removed. A fleet endpoint calls this periodically
+  /// so expired peers do not wait for their own next message to be
+  /// reclaimed.
   std::size_t sweep(std::uint64_t now);
 
   /// Current epoch of `peer`'s session (nullopt when absent). Does not
@@ -116,11 +126,16 @@ class SessionStore {
   /// Session role of `peer` (nullopt when absent).
   [[nodiscard]] std::optional<Role> session_role(const cert::DeviceId& peer) const;
 
-  /// MAC key view for `peer`'s current epoch (ratchet announcements are
-  /// authenticated under it). Empty view when absent.
-  [[nodiscard]] ByteView peer_mac_key(const cert::DeviceId& peer) const;
+  /// Copies `peer`'s current-epoch MAC key into `out` under the shard lock
+  /// (ratchet announcements are authenticated under it); false when absent.
+  /// A copy rather than a view: a view could dangle the instant another
+  /// worker's install LRU-evicts the session. The caller wipes the copy.
+  [[nodiscard]] bool copy_peer_mac_key(const cert::DeviceId& peer,
+                                       std::array<std::uint8_t, 32>& out) const;
 
-  [[nodiscard]] std::size_t active_sessions() const { return size_; }
+  [[nodiscard]] std::size_t active_sessions() const {
+    return size_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t capacity() const { return config_.capacity; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }
@@ -136,6 +151,7 @@ class SessionStore {
     std::uint32_t epoch = 0;
   };
   struct Shard {
+    mutable OptionalMutex mutex;
     std::list<Session> lru;  // front = most recently used
     std::unordered_map<cert::DeviceId, std::list<Session>::iterator, DeviceIdHash> index;
   };
@@ -144,16 +160,21 @@ class SessionStore {
   [[nodiscard]] const Shard& shard_for(const cert::DeviceId& peer) const;
   [[nodiscard]] bool usable(const Session& s, std::uint64_t now) const;
   [[nodiscard]] bool resumable(const Session& s, std::uint64_t now) const;
+  /// Shard lock must be held.
   void wipe_and_erase(Shard& shard, std::list<Session>::iterator it);
-  /// Finds `peer`, evicting it when dead; on a hit, refreshes LRU order.
-  Session* lookup(const cert::DeviceId& peer, std::uint64_t now);
-  void evict_for_capacity(Shard& preferred);
+  /// Finds `peer` in `shard` (lock held), evicting it when dead; on a hit,
+  /// refreshes LRU order.
+  Session* locked_lookup(Shard& shard, const cert::DeviceId& peer, std::uint64_t now);
+  /// Evicts one LRU victim while the store is over capacity. Locks at most
+  /// one shard at a time; `inserting` is the shard that just grew (its own
+  /// tail is the preferred victim, matching the old pre-insert semantics).
+  void evict_one(Shard& inserting);
 
   Role default_role_;
   Config config_;
-  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_mask_ = 0;
-  std::size_t size_ = 0;
+  std::atomic<std::size_t> size_{0};
   Stats stats_;
 };
 

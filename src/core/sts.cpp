@@ -86,11 +86,16 @@ kdf::SessionKeys derive_keys(const ec::AffinePoint& premaster, const cert::Devic
 
 /// Peer authentication material for one verification: the implicit public
 /// key plus, when a broker-shared cache served it, the peer's cached wNAF
-/// verification table. The table pointer is only valid until the next cache
-/// call — use it within the same processing step, never across messages.
+/// verification table. The shared_ptr pins the cache entry for the
+/// verification's duration — a concurrent worker's eviction cannot pull
+/// the table out from under us.
 struct PeerAuth {
   ec::AffinePoint q;
-  const ec::VerifyTable* table = nullptr;
+  PeerKeyCache::EntryPtr entry;  // null when no cache served the lookup
+
+  [[nodiscard]] const ec::VerifyTable* table() const {
+    return entry != nullptr ? &entry->table : nullptr;
+  }
 };
 
 /// Validates a peer certificate: window, subject, usable curve point.
@@ -104,7 +109,7 @@ Result<PeerAuth> check_and_extract(const cert::Certificate& certificate,
   if (config.peer_cache != nullptr) {
     auto entry = config.peer_cache->get(certificate, q_ca);
     if (!entry) return entry.error();
-    return PeerAuth{entry.value()->public_key, &entry.value()->table};
+    return PeerAuth{entry.value()->public_key, std::move(entry).value()};
   }
   auto q = cert::extract_public_key(certificate, q_ca);
   if (!q) return q.error();
@@ -112,8 +117,8 @@ Result<PeerAuth> check_and_extract(const cert::Certificate& certificate,
 }
 
 bool verify_peer(const PeerAuth& auth, ByteView signed_data, const sig::Signature& signature) {
-  return auth.table != nullptr ? sig::verify(*auth.table, signed_data, signature)
-                               : sig::verify(auth.q, signed_data, signature);
+  return auth.table() != nullptr ? sig::verify(*auth.table(), signed_data, signature)
+                                 : sig::verify(auth.q, signed_data, signature);
 }
 
 }  // namespace
@@ -374,12 +379,12 @@ Result<std::optional<Message>> StsResponder::handle_a2(const Message& incoming) 
       return;
     }
     const Bytes signed_data = resp_sign_input(xga_, xgb_);
-    // The cached-table pointer from Op2b/Op4a may have been invalidated by
-    // interleaved broker handshakes; re-fetch it (a cheap cache hit) here.
+    // Re-fetch the cache entry (a cheap hit) so this verification pins its
+    // own reference instead of relying on one held across messages.
     PeerAuth auth{peer_public_, nullptr};
     if (config_.peer_cache != nullptr && peer_cert_.has_value()) {
       auto entry = config_.peer_cache->get(*peer_cert_, creds_.ca_public);
-      if (entry.ok()) auth.table = &entry.value()->table;
+      if (entry.ok()) auth.entry = std::move(entry).value();
     }
     if (!verify_peer(auth, signed_data, signature.value()))
       failure = Error::kAuthenticationFailed;

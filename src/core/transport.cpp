@@ -1,0 +1,60 @@
+#include "core/transport.hpp"
+
+namespace ecqv::proto {
+
+void IdealLinkTransport::attach(const cert::DeviceId& endpoint) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  inboxes_.try_emplace(endpoint);
+}
+
+Status IdealLinkTransport::send(const cert::DeviceId& src, const cert::DeviceId& dst,
+                                const Message& message) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  if (inboxes_.find(src) == inboxes_.end()) return Error::kBadState;
+  const auto inbox = inboxes_.find(dst);
+  if (inbox == inboxes_.end()) return Error::kBadState;
+  ++stats_.messages;
+  stats_.payload_bytes += message.payload.size();
+  inbox->second.push_back(Datagram{src, dst, message});
+  return {};
+}
+
+std::optional<Datagram> IdealLinkTransport::receive(const cert::DeviceId& dst) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  const auto inbox = inboxes_.find(dst);
+  if (inbox == inboxes_.end() || inbox->second.empty()) return std::nullopt;
+  Datagram out = std::move(inbox->second.front());
+  inbox->second.pop_front();
+  return out;
+}
+
+bool IdealLinkTransport::idle() {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  for (const auto& [id, inbox] : inboxes_)
+    if (!inbox.empty()) return false;
+  return true;
+}
+
+Result<std::size_t> pump_endpoints(Transport& transport, const std::vector<Endpoint>& endpoints,
+                                   std::size_t max_messages) {
+  std::size_t delivered = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const auto& endpoint : endpoints) {
+      while (auto datagram = transport.receive(endpoint.id)) {
+        if (++delivered > max_messages) return Error::kBadState;
+        progress = true;
+        auto reply = endpoint.handler(datagram->src, datagram->message);
+        if (!reply.ok()) return reply.error();
+        if (reply->has_value()) {
+          const Status sent = transport.send(endpoint.id, datagram->src, **reply);
+          if (!sent.ok()) return sent.error();
+        }
+      }
+    }
+  }
+  return delivered;
+}
+
+}  // namespace ecqv::proto

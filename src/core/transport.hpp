@@ -1,0 +1,109 @@
+// Pluggable transport layer: how fabric messages move between endpoints.
+//
+// The paper frames the protocol as messages riding a CAN-FD stack (Fig. 6);
+// PR 2's broker instead shuttled Message objects directly between two
+// objects in memory, and every test/bench/example grew its own copy of that
+// loop. This interface makes the link an explicit, swappable component:
+//
+//   * IdealLinkTransport — the zero-latency in-memory link (what the old
+//     pump loops modeled implicitly), with optional thread safety so a
+//     worker pool can send replies while the main loop polls.
+//   * can::CanFdTransport (src/canfd/canfd_transport.hpp) — the same
+//     datagrams framed through session-layer PDUs + ISO-TP fragmentation
+//     onto the simulated CAN-FD bus, so fleet runs measure real
+//     fragmentation, flow control and bus timing.
+//
+// A Datagram is one addressed fabric message: source, destination, and the
+// protocol Message (handshake step, ratchet announcement, or sealed data
+// record). Transports deliver per-destination FIFO; per-source ordering to
+// one destination is preserved — the property the broker's per-peer
+// handshake state machine relies on.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "core/message.hpp"
+
+namespace ecqv::proto {
+
+struct Datagram {
+  cert::DeviceId src;
+  cert::DeviceId dst;
+  Message message;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers an endpoint address. Sending from / to an unattached
+  /// endpoint fails with kBadState.
+  virtual void attach(const cert::DeviceId& endpoint) = 0;
+
+  /// Queues one message from `src` to `dst`. A transport may drop traffic
+  /// (lossy links return kOk — loss is the receiver's problem, as on a real
+  /// bus); errors are reserved for misuse (unattached endpoints, oversized
+  /// payloads).
+  virtual Status send(const cert::DeviceId& src, const cert::DeviceId& dst,
+                      const Message& message) = 0;
+
+  /// Next datagram addressed to `dst` (FIFO), advancing the link
+  /// simulation as needed. nullopt when nothing is deliverable.
+  virtual std::optional<Datagram> receive(const cert::DeviceId& dst) = 0;
+
+  /// True when no datagram is queued for any endpoint and nothing is in
+  /// flight. Stalled partial transfers on lossy links do not count — they
+  /// can never complete.
+  [[nodiscard]] virtual bool idle() = 0;
+};
+
+/// The ideal in-memory link: instant delivery, per-destination FIFO
+/// inboxes. `concurrent` arms the internal mutex for worker-pool use.
+class IdealLinkTransport final : public Transport {
+ public:
+  struct Stats {
+    StatCounter messages = 0;
+    StatCounter payload_bytes = 0;
+  };
+
+  explicit IdealLinkTransport(bool concurrent = false) { mutex_.enable(concurrent); }
+
+  void attach(const cert::DeviceId& endpoint) override;
+  Status send(const cert::DeviceId& src, const cert::DeviceId& dst,
+              const Message& message) override;
+  std::optional<Datagram> receive(const cert::DeviceId& dst) override;
+  [[nodiscard]] bool idle() override;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  OptionalMutex mutex_;
+  std::unordered_map<cert::DeviceId, std::deque<Datagram>, DeviceIdHash> inboxes_;
+  Stats stats_;
+};
+
+/// One transport endpoint for the shared pump: an address plus the handler
+/// that consumes an inbound message and may produce a reply (sent back to
+/// the datagram's source).
+struct Endpoint {
+  cert::DeviceId id;
+  std::function<Result<std::optional<Message>>(const cert::DeviceId& from, const Message&)>
+      handler;
+};
+
+/// THE message loop — drains `transport`, dispatching every datagram to its
+/// endpoint's handler and sending replies back through the transport, until
+/// the link is idle. Replaces the hand-rolled shuttling loops that used to
+/// live in core/driver, SessionBroker::pump, the benches and the examples.
+/// Returns the number of datagrams delivered; the first handler or send
+/// error aborts the loop. `max_messages` guards against a protocol state
+/// machine that ping-pongs forever.
+Result<std::size_t> pump_endpoints(Transport& transport, const std::vector<Endpoint>& endpoints,
+                                   std::size_t max_messages = 100000);
+
+}  // namespace ecqv::proto

@@ -1,0 +1,33 @@
+// Mutex-serialized Rng adapter.
+//
+// The concurrent broker's workers all draw ephemerals through the one Rng
+// their SessionBroker was built with; most Rng implementations (TestRng,
+// HMAC-DRBG) carry mutable state, so unsynchronized concurrent fill() calls
+// would corrupt it. Wrapping the inner Rng here makes any generator safe to
+// share: draws serialize, each caller still receives a distinct stream
+// prefix. Deterministic seeds stay deterministic per-process but the
+// per-thread interleaving is scheduling-dependent — exactly the semantics a
+// shared hardware TRNG would have.
+#pragma once
+
+#include <mutex>
+
+#include "rng/rng.hpp"
+
+namespace ecqv::rng {
+
+class LockedRng final : public Rng {
+ public:
+  explicit LockedRng(Rng& inner) : inner_(inner) {}
+
+  void fill(ByteSpan out) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_.fill(out);
+  }
+
+ private:
+  Rng& inner_;
+  std::mutex mutex_;
+};
+
+}  // namespace ecqv::rng

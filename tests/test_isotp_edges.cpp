@@ -1,0 +1,163 @@
+// ISO-TP edge cases the CAN-FD fabric transport exercises: max-DLC
+// padding, interleaved multi-peer transfers, truncated final frames, and
+// recovery after an abandoned transfer (the receiver-side half of the
+// flow-control timeout story).
+#include <gtest/gtest.h>
+
+#include "canfd/isotp.hpp"
+
+namespace ecqv::can {
+namespace {
+
+Bytes patterned(std::size_t n) {
+  Bytes payload(n);
+  for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<std::uint8_t>(i * 31 + 5);
+  return payload;
+}
+
+TEST(IsoTpEdges, EveryFrameIsDlcPaddedAndPaddingIsStripped) {
+  // Payload sizes straddling each DLC boundary: the sender must pad every
+  // frame to a valid CAN-FD size, the reassembler must strip the padding
+  // using the declared lengths, never the frame sizes.
+  for (const std::size_t size : {5u, 11u, 45u, 61u, 62u, 63u, 64u, 125u, 130u, 187u, 200u}) {
+    const Bytes payload = patterned(size);
+    const auto frames = isotp_segment(0x55, payload);
+    for (const auto& frame : frames) {
+      EXPECT_EQ(frame.data.size(), dlc_round_up(frame.data.size()))
+          << "frame not DLC-padded at payload size " << size;
+      EXPECT_LE(frame.data.size(), kMaxDataBytes);
+    }
+    IsoTpReassembler rx;
+    std::optional<Bytes> completed;
+    for (const auto& frame : frames) {
+      auto fed = rx.feed(frame);
+      ASSERT_TRUE(fed.ok()) << size;
+      if (fed->has_value()) completed = **fed;
+    }
+    ASSERT_TRUE(completed.has_value()) << size;
+    EXPECT_EQ(*completed, payload) << size;
+  }
+}
+
+TEST(IsoTpEdges, MaxDlcConsecutiveFramesCarry63Bytes) {
+  // 62 (FF) + 63 + 63 = 188: the last CF is exactly full — and 189 needs
+  // one more frame whose single data byte rides a 2-byte-padded frame.
+  EXPECT_EQ(isotp_frame_count(188), 3u);
+  EXPECT_EQ(isotp_frame_count(189), 4u);
+  const auto frames = isotp_segment(0x1, patterned(189));
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[1].data.size(), 64u);  // full CF at max DLC
+  EXPECT_EQ(frames[2].data.size(), 64u);
+  EXPECT_EQ(frames[3].data.size(), 2u);  // 1 PCI + 1 data byte -> DLC 2
+}
+
+TEST(IsoTpEdges, InterleavedMultiPeerTransfersReassembleIndependently) {
+  // Frames of two senders interleave on the bus; demultiplexing by
+  // arbitration id (one reassembler per sender) keeps both transfers
+  // intact. This is the receiver structure CanFdTransport uses.
+  const Bytes payload_a = patterned(180);
+  const Bytes payload_b = patterned(300);
+  const auto frames_a = isotp_segment(0x101, payload_a);
+  const auto frames_b = isotp_segment(0x102, payload_b);
+
+  IsoTpReassembler rx_a, rx_b;
+  std::optional<Bytes> done_a, done_b;
+  const std::size_t rounds = std::max(frames_a.size(), frames_b.size());
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (i < frames_a.size()) {
+      auto fed = rx_a.feed(frames_a[i]);
+      ASSERT_TRUE(fed.ok());
+      if (fed->has_value()) done_a = **fed;
+    }
+    if (i < frames_b.size()) {
+      auto fed = rx_b.feed(frames_b[i]);
+      ASSERT_TRUE(fed.ok());
+      if (fed->has_value()) done_b = **fed;
+    }
+  }
+  ASSERT_TRUE(done_a.has_value());
+  ASSERT_TRUE(done_b.has_value());
+  EXPECT_EQ(*done_a, payload_a);
+  EXPECT_EQ(*done_b, payload_b);
+}
+
+TEST(IsoTpEdges, SingleReassemblerRejectsInterleavedSenders) {
+  // The negative control: feed the same interleaving into ONE reassembler
+  // (no arbitration-id demux) and the sequence numbering breaks — which is
+  // exactly why the transport keys reassembly by sender.
+  const auto frames_a = isotp_segment(0x101, patterned(180));
+  const auto frames_b = isotp_segment(0x102, patterned(300));
+  IsoTpReassembler rx;
+  ASSERT_TRUE(rx.feed(frames_a[0]).ok());
+  // B's First Frame terminates A's in-flight transfer (ISO 15765-2).
+  ASSERT_TRUE(rx.feed(frames_b[0]).ok());
+  EXPECT_EQ(rx.aborted(), 1u);
+  // A's consecutive frame now collides with B's expected sequence... the
+  // transfer can only fail from here.
+  auto fed = rx.feed(frames_a[1]);
+  ASSERT_TRUE(fed.ok());  // seq 1 happens to match B's expectation
+  auto crossed = rx.feed(frames_b[1]);
+  EXPECT_FALSE(crossed.ok());  // ...and B's own frame now mismatches
+}
+
+TEST(IsoTpEdges, TruncatedFinalFrameStallsUntilNextTransferRecovers) {
+  // A final CF that physically carries fewer bytes than the declared total
+  // leaves the transfer incomplete (a truncated tail never silently
+  // completes); the next First Frame terminates the stale state and the
+  // new transfer succeeds.
+  const Bytes payload = patterned(150);  // FF(62) + CF(63) + CF(25)
+  auto frames = isotp_segment(0x7, payload);
+  ASSERT_EQ(frames.size(), 3u);
+  frames[2].data.resize(8);  // truncate the final frame on the wire
+
+  IsoTpReassembler rx;
+  ASSERT_TRUE(rx.feed(frames[0]).ok());
+  ASSERT_TRUE(rx.feed(frames[1]).ok());
+  auto truncated = rx.feed(frames[2]);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_FALSE(truncated->has_value());  // still waiting for missing bytes
+  EXPECT_TRUE(rx.in_progress());
+
+  // Recovery: a fresh transfer preempts the stalled one and completes.
+  const Bytes fresh = patterned(90);
+  std::optional<Bytes> completed;
+  for (const auto& frame : isotp_segment(0x7, fresh)) {
+    auto fed = rx.feed(frame);
+    ASSERT_TRUE(fed.ok());
+    if (fed->has_value()) completed = **fed;
+  }
+  EXPECT_EQ(rx.aborted(), 1u);
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, fresh);
+}
+
+TEST(IsoTpEdges, SingleFramePreemptsStalledTransfer) {
+  const auto big = isotp_segment(0x7, patterned(150));
+  IsoTpReassembler rx;
+  ASSERT_TRUE(rx.feed(big[0]).ok());
+  // An SF arrives mid-transfer: stale transfer dies, SF delivers.
+  auto sf = rx.feed(isotp_segment(0x7, patterned(7))[0]);
+  ASSERT_TRUE(sf.ok());
+  ASSERT_TRUE(sf->has_value());
+  EXPECT_EQ(**sf, patterned(7));
+  EXPECT_EQ(rx.aborted(), 1u);
+  EXPECT_FALSE(rx.in_progress());
+}
+
+TEST(IsoTpEdges, DeclaredLengthBeyondFramesNeverCompletes) {
+  // A First Frame declaring more bytes than the sender ever ships must not
+  // produce a payload out of padding.
+  Bytes payload = patterned(100);
+  auto frames = isotp_segment(0x3, payload);
+  frames[0].data[1] = 200;  // inflate the 12-bit length field's low byte
+  IsoTpReassembler rx;
+  for (const auto& frame : frames) {
+    auto fed = rx.feed(frame);
+    ASSERT_TRUE(fed.ok());
+    EXPECT_FALSE(fed->has_value());
+  }
+  EXPECT_TRUE(rx.in_progress());  // honest: transfer incomplete, not wrong
+}
+
+}  // namespace
+}  // namespace ecqv::can

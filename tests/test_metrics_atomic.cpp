@@ -1,0 +1,91 @@
+// Atomic op accounting: no primitive count is lost when crypto runs on a
+// worker pool (the satellite guarantee for the concurrent fabric).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/sync.hpp"
+
+namespace ecqv {
+namespace {
+
+TEST(AtomicMetrics, ThreadedSoakLosesNothing) {
+  // T threads, each bumping through all three routes a worker can take:
+  // direct count_op with no scope, a root CountScope forwarding on
+  // destruction, and nested scopes folding into their root first.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  AtomicCountSink sink;
+  {
+    GlobalCountScope global(sink);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) count_op(Op::kHmac);
+        {
+          CountScope root;
+          for (std::uint64_t i = 0; i < kPerThread; ++i) count_op(Op::kAesBlock);
+          {
+            CountScope nested;
+            for (std::uint64_t i = 0; i < kPerThread; ++i) count_op(Op::kSha256Block);
+          }
+        }  // root forwards kAesBlock + kSha256Block to the global sink
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const OpCounts total = sink.snapshot();
+  EXPECT_EQ(total[Op::kHmac], kThreads * kPerThread);
+  EXPECT_EQ(total[Op::kAesBlock], kThreads * kPerThread);
+  EXPECT_EQ(total[Op::kSha256Block], kThreads * kPerThread);
+  EXPECT_EQ(total[Op::kEcMulBase], 0u);
+}
+
+TEST(AtomicMetrics, ActiveScopeStillShadowsTheGlobalSink) {
+  // Single-threaded users with a CountScope keep their exact semantics:
+  // the scope collects, the sink sees the tally only when the root scope
+  // unwinds.
+  AtomicCountSink sink;
+  GlobalCountScope global(sink);
+  {
+    CountScope scope;
+    count_op(Op::kCmac, 3);
+    EXPECT_EQ(scope.counts()[Op::kCmac], 3u);
+    EXPECT_EQ(sink.snapshot()[Op::kCmac], 0u);  // not yet forwarded
+  }
+  EXPECT_EQ(sink.snapshot()[Op::kCmac], 3u);
+}
+
+TEST(AtomicMetrics, WithoutGlobalSinkCountingStaysScopedOnly) {
+  count_op(Op::kDrbgByte, 7);  // no scope, no sink: a silent no-op
+  CountScope scope;
+  count_op(Op::kDrbgByte, 2);
+  EXPECT_EQ(scope.counts()[Op::kDrbgByte], 2u);
+}
+
+TEST(AtomicMetrics, OnlyOneGlobalSinkAtATime) {
+  AtomicCountSink first, second;
+  GlobalCountScope global(first);
+  EXPECT_THROW(GlobalCountScope another(second), std::logic_error);
+}
+
+TEST(StatCounterTest, ConcurrentIncrementsAreExact) {
+  StatCounter counter;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) ++counter;
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, kThreads * kPerThread);
+  // Value semantics: a copy is a plain snapshot.
+  const StatCounter snapshot = counter;
+  EXPECT_EQ(snapshot.load(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace ecqv

@@ -3,6 +3,7 @@
 
 #include "core/session_manager.hpp"
 #include "kdf/session_keys.hpp"
+#include "protocol_fixture.hpp"
 
 namespace ecqv::proto {
 namespace {
@@ -109,6 +110,31 @@ TEST(SessionManager, ClockRegressionForcesRekey) {
   SessionManager manager(Role::kInitiator);
   manager.install(kPeer, keys_for("s7"), kT0);
   EXPECT_TRUE(manager.needs_rekey(kPeer, kT0 - 1));
+}
+
+TEST(SessionManager, EstablishRunsHandshakeOverTransport) {
+  // The shim owns no message loop: establish() routes the handshake
+  // through a Transport via the shared pump and installs both sides.
+  ecqv::testing::World world;
+  rng::TestRng rng_a(50), rng_b(51);
+  auto pair = make_parties(ProtocolKind::kSts, world.alice, world.bob, rng_a, rng_b,
+                           ecqv::testing::kNow);
+  SessionManager alice(Role::kInitiator);
+  SessionManager bob(Role::kResponder);
+  IdealLinkTransport link;
+  const Status established =
+      SessionManager::establish(alice, *pair.initiator, world.alice.id, bob, *pair.responder,
+                                world.bob.id, link, ecqv::testing::kNow);
+  ASSERT_TRUE(established.ok());
+  EXPECT_TRUE(link.idle());
+  EXPECT_EQ(alice.active_sessions(), 1u);
+  EXPECT_EQ(bob.active_sessions(), 1u);
+
+  auto record = alice.seal(world.bob.id, bytes_of("handshaken"), ecqv::testing::kNow);
+  ASSERT_TRUE(record.ok());
+  auto opened = bob.open(world.alice.id, record.value(), ecqv::testing::kNow);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), bytes_of("handshaken"));
 }
 
 }  // namespace

@@ -6,11 +6,15 @@
 #   tools/run_bench.sh [build-dir]
 #
 # Outputs:
-#   BENCH_primitives.json  — bench_primitives_native (EC/field/hash/AES ops)
-#   BENCH_protocols.json   — bench_protocols_native (STS/SCIANC/PorAmB etc.)
-#   BENCH_fleet.json       — bench_fleet (session fabric: batch extraction,
-#                            cached-table verify, ratchet vs full rekey,
-#                            fleet seal/open throughput)
+#   BENCH_primitives.json   — bench_primitives_native (EC/field/hash/AES ops)
+#   BENCH_protocols.json    — bench_protocols_native (STS/SCIANC/PorAmB etc.)
+#   BENCH_fleet.json        — bench_fleet (session fabric: batch extraction,
+#                             cached-table verify, ratchet vs full rekey,
+#                             fleet seal/open throughput)
+#   BENCH_concurrency.json  — bench_concurrency (worker sweep over ideal +
+#                             CAN-FD transports, sharded-store thread sweep;
+#                             the JSON context records hardware_concurrency —
+#                             compare speedups only across equal core counts)
 #
 # Compare against the committed BENCH_baseline.json (the same suite captured
 # at the pre-fast-path seed) with e.g.:
@@ -28,7 +32,7 @@ build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target bench_primitives_native bench_protocols_native bench_fleet \
-  -j"$(nproc)"
+  bench_concurrency -j"$(nproc)"
 
 "$build_dir/bench_primitives_native" \
   --benchmark_format=json \
@@ -42,4 +46,6 @@ cmake --build "$build_dir" --target bench_primitives_native bench_protocols_nati
 
 "$build_dir/bench_fleet" "$repo_root/BENCH_fleet.json"
 
-echo "Wrote $repo_root/BENCH_primitives.json, BENCH_protocols.json and BENCH_fleet.json"
+"$build_dir/bench_concurrency" "$repo_root/BENCH_concurrency.json"
+
+echo "Wrote $repo_root/BENCH_primitives.json, BENCH_protocols.json, BENCH_fleet.json and BENCH_concurrency.json"
