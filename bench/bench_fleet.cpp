@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "canfd/canfd_transport.hpp"
 #include "core/session_broker.hpp"
 #include "ec/verify_table.hpp"
 #include "ecdsa/ecdsa.hpp"
@@ -185,6 +186,95 @@ void bench_rekey(Fleet& fleet) {
               full / ratchet);
 }
 
+/// The RK1-round-saved comparison: one rekey cycle while data is flowing,
+/// as (a) a DT1 data record PLUS a standalone RK1 round, vs (b) one DT1
+/// carrying the piggybacked epoch signal. Measured twice: CPU time on the
+/// ideal link, and bus occupancy (bus-ms + wire bytes) through the full
+/// CAN-FD stack — where the saved round is real bus time.
+void bench_piggyback(Fleet& fleet) {
+  proto::BrokerConfig config;
+  config.store.capacity = 16;
+  config.store.policy = proto::RekeyPolicy::unlimited();
+  config.store.max_epochs = 1u << 30;
+  const Bytes payload = bytes_of("12-byte load");
+
+  std::vector<std::unique_ptr<rng::TestRng>> rngs;  // outlive the brokers they feed
+  const auto fresh_pair = [&](std::uint64_t seed)
+      -> std::pair<std::unique_ptr<proto::SessionBroker>, std::unique_ptr<proto::SessionBroker>> {
+    rngs.push_back(std::make_unique<rng::TestRng>(seed));
+    rngs.push_back(std::make_unique<rng::TestRng>(seed + 1));
+    auto client = std::make_unique<proto::SessionBroker>(fleet.devices[0], *rngs[rngs.size() - 2],
+                                                         config);
+    auto server = std::make_unique<proto::SessionBroker>(fleet.devices[1], *rngs.back(), config);
+    if (run_handshake(*client, *server, fleet.devices[0].id, fleet.devices[1].id, kNow) != 4)
+      std::abort();
+    return {std::move(client), std::move(server)};
+  };
+  const cert::DeviceId client_id = fleet.devices[0].id;
+  const cert::DeviceId server_id = fleet.devices[1].id;
+
+  // --- ideal link: CPU cost per rekey-while-streaming cycle -------------
+  constexpr std::size_t kCycles = 3000;
+  {
+    auto [client, server] = fresh_pair(400);
+    const double rk1 = time_per_op_us(kCycles, [&](std::size_t) {
+      auto record = client->make_data(server_id, payload, kNow, proto::DataRekey::kNone);
+      if (!record.ok()) std::abort();
+      if (!server->on_message(client_id, record.value(), kNow).ok()) std::abort();
+      auto announce = client->initiate_ratchet(server_id, kNow);
+      if (!announce.ok()) std::abort();
+      if (!server->on_message(client_id, announce.value(), kNow).ok()) std::abort();
+    });
+    report("BM_RatchetViaRk1Ideal", kCycles, rk1, "DT1 + standalone RK1 round, both sides");
+
+    auto [client2, server2] = fresh_pair(500);
+    const double dt1 = time_per_op_us(kCycles, [&](std::size_t) {
+      auto record = client2->make_data(server_id, payload, kNow, proto::DataRekey::kRatchet);
+      if (!record.ok()) std::abort();
+      if (!server2->on_message(client_id, record.value(), kNow).ok()) std::abort();
+    });
+    report("BM_RatchetViaDt1Ideal", kCycles, dt1, "piggybacked epoch signal, one DT1");
+    std::printf("  -> piggybacked rekey cycle: %.2fx the CPU, one message instead of two\n",
+                dt1 / rk1);
+  }
+
+  // --- CAN-FD: bus occupancy per cycle (the round that is saved) --------
+  constexpr std::size_t kBusCycles = 500;
+  const auto bus_cycle =
+      [&](std::uint64_t seed, bool piggyback) -> std::pair<double, std::uint64_t> {
+    can::CanFdTransport link;
+    link.attach(client_id);
+    link.attach(server_id);
+    auto [client, server] = fresh_pair(seed);
+    const auto ship = [&](Result<proto::Message> message) {
+      if (!message.ok()) std::abort();
+      if (!link.send(client_id, server_id, std::move(message).value()).ok()) std::abort();
+      auto datagram = link.receive(server_id);
+      if (!datagram.has_value()) std::abort();
+      if (!server->on_message(datagram->src, datagram->message, kNow).ok()) std::abort();
+    };
+    for (std::size_t i = 0; i < kBusCycles; ++i) {
+      if (piggyback) {
+        ship(client->make_data(server_id, payload, kNow, proto::DataRekey::kRatchet));
+      } else {
+        ship(client->make_data(server_id, payload, kNow, proto::DataRekey::kNone));
+        ship(client->initiate_ratchet(server_id, kNow));
+      }
+    }
+    return {link.bus_time_ms(), link.stats().wire_bytes};
+  };
+  const auto [rk1_ms, rk1_bytes] = bus_cycle(600, /*piggyback=*/false);
+  const auto [dt1_ms, dt1_bytes] = bus_cycle(700, /*piggyback=*/true);
+  report("BM_RatchetViaRk1CanFdBusMs", kBusCycles, 1000.0 * rk1_ms / kBusCycles,
+         std::to_string(rk1_bytes / kBusCycles) + " wire B/cycle, DT1 + RK1 frames");
+  report("BM_RatchetViaDt1CanFdBusMs", kBusCycles, 1000.0 * dt1_ms / kBusCycles,
+         std::to_string(dt1_bytes / kBusCycles) + " wire B/cycle, signal inside the DT1");
+  std::printf(
+      "  -> piggybacked rekey saves %.0f%% bus time and %llu wire bytes per cycle on CAN-FD\n",
+      100.0 * (1.0 - dt1_ms / rk1_ms),
+      static_cast<unsigned long long>((rk1_bytes - dt1_bytes) / kBusCycles));
+}
+
 void bench_handshake_fleet(Fleet& fleet, std::size_t n) {
   proto::BrokerConfig server_config;
   server_config.store.capacity = n;
@@ -254,6 +344,7 @@ int main(int argc, char** argv) {
   bench_extraction(fleet);
   bench_verify(fleet);
   bench_rekey(fleet);
+  bench_piggyback(fleet);
   bench_handshake_fleet(fleet, 256);
   for (const std::size_t n : {100u, 1000u, 5000u}) bench_steady_state(n);
 

@@ -177,6 +177,29 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(client.stats().ratchets_sent),
               static_cast<unsigned long long>(server.stats().ratchets_received),
               static_cast<unsigned long long>(client.stats().full_rekeys));
+
+  // --- 4b. piggybacked rekeying (streaming) --------------------------------
+  // When telemetry is flowing, the ratchet needs no RK1 round at all: the
+  // record that spends the epoch's budget carries the authenticated epoch
+  // signal inside its own header (make_data's DataRekey::kAuto default),
+  // and the peer's next record is the implicit ack.
+  const cert::DeviceId streamer = fleet[kFleetSize - 2].id;  // still resident
+  proto::SessionBroker& stream_client = *clients[kFleetSize - 2];
+  std::printf("\npiggybacked rekeying for %s (streaming 8 records, budget 4/epoch):\n",
+              streamer.to_string().c_str());
+  std::size_t streamed = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto message = stream_client.make_data(server_creds.id, bytes_of("stream"), kNow + 2);
+    if (!message.ok() || !server.on_message(streamer, message.value(), kNow + 2).ok()) break;
+    ++streamed;
+  }
+  std::printf("  %zu DT1 records delivered, epoch now %u/%u — %llu epoch signals rode the "
+              "data plane, %llu standalone RK1s sent\n",
+              streamed, stream_client.store().epoch(server_creds.id).value_or(0),
+              server.store().epoch(streamer).value_or(0),
+              static_cast<unsigned long long>(stream_client.stats().piggyback_sent),
+              static_cast<unsigned long long>(stream_client.stats().ratchets_sent));
+
   std::printf("dead-session sweeps reclaim expired state in bulk: swept %zu\n",
               server.sweep(kNow + 2 * kDay));
 

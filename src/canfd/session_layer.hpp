@@ -46,6 +46,13 @@ Result<proto::Message> unwrap_message(const AppPdu& pdu);
 // broker's epoch-ratchet announcements ("RK1") and sealed data records
 // ("DT1") ride CommCode::kSessionData with their own op codes. Bit 0x10
 // marks the responder as sender, mirroring the step-label convention.
+//
+// Piggybacked rekeying needs NO extra op code: the epoch-signal field lives
+// inside the sealed record itself (SecureChannel's epoch || flags header,
+// covered by the record MAC), so a DT1 that advances the key chain is
+// byte-for-byte a DT1 on the bus — the wire cannot tell a rekeying record
+// from a plain one, and wrap_fabric/unwrap_fabric carry the new record
+// form end-to-end unchanged.
 
 inline constexpr std::uint8_t kOpRatchet = 0x01;
 inline constexpr std::uint8_t kOpDataRecord = 0x02;

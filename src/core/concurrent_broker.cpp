@@ -40,8 +40,8 @@ Status ConcurrentSessionBroker::connect(const cert::DeviceId& peer, std::uint64_
 }
 
 Status ConcurrentSessionBroker::send_data(const cert::DeviceId& peer, ByteView plaintext,
-                                          std::uint64_t now) {
-  auto message = broker_.make_data(peer, plaintext, now);
+                                          std::uint64_t now, DataRekey rekey) {
+  auto message = broker_.make_data(peer, plaintext, now, rekey);
   if (!message.ok()) return message.error();
   return transport_.send(broker_.id(), peer, std::move(message).value());
 }

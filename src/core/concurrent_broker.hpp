@@ -61,8 +61,18 @@ class ConcurrentSessionBroker {
   /// Starts a handshake toward `peer`; the A1 goes out via the transport.
   Status connect(const cert::DeviceId& peer, std::uint64_t now);
 
-  /// Seals `plaintext` for `peer` and ships it as a DT1 datagram.
-  Status send_data(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
+  /// Seals `plaintext` for `peer` and ships it as a DT1 datagram. `rekey`
+  /// piggybacks the epoch ratchet on the record (default kAuto: advance
+  /// exactly when the record spends the epoch budget). Safe alongside
+  /// worker-thread opens for the same peer (the store's shard lock makes
+  /// each seal+advance atomic against them) — but concurrent send_data
+  /// calls FOR THE SAME PEER must be serialized by the caller, mirroring
+  /// the broker's same-peer on_message contract: the seal and the
+  /// transport send are two steps, so two racing sends could publish a
+  /// later-sealed record (or epoch) first and desync the peer's strictly
+  /// sequenced receive channel.
+  Status send_data(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now,
+                   DataRekey rekey = DataRekey::kAuto);
 
   /// Pulls every datagram currently addressed to this endpoint and hands
   /// each to its affinity worker (or processes inline with workers = 0).

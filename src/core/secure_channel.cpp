@@ -12,45 +12,64 @@ aes::Iv record_iv(const kdf::SessionKeys& keys, Role sender, std::uint64_t seq) 
   iv[1] ^= sender == Role::kInitiator ? 0x0A : 0x0B;
   // Fold the sequence number into the low half so every record gets a
   // distinct counter prefix; CTR's own 128-bit increment spans the rest.
+  // (The epoch needs no fold: each epoch derives a fresh iv_seed.)
   std::array<std::uint8_t, 8> seq_be{};
   store_be64(seq_be, seq);
   for (std::size_t i = 0; i < 8; ++i) iv[8 + i] ^= seq_be[i];
   return iv;
 }
 
-hash::Digest record_mac(const kdf::SessionKeys& keys, Role sender, std::uint64_t seq,
-                        ByteView ciphertext) {
+hash::Digest record_mac(const kdf::SessionKeys& keys, Role sender, std::uint32_t epoch,
+                        std::uint8_t flags, std::uint64_t seq, ByteView ciphertext) {
+  std::array<std::uint8_t, 4> epoch_be{};
+  store_be32(ByteSpan(epoch_be), epoch);
   std::array<std::uint8_t, 8> seq_be{};
   store_be64(seq_be, seq);
   const std::uint8_t dir = sender == Role::kInitiator ? 0x00 : 0x01;
-  return hash::hmac_sha256(keys.mac_key, {ByteView(seq_be), ByteView(&dir, 1), ciphertext});
+  return hash::hmac_sha256(keys.mac_key, {ByteView(epoch_be), ByteView(&flags, 1),
+                                          ByteView(seq_be), ByteView(&dir, 1), ciphertext});
 }
 
 }  // namespace
 
-SecureChannel::SecureChannel(const kdf::SessionKeys& keys, Role role)
-    : keys_(keys), role_(role) {}
+SecureChannel::SecureChannel(const kdf::SessionKeys& keys, Role role, std::uint32_t epoch)
+    : keys_(keys), role_(role), epoch_(epoch) {}
 
-Bytes SecureChannel::seal(ByteView plaintext) {
+Bytes SecureChannel::seal(ByteView plaintext, std::uint8_t flags) {
   const std::uint64_t seq = send_seq_++;
   const aes::Aes128 cipher(keys_.enc_key);
   const Bytes ciphertext = aes::ctr_crypt(cipher, record_iv(keys_, role_, seq), plaintext);
-  const hash::Digest mac = record_mac(keys_, role_, seq, ciphertext);
-  Bytes record(8);
-  store_be64(record, seq);
+  const hash::Digest mac = record_mac(keys_, role_, epoch_, flags, seq, ciphertext);
+  Bytes record(kHeaderSize);
+  store_be32(ByteSpan(record).subspan(0, 4), epoch_);
+  record[4] = flags;
+  store_be64(ByteSpan(record).subspan(5, 8), seq);
   append(record, ciphertext);
   append(record, mac);
   return record;
 }
 
+Result<std::uint32_t> SecureChannel::peek_epoch(ByteView record) {
+  if (record.size() < kOverhead) return Error::kBadLength;
+  return load_be32(record.subspan(0, 4));
+}
+
+Result<std::uint8_t> SecureChannel::peek_flags(ByteView record) {
+  if (record.size() < kOverhead) return Error::kBadLength;
+  return record[4];
+}
+
 Result<Bytes> SecureChannel::open(ByteView record) {
   if (record.size() < kOverhead) return Error::kBadLength;
-  const std::uint64_t seq = load_be64(record.subspan(0, 8));
+  const std::uint32_t epoch = load_be32(record.subspan(0, 4));
+  if (epoch != epoch_) return Error::kAuthenticationFailed;  // wrong key epoch
+  const std::uint8_t flags = record[4];
+  const std::uint64_t seq = load_be64(record.subspan(5, 8));
   if (seq != recv_seq_) return Error::kAuthenticationFailed;  // replay/reorder
-  const ByteView ciphertext = record.subspan(8, record.size() - kOverhead);
+  const ByteView ciphertext = record.subspan(kHeaderSize, record.size() - kOverhead);
   const ByteView mac = record.subspan(record.size() - 32);
   const Role peer = role_ == Role::kInitiator ? Role::kResponder : Role::kInitiator;
-  const hash::Digest expected = record_mac(keys_, peer, seq, ciphertext);
+  const hash::Digest expected = record_mac(keys_, peer, epoch, flags, seq, ciphertext);
   if (!ct_equal(mac, expected)) return Error::kAuthenticationFailed;
   ++recv_seq_;
   const aes::Aes128 cipher(keys_.enc_key);

@@ -1,9 +1,22 @@
 // Post-handshake secure channel: encrypt-then-MAC record protection under
 // the established session keys (paper Fig. 1 stage 3, "Encrypted Session").
 //
-// Record format: seq(8, big-endian) || AES-128-CTR ciphertext || HMAC(32)
-// where the MAC covers seq || direction || ciphertext. Sequence numbers are
-// per-direction and reject replays/reordering.
+// Record format (v2, epoch-aware for the piggybacked ratchet):
+//
+//   epoch(4, BE) || flags(1) || seq(8, BE) || AES-128-CTR ciphertext || HMAC(32)
+//
+// The MAC covers epoch || flags || seq || direction || ciphertext, so both
+// the key-epoch the record was sealed under and any in-band control flags
+// are authenticated alongside the payload. Sequence numbers are
+// per-direction, per-epoch, and reject replays/reordering within an epoch;
+// cross-epoch routing (which channel opens which record) is the session
+// store's job — a channel only ever accepts records for its own epoch.
+//
+// Flags carry piggybacked control signals inside authenticated data
+// records. kFlagRatchet announces, TLS-1.3-KeyUpdate-style, that the sender
+// advanced KS_i -> KS_{i+1} immediately after sealing this record: the
+// receiver ratchets on open and acks implicitly with its own next record —
+// no standalone RK1 round while traffic is flowing.
 #pragma once
 
 #include "common/result.hpp"
@@ -14,30 +27,59 @@ namespace ecqv::proto {
 
 class SecureChannel {
  public:
+  /// In-band control flags (authenticated by the record MAC).
+  static constexpr std::uint8_t kFlagRatchet = 0x01;
+
   /// `role` is this endpoint's handshake role; it selects the send/receive
-  /// IV lanes so the two directions never share keystream.
-  SecureChannel(const kdf::SessionKeys& keys, Role role);
+  /// IV lanes so the two directions never share keystream. `epoch` is the
+  /// key-chain position these keys belong to; it is written into (and
+  /// checked against) every record.
+  SecureChannel(const kdf::SessionKeys& keys, Role role, std::uint32_t epoch = 0);
 
-  /// Seals a plaintext into a record (adds 40 bytes of overhead).
-  Bytes seal(ByteView plaintext);
+  /// Seals a plaintext into a record (adds kOverhead bytes). `flags` travel
+  /// in the clear but under the MAC.
+  Bytes seal(ByteView plaintext, std::uint8_t flags = 0);
 
-  /// Opens a record: authenticates, checks the expected sequence number,
-  /// decrypts. kAuthenticationFailed on MAC mismatch or replay.
+  /// Opens a record: authenticates, checks that the record's epoch is this
+  /// channel's epoch and its sequence number the expected one, decrypts.
+  /// kAuthenticationFailed on MAC mismatch, epoch mismatch or replay.
   Result<Bytes> open(ByteView record);
+
+  /// Header peeks for epoch routing — readable before authentication (the
+  /// MAC check inside open() is what makes the value trustworthy; routing
+  /// on a forged header only selects which channel rejects the record).
+  static Result<std::uint32_t> peek_epoch(ByteView record);
+  static Result<std::uint8_t> peek_flags(ByteView record);
 
   [[nodiscard]] std::uint64_t sent() const { return send_seq_; }
   [[nodiscard]] std::uint64_t received() const { return recv_seq_; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
 
   /// Wipes the channel's internal key copy; the channel is unusable after.
   /// Session teardown must call this in addition to wiping its own copy so
   /// no duplicate of the hierarchy outlives the session.
   void wipe_keys() { keys_.wipe(); }
 
-  static constexpr std::size_t kOverhead = 8 + 32;
+  /// Re-keys the channel in place for a new epoch: wipes the current key
+  /// copy (for a moved-from channel that is the residual byte copy an
+  /// array "move" leaves behind), installs `keys`, resets both sequence
+  /// lanes. In-place so no stack temporary ever holds either hierarchy —
+  /// the same wipe invariant kdf::ratchet_session_keys_in_place keeps.
+  void rekey(const kdf::SessionKeys& keys, std::uint32_t epoch) {
+    keys_.wipe();
+    keys_ = keys;
+    epoch_ = epoch;
+    send_seq_ = 0;
+    recv_seq_ = 0;
+  }
+
+  static constexpr std::size_t kHeaderSize = 4 + 1 + 8;  // epoch || flags || seq
+  static constexpr std::size_t kOverhead = kHeaderSize + 32;
 
  private:
   kdf::SessionKeys keys_;
   Role role_;
+  std::uint32_t epoch_;
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;
 };

@@ -221,17 +221,26 @@ Result<std::optional<Message>> SessionBroker::on_ratchet(const cert::DeviceId& p
 Result<std::optional<Message>> SessionBroker::on_data(const cert::DeviceId& peer,
                                                       const Message& incoming,
                                                       std::uint64_t now) {
-  auto plaintext = store_.open(peer, incoming.payload, now);
+  // A record rejected here (bad MAC, replay, epoch outside the acceptance
+  // window) must leave every counter untouched — records_delivered only
+  // moves for records actually handed to the application.
+  SessionStore::OpenInfo info;
+  auto plaintext = store_.open(peer, incoming.payload, now, &info);
   if (!plaintext.ok()) return plaintext.error();
   ++stats_.records_delivered;
+  if (info.ratchet_applied) ++stats_.piggyback_received;
+  if (info.ratchet_refused) ++stats_.piggyback_refused;
   if (config_.on_data) config_.on_data(peer, std::move(plaintext).value());
   return std::optional<Message>(std::nullopt);
 }
 
 Result<Message> SessionBroker::refresh(const cert::DeviceId& peer, std::uint64_t now) {
   if (store_.can_ratchet(peer, now)) return initiate_ratchet(peer, now);
-  ++stats_.full_rekeys;
-  return connect(peer, now);
+  auto first = connect(peer, now);
+  // Count the escalation only when the handshake actually launched — a
+  // connect() rejected at pending capacity must not drift the counter.
+  if (first.ok()) ++stats_.full_rekeys;
+  return first;
 }
 
 Result<Bytes> SessionBroker::seal(const cert::DeviceId& peer, ByteView plaintext,
@@ -245,9 +254,11 @@ Result<Bytes> SessionBroker::open(const cert::DeviceId& peer, ByteView record,
 }
 
 Result<Message> SessionBroker::make_data(const cert::DeviceId& peer, ByteView plaintext,
-                                         std::uint64_t now) {
-  auto record = store_.seal(peer, plaintext, now);
+                                         std::uint64_t now, DataRekey rekey) {
+  bool ratcheted = false;
+  auto record = store_.seal(peer, plaintext, now, rekey, &ratcheted);
   if (!record.ok()) return record.error();
+  if (ratcheted) ++stats_.piggyback_sent;
   Message message;
   message.sender = store_.session_role(peer).value_or(Role::kInitiator);
   message.step = std::string(kDataStep);

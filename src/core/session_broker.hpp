@@ -25,9 +25,15 @@
 // verifies over its cached wNAF table.
 //
 // Rekey ladder (the paper's "dynamic sessions", made cheap):
+//   0. piggybacked ratchet (make_data with DataRekey::kAuto/kRatchet): the
+//      epoch advance rides INSIDE an authenticated DT1 data record
+//      (TLS-1.3-KeyUpdate-style) — zero standalone rekey messages while
+//      traffic is flowing; the receiver ratchets on open and acks
+//      implicitly with its own next record.
 //   1. epoch ratchet (refresh/initiate_ratchet): KS_{i+1} = HKDF(KS_i, ...)
 //      — a few HMAC compressions, forward secure per epoch; announced to
-//      the peer in one authenticated RK1 message.
+//      the peer in one authenticated RK1 message. The idle-session
+//      fallback: when no data record is due to carry the signal.
 //   2. full rekey (after max_epochs resumptions, or when the session died):
 //      a fresh STS handshake re-anchors the chain in new ephemerals.
 //
@@ -74,11 +80,14 @@ class SessionBroker {
     StatCounter handshakes_started = 0;
     StatCounter handshakes_completed = 0;
     StatCounter handshakes_failed = 0;
-    StatCounter ratchets_sent = 0;
-    StatCounter ratchets_received = 0;
+    StatCounter ratchets_sent = 0;      // standalone RK1 announcements
+    StatCounter ratchets_received = 0;  // standalone RK1s applied
     StatCounter full_rekeys = 0;  // refresh() escalations past the ratchet
     StatCounter pending_expired = 0;
     StatCounter records_delivered = 0;  // data-plane records opened via on_message
+    StatCounter piggyback_sent = 0;      // DT1 records carrying the epoch signal
+    StatCounter piggyback_received = 0;  // epoch signals applied on open
+    StatCounter piggyback_refused = 0;   // signal seen but the chain was spent
   };
 
   /// Epoch-ratchet announcement step id (alongside the STS "A1".."B2").
@@ -133,8 +142,12 @@ class SessionBroker {
 
   /// Seals `plaintext` and wraps it as a transportable DT1 message — the
   /// outbound half of the data plane when records ride the fabric
-  /// transport (the peer's on_message opens it).
-  Result<Message> make_data(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
+  /// transport (the peer's on_message opens it). `rekey` piggybacks the
+  /// epoch ratchet on the record (kAuto: exactly when this record spends
+  /// the epoch's budget; kRatchet: forced) so a flowing stream rekeys with
+  /// ZERO standalone RK1 rounds — see the ladder in the class comment.
+  Result<Message> make_data(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now,
+                            DataRekey rekey = DataRekey::kAuto);
 
   /// Maintenance: bulk-expires dead sessions and stalled handshakes.
   /// Returns the number of entries reclaimed.

@@ -57,6 +57,7 @@ bool SessionStore::resumable(const Session& s, std::uint64_t now) const {
 void SessionStore::wipe_and_erase(Shard& shard, std::list<Session>::iterator it) {
   it->keys.wipe();
   it->channel.wipe_keys();
+  if (it->prev != nullptr) it->prev->channel.wipe_keys();
   shard.index.erase(it->peer);
   shard.lru.erase(it);
   size_.fetch_sub(1, std::memory_order_relaxed);
@@ -122,7 +123,8 @@ void SessionStore::install(const cert::DeviceId& peer, const kdf::SessionKeys& k
     std::lock_guard<OptionalMutex> lock(shard.mutex);
     const auto idx = shard.index.find(peer);
     if (idx != shard.index.end()) wipe_and_erase(shard, idx->second);
-    shard.lru.push_front(Session{peer, keys, SecureChannel(keys, role), role, now, 0, 0});
+    shard.lru.push_front(
+        Session{peer, keys, SecureChannel(keys, role), role, now, 0, 0, nullptr});
     shard.index.emplace(peer, shard.lru.begin());
     size_.fetch_add(1, std::memory_order_relaxed);
     ++stats_.installs;
@@ -147,46 +149,163 @@ bool SessionStore::can_ratchet(const cert::DeviceId& peer, std::uint64_t now) {
   return s != nullptr && resumable(*s, now);
 }
 
+std::uint32_t SessionStore::locked_ratchet(Session& s, std::uint64_t now) {
+  // At most one previous epoch is ever retained: key material from epoch
+  // i-1 dies the moment epoch i+1 begins, whatever its window had left.
+  if (s.prev != nullptr) {
+    s.prev->channel.wipe_keys();
+    s.prev.reset();
+  }
+  if (config_.epoch_window_records > 0)
+    s.prev = std::make_unique<PrevEpoch>(std::move(s.channel), config_.epoch_window_records);
+  kdf::ratchet_session_keys_in_place(s.keys, s.epoch + 1);
+  // rekey() first wipes the channel's residual key copy — the moved-from
+  // husk after the window roll (array "moves" are copies), or the live
+  // retiring keys when no window is kept — then installs the new hierarchy
+  // in place: no stack temporary holds either epoch's keys.
+  s.channel.rekey(s.keys, s.epoch + 1);
+  ++s.epoch;
+  s.records = 0;
+  s.established_at = now;
+  ++stats_.ratchets;
+  return s.epoch;
+}
+
 Result<std::uint32_t> SessionStore::ratchet(const cert::DeviceId& peer, std::uint64_t now) {
   Shard& shard = shard_for(peer);
   std::lock_guard<OptionalMutex> lock(shard.mutex);
   Session* s = locked_lookup(shard, peer, now);
   if (s == nullptr || !resumable(*s, now)) return Error::kBadState;
-  kdf::SessionKeys next = kdf::ratchet_session_keys(s->keys, s->epoch + 1);
-  s->keys.wipe();
-  s->channel.wipe_keys();
-  s->keys = next;
-  s->channel = SecureChannel(next, s->role);
-  next.wipe();  // no stack copy of the new epoch outlives the call
-  ++s->epoch;
-  s->records = 0;
-  s->established_at = now;
-  ++stats_.ratchets;
-  return s->epoch;
+  return locked_ratchet(*s, now);
 }
 
 Result<Bytes> SessionStore::seal(const cert::DeviceId& peer, ByteView plaintext,
                                  std::uint64_t now) {
+  return seal(peer, plaintext, now, DataRekey::kNone, nullptr);
+}
+
+Result<Bytes> SessionStore::seal(const cert::DeviceId& peer, ByteView plaintext,
+                                 std::uint64_t now, DataRekey rekey, bool* ratcheted) {
   Shard& shard = shard_for(peer);
   std::lock_guard<OptionalMutex> lock(shard.mutex);
   Session* s = locked_lookup(shard, peer, now);
-  if (s == nullptr || !usable(*s, now)) return Error::kBadState;
-  ++s->records;
+  if (s == nullptr) return Error::kBadState;
+  bool signal = false;
+  if (!usable(*s, now)) {
+    // The budget is spent but the chain is live (a session surviving
+    // locked_lookup in this state can only have spent its RECORD budget —
+    // resumable() re-checks age and clock). Opens share the budget, so the
+    // boundary can be crossed without a seal ever seeing records+1 ==
+    // max_records; the rekey announcement itself is still allowed out as
+    // one bounded overshoot record (TLS sends KeyUpdate *at* the limit).
+    // Plain kNone seals keep failing — stale keys still cannot be used.
+    if (rekey == DataRekey::kNone || !resumable(*s, now)) return Error::kBadState;
+    signal = true;
+  } else {
+    switch (rekey) {
+      case DataRekey::kNone:
+        break;
+      case DataRekey::kRatchet:
+        if (!resumable(*s, now)) return Error::kBadState;
+        signal = true;
+        break;
+      case DataRekey::kAuto:
+        // Piggyback exactly when this record spends the epoch's record
+        // budget and the chain can still move — the next seal would
+        // otherwise fail and force a standalone RK1 mid-stream.
+        signal = s->records + 1 >= config_.policy.max_records && resumable(*s, now);
+        break;
+    }
+  }
+  Bytes record = s->channel.seal(plaintext, signal ? SecureChannel::kFlagRatchet : 0);
   ++stats_.seals;
-  return s->channel.seal(plaintext);
+  if (signal) {
+    // Advance in the same critical section that sealed the announcement:
+    // our very next record is already epoch i+1, so the wire never carries
+    // two epochs' worth of flagged records for one advance.
+    ++stats_.ratchet_signals_sent;
+    locked_ratchet(*s, now);
+    if (ratcheted != nullptr) *ratcheted = true;
+  } else {
+    ++s->records;
+  }
+  return record;
 }
 
 Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, std::uint64_t now) {
+  return open(peer, record, now, nullptr);
+}
+
+Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, std::uint64_t now,
+                                 OpenInfo* info) {
   Shard& shard = shard_for(peer);
   std::lock_guard<OptionalMutex> lock(shard.mutex);
   Session* s = locked_lookup(shard, peer, now);
-  if (s == nullptr || !usable(*s, now)) return Error::kBadState;
-  auto plaintext = s->channel.open(record);
-  if (plaintext.ok()) {
+  if (s == nullptr) return Error::kBadState;
+  const auto epoch = SecureChannel::peek_epoch(record);
+  if (!epoch.ok()) return epoch.error();
+
+  if (epoch.value() == s->epoch) {
+    if (!usable(*s, now)) {
+      // Spent record budget, live chain: accept exactly the peer's rekey
+      // announcement (a flagged current-epoch record) — the mirror of the
+      // overshoot seal above; both counters track the same record stream,
+      // so when the sender hits the limit the receiver is at it too. The
+      // flag only steers routing; the record MAC decides authenticity.
+      const auto flags = SecureChannel::peek_flags(record);
+      if (!flags.ok()) return flags.error();
+      if ((flags.value() & SecureChannel::kFlagRatchet) == 0 || !resumable(*s, now))
+        return Error::kBadState;
+    }
+    auto plaintext = s->channel.open(record);
+    if (!plaintext.ok()) return plaintext;  // rejected: no budget/counter moves
     ++s->records;
     ++stats_.opens;
+    const std::uint8_t flags = SecureChannel::peek_flags(record).value();
+    if ((flags & SecureChannel::kFlagRatchet) != 0) {
+      if (resumable(*s, now)) {
+        locked_ratchet(*s, now);
+        ++stats_.ratchet_signals_applied;
+        if (info != nullptr) info->ratchet_applied = true;
+      } else {
+        // Epoch advance colliding with the max_epochs escalation: the
+        // record is genuine and delivered, but the chain is spent — the
+        // session's next refresh() escalates to a full STS rekey instead.
+        ++stats_.ratchet_signals_refused;
+        if (info != nullptr) info->ratchet_refused = true;
+      }
+    }
+    return plaintext;
   }
-  return plaintext;
+
+  if (s->prev != nullptr && epoch.value() == s->prev->channel.epoch() &&
+      s->prev->opens_left > 0) {
+    // In-flight record that straddled the epoch boundary — accepted even
+    // when the CURRENT epoch's budget is spent: window opens are billed to
+    // the old epoch (no ++records below) and bounded by opens_left, so the
+    // fresh budget's state is irrelevant here. A ratchet flag at the
+    // previous epoch is stale — we already advanced past it (the
+    // simultaneous-signal collision) — so it must never advance us again:
+    // that is the double-advance protection for crossing announcements.
+    auto plaintext = s->prev->channel.open(record);
+    if (!plaintext.ok()) return plaintext;
+    if (--s->prev->opens_left == 0) {
+      s->prev->channel.wipe_keys();
+      s->prev.reset();
+    }
+    // No ++s->records: the sender already billed this record to the OLD
+    // epoch's budget before ratcheting. Charging it to the fresh epoch
+    // would let straddling traffic double-count and exhaust the new budget
+    // before it carried a single new-epoch record; the window's own
+    // opens_left is the bound on this path.
+    ++stats_.opens;
+    ++stats_.window_opens;
+    if (info != nullptr) info->via_window = true;
+    return plaintext;
+  }
+
+  ++stats_.epoch_rejects;
+  return Error::kBadState;
 }
 
 void SessionStore::retire(const cert::DeviceId& peer) {

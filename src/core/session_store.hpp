@@ -31,6 +31,20 @@
 //    full STS handshake. After `max_epochs` resumptions the session must be
 //    re-established from scratch (full rekey escalation) so the DKD
 //    property is re-anchored in fresh ephemerals.
+//  * Piggybacked ratchet (TLS-1.3-KeyUpdate-style): seal(..., DataRekey)
+//    can fold the epoch advance into an authenticated data record
+//    (SecureChannel::kFlagRatchet) — the sender advances right after
+//    sealing, the receiver advances on open, and the receiver's own next
+//    record is the implicit ack. No standalone RK1 round while traffic
+//    flows; RK1 (ratchet()) remains the idle-session path.
+//  * Epoch acceptance window: after any ratchet the previous epoch's
+//    receive channel is retained for up to `epoch_window_records` opens, so
+//    in-flight records that straddle the boundary (sealed under KS_i,
+//    arriving after the holder advanced to KS_{i+1}) still authenticate
+//    and decrypt — DTLS-1.3-style bounded retention. The window holds at
+//    most ONE previous epoch and dies at the next ratchet, on exhaustion,
+//    or with the session; per-epoch forward secrecy is delayed by exactly
+//    that bounded window, never waived.
 #pragma once
 
 #include <atomic>
@@ -58,6 +72,14 @@ struct RekeyPolicy {
 // DeviceIdHash (FNV-1a shard + bucket hash) lives in core/message.hpp,
 // shared with the transports and the worker pool's peer affinity.
 
+/// How a data-plane seal interacts with the epoch ratchet.
+enum class DataRekey : std::uint8_t {
+  kNone,     // plain record, epoch untouched
+  kAuto,     // piggyback the advance when this record spends the epoch's
+             // record budget and the chain can still move — otherwise plain
+  kRatchet,  // force the piggybacked advance (kBadState when it cannot)
+};
+
 class SessionStore {
  public:
   struct Config {
@@ -65,6 +87,10 @@ class SessionStore {
     std::size_t capacity = 4096;   // fleet-wide resident-session bound
     std::size_t shards = 16;       // rounded up to a power of two
     std::uint32_t max_epochs = 8;  // ratchet resumptions before full rekey
+    /// Out-of-epoch acceptance window: how many in-flight records sealed
+    /// under the PREVIOUS epoch may still open after a ratchet. 0 disables
+    /// retention (strict lockstep — any boundary-straddling record dies).
+    std::uint64_t epoch_window_records = 64;
     /// Arms the per-shard mutexes. Off (default) the store is exactly the
     /// single-threaded structure it always was — locks cost one branch.
     bool concurrent = false;
@@ -72,11 +98,25 @@ class SessionStore {
 
   struct Stats {
     StatCounter installs = 0;
-    StatCounter ratchets = 0;            // epoch resumptions
+    StatCounter ratchets = 0;            // epoch resumptions (all paths)
     StatCounter capacity_evictions = 0;  // LRU pressure at the bound
     StatCounter dead_evictions = 0;      // expired/exhausted, wiped on touch
     StatCounter seals = 0;
     StatCounter opens = 0;
+    StatCounter ratchet_signals_sent = 0;     // piggybacked advances sealed
+    StatCounter ratchet_signals_applied = 0;  // piggybacked advances applied on open
+    StatCounter ratchet_signals_refused = 0;  // signal seen, chain could not move
+    StatCounter window_opens = 0;   // records accepted via the previous epoch
+    StatCounter epoch_rejects = 0;  // records outside current epoch + window
+  };
+
+  /// What open() observed besides the plaintext (all false on the plain
+  /// current-epoch path). Callers that meter the ratchet (the broker's
+  /// stats) read it; everyone else passes nullptr.
+  struct OpenInfo {
+    bool ratchet_applied = false;  // piggybacked signal advanced the epoch
+    bool ratchet_refused = false;  // signal present but the chain was spent
+    bool via_window = false;       // opened by the previous epoch's channel
   };
 
   SessionStore(Role default_role, Config config);
@@ -99,8 +139,9 @@ class SessionStore {
 
   /// Advances `peer` to the next key epoch: derives KS_{i+1} from KS_i,
   /// wipes the old keys, resets the record budget, age window and channel
-  /// sequence numbers. Returns the new epoch index. kBadState when the
-  /// session is missing or its ratchet budget is exhausted.
+  /// sequence numbers (retaining the previous epoch's receive window, see
+  /// Config::epoch_window_records). Returns the new epoch index. kBadState
+  /// when the session is missing or its ratchet budget is exhausted.
   Result<std::uint32_t> ratchet(const cert::DeviceId& peer, std::uint64_t now);
 
   /// Seals/opens application data for `peer`. kBadState when the session is
@@ -108,6 +149,22 @@ class SessionStore {
   /// silently, exactly the property the paper asks for.
   Result<Bytes> seal(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now);
   Result<Bytes> open(const cert::DeviceId& peer, ByteView record, std::uint64_t now);
+
+  /// Data-plane seal with a piggybacked epoch advance. The mode decision,
+  /// the seal and the ratchet happen in ONE shard-lock critical section, so
+  /// a concurrent worker can never split the announcement from the advance.
+  /// When the record carries the signal, `*ratcheted` (if given) is set and
+  /// the sender's chain is already at the next epoch on return.
+  Result<Bytes> seal(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now,
+                     DataRekey rekey, bool* ratcheted);
+
+  /// Epoch-aware open: records sealed under the current epoch open on the
+  /// live channel (applying any piggybacked ratchet signal); records sealed
+  /// under the immediately previous epoch open through the acceptance
+  /// window; anything else is rejected with kBadState WITHOUT touching any
+  /// budget or delivery counter. `info` (optional) reports what happened.
+  Result<Bytes> open(const cert::DeviceId& peer, ByteView record, std::uint64_t now,
+                     OpenInfo* info);
 
   /// Retires a session and wipes its key material.
   void retire(const cert::DeviceId& peer);
@@ -141,6 +198,17 @@ class SessionStore {
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
+  /// Previous-epoch receive state retained after a ratchet (the acceptance
+  /// window). The channel keeps its own key copy — it is the only surviving
+  /// copy of the retired hierarchy and is wiped when the window closes.
+  /// The constructor takes the channel by rvalue so make_unique constructs
+  /// it directly in the heap object — no stack temporary holds the keys.
+  struct PrevEpoch {
+    PrevEpoch(SecureChannel&& retiring, std::uint64_t opens)
+        : channel(std::move(retiring)), opens_left(opens) {}
+    SecureChannel channel;
+    std::uint64_t opens_left = 0;
+  };
   struct Session {
     cert::DeviceId peer;
     kdf::SessionKeys keys;
@@ -149,6 +217,7 @@ class SessionStore {
     std::uint64_t established_at = 0;  // reset at every epoch
     std::uint64_t records = 0;
     std::uint32_t epoch = 0;
+    std::unique_ptr<PrevEpoch> prev;  // acceptance window, at most one epoch
   };
   struct Shard {
     mutable OptionalMutex mutex;
@@ -160,6 +229,9 @@ class SessionStore {
   [[nodiscard]] const Shard& shard_for(const cert::DeviceId& peer) const;
   [[nodiscard]] bool usable(const Session& s, std::uint64_t now) const;
   [[nodiscard]] bool resumable(const Session& s, std::uint64_t now) const;
+  /// Shard lock held: advances the session one epoch, rolling the retiring
+  /// channel into the acceptance window. Caller checked resumable().
+  std::uint32_t locked_ratchet(Session& s, std::uint64_t now);
   /// Shard lock must be held.
   void wipe_and_erase(Shard& shard, std::list<Session>::iterator it);
   /// Finds `peer` in `shard` (lock held), evicting it when dead; on a hit,

@@ -50,4 +50,11 @@ SessionKeys ratchet_session_keys(const SessionKeys& keys, std::uint32_t next_epo
   return next;
 }
 
+void ratchet_session_keys_in_place(SessionKeys& keys, std::uint32_t next_epoch) {
+  SessionKeys next = ratchet_session_keys(keys, next_epoch);
+  keys.wipe();
+  keys = next;
+  next.wipe();
+}
+
 }  // namespace ecqv::kdf

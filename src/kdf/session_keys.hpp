@@ -54,4 +54,11 @@ SessionKeys derive_session_keys(ByteView secret, ByteView salt, ByteView info_la
 /// cannot re-derive an earlier epoch.
 SessionKeys ratchet_session_keys(const SessionKeys& keys, std::uint32_t next_epoch);
 
+/// In-place epoch advance: replaces `keys` with ratchet_session_keys(keys,
+/// next_epoch), wiping the previous hierarchy and the derivation temporaries
+/// before returning. The advancing store uses this so no extra stack copy of
+/// either epoch's keys outlives the call — one hierarchy goes in, its
+/// successor comes out, nothing else remains.
+void ratchet_session_keys_in_place(SessionKeys& keys, std::uint32_t next_epoch);
+
 }  // namespace ecqv::kdf

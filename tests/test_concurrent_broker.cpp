@@ -186,14 +186,25 @@ TEST(ConcurrentBroker, SoakThousandPeersOverCanFd) {
   // handshake terminated.
   constexpr std::size_t kWave = 50;
   std::size_t sealed_ok = 0;
+  std::size_t ratchet_sends = 0;
   for (std::size_t base = 0; base < kPeers; base += kWave) {
     const std::size_t end = std::min(base + kWave, kPeers);
     for (std::size_t i = base; i < end; ++i)
       ASSERT_TRUE(clients[i]->connect(fleet.devices[0].id, kNow).ok()) << i;
     settle(endpoints, kNow);
-    // Freshly established peers push one telemetry record each.
+    // Freshly established peers push one telemetry record each; every
+    // fourth peer then ratchets MID-STREAM via a piggybacked DT1 (no RK1
+    // round) while the worker pool is still terminating other handshakes.
     for (std::size_t i = base; i < end; ++i)
       if (clients[i]->send_data(fleet.devices[0].id, bytes_of("soak"), kNow).ok()) ++sealed_ok;
+    for (std::size_t i = base; i < end; i += 4)
+      if (clients[i]
+              ->send_data(fleet.devices[0].id, bytes_of("soak-ratchet"), kNow,
+                          DataRekey::kRatchet)
+              .ok()) {
+        ++sealed_ok;
+        ++ratchet_sends;
+      }
     settle(endpoints, kNow);
   }
 
@@ -210,6 +221,16 @@ TEST(ConcurrentBroker, SoakThousandPeersOverCanFd) {
   // vanished silently.
   EXPECT_EQ(records.load() + server.stats().errors, sealed_ok);
   EXPECT_EQ(server.broker().stats().records_delivered, records.load());
+  // Mid-stream ratchets really happened, entirely on the data plane: one
+  // applied signal per DELIVERED flagged record (the rest bounced off
+  // evicted sessions and are inside the error count), and not a single
+  // standalone RK1 crossed the bus in either direction.
+  EXPECT_GT(ratchet_sends, 0u);
+  EXPECT_GT(server.broker().stats().piggyback_received, 0u);
+  EXPECT_LE(server.broker().stats().piggyback_received, ratchet_sends);
+  EXPECT_GE(server.broker().stats().piggyback_received + server.stats().errors, ratchet_sends);
+  EXPECT_EQ(server.broker().stats().ratchets_received, 0u);
+  EXPECT_EQ(server.broker().stats().ratchets_sent, 0u);
   // The wire really fragmented: more frames than messages, wire bytes
   // above payload bytes, flow control on every multi-frame transfer.
   EXPECT_GT(link.stats().frames_sent, link.stats().messages_sent);

@@ -1,0 +1,579 @@
+// Piggybacked epoch ratchet (TLS-1.3-KeyUpdate-style): the epoch advance
+// rides inside authenticated DT1 data records — zero standalone RK1 rounds
+// while traffic flows — plus the acceptance-window state machine for
+// records that straddle an epoch boundary, replay/double-advance
+// protection, the max_epochs collision, and the counter-drift regressions.
+#include <gtest/gtest.h>
+
+#include "canfd/canfd_transport.hpp"
+#include "core/concurrent_broker.hpp"
+#include "core/session_broker.hpp"
+#include "protocol_fixture.hpp"
+
+namespace ecqv::proto {
+namespace {
+
+using testing::kLifetime;
+using testing::kNow;
+
+constexpr std::uint64_t kT0 = 1700000000;
+
+kdf::SessionKeys keys_for(std::string_view tag) {
+  return kdf::derive_session_keys(bytes_of(std::string(tag)), bytes_of("salt"),
+                                  bytes_of("piggyback-test"));
+}
+
+cert::DeviceId peer(int i) { return cert::DeviceId::from_string("pig-" + std::to_string(i)); }
+
+SessionStore::Config store_config(std::uint64_t max_records = UINT64_MAX,
+                                  std::uint32_t max_epochs = 8) {
+  SessionStore::Config config;
+  config.capacity = 8;
+  config.shards = 1;
+  config.policy = RekeyPolicy{max_records, UINT64_MAX};
+  config.max_epochs = max_epochs;
+  return config;
+}
+
+BrokerConfig broker_config(std::uint64_t max_records = UINT64_MAX,
+                           std::uint32_t max_epochs = 8) {
+  BrokerConfig config;
+  config.store = store_config(max_records, max_epochs);
+  config.store.capacity = 16;
+  return config;
+}
+
+/// Hand-delivers one message so tests can inspect everything on the "wire".
+Result<std::optional<Message>> deliver(SessionBroker& to, const cert::DeviceId& from,
+                                       const Message& message) {
+  return to.on_message(from, message, kNow);
+}
+
+// ------------------------------------------------------------------- store
+
+TEST(PiggybackRatchet, SealRatchetAdvancesSenderAndReceiverToKdfChain) {
+  // Acceptance: after the piggybacked ratchet, both sides hold exactly
+  // kdf::ratchet_session_keys(KS_0, 1) — same chain as the RK1 path.
+  SessionStore a(Role::kInitiator, store_config());
+  SessionStore b(Role::kResponder, store_config());
+  const auto keys = keys_for("chain");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+
+  bool ratcheted = false;
+  auto record = a.seal(peer(1), bytes_of("advance"), kT0, DataRekey::kRatchet, &ratcheted);
+  ASSERT_TRUE(record.ok());
+  EXPECT_TRUE(ratcheted);
+  EXPECT_EQ(a.epoch(peer(1)), std::optional<std::uint32_t>(1u));
+  EXPECT_EQ(a.stats().ratchet_signals_sent, 1u);
+
+  SessionStore::OpenInfo info;
+  auto opened = b.open(peer(1), record.value(), kT0, &info);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), bytes_of("advance"));
+  EXPECT_TRUE(info.ratchet_applied);
+  EXPECT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(1u));
+  EXPECT_EQ(b.stats().ratchet_signals_applied, 1u);
+
+  // Both MAC keys equal the KDF ratchet output — the piggyback is the same
+  // chain step RK1 would have taken.
+  const kdf::SessionKeys expected = kdf::ratchet_session_keys(keys, 1);
+  std::array<std::uint8_t, 32> mac_a{}, mac_b{};
+  ASSERT_TRUE(a.copy_peer_mac_key(peer(1), mac_a));
+  ASSERT_TRUE(b.copy_peer_mac_key(peer(1), mac_b));
+  EXPECT_EQ(mac_a, expected.mac_key);
+  EXPECT_EQ(mac_b, expected.mac_key);
+
+  // Epoch-1 records flow in both directions on the new keys.
+  auto reply = b.seal(peer(1), bytes_of("acked"), kT0);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(a.open(peer(1), reply.value(), kT0).ok());
+}
+
+TEST(PiggybackRatchet, BoundaryStraddleOpensThroughWindowOutOfOrder) {
+  // B seals two epoch-0 records; A ratchets (piggyback sealed toward B),
+  // then B's epoch-1 record overtakes B's LAST epoch-0 record in delivery
+  // order. The straddler must still open through A's acceptance window —
+  // out-of-order ACROSS the boundary, strictly ordered within each epoch.
+  SessionStore a(Role::kInitiator, store_config());
+  SessionStore b(Role::kResponder, store_config());
+  const auto keys = keys_for("straddle");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+
+  auto b_old1 = b.seal(peer(1), bytes_of("epoch0-first"), kT0);
+  auto b_old2 = b.seal(peer(1), bytes_of("epoch0-second"), kT0);
+  ASSERT_TRUE(b_old1.ok());
+  ASSERT_TRUE(b_old2.ok());
+
+  // A advances via a piggybacked seal; B applies it.
+  auto flagged = a.seal(peer(1), bytes_of("ratchet"), kT0, DataRekey::kRatchet, nullptr);
+  ASSERT_TRUE(flagged.ok());
+  ASSERT_TRUE(a.open(peer(1), b_old1.value(), kT0).ok());  // window, in order
+  EXPECT_EQ(a.stats().window_opens, 1u);
+  ASSERT_TRUE(b.open(peer(1), flagged.value(), kT0).ok());
+  EXPECT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(1u));
+
+  // B's first epoch-1 record arrives at A BEFORE b_old2 (reordered).
+  auto b_new = b.seal(peer(1), bytes_of("epoch1"), kT0);
+  ASSERT_TRUE(b_new.ok());
+  SessionStore::OpenInfo info_new, info_old;
+  ASSERT_TRUE(a.open(peer(1), b_new.value(), kT0, &info_new).ok());
+  EXPECT_FALSE(info_new.via_window);
+  auto late = a.open(peer(1), b_old2.value(), kT0, &info_old);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late.value(), bytes_of("epoch0-second"));
+  EXPECT_TRUE(info_old.via_window);
+  EXPECT_EQ(a.stats().window_opens, 2u);
+}
+
+TEST(PiggybackRatchet, ReplayedAnnouncementNeitherOpensNorDoubleAdvances) {
+  SessionStore a(Role::kInitiator, store_config());
+  SessionStore b(Role::kResponder, store_config());
+  const auto keys = keys_for("replay");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+
+  auto flagged = a.seal(peer(1), bytes_of("advance"), kT0, DataRekey::kRatchet, nullptr);
+  ASSERT_TRUE(flagged.ok());
+  ASSERT_TRUE(b.open(peer(1), flagged.value(), kT0).ok());
+  EXPECT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(1u));
+
+  // Replay: the record's epoch now routes to the acceptance window, where
+  // its sequence number is already consumed — rejected, nothing moves.
+  const auto opens_before = b.stats().opens;
+  EXPECT_EQ(b.open(peer(1), flagged.value(), kT0).error(), Error::kAuthenticationFailed);
+  EXPECT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(1u));  // no double advance
+  EXPECT_EQ(b.stats().opens, opens_before);
+  EXPECT_EQ(b.stats().ratchet_signals_applied, 1u);
+}
+
+TEST(PiggybackRatchet, SimultaneousSignalsCrossWithoutDoubleAdvance) {
+  // Both sides piggyback in the same epoch and the flagged records cross on
+  // the wire. Each opens the peer's announcement through the window (its
+  // own advance already happened) — the stale signal must not re-advance.
+  SessionStore a(Role::kInitiator, store_config());
+  SessionStore b(Role::kResponder, store_config());
+  const auto keys = keys_for("cross");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+
+  auto from_a = a.seal(peer(1), bytes_of("a-advance"), kT0, DataRekey::kRatchet, nullptr);
+  auto from_b = b.seal(peer(1), bytes_of("b-advance"), kT0, DataRekey::kRatchet, nullptr);
+  ASSERT_TRUE(from_a.ok());
+  ASSERT_TRUE(from_b.ok());
+  EXPECT_EQ(a.epoch(peer(1)), std::optional<std::uint32_t>(1u));
+  EXPECT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(1u));
+
+  SessionStore::OpenInfo info_a, info_b;
+  ASSERT_TRUE(a.open(peer(1), from_b.value(), kT0, &info_a).ok());
+  ASSERT_TRUE(b.open(peer(1), from_a.value(), kT0, &info_b).ok());
+  EXPECT_TRUE(info_a.via_window);
+  EXPECT_TRUE(info_b.via_window);
+  EXPECT_FALSE(info_a.ratchet_applied);
+  EXPECT_FALSE(info_b.ratchet_applied);
+  EXPECT_EQ(a.epoch(peer(1)), std::optional<std::uint32_t>(1u));  // converged at 1
+  EXPECT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(1u));
+
+  // The chains stayed in lockstep: epoch-1 traffic flows both ways.
+  auto ping = a.seal(peer(1), bytes_of("ping"), kT0);
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(b.open(peer(1), ping.value(), kT0).ok());
+}
+
+TEST(PiggybackRatchet, MaxEpochsCollisionRefusesSignalAndEscalates) {
+  // The receiver's chain is spent (max_epochs) when a flagged record
+  // arrives: the record is genuine and must deliver, the advance must NOT
+  // apply, and the session escalates to a full rekey on refresh.
+  SessionStore a(Role::kInitiator, store_config(UINT64_MAX, /*max_epochs=*/2));
+  SessionStore b(Role::kResponder, store_config(UINT64_MAX, /*max_epochs=*/1));
+  const auto keys = keys_for("spent");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+
+  auto first = a.seal(peer(1), bytes_of("to-1"), kT0, DataRekey::kRatchet, nullptr);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(b.open(peer(1), first.value(), kT0).ok());
+  ASSERT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(1u));  // b's budget spent
+
+  auto second = a.seal(peer(1), bytes_of("to-2"), kT0, DataRekey::kRatchet, nullptr);
+  ASSERT_TRUE(second.ok());
+  SessionStore::OpenInfo info;
+  auto opened = b.open(peer(1), second.value(), kT0, &info);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), bytes_of("to-2"));
+  EXPECT_TRUE(info.ratchet_refused);
+  EXPECT_FALSE(info.ratchet_applied);
+  EXPECT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(1u));  // did not move
+  EXPECT_EQ(b.stats().ratchet_signals_refused, 1u);
+  // And the sender side cannot force past its own budget either.
+  ASSERT_EQ(a.epoch(peer(1)), std::optional<std::uint32_t>(2u));
+  EXPECT_EQ(a.seal(peer(1), bytes_of("x"), kT0, DataRekey::kRatchet, nullptr).error(),
+            Error::kBadState);
+}
+
+TEST(PiggybackRatchet, WindowOpensDoNotChargeTheNewEpochBudget) {
+  // Straddling records were already billed to the OLD epoch by their
+  // sender; opening them through the window must not consume the fresh
+  // epoch's record budget (regression: 3 window opens at max_records=3
+  // used to brick the new epoch before it carried a single record).
+  SessionStore a(Role::kInitiator, store_config(/*max_records=*/3));
+  SessionStore b(Role::kResponder, store_config(/*max_records=*/3));
+  const auto keys = keys_for("window-budget");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+
+  std::vector<Bytes> in_flight;
+  for (int i = 0; i < 3; ++i) {
+    auto record = b.seal(peer(1), bytes_of("old-" + std::to_string(i)), kT0);
+    ASSERT_TRUE(record.ok());
+    in_flight.push_back(std::move(record).value());
+  }
+  ASSERT_TRUE(a.seal(peer(1), bytes_of("advance"), kT0, DataRekey::kRatchet, nullptr).ok());
+  for (const Bytes& record : in_flight) {
+    SessionStore::OpenInfo info;
+    ASSERT_TRUE(a.open(peer(1), record, kT0, &info).ok());
+    EXPECT_TRUE(info.via_window);
+  }
+  // The fresh epoch's budget is untouched: a plain seal still works.
+  EXPECT_TRUE(a.seal(peer(1), bytes_of("epoch1 data"), kT0).ok());
+}
+
+TEST(PiggybackRatchet, BudgetSpentByOpensStillRekeysOnTheDataPlane) {
+  // Opens share the record budget with seals, so a bidirectional stream
+  // can cross the boundary without any seal seeing records+1 ==
+  // max_records. The next kAuto seal must still go out as the flagged
+  // announcement (one bounded overshoot record, KeyUpdate-at-the-limit)
+  // and the equally spent receiver must accept exactly that record —
+  // regression for the mid-stream kBadState stall.
+  SessionStore a(Role::kInitiator, store_config(/*max_records=*/2));
+  SessionStore b(Role::kResponder, store_config(/*max_records=*/2));
+  const auto keys = keys_for("open-spent");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+
+  auto from_a = a.seal(peer(1), bytes_of("one"), kT0);  // a: 1 seal
+  ASSERT_TRUE(from_a.ok());
+  ASSERT_TRUE(b.open(peer(1), from_a.value(), kT0).ok());  // b: 1 open
+  auto from_b = b.seal(peer(1), bytes_of("two"), kT0);     // b: spent (1+1)
+  ASSERT_TRUE(from_b.ok());
+  ASSERT_TRUE(a.open(peer(1), from_b.value(), kT0).ok());  // a: spent (1+1)
+
+  // Plain records are dead on both sides...
+  EXPECT_EQ(a.seal(peer(1), bytes_of("x"), kT0).error(), Error::kBadState);
+  // ...but the kAuto announcement still flows and resets the epoch.
+  bool ratcheted = false;
+  auto announce = a.seal(peer(1), bytes_of("rekey"), kT0, DataRekey::kAuto, &ratcheted);
+  ASSERT_TRUE(announce.ok());
+  EXPECT_TRUE(ratcheted);
+  SessionStore::OpenInfo info;
+  auto opened = b.open(peer(1), announce.value(), kT0, &info);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(info.ratchet_applied);
+  EXPECT_EQ(a.epoch(peer(1)), std::optional<std::uint32_t>(1u));
+  EXPECT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(1u));
+  // Fresh budget, both directions.
+  auto ping = b.seal(peer(1), bytes_of("ping"), kT0);
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(a.open(peer(1), ping.value(), kT0).ok());
+
+  // A spent session with a spent CHAIN accepts nothing — the overshoot
+  // acceptance is strictly for a resumable announcement.
+  SessionStore c(Role::kInitiator, store_config(/*max_records=*/1, /*max_epochs=*/0));
+  SessionStore d(Role::kResponder, store_config(/*max_records=*/1, /*max_epochs=*/0));
+  c.install(peer(2), keys, kT0);
+  d.install(peer(2), keys, kT0);
+  auto only = c.seal(peer(2), bytes_of("only"), kT0);
+  ASSERT_TRUE(only.ok());
+  ASSERT_TRUE(d.open(peer(2), only.value(), kT0).ok());
+  EXPECT_EQ(c.seal(peer(2), bytes_of("y"), kT0, DataRekey::kAuto, nullptr).error(),
+            Error::kBadState);
+}
+
+TEST(PiggybackRatchet, StraddlerOpensThroughWindowDespiteSpentBudget) {
+  // A delayed previous-epoch record must open through the window even when
+  // the CURRENT epoch's record budget is already spent — window opens do
+  // not touch that budget, so it cannot gate them (regression: the spent-
+  // budget guard used to run before epoch routing and drop the straddler).
+  SessionStore a(Role::kInitiator, store_config(/*max_records=*/2));
+  SessionStore b(Role::kResponder, store_config(/*max_records=*/2));
+  const auto keys = keys_for("late-straddler");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+
+  auto straddler = b.seal(peer(1), bytes_of("delayed"), kT0);  // epoch 0, in flight
+  ASSERT_TRUE(straddler.ok());
+  ASSERT_TRUE(a.seal(peer(1), bytes_of("advance"), kT0, DataRekey::kRatchet, nullptr).ok());
+  // A's fresh epoch-1 budget is spent entirely by new-epoch opens...
+  ASSERT_TRUE(b.ratchet(peer(1), kT0).ok());  // bring B to epoch 1 directly
+  for (int i = 0; i < 2; ++i) {
+    auto record = b.seal(peer(1), bytes_of("new"), kT0);
+    ASSERT_TRUE(record.ok());
+    ASSERT_TRUE(a.open(peer(1), record.value(), kT0).ok());
+  }
+  ASSERT_EQ(a.seal(peer(1), bytes_of("x"), kT0).error(), Error::kBadState);  // spent
+
+  // ...and the late epoch-0 straddler still opens via the window.
+  SessionStore::OpenInfo info;
+  auto opened = a.open(peer(1), straddler.value(), kT0, &info);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), bytes_of("delayed"));
+  EXPECT_TRUE(info.via_window);
+}
+
+TEST(PiggybackRatchet, EpochRejectMovesNoCounters) {
+  // A record from far outside the window (sender ratcheted twice while the
+  // receiver saw nothing) is rejected as kBadState with zero counter drift.
+  SessionStore a(Role::kInitiator, store_config());
+  SessionStore b(Role::kResponder, store_config());
+  const auto keys = keys_for("faraway");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+  ASSERT_TRUE(a.seal(peer(1), bytes_of("1"), kT0, DataRekey::kRatchet, nullptr).ok());
+  ASSERT_TRUE(a.seal(peer(1), bytes_of("2"), kT0, DataRekey::kRatchet, nullptr).ok());
+  auto record = a.seal(peer(1), bytes_of("epoch2"), kT0);
+  ASSERT_TRUE(record.ok());
+
+  EXPECT_EQ(b.open(peer(1), record.value(), kT0).error(), Error::kBadState);
+  EXPECT_EQ(b.stats().opens, 0u);
+  EXPECT_EQ(b.stats().epoch_rejects, 1u);
+  EXPECT_EQ(b.epoch(peer(1)), std::optional<std::uint32_t>(0u));
+}
+
+// ------------------------------------------------------------------ broker
+
+/// Establishes a session between two brokers over the ideal-link pump.
+void establish(SessionBroker& a, SessionBroker& b, const cert::DeviceId& b_id) {
+  auto pumped = SessionBroker::pump(a, b, a.connect(b_id, kNow), kNow);
+  ASSERT_TRUE(pumped.ok());
+  ASSERT_EQ(pumped.value(), 4u);
+}
+
+TEST(PiggybackRatchet, StreamRekeysMidStreamWithZeroStandaloneRk1) {
+  // Acceptance: a data-plane exchange that ratchets mid-stream sends ZERO
+  // standalone RK1 messages. Budget of 4 records per epoch, 20 records
+  // each way => multiple piggybacked advances, every wire message a DT1.
+  testing::World world;
+  rng::TestRng rng_a(31), rng_b(32);
+  SessionBroker alice(world.alice, rng_a, broker_config(/*max_records=*/4, /*max_epochs=*/32));
+  SessionBroker bob(world.bob, rng_b, broker_config(/*max_records=*/4, /*max_epochs=*/32));
+  establish(alice, bob, world.bob.id);
+
+  std::size_t messages = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto out = alice.make_data(world.bob.id, bytes_of("a" + std::to_string(i)), kNow);
+    ASSERT_TRUE(out.ok()) << i;
+    ASSERT_EQ(out->step, "DT1") << i;  // never an RK1 on the wire
+    ++messages;
+    auto reply = deliver(bob, world.alice.id, out.value());
+    ASSERT_TRUE(reply.ok()) << i;
+    EXPECT_FALSE(reply.value().has_value());  // data records need no reply
+
+    auto back = bob.make_data(world.alice.id, bytes_of("b" + std::to_string(i)), kNow);
+    ASSERT_TRUE(back.ok()) << i;
+    ASSERT_EQ(back->step, "DT1") << i;
+    ++messages;
+    ASSERT_TRUE(deliver(alice, world.bob.id, back.value()).ok()) << i;
+  }
+
+  // The stream really ratcheted, more than once, with zero RK1 rounds.
+  EXPECT_GE(alice.store().epoch(world.bob.id).value_or(0), 2u);
+  EXPECT_EQ(alice.store().epoch(world.bob.id), bob.store().epoch(world.alice.id));
+  EXPECT_EQ(alice.stats().ratchets_sent, 0u);
+  EXPECT_EQ(bob.stats().ratchets_sent, 0u);
+  EXPECT_GE(alice.stats().piggyback_sent + bob.stats().piggyback_sent, 2u);
+  EXPECT_EQ(alice.stats().piggyback_received + bob.stats().piggyback_received,
+            alice.stats().piggyback_sent + bob.stats().piggyback_sent);
+  EXPECT_EQ(alice.stats().records_delivered, 20u);
+  EXPECT_EQ(bob.stats().records_delivered, 20u);
+  EXPECT_EQ(messages, 40u);
+}
+
+TEST(PiggybackRatchet, BrokerKeysMatchKdfChainAfterPiggyback) {
+  testing::World world;
+  rng::TestRng rng_a(33), rng_b(34);
+  SessionBroker alice(world.alice, rng_a, broker_config());
+  SessionBroker bob(world.bob, rng_b, broker_config());
+  establish(alice, bob, world.bob.id);
+
+  std::array<std::uint8_t, 32> epoch0_mac{};
+  ASSERT_TRUE(alice.store().copy_peer_mac_key(world.bob.id, epoch0_mac));
+  kdf::SessionKeys epoch0;  // only the MAC key is observable; that suffices
+  epoch0.mac_key = epoch0_mac;
+
+  auto out = alice.make_data(world.bob.id, bytes_of("go"), kNow, DataRekey::kRatchet);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(deliver(bob, world.alice.id, out.value()).ok());
+
+  // Both sides advanced; the chains agree with each other (full hierarchy,
+  // by sealing under it) and the MAC keys differ from epoch 0.
+  std::array<std::uint8_t, 32> mac_a{}, mac_b{};
+  ASSERT_TRUE(alice.store().copy_peer_mac_key(world.bob.id, mac_a));
+  ASSERT_TRUE(bob.store().copy_peer_mac_key(world.alice.id, mac_b));
+  EXPECT_EQ(mac_a, mac_b);
+  EXPECT_NE(mac_a, epoch0_mac);
+  auto record = bob.seal(world.alice.id, bytes_of("epoch1 ok"), kNow);
+  ASSERT_TRUE(record.ok());
+  EXPECT_TRUE(alice.open(world.bob.id, record.value(), kNow).ok());
+}
+
+TEST(PiggybackRatchet, RejectedRecordDoesNotCountAsDelivered) {
+  // Counter-drift regression: an epoch-mismatched DT1 fed to on_message
+  // must leave records_delivered (and the store's open/budget counters)
+  // untouched.
+  testing::World world;
+  rng::TestRng rng_a(35), rng_b(36);
+  SessionBroker alice(world.alice, rng_a, broker_config());
+  SessionBroker bob(world.bob, rng_b, broker_config());
+  establish(alice, bob, world.bob.id);
+
+  // Alice ratchets twice without telling Bob (announcements dropped).
+  ASSERT_TRUE(alice.make_data(world.bob.id, bytes_of("1"), kNow, DataRekey::kRatchet).ok());
+  ASSERT_TRUE(alice.make_data(world.bob.id, bytes_of("2"), kNow, DataRekey::kRatchet).ok());
+  auto stranded = alice.make_data(world.bob.id, bytes_of("stranded"), kNow, DataRekey::kNone);
+  ASSERT_TRUE(stranded.ok());
+
+  EXPECT_EQ(bob.on_message(world.alice.id, stranded.value(), kNow).error(), Error::kBadState);
+  EXPECT_EQ(bob.stats().records_delivered, 0u);
+  EXPECT_EQ(bob.store().stats().opens, 0u);
+  EXPECT_EQ(bob.store().stats().epoch_rejects, 1u);
+}
+
+TEST(PiggybackRatchet, ReplayedRk1DoesNotDoubleAdvanceOrDriftCounters) {
+  // Counter-drift regression for the standalone path: a replayed RK1 must
+  // neither re-advance the epoch nor bump ratchets_received again.
+  testing::World world;
+  rng::TestRng rng_a(37), rng_b(38);
+  SessionBroker alice(world.alice, rng_a, broker_config());
+  SessionBroker bob(world.bob, rng_b, broker_config());
+  establish(alice, bob, world.bob.id);
+
+  auto announce = alice.initiate_ratchet(world.bob.id, kNow);
+  ASSERT_TRUE(announce.ok());
+  ASSERT_TRUE(bob.on_message(world.alice.id, announce.value(), kNow).ok());
+  EXPECT_EQ(bob.store().epoch(world.alice.id), std::optional<std::uint32_t>(1u));
+  EXPECT_EQ(bob.stats().ratchets_received, 1u);
+
+  EXPECT_EQ(bob.on_message(world.alice.id, announce.value(), kNow).error(), Error::kBadState);
+  EXPECT_EQ(bob.store().epoch(world.alice.id), std::optional<std::uint32_t>(1u));
+  EXPECT_EQ(bob.stats().ratchets_received, 1u);
+  EXPECT_EQ(bob.store().stats().ratchets, 1u);
+}
+
+TEST(PiggybackRatchet, RefreshAtPendingCapacityDoesNotCountFullRekey) {
+  // Counter-drift regression: refresh() escalating to connect() while the
+  // pending table is full fails with kBadState — full_rekeys must not move.
+  testing::World world;
+  rng::TestRng rng_a(39), rng_b(40);
+  BrokerConfig config = broker_config(UINT64_MAX, /*max_epochs=*/0);  // never ratchetable
+  config.max_pending = 1;
+  SessionBroker alice(world.alice, rng_a, config);
+  SessionBroker bob(world.bob, rng_b, broker_config());
+  establish(alice, bob, world.bob.id);
+
+  // Fill alice's single pending slot with an unrelated in-flight handshake.
+  ASSERT_TRUE(alice.connect(cert::DeviceId::from_string("ghost"), kNow).ok());
+  ASSERT_EQ(alice.pending_handshakes(), 1u);
+
+  EXPECT_EQ(alice.refresh(world.bob.id, kNow).error(), Error::kBadState);
+  EXPECT_EQ(alice.stats().full_rekeys, 0u);
+
+  // With the slot free again the escalation launches — and counts once.
+  ASSERT_EQ(alice.sweep(kNow + 3600), 1u);
+  auto full = alice.refresh(world.bob.id, kNow + 3600);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->step, "A1");
+  EXPECT_EQ(alice.stats().full_rekeys, 1u);
+}
+
+TEST(PiggybackRatchet, MaxEpochsCollisionEscalatesToFullRekeyAtBroker) {
+  // Epoch advance collides with the full-rekey escalation: once max_epochs
+  // is hit, kAuto stops signaling, the budget runs dry, and refresh()
+  // escalates to a fresh STS handshake that re-anchors at epoch 0.
+  testing::World world;
+  rng::TestRng rng_a(41), rng_b(42);
+  SessionBroker alice(world.alice, rng_a, broker_config(/*max_records=*/2, /*max_epochs=*/1));
+  SessionBroker bob(world.bob, rng_b, broker_config(/*max_records=*/2, /*max_epochs=*/1));
+  establish(alice, bob, world.bob.id);
+
+  // Records 1+2: the second spends the budget and piggybacks to epoch 1.
+  for (int i = 0; i < 2; ++i) {
+    auto out = alice.make_data(world.bob.id, bytes_of("r"), kNow);
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE(deliver(bob, world.alice.id, out.value()).ok());
+  }
+  ASSERT_EQ(alice.store().epoch(world.bob.id), std::optional<std::uint32_t>(1u));
+  ASSERT_EQ(bob.store().epoch(world.alice.id), std::optional<std::uint32_t>(1u));
+  EXPECT_EQ(alice.stats().piggyback_sent, 1u);
+
+  // Records 3+4: budget spends again but the chain is maxed — the last
+  // seal goes through plain (kAuto downgrade), then the stream stalls.
+  for (int i = 0; i < 2; ++i) {
+    auto out = alice.make_data(world.bob.id, bytes_of("r"), kNow);
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->step, "DT1");
+    ASSERT_TRUE(deliver(bob, world.alice.id, out.value()).ok());
+  }
+  EXPECT_EQ(alice.stats().piggyback_sent, 1u);  // no signal past the cap
+  EXPECT_EQ(alice.make_data(world.bob.id, bytes_of("over"), kNow).error(), Error::kBadState);
+
+  // refresh() escalates to the full handshake; the fabric recovers.
+  auto full = alice.refresh(world.bob.id, kNow);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->step, "A1");
+  ASSERT_TRUE(SessionBroker::pump(alice, bob, std::move(full), kNow).ok());
+  EXPECT_EQ(alice.store().epoch(world.bob.id), std::optional<std::uint32_t>(0u));
+  EXPECT_EQ(alice.stats().full_rekeys, 1u);
+  auto out = alice.make_data(world.bob.id, bytes_of("fresh"), kNow);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(deliver(bob, world.alice.id, out.value()).ok());
+}
+
+// ------------------------------------------------------- CAN-FD, end to end
+
+TEST(PiggybackRatchet, RatchetsMidStreamOverCanFdWithZeroRk1) {
+  // The new record form rides wrap_fabric/unwrap_fabric through the full
+  // Fig. 6 stack (framing, ISO-TP fragmentation, bus arbitration): a
+  // stream that ratchets mid-flight stays pure DT1 on the bus.
+  testing::World world;
+  rng::TestRng rng_a(51), rng_b(52);
+  can::CanFdTransport link;
+
+  std::vector<Bytes> delivered;
+  ConcurrentSessionBroker::Config bob_config{broker_config(/*max_records=*/4,
+                                                           /*max_epochs=*/16),
+                                             /*workers=*/0};
+  bob_config.broker.on_data = [&](const cert::DeviceId&, Bytes plaintext) {
+    delivered.push_back(std::move(plaintext));
+  };
+  ConcurrentSessionBroker alice(
+      world.alice, rng_a,
+      link, {broker_config(/*max_records=*/4, /*max_epochs=*/16), /*workers=*/0});
+  ConcurrentSessionBroker bob(world.bob, rng_b, link, bob_config);
+
+  ASSERT_TRUE(alice.connect(world.bob.id, kNow).ok());
+  settle({&alice, &bob}, kNow);
+  ASSERT_TRUE(alice.broker().session_ready(world.bob.id, kNow));
+
+  constexpr int kRecords = 12;  // 4-record budget => 2+ mid-stream ratchets
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(
+        alice.send_data(world.bob.id, bytes_of("telemetry " + std::to_string(i)), kNow).ok())
+        << i;
+    settle({&alice, &bob}, kNow);
+  }
+
+  ASSERT_EQ(delivered.size(), static_cast<std::size_t>(kRecords));
+  for (int i = 0; i < kRecords; ++i)
+    EXPECT_EQ(delivered[i], bytes_of("telemetry " + std::to_string(i))) << i;
+  EXPECT_GE(alice.broker().store().epoch(world.bob.id).value_or(0), 2u);
+  EXPECT_EQ(alice.broker().store().epoch(world.bob.id),
+            bob.broker().store().epoch(world.alice.id));
+  EXPECT_EQ(alice.broker().stats().ratchets_sent, 0u);  // zero standalone RK1s
+  EXPECT_GE(alice.broker().stats().piggyback_sent, 2u);
+  EXPECT_EQ(bob.broker().stats().piggyback_received, alice.broker().stats().piggyback_sent);
+  EXPECT_EQ(link.stats().aborted_transfers, 0u);
+}
+
+}  // namespace
+}  // namespace ecqv::proto

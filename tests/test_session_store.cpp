@@ -119,17 +119,46 @@ TEST(SessionStore, RatchetResumesSpentSession) {
 }
 
 TEST(SessionStore, RatchetDivergenceAndWipe) {
-  // Keys must diverge across epochs: a record sealed under epoch 0 cannot
-  // open after the peer ratcheted to epoch 1 (old keys are gone).
+  // Keys diverge across epochs, but an IN-FLIGHT record sealed under epoch
+  // 0 still opens right after the peer ratcheted: the acceptance window
+  // retains the previous epoch's receive channel for exactly this straddle.
   SessionStore a(Role::kInitiator, config(8));
   SessionStore b(Role::kResponder, config(8));
   const auto keys = keys_for("diverge");
   a.install(peer(1), keys, kT0);
   b.install(peer(1), keys, kT0);
-  auto old_record = a.seal(peer(1), bytes_of("old"), kT0);
-  ASSERT_TRUE(old_record.ok());
+  auto in_flight = a.seal(peer(1), bytes_of("old"), kT0);
+  ASSERT_TRUE(in_flight.ok());
   ASSERT_TRUE(b.ratchet(peer(1), kT0).ok());
-  EXPECT_FALSE(b.open(peer(1), old_record.value(), kT0).ok());
+  SessionStore::OpenInfo info;
+  auto opened = b.open(peer(1), in_flight.value(), kT0, &info);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(info.via_window);
+  EXPECT_EQ(b.stats().window_opens, 1u);
+
+  // The window holds exactly ONE previous epoch: after the next ratchet,
+  // epoch-0 keys are gone and a second straddler is rejected untouched.
+  auto stale = a.seal(peer(1), bytes_of("stale"), kT0);
+  ASSERT_TRUE(stale.ok());
+  ASSERT_TRUE(b.ratchet(peer(1), kT0).ok());  // epoch 2; window now holds 1
+  EXPECT_EQ(b.open(peer(1), stale.value(), kT0).error(), Error::kBadState);
+  EXPECT_EQ(b.stats().epoch_rejects, 1u);
+}
+
+TEST(SessionStore, ZeroEpochWindowRestoresStrictLockstep) {
+  auto strict = config(8);
+  strict.epoch_window_records = 0;
+  SessionStore a(Role::kInitiator, strict);
+  SessionStore b(Role::kResponder, strict);
+  const auto keys = keys_for("lockstep");
+  a.install(peer(1), keys, kT0);
+  b.install(peer(1), keys, kT0);
+  auto in_flight = a.seal(peer(1), bytes_of("old"), kT0);
+  ASSERT_TRUE(in_flight.ok());
+  ASSERT_TRUE(b.ratchet(peer(1), kT0).ok());
+  EXPECT_EQ(b.open(peer(1), in_flight.value(), kT0).error(), Error::kBadState);
+  EXPECT_EQ(b.stats().epoch_rejects, 1u);
+  EXPECT_EQ(b.stats().opens, 0u);  // the reject moved no budget counter
 }
 
 TEST(SessionStore, RatchetBudgetEscalatesToFullRekey) {
