@@ -28,6 +28,7 @@
 
 #include "canfd/canfd_transport.hpp"
 #include "core/concurrent_broker.hpp"
+#include "report.hpp"
 #include "rng/test_rng.hpp"
 
 using namespace ecqv;
@@ -41,43 +42,11 @@ constexpr std::size_t kRecords = 8;   // data records per peer after handshake
 
 using Clock = std::chrono::steady_clock;
 
-struct Entry {
-  std::string name;
-  std::size_t iterations;
-  double real_time_us;
-  std::string note;
-};
-
-std::vector<Entry> g_entries;
+bench::JsonSnapshot g_snapshot;
 
 void report(std::string name, std::size_t iterations, double us, std::string note = {}) {
   std::printf("%-46s %12.3f us/op   %s\n", name.c_str(), us, note.c_str());
-  g_entries.push_back(Entry{std::move(name), iterations, us, std::move(note)});
-}
-
-void write_json(const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    return;
-  }
-  std::fprintf(f,
-               "{\n  \"context\": {\"suite\": \"bench_concurrency\", \"time_unit\": \"us\", "
-               "\"hardware_concurrency\": %u, \"fleet\": %zu, \"records_per_peer\": %zu},\n",
-               std::thread::hardware_concurrency(), kFleet, kRecords);
-  std::fprintf(f, "  \"benchmarks\": [\n");
-  for (std::size_t i = 0; i < g_entries.size(); ++i) {
-    const Entry& e = g_entries[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"iterations\": %zu, \"real_time\": %.3f, "
-                 "\"cpu_time\": %.3f, \"time_unit\": \"us\"%s%s%s}%s\n",
-                 e.name.c_str(), e.iterations, e.real_time_us, e.real_time_us,
-                 e.note.empty() ? "" : ", \"label\": \"", e.note.c_str(),
-                 e.note.empty() ? "" : "\"", i + 1 < g_entries.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path);
+  g_snapshot.add(std::move(name), iterations, us, std::move(note));
 }
 
 struct Fleet {
@@ -288,6 +257,10 @@ int main(int argc, char** argv) {
   std::printf("\n-- sharded store, thread sweep --\n");
   bench_store_threads(fleet);
 
-  write_json(argc > 1 ? argv[1] : "BENCH_concurrency.json");
+  g_snapshot.write(argc > 1 ? argv[1] : "BENCH_concurrency.json", "bench_concurrency",
+                   ", \"hardware_concurrency\": " +
+                       std::to_string(std::thread::hardware_concurrency()) +
+                       ", \"fleet\": " + std::to_string(kFleet) +
+                       ", \"records_per_peer\": " + std::to_string(kRecords));
   return 0;
 }

@@ -27,6 +27,7 @@
 #include "ec/verify_table.hpp"
 #include "ecdsa/ecdsa.hpp"
 #include "ecqv/ca.hpp"
+#include "report.hpp"
 #include "rng/test_rng.hpp"
 
 using namespace ecqv;
@@ -47,40 +48,11 @@ double time_per_op_us(std::size_t iterations, F&& body) {
          static_cast<double>(iterations);
 }
 
-struct Entry {
-  std::string name;
-  std::size_t iterations;
-  double real_time_us;
-  std::string note;
-};
-
-std::vector<Entry> g_entries;
+bench::JsonSnapshot g_snapshot;
 
 void report(std::string name, std::size_t iterations, double us, std::string note = {}) {
   std::printf("%-42s %12.3f us/op   %s\n", name.c_str(), us, note.c_str());
-  g_entries.push_back(Entry{std::move(name), iterations, us, std::move(note)});
-}
-
-void write_json(const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    return;
-  }
-  std::fprintf(f, "{\n  \"context\": {\"suite\": \"bench_fleet\", \"time_unit\": \"us\"},\n");
-  std::fprintf(f, "  \"benchmarks\": [\n");
-  for (std::size_t i = 0; i < g_entries.size(); ++i) {
-    const Entry& e = g_entries[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"iterations\": %zu, \"real_time\": %.3f, "
-                 "\"cpu_time\": %.3f, \"time_unit\": \"us\"%s%s%s}%s\n",
-                 e.name.c_str(), e.iterations, e.real_time_us, e.real_time_us,
-                 e.note.empty() ? "" : ", \"label\": \"", e.note.c_str(),
-                 e.note.empty() ? "" : "\"", i + 1 < g_entries.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path);
+  g_snapshot.add(std::move(name), iterations, us, std::move(note));
 }
 
 struct Fleet {
@@ -348,6 +320,6 @@ int main(int argc, char** argv) {
   bench_handshake_fleet(fleet, 256);
   for (const std::size_t n : {100u, 1000u, 5000u}) bench_steady_state(n);
 
-  write_json(argc > 1 ? argv[1] : "BENCH_fleet.json");
+  g_snapshot.write(argc > 1 ? argv[1] : "BENCH_fleet.json", "bench_fleet");
   return 0;
 }

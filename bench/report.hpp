@@ -55,4 +55,52 @@ inline void section(const char* title) {
   std::printf("\n=== %s ===\n\n", title);
 }
 
+/// google-benchmark-shaped JSON snapshot ({"context": {...}, "benchmarks":
+/// [{name, iterations, real_time, ...}]}) shared by the plain-main
+/// reproduction benches (bench_fleet, bench_concurrency, bench_fig7) so
+/// every committed BENCH_*.json stays comparable by the snippets in
+/// tools/run_bench.sh. Times are microseconds (the suites declare
+/// time_unit "us"); notes land in the "label" field.
+class JsonSnapshot {
+ public:
+  void add(std::string name, std::size_t iterations, double real_time_us,
+           std::string note = {}) {
+    entries_.push_back(Entry{std::move(name), iterations, real_time_us, std::move(note)});
+  }
+
+  /// Writes the snapshot. `extra_context` is a raw JSON fragment appended
+  /// inside the context object; start it with ", " when non-empty.
+  void write(const char* path, const char* suite, const std::string& extra_context = {}) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return;
+    }
+    std::fprintf(f, "{\n  \"context\": {\"suite\": \"%s\", \"time_unit\": \"us\"%s},\n", suite,
+                 extra_context.c_str());
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"iterations\": %zu, \"real_time\": %.3f, "
+                   "\"cpu_time\": %.3f, \"time_unit\": \"us\"%s%s%s}%s\n",
+                   e.name.c_str(), e.iterations, e.real_time_us, e.real_time_us,
+                   e.note.empty() ? "" : ", \"label\": \"", e.note.c_str(),
+                   e.note.empty() ? "" : "\"", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::size_t iterations;
+    double real_time_us;
+    std::string note;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace ecqv::bench

@@ -18,6 +18,10 @@ void CanBus::advance_node_time(NodeId node, double ms) {
   node_clock_.at(node) = std::max(node_clock_.at(node), now_ms_) + ms;
 }
 
+double CanBus::node_time_ms(NodeId node) const {
+  return std::max(node_clock_.at(node), now_ms_);
+}
+
 double CanBus::run() {
   // Frames go out in FIFO order per CAN arbitration at equal priority;
   // handlers may enqueue replies, so iterate until drained.
@@ -28,7 +32,9 @@ double CanBus::run() {
     const double duration = frame_duration_ms(pending.frame, timing_);
     now_ms_ = start + duration;
     bus_free_ms_ = now_ms_;
+    busy_ms_ += duration;
     ++frames_delivered_;
+    if (observer_) observer_(pending.sender, pending.frame, pending.ready_ms, start, now_ms_);
     for (std::size_t node = 0; node < handlers_.size(); ++node) {
       if (node == pending.sender) continue;
       node_clock_[node] = std::max(node_clock_[node], now_ms_);

@@ -33,10 +33,26 @@ class CanBus {
   /// inject frames earlier than its clock).
   void advance_node_time(NodeId node, double ms);
 
+  /// A node's local clock, never behind the bus clock (deliveries drag
+  /// every node forward). This is when the node could next inject a frame.
+  [[nodiscard]] double node_time_ms(NodeId node) const;
+
+  /// Per-frame timing tap, invoked as each frame serializes on the medium
+  /// (before receive handlers run): sender, frame, when the frame became
+  /// ready at the sender, actual transmission start (post-arbitration) and
+  /// end. `start - ready` is the frame's arbitration/contention wait.
+  using FrameObserver =
+      std::function<void(NodeId sender, const CanFdFrame&, double ready_ms, double start_ms,
+                         double end_ms)>;
+  void set_frame_observer(FrameObserver observer) { observer_ = std::move(observer); }
+
   /// Delivers all queued frames in order; returns the final bus time.
   double run();
 
   [[nodiscard]] double now_ms() const { return now_ms_; }
+  /// Total medium occupancy (sum of frame durations); now_ms() minus this
+  /// is idle air time.
+  [[nodiscard]] double busy_ms() const { return busy_ms_; }
   [[nodiscard]] std::size_t frames_delivered() const { return frames_delivered_; }
 
  private:
@@ -50,8 +66,10 @@ class CanBus {
   std::vector<Handler> handlers_;
   std::vector<double> node_clock_;
   std::vector<Pending> queue_;
+  FrameObserver observer_;
   double now_ms_ = 0.0;
   double bus_free_ms_ = 0.0;
+  double busy_ms_ = 0.0;
   std::size_t frames_delivered_ = 0;
 };
 

@@ -20,7 +20,13 @@ CanFdTransport::CanFdTransport(Config config)
   // (it never transmits), reassembles per sender arbitration id, and
   // routes completed datagrams to the destination inbox — the acceptance
   // filtering a real controller does in hardware.
-  bus_.attach([this](const CanFdFrame& frame, double) { on_bus_frame(frame); });
+  bus_.attach([this](const CanFdFrame& frame, double now) { on_bus_frame(frame, now); });
+  if (config_.recorder != nullptr) {
+    bus_.set_frame_observer(
+        [this](CanBus::NodeId, const CanFdFrame& frame, double ready, double start, double end) {
+          on_frame_timed(frame, ready, start, end);
+        });
+  }
 }
 
 void CanFdTransport::attach(const cert::DeviceId& endpoint) {
@@ -62,12 +68,12 @@ Status CanFdTransport::send(const cert::DeviceId& src, const cert::DeviceId& dst
   std::deque<OutFrame>& queue = txq_[src_node.txq];
   const std::size_t queued_before = queue.size();
   for (std::size_t i = 0; i < frames.size(); ++i) {
-    queue.push_back(OutFrame{src_node.bus_node, frames[i], transfer, false});
+    queue.push_back(OutFrame{src_node.bus_node, frames[i], transfer, false, src_node.bus_node});
     if (i == 0 && frames.size() > 1) {
       // Segmented transfer: the receiver answers the First Frame with a
       // Flow Control frame before the Consecutive Frames proceed.
-      queue.push_back(
-          OutFrame{dst_node.bus_node, flow_control_frame(dst_node.can_id), transfer, true});
+      queue.push_back(OutFrame{dst_node.bus_node, flow_control_frame(dst_node.can_id), transfer,
+                               true, src_node.bus_node});
     }
   }
   queued_frames_ += queue.size() - queued_before;
@@ -83,7 +89,14 @@ void CanFdTransport::flush() {
   if (queued_frames_ == 0) return;
   // Equal-priority arbitration: one frame per competing sender per turn,
   // so concurrent multi-frame transfers genuinely interleave on the bus.
+  // Each round is *served* (bus_.run()) before the next round merges:
+  // deliveries advance the receiving nodes' clocks first, so a reactive
+  // frame (the FC answering a First Frame, the CFs released by that FC)
+  // is stamped ready at its causal trigger, not at the stale clock its
+  // node had when the whole transfer was queued — the timeline's
+  // per-frame waits then measure genuine bus contention only.
   std::unordered_set<std::uint64_t> cancelled;
+  std::vector<CanBus::NodeId> timed_out_senders;
   bool pending = true;
   while (pending) {
     pending = false;
@@ -95,6 +108,16 @@ void CanFdTransport::flush() {
       if (cancelled.count(out.transfer) != 0) continue;
       if (config_.drop_frame && config_.drop_frame(out.frame)) {
         ++stats_.frames_dropped;
+        if (config_.recorder != nullptr) {
+          // Drops are decided at the flush boundary, before the bus run
+          // serializes this round — the event is stamped with the clock
+          // as of the previous run (documented approximation).
+          TimelineEvent e;
+          e.kind = TimelineEvent::Kind::kDrop;
+          e.can_id = out.frame.id;
+          e.queued_ms = e.start_ms = e.end_ms = bus_.now_ms();
+          config_.recorder->record(std::move(e));
+        }
         const std::uint8_t type = out.frame.data.empty() ? 0xff : out.frame.data[0] >> 4;
         if (out.flow_control) {
           // The sender's N_Bs timeout fires: without the FC it must not
@@ -102,11 +125,13 @@ void CanFdTransport::flush() {
           // belongs to the layers above.
           ++stats_.fc_timeouts;
           cancelled.insert(out.transfer);
+          timed_out_senders.push_back(out.data_node);
         } else if (type == 0x1) {
           // Lost First Frame: the receiver never answers with an FC, so
           // the sender times out and abandons the whole transfer.
           ++stats_.aborted_transfers;
           cancelled.insert(out.transfer);
+          timed_out_senders.push_back(out.data_node);
         }
         continue;
       }
@@ -117,12 +142,45 @@ void CanFdTransport::flush() {
         ++stats_.frames_sent;
       bus_.send(out.bus_node, out.frame);
     }
+    bus_.run();
   }
   queued_frames_ = 0;
-  bus_.run();
+  // N_Bs charges land after the round serializes: the sender sat waiting
+  // for an FC (or an FF acknowledgment) that never came, so its node
+  // clock — and therefore its next injection — moves out by the timeout.
+  for (const CanBus::NodeId node : timed_out_senders) {
+    const double t0 = bus_.node_time_ms(node);
+    bus_.advance_node_time(node, config_.fc_timeout_ms);
+    if (config_.recorder != nullptr) {
+      TimelineEvent e;
+      e.kind = TimelineEvent::Kind::kFcTimeout;
+      e.queued_ms = e.start_ms = t0;
+      e.end_ms = t0 + config_.fc_timeout_ms;
+      config_.recorder->record(std::move(e));
+    }
+  }
 }
 
-void CanFdTransport::on_bus_frame(const CanFdFrame& frame) {
+void CanFdTransport::on_frame_timed(const CanFdFrame& frame, double ready_ms, double start_ms,
+                                    double end_ms) {
+  const std::uint8_t pci_type = frame.data.empty() ? 0xff : frame.data[0] >> 4;
+  TimelineEvent e;
+  e.kind = pci_type == 0x3 ? TimelineEvent::Kind::kFlowControl : TimelineEvent::Kind::kFrame;
+  e.can_id = frame.id;
+  e.queued_ms = ready_ms;
+  e.start_ms = start_ms;
+  e.end_ms = end_ms;
+  e.wire_bytes = frame.data.size();
+  config_.recorder->record(std::move(e));
+  if (pci_type == 0x3) return;
+  // Transfer timing: a First/Single Frame opens (or preempts) the
+  // sender's in-flight transfer; Consecutive Frames accumulate bytes.
+  RxTiming& rx = rx_timing_[frame.id];
+  if (pci_type == 0x0 || pci_type == 0x1) rx = RxTiming{ready_ms, start_ms, 0};
+  rx.wire_bytes += frame.data.size();
+}
+
+void CanFdTransport::on_bus_frame(const CanFdFrame& frame, double now_ms) {
   const auto sender = by_can_id_.find(frame.id);
   if (sender == by_can_id_.end()) return;  // switch's own FCs carry dst ids too
   const std::uint8_t pci_type = frame.data.empty() ? 0xff : frame.data[0] >> 4;
@@ -173,6 +231,22 @@ void CanFdTransport::on_bus_frame(const CanFdFrame& frame) {
   }
   const auto dst_it = by_id_.find(dst);
   if (dst_it == by_id_.end()) return;  // addressed to nobody we know
+  if (config_.recorder != nullptr) {
+    // One event per delivered fabric datagram: FF readiness through the
+    // final frame's end — the interval sim/schedule renders as "tx:<step>".
+    const auto timing = rx_timing_.find(frame.id);
+    TimelineEvent e;
+    e.kind = TimelineEvent::Kind::kDatagram;
+    e.can_id = frame.id;
+    e.src = src;
+    e.dst = dst;
+    e.label = message->step;
+    e.queued_ms = timing != rx_timing_.end() ? timing->second.ready_ms : now_ms;
+    e.start_ms = timing != rx_timing_.end() ? timing->second.start_ms : now_ms;
+    e.end_ms = now_ms;
+    e.wire_bytes = timing != rx_timing_.end() ? timing->second.wire_bytes : 0;
+    config_.recorder->record(std::move(e));
+  }
   dst_it->second->inbox.push_back(
       proto::Datagram{src, dst, std::move(message).value()});
   ++stats_.messages_delivered;
@@ -200,6 +274,38 @@ double CanFdTransport::bus_time_ms() {
   std::lock_guard<OptionalMutex> lock(mutex_);
   flush();
   return bus_.now_ms();
+}
+
+double CanFdTransport::bus_busy_ms() {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  flush();
+  return bus_.busy_ms();
+}
+
+void CanFdTransport::charge(const cert::DeviceId& endpoint, double ms) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  flush();  // the charge starts after everything already on the bus
+  const auto it = by_id_.find(endpoint);
+  if (it == by_id_.end()) return;
+  const double t0 = bus_.node_time_ms(it->second->bus_node);
+  bus_.advance_node_time(it->second->bus_node, ms);
+  if (config_.recorder != nullptr) {
+    TimelineEvent e;
+    e.kind = TimelineEvent::Kind::kCompute;
+    e.can_id = it->second->can_id;
+    e.src = endpoint;
+    e.queued_ms = e.start_ms = t0;
+    e.end_ms = t0 + ms;
+    config_.recorder->record(std::move(e));
+  }
+}
+
+double CanFdTransport::endpoint_time_ms(const cert::DeviceId& endpoint) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  flush();
+  const auto it = by_id_.find(endpoint);
+  if (it == by_id_.end()) return bus_.now_ms();
+  return bus_.node_time_ms(it->second->bus_node);
 }
 
 }  // namespace ecqv::can

@@ -41,6 +41,7 @@
 #include "canfd/bus.hpp"
 #include "canfd/isotp.hpp"
 #include "canfd/session_layer.hpp"
+#include "canfd/timeline.hpp"
 #include "core/transport.hpp"
 
 namespace ecqv::can {
@@ -52,6 +53,17 @@ class CanFdTransport final : public proto::Transport {
     bool concurrent = false;
     /// Test hook simulating bus errors: return true to drop this frame.
     std::function<bool(const CanFdFrame&)> drop_frame;
+    /// Virtual-clock tap (not owned; must outlive the transport): every
+    /// frame, flow-control round, completed datagram, drop and N_Bs
+    /// timeout is recorded with its bus-time interval. Null = no events.
+    TimelineRecorder* recorder = nullptr;
+    /// Sender-side N_Bs: how long (simulated ms) a sender waits for the
+    /// Flow Control after a First Frame before abandoning the transfer.
+    /// Charged to the sender's node clock when the loss model kills the
+    /// FC (or the FF itself), so lossy timelines stall realistically.
+    /// ISO 15765-2 allows up to 1000 ms; embedded stacks typically run
+    /// much tighter budgets.
+    double fc_timeout_ms = 100.0;
   };
 
   struct Stats {
@@ -80,6 +92,19 @@ class CanFdTransport final : public proto::Transport {
   /// arbitrated and delivered.
   [[nodiscard]] double bus_time_ms();
 
+  /// Total medium occupancy (ms): bus_time_ms() minus idle air time. The
+  /// recorder's Summary::bus_busy_ms sums the same quantity from frame
+  /// events — test_timeline.cpp pins the two definitions together.
+  [[nodiscard]] double bus_busy_ms();
+
+  // Virtual-time hooks (proto::Transport): the bus clock IS the link
+  // clock, compute charges gate the endpoint's next injection, and the
+  // endpoint clock is CanBus::node_time_ms — so sim/schedule timelines
+  // built over this transport are bus-time faithful.
+  [[nodiscard]] double now_ms() override { return bus_time_ms(); }
+  void charge(const cert::DeviceId& endpoint, double ms) override;
+  [[nodiscard]] double endpoint_time_ms(const cert::DeviceId& endpoint) override;
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t frames_delivered() const { return bus_.frames_delivered(); }
 
@@ -96,13 +121,23 @@ class CanFdTransport final : public proto::Transport {
     CanFdFrame frame;
     std::uint64_t transfer = 0;  // serial of the transfer this frame belongs to
     bool flow_control = false;
+    CanBus::NodeId data_node = 0;  // the transfer's data sender (N_Bs charges)
+  };
+  /// First-frame timing of the transfer currently reassembling for one
+  /// sender arbitration id (feeds the per-datagram timeline event).
+  struct RxTiming {
+    double ready_ms = 0.0;
+    double start_ms = 0.0;
+    std::size_t wire_bytes = 0;  // DLC-padded bytes of the transfer so far
   };
 
   /// Merges every sender's pending frames onto the bus round-robin (one
   /// frame per sender per turn) and runs the bus until drained. Lock held.
   void flush();
   /// Switch-side frame sink (runs inside bus_.run() from flush).
-  void on_bus_frame(const CanFdFrame& frame);
+  void on_bus_frame(const CanFdFrame& frame, double now_ms);
+  /// Bus frame-timing tap (runs inside bus_.run(); recorder configured).
+  void on_frame_timed(const CanFdFrame& frame, double ready_ms, double start_ms, double end_ms);
 
   Config config_;
   CanBus bus_;
@@ -111,6 +146,7 @@ class CanFdTransport final : public proto::Transport {
   std::unordered_map<cert::DeviceId, Node*, proto::DeviceIdHash> by_id_;
   std::unordered_map<std::uint32_t, Node*> by_can_id_;
   std::unordered_map<std::uint32_t, IsoTpReassembler> reassembly_;  // keyed by sender can id
+  std::unordered_map<std::uint32_t, RxTiming> rx_timing_;           // keyed by sender can id
   std::vector<std::deque<OutFrame>> txq_;  // per attached endpoint (Node::txq)
   std::size_t queued_frames_ = 0;  // frames waiting in txq_ (flush fast path)
   std::uint64_t next_transfer_ = 1;

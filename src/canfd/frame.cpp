@@ -4,6 +4,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "canfd/bitstream.hpp"
+
 namespace ecqv::can {
 
 namespace {
@@ -56,13 +58,14 @@ FrameBits frame_bits(std::size_t data_len, bool include_stuff_estimate) {
 }
 
 double frame_duration_ms(std::size_t data_len, const BusTiming& timing) {
-  const FrameBits bits = frame_bits(data_len, timing.include_stuff_estimate);
+  const FrameBits bits = frame_bits(data_len, timing.stuffing != StuffModel::kNone);
   const double seconds = static_cast<double>(bits.nominal) / timing.nominal_bitrate +
                          static_cast<double>(bits.data) / timing.data_bitrate;
   return seconds * 1e3;
 }
 
 double frame_duration_ms(const CanFdFrame& frame, const BusTiming& timing) {
+  if (timing.stuffing == StuffModel::kExact) return exact_frame_duration_ms(frame, timing);
   return frame_duration_ms(frame.data.size(), timing);
 }
 

@@ -34,10 +34,18 @@ struct CanFdFrame {
   static CanFdFrame make(std::uint32_t id, ByteView payload);
 };
 
+/// How stuff bits enter the frame-duration model.
+enum class StuffModel : std::uint8_t {
+  kNone,      // raw field bits only (lower bound)
+  kEstimate,  // flat 1-in-10 expected-case estimate (seed behavior)
+  kExact,     // serialize the frame and count the real stuff bits + CRC
+              // field per ISO 11898-1 (canfd/bitstream) — payload-dependent
+};
+
 struct BusTiming {
   double nominal_bitrate = 500'000.0;   // paper §V-C
   double data_bitrate = 2'000'000.0;
-  bool include_stuff_estimate = true;
+  StuffModel stuffing = StuffModel::kEstimate;
 };
 
 /// Bits transmitted in each phase for a frame with `data_len` bytes
@@ -48,7 +56,9 @@ struct FrameBits {
 };
 FrameBits frame_bits(std::size_t data_len, bool include_stuff_estimate = true);
 
-/// Wall-clock duration of one frame on the bus, in milliseconds.
+/// Wall-clock duration of one frame on the bus, in milliseconds. The frame
+/// overload honors StuffModel::kExact (it has the payload bytes to
+/// serialize); the length-only overload degrades kExact to the estimate.
 double frame_duration_ms(const CanFdFrame& frame, const BusTiming& timing);
 double frame_duration_ms(std::size_t data_len, const BusTiming& timing);
 

@@ -1,0 +1,89 @@
+// Virtual-clock timeline of the simulated CAN-FD fabric.
+//
+// The bus model (bus.cpp) already advances a simulated clock through
+// round-robin arbitration, frame serialization and per-node compute
+// charges; this module makes that clock *observable*: the transport emits
+// one TimelineEvent per frame, per flow-control round, per completed
+// fabric datagram, per loss-model casualty (dropped frame, N_Bs timeout)
+// and per compute charge, into a recorder that sim/schedule consumes
+// alongside its analytic compute-cost entries. Fig. 7 reproductions and
+// the fleet contention benches read the same stream, so "time on the bus"
+// has exactly one definition across the repo.
+//
+// Event semantics:
+//   * queued_ms  — when the payload became ready at its sender (frame
+//     events: the sender's node clock at injection; datagram events: the
+//     First/Single Frame's readiness);
+//   * start_ms   — when the bus actually started serializing it
+//     (post-arbitration; start - queued is the contention wait);
+//   * end_ms     — end of serialization (datagram events: delivery of the
+//     final frame, i.e. when the reassembled message reached its inbox).
+//
+// Thread safety: record() and every accessor lock one internal mutex —
+// the recorder is shared by transport internals and (in concurrent
+// fabrics) worker threads charging compute.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ecqv/certificate.hpp"
+
+namespace ecqv::can {
+
+struct TimelineEvent {
+  enum class Kind : std::uint8_t {
+    kFrame,        // one data-bearing frame's bus occupancy
+    kFlowControl,  // receiver FC frame occupancy
+    kDatagram,     // complete fabric datagram (FF ready .. last frame end)
+    kFcTimeout,    // sender's N_Bs expiry after a lost FC / lost FF
+    kDrop,         // frame killed by the loss hook (zero duration)
+    kCompute,      // device compute charged to a node clock
+  };
+
+  Kind kind = Kind::kFrame;
+  std::uint32_t can_id = 0;     // sender arbitration id (frame/datagram kinds)
+  cert::DeviceId src;           // datagram + compute events
+  cert::DeviceId dst;           // datagram events
+  std::string label;            // datagram: protocol step; compute: segment
+  double queued_ms = 0.0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::size_t wire_bytes = 0;   // DLC-padded bytes (frame/datagram kinds)
+
+  [[nodiscard]] double duration_ms() const { return end_ms - start_ms; }
+  /// Arbitration/contention wait before serialization began.
+  [[nodiscard]] double wait_ms() const { return start_ms - queued_ms; }
+};
+
+/// Collects TimelineEvents from one transport (or several sharing a bus)
+/// and aggregates the numbers the contention benches report.
+class TimelineRecorder {
+ public:
+  void record(TimelineEvent event);
+  void clear();
+
+  /// Snapshot of everything recorded so far, in emission order (frame
+  /// events are emitted in bus-serialization order).
+  [[nodiscard]] std::vector<TimelineEvent> events() const;
+
+  struct Summary {
+    std::size_t frames = 0;          // kFrame + kFlowControl events
+    std::size_t datagrams = 0;
+    std::size_t drops = 0;
+    std::size_t fc_timeouts = 0;
+    double bus_busy_ms = 0.0;        // sum of frame occupancy
+    double contention_wait_ms = 0.0; // sum of frame waits (start - queued)
+    double max_wait_ms = 0.0;        // worst single frame wait
+    double end_ms = 0.0;             // latest event end (timeline horizon)
+    std::size_t wire_bytes = 0;      // DLC-padded bytes over all frames
+  };
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace ecqv::can

@@ -2,6 +2,12 @@
 
 namespace ecqv::proto {
 
+double Transport::now_ms() { return 0.0; }
+
+void Transport::charge(const cert::DeviceId& /*endpoint*/, double /*ms*/) {}
+
+double Transport::endpoint_time_ms(const cert::DeviceId& /*endpoint*/) { return now_ms(); }
+
 void IdealLinkTransport::attach(const cert::DeviceId& endpoint) {
   std::lock_guard<OptionalMutex> lock(mutex_);
   inboxes_.try_emplace(endpoint);

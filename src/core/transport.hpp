@@ -60,6 +60,26 @@ class Transport {
   /// flight. Stalled partial transfers on lossy links do not count — they
   /// can never complete.
   [[nodiscard]] virtual bool idle() = 0;
+
+  // ---- virtual-time hooks ----------------------------------------------
+  // Transports that model link time (the CAN-FD bus simulation) expose
+  // their clock here so sim/schedule can build time-faithful timelines
+  // from the transported bytes themselves. The defaults model the ideal
+  // link: time never advances and compute is free, so existing transports
+  // and tests are unaffected.
+
+  /// Simulated link clock (ms) after everything sent so far has been
+  /// delivered. Ideal links return 0 — delivery is instantaneous.
+  [[nodiscard]] virtual double now_ms();
+
+  /// Charges `ms` of device compute time to an endpoint's local clock:
+  /// the endpoint cannot inject traffic earlier than its clock, so
+  /// protocol timelines serialize compute and bus occupancy correctly.
+  virtual void charge(const cert::DeviceId& endpoint, double ms);
+
+  /// An endpoint's local clock: the later of its accumulated compute and
+  /// the link clock at its last delivery.
+  [[nodiscard]] virtual double endpoint_time_ms(const cert::DeviceId& endpoint);
 };
 
 /// The ideal in-memory link: instant delivery, per-destination FIFO

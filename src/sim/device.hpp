@@ -54,6 +54,16 @@ struct ReferenceWeights {
 /// EC factor); the rest scale with the symmetric factor.
 bool is_ec_op(Op op);
 
+/// The CAN-FD link a modeled device is attached to: arbitration-phase and
+/// data-phase bit rates (paper §V-C defaults, 0.5 / 2.0 Mbit/s). The
+/// device profile owns these so timeline builders derive per-frame bus
+/// occupancy from the same place they price compute — see
+/// sim::bus_timing() in sim/schedule.hpp for the canfd::BusTiming bridge.
+struct LinkProfile {
+  double nominal_bitrate = 500'000.0;
+  double data_bitrate = 2'000'000.0;
+};
+
 struct DeviceModel {
   std::string name;
   double ec_factor_ms = 1.0;   // ms per unit EC weight
@@ -61,6 +71,7 @@ struct DeviceModel {
   /// Weight profile this model prices against; null means the native
   /// fast-path profile. Calibrated paper devices point at embedded().
   const ReferenceWeights* weights = nullptr;
+  LinkProfile link{};          // the bus this device transmits on
 
   /// Predicted milliseconds for a counted workload.
   [[nodiscard]] double time_ms(const OpCounts& counts) const;

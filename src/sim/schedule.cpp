@@ -91,4 +91,92 @@ double timeline_total_ms(const std::vector<TimelineEntry>& timeline) {
   return timeline.empty() ? 0.0 : timeline.back().end_ms;
 }
 
+can::BusTiming bus_timing(const DeviceModel& device, can::StuffModel stuffing) {
+  can::BusTiming timing;
+  timing.nominal_bitrate = device.link.nominal_bitrate;
+  timing.data_bitrate = device.link.data_bitrate;
+  timing.stuffing = stuffing;
+  return timing;
+}
+
+std::vector<TimelineEntry> replay_timeline(const RunRecord& record,
+                                           const DeviceModel& initiator_device,
+                                           const DeviceModel& responder_device,
+                                           const std::string& initiator_name,
+                                           const std::string& responder_name,
+                                           proto::Transport& transport) {
+  const cert::DeviceId initiator_id = cert::DeviceId::from_string(initiator_name);
+  const cert::DeviceId responder_id = cert::DeviceId::from_string(responder_name);
+  transport.attach(initiator_id);
+  transport.attach(responder_id);
+
+  std::vector<TimelineEntry> timeline;
+  auto emit_segments = [&](const std::vector<proto::OpSegment>& segments,
+                           const std::string& device_name, const cert::DeviceId& id,
+                           const DeviceModel& device, std::string_view trigger) {
+    for (const auto& s : segments) {
+      if (s.trigger != trigger) continue;
+      const double ms = device.time_ms(s.counts);
+      const double start = transport.endpoint_time_ms(id);
+      transport.charge(id, ms);
+      timeline.push_back(TimelineEntry{device_name, s.label, start, start + ms});
+    }
+  };
+
+  // Initiator's opening computation (trigger "").
+  emit_segments(record.initiator_segments, initiator_name, initiator_id, initiator_device, "");
+
+  for (const auto& message : record.transcript) {
+    const bool from_initiator = message.sender == proto::Role::kInitiator;
+    const cert::DeviceId& src = from_initiator ? initiator_id : responder_id;
+    const cert::DeviceId& dst = from_initiator ? responder_id : initiator_id;
+    // The sender finished its compute; the message enters arbitration at
+    // the sender's node clock and completes at the receiver's clock after
+    // the final frame delivers (receive() drives the bus to that point).
+    const double ready = transport.endpoint_time_ms(src);
+    const Status sent = transport.send(src, dst, message);
+    if (!sent.ok()) throw std::runtime_error("replay_timeline: send failed: " + message.step);
+    const auto datagram = transport.receive(dst);
+    if (!datagram.has_value() || datagram->message.step != message.step)
+      throw std::runtime_error("replay_timeline: message lost in transit: " + message.step);
+    const double arrived = transport.endpoint_time_ms(dst);
+    timeline.push_back(TimelineEntry{from_initiator ? initiator_name : responder_name,
+                                     "tx:" + message.step, ready, arrived});
+    // The receiver's segments triggered by this message.
+    if (from_initiator) {
+      emit_segments(record.responder_segments, responder_name, responder_id, responder_device,
+                    message.step);
+    } else {
+      emit_segments(record.initiator_segments, initiator_name, initiator_id, initiator_device,
+                    message.step);
+    }
+  }
+  return timeline;
+}
+
+std::vector<TimelineEntry> transport_timeline(
+    const can::TimelineRecorder& recorder,
+    const std::function<std::string(const cert::DeviceId&)>& name_of) {
+  std::vector<TimelineEntry> timeline;
+  for (const auto& e : recorder.events()) {
+    switch (e.kind) {
+      case can::TimelineEvent::Kind::kDatagram:
+        timeline.push_back(
+            TimelineEntry{name_of(e.src), "tx:" + e.label, e.queued_ms, e.end_ms});
+        break;
+      case can::TimelineEvent::Kind::kCompute:
+        timeline.push_back(TimelineEntry{
+            name_of(e.src), e.label.empty() ? std::string("compute") : e.label, e.start_ms,
+            e.end_ms});
+        break;
+      default: break;  // frame-level events stay in the recorder's domain
+    }
+  }
+  std::sort(timeline.begin(), timeline.end(),
+            [](const TimelineEntry& a, const TimelineEntry& b) {
+              return a.start_ms < b.start_ms;
+            });
+  return timeline;
+}
+
 }  // namespace ecqv::sim

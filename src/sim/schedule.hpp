@@ -22,7 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "canfd/frame.hpp"
+#include "canfd/timeline.hpp"
 #include "core/sts.hpp"
+#include "core/transport.hpp"
 #include "sim/counts.hpp"
 #include "sim/device.hpp"
 
@@ -74,5 +77,43 @@ std::vector<TimelineEntry> build_timeline(const RunRecord& record,
 
 /// End time of the last entry (total protocol latency).
 double timeline_total_ms(const std::vector<TimelineEntry>& timeline);
+
+// ---- transport-fed timelines (the virtual clock) -----------------------
+//
+// build_timeline() prices message transfer analytically (a TransferTime
+// callback per message). The functions below instead derive the timeline
+// from a real transport run: the transported bytes themselves — framing,
+// ISO-TP fragmentation, flow-control rounds, arbitration waits — set the
+// tx intervals through the transport's virtual clock (Transport::now_ms /
+// charge / endpoint_time_ms), and device compute charges gate each node's
+// next injection exactly as CanBus models it.
+
+/// The bus timing a device profile implies. Exact stuff-bit counting by
+/// default: transported bytes are available, so the estimate would be a
+/// gratuitous approximation.
+can::BusTiming bus_timing(const DeviceModel& device,
+                          can::StuffModel stuffing = can::StuffModel::kExact);
+
+/// Replays a recorded run over `transport`: every transcript message is
+/// sent through the transport (wrap_fabric framing, segmentation,
+/// arbitration), every compute segment is charged to its endpoint's node
+/// clock, and the returned timeline interleaves both — Fig. 7 from the
+/// wire, not from per-message cost formulas. Endpoints are attached under
+/// DeviceId::from_string(name). Requires a lossless transport; throws
+/// std::runtime_error if a transcript message fails to deliver.
+std::vector<TimelineEntry> replay_timeline(const RunRecord& record,
+                                           const DeviceModel& initiator_device,
+                                           const DeviceModel& responder_device,
+                                           const std::string& initiator_name,
+                                           const std::string& responder_name,
+                                           proto::Transport& transport);
+
+/// Renders a TimelineRecorder's datagram + compute events as timeline
+/// rows ("tx:<step>" / segment labels, device = name_of(src)) — the
+/// consuming side for multi-party contention timelines, where no single
+/// RunRecord exists.
+std::vector<TimelineEntry> transport_timeline(
+    const can::TimelineRecorder& recorder,
+    const std::function<std::string(const cert::DeviceId&)>& name_of);
 
 }  // namespace ecqv::sim

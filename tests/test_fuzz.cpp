@@ -14,6 +14,7 @@
 #include "canfd/isotp.hpp"
 #include "canfd/session_layer.hpp"
 #include "core/secure_channel.hpp"
+#include "core/session_broker.hpp"
 #include "ecdsa/der.hpp"
 #include "ecqv/enrollment_wire.hpp"
 #include "protocol_fixture.hpp"
@@ -161,6 +162,95 @@ TEST_P(DecoderFuzz, EnrollmentWireNeverMisbehaves) {
       EXPECT_EQ(ec::Curve::p256().mul_base(key->private_key), key->public_key);
     }
   }
+}
+
+TEST_P(DecoderFuzz, FabricDatagramMutationsNeverForgeOrDriftCounters) {
+  // The full fabric data plane under mutation: truncated/bit-flipped/
+  // random fabric PDUs (and ISO-TP frame mutations reassembled back into
+  // PDUs) are driven through unwrap_fabric and the broker's on_message →
+  // store open() path. Required: no crash, no accepted forgery, and zero
+  // movement on any delivery or epoch counter. Then the pristine records
+  // are delivered once and replayed — the replay must change nothing.
+  testing::World world(GetParam());
+  rng::TestRng rng_a(GetParam() + 100), rng_b(GetParam() + 101);
+  proto::SessionBroker alice(world.alice, rng_a);
+  proto::SessionBroker bob(world.bob, rng_b);
+  const auto a_id = cert::DeviceId::from_string("fuzz-alice");
+  const auto b_id = cert::DeviceId::from_string("fuzz-bob");
+  const auto keys = kdf::derive_session_keys(bytes_of("fuzz-pm"), bytes_of("fuzz-salt"),
+                                             bytes_of("fabric-fuzz"));
+  alice.store().install(b_id, keys, proto::Role::kInitiator, kNow);
+  bob.store().install(a_id, keys, proto::Role::kResponder, kNow);
+
+  auto plain = alice.make_data(b_id, bytes_of("plain telemetry"), kNow, proto::DataRekey::kNone);
+  auto flagged =
+      alice.make_data(b_id, bytes_of("rekeying record"), kNow, proto::DataRekey::kRatchet);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(flagged.ok());
+  const Bytes valid_plain = can::wrap_fabric(plain.value(), 1).encode();
+  const Bytes valid_flagged = can::wrap_fabric(flagged.value(), 2).encode();
+
+  // A mutant may leave the sealed record intact and only move framing
+  // bytes (session id, op-code role bit) — the record is deliberately
+  // self-authenticating, so those are honest reframings, not forgeries;
+  // they are excluded here and the pristine path is tested below.
+  const auto is_genuine_record = [&](const Bytes& record) {
+    return record == plain->payload || record == flagged->payload;
+  };
+  const auto feed = [&](const Bytes& pdu_bytes) {
+    const auto pdu = can::AppPdu::decode(pdu_bytes);
+    if (!pdu.ok()) return;
+    Result<proto::Message> message = Error::kDecodeFailed;
+    try {
+      message = can::unwrap_fabric(pdu.value());
+    } catch (const std::invalid_argument&) {
+      return;  // op codes outside the fabric vocabulary
+    }
+    if (!message.ok() || is_genuine_record(message->payload)) return;
+    const auto result = bob.on_message(a_id, message.value(), kNow);
+    EXPECT_FALSE(result.ok()) << "mutated datagram accepted: " << message->step;
+  };
+
+  Mutator mutator(GetParam() + 6);
+  for (int i = 0; i < 300; ++i) {
+    feed(mutator.mutate(valid_plain));
+    feed(mutator.mutate(valid_flagged));
+  }
+  // Frame-level mutations: corrupt individual ISO-TP frames of the
+  // flagged datagram, reassemble whatever survives, feed it through the
+  // same fabric path.
+  const auto frames = can::isotp_segment(0x5, concat({ByteView(valid_flagged)}));
+  can::IsoTpReassembler rx;
+  for (int round = 0; round < 100; ++round) {
+    for (const auto& frame : frames) {
+      can::CanFdFrame mutated = frame;
+      mutated.data = mutator.mutate(frame.data);
+      if (mutated.data.size() > can::kMaxDataBytes) mutated.data.resize(can::kMaxDataBytes);
+      auto fed = rx.feed(mutated);
+      if (fed.ok() && fed->has_value() && **fed != valid_flagged) feed(**fed);
+    }
+  }
+
+  // Zero counter drift: nothing was delivered, no epoch moved, no signal
+  // applied, no RK1 accepted.
+  EXPECT_EQ(bob.stats().records_delivered, 0u);
+  EXPECT_EQ(bob.stats().piggyback_received, 0u);
+  EXPECT_EQ(bob.stats().ratchets_received, 0u);
+  EXPECT_EQ(bob.store().stats().opens, 0u);
+  EXPECT_EQ(bob.store().stats().ratchets, 0u);
+  EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(0u));
+
+  // The pristine records still deliver exactly once (the fuzz left the
+  // session untouched), and replays die with no further movement.
+  ASSERT_TRUE(bob.on_message(a_id, plain.value(), kNow).ok());
+  ASSERT_TRUE(bob.on_message(a_id, flagged.value(), kNow).ok());
+  EXPECT_EQ(bob.stats().records_delivered, 2u);
+  EXPECT_EQ(bob.stats().piggyback_received, 1u);
+  EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(1u));
+  EXPECT_FALSE(bob.on_message(a_id, plain.value(), kNow).ok());
+  EXPECT_FALSE(bob.on_message(a_id, flagged.value(), kNow).ok());
+  EXPECT_EQ(bob.stats().records_delivered, 2u);
+  EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(1u));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(11, 22, 33));

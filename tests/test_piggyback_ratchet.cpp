@@ -529,6 +529,70 @@ TEST(PiggybackRatchet, MaxEpochsCollisionEscalatesToFullRekeyAtBroker) {
   EXPECT_TRUE(deliver(bob, world.alice.id, out.value()).ok());
 }
 
+TEST(PiggybackRatchet, MaxEpochsBoundaryStraddleEscalatesExactlyOnce) {
+  // Regression for the chain's last rung: a piggyback signal that arrives
+  // while the receiver sits at epoch max_epochs-1 — with an epoch-(max-1)
+  // record still in flight across the boundary — must (a) open the
+  // straddler through the acceptance window, (b) never double-advance on
+  // a replay of the final announcement, and (c) escalate to a full STS
+  // handshake exactly once when the spent chain is refreshed.
+  testing::World world;
+  rng::TestRng rng_a(61), rng_b(62);
+  SessionBroker alice(world.alice, rng_a, broker_config(UINT64_MAX, /*max_epochs=*/2));
+  SessionBroker bob(world.bob, rng_b, broker_config(UINT64_MAX, /*max_epochs=*/2));
+  establish(alice, bob, world.bob.id);
+
+  // Step both sides to epoch 1 = max_epochs - 1.
+  auto to1 = alice.make_data(world.bob.id, bytes_of("to-1"), kNow, DataRekey::kRatchet);
+  ASSERT_TRUE(to1.ok());
+  ASSERT_TRUE(deliver(bob, world.alice.id, to1.value()).ok());
+  ASSERT_EQ(alice.store().epoch(world.bob.id), std::optional<std::uint32_t>(1u));
+  ASSERT_EQ(bob.store().epoch(world.alice.id), std::optional<std::uint32_t>(1u));
+
+  // An epoch-1 record leaves bob BEFORE the final signal crosses.
+  auto straddler = bob.make_data(world.alice.id, bytes_of("straddle"), kNow, DataRekey::kNone);
+  ASSERT_TRUE(straddler.ok());
+
+  // The final signal (max_epochs-1 -> max_epochs) spends both chains.
+  auto to2 = alice.make_data(world.bob.id, bytes_of("to-2"), kNow, DataRekey::kRatchet);
+  ASSERT_TRUE(to2.ok());
+  ASSERT_EQ(alice.store().epoch(world.bob.id), std::optional<std::uint32_t>(2u));
+  ASSERT_TRUE(deliver(bob, world.alice.id, to2.value()).ok());
+  EXPECT_EQ(bob.store().epoch(world.alice.id), std::optional<std::uint32_t>(2u));
+  EXPECT_EQ(bob.stats().piggyback_received, 2u);
+
+  // (a) The straddler opens through alice's window despite her spent chain.
+  ASSERT_TRUE(deliver(alice, world.bob.id, straddler.value()).ok());
+  EXPECT_EQ(alice.stats().records_delivered, 1u);
+  EXPECT_EQ(alice.store().stats().window_opens, 1u);
+
+  // (b) Replaying the final announcement routes to bob's retained window,
+  // dies on the consumed sequence number, and moves no epoch or counter.
+  EXPECT_EQ(deliver(bob, world.alice.id, to2.value()).error(), Error::kAuthenticationFailed);
+  EXPECT_EQ(bob.store().epoch(world.alice.id), std::optional<std::uint32_t>(2u));
+  EXPECT_EQ(bob.stats().piggyback_received, 2u);
+  EXPECT_EQ(bob.store().stats().ratchets, 2u);
+
+  // Past the cap neither side can signal again...
+  EXPECT_EQ(
+      alice.make_data(world.bob.id, bytes_of("x"), kNow, DataRekey::kRatchet).error(),
+      Error::kBadState);
+
+  // (c) ...so refresh() escalates to a full STS — exactly once: the rerun
+  // handshake re-anchors at epoch 0, and the NEXT refresh takes the cheap
+  // RK1 rung again instead of a second full rekey.
+  auto full = alice.refresh(world.bob.id, kNow);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->step, "A1");
+  ASSERT_TRUE(SessionBroker::pump(alice, bob, std::move(full), kNow).ok());
+  EXPECT_EQ(alice.stats().full_rekeys, 1u);
+  EXPECT_EQ(alice.store().epoch(world.bob.id), std::optional<std::uint32_t>(0u));
+  auto again = alice.refresh(world.bob.id, kNow);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->step, SessionBroker::kRatchetStep);
+  EXPECT_EQ(alice.stats().full_rekeys, 1u);  // still exactly one escalation
+}
+
 // ------------------------------------------------------- CAN-FD, end to end
 
 TEST(PiggybackRatchet, RatchetsMidStreamOverCanFdWithZeroRk1) {

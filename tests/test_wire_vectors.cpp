@@ -1,0 +1,169 @@
+// Byte-exact wire conformance vectors.
+//
+// Every byte below is checked in as hex and compared verbatim against what
+// the implementation emits today: SecureChannel record v2
+// (epoch||flags||seq||ct||mac), the RK1 epoch-ratchet announcement,
+// wrap_fabric session-layer framing, and ISO-TP FF/CF/SF/FC frames. A
+// refactor that changes ANY committed byte fails here first — on-bus
+// compatibility cannot silently drift. Each vector also round-trips
+// through the decoder so the frozen bytes stay semantically live, not
+// just memorized.
+//
+// Key material is fixed (derive_session_keys over constant inputs), so
+// the vectors are independent of handshake internals and RNG draw order:
+// only a genuine record/framing format change can move them.
+#include <gtest/gtest.h>
+
+#include "canfd/isotp.hpp"
+#include "canfd/session_layer.hpp"
+#include "common/hex.hpp"
+#include "core/session_broker.hpp"
+#include "protocol_fixture.hpp"
+
+namespace ecqv {
+namespace {
+
+using testing::kNow;
+
+kdf::SessionKeys wire_keys() {
+  return kdf::derive_session_keys(bytes_of("wire-premaster"), bytes_of("wire-salt"),
+                                  bytes_of("wire-vectors-v2"));
+}
+
+// ------------------------------------------------ SecureChannel record v2
+
+TEST(WireVectors, SecureChannelRecordV2IsByteExact) {
+  const auto keys = wire_keys();
+  proto::SecureChannel tx(keys, proto::Role::kInitiator, 0);
+
+  // epoch 0, flags 0, seq 0.
+  const Bytes record0 = tx.seal(bytes_of("record zero"));
+  EXPECT_EQ(to_hex(record0),
+            "0000000000000000000000000021dd306fe025d2f8011bef4f655c73b6b7c4db5792150c72d6ae"
+            "b99318b9e35d0362105087f2b88579da56");
+
+  // Same channel, seq 1, kFlagRatchet set (the piggybacked advance).
+  const Bytes record1 =
+      tx.seal(bytes_of("record one"), proto::SecureChannel::kFlagRatchet);
+  EXPECT_EQ(to_hex(record1),
+            "00000000010000000000000001bb7d935bdaf615412fa9a91272a3e29f9b4d1c4129000eae7d52"
+            "c323d90884f043fb7c666883f221568f");
+
+  // Responder direction, epoch 3 (distinct IV lane, epoch under the MAC).
+  proto::SecureChannel tx_resp(keys, proto::Role::kResponder, 3);
+  EXPECT_EQ(to_hex(tx_resp.seal(bytes_of("responder epoch three"))),
+            "00000003000000000000000000395c4784ddcb065eac6a9c84764a0ff61298ba69313ce37640bd"
+            "c13a3d326040f0c3b3d8e4a951c9d4e40f5e07627e5323fbf8baab");
+
+  // The frozen bytes stay live: a fresh receiver opens them in order and
+  // the flags/epoch peeks agree with the committed header.
+  proto::SecureChannel rx(keys, proto::Role::kResponder, 0);
+  EXPECT_EQ(proto::SecureChannel::peek_epoch(record0).value(), 0u);
+  EXPECT_EQ(proto::SecureChannel::peek_flags(record1).value(),
+            proto::SecureChannel::kFlagRatchet);
+  EXPECT_EQ(rx.open(record0).value(), bytes_of("record zero"));
+  EXPECT_EQ(rx.open(record1).value(), bytes_of("record one"));
+  EXPECT_EQ(record0.size(), bytes_of("record zero").size() + proto::SecureChannel::kOverhead);
+}
+
+// ------------------------------------------------------ RK1 announcement
+
+TEST(WireVectors, RatchetAnnouncementRk1IsByteExact) {
+  // RK1 = be32(new_epoch) || HMAC(mac_key_i, label || role || epoch).
+  // Sessions are installed with the fixed wire keys, so the vector pins
+  // the announcement format without depending on any handshake bytes.
+  testing::World world;
+  rng::TestRng rng_a(1), rng_b(2);
+  proto::SessionBroker alice(world.alice, rng_a);
+  proto::SessionBroker bob(world.bob, rng_b);
+  const auto a_id = cert::DeviceId::from_string("wire-alice");
+  const auto b_id = cert::DeviceId::from_string("wire-bob");
+  alice.store().install(b_id, wire_keys(), proto::Role::kInitiator, kNow);
+  bob.store().install(a_id, wire_keys(), proto::Role::kResponder, kNow);
+
+  auto rk1 = alice.initiate_ratchet(b_id, kNow);
+  ASSERT_TRUE(rk1.ok());
+  EXPECT_EQ(rk1->step, proto::kRatchetStepLabel);
+  EXPECT_EQ(to_hex(rk1->payload),
+            "000000011e32df8e973ff6e505f6455a1dd7052a0d5bb995f5f152077b8ba22e1f6f40d3");
+
+  // Cross-acceptance: the committed announcement really moves the peer.
+  ASSERT_TRUE(bob.on_message(a_id, rk1.value(), kNow).ok());
+  EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(1u));
+}
+
+// ------------------------------------------------- wrap_fabric framing
+
+TEST(WireVectors, FabricPduFramingIsByteExact) {
+  // Handshake step: comm 0x10 (key derivation), op = step code.
+  proto::Message a1;
+  a1.step = "A1";
+  a1.sender = proto::Role::kInitiator;
+  a1.payload = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(to_hex(can::wrap_fabric(a1, 0x0102).encode()), "100102010102030405060708");
+
+  // DT1 from the responder: comm 0x20, op 0x02 | responder bit 0x10.
+  proto::Message dt1;
+  dt1.step = std::string(proto::kDataStepLabel);
+  dt1.sender = proto::Role::kResponder;
+  dt1.payload = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(to_hex(can::wrap_fabric(dt1, 0xbeef).encode()), "20beef12deadbeef");
+
+  // RK1 from the initiator: comm 0x20, op 0x01.
+  proto::Message rk1;
+  rk1.step = std::string(proto::kRatchetStepLabel);
+  rk1.sender = proto::Role::kInitiator;
+  rk1.payload = {0x00, 0x00, 0x00, 0x07, 0xaa};
+  EXPECT_EQ(to_hex(can::wrap_fabric(rk1, 0x0007).encode()), "2000070100000007aa");
+
+  // Round-trips: the frozen encodings decode back to the same messages.
+  for (const proto::Message* m : {&a1, &dt1, &rk1}) {
+    const auto pdu = can::AppPdu::decode(can::wrap_fabric(*m, 7).encode());
+    ASSERT_TRUE(pdu.ok());
+    const auto back = can::unwrap_fabric(pdu.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->step, m->step);
+    EXPECT_EQ(back->sender, m->sender);
+    EXPECT_EQ(back->payload, m->payload);
+  }
+}
+
+// ------------------------------------------------------- ISO-TP frames
+
+TEST(WireVectors, IsoTpFramesAreByteExact) {
+  // 75-byte payload: FF (12-bit length 0x04b, 62 data bytes) + one CF
+  // (seq 1, 13 data bytes, zero-padded to the 16-byte DLC boundary).
+  Bytes payload;
+  for (int i = 0; i < 75; ++i) payload.push_back(static_cast<std::uint8_t>(i));
+  const auto frames = can::isotp_segment(0x123, payload);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].id, 0x123u);
+  EXPECT_EQ(to_hex(frames[0].data),
+            "104b000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f2021222324"
+            "25262728292a2b2c2d2e2f303132333435363738393a3b3c3d");
+  EXPECT_EQ(to_hex(frames[1].data), "213e3f404142434445464748494a0000");
+
+  // Flow control: ContinueToSend, BS 0, STmin 0.
+  EXPECT_EQ(to_hex(can::flow_control_frame(0x456).data), "300000");
+
+  // Single Frame, short form (1-byte PCI) and CAN-FD escape form.
+  EXPECT_EQ(to_hex(can::isotp_segment(0x77, Bytes{0x11, 0x22, 0x33, 0x44, 0x55})[0].data),
+            "051122334455");
+  Bytes sf20;
+  for (int i = 0; i < 20; ++i) sf20.push_back(static_cast<std::uint8_t>(0xa0 + i));
+  EXPECT_EQ(to_hex(can::isotp_segment(0x77, sf20)[0].data),
+            "0014a0a1a2a3a4a5a6a7a8a9aaabacadaeafb0b1b2b30000");
+
+  // The frozen frames reassemble to the original payload.
+  can::IsoTpReassembler rx;
+  auto first = rx.feed(frames[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->has_value());
+  auto done = rx.feed(frames[1]);
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done->has_value());
+  EXPECT_EQ(**done, payload);
+}
+
+}  // namespace
+}  // namespace ecqv

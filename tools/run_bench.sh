@@ -15,6 +15,9 @@
 #                             CAN-FD transports, sharded-store thread sweep;
 #                             the JSON context records hardware_concurrency —
 #                             compare speedups only across equal core counts)
+#   BENCH_fig7.json         — bench_fig7_prototype_timeline (wire-derived
+#                             Fig. 7 timeline, 2/100/1000-peer CAN-FD
+#                             contention matrix, loss-model sweep)
 #
 # Compare against the committed BENCH_baseline.json (the same suite captured
 # at the pre-fast-path seed) with e.g.:
@@ -27,12 +30,42 @@
 #   EOF
 set -euo pipefail
 
+usage() {
+  cat <<'EOF'
+Usage: tools/run_bench.sh [build-dir]
+
+Builds the benchmark targets in Release and refreshes the committed
+snapshots at the repo root:
+
+  BENCH_primitives.json    EC/field/hash/AES primitive timings
+  BENCH_protocols.json     STS/S-ECDSA/SCIANC/PorAmB handshakes
+  BENCH_fleet.json         session fabric (batch extract, cached verify,
+                           ratchet ladder, seal/open throughput)
+  BENCH_concurrency.json   worker sweep (ideal + CAN-FD) + store threads
+  BENCH_fig7.json          wire-derived Fig. 7 timeline + the CAN-FD
+                           contention matrix (2/100/1000 peers) + loss sweep
+
+Multi-core capture procedure (ROADMAP item (h)):
+  The committed BENCH_concurrency.json was captured inside a 1-core
+  container ("hardware_concurrency": 1 in its context block), where the
+  worker sweep is ~1.0x by physics. To capture the real scaling, run this
+  script on a multi-core machine and check the refreshed JSON in ALONGSIDE
+  the 1-core snapshot (keep both; the context block records the core
+  count). Compare speedups only across captures with equal core counts —
+  docs/PERF.md explains how to read the sweep.
+EOF
+}
+
+case "${1:-}" in
+  -h|--help) usage; exit 0 ;;
+esac
+
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target bench_primitives_native bench_protocols_native bench_fleet \
-  bench_concurrency -j"$(nproc)"
+  bench_concurrency bench_fig7_prototype_timeline -j"$(nproc)"
 
 "$build_dir/bench_primitives_native" \
   --benchmark_format=json \
@@ -48,4 +81,6 @@ cmake --build "$build_dir" --target bench_primitives_native bench_protocols_nati
 
 "$build_dir/bench_concurrency" "$repo_root/BENCH_concurrency.json"
 
-echo "Wrote $repo_root/BENCH_primitives.json, BENCH_protocols.json, BENCH_fleet.json and BENCH_concurrency.json"
+"$build_dir/bench_fig7_prototype_timeline" "$repo_root/BENCH_fig7.json"
+
+echo "Wrote $repo_root/BENCH_primitives.json, BENCH_protocols.json, BENCH_fleet.json, BENCH_concurrency.json and BENCH_fig7.json"
