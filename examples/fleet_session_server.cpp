@@ -13,17 +13,23 @@
 //   4. the rekey ladder: cheap epoch-ratchet resumptions (RK1) while the
 //      budget lasts, full STS re-handshake after the escalation point;
 //   5. the transport fabric: the same handshakes + telemetry through a
-//      pluggable transport and a worker-pool broker.
+//      pluggable transport and a worker-pool broker;
+//   6. graceful degradation: the same fabric through a link that drops,
+//      duplicates and reorders datagrams — the reliability engine recovers
+//      every handshake and the casualty report accounts for the storm.
 //
 // Build & run:  ./examples/fleet_session_server
 //               ./examples/fleet_session_server --transport canfd --workers 4
+//               ./examples/fleet_session_server --loss 0.30
 //
 //   --transport ideal|canfd   link for section 5 (default: ideal). canfd
 //                             frames every message through session-layer
 //                             PDUs + ISO-TP on the simulated CAN-FD bus and
 //                             reports the measured wire overhead.
-//   --workers N               worker threads on the section-5 server broker
-//                             (default: 0 = inline dispatch).
+//   --workers N               worker threads on the section-5/6 server
+//                             brokers (default: 0 = inline dispatch).
+//   --loss P                  datagram drop probability for the section-6
+//                             lossy link (default: 0.15).
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +38,9 @@
 #include <vector>
 
 #include "canfd/canfd_transport.hpp"
+#include "canfd/timeline.hpp"
 #include "core/concurrent_broker.hpp"
+#include "core/faulty_transport.hpp"
 #include "core/session_broker.hpp"
 #include "rng/test_rng.hpp"
 
@@ -57,13 +65,17 @@ bool handshake(proto::SessionBroker& client, proto::SessionBroker& server,
 int main(int argc, char** argv) {
   bool use_canfd = false;
   std::size_t workers = 0;
+  double loss = 0.15;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
       use_canfd = std::strcmp(argv[++i], "canfd") == 0;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc) {
+      loss = std::strtod(argv[++i], nullptr);
     } else {
-      std::fprintf(stderr, "usage: %s [--transport ideal|canfd] [--workers N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--transport ideal|canfd] [--workers N] [--loss P]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -264,5 +276,88 @@ int main(int argc, char** argv) {
                 static_cast<double>(s.wire_bytes) / static_cast<double>(s.payload_bytes),
                 canfd->bus_time_ms());
   }
+
+  // --- 6. graceful degradation on a lossy link ------------------------------
+  // The same fabric, but every datagram now runs a gauntlet: the injected
+  // loss model drops, duplicates and reorders traffic on a seeded stream.
+  // The reliability engine (virtual-time retransmission timers, duplicate
+  // absorption, replay afterlife) still carries every vehicle to an
+  // established session, and the casualty report below accounts for the
+  // storm end to end: what the wire did, what the engine recovered, and
+  // what the timeline recorder witnessed.
+  constexpr std::size_t kLossyFleet = 40;
+  std::printf("\nlossy fabric: %zu vehicles at %.0f%% drop (+5%% duplicate, +5%% reorder)\n",
+              kLossyFleet, loss * 100.0);
+
+  proto::IdealLinkTransport lossy_inner(/*concurrent=*/workers > 0);
+  can::TimelineRecorder casualties;
+  proto::FaultyTransport::Config loss_model;
+  loss_model.seed = 20230417;
+  loss_model.p_drop = loss;
+  loss_model.p_duplicate = 0.05;
+  loss_model.p_reorder = 0.05;
+  loss_model.concurrent = workers > 0;
+  loss_model.recorder = &casualties;
+  proto::FaultyTransport lossy_link(lossy_inner, std::move(loss_model));
+
+  rng::TestRng lossy_rng(6);
+  proto::ConcurrentSessionBroker::Config lossy_config;
+  lossy_config.workers = workers;
+  lossy_config.broker.store.capacity = kLossyFleet;
+  lossy_config.broker.store.policy = proto::RekeyPolicy::unlimited();
+  lossy_config.broker.max_pending = kLossyFleet;
+  lossy_config.broker.reliability.enabled = true;
+  std::atomic<std::size_t> survivor_records{0};
+  lossy_config.broker.on_data = [&](const cert::DeviceId&, Bytes) { ++survivor_records; };
+  proto::ConcurrentSessionBroker lossy_server(server_creds, lossy_rng, lossy_link, lossy_config);
+
+  proto::BrokerConfig lossy_client_config = client_config;
+  lossy_client_config.store.policy = proto::RekeyPolicy::unlimited();
+  lossy_client_config.reliability.enabled = true;
+  std::vector<std::unique_ptr<rng::TestRng>> lossy_rngs;
+  std::vector<std::unique_ptr<proto::ConcurrentSessionBroker>> survivors;
+  std::vector<proto::ConcurrentSessionBroker*> lossy_endpoints{&lossy_server};
+  for (std::size_t i = 0; i < kLossyFleet; ++i) {
+    lossy_rngs.push_back(std::make_unique<rng::TestRng>(7000 + i));
+    survivors.push_back(std::make_unique<proto::ConcurrentSessionBroker>(
+        fleet[i], *lossy_rngs.back(), lossy_link,
+        proto::ConcurrentSessionBroker::Config{lossy_client_config, 0}));
+    lossy_endpoints.push_back(survivors.back().get());
+  }
+  for (auto& vehicle : survivors) (void)vehicle->connect(server_creds.id, kNow);
+  proto::settle_lossy(lossy_endpoints, lossy_link, kNow);
+
+  std::size_t lossy_ready = 0, recovery_retransmits = 0;
+  for (auto& vehicle : survivors) {
+    if (vehicle->broker().session_ready(server_creds.id, kNow)) ++lossy_ready;
+    recovery_retransmits += vehicle->broker().stats().retransmits;
+  }
+  // Telemetry still flows through the (still lossy) link — records that die
+  // are the data plane's casualties; sessions stay healthy regardless.
+  for (auto& vehicle : survivors)
+    (void)vehicle->send_data(server_creds.id, bytes_of("soc=68% t=19C"), kNow);
+  proto::settle_lossy(lossy_endpoints, lossy_link, kNow);
+
+  const proto::FaultyTransport::Stats wire = lossy_link.stats();
+  const proto::SessionBroker::Stats& srv = lossy_server.broker().stats();
+  const can::TimelineRecorder::Summary seen = casualties.summary();
+  std::printf("established: %zu/%zu sessions through the storm\n", lossy_ready, kLossyFleet);
+  std::printf("wire casualties: %llu sent -> %llu dropped, %llu duplicated, %llu reordered, "
+              "%llu forwarded\n",
+              static_cast<unsigned long long>(wire.sent),
+              static_cast<unsigned long long>(wire.dropped),
+              static_cast<unsigned long long>(wire.duplicated),
+              static_cast<unsigned long long>(wire.reordered),
+              static_cast<unsigned long long>(wire.forwarded));
+  std::printf("recovery: %zu client retransmits, %llu duplicates absorbed, %llu stale "
+              "ignored, %llu aborted, %llu dead peers\n",
+              recovery_retransmits,
+              static_cast<unsigned long long>(srv.duplicates_ignored),
+              static_cast<unsigned long long>(srv.stale_ignored),
+              static_cast<unsigned long long>(srv.handshakes_aborted),
+              static_cast<unsigned long long>(srv.dead_peers));
+  std::printf("timeline: %zu drops + %zu other faults witnessed over %.1f virtual ms; "
+              "%zu/%zu telemetry records survived the data plane\n",
+              seen.drops, seen.faults, seen.end_ms, survivor_records.load(), kLossyFleet);
   return 0;
 }

@@ -129,7 +129,7 @@ void CanFdTransport::flush() {
         } else if (type == 0x1) {
           // Lost First Frame: the receiver never answers with an FC, so
           // the sender times out and abandons the whole transfer.
-          ++stats_.aborted_transfers;
+          record_abort(out.frame.id, bus_.now_ms(), "lost-ff");
           cancelled.insert(out.transfer);
           timed_out_senders.push_back(out.data_node);
         }
@@ -180,6 +180,18 @@ void CanFdTransport::on_frame_timed(const CanFdFrame& frame, double ready_ms, do
   rx.wire_bytes += frame.data.size();
 }
 
+void CanFdTransport::record_abort(std::uint32_t can_id, double now_ms, const char* label,
+                                  std::size_t n) {
+  stats_.aborted_transfers += n;
+  if (config_.recorder == nullptr) return;
+  TimelineEvent e;
+  e.kind = TimelineEvent::Kind::kAbort;
+  e.can_id = can_id;
+  e.label = label;
+  e.queued_ms = e.start_ms = e.end_ms = now_ms;
+  config_.recorder->record(std::move(e));
+}
+
 void CanFdTransport::on_bus_frame(const CanFdFrame& frame, double now_ms) {
   const auto sender = by_can_id_.find(frame.id);
   if (sender == by_can_id_.end()) return;  // switch's own FCs carry dst ids too
@@ -192,7 +204,8 @@ void CanFdTransport::on_bus_frame(const CanFdFrame& frame, double now_ms) {
   // A transfer can die two ways: a feed error (sequence gap), or a fresh
   // FF/SF terminating a stale in-flight transfer on the ok path (ISO
   // 15765-2 preemption — e.g. after a lost final consecutive frame).
-  stats_.aborted_transfers += rx.aborted() - aborted_before;
+  if (rx.aborted() > aborted_before)
+    record_abort(frame.id, now_ms, "reassembly", rx.aborted() - aborted_before);
   if (!fed.ok()) {
     // Orphan frames trailing an already-aborted transfer (consecutive
     // frames arriving with no transfer open) are strays, not new aborts.
@@ -202,7 +215,7 @@ void CanFdTransport::on_bus_frame(const CanFdFrame& frame, double now_ms) {
   if (!fed->has_value()) return;
   const Bytes& payload = **fed;
   if (payload.size() < kFabricHeaderSize + kAppHeaderSize) {
-    ++stats_.aborted_transfers;
+    record_abort(frame.id, now_ms, "short-payload");
     return;
   }
   cert::DeviceId src, dst;
@@ -211,12 +224,12 @@ void CanFdTransport::on_bus_frame(const CanFdFrame& frame, double now_ms) {
   // The arbitration id is the link-layer sender: a header claiming another
   // source is malformed (or spoofed) and never reaches the session layer.
   if (!(sender->second->id == src)) {
-    ++stats_.aborted_transfers;
+    record_abort(frame.id, now_ms, "src-mismatch");
     return;
   }
   auto pdu = AppPdu::decode(ByteView(payload).subspan(kFabricHeaderSize));
   if (!pdu.ok()) {
-    ++stats_.aborted_transfers;
+    record_abort(frame.id, now_ms, "bad-pdu");
     return;
   }
   Result<proto::Message> message = Error::kDecodeFailed;
@@ -226,7 +239,7 @@ void CanFdTransport::on_bus_frame(const CanFdFrame& frame, double now_ms) {
     // step_for_op_code rejects op codes outside the fabric vocabulary.
   }
   if (!message.ok()) {
-    ++stats_.aborted_transfers;
+    record_abort(frame.id, now_ms, "bad-step");
     return;
   }
   const auto dst_it = by_id_.find(dst);

@@ -25,9 +25,15 @@
 // individual frames before they reach the bus. A dropped Flow Control
 // aborts the remaining Consecutive Frames of its transfer — the sender's
 // FC timeout (N_Bs) — counted in stats().fc_timeouts; a dropped FF/CF
-// surfaces as an aborted reassembly. Message loss is silent to send(), as
-// on the real bus: recovery belongs to the layers above (the broker's
-// pending-handshake TTL and refresh ladder), which the tests exercise.
+// surfaces as an aborted reassembly (stats().aborted_transfers, with a
+// kAbort timeline event). Message loss is silent to send(), as on the real
+// bus: recovery belongs to the layers above — since PR 6 that is the
+// broker's reliability engine (core/session_broker.hpp ReliabilityConfig:
+// retransmission timers on this bus clock, duplicate suppression, abort/
+// rekey escalation), with the pending-handshake TTL as the backstop. For
+// datagram-level fault injection (drop/duplicate/reorder/delay/corrupt)
+// wrap this transport in proto::FaultyTransport; frame-level Bernoulli
+// loss plugs in via FaultyTransport::frame_drop_plan as `drop_frame`.
 //
 // Thread safety: all public calls serialize on one internal mutex when
 // constructed with Config::concurrent — the bus simulation is inherently
@@ -138,6 +144,9 @@ class CanFdTransport final : public proto::Transport {
   void on_bus_frame(const CanFdFrame& frame, double now_ms);
   /// Bus frame-timing tap (runs inside bus_.run(); recorder configured).
   void on_frame_timed(const CanFdFrame& frame, double ready_ms, double start_ms, double end_ms);
+  /// Counts one abandoned transfer and emits its kAbort timeline event
+  /// (`label` names the failure: gap, short payload, bad header, ...).
+  void record_abort(std::uint32_t can_id, double now_ms, const char* label, std::size_t n = 1);
 
   Config config_;
   CanBus bus_;

@@ -64,12 +64,15 @@ Result<proto::Message> unwrap_message(const AppPdu& pdu) {
 }
 
 AppPdu wrap_fabric(const proto::Message& message, std::uint16_t session_id) {
-  if (message.step != proto::kRatchetStepLabel && message.step != proto::kDataStepLabel)
+  if (message.step != proto::kRatchetStepLabel && message.step != proto::kDataStepLabel &&
+      message.step != proto::kRatchetAckStepLabel)
     return wrap_message(message, session_id);
   AppPdu pdu;
   pdu.comm_code = CommCode::kSessionData;
   pdu.session_id = session_id;
-  pdu.op_code = message.step == proto::kRatchetStepLabel ? kOpRatchet : kOpDataRecord;
+  pdu.op_code = message.step == proto::kRatchetStepLabel    ? kOpRatchet
+                : message.step == proto::kRatchetAckStepLabel ? kOpRatchetAck
+                                                              : kOpDataRecord;
   if (message.sender == proto::Role::kResponder) pdu.op_code |= kOpResponderBit;
   pdu.data = message.payload;
   return pdu;
@@ -84,6 +87,7 @@ Result<proto::Message> unwrap_fabric(const AppPdu& pdu) {
   switch (pdu.op_code & static_cast<std::uint8_t>(~kOpResponderBit)) {
     case kOpRatchet: message.step = std::string(proto::kRatchetStepLabel); break;
     case kOpDataRecord: message.step = std::string(proto::kDataStepLabel); break;
+    case kOpRatchetAck: message.step = std::string(proto::kRatchetAckStepLabel); break;
     default: return Error::kDecodeFailed;
   }
   message.payload = pdu.data;

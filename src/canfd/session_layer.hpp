@@ -56,6 +56,7 @@ Result<proto::Message> unwrap_message(const AppPdu& pdu);
 
 inline constexpr std::uint8_t kOpRatchet = 0x01;
 inline constexpr std::uint8_t kOpDataRecord = 0x02;
+inline constexpr std::uint8_t kOpRatchetAck = 0x03;  // "RK2", reliability ack
 inline constexpr std::uint8_t kOpResponderBit = 0x10;
 
 /// Maps ANY fabric message (handshake step, RK1 ratchet announcement, DT1

@@ -37,6 +37,8 @@ TimelineRecorder::Summary TimelineRecorder::summary() const {
       case TimelineEvent::Kind::kDrop: ++out.drops; break;
       case TimelineEvent::Kind::kFcTimeout: ++out.fc_timeouts; break;
       case TimelineEvent::Kind::kCompute: break;
+      case TimelineEvent::Kind::kAbort: ++out.aborts; break;
+      case TimelineEvent::Kind::kFault: ++out.faults; break;
     }
   }
   return out;

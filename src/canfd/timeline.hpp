@@ -38,8 +38,11 @@ struct TimelineEvent {
     kFlowControl,  // receiver FC frame occupancy
     kDatagram,     // complete fabric datagram (FF ready .. last frame end)
     kFcTimeout,    // sender's N_Bs expiry after a lost FC / lost FF
-    kDrop,         // frame killed by the loss hook (zero duration)
+    kDrop,         // frame/datagram killed by a loss model (zero duration)
     kCompute,      // device compute charged to a node clock
+    kAbort,        // reassembly abandoned a partial transfer (loss, gaps)
+    kFault,        // injected non-drop fault (duplicate/reorder/delay/
+                   // corrupt) — label names the fault kind
   };
 
   Kind kind = Kind::kFrame;
@@ -73,6 +76,8 @@ class TimelineRecorder {
     std::size_t datagrams = 0;
     std::size_t drops = 0;
     std::size_t fc_timeouts = 0;
+    std::size_t aborts = 0;          // kAbort: abandoned partial transfers
+    std::size_t faults = 0;          // kFault: injected non-drop faults
     double bus_busy_ms = 0.0;        // sum of frame occupancy
     double contention_wait_ms = 0.0; // sum of frame waits (start - queued)
     double max_wait_ms = 0.0;        // worst single frame wait

@@ -1,5 +1,7 @@
 #include "core/concurrent_broker.hpp"
 
+#include "core/faulty_transport.hpp"
+
 namespace ecqv::proto {
 
 BrokerConfig ConcurrentSessionBroker::arm(BrokerConfig config, std::size_t workers) {
@@ -13,6 +15,9 @@ ConcurrentSessionBroker::ConcurrentSessionBroker(const Credentials& creds, rng::
       rng_(rng),
       broker_(creds, rng_, arm(std::move(config.broker), config.workers)) {
   transport_.attach(broker_.id());
+  // The reliability engine (and the S1 virtual-time TTL) runs on the bound
+  // transport's clock.
+  broker_.bind_clock(&transport_);
   workers_.reserve(config.workers);
   for (std::size_t i = 0; i < config.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -80,6 +85,15 @@ void ConcurrentSessionBroker::worker_loop(Worker& worker) {
 
 std::size_t ConcurrentSessionBroker::poll(std::uint64_t now) {
   std::size_t dispatched = 0;
+  // Service due retransmission timers first: what the reliability engine
+  // wants re-sent goes on the wire before this round's inbound is drained,
+  // so a poll loop alternates recovery and delivery on one thread.
+  for (SessionBroker::Outbound& outbound : broker_.poll_retransmits(transport_.now_ms(), now)) {
+    if (transport_.send(broker_.id(), outbound.peer, std::move(outbound.message)).ok())
+      ++stats_.replies;
+    else
+      ++stats_.errors;
+  }
   while (auto datagram = transport_.receive(broker_.id())) {
     ++dispatched;
     ++stats_.dispatched;
@@ -130,6 +144,30 @@ std::size_t settle(const std::vector<ConcurrentSessionBroker*>& endpoints, std::
     // A zero round means every inbox was empty *after* all workers had
     // drained, so no endpoint can produce further traffic: fixpoint.
   } while (round > 0);
+  return processed;
+}
+
+std::size_t settle_lossy(const std::vector<ConcurrentSessionBroker*>& endpoints,
+                         FaultyTransport& link, std::uint64_t now, std::size_t max_rounds) {
+  std::size_t processed = 0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    processed += settle(endpoints, now);
+    // The link is drained. Whatever is still owed can only move by time:
+    // find the earliest armed deadline across every endpoint's timer wheel
+    // and the link's delayed-datagram holds, jump the virtual clock there,
+    // and settle again (poll services the due retransmissions first).
+    std::size_t backlog = 0;
+    std::optional<double> due = link.next_release_ms();
+    const bool delayed_traffic = due.has_value();
+    for (ConcurrentSessionBroker* endpoint : endpoints) {
+      backlog += endpoint->broker().reliability_backlog();
+      const auto next = endpoint->broker().next_retransmit_due_ms();
+      if (next.has_value() && (!due.has_value() || *next < *due)) due = next;
+    }
+    if (backlog == 0 && !delayed_traffic) return processed;  // converged
+    if (!due.has_value()) return processed;  // uncovered backlog: nothing to wait for
+    link.advance_to(*due);
+  }
   return processed;
 }
 

@@ -127,4 +127,17 @@ class ConcurrentSessionBroker {
 /// Returns the total number of datagrams processed.
 std::size_t settle(const std::vector<ConcurrentSessionBroker*>& endpoints, std::uint64_t now);
 
+class FaultyTransport;  // core/faulty_transport.hpp
+
+/// Settles fabric endpoints over a lossy link: alternates settle() rounds
+/// with virtual-clock advances to the earliest retransmission deadline (or
+/// delayed-datagram release), driving the reliability engine until every
+/// endpoint's backlog clears — or until nothing is armed that could make
+/// further progress (uncovered exchanges are the TTL sweep's job), or
+/// `max_rounds` advances elapse (a stuck-fabric backstop, not a tuning
+/// knob). Returns the total number of datagrams processed.
+std::size_t settle_lossy(const std::vector<ConcurrentSessionBroker*>& endpoints,
+                         FaultyTransport& link, std::uint64_t now,
+                         std::size_t max_rounds = 1000000);
+
 }  // namespace ecqv::proto

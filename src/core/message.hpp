@@ -27,6 +27,11 @@ inline constexpr std::string_view role_name(Role r) {
 /// carries the whole session lifecycle.
 inline constexpr std::string_view kRatchetStepLabel = "RK1";
 inline constexpr std::string_view kDataStepLabel = "DT1";
+/// Epoch-ratchet acknowledgment: the receiver of an RK1 confirms the
+/// advance so the announcer's retransmission timer can stand down. Only
+/// emitted when the reliability engine is armed — lossless fabrics keep
+/// the original fire-and-forget RK1.
+inline constexpr std::string_view kRatchetAckStepLabel = "RK2";
 
 /// FNV-1a over the 16 identity bytes: cheap, stable hash shared by the
 /// session store's shards, the broker's pending map, the transports'

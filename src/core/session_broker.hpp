@@ -56,9 +56,47 @@
 #include "core/peer_cache.hpp"
 #include "core/session_store.hpp"
 #include "core/sts.hpp"
+#include "core/timer_queue.hpp"
 #include "core/transport.hpp"
 
 namespace ecqv::proto {
+
+/// Retransmission policy for lossy links (the broker's reliability engine).
+/// Off by default: a broker on a lossless fabric behaves bit-identically to
+/// the pre-reliability fabric — no timers armed, no RK2 acks emitted, no
+/// replay caching. Enabled, the broker runs recovery on the transport's
+/// virtual clock (bind_clock): it retransmits unanswered handshake messages
+/// and RK1 announcements with exponential backoff + deterministic jitter,
+/// answers retransmitted peers idempotently from a bounded replay cache,
+/// and escalates when a budget is spent — handshakes abort (and strike the
+/// dead-peer detector), exhausted ratchets fall back to a full rekey.
+struct ReliabilityConfig {
+  bool enabled = false;
+  /// First retransmission timeout; attempt k waits
+  /// min(rto_ms * backoff^(k-1), max_rto_ms), jittered by +-jitter_frac.
+  double rto_ms = 50.0;
+  double backoff = 2.0;
+  double max_rto_ms = 800.0;
+  /// Deterministic jitter: the factor is derived from (peer, attempt,
+  /// generation), so a seeded run replays exactly yet fleet retransmissions
+  /// never synchronize into bursts.
+  double jitter_frac = 0.25;
+  /// Total transmissions (first send + retransmits) per handshake message
+  /// before the handshake aborts.
+  std::uint32_t handshake_budget = 10;
+  /// Total RK1 transmissions before escalating to a full rekey.
+  std::uint32_t ratchet_budget = 6;
+  /// Consecutive aborted exchanges before the peer is declared dead
+  /// (peer_dead()); any completed handshake clears the strikes.
+  std::uint32_t dead_after = 3;
+  /// Backpressure bound on armed timers: at the cap, new exchanges run
+  /// without retransmission cover (counted in stats.backpressure) instead
+  /// of growing the heap without bound.
+  std::size_t max_tracked = 4096;
+  /// How long a completed handshake's final reply stays cached to answer a
+  /// retransmitted last flight (the peer's ack was lost).
+  double finished_ttl_ms = 4000.0;
+};
 
 struct BrokerConfig {
   StsConfig sts{};                // variant / auth mode / validity checking
@@ -72,6 +110,8 @@ struct BrokerConfig {
   /// Delivery callback for opened data-plane records ("DT1" messages fed
   /// through on_message). May be invoked from worker threads.
   std::function<void(const cert::DeviceId& peer, Bytes plaintext)> on_data;
+  /// Loss-recovery policy; disabled by default (see ReliabilityConfig).
+  ReliabilityConfig reliability{};
 };
 
 class SessionBroker {
@@ -88,12 +128,26 @@ class SessionBroker {
     StatCounter piggyback_sent = 0;      // DT1 records carrying the epoch signal
     StatCounter piggyback_received = 0;  // epoch signals applied on open
     StatCounter piggyback_refused = 0;   // signal seen but the chain was spent
+
+    // ---- reliability engine (all zero while reliability.enabled is off) --
+    StatCounter retransmits = 0;          // handshake messages re-sent on timer
+    StatCounter ratchet_retransmits = 0;  // RK1 announcements re-sent on timer
+    StatCounter duplicates_ignored = 0;   // byte-identical repeats answered from cache
+    StatCounter stale_ignored = 0;        // late/orphaned traffic dropped without error
+    StatCounter handshakes_aborted = 0;   // retransmit budget exhausted
+    StatCounter ratchet_escalations = 0;  // RK1 budget exhausted -> full rekey
+    StatCounter ratchet_acks_sent = 0;      // RK2 acks emitted
+    StatCounter ratchet_acks_received = 0;  // RK2 acks consumed (timer disarmed)
+    StatCounter backpressure = 0;         // exchanges run uncovered (timer cap hit)
+    StatCounter dead_peers = 0;           // peers crossing the strike threshold
   };
 
   /// Epoch-ratchet announcement step id (alongside the STS "A1".."B2").
   static constexpr std::string_view kRatchetStep = ecqv::proto::kRatchetStepLabel;
   /// Data-plane record step id.
   static constexpr std::string_view kDataStep = ecqv::proto::kDataStepLabel;
+  /// Ratchet-ack step id (reliability engine only).
+  static constexpr std::string_view kRatchetAckStep = ecqv::proto::kRatchetAckStepLabel;
 
   SessionBroker(const Credentials& creds, rng::Rng& rng, BrokerConfig config = {});
   SessionBroker(const SessionBroker&) = delete;
@@ -153,6 +207,46 @@ class SessionBroker {
   /// Returns the number of entries reclaimed.
   std::size_t sweep(std::uint64_t now);
 
+  // ---- reliability engine (active only with config.reliability.enabled) --
+
+  /// Binds the virtual clock recovery runs on. Also reroutes the pending-
+  /// handshake TTL from wall seconds onto this clock (milliseconds), so a
+  /// lossy simulated timeline can expire stalled handshakes
+  /// deterministically. Call before traffic flows.
+  void bind_clock(Transport* clock) { clock_ = clock; }
+
+  /// One message the reliability engine wants on the wire.
+  struct Outbound {
+    cert::DeviceId peer;
+    Message message;
+  };
+
+  /// Expires every retransmission timer due at or before `now_ms` (the
+  /// transport clock) and returns the messages to send: retransmitted
+  /// handshake flights, retransmitted RK1s, or fresh A1s from ratchet
+  /// escalations. `now` is the wall clock for session bookkeeping. The
+  /// caller (ConcurrentSessionBroker::poll, or a test driver) puts each
+  /// Outbound on the transport.
+  std::vector<Outbound> poll_retransmits(double now_ms, std::uint64_t now);
+
+  /// Earliest armed retransmission deadline (transport-clock ms); nullopt
+  /// when nothing is armed. Lossy drivers advance the virtual clock here
+  /// when the link drains without converging.
+  [[nodiscard]] std::optional<double> next_retransmit_due_ms() { return timers_.next_due_ms(); }
+
+  /// Unfinished reliability work: in-flight handshakes plus unacked RK1
+  /// announcements. A lossy settle loop is done when this reaches zero.
+  /// Lock-free (two relaxed counters) — safe to poll every driver round.
+  [[nodiscard]] std::size_t reliability_backlog() const {
+    return pending_count_.load(std::memory_order_relaxed) +
+           await_count_.load(std::memory_order_relaxed);
+  }
+
+  /// True once `peer` crossed the dead-peer strike threshold
+  /// (reliability.dead_after consecutive aborted exchanges). Cleared by
+  /// the next completed handshake with the peer.
+  [[nodiscard]] bool peer_dead(const cert::DeviceId& peer);
+
   [[nodiscard]] SessionStore& store() { return store_; }
   [[nodiscard]] PeerKeyCache& peer_cache() { return cache_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -164,18 +258,51 @@ class SessionBroker {
  private:
   struct Pending {
     std::unique_ptr<Party> party;
-    Role role;
+    Role role = Role::kInitiator;
     std::uint64_t started_at = 0;
+    // Reliability bookkeeping (unused while the engine is off). `last_in`/
+    // `last_out` are the most recent exchange: a byte-identical repeat of
+    // last_in re-elicits last_out without touching the party (whose state
+    // machine poisons on any replayed input), and last_out is what the
+    // retransmission timer puts back on the wire.
+    Message last_in;
+    std::optional<Message> last_out;
+    std::uint32_t attempts = 1;   // transmissions of last_out so far
+    std::uint64_t gen = 0;        // timer generation stamp (lazy cancel)
+    double started_ms = 0.0;      // transport-clock birth (virtual-time TTL)
+  };
+  /// A completed handshake's afterlife: if the peer's final flight was
+  /// answered but our answer was lost, the peer retransmits — the cached
+  /// reply answers it idempotently instead of poisoning a fresh party.
+  struct Finished {
+    Message first_in;              // the flight that OPENED the handshake (its
+                                   // stragglers must not seed a new party)
+    Message last_in;               // the flight that completed the handshake
+    std::optional<Message> reply;  // cached answer (nullopt on the ack side)
+    double expires_ms = 0.0;
+    std::uint64_t gen = 0;
+  };
+  /// An RK1 announcement awaiting its RK2 ack.
+  struct RatchetAwait {
+    Message announce;
+    std::uint32_t new_epoch = 0;
+    std::uint32_t attempts = 1;
+    std::uint64_t gen = 0;
   };
   /// Pending handshakes shard like the store: map operations and the
   /// long-running party step for a peer both happen under the shard mutex,
   /// so a sweep() on another thread can never free a party mid-step. The
   /// worker pool's peer affinity means two peers of one shard virtually
   /// always belong to the same worker anyway — the lock is a correctness
-  /// backstop, not a contention point.
+  /// backstop, not a contention point. The reliability maps (finished
+  /// replay cache, unacked ratchets, dead-peer strikes) ride the same
+  /// shard and lock.
   struct PendingShard {
     mutable OptionalMutex mutex;
     std::unordered_map<cert::DeviceId, Pending, DeviceIdHash> map;
+    std::unordered_map<cert::DeviceId, Finished, DeviceIdHash> finished;
+    std::unordered_map<cert::DeviceId, RatchetAwait, DeviceIdHash> awaits;
+    std::unordered_map<cert::DeviceId, std::uint32_t, DeviceIdHash> strikes;
   };
   static constexpr std::size_t kPendingShards = 64;  // power of two
 
@@ -196,9 +323,30 @@ class SessionBroker {
                                        std::uint64_t now, bool resident);
   Result<std::optional<Message>> on_ratchet(const cert::DeviceId& peer, const Message& incoming,
                                             std::uint64_t now);
+  Result<std::optional<Message>> on_ratchet_ack(const cert::DeviceId& peer,
+                                                const Message& incoming);
   Result<std::optional<Message>> on_data(const cert::DeviceId& peer, const Message& incoming,
                                          std::uint64_t now);
   std::size_t sweep_pending(std::uint64_t now);
+
+  // ---- reliability internals -------------------------------------------
+  [[nodiscard]] bool reliable() const { return config_.reliability.enabled; }
+  [[nodiscard]] double clock_ms() { return clock_ != nullptr ? clock_->now_ms() : 0.0; }
+  /// Backoff delay before the NEXT transmission, given `attempts` already
+  /// made — exponential, capped, deterministically jittered.
+  [[nodiscard]] double rto_after(const cert::DeviceId& peer, std::uint32_t attempts,
+                                 std::uint64_t gen) const;
+  /// Arms one timer unless the heap is at reliability.max_tracked (then
+  /// counts backpressure instead — the exchange runs uncovered).
+  void arm(double due_ms, const cert::DeviceId& peer, TimerQueue::Kind kind, std::uint64_t gen);
+  /// Records one aborted exchange against the peer; flips it dead at the
+  /// strike threshold. Shard lock held by the caller.
+  void strike(PendingShard& shard, const cert::DeviceId& peer);
+  /// Post-drive bookkeeping for a surviving handshake exchange: remembers
+  /// {incoming -> reply}, restarts the retransmission timer (initiator
+  /// side only — responders are re-elicited by the peer's retransmits).
+  void record_exchange(PendingShard& shard, const cert::DeviceId& peer, const Message& incoming,
+                       const std::optional<Message>& reply);
 
   const Credentials& creds_;
   rng::Rng& rng_;
@@ -207,6 +355,10 @@ class SessionBroker {
   PeerKeyCache cache_;
   std::array<PendingShard, kPendingShards> pending_;
   std::atomic<std::size_t> pending_count_{0};
+  std::atomic<std::size_t> await_count_{0};
+  Transport* clock_ = nullptr;
+  TimerQueue timers_;
+  std::atomic<std::uint64_t> gen_counter_{1};
   Stats stats_;
 };
 

@@ -1,0 +1,32 @@
+#include "core/timer_queue.hpp"
+
+namespace ecqv::proto {
+
+void TimerQueue::schedule(double due_ms, const cert::DeviceId& peer, Kind kind,
+                          std::uint64_t gen) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  heap_.push(Armed{Entry{due_ms, peer, kind, gen}, seq_++});
+}
+
+std::vector<TimerQueue::Entry> TimerQueue::expire(double now_ms) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  std::vector<Entry> due;
+  while (!heap_.empty() && heap_.top().entry.due_ms <= now_ms) {
+    due.push_back(heap_.top().entry);
+    heap_.pop();
+  }
+  return due;
+}
+
+std::optional<double> TimerQueue::next_due_ms() const {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().entry.due_ms;
+}
+
+std::size_t TimerQueue::size() const {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  return heap_.size();
+}
+
+}  // namespace ecqv::proto

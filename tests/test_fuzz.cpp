@@ -253,6 +253,127 @@ TEST_P(DecoderFuzz, FabricDatagramMutationsNeverForgeOrDriftCounters) {
   EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(1u));
 }
 
+TEST_P(DecoderFuzz, DuplicatedAndReorderedFabricStreamAccountsExactly) {
+  // The lossy-link delivery property: every fabric data datagram delivered
+  // 0, 1 or 2 times in a shuffled order must produce EXACTLY the
+  // deliveries the strictly-sequenced channel model predicts — no record
+  // delivered twice, none out of order, and every counter matching the
+  // oracle. This is the data-plane contract the reliability engine leans
+  // on: duplicates and stragglers die in open(), not in the application.
+  testing::World world(GetParam());
+  rng::TestRng rng_a(GetParam() + 200), rng_b(GetParam() + 201);
+  proto::BrokerConfig config;
+  config.reliability.enabled = true;
+  proto::SessionBroker alice(world.alice, rng_a, config);
+  std::vector<Bytes> delivered;
+  proto::BrokerConfig bob_config = config;
+  bob_config.on_data = [&](const cert::DeviceId&, Bytes plaintext) {
+    delivered.push_back(std::move(plaintext));
+  };
+  proto::SessionBroker bob(world.bob, rng_b, bob_config);
+  const auto a_id = cert::DeviceId::from_string("shuffle-alice");
+  const auto b_id = cert::DeviceId::from_string("shuffle-bob");
+  const auto keys = kdf::derive_session_keys(bytes_of("shuffle-pm"), bytes_of("shuffle-salt"),
+                                             bytes_of("fabric-shuffle"));
+  alice.store().install(b_id, keys, proto::Role::kInitiator, kNow);
+  bob.store().install(a_id, keys, proto::Role::kResponder, kNow);
+
+  // Seal a run of strictly sequenced records and put each on the schedule
+  // 0-2 times, then shuffle the whole delivery order.
+  constexpr std::size_t kRecords = 24;
+  Mutator mutator(GetParam() + 7);
+  std::vector<std::pair<std::size_t, Bytes>> schedule;  // (record index, wire bytes)
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    auto record = alice.make_data(b_id, bytes_of("r" + std::to_string(i)), kNow,
+                                  proto::DataRekey::kNone);
+    ASSERT_TRUE(record.ok());
+    const Bytes wire = can::wrap_fabric(record.value(), 1).encode();
+    const std::size_t copies = mutator.pick(3);  // 0, 1 or 2 deliveries
+    for (std::size_t c = 0; c < copies; ++c) schedule.emplace_back(i, wire);
+  }
+  for (std::size_t i = schedule.size(); i > 1; --i)
+    std::swap(schedule[i - 1], schedule[mutator.pick(i)]);
+
+  // Oracle: the channel accepts a record iff its sequence number is
+  // exactly the next expected one; everything else must bounce.
+  std::size_t expected = 0;
+  for (const auto& [index, wire] : schedule) {
+    const auto pdu = can::AppPdu::decode(wire);
+    ASSERT_TRUE(pdu.ok());
+    const auto message = can::unwrap_fabric(pdu.value());
+    ASSERT_TRUE(message.ok());
+    const auto result = bob.on_message(a_id, message.value(), kNow);
+    if (index == expected) {
+      EXPECT_TRUE(result.ok()) << "in-order record " << index << " bounced";
+      ++expected;
+    } else {
+      EXPECT_FALSE(result.ok()) << "duplicate/reordered record " << index << " accepted";
+    }
+  }
+  EXPECT_EQ(bob.stats().records_delivered, expected);
+  EXPECT_EQ(bob.store().stats().opens, expected);
+  ASSERT_EQ(delivered.size(), expected);
+  for (std::size_t i = 0; i < expected; ++i)
+    EXPECT_EQ(delivered[i], bytes_of("r" + std::to_string(i))) << i;
+  EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(0u));
+}
+
+TEST_P(DecoderFuzz, DuplicatedEpochSignalsNeverDoubleAdvance) {
+  // Both epoch-advancing datagrams — the standalone RK1 announcement and
+  // the piggybacked flagged record — delivered twice through the fabric
+  // wire format: each must advance exactly one epoch, with the repeat
+  // absorbed (RK1 re-acked via RK2, the record killed as a replay).
+  testing::World world(GetParam());
+  rng::TestRng rng_a(GetParam() + 300), rng_b(GetParam() + 301);
+  proto::BrokerConfig config;
+  config.reliability.enabled = true;
+  proto::SessionBroker alice(world.alice, rng_a, config);
+  proto::SessionBroker bob(world.bob, rng_b, config);
+  const auto a_id = cert::DeviceId::from_string("epoch-alice");
+  const auto b_id = cert::DeviceId::from_string("epoch-bob");
+  const auto keys = kdf::derive_session_keys(bytes_of("epoch-pm"), bytes_of("epoch-salt"),
+                                             bytes_of("fabric-epoch"));
+  alice.store().install(b_id, keys, proto::Role::kInitiator, kNow);
+  bob.store().install(a_id, keys, proto::Role::kResponder, kNow);
+
+  // RK1, twice, through wrap_fabric/unwrap_fabric.
+  auto rk1 = alice.initiate_ratchet(b_id, kNow);
+  ASSERT_TRUE(rk1.ok());
+  const auto roundtrip = [&](const proto::Message& m) {
+    const auto pdu = can::AppPdu::decode(can::wrap_fabric(m, 2).encode());
+    EXPECT_TRUE(pdu.ok());
+    auto back = can::unwrap_fabric(pdu.value());
+    EXPECT_TRUE(back.ok());
+    return std::move(back).value();
+  };
+  auto first = bob.on_message(a_id, roundtrip(rk1.value()), kNow);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(1u));
+  auto second = bob.on_message(a_id, roundtrip(rk1.value()), kNow);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(1u));  // no double advance
+  EXPECT_EQ(bob.stats().ratchets_received, 1u);
+  EXPECT_EQ(bob.stats().duplicates_ignored, 1u);
+  EXPECT_EQ(bob.stats().ratchet_acks_sent, 2u);  // ack + re-ack
+  // The re-acked RK2 survives the fabric wire format and disarms the
+  // announcer's retransmission state.
+  ASSERT_TRUE(second->has_value());
+  EXPECT_EQ((*second)->step, std::string(proto::kRatchetAckStepLabel));
+  ASSERT_TRUE(alice.on_message(b_id, roundtrip(**second), kNow).ok());
+  EXPECT_EQ(alice.stats().ratchet_acks_received, 1u);
+  EXPECT_EQ(alice.reliability_backlog(), 0u);
+
+  // The flagged record, twice.
+  auto flagged = alice.make_data(b_id, bytes_of("flagged"), kNow, proto::DataRekey::kRatchet);
+  ASSERT_TRUE(flagged.ok());
+  ASSERT_TRUE(bob.on_message(a_id, roundtrip(flagged.value()), kNow).ok());
+  EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(2u));
+  EXPECT_FALSE(bob.on_message(a_id, roundtrip(flagged.value()), kNow).ok());
+  EXPECT_EQ(bob.store().epoch(a_id), std::optional<std::uint32_t>(2u));
+  EXPECT_EQ(bob.stats().records_delivered, 1u);
+  EXPECT_EQ(bob.stats().piggyback_received, 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(11, 22, 33));
 
 // ----------------------------------------------- handshake bit-flip property

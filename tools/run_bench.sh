@@ -18,6 +18,10 @@
 #   BENCH_fig7.json         — bench_fig7_prototype_timeline (wire-derived
 #                             Fig. 7 timeline, 2/100/1000-peer CAN-FD
 #                             contention matrix, loss-model sweep)
+#   BENCH_chaos.json        — bench_chaos_soak (p50/p99 establishment
+#                             latency at 0/1/5/20% datagram loss, virtual-
+#                             clock milliseconds; fully deterministic and
+#                             exits 1 on a stuck handshake)
 #
 # Compare against the committed BENCH_baseline.json (the same suite captured
 # at the pre-fast-path seed) with e.g.:
@@ -44,6 +48,8 @@ snapshots at the repo root:
   BENCH_concurrency.json   worker sweep (ideal + CAN-FD) + store threads
   BENCH_fig7.json          wire-derived Fig. 7 timeline + the CAN-FD
                            contention matrix (2/100/1000 peers) + loss sweep
+  BENCH_chaos.json         p50/p99 establishment latency vs loss rate
+                           (virtual-clock ms, deterministic seeded faults)
 
 Multi-core capture procedure (ROADMAP item (h)):
   The committed BENCH_concurrency.json was captured inside a 1-core
@@ -65,7 +71,7 @@ build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target bench_primitives_native bench_protocols_native bench_fleet \
-  bench_concurrency bench_fig7_prototype_timeline -j"$(nproc)"
+  bench_concurrency bench_fig7_prototype_timeline bench_chaos_soak -j"$(nproc)"
 
 "$build_dir/bench_primitives_native" \
   --benchmark_format=json \
@@ -83,4 +89,6 @@ cmake --build "$build_dir" --target bench_primitives_native bench_protocols_nati
 
 "$build_dir/bench_fig7_prototype_timeline" "$repo_root/BENCH_fig7.json"
 
-echo "Wrote $repo_root/BENCH_primitives.json, BENCH_protocols.json, BENCH_fleet.json, BENCH_concurrency.json and BENCH_fig7.json"
+"$build_dir/bench_chaos_soak" "$repo_root/BENCH_chaos.json"
+
+echo "Wrote $repo_root/BENCH_primitives.json, BENCH_protocols.json, BENCH_fleet.json, BENCH_concurrency.json, BENCH_fig7.json and BENCH_chaos.json"
