@@ -257,10 +257,9 @@ int main(int argc, char** argv) {
   std::printf("\n-- sharded store, thread sweep --\n");
   bench_store_threads(fleet);
 
+  // hardware_concurrency now rides in the shared "cpu" provenance block.
   g_snapshot.write(argc > 1 ? argv[1] : "BENCH_concurrency.json", "bench_concurrency",
-                   ", \"hardware_concurrency\": " +
-                       std::to_string(std::thread::hardware_concurrency()) +
-                       ", \"fleet\": " + std::to_string(kFleet) +
+                   ", \"fleet\": " + std::to_string(kFleet) +
                        ", \"records_per_peer\": " + std::to_string(kRecords));
   return 0;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "canfd/canfd_transport.hpp"
+#include "core/concurrent_broker.hpp"
 #include "core/session_broker.hpp"
 #include "ec/verify_table.hpp"
 #include "ecdsa/ecdsa.hpp"
@@ -97,7 +98,7 @@ void bench_extraction(const Fleet& fleet) {
               single / (batch_total / static_cast<double>(n)));
 }
 
-void bench_verify(const Fleet& fleet) {
+double bench_verify(const Fleet& fleet) {
   const sig::PrivateKey key(fleet.devices[0].private_key);
   const ec::AffinePoint q = fleet.devices[0].public_key;
   const Bytes msg = bytes_of("fleet record payload");
@@ -115,6 +116,85 @@ void bench_verify(const Fleet& fleet) {
   report("BM_EcdsaVerifyUncached", kIters, uncached);
   report("BM_EcdsaVerifyCachedTable", kIters, cached);
   std::printf("  -> cached-table verify: %.1f%% faster\n", 100.0 * (1.0 - cached / uncached));
+  return cached;  // the batch section's per-signature baseline
+}
+
+/// The throughput engine's front door: fleet enrollment through the batch
+/// verb (one shared-inversion extraction pass + one batched table build)
+/// against the same API called per certificate, and RLC batch verification
+/// at fleet batch sizes against the cached single-signature baseline
+/// (acceptance: >= 1.5x per signature at batch >= 64) — single-thread
+/// broker first, then the worker-pool fan-out.
+void bench_batch_throughput(const Fleet& fleet, double cached_single_us) {
+  const std::size_t n = fleet.certs.size();
+  proto::BrokerConfig config;
+  config.peer_cache_capacity = n;
+
+  // --- certs/s: batched vs per-certificate enrollment -------------------
+  rng::TestRng rng(800);
+  proto::SessionBroker broker(fleet.devices[0], rng, config);
+  const double per_cert = time_per_op_us(n, [&](std::size_t i) {
+    if (broker.enroll_batch({fleet.certs[i]}) != 1) std::abort();
+  });
+  constexpr std::size_t kEnrollReps = 8;
+  const double batch_total = time_per_op_us(kEnrollReps, [&](std::size_t) {
+    if (broker.enroll_batch(fleet.certs) != n) std::abort();
+  });
+  const double per_cert_batched = batch_total / static_cast<double>(n);
+  report("BM_FleetEnrollBatch/" + std::to_string(n), kEnrollReps * n, per_cert_batched,
+         std::to_string(static_cast<long long>(1e6 / per_cert_batched)) +
+             " certs/s, extraction + verify table");
+  std::printf("  -> batch enrollment: %.0f certs/s (%.2fx the per-cert path)\n",
+              1e6 / per_cert_batched, per_cert / per_cert_batched);
+
+  // --- verifies/s: one RLC pass per batch -------------------------------
+  // Distinct digest and batchable signature per device, so every batch is
+  // the heterogeneous case (per-signature tables, per-signature scalars).
+  std::vector<proto::SessionBroker::VerifyRequest> requests(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string msg = "fleet-claim-" + std::to_string(i);
+    requests[i].peer = fleet.devices[i].id;
+    requests[i].digest = hash::sha256(
+        ByteView(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+    requests[i].sig =
+        sig::PrivateKey(fleet.devices[i].private_key).sign_digest_batchable(requests[i].digest);
+  }
+
+  for (const std::size_t batch : {std::size_t{64}, std::size_t{256}}) {
+    const std::size_t reps = 2048 / batch + 1;
+    const double per_batch = time_per_op_us(reps, [&](std::size_t) {
+      const auto results = broker.verify_batch(requests.data(), batch, nullptr);
+      for (std::size_t i = 0; i < batch; ++i)
+        if (!results[i]) std::abort();
+    });
+    const double per_sig = per_batch / static_cast<double>(batch);
+    report("BM_EcdsaVerifyBatch/" + std::to_string(batch), reps * batch, per_sig,
+           std::to_string(static_cast<long long>(1e6 / per_sig)) + " verifies/s, " +
+               bench::fmt(cached_single_us / per_sig) + "x vs cached single");
+    std::printf("  -> batch %zu: %.0f verifies/s, %.2fx vs BM_EcdsaVerifyCachedTable\n", batch,
+                1e6 / per_sig, cached_single_us / per_sig);
+  }
+
+  // --- worker-pool fan-out ----------------------------------------------
+  const std::size_t workers = std::max(2u, std::min(std::thread::hardware_concurrency(), 8u));
+  rng::TestRng pool_rng(801);
+  proto::IdealLinkTransport link;
+  proto::ConcurrentSessionBroker endpoint(fleet.devices[0], pool_rng, link,
+                                          {config, workers});
+  if (endpoint.enroll_batch(fleet.certs) != n) std::abort();
+  const std::vector<proto::SessionBroker::VerifyRequest> window(requests.begin(),
+                                                               requests.begin() + 256);
+  constexpr std::size_t kPoolReps = 9;
+  const double per_batch = time_per_op_us(kPoolReps, [&](std::size_t) {
+    const auto results = endpoint.verify_batch(window, nullptr);
+    for (std::size_t i = 0; i < window.size(); ++i)
+      if (!results[i]) std::abort();
+  });
+  const double per_sig = per_batch / static_cast<double>(window.size());
+  report("BM_EcdsaVerifyBatchWorkers/256", kPoolReps * window.size(), per_sig,
+         std::to_string(static_cast<long long>(1e6 / per_sig)) + " verifies/s, " +
+             std::to_string(workers) + " workers");
+  std::printf("  -> worker pool (%zu workers): %.0f verifies/s\n", workers, 1e6 / per_sig);
 }
 
 /// Drives one full STS handshake between two brokers; returns messages
@@ -314,7 +394,8 @@ int main(int argc, char** argv) {
   Fleet fleet(257);  // device 0 acts as the server endpoint in broker benches
 
   bench_extraction(fleet);
-  bench_verify(fleet);
+  const double cached_single_us = bench_verify(fleet);
+  bench_batch_throughput(fleet, cached_single_us);
   bench_rekey(fleet);
   bench_piggyback(fleet);
   bench_handshake_fleet(fleet, 256);

@@ -3,8 +3,11 @@
 // this library really cost" numbers in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "aes/cmac.hpp"
 #include "aes/modes.hpp"
+#include "bigint/mont52.hpp"
 #include "ec/curve.hpp"
 #include "ec/encoding.hpp"
 #include "ec/fixed_base.hpp"
@@ -12,6 +15,7 @@
 #include "ecqv/ca.hpp"
 #include "hash/hkdf.hpp"
 #include "kdf/session_keys.hpp"
+#include "report.hpp"
 #include "rng/test_rng.hpp"
 
 namespace {
@@ -67,6 +71,87 @@ void BM_EcPointAdd(benchmark::State& state) {
     benchmark::DoNotOptimize(curve().add(ec_fixture().p, curve().generator()));
 }
 BENCHMARK(BM_EcPointAdd);
+
+// --- throughput-engine kernels -------------------------------------------
+// The dispatch ladder under every verify: AVX-512 IFMA 8-way lane -> BMI2/
+// ADX scalar asm -> portable C. Each tier benched against the next so the
+// committed BENCH_primitives.json carries the measured step-downs (the
+// "cpu" context block records which tiers were actually live).
+
+struct ModNFixture {
+  bi::MontCtx dispatched;  // ADX kernel when the CPU has BMI2+ADX
+  bi::MontCtx portable;    // same modulus, asm force-disabled
+  bi::U256 a, b;
+  ModNFixture()
+      : dispatched(curve().order()),
+        portable([] {
+          ::setenv("ECQV_DISABLE_ASM", "1", 1);
+          bi::MontCtx ctx(curve().order());
+          ::unsetenv("ECQV_DISABLE_ASM");
+          return ctx;
+        }()) {
+    rng::TestRng rng(6);
+    a = dispatched.to_mont(curve().random_scalar(rng));
+    b = dispatched.to_mont(curve().random_scalar(rng));
+  }
+};
+const ModNFixture& mod_n_fixture() {
+  static const ModNFixture data;
+  return data;
+}
+
+void BM_MontMulModN(benchmark::State& state) {
+  const ModNFixture& f = mod_n_fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(f.dispatched.mul_raw(f.a, f.b));
+}
+BENCHMARK(BM_MontMulModN);
+
+void BM_MontMulModNPortable(benchmark::State& state) {
+  const ModNFixture& f = mod_n_fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(f.portable.mul_raw(f.a, f.b));
+}
+BENCHMARK(BM_MontMulModNPortable);
+
+struct LaneFixture {
+  bi::Mont52Ctx ctx;
+  bi::Fe52x8 a, b;
+  LaneFixture() : ctx(bi::p256::kPrime) {
+    rng::TestRng rng(7);
+    bi::U256 in[8];
+    for (auto& v : in) v = curve().fp().to_mont(curve().random_scalar(rng));
+    bi::mont8_load(a, in, ctx);
+    for (auto& v : in) v = curve().fp().to_mont(curve().random_scalar(rng));
+    bi::mont8_load(b, in, ctx);
+  }
+};
+const LaneFixture& lane_fixture() {
+  static const LaneFixture data;
+  return data;
+}
+
+// One vector call is eight logical field multiplications; items/s is the
+// logical-op throughput to compare against the scalar rows above.
+void BM_Mont8FieldMul(benchmark::State& state) {
+  const LaneFixture& f = lane_fixture();
+  bi::Fe52x8 out;
+  for (auto _ : state) {
+    bi::mont8_mul(out, f.a, f.b, f.ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_Mont8FieldMul);
+
+void BM_Mont8FieldMulPortable(benchmark::State& state) {
+  const LaneFixture& f = lane_fixture();
+  bi::Fe52x8 out;
+  for (auto _ : state) {
+    bi::detail::mont8_mul_portable(out, f.a, f.b, f.ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_Mont8FieldMulPortable);
 
 void BM_FieldInversion(benchmark::State& state) {
   const bi::U256 v = curve().fp().to_mont(ec_fixture().k);
@@ -166,4 +251,12 @@ BENCHMARK(BM_HmacDrbg)->Arg(32)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const auto& [key, value] : ecqv::bench::cpu_context_pairs())
+    benchmark::AddCustomContext(key, value);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/secure_channel.hpp"
+#include "report.hpp"
 #include "sim/counts.hpp"
 #include "rng/test_rng.hpp"
 
@@ -110,4 +111,12 @@ BENCHMARK(BM_SecureChannelRoundTrip)->Arg(64)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const auto& [key, value] : ecqv::bench::cpu_context_pairs())
+    benchmark::AddCustomContext(key, value);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,9 +3,53 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "bigint/mont.hpp"
+#include "bigint/mont52.hpp"
+
 namespace ecqv::bench {
+
+/// CPU provenance for committed snapshots: the machine the numbers came
+/// from — logical core count, the ISA extensions the throughput engine keys
+/// its dispatch on, and which tiers are actually active (raw flag minus the
+/// ECQV_DISABLE_* kill switches). Without this, a BENCH_*.json from a
+/// portable-only box is indistinguishable from an ADX+IFMA run. Key/value
+/// form so the google-benchmark suites can feed AddCustomContext.
+inline std::vector<std::pair<std::string, std::string>> cpu_context_pairs() {
+#if defined(__x86_64__) || defined(_M_X64)
+  const bool bmi2 = __builtin_cpu_supports("bmi2") != 0;
+  const bool adx = __builtin_cpu_supports("adx") != 0;
+  const bool ifma =
+      __builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512ifma") != 0;
+#else
+  const bool bmi2 = false, adx = false, ifma = false;
+#endif
+  auto b = [](bool v) -> std::string { return v ? "true" : "false"; };
+  return {{"hardware_concurrency", std::to_string(std::thread::hardware_concurrency())},
+          {"bmi2", b(bmi2)},
+          {"adx", b(adx)},
+          {"avx512ifma", b(ifma)},
+          {"adx_kernels_active", b(bi::mont_asm_available())},
+          {"ifma_lane_active", b(bi::mont8_hw_available())}};
+}
+
+/// Same provenance as a raw JSON fragment (leading ", ") for the
+/// JsonSnapshot context object.
+inline std::string cpu_context_json() {
+  std::string out = ", \"cpu\": {";
+  bool first = true;
+  for (const auto& [key, value] : cpu_context_pairs()) {
+    if (!first) out += ", ";
+    first = false;
+    // Every value is a bare JSON literal (number or boolean) — no quoting.
+    out += "\"" + key + "\": " + value;
+  }
+  out += "}";
+  return out;
+}
 
 class Table {
  public:
@@ -69,15 +113,16 @@ class JsonSnapshot {
   }
 
   /// Writes the snapshot. `extra_context` is a raw JSON fragment appended
-  /// inside the context object; start it with ", " when non-empty.
+  /// inside the context object; start it with ", " when non-empty. CPU
+  /// provenance (cpu_context_json) is stamped into every snapshot.
   void write(const char* path, const char* suite, const std::string& extra_context = {}) const {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s\n", path);
       return;
     }
-    std::fprintf(f, "{\n  \"context\": {\"suite\": \"%s\", \"time_unit\": \"us\"%s},\n", suite,
-                 extra_context.c_str());
+    std::fprintf(f, "{\n  \"context\": {\"suite\": \"%s\", \"time_unit\": \"us\"%s%s},\n", suite,
+                 cpu_context_json().c_str(), extra_context.c_str());
     std::fprintf(f, "  \"benchmarks\": [\n");
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];

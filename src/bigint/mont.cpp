@@ -1,5 +1,6 @@
 #include "bigint/mont.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 namespace ecqv::bi {
@@ -55,6 +56,17 @@ U256 add_shr1(const U256& x, const U256& m) {
 
 }  // namespace
 
+bool mont_asm_available() {
+#if defined(ECQV_P256_ASM)
+  if (const char* env = std::getenv("ECQV_DISABLE_ASM"); env != nullptr && env[0] != '\0' &&
+                                                         !(env[0] == '0' && env[1] == '\0'))
+    return false;
+  return __builtin_cpu_supports("bmi2") != 0 && __builtin_cpu_supports("adx") != 0;
+#else
+  return false;
+#endif
+}
+
 namespace p256 {
 U256 mont_mul(const U256& a, const U256& b) { return redc(mul4_wide(a, b)); }
 U256 mont_sqr(const U256& a) { return redc(sqr4_wide(a)); }
@@ -66,8 +78,9 @@ MontCtx::MontCtx(const U256& modulus) : m_(modulus) {
   n0_ = neg_inv64(modulus.w[0]);
   is_p256_prime_ = (modulus == p256::kPrime);
 #if defined(ECQV_P256_ASM)
-  use_asm_ = is_p256_prime_ && __builtin_cpu_supports("bmi2") != 0 &&
-             __builtin_cpu_supports("adx") != 0;
+  const bool asm_ok = mont_asm_available();
+  use_asm_ = is_p256_prime_ && asm_ok;
+  use_asm_any_ = !is_p256_prime_ && asm_ok;
 #endif
 
   // R mod m and R^2 mod m by repeated modular doubling of 1: double 512

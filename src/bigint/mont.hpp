@@ -65,6 +65,13 @@ __attribute__((access(write_only, 1), access(read_only, 2), access(write_only, 3
                access(read_only, 4))) void
 ecqv_p256_sqr2_mont(std::uint64_t o1[4], const std::uint64_t a1[4], std::uint64_t o2[4],
                     const std::uint64_t a2[4]);
+// Modulus-parameterized variant: same BMI2/ADX schedule but the Montgomery
+// m-step multiplies against caller-supplied modulus limbs with
+// n0 = -m^-1 mod 2^64. This is how mod-n (group order) contexts reach asm.
+__attribute__((access(write_only, 1), access(read_only, 2), access(read_only, 3),
+               access(read_only, 4))) void
+ecqv_mont_mul_adx(std::uint64_t out[4], const std::uint64_t a[4], const std::uint64_t b[4],
+                  const std::uint64_t m[4], std::uint64_t n0);
 }
 #endif
 
@@ -361,6 +368,11 @@ class MontCtx {
       ecqv_p256_mul_mont(r.w.data(), a.w.data(), b.w.data());
       return r;
     }
+    if (use_asm_any_) {
+      U256 r;
+      ecqv_mont_mul_adx(r.w.data(), a.w.data(), b.w.data(), m_.w.data(), n0_);
+      return r;
+    }
 #endif
     if (is_p256_prime_) return p256::mont_mul(a, b);
     return mul_generic(a, b);
@@ -370,6 +382,13 @@ class MontCtx {
     if (use_asm_) {
       U256 r;
       ecqv_p256_sqr_mont(r.w.data(), a.w.data());
+      return r;
+    }
+    if (use_asm_any_) {
+      // No dedicated generic asm squaring: mul(a, a) on the ADX kernel still
+      // beats the portable sqr4_wide + CIOS route by ~2x.
+      U256 r;
+      ecqv_mont_mul_adx(r.w.data(), a.w.data(), a.w.data(), m_.w.data(), n0_);
       return r;
     }
 #endif
@@ -473,6 +492,13 @@ class MontCtx {
   std::uint64_t n0_;  // -m^-1 mod 2^64
   bool is_p256_prime_ = false;  // modulus == secp256r1 field prime p
   bool use_asm_ = false;        // p256 prime AND the CPU has BMI2+ADX
+  bool use_asm_any_ = false;    // any other modulus, same CPU gate (mod n)
 };
+
+/// True when MontCtx instances built in this process dispatch to the
+/// BMI2/ADX kernels: compile gate, CPU support, and the ECQV_DISABLE_ASM
+/// environment kill switch (read once per construction, so tests can build
+/// forced-portable contexts after setenv).
+[[nodiscard]] bool mont_asm_available();
 
 }  // namespace ecqv::bi

@@ -1,0 +1,97 @@
+// 8-way Montgomery field arithmetic in radix 2^52 — the data layout AVX-512
+// IFMA wants (vpmadd52luq/vpmadd52huq multiply 52-bit limbs into 64-bit
+// accumulators, so carries are deferred across whole multiplication rounds).
+//
+// A 256-bit field element is five 52-bit limbs; eight elements travel
+// together in a limb-major Fe52x8 (limb i of all eight lanes is one
+// contiguous, cacheline-aligned 512-bit row — exactly one zmm load). The
+// lane operates in its own Montgomery domain with R52 = 2^260: an element
+// x enters as x*2^260 mod m, and mont8_mul computes a*b*2^-260. Bridging to
+// the scalar engine's 2^256 domain is a single lane multiplication by a
+// precomputed constant in each direction (see Mont52Ctx::to_lane/from_lane).
+//
+// Two implementations sit behind mont8_mul/mont8_sqr:
+//  * mont8_avx512.cpp — the IFMA kernel, compiled with a function-level
+//    target attribute so the rest of the build stays portable; selected at
+//    run time when the CPU reports AVX-512F + AVX-512 IFMA and the
+//    ECQV_DISABLE_IFMA environment kill switch is unset.
+//  * the portable 8-wide fallback in mont52.cpp — the same algorithm on
+//    unsigned __int128, bit-identical results on any hardware.
+//
+// tests/test_mont_dispatch.cpp pins both against RefMontCtx.
+//
+// Cost accounting note: these entry points are RAW (uncounted), like
+// MontCtx::mul_raw. Callers count Op::kFpMul/kFpSqr per LOGICAL field
+// operation — eight per full vector call — so the sim cost model sees the
+// work an embedded scalar device would execute, not our SIMD call count.
+#pragma once
+
+#include <cstdint>
+
+#include "bigint/u256.hpp"
+
+namespace ecqv::bi {
+
+inline constexpr int kFe52Limbs = 5;
+inline constexpr std::uint64_t kFe52Mask = (std::uint64_t{1} << 52) - 1;
+
+/// Eight field elements in radix-2^52, limb-major: l[i][lane] is limb i of
+/// lane `lane`. 64-byte alignment makes every limb row one aligned zmm.
+struct alignas(64) Fe52x8 {
+  std::uint64_t l[kFe52Limbs][8];
+};
+
+/// Per-modulus constants for the radix-52 lane (built once per modulus,
+/// alongside the scalar MontCtx).
+class Mont52Ctx {
+ public:
+  /// Odd modulus with 2^255 < m < 2^256 (both secp256r1 moduli).
+  explicit Mont52Ctx(const U256& modulus);
+
+  std::uint64_t m[kFe52Limbs];       // modulus, radix-52
+  std::uint64_t n0;                  // -m^-1 mod 2^52
+  std::uint64_t to_lane[kFe52Limbs];    // 2^264 mod m: 2^256-domain -> lane
+  std::uint64_t from_lane[kFe52Limbs];  // 2^256 mod m: lane -> 2^256-domain
+  U256 modulus;
+};
+
+/// Repack a 4x64 value (< 2^256) into five 52-bit limbs and back. Pure bit
+/// moves — no domain change.
+void u256_to_fe52(std::uint64_t out[kFe52Limbs], const U256& a);
+[[nodiscard]] U256 fe52_to_u256(const std::uint64_t in[kFe52Limbs]);
+
+/// True when the hardware IFMA kernel is active (AVX-512F + IFMA reported
+/// by the CPU and ECQV_DISABLE_IFMA unset/0; compile gate ECQV_NO_IFMA).
+/// When false, mont8_mul/mont8_sqr still work via the portable fallback —
+/// this predicate exists so batch heuristics only pick the wide path when
+/// it actually beats the scalar ADX kernels.
+[[nodiscard]] bool mont8_hw_available();
+
+/// out[lane] = a[lane] * b[lane] * 2^-260 mod m, fully reduced (< m).
+/// Inputs must be limb-normalized (< 2^52 per limb) and < m.
+void mont8_mul(Fe52x8& out, const Fe52x8& a, const Fe52x8& b, const Mont52Ctx& ctx);
+
+/// Eight logical squarings (mul(a, a) — IFMA has no cheaper square).
+void mont8_sqr(Fe52x8& out, const Fe52x8& a, const Mont52Ctx& ctx);
+
+/// Broadcast one scalar (radix-52) value to all eight lanes.
+[[nodiscard]] Fe52x8 fe52x8_broadcast(const std::uint64_t v[kFe52Limbs]);
+
+/// Bridge from the scalar engine: packs eight 2^256-domain Montgomery
+/// residues and rebases them into the lane's 2^260 domain (one lane mul).
+void mont8_load(Fe52x8& out, const U256 in[8], const Mont52Ctx& ctx);
+
+/// Bridge back: rebases to the 2^256 domain and unpacks (one lane mul).
+void mont8_store(U256 out[8], const Fe52x8& in, const Mont52Ctx& ctx);
+
+// Internal entry points, exposed so the dispatch-matrix tests can pin each
+// implementation explicitly regardless of what the CPU reports.
+namespace detail {
+void mont8_mul_portable(Fe52x8& out, const Fe52x8& a, const Fe52x8& b, const Mont52Ctx& ctx);
+#if defined(__x86_64__) && !defined(ECQV_NO_IFMA)
+#define ECQV_MONT8_IFMA 1
+void mont8_mul_ifma(Fe52x8& out, const Fe52x8& a, const Fe52x8& b, const Mont52Ctx& ctx);
+#endif
+}  // namespace detail
+
+}  // namespace ecqv::bi

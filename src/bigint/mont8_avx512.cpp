@@ -1,0 +1,96 @@
+// AVX-512 IFMA kernel for the radix-2^52 8-way Montgomery lane.
+//
+// vpmadd52luq/vpmadd52huq multiply the low 52 bits of two 64-bit lanes and
+// add the low/high 52 bits of the 104-bit product into a 64-bit
+// accumulator. With ≤ 4 additions per accumulator per round and 5 rounds,
+// columns peak below 2^57 — carries are swept exactly once, after the last
+// round, instead of after every partial product like a 64-bit carry chain.
+// That is the whole trick: one multiplication round is ten data-parallel
+// vpmadd52 pairs with no flag dependencies at all.
+//
+// This translation unit is the only one that emits AVX-512 instructions;
+// the target attribute keeps the rest of the build portable, and
+// mont52.cpp only calls in here after __builtin_cpu_supports checks at run
+// time (plus the ECQV_DISABLE_IFMA kill switch).
+#include "bigint/mont52.hpp"
+
+#if defined(ECQV_MONT8_IFMA)
+
+#include <immintrin.h>
+
+namespace ecqv::bi::detail {
+
+__attribute__((target("avx512f,avx512ifma"))) void mont8_mul_ifma(Fe52x8& out, const Fe52x8& a,
+                                                                  const Fe52x8& b,
+                                                                  const Mont52Ctx& ctx) {
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i mask = _mm512_set1_epi64(static_cast<long long>(kFe52Mask));
+  const __m512i n0 = _mm512_set1_epi64(static_cast<long long>(ctx.n0));
+  __m512i M[kFe52Limbs];
+  __m512i B[kFe52Limbs];
+  for (int j = 0; j < kFe52Limbs; ++j) {
+    M[j] = _mm512_set1_epi64(static_cast<long long>(ctx.m[j]));
+    B[j] = _mm512_load_si512(b.l[j]);
+  }
+  __m512i t0 = zero, t1 = zero, t2 = zero, t3 = zero, t4 = zero, t5 = zero;
+  for (int i = 0; i < kFe52Limbs; ++i) {
+    const __m512i ai = _mm512_load_si512(a.l[i]);
+    t0 = _mm512_madd52lo_epu64(t0, ai, B[0]);
+    t1 = _mm512_madd52lo_epu64(t1, ai, B[1]);
+    t2 = _mm512_madd52lo_epu64(t2, ai, B[2]);
+    t3 = _mm512_madd52lo_epu64(t3, ai, B[3]);
+    t4 = _mm512_madd52lo_epu64(t4, ai, B[4]);
+    t1 = _mm512_madd52hi_epu64(t1, ai, B[0]);
+    t2 = _mm512_madd52hi_epu64(t2, ai, B[1]);
+    t3 = _mm512_madd52hi_epu64(t3, ai, B[2]);
+    t4 = _mm512_madd52hi_epu64(t4, ai, B[3]);
+    t5 = _mm512_madd52hi_epu64(t5, ai, B[4]);
+    // m-step: mf = (t0 * n0) mod 2^52 (vpmadd52luq reads only low 52 bits
+    // of each source, which is exactly the mod-2^52 product we need).
+    const __m512i mf = _mm512_madd52lo_epu64(zero, t0, n0);
+    t0 = _mm512_madd52lo_epu64(t0, mf, M[0]);
+    t1 = _mm512_madd52lo_epu64(t1, mf, M[1]);
+    t2 = _mm512_madd52lo_epu64(t2, mf, M[2]);
+    t3 = _mm512_madd52lo_epu64(t3, mf, M[3]);
+    t4 = _mm512_madd52lo_epu64(t4, mf, M[4]);
+    t1 = _mm512_madd52hi_epu64(t1, mf, M[0]);
+    t2 = _mm512_madd52hi_epu64(t2, mf, M[1]);
+    t3 = _mm512_madd52hi_epu64(t3, mf, M[2]);
+    t4 = _mm512_madd52hi_epu64(t4, mf, M[3]);
+    t5 = _mm512_madd52hi_epu64(t5, mf, M[4]);
+    // Low column is ≡ 0 mod 2^52; fold its carry and shift the window.
+    t1 = _mm512_add_epi64(t1, _mm512_srli_epi64(t0, 52));
+    t0 = t1;
+    t1 = t2;
+    t2 = t3;
+    t3 = t4;
+    t4 = t5;
+    t5 = zero;
+  }
+  // One carry sweep (result < 2m < 2^257 fits five 52-bit limbs) ...
+  t1 = _mm512_add_epi64(t1, _mm512_srli_epi64(t0, 52));
+  t0 = _mm512_and_si512(t0, mask);
+  t2 = _mm512_add_epi64(t2, _mm512_srli_epi64(t1, 52));
+  t1 = _mm512_and_si512(t1, mask);
+  t3 = _mm512_add_epi64(t3, _mm512_srli_epi64(t2, 52));
+  t2 = _mm512_and_si512(t2, mask);
+  t4 = _mm512_add_epi64(t4, _mm512_srli_epi64(t3, 52));
+  t3 = _mm512_and_si512(t3, mask);
+  // ... then a branchless conditional subtract of m per lane.
+  __m512i T[kFe52Limbs] = {t0, t1, t2, t3, t4};
+  __m512i D[kFe52Limbs];
+  __m512i borrow = zero;
+  for (int j = 0; j < kFe52Limbs; ++j) {
+    const __m512i v = _mm512_sub_epi64(_mm512_sub_epi64(T[j], M[j]), borrow);
+    borrow = _mm512_srli_epi64(v, 63);  // sign bit: this column borrowed
+    D[j] = _mm512_and_si512(v, mask);
+  }
+  // Lanes with no final borrow satisfy t >= m: take the subtracted value.
+  const __mmask8 ge = _mm512_cmpeq_epu64_mask(borrow, zero);
+  for (int j = 0; j < kFe52Limbs; ++j)
+    _mm512_store_si512(out.l[j], _mm512_mask_blend_epi64(ge, T[j], D[j]));
+}
+
+}  // namespace ecqv::bi::detail
+
+#endif  // ECQV_MONT8_IFMA

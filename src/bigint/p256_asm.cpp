@@ -326,6 +326,129 @@ ecqv_p256_sqr2_mont:
   popq  %rbx
   ret
 .size ecqv_p256_sqr2_mont, .-ecqv_p256_sqr2_mont
+
+# ---------------------------------------------------------------------------
+# Modulus-parameterized Montgomery multiplication: the same interleaved-CIOS
+# BMI2/ADX schedule as the P-256 kernel above, but the m-step is a real
+# mulx against modulus limbs passed by the caller (with n0' = -m^-1 mod 2^64
+# as an operand) instead of the P-256 shift/add identity. This is what lets
+# MontCtx instances for the secp256r1 group order n — every mod-n multiply
+# in ECDSA signing and batch-verify scalar prep — dispatch to asm instead of
+# the ~40-instruction-per-limb portable CIOS path.
+#
+# The modulus limbs and n0' live in the red zone below rsp (leaf code, same
+# convention the paired p256 entry points use), because every general-
+# purpose register is already claimed: 6 rotating accumulators, 4 b limbs,
+# 2 mulx temporaries, the multiplier, and the out/a pointers.
+
+# One round: accumulate a_i * b, then fold the low limb with
+# t += (t0 * n0') * m. After the fold t0 is exactly 0 and becomes the next
+# round's top guard — no explicit clear needed.
+.macro ECQV_MONT_MUL_ROUND off, t0, t1, t2, t3, t4, t5
+  movq  \off(%rsi), %rdx
+  xorl  %eax, %eax            # clear CF and OF
+  mulx  %r8, %rax, %rcx
+  adcx  %rax, %\t0
+  adox  %rcx, %\t1
+  mulx  %r9, %rax, %rcx
+  adcx  %rax, %\t1
+  adox  %rcx, %\t2
+  mulx  %r10, %rax, %rcx
+  adcx  %rax, %\t2
+  adox  %rcx, %\t3
+  mulx  %r11, %rax, %rcx
+  adcx  %rax, %\t3
+  adox  %rcx, %\t4
+  movl  $0, %ecx
+  adcx  %rcx, %\t4
+  adox  %rcx, %\t5
+  adcx  %rcx, %\t5
+  # m-step: mfac = t0 * n0'; t += mfac * m (dual carry chains again)
+  movq  -16(%rsp), %rdx
+  imulq %\t0, %rdx            # mfac; flags are dead here
+  xorl  %eax, %eax
+  mulx  -24(%rsp), %rax, %rcx
+  adcx  %rax, %\t0            # t0 wraps to exactly 0 (mfac construction)
+  adox  %rcx, %\t1
+  mulx  -32(%rsp), %rax, %rcx
+  adcx  %rax, %\t1
+  adox  %rcx, %\t2
+  mulx  -40(%rsp), %rax, %rcx
+  adcx  %rax, %\t2
+  adox  %rcx, %\t3
+  mulx  -48(%rsp), %rax, %rcx
+  adcx  %rax, %\t3
+  adox  %rcx, %\t4
+  movl  $0, %ecx
+  adcx  %rcx, %\t4
+  adox  %rcx, %\t5
+  adcx  %rcx, %\t5
+.endm
+
+# void ecqv_mont_mul_adx(uint64_t out[4], const uint64_t a[4],
+#                        const uint64_t b[4], const uint64_t m[4],
+#                        uint64_t n0);
+# out = a * b * 2^-256 mod m, fully reduced; m odd, 2^255 < m < 2^256.
+.globl ecqv_mont_mul_adx
+.hidden ecqv_mont_mul_adx
+.type ecqv_mont_mul_adx, @function
+ecqv_mont_mul_adx:
+  pushq %rbx
+  pushq %rbp
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq  %r8, -16(%rsp)        # n0'
+  movq  0(%rcx), %rax         # spill modulus limbs next to it
+  movq  %rax, -24(%rsp)
+  movq  8(%rcx), %rax
+  movq  %rax, -32(%rsp)
+  movq  16(%rcx), %rax
+  movq  %rax, -40(%rsp)
+  movq  24(%rcx), %rax
+  movq  %rax, -48(%rsp)
+  movq  0(%rdx), %r8          # b limbs stay in registers
+  movq  8(%rdx), %r9
+  movq  16(%rdx), %r10
+  movq  24(%rdx), %r11
+  xorl  %r12d, %r12d
+  xorl  %r13d, %r13d
+  xorl  %r14d, %r14d
+  xorl  %r15d, %r15d
+  xorl  %ebp, %ebp
+  xorl  %ebx, %ebx
+  ECQV_MONT_MUL_ROUND 0,  r12, r13, r14, r15, rbp, rbx
+  ECQV_MONT_MUL_ROUND 8,  r13, r14, r15, rbp, rbx, r12
+  ECQV_MONT_MUL_ROUND 16, r14, r15, rbp, rbx, r12, r13
+  ECQV_MONT_MUL_ROUND 24, r15, rbp, rbx, r12, r13, r14
+  # result in rbp:rbx:r12:r13 (low to high), guard in r14
+  movq  %rbp, %rax
+  movq  %rbx, %rcx
+  movq  %r12, %rdx
+  movq  %r13, %r15
+  subq  -24(%rsp), %rax
+  sbbq  -32(%rsp), %rcx
+  sbbq  -40(%rsp), %rdx
+  sbbq  -48(%rsp), %r15
+  sbbq  $0, %r14              # guard - borrow: -1 iff r < m (keep r)
+  sarq  $63, %r14
+  cmovneq %rbp, %rax
+  cmovneq %rbx, %rcx
+  cmovneq %r12, %rdx
+  cmovneq %r13, %r15
+  movq  %rax, 0(%rdi)
+  movq  %rcx, 8(%rdi)
+  movq  %rdx, 16(%rdi)
+  movq  %r15, 24(%rdi)
+  popq  %r15
+  popq  %r14
+  popq  %r13
+  popq  %r12
+  popq  %rbp
+  popq  %rbx
+  ret
+.size ecqv_mont_mul_adx, .-ecqv_mont_mul_adx
 )");
 
 #endif  // ECQV_P256_ASM

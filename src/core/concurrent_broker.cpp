@@ -52,6 +52,10 @@ Status ConcurrentSessionBroker::send_data(const cert::DeviceId& peer, ByteView p
 }
 
 void ConcurrentSessionBroker::process(const Job& job) {
+  if (job.work) {
+    job.work();
+    return;
+  }
   auto reply = broker_.on_message(job.from, job.message, job.now);
   if (!reply.ok()) {
     ++stats_.errors;
@@ -81,6 +85,64 @@ void ConcurrentSessionBroker::worker_loop(Worker& worker) {
       drain_cv_.notify_all();
     }
   }
+}
+
+std::size_t ConcurrentSessionBroker::enroll_batch(
+    const std::vector<cert::Certificate>& certificates) {
+  return broker_.enroll_batch(certificates);
+}
+
+std::vector<bool> ConcurrentSessionBroker::verify_batch(
+    const std::vector<SessionBroker::VerifyRequest>& requests, sig::BatchVerifyStats* stats) {
+  // Below this, chunking would shrink the RLC passes faster than the cores
+  // speed them up (each chunk pays the shared doubling chain once).
+  constexpr std::size_t kMinChunk = 16;
+  const std::size_t w = workers_.size();
+  if (w == 0 || requests.size() < 2 * kMinChunk) return broker_.verify_batch(requests, stats);
+
+  const std::size_t chunks = std::min(w, (requests.size() + kMinChunk - 1) / kMinChunk);
+  const std::size_t per = (requests.size() + chunks - 1) / chunks;
+  std::vector<std::vector<bool>> parts(chunks);
+  std::vector<sig::BatchVerifyStats> part_stats(chunks);
+  std::atomic<std::size_t> remaining{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(requests.size(), lo + per);
+    Job job;
+    // The RNG behind broker_ is this wrapper's LockedRng, so concurrent
+    // chunks draw their combination coefficients safely.
+    job.work = [this, &requests, &parts, &part_stats, &remaining, &done_mutex, &done_cv, c, lo,
+                hi] {
+      parts[c] = broker_.verify_batch(requests.data() + lo, hi - lo, &part_stats[c]);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    };
+    Worker& worker = *workers_[c % w];
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      worker.queue.push_back(std::move(job));
+    }
+    worker.cv.notify_one();
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  }
+  std::vector<bool> out;
+  out.reserve(requests.size());
+  for (std::size_t c = 0; c < chunks; ++c) {
+    out.insert(out.end(), parts[c].begin(), parts[c].end());
+    if (stats != nullptr) {
+      stats->rlc_checks += part_stats[c].rlc_checks;
+      stats->single_checks += part_stats[c].single_checks;
+    }
+  }
+  return out;
 }
 
 std::size_t ConcurrentSessionBroker::poll(std::uint64_t now) {

@@ -74,6 +74,21 @@ class ConcurrentSessionBroker {
   Status send_data(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now,
                    DataRekey rekey = DataRekey::kAuto);
 
+  /// Fleet enrollment, delegated to the broker (the peer cache is already
+  /// armed for concurrent use when workers > 0). Returns the number cached.
+  std::size_t enroll_batch(const std::vector<cert::Certificate>& certificates);
+
+  /// Batch signature verification fanned out across the worker pool: the
+  /// request set splits into one contiguous chunk per worker (chunks stay
+  /// >= 16 requests so each keeps real RLC amortization) and every chunk
+  /// runs its own combined check in parallel; verdicts merge back in
+  /// request order and `stats` accumulates across chunks. With workers == 0
+  /// (or a small batch) this is SessionBroker::verify_batch inline. Must be
+  /// called from the polling/driver thread — never from a worker callback,
+  /// which would deadlock waiting on its own queue.
+  std::vector<bool> verify_batch(const std::vector<SessionBroker::VerifyRequest>& requests,
+                                 sig::BatchVerifyStats* stats = nullptr);
+
   /// Pulls every datagram currently addressed to this endpoint and hands
   /// each to its affinity worker (or processes inline with workers = 0).
   /// Returns the number dispatched.
@@ -99,6 +114,9 @@ class ConcurrentSessionBroker {
     cert::DeviceId from;
     Message message;
     std::uint64_t now = 0;
+    /// When set, the job is a compute task (a verify_batch chunk) instead
+    /// of an inbound datagram; process() just runs it.
+    std::function<void()> work;
   };
   struct Worker {
     std::mutex mutex;

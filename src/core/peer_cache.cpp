@@ -48,6 +48,15 @@ Result<PeerKeyCache::EntryPtr> PeerKeyCache::get(const cert::Certificate& certif
   return entry;
 }
 
+PeerKeyCache::EntryPtr PeerKeyCache::peek(const cert::DeviceId& subject) {
+  std::lock_guard<OptionalMutex> lock(mutex_);
+  const auto idx = index_.find(subject);
+  if (idx == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, idx->second);
+  ++stats_.hits;
+  return idx->second->second;
+}
+
 std::size_t PeerKeyCache::prewarm(const std::vector<cert::Certificate>& certificates,
                                   const ec::AffinePoint& q_ca) {
   // Phase 1: all public keys, one shared inversion.

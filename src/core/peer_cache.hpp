@@ -69,6 +69,13 @@ class PeerKeyCache {
   std::size_t prewarm(const std::vector<cert::Certificate>& certificates,
                       const ec::AffinePoint& q_ca);
 
+  /// Pure lookup by subject id: the cached entry for an ENROLLED peer, or
+  /// null when the peer has never been cached (never extracts — the batch
+  /// verification verbs treat unenrolled peers as invalid rather than
+  /// triggering certificate work they do not have the bytes for). A hit
+  /// refreshes the LRU position like get().
+  [[nodiscard]] EntryPtr peek(const cert::DeviceId& subject);
+
   [[nodiscard]] std::size_t size() const {
     std::lock_guard<OptionalMutex> lock(mutex_);
     return index_.size();

@@ -537,6 +537,31 @@ Result<Message> SessionBroker::make_data(const cert::DeviceId& peer, ByteView pl
   return message;
 }
 
+std::size_t SessionBroker::enroll_batch(const std::vector<cert::Certificate>& certificates) {
+  return cache_.prewarm(certificates, creds_.ca_public);
+}
+
+std::vector<bool> SessionBroker::verify_batch(const VerifyRequest* requests, std::size_t n,
+                                              sig::BatchVerifyStats* stats) {
+  // Pin every peer's cache entry for the duration: the batch verifier holds
+  // raw table pointers, and another thread's enroll/evict must not be able
+  // to free a table mid-pass.
+  std::vector<PeerKeyCache::EntryPtr> pins(n);
+  std::vector<sig::BatchVerifyItem> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pins[i] = cache_.peek(requests[i].peer);
+    items[i].q_table = pins[i] != nullptr ? &pins[i]->table : nullptr;
+    items[i].digest = requests[i].digest;
+    items[i].sig = requests[i].sig;
+  }
+  return sig::verify_digest_batch(items.data(), n, rng_, stats);
+}
+
+std::vector<bool> SessionBroker::verify_batch(const std::vector<VerifyRequest>& requests,
+                                              sig::BatchVerifyStats* stats) {
+  return verify_batch(requests.data(), requests.size(), stats);
+}
+
 std::size_t SessionBroker::sweep_pending(std::uint64_t now) {
   std::size_t removed = 0;
   // With a transport clock bound (S1), handshake age is measured on the

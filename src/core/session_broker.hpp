@@ -58,6 +58,7 @@
 #include "core/sts.hpp"
 #include "core/timer_queue.hpp"
 #include "core/transport.hpp"
+#include "ecdsa/ecdsa.hpp"
 
 namespace ecqv::proto {
 
@@ -202,6 +203,34 @@ class SessionBroker {
   /// ZERO standalone RK1 rounds — see the ladder in the class comment.
   Result<Message> make_data(const cert::DeviceId& peer, ByteView plaintext, std::uint64_t now,
                             DataRekey rekey = DataRekey::kAuto);
+
+  // ---- fleet-scale batch verbs (the throughput engine's front door) -----
+
+  /// Fleet enrollment fast path: batch-extracts every certificate's
+  /// implicit public key (eq. (1)) and builds all cached verification
+  /// tables into the peer cache — one shared field inversion per phase, and
+  /// at fleet sizes the normalizations ride the AVX-512 IFMA 8-way lane.
+  /// Returns the number of certificates cached (invalid ones are skipped).
+  std::size_t enroll_batch(const std::vector<cert::Certificate>& certificates);
+
+  /// One signed claim for verify_batch, attributed to an enrolled peer.
+  struct VerifyRequest {
+    cert::DeviceId peer;
+    hash::Digest digest{};
+    sig::Signature sig;
+  };
+
+  /// True batch signature verification against enrolled peers: ONE
+  /// random-linear-combination Straus pass (sig::verify_digest_batch)
+  /// checks every signature at once over the peers' cached tables, with
+  /// bisection attributing any failure to its exact request. Coefficients
+  /// come from the broker's session RNG. Requests for peers that were never
+  /// enrolled (no cache entry) come back invalid without touching the rest
+  /// of the batch. Returns one verdict per request, in order.
+  std::vector<bool> verify_batch(const VerifyRequest* requests, std::size_t n,
+                                 sig::BatchVerifyStats* stats = nullptr);
+  std::vector<bool> verify_batch(const std::vector<VerifyRequest>& requests,
+                                 sig::BatchVerifyStats* stats = nullptr);
 
   /// Maintenance: bulk-expires dead sessions and stalled handshakes.
   /// Returns the number of entries reclaimed.

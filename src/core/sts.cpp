@@ -220,11 +220,13 @@ Result<std::optional<Message>> StsInitiator::on_message(const Message& incoming)
       return failure;
     }
 
-    // Op3: own authentication response (Algorithm 1).
+    // Op3: own authentication response (Algorithm 1). Batchable signatures
+    // (even-y normalized, same wire format) let a broker amortize fleets of
+    // these through sig::verify_digest_batch's one-pass RLC check.
     Message reply;
     record_segment("Op3", "B1", [&] {
       const sig::PrivateKey key(creds_.private_key);
-      const Bytes dsign = sig::encode_signature(key.sign(resp_sign_input(xga_, xgb_)));
+      const Bytes dsign = sig::encode_signature(key.sign_batchable(resp_sign_input(xga_, xgb_)));
       const Bytes resp_a = make_resp(keys_, Role::kInitiator, dsign, config_.auth_mode);
       reply.sender = Role::kInitiator;
       reply.step = "A2";
@@ -318,7 +320,7 @@ Result<std::optional<Message>> StsResponder::handle_a1(const Message& incoming) 
   Bytes resp_b;
   record_segment("Op3", "A1", [&] {
     const sig::PrivateKey key(creds_.private_key);
-    const Bytes dsign = sig::encode_signature(key.sign(resp_sign_input(xgb_, xga_)));
+    const Bytes dsign = sig::encode_signature(key.sign_batchable(resp_sign_input(xgb_, xga_)));
     resp_b = make_resp(keys_, Role::kResponder, dsign, config_.auth_mode);
   });
 

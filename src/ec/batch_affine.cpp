@@ -1,0 +1,120 @@
+// 8-way batch Jacobian->affine normalization on the radix-52 IFMA lane.
+//
+// The scalar batch_to_affine in jacobian.hpp is Montgomery's trick: prefix
+// products of the Z coordinates, one inversion, back-substitution. Here the
+// batch is striped across eight SIMD lanes column-major (point index =
+// column*8 + lane), so:
+//   * the prefix-product phase is one vector multiplication per column of
+//     eight points instead of eight scalar multiplications,
+//   * one scalar inversion still serves the whole batch — the eight lane
+//     totals are combined with seven scalar multiplications, inverted once,
+//     and the per-lane inverses recovered with a prefix/suffix sweep,
+//   * back-substitution (z^-1, z^-2, z^-3, x*z^-2, y*z^-3) runs 8-wide.
+// Values bridge between the scalar engine's 2^256 Montgomery domain and the
+// lane's 2^260 domain with one lane multiplication in each direction
+// (mont8_load/mont8_store), amortized across the five field operations each
+// point needs.
+//
+// Op accounting is identical to the scalar path — one kModInv, 6n kFpMul,
+// n kFpSqr — per LOGICAL field operation, not per SIMD call, so the sim
+// cost model prices batched workloads the same as sequential ones (an
+// embedded scalar device executes the logical schedule).
+#include <vector>
+
+#include "bigint/mont52.hpp"
+#include "ec/jacobian.hpp"
+
+namespace ecqv::ec {
+
+namespace {
+
+const bi::Mont52Ctx& fp52() {
+  static const bi::Mont52Ctx ctx(bi::p256::kPrime);
+  return ctx;
+}
+
+}  // namespace
+
+void CurveOps::batch_to_affine_wide(const JPoint* pts, AffineM* out, std::size_t n,
+                                    bool vartime) const {
+  if (n == 0) return;
+  using bi::Fe52x8;
+  using bi::U256;
+  const bi::Mont52Ctx& c52 = fp52();
+  const std::size_t cols = (n + 7) / 8;
+
+  // Pack Z column-major into the lane domain; tail lanes pad with 1, which
+  // keeps every lane total nonzero and drops out of the inverses.
+  std::vector<Fe52x8> z(cols);
+  std::vector<Fe52x8> prefix(cols);
+  U256 tmp[8];
+  for (std::size_t col = 0; col < cols; ++col) {
+    for (std::size_t lane = 0; lane < 8; ++lane) {
+      const std::size_t idx = col * 8 + lane;
+      tmp[lane] = idx < n ? pts[idx].z : fp.one();
+    }
+    mont8_load(z[col], tmp, c52);
+  }
+
+  // Per-lane prefix products: prefix[col] = product of that lane's Z values
+  // through column col.
+  prefix[0] = z[0];
+  for (std::size_t col = 1; col < cols; ++col)
+    mont8_mul(prefix[col], prefix[col - 1], z[col], c52);
+
+  count_op(Op::kModInv);
+  count_op(Op::kFpMul, 6 * n);
+  count_op(Op::kFpSqr, n);
+
+  // One shared inversion: fold the eight lane totals into one product,
+  // invert, then peel the per-lane inverses back out (prefix/suffix sweep).
+  U256 totals[8];
+  mont8_store(totals, prefix[cols - 1], c52);
+  U256 pre[8];
+  U256 acc = fp.one();
+  for (std::size_t lane = 0; lane < 8; ++lane) {
+    pre[lane] = acc;
+    acc = fp.mul_raw(acc, totals[lane]);
+  }
+  U256 ginv = vartime ? fp.inv_vartime(acc) : fp.inv(acc);
+  U256 lane_inv[8];
+  for (std::size_t lane = 8; lane-- > 0;) {
+    lane_inv[lane] = fp.mul_raw(ginv, pre[lane]);
+    ginv = fp.mul_raw(ginv, totals[lane]);
+  }
+
+  // Back-substitution, newest column first: INV holds the inverse of each
+  // lane's running product through the current column.
+  Fe52x8 inv_run;
+  mont8_load(inv_run, lane_inv, c52);
+  U256 xs[8], ys[8], xr[8], yr[8];
+  for (std::size_t col = cols; col-- > 0;) {
+    Fe52x8 zinv;
+    if (col > 0) {
+      mont8_mul(zinv, inv_run, prefix[col - 1], c52);
+      mont8_mul(inv_run, inv_run, z[col], c52);
+    } else {
+      zinv = inv_run;
+    }
+    for (std::size_t lane = 0; lane < 8; ++lane) {
+      const std::size_t idx = col * 8 + lane;
+      xs[lane] = idx < n ? pts[idx].x : fp.one();
+      ys[lane] = idx < n ? pts[idx].y : fp.one();
+    }
+    Fe52x8 xv, yv, zi2, zi3, xo, yo;
+    mont8_load(xv, xs, c52);
+    mont8_load(yv, ys, c52);
+    mont8_sqr(zi2, zinv, c52);
+    mont8_mul(zi3, zi2, zinv, c52);
+    mont8_mul(xo, xv, zi2, c52);
+    mont8_mul(yo, yv, zi3, c52);
+    mont8_store(xr, xo, c52);
+    mont8_store(yr, yo, c52);
+    for (std::size_t lane = 0; lane < 8; ++lane) {
+      const std::size_t idx = col * 8 + lane;
+      if (idx < n) out[idx] = AffineM{xr[lane], yr[lane]};
+    }
+  }
+}
+
+}  // namespace ecqv::ec

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bigint/mont52.hpp"
 #include "common/metrics.hpp"
 #include "ec/curve.hpp"
 
@@ -56,6 +57,7 @@ struct CurveOps {
   static constexpr unsigned kVarWnafWidth = 4;
   static constexpr std::size_t kGenTableSize = std::size_t{1} << (kGenWnafWidth - 1);
   static constexpr std::size_t kVarTableSize = std::size_t{1} << (kVarWnafWidth - 1);
+  static constexpr std::size_t kWideBatchMin = 16;  // batch_to_affine 8-way cutover
 
   /// wNAF digits, least significant first, one per bit position.
   struct Digits {
@@ -281,6 +283,13 @@ struct CurveOps {
   /// of the total, then back-substitution peels off each Z^-1.
   void batch_to_affine(const JPoint* pts, AffineM* out, std::size_t n, bool vartime) const {
     if (n == 0) return;
+    // Fleet-scale batches ride the AVX-512 IFMA 8-way lane when the CPU has
+    // it: below ~2 columns the domain-bridging multiplications eat the
+    // vector win, so small wNAF table builds stay on the scalar kernels.
+    if (n >= kWideBatchMin && bi::mont8_hw_available()) {
+      batch_to_affine_wide(pts, out, n, vartime);
+      return;
+    }
     // Stack buffer covers the wNAF tables; the fixed-base comb (520 points,
     // one-time construction) takes the heap path.
     std::array<bi::U256, kGenTableSize> stack_prefix;
@@ -306,6 +315,14 @@ struct CurveOps {
       out[i] = AffineM{fmul(pts[i].x, zinv2), fmul(pts[i].y, fmul(zinv2, zinv))};
     }
   }
+
+  /// 8-way implementation of batch_to_affine on the radix-52 IFMA lane
+  /// (src/ec/batch_affine.cpp): column-strided prefix products, one shared
+  /// inversion, vectorized back-substitution. Same contract (non-infinity
+  /// points, same vartime semantics) and IDENTICAL logical op accounting as
+  /// the scalar path; normally reached through batch_to_affine's heuristic,
+  /// public so the dispatch-matrix tests can pin it directly.
+  void batch_to_affine_wide(const JPoint* pts, AffineM* out, std::size_t n, bool vartime) const;
 
   /// Variable-time k*P over a caller-supplied affine table of odd multiples
   /// of P (P, 3P, ..., sized for `width`); every table hit is a mixed

@@ -20,7 +20,8 @@ bi::U256 digest_to_scalar(const hash::Digest& digest) {
   return curve().fn().reduce(bi::from_be_bytes(digest));
 }
 
-Signature sign_with_nonce(const bi::U256& d, const hash::Digest& digest, const bi::U256& k) {
+Signature sign_with_nonce(const bi::U256& d, const hash::Digest& digest, const bi::U256& k,
+                          bool even_y) {
   const auto& fn = curve().fn();
   const ec::AffinePoint kg = ec::FixedBaseTable::p256().mul(k);
   const bi::U256 r = fn.reduce(kg.x);
@@ -31,7 +32,15 @@ Signature sign_with_nonce(const bi::U256& d, const hash::Digest& digest, const b
   const bi::U256 rd = fn.mul(fn.to_mont(r), fn.to_mont(d));
   const bi::U256 sum = fn.add(rd, fn.to_mont(e));
   count_op(Op::kModInv);
-  const bi::U256 s = fn.from_mont(fn.mul(fn.inv(km), sum));
+  bi::U256 s = fn.from_mont(fn.mul(fn.inv(km), sum));
+  // Batchable variant: (r, s) and (r, n-s) are equally valid, but a verifier
+  // recomputes -kG from the latter. Choosing the one whose recomputed point
+  // has EVEN y lets the batch verifier lift R from r alone (ecdsa.hpp).
+  if (even_y && kg.y.is_odd()) {
+    bi::U256 t;
+    bi::sub(t, curve().order(), s);
+    s = t;
+  }
   return Signature{r, s};
 }
 
@@ -66,7 +75,7 @@ ec::AffinePoint PrivateKey::public_point() const {
 Signature PrivateKey::sign_digest(const hash::Digest& digest) const {
   for (unsigned retry = 0;; ++retry) {
     const bi::U256 k = rfc6979_nonce(d_, digest, retry);
-    const Signature sig = sign_with_nonce(d_, digest, k);
+    const Signature sig = sign_with_nonce(d_, digest, k, /*even_y=*/false);
     if (!sig.r.is_zero() && !sig.s.is_zero()) return sig;
   }
 }
@@ -77,9 +86,21 @@ Signature PrivateKey::sign_randomized(ByteView message, rng::Rng& rng) const {
   const hash::Digest digest = hash::sha256(message);
   for (;;) {
     const bi::U256 k = curve().random_scalar(rng);
-    const Signature sig = sign_with_nonce(d_, digest, k);
+    const Signature sig = sign_with_nonce(d_, digest, k, /*even_y=*/false);
     if (!sig.r.is_zero() && !sig.s.is_zero()) return sig;
   }
+}
+
+Signature PrivateKey::sign_digest_batchable(const hash::Digest& digest) const {
+  for (unsigned retry = 0;; ++retry) {
+    const bi::U256 k = rfc6979_nonce(d_, digest, retry);
+    const Signature sig = sign_with_nonce(d_, digest, k, /*even_y=*/true);
+    if (!sig.r.is_zero() && !sig.s.is_zero()) return sig;
+  }
+}
+
+Signature PrivateKey::sign_batchable(ByteView message) const {
+  return sign_digest_batchable(hash::sha256(message));
 }
 
 namespace {

@@ -1,0 +1,125 @@
+// Broker-facing batch verbs: enroll_batch / verify_batch on SessionBroker
+// and the worker-pool fan-out on ConcurrentSessionBroker. These are the
+// throughput engine's front door — the crypto-level properties live in
+// test_batch_verify.cpp; here we pin the fleet plumbing: cache interaction,
+// unknown peers, attribution through the broker API, and that the
+// concurrent fan-out returns exactly the inline verdicts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/concurrent_broker.hpp"
+#include "protocol_fixture.hpp"
+
+namespace ecqv::proto {
+namespace {
+
+using testing::kLifetime;
+using testing::kNow;
+
+struct Fleet {
+  testing::World world;
+  std::vector<Credentials> devices;
+
+  explicit Fleet(std::size_t n, std::uint64_t seed = 7000) {
+    rng::TestRng rng(seed);
+    devices.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      devices.push_back(provision_device(world.ca,
+                                         cert::DeviceId::from_string("fb-" + std::to_string(i)),
+                                         kNow, kLifetime, rng));
+  }
+
+  [[nodiscard]] std::vector<cert::Certificate> certificates() const {
+    std::vector<cert::Certificate> certs;
+    certs.reserve(devices.size());
+    for (const Credentials& d : devices) certs.push_back(d.certificate);
+    return certs;
+  }
+
+  /// One batchable signed claim per device over a distinct digest.
+  [[nodiscard]] std::vector<SessionBroker::VerifyRequest> claims() const {
+    std::vector<SessionBroker::VerifyRequest> requests;
+    requests.reserve(devices.size());
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      SessionBroker::VerifyRequest req;
+      req.peer = devices[i].id;
+      const std::string msg = "claim-" + std::to_string(i);
+      req.digest = hash::sha256(ByteView(reinterpret_cast<const std::uint8_t*>(msg.data()),
+                                         msg.size()));
+      req.sig = sig::PrivateKey(devices[i].private_key).sign_digest_batchable(req.digest);
+      requests.push_back(req);
+    }
+    return requests;
+  }
+};
+
+TEST(BrokerBatch, EnrollThenVerifyFleet) {
+  Fleet fleet(40);
+  rng::TestRng rng(1);
+  SessionBroker broker(fleet.world.alice, rng);
+  EXPECT_EQ(broker.enroll_batch(fleet.certificates()), fleet.devices.size());
+  EXPECT_EQ(broker.peer_cache().size(), fleet.devices.size());
+
+  sig::BatchVerifyStats stats;
+  const auto results = broker.verify_batch(fleet.claims(), &stats);
+  ASSERT_EQ(results.size(), fleet.devices.size());
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_TRUE(results[i]) << "device " << i;
+  EXPECT_EQ(stats.rlc_checks, 1u);  // batchable signatures: one combined pass
+  EXPECT_EQ(stats.single_checks, 0u);
+}
+
+TEST(BrokerBatch, ForgeryAndUnknownPeerAttributed) {
+  Fleet fleet(32);
+  rng::TestRng rng(2);
+  SessionBroker broker(fleet.world.alice, rng);
+  ASSERT_EQ(broker.enroll_batch(fleet.certificates()), fleet.devices.size());
+
+  auto requests = fleet.claims();
+  requests[5].sig.s.w[0] ^= 2;  // forged claim
+  requests[20].peer = cert::DeviceId::from_string("never-enrolled");
+  const auto results = broker.verify_batch(requests, nullptr);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i], i != 5 && i != 20) << "device " << i;
+}
+
+TEST(BrokerBatch, VerifyWithoutEnrollmentAllInvalid) {
+  Fleet fleet(4);
+  rng::TestRng rng(3);
+  SessionBroker broker(fleet.world.alice, rng);
+  const auto results = broker.verify_batch(fleet.claims(), nullptr);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_FALSE(results[i]) << "device " << i;
+}
+
+TEST(BrokerBatch, ConcurrentFanOutMatchesInline) {
+  Fleet fleet(64);
+  // Inline reference verdicts.
+  std::vector<bool> reference;
+  {
+    rng::TestRng rng(4);
+    SessionBroker broker(fleet.world.alice, rng);
+    broker.enroll_batch(fleet.certificates());
+    auto requests = fleet.claims();
+    requests[17].sig.r.w[1] ^= 8;
+    reference = broker.verify_batch(requests, nullptr);
+  }
+  // Worker-pool fan-out over the same requests.
+  rng::TestRng rng(4);
+  IdealLinkTransport link;
+  ConcurrentSessionBroker endpoint(fleet.world.alice, rng, link,
+                                   {BrokerConfig{}, /*workers=*/2});
+  EXPECT_EQ(endpoint.enroll_batch(fleet.certificates()), fleet.devices.size());
+  auto requests = fleet.claims();
+  requests[17].sig.r.w[1] ^= 8;
+  sig::BatchVerifyStats stats;
+  const auto results = endpoint.verify_batch(requests, &stats);
+  EXPECT_EQ(results, reference);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i], i != 17) << "device " << i;
+  // 64 requests across 2 workers: at least two independent RLC passes ran.
+  EXPECT_GE(stats.rlc_checks, 2u);
+}
+
+}  // namespace
+}  // namespace ecqv::proto

@@ -1,0 +1,254 @@
+// Dispatch-matrix coverage for the throughput engine: every tier of the
+// field-arithmetic ladder (AVX-512 IFMA 8-way lane -> modulus-parameterized
+// BMI2/ADX scalar kernels -> portable C) is pinned against the loop-based
+// RefMontCtx oracle on randomized inputs and NIST P-256 known answers, for
+// BOTH secp256r1 moduli (field prime p and group order n), including the
+// forced-portable fallbacks behind the ECQV_DISABLE_ASM kill switch and the
+// detail:: lane entry points. The suite also locks the per-LOGICAL-op cost
+// accounting of the wide batch normalization, so the sim cost model can
+// never silently undercount SIMD workloads.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "bigint/mont.hpp"
+#include "bigint/mont52.hpp"
+#include "bigint/mont_ref.hpp"
+#include "common/metrics.hpp"
+#include "ec/curve.hpp"
+#include "ec/jacobian.hpp"
+#include "rng/test_rng.hpp"
+
+namespace ecqv::bi {
+namespace {
+
+// NIST P-256 domain parameters, restated as independent literals (FIPS
+// 186-4 / SP 800-186) so the known-answer checks don't depend on the
+// library's own constants being right.
+const U256 kP{0xffffffffffffffffULL, 0x00000000ffffffffULL, 0x0000000000000000ULL,
+              0xffffffff00000001ULL};
+const U256 kN{0xf3b9cac2fc632551ULL, 0xbce6faada7179e84ULL, 0xffffffffffffffffULL,
+              0xffffffff00000000ULL};
+const U256 kB{0x3bce3c3e27d2604bULL, 0x651d06b0cc53b0f6ULL, 0xb3ebbd55769886bcULL,
+              0x5ac635d8aa3a93e7ULL};
+const U256 kGx{0xf4a13945d898c296ULL, 0x77037d812deb33a0ULL, 0xf8bce6e563a440f2ULL,
+               0x6b17d1f2e12c4247ULL};
+const U256 kGy{0xcbb6406837bf51f5ULL, 0x2bce33576b315eceULL, 0x8ee7eb4a7c0f9e16ULL,
+               0x4fe342e2fe1a7f9bULL};
+
+U256 random_mod(const U256& m, rng::Rng& rng) {
+  Bytes b(32);
+  for (;;) {
+    rng.fill(b);
+    const U256 v = from_be_bytes(b);
+    if (cmp(v, m) < 0) return v;
+  }
+}
+
+/// A MontCtx constructed while the ECQV_DISABLE_ASM kill switch is set:
+/// the switch is read at construction, so this context runs the portable
+/// CIOS path for its whole lifetime on every machine.
+MontCtx make_portable(const U256& modulus) {
+  ::setenv("ECQV_DISABLE_ASM", "1", 1);
+  MontCtx ctx(modulus);
+  ::unsetenv("ECQV_DISABLE_ASM");
+  return ctx;
+}
+
+// --- scalar kernels: dispatched + forced-portable vs the oracle -----------
+
+void pin_scalar_tiers(const U256& modulus, std::uint64_t seed) {
+  const MontCtx fast(modulus);  // ADX kernels when the CPU has BMI2+ADX
+  const MontCtx portable = make_portable(modulus);
+  const RefMontCtx ref(modulus);
+  rng::TestRng rng(seed);
+  for (int i = 0; i < 2000; ++i) {
+    const U256 a = random_mod(modulus, rng);
+    const U256 b = random_mod(modulus, rng);
+    const U256 want = ref.mul(a, b);
+    ASSERT_EQ(fast.mul_raw(a, b), want) << "dispatched mul, iter " << i;
+    ASSERT_EQ(portable.mul_raw(a, b), want) << "portable mul, iter " << i;
+    const U256 want_sq = ref.mul(a, a);
+    ASSERT_EQ(fast.sqr_raw(a), want_sq) << "dispatched sqr, iter " << i;
+    ASSERT_EQ(portable.sqr_raw(a), want_sq) << "portable sqr, iter " << i;
+  }
+}
+
+TEST(MontDispatch, AdxKernelPinnedToOracleModP) { pin_scalar_tiers(kP, 101); }
+
+TEST(MontDispatch, AdxKernelPinnedToOracleModN) { pin_scalar_tiers(kN, 102); }
+
+TEST(MontDispatch, KillSwitchForcesPortable) {
+  ::setenv("ECQV_DISABLE_ASM", "1", 1);
+  EXPECT_FALSE(mont_asm_available());
+  ::unsetenv("ECQV_DISABLE_ASM");
+  // "0" means enabled — the switch only bites on a truthy value.
+  ::setenv("ECQV_DISABLE_ASM", "0", 1);
+  const bool with_zero = mont_asm_available();
+  ::unsetenv("ECQV_DISABLE_ASM");
+  EXPECT_EQ(with_zero, mont_asm_available());
+}
+
+// --- NIST known answers ---------------------------------------------------
+
+/// Gy^2 == Gx^3 - 3*Gx + b (mod p): the generator satisfies the curve
+/// equation, evaluated through the dispatched Montgomery pipeline with
+/// every constant restated from the standard.
+TEST(MontDispatch, NistCurveEquationHoldsModP) {
+  const MontCtx fp(kP);
+  const U256 x = fp.to_mont(kGx);
+  const U256 y = fp.to_mont(kGy);
+  const U256 rhs =
+      fp.add(fp.sub(fp.mul(fp.sqr(x), x), fp.add(fp.add(x, x), x)), fp.to_mont(kB));
+  EXPECT_EQ(fp.from_mont(fp.sqr(y)), fp.from_mont(rhs));
+  // And the same identity through the forced-portable tier.
+  const MontCtx pf = make_portable(kP);
+  const U256 px = pf.to_mont(kGx);
+  const U256 prhs =
+      pf.add(pf.sub(pf.mul(pf.sqr(px), px), pf.add(pf.add(px, px), px)), pf.to_mont(kB));
+  EXPECT_EQ(pf.from_mont(pf.sqr(pf.to_mont(kGy))), pf.from_mont(prhs));
+}
+
+/// (n-1)^2 == 1 (mod n) — the order's -1 squares to the identity — and
+/// Fermat/gcd inverses agree through the mod-n ADX path.
+TEST(MontDispatch, NistGroupOrderIdentitiesModN) {
+  const MontCtx fn(kN);
+  U256 n_minus_1;
+  sub(n_minus_1, kN, U256(1));
+  const U256 m = fn.to_mont(n_minus_1);
+  EXPECT_EQ(fn.from_mont(fn.sqr(m)), U256(1));
+  rng::TestRng rng(103);
+  for (int i = 0; i < 50; ++i) {
+    const U256 a = fn.to_mont(random_mod(kN, rng));
+    if (fn.from_mont(a).is_zero()) continue;
+    EXPECT_EQ(fn.from_mont(fn.mul(a, fn.inv_vartime(a))), U256(1));
+    EXPECT_EQ(fn.inv(a), fn.inv_vartime(a));
+  }
+}
+
+// --- the 8-way radix-52 lane ----------------------------------------------
+
+TEST(MontDispatch, LanePackingRoundTrips) {
+  rng::TestRng rng(104);
+  for (int i = 0; i < 500; ++i) {
+    const U256 v = random_mod(kP, rng);
+    std::uint64_t limbs[kFe52Limbs];
+    u256_to_fe52(limbs, v);
+    for (int l = 0; l < kFe52Limbs; ++l) EXPECT_LE(limbs[l], kFe52Mask);
+    EXPECT_EQ(fe52_to_u256(limbs), v);
+  }
+}
+
+void pin_lane(const U256& modulus, std::uint64_t seed) {
+  const Mont52Ctx c52(modulus);
+  const MontCtx scalar(modulus);
+  const RefMontCtx ref(modulus);
+  rng::TestRng rng(seed);
+  for (int round = 0; round < 60; ++round) {
+    U256 a[8], b[8], want[8];
+    for (int lane = 0; lane < 8; ++lane) {
+      a[lane] = scalar.to_mont(random_mod(modulus, rng));
+      b[lane] = scalar.to_mont(random_mod(modulus, rng));
+      want[lane] = ref.mul(a[lane], b[lane]);
+    }
+    Fe52x8 fa, fb, out;
+    mont8_load(fa, a, c52);
+    mont8_load(fb, b, c52);
+
+    // Dispatched entry point (IFMA when the CPU has it).
+    U256 got[8];
+    mont8_mul(out, fa, fb, c52);
+    mont8_store(got, out, c52);
+    for (int lane = 0; lane < 8; ++lane) ASSERT_EQ(got[lane], want[lane]) << "lane " << lane;
+
+    // Portable fallback must be BIT-IDENTICAL to the dispatched kernel.
+    Fe52x8 pout;
+    detail::mont8_mul_portable(pout, fa, fb, c52);
+    for (int l = 0; l < kFe52Limbs; ++l)
+      for (int lane = 0; lane < 8; ++lane)
+        ASSERT_EQ(pout.l[l][lane], out.l[l][lane]) << "limb " << l << " lane " << lane;
+
+#if defined(ECQV_MONT8_IFMA)
+    if (mont8_hw_available()) {
+      Fe52x8 hout;
+      detail::mont8_mul_ifma(hout, fa, fb, c52);
+      for (int l = 0; l < kFe52Limbs; ++l)
+        for (int lane = 0; lane < 8; ++lane)
+          ASSERT_EQ(hout.l[l][lane], pout.l[l][lane]) << "limb " << l << " lane " << lane;
+    }
+#endif
+
+    // Squaring is mul(a, a); in-place aliasing (out == a) must be safe —
+    // the batch verifier's sqrt ladder squares its accumulator in place.
+    Fe52x8 sq;
+    mont8_sqr(sq, fa, c52);
+    Fe52x8 alias = fa;
+    mont8_mul(alias, alias, fb, c52);
+    mont8_store(got, sq, c52);
+    for (int lane = 0; lane < 8; ++lane)
+      ASSERT_EQ(got[lane], ref.mul(a[lane], a[lane])) << "sqr lane " << lane;
+    mont8_store(got, alias, c52);
+    for (int lane = 0; lane < 8; ++lane)
+      ASSERT_EQ(got[lane], want[lane]) << "aliased lane " << lane;
+  }
+}
+
+TEST(MontDispatch, LanePinnedToOracleModP) { pin_lane(kP, 105); }
+
+TEST(MontDispatch, LanePinnedToOracleModN) { pin_lane(kN, 106); }
+
+// --- per-logical-op accounting --------------------------------------------
+
+/// The wide batch normalization must charge the sim cost model exactly what
+/// the scalar schedule would execute — one shared inversion, 6 muls and one
+/// squaring per point — never its SIMD call count.
+TEST(MontDispatch, WideBatchToAffineCountsLogicalOps) {
+  const ec::CurveOps& o = ec::Curve::p256().ops();
+  constexpr std::size_t kPoints = 24;  // three lane columns, one ragged
+  std::vector<ec::CurveOps::JPoint> pts(kPoints);
+  pts[0] = o.to_jacobian(ec::Curve::p256().generator());
+  for (std::size_t i = 1; i < kPoints; ++i) pts[i] = o.dbl(pts[i - 1]);
+
+  std::vector<ec::CurveOps::AffineM> wide(kPoints), narrow(kPoints);
+  OpCounts wide_counts;
+  {
+    CountScope scope;
+    o.batch_to_affine_wide(pts.data(), wide.data(), kPoints, /*vartime=*/true);
+    wide_counts = scope.counts();
+  }
+  // The shared inversion's own multiplication bookkeeping (domain fixups
+  // inside inv_vartime) rides along in kFpMul; measure it so the per-point
+  // expectation below is exact, not approximate.
+  std::uint64_t inv_muls = 0;
+  {
+    CountScope scope;
+    (void)ec::Curve::p256().fp().inv_vartime(pts[0].z);
+    inv_muls = scope.counts()[Op::kFpMul];
+  }
+  EXPECT_EQ(wide_counts[Op::kModInv], 1u);
+  EXPECT_EQ(wide_counts[Op::kFpMul], 6u * kPoints + inv_muls);
+  EXPECT_EQ(wide_counts[Op::kFpSqr], kPoints);
+
+  // Scalar path (batches below the wide cutover) on the same points, in two
+  // halves: identical results, and identical per-point accounting apart
+  // from the second shared inversion.
+  OpCounts narrow_counts;
+  {
+    CountScope scope;
+    o.batch_to_affine(pts.data(), narrow.data(), kPoints / 2, /*vartime=*/true);
+    o.batch_to_affine(pts.data() + kPoints / 2, narrow.data() + kPoints / 2, kPoints / 2,
+                      /*vartime=*/true);
+    narrow_counts = scope.counts();
+  }
+  EXPECT_EQ(narrow_counts[Op::kModInv], 2u);
+  EXPECT_EQ(narrow_counts[Op::kFpMul], 6u * kPoints + 2 * inv_muls);
+  EXPECT_EQ(narrow_counts[Op::kFpSqr], wide_counts[Op::kFpSqr]);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    EXPECT_EQ(wide[i].x, narrow[i].x) << "point " << i;
+    EXPECT_EQ(wide[i].y, narrow[i].y) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ecqv::bi

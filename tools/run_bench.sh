@@ -6,11 +6,19 @@
 #   tools/run_bench.sh [build-dir]
 #
 # Outputs:
-#   BENCH_primitives.json   — bench_primitives_native (EC/field/hash/AES ops)
+#   BENCH_primitives.json   — bench_primitives_native (EC/field/hash/AES ops
+#                             + kernel-tier rows: BM_MontMulModN[Portable]
+#                             for the mod-n ADX path and
+#                             BM_Mont8FieldMul[Portable] for the AVX-512
+#                             IFMA 8-way lane; items/s = logical muls)
 #   BENCH_protocols.json    — bench_protocols_native (STS/SCIANC/PorAmB etc.)
 #   BENCH_fleet.json        — bench_fleet (session fabric: batch extraction,
 #                             cached-table verify, ratchet vs full rekey,
-#                             fleet seal/open throughput)
+#                             fleet seal/open throughput, and the PR 7
+#                             throughput rows: BM_FleetEnrollBatch certs/s,
+#                             BM_EcdsaVerifyBatch/{64,256} verifies/s vs the
+#                             cached single baseline, and the worker-pool
+#                             BM_EcdsaVerifyBatchWorkers window)
 #   BENCH_concurrency.json  — bench_concurrency (worker sweep over ideal +
 #                             CAN-FD transports, sharded-store thread sweep;
 #                             the JSON context records hardware_concurrency —
@@ -22,6 +30,10 @@
 #                             latency at 0/1/5/20% datagram loss, virtual-
 #                             clock milliseconds; fully deterministic and
 #                             exits 1 on a stuck handshake)
+#
+# Every JSON context embeds a "cpu" block (bmi2/adx/avx512ifma feature
+# flags + which dispatch tiers were live), so a snapshot always carries
+# the provenance needed to compare it fairly against another machine.
 #
 # Compare against the committed BENCH_baseline.json (the same suite captured
 # at the pre-fast-path seed) with e.g.:
@@ -41,10 +53,12 @@ Usage: tools/run_bench.sh [build-dir]
 Builds the benchmark targets in Release and refreshes the committed
 snapshots at the repo root:
 
-  BENCH_primitives.json    EC/field/hash/AES primitive timings
+  BENCH_primitives.json    EC/field/hash/AES primitive timings + the
+                           ADX-vs-portable and IFMA-lane kernel rows
   BENCH_protocols.json     STS/S-ECDSA/SCIANC/PorAmB handshakes
   BENCH_fleet.json         session fabric (batch extract, cached verify,
-                           ratchet ladder, seal/open throughput)
+                           ratchet ladder, seal/open throughput, batch
+                           enroll certs/s + batch verify verifies/s)
   BENCH_concurrency.json   worker sweep (ideal + CAN-FD) + store threads
   BENCH_fig7.json          wire-derived Fig. 7 timeline + the CAN-FD
                            contention matrix (2/100/1000 peers) + loss sweep
