@@ -138,8 +138,15 @@ std::string cell_note(const Cell& c) {
   return buf;
 }
 
-void contention_matrix(std::size_t peers) {
+/// One contention-matrix run with `offered` as every endpoint's AEAD suite
+/// offer (kOfferLegacy = the frozen v2 records, kOfferAll negotiates
+/// kCcm128-tag8 and saves 23 B per DT1 record). `suite_tag` suffixes the
+/// snapshot rows ("" keeps the legacy row names stable across snapshots).
+/// Returns the streaming-phase cell so main() can report the bus-ms delta
+/// between suites.
+Cell contention_matrix(std::size_t peers, std::uint8_t offered, const std::string& suite_tag) {
   const std::size_t n = peers - 1;  // fleet size counts the hub
+  const std::string row_suffix = suite_tag.empty() ? "" : "/" + suite_tag;
   Matrix world(peers);
 
   can::TimelineRecorder recorder;
@@ -153,6 +160,7 @@ void contention_matrix(std::size_t peers) {
   hub_config.store.policy = proto::RekeyPolicy::unlimited();
   hub_config.store.policy.max_records = 4;  // kAuto piggybacks mid-stream
   hub_config.store.max_epochs = 64;
+  hub_config.sts.offered_suites = offered;
   std::size_t hub_delivered = 0;
   hub_config.on_data = [&](const cert::DeviceId&, Bytes) { ++hub_delivered; };
 
@@ -165,6 +173,7 @@ void contention_matrix(std::size_t peers) {
       config.store.policy = proto::RekeyPolicy::unlimited();
       config.store.policy.max_records = 4;
       config.store.max_epochs = 64;
+      config.sts.offered_suites = offered;
     }
     rngs.push_back(std::make_unique<rng::TestRng>(7000 + i));
     nodes.push_back(std::make_unique<proto::ConcurrentSessionBroker>(
@@ -185,7 +194,7 @@ void contention_matrix(std::size_t peers) {
   auto s1 = recorder.summary();
   double b1 = link.bus_time_ms();
   const Cell storm = delta(s0, s1, b0, b1);
-  report("fig7/storm/" + tag + "/bus", storm.bus_ms * 1e3, cell_note(storm));
+  report("fig7/storm/" + tag + row_suffix + "/bus", storm.bus_ms * 1e3, cell_note(storm));
   std::printf("  %-28s %4zu peers: %9.1f bus-ms, %s (%zu/%zu established)\n", "handshake storm",
               peers, storm.bus_ms, cell_note(storm).c_str(), established, n);
 
@@ -200,10 +209,22 @@ void contention_matrix(std::size_t peers) {
   double b2 = link.bus_time_ms();
   const Cell stream = delta(s1, s2, b1, b2);
   std::size_t piggybacked = nodes[0]->broker().stats().piggyback_received;
-  report("fig7/stream/" + tag + "/bus", stream.bus_ms * 1e3, cell_note(stream));
-  std::printf("  %-28s %4zu peers: %9.1f bus-ms, %s (%zu records, %zu piggyback ratchets)\n",
+  // Per-suite record overhead actually paid by the streaming phase, from
+  // the send_data wire accounting (v2: 45 B/record, negotiated ccm-8: 22).
+  std::uint64_t data_records = 0, payload_bytes = 0, wire_bytes = 0;
+  for (std::size_t i = 1; i < peers; ++i) {
+    data_records += nodes[i]->stats().data_records;
+    payload_bytes += nodes[i]->stats().data_payload_bytes;
+    wire_bytes += nodes[i]->stats().data_wire_bytes;
+  }
+  const std::uint64_t overhead =
+      data_records == 0 ? 0 : (wire_bytes - payload_bytes) / data_records;
+  report("fig7/stream/" + tag + row_suffix + "/bus", stream.bus_ms * 1e3,
+         cell_note(stream) + ", " + std::to_string(overhead) + " record-overhead B");
+  std::printf("  %-28s %4zu peers: %9.1f bus-ms, %s (%zu records, %zu piggyback ratchets, "
+              "%llu overhead B/record)\n",
               "DT1 streaming (kAuto)", peers, stream.bus_ms, cell_note(stream).c_str(),
-              hub_delivered, piggybacked);
+              hub_delivered, piggybacked, static_cast<unsigned long long>(overhead));
 
   // -- phase 3: mixed idle rekeys — the hub RK1-ratchets half the fleet
   // while the other half streams (contending traffic classes on one bus).
@@ -219,9 +240,10 @@ void contention_matrix(std::size_t peers) {
   auto s3 = recorder.summary();
   double b3 = link.bus_time_ms();
   const Cell mixed = delta(s2, s3, b2, b3);
-  report("fig7/mixed/" + tag + "/bus", mixed.bus_ms * 1e3, cell_note(mixed));
+  report("fig7/mixed/" + tag + row_suffix + "/bus", mixed.bus_ms * 1e3, cell_note(mixed));
   std::printf("  %-28s %4zu peers: %9.1f bus-ms, %s\n", "mixed RK1 + DT1", peers, mixed.bus_ms,
               cell_note(mixed).c_str());
+  return stream;
 }
 
 // ------------------------------------------------------------- loss sweep
@@ -307,10 +329,23 @@ int main(int argc, char** argv) {
 
   bench::section("Contention matrix: one shared CAN-FD bus, native fast-path endpoints");
   std::printf("(virtual bus clock; storm = all peers handshake at once, stream = 8 DT1\n"
-              " records/peer with kAuto piggyback ratchets, mixed = RK1 rekeys vs DT1)\n\n");
+              " records/peer with kAuto piggyback ratchets, mixed = RK1 rekeys vs DT1;\n"
+              " each size runs twice — legacy v2 records, then the negotiated\n"
+              " aes128-ccm-8 v3 suite — and the streaming bus-ms delta is the wire\n"
+              " saving the 22-byte record overhead buys on the shared bus)\n\n");
   for (const std::size_t peers : {std::size_t{2}, std::size_t{100}, std::size_t{1000}}) {
-    contention_matrix(peers);
-    std::printf("\n");
+    const Cell legacy = contention_matrix(peers, aead::kOfferLegacy, "");
+    const Cell ccm8 = contention_matrix(peers, aead::kOfferAll, "ccm8");
+    const std::string tag = "peers:" + std::to_string(peers);
+    char note[160];
+    std::snprintf(note, sizeof note,
+                  "streaming bus-ms saved by ccm8 records (%.1f -> %.1f ms, %lld wire B saved)",
+                  legacy.bus_ms, ccm8.bus_ms,
+                  static_cast<long long>(legacy.wire_bytes) -
+                      static_cast<long long>(ccm8.wire_bytes));
+    report("fig7/stream/" + tag + "/ccm8_delta_bus", (legacy.bus_ms - ccm8.bus_ms) * 1e3, note);
+    std::printf("  %-28s %4zu peers: %9.1f bus-ms saved (%s)\n\n", "ccm8 streaming delta", peers,
+                legacy.bus_ms - ccm8.bus_ms, note);
   }
 
   bench::section("Loss-model sweep: 100-peer handshake storm under frame loss");

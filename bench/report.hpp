@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "aead/ghash.hpp"
+#include "aes/aes128.hpp"
 #include "bigint/mont.hpp"
 #include "bigint/mont52.hpp"
 
@@ -24,16 +26,22 @@ inline std::vector<std::pair<std::string, std::string>> cpu_context_pairs() {
   const bool adx = __builtin_cpu_supports("adx") != 0;
   const bool ifma =
       __builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512ifma") != 0;
+  const bool aesni = __builtin_cpu_supports("aes") != 0;
+  const bool clmul = __builtin_cpu_supports("pclmul") != 0;
 #else
-  const bool bmi2 = false, adx = false, ifma = false;
+  const bool bmi2 = false, adx = false, ifma = false, aesni = false, clmul = false;
 #endif
   auto b = [](bool v) -> std::string { return v ? "true" : "false"; };
   return {{"hardware_concurrency", std::to_string(std::thread::hardware_concurrency())},
           {"bmi2", b(bmi2)},
           {"adx", b(adx)},
           {"avx512ifma", b(ifma)},
+          {"aesni", b(aesni)},
+          {"pclmul", b(clmul)},
           {"adx_kernels_active", b(bi::mont_asm_available())},
-          {"ifma_lane_active", b(bi::mont8_hw_available())}};
+          {"ifma_lane_active", b(bi::mont8_hw_available())},
+          {"aesni_active", b(aes::aes_hw_available())},
+          {"clmul_active", b(aead::ghash_hw_available())}};
 }
 
 /// Same provenance as a raw JSON fragment (leading ", ") for the

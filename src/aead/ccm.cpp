@@ -1,0 +1,141 @@
+#include "aead/ccm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "aes/aesni.hpp"
+#include "aes/modes.hpp"
+#include "common/ct_equal.hpp"
+#include "common/metrics.hpp"
+#include "common/wipe.hpp"
+
+namespace ecqv::aead {
+
+namespace {
+
+/// CBC-MAC absorption over block-aligned input: state = E(state ^ block_i).
+void cbc_mac_absorb(const aes::Aes128& cipher, aes::Block& state, ByteView blocks) {
+#if defined(ECQV_AES_AESNI)
+  if (aes::aes_hw_available()) {
+    count_op(Op::kAesBlock, blocks.size() / aes::kBlockSize);
+    aes::detail::aesni_cbc_mac(cipher.round_keys(), state.data(), blocks.data(),
+                               blocks.size() / aes::kBlockSize);
+    return;
+  }
+#endif
+  for (std::size_t off = 0; off < blocks.size(); off += aes::kBlockSize) {
+    for (std::size_t i = 0; i < aes::kBlockSize; ++i) state[i] ^= blocks[off + i];
+    cipher.encrypt_block(ByteSpan(state));
+  }
+}
+
+struct CcmParams {
+  std::size_t len_bytes;  // L = 15 - nonce length
+};
+
+CcmParams check_args(ByteView nonce, std::size_t msg_len, std::size_t aad_len,
+                     std::size_t tag_len) {
+  if (nonce.size() < 7 || nonce.size() > 13)
+    throw std::invalid_argument("ccm: nonce must be 7..13 bytes");
+  if (tag_len < 4 || tag_len > kCcmTagSize || tag_len % 2 != 0)
+    throw std::invalid_argument("ccm: tag must be an even length in 4..16");
+  const std::size_t len_bytes = 15 - nonce.size();
+  if (len_bytes < 8 && msg_len >> (8 * len_bytes) != 0)
+    throw std::invalid_argument("ccm: message too long for nonce length");
+  // RFC 3610 §2.2 short AAD encoding (2-byte length) covers < 2^16 - 2^8;
+  // the record layer's 14-byte headers never get near that.
+  if (aad_len >= 0xFF00) throw std::invalid_argument("ccm: aad too long");
+  return {len_bytes};
+}
+
+/// Full 16-byte CCM tag: X = CBC-MAC(B0 ‖ encoded-AAD ‖ padded message),
+/// then tag = X ^ E(A0) (truncation is the caller's job).
+void ccm_tag(const aes::Aes128& cipher, ByteView nonce, ByteView aad, ByteView msg,
+             std::size_t tag_len, const CcmParams& p, aes::Block& tag_out) {
+  // B0: flags ‖ nonce ‖ l(m). Flags = Adata | ((M-2)/2)<<3 | (L-1).
+  Bytes mac_input;
+  mac_input.reserve(16 + (aad.empty() ? 0 : (2 + aad.size() + 15) / 16 * 16) +
+                    (msg.size() + 15) / 16 * 16);
+  mac_input.resize(16, 0);
+  mac_input[0] = static_cast<std::uint8_t>((aad.empty() ? 0x00 : 0x40) |
+                                           (((tag_len - 2) / 2) << 3) | (p.len_bytes - 1));
+  std::memcpy(mac_input.data() + 1, nonce.data(), nonce.size());
+  std::size_t len = msg.size();
+  for (std::size_t i = 0; i < p.len_bytes; ++i) {
+    mac_input[15 - i] = static_cast<std::uint8_t>(len & 0xFF);
+    len >>= 8;
+  }
+  if (!aad.empty()) {
+    const std::size_t start = mac_input.size();
+    mac_input.resize(start + (2 + aad.size() + 15) / 16 * 16, 0);
+    store_be16(ByteSpan(mac_input.data() + start, 2), static_cast<std::uint16_t>(aad.size()));
+    std::memcpy(mac_input.data() + start + 2, aad.data(), aad.size());
+  }
+  if (!msg.empty()) {
+    const std::size_t start = mac_input.size();
+    mac_input.resize(start + (msg.size() + 15) / 16 * 16, 0);
+    std::memcpy(mac_input.data() + start, msg.data(), msg.size());
+  }
+
+  aes::Block x{};
+  cbc_mac_absorb(cipher, x, mac_input);
+  secure_wipe(ByteSpan(mac_input));
+
+  // A0 = ctr-flags ‖ nonce ‖ counter 0; S0 = E(A0) masks the tag.
+  aes::Block a0{};
+  a0[0] = static_cast<std::uint8_t>(p.len_bytes - 1);
+  std::memcpy(a0.data() + 1, nonce.data(), nonce.size());
+  cipher.encrypt_block(ByteSpan(a0));
+  for (std::size_t i = 0; i < 16; ++i) tag_out[i] = static_cast<std::uint8_t>(x[i] ^ a0[i]);
+  secure_wipe(ByteSpan(x));
+}
+
+/// CTR keystream over the message, counters A1, A2, … The full-block
+/// big-endian increment in aes::ctr_xor matches the L-byte counter field
+/// exactly because the counter never carries out of its L trailing bytes
+/// for any message the length check admits.
+void ccm_ctr(const aes::Aes128& cipher, ByteView nonce, const CcmParams& p, ByteSpan data) {
+  aes::Iv a1{};
+  a1[0] = static_cast<std::uint8_t>(p.len_bytes - 1);
+  std::memcpy(a1.data() + 1, nonce.data(), nonce.size());
+  a1[15] = 0x01;
+  aes::ctr_xor(cipher, a1, data);
+}
+
+}  // namespace
+
+void ccm_seal(const aes::Aes128& cipher, ByteView nonce, ByteView aad, ByteView plaintext,
+              ByteSpan ct_out, ByteSpan tag_out) {
+  const CcmParams p = check_args(nonce, plaintext.size(), aad.size(), tag_out.size());
+  if (ct_out.size() != plaintext.size()) throw std::invalid_argument("ccm_seal: ct size");
+
+  aes::Block tag{};
+  ccm_tag(cipher, nonce, aad, plaintext, tag_out.size(), p, tag);
+  std::memcpy(tag_out.data(), tag.data(), tag_out.size());
+  secure_wipe(ByteSpan(tag));
+
+  if (!plaintext.empty()) std::memcpy(ct_out.data(), plaintext.data(), plaintext.size());
+  ccm_ctr(cipher, nonce, p, ct_out);
+}
+
+bool ccm_open(const aes::Aes128& cipher, ByteView nonce, ByteView aad, ByteView ciphertext,
+              ByteView tag, ByteSpan pt_out) {
+  const CcmParams p = check_args(nonce, ciphertext.size(), aad.size(), tag.size());
+  if (pt_out.size() != ciphertext.size()) throw std::invalid_argument("ccm_open: pt size");
+
+  // CCM authenticates the plaintext, so decrypt first, then recompute.
+  if (!ciphertext.empty()) std::memcpy(pt_out.data(), ciphertext.data(), ciphertext.size());
+  ccm_ctr(cipher, nonce, p, pt_out);
+
+  aes::Block expect{};
+  ccm_tag(cipher, nonce, aad, ByteView(pt_out.data(), pt_out.size()), tag.size(), p, expect);
+  const bool ok = ct_equal(ByteView(expect.data(), tag.size()), tag);
+  secure_wipe(ByteSpan(expect));
+  if (!ok) {
+    secure_wipe(pt_out);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ecqv::aead

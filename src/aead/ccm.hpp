@@ -1,0 +1,28 @@
+// AES-128-CCM (RFC 3610 / SP 800-38C) with detached, truncatable tags.
+//
+// CCM = CBC-MAC over B0 ‖ encoded-AAD ‖ plaintext, then CTR encryption; the
+// CBC-MAC rides the AES-NI serial kernel when available and the CTR body
+// the 4-wide kernel — both fall back to the portable S-box path with
+// bit-identical output. Nonce length 7..13 is accepted so the RFC 3610
+// packet vectors run as-is; the record layer uses 12-byte nonces (L=3).
+#pragma once
+
+#include "aes/aes128.hpp"
+
+namespace ecqv::aead {
+
+inline constexpr std::size_t kCcmTagSize = 16;
+
+/// Seal: ct_out.size() == plaintext.size(); tag_out.size() even, in [4,16].
+/// nonce.size() in [7,13]; the length field spans L = 15 - nonce.size()
+/// bytes, so plaintext.size() must fit in L bytes.
+void ccm_seal(const aes::Aes128& cipher, ByteView nonce, ByteView aad, ByteView plaintext,
+              ByteSpan ct_out, ByteSpan tag_out);
+
+/// Open: recomputes the tag from the decrypted plaintext and compares in
+/// constant time. Returns false — and wipes pt_out — on mismatch, so no
+/// unauthenticated plaintext escapes. pt_out.size() == ciphertext.size().
+[[nodiscard]] bool ccm_open(const aes::Aes128& cipher, ByteView nonce, ByteView aad,
+                            ByteView ciphertext, ByteView tag, ByteSpan pt_out);
+
+}  // namespace ecqv::aead

@@ -1,0 +1,107 @@
+#include "aead/gcm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "aead/ghash.hpp"
+#include "aes/aesni.hpp"
+#include "common/ct_equal.hpp"
+#include "common/metrics.hpp"
+#include "common/wipe.hpp"
+
+namespace ecqv::aead {
+
+namespace {
+
+/// GCM inc32: big-endian increment of the trailing 4 counter bytes.
+inline void inc32(aes::Block& counter) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+/// CTR with inc32 semantics, starting from `counter` (consumed in place).
+void gcm_ctr(const aes::Aes128& cipher, aes::Block& counter, ByteSpan data) {
+#if defined(ECQV_AES_AESNI)
+  if (aes::aes_hw_available()) {
+    count_op(Op::kAesBlock, (data.size() + aes::kBlockSize - 1) / aes::kBlockSize);
+    aes::detail::aesni_ctr_xor(cipher.round_keys(), counter.data(), data.data(), data.size(),
+                               /*wide_ctr=*/false);
+    return;
+  }
+#endif
+  std::size_t off = 0;
+  while (off < data.size()) {
+    aes::Block ks = counter;
+    cipher.encrypt_block(ByteSpan(ks));
+    inc32(counter);
+    const std::size_t take = std::min(data.size() - off, aes::kBlockSize);
+    for (std::size_t i = 0; i < take; ++i) data[off + i] ^= ks[i];
+    off += take;
+  }
+}
+
+/// Full 16-byte GCM tag for (nonce, aad, ct). Also derives H and J0.
+void gcm_tag(const aes::Aes128& cipher, ByteView nonce, ByteView aad, ByteView ct,
+             aes::Block& tag_out) {
+  aes::Block h{};
+  cipher.encrypt_block(ByteSpan(h));
+
+  Ghash ghash{ByteView(h)};
+  ghash.absorb_padded(aad);
+  ghash.absorb_padded(ct);
+  ghash.absorb_lengths(aad.size(), ct.size());
+  ghash.digest(ByteSpan(tag_out));
+
+  aes::Block j0{};
+  std::memcpy(j0.data(), nonce.data(), kGcmNonceSize);
+  j0[15] = 0x01;
+  cipher.encrypt_block(ByteSpan(j0));
+  for (std::size_t i = 0; i < 16; ++i) tag_out[i] ^= j0[i];
+  secure_wipe(ByteSpan(h));
+}
+
+void check_args(ByteView nonce, std::size_t tag_len) {
+  if (nonce.size() != kGcmNonceSize) throw std::invalid_argument("gcm: nonce must be 12 bytes");
+  if (tag_len < 4 || tag_len > kGcmTagSize) throw std::invalid_argument("gcm: tag must be 4..16");
+}
+
+}  // namespace
+
+void gcm_seal(const aes::Aes128& cipher, ByteView nonce, ByteView aad, ByteView plaintext,
+              ByteSpan ct_out, ByteSpan tag_out) {
+  check_args(nonce, tag_out.size());
+  if (ct_out.size() != plaintext.size()) throw std::invalid_argument("gcm_seal: ct size");
+
+  aes::Block counter{};
+  std::memcpy(counter.data(), nonce.data(), kGcmNonceSize);
+  counter[15] = 0x02;  // message blocks start at inc32(J0)
+  if (!plaintext.empty()) std::memcpy(ct_out.data(), plaintext.data(), plaintext.size());
+  gcm_ctr(cipher, counter, ct_out);
+
+  aes::Block tag{};
+  gcm_tag(cipher, nonce, aad, ByteView(ct_out.data(), ct_out.size()), tag);
+  std::memcpy(tag_out.data(), tag.data(), tag_out.size());
+  secure_wipe(ByteSpan(tag));
+}
+
+bool gcm_open(const aes::Aes128& cipher, ByteView nonce, ByteView aad, ByteView ciphertext,
+              ByteView tag, ByteSpan pt_out) {
+  check_args(nonce, tag.size());
+  if (pt_out.size() != ciphertext.size()) throw std::invalid_argument("gcm_open: pt size");
+
+  aes::Block expect{};
+  gcm_tag(cipher, nonce, aad, ciphertext, expect);
+  const bool ok = ct_equal(ByteView(expect.data(), tag.size()), tag);
+  secure_wipe(ByteSpan(expect));
+  if (!ok) return false;
+
+  aes::Block counter{};
+  std::memcpy(counter.data(), nonce.data(), kGcmNonceSize);
+  counter[15] = 0x02;
+  if (!ciphertext.empty()) std::memcpy(pt_out.data(), ciphertext.data(), ciphertext.size());
+  gcm_ctr(cipher, counter, pt_out);
+  return true;
+}
+
+}  // namespace ecqv::aead

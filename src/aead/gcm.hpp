@@ -1,0 +1,28 @@
+// AES-128-GCM (SP 800-38D) with detached, truncatable tags.
+//
+// Built from the two-tier primitives underneath: the AES-CTR body rides the
+// AES-NI 4-wide kernel when available, GHASH rides CLMUL — each falling back
+// to the portable reference with bit-identical output. Only 12-byte nonces
+// are supported (J0 = nonce ‖ 0x00000001), which is all the record layer and
+// the NIST KAT set we carry need.
+#pragma once
+
+#include "aes/aes128.hpp"
+
+namespace ecqv::aead {
+
+inline constexpr std::size_t kGcmNonceSize = 12;
+inline constexpr std::size_t kGcmTagSize = 16;
+
+/// Seal: ct_out.size() == plaintext.size(); tag_out.size() in [4,16] — the
+/// full 16-byte tag is computed and truncated to tag_out.size().
+void gcm_seal(const aes::Aes128& cipher, ByteView nonce, ByteView aad, ByteView plaintext,
+              ByteSpan ct_out, ByteSpan tag_out);
+
+/// Open: verifies `tag` (4..16 bytes, constant-time compare) BEFORE
+/// decrypting into pt_out (same size as ciphertext); on mismatch returns
+/// false with pt_out untouched — no unauthenticated plaintext escapes.
+[[nodiscard]] bool gcm_open(const aes::Aes128& cipher, ByteView nonce, ByteView aad,
+                            ByteView ciphertext, ByteView tag, ByteSpan pt_out);
+
+}  // namespace ecqv::aead

@@ -1,0 +1,65 @@
+// GHASH — the GF(2^128) universal hash underneath AES-GCM (SP 800-38D).
+//
+// Same two-tier shape as the AES block path: a portable shift-and-xor
+// multiplier that is the reference semantics, and a CLMUL kernel
+// (aead/ghash_clmul.cpp) behind a runtime probe. Kill switch
+// ECQV_DISABLE_CLMUL, compile gate ECQV_NO_CLMUL (folded into
+// -DECQV_PORTABLE_ONLY); the differential tests in test_aead.cpp pin the
+// CLMUL output to the portable body byte-for-byte.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+#if defined(__x86_64__) && !defined(ECQV_NO_CLMUL)
+#define ECQV_GHASH_CLMUL 1
+#endif
+
+namespace ecqv::aead {
+
+/// Incremental GHASH over 16-byte blocks. GCM bit convention: the MSB of
+/// byte 0 is the x^0 coefficient, reduction polynomial R = 0xE1 << 120.
+class Ghash {
+ public:
+  /// h = hash subkey H = E_K(0^128), 16 bytes.
+  explicit Ghash(ByteView h);
+
+  /// Absorbs `data`, zero-padding the final partial block. GCM pads the AAD
+  /// and the ciphertext independently, so each absorb_padded() call starts
+  /// on a fresh block boundary.
+  void absorb_padded(ByteView data);
+
+  /// Absorbs the closing length block: bitlen(aad) ‖ bitlen(ct), big-endian.
+  void absorb_lengths(std::uint64_t aad_bytes, std::uint64_t ct_bytes);
+
+  /// Current accumulator Y (the untruncated GHASH output).
+  void digest(ByteSpan out16) const;
+
+ private:
+  void absorb_blocks(const std::uint8_t* blocks, std::size_t nblocks);
+
+  std::array<std::uint8_t, 16> h_{};
+  std::array<std::uint8_t, 16> y_{};
+};
+
+/// True when the CLMUL GHASH kernel is active: CPU reports PCLMULQDQ+SSSE3
+/// and ECQV_DISABLE_CLMUL is unset/0. When false the portable multiplier
+/// runs — bit-identical output either way.
+[[nodiscard]] bool ghash_hw_available();
+
+namespace detail {
+
+/// Portable constant-time GF(2^128) multiply: x = x · h (GCM convention).
+void gf128_mul(std::uint8_t x[16], const std::uint8_t h[16]);
+
+#if defined(ECQV_GHASH_CLMUL)
+/// CLMUL batch absorb: y = (y ^ b_i) · h folded over nblocks full blocks.
+void ghash_clmul_blocks(const std::uint8_t h[16], std::uint8_t y[16],
+                        const std::uint8_t* blocks, std::size_t nblocks);
+#endif
+
+}  // namespace detail
+
+}  // namespace ecqv::aead

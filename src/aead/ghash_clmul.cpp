@@ -1,0 +1,85 @@
+// PCLMULQDQ GHASH kernel — the only translation unit that emits carry-less
+// multiply instructions, mirroring how aes/aesni.cpp isolates AES-NI.
+//
+// GCM treats blocks as bit-reflected polynomials; the classic way to use
+// CLMUL (Gueron & Kounavis, "Intel carry-less multiplication and its usage
+// for computing the GCM mode") is to byte-reverse each operand, do a plain
+// 128x128 carry-less multiply, shift the 256-bit product left by one bit to
+// absorb the reflection, and reduce modulo x^128 + x^7 + x^2 + x + 1.
+#include "aead/ghash.hpp"
+
+#if defined(ECQV_GHASH_CLMUL)
+
+#include <emmintrin.h>
+#include <tmmintrin.h>
+#include <wmmintrin.h>
+
+namespace ecqv::aead::detail {
+
+namespace {
+
+__attribute__((target("ssse3"))) inline __m128i bswap128(__m128i x) {
+  const __m128i rev = _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  return _mm_shuffle_epi8(x, rev);
+}
+
+__attribute__((target("pclmul,sse2"))) inline __m128i gfmul(__m128i a, __m128i b) {
+  // 128x128 -> 256-bit carry-less product via four 64x64 CLMULs.
+  __m128i lo = _mm_clmulepi64_si128(a, b, 0x00);
+  __m128i m1 = _mm_clmulepi64_si128(a, b, 0x10);
+  __m128i m2 = _mm_clmulepi64_si128(a, b, 0x01);
+  __m128i hi = _mm_clmulepi64_si128(a, b, 0x11);
+  __m128i mid = _mm_xor_si128(m1, m2);
+  lo = _mm_xor_si128(lo, _mm_slli_si128(mid, 8));
+  hi = _mm_xor_si128(hi, _mm_srli_si128(mid, 8));
+
+  // Shift the 256-bit product left by one bit (bit-reflection fixup).
+  __m128i lo_carry = _mm_srli_epi32(lo, 31);
+  __m128i hi_carry = _mm_srli_epi32(hi, 31);
+  lo = _mm_slli_epi32(lo, 1);
+  hi = _mm_slli_epi32(hi, 1);
+  __m128i cross = _mm_srli_si128(lo_carry, 12);
+  hi_carry = _mm_slli_si128(hi_carry, 4);
+  lo_carry = _mm_slli_si128(lo_carry, 4);
+  lo = _mm_or_si128(lo, lo_carry);
+  hi = _mm_or_si128(hi, hi_carry);
+  hi = _mm_or_si128(hi, cross);
+
+  // Reduce modulo x^128 + x^7 + x^2 + x + 1.
+  __m128i t7 = _mm_slli_epi32(lo, 31);
+  __m128i t8 = _mm_slli_epi32(lo, 30);
+  __m128i t9 = _mm_slli_epi32(lo, 25);
+  t7 = _mm_xor_si128(t7, t8);
+  t7 = _mm_xor_si128(t7, t9);
+  t8 = _mm_srli_si128(t7, 4);
+  t7 = _mm_slli_si128(t7, 12);
+  lo = _mm_xor_si128(lo, t7);
+  __m128i r1 = _mm_srli_epi32(lo, 1);
+  __m128i r2 = _mm_srli_epi32(lo, 2);
+  __m128i r7 = _mm_srli_epi32(lo, 7);
+  r1 = _mm_xor_si128(r1, r2);
+  r1 = _mm_xor_si128(r1, r7);
+  r1 = _mm_xor_si128(r1, t8);
+  lo = _mm_xor_si128(lo, r1);
+  return _mm_xor_si128(hi, lo);
+}
+
+}  // namespace
+
+__attribute__((target("pclmul,ssse3"))) void ghash_clmul_blocks(const std::uint8_t h[16],
+                                                                std::uint8_t y[16],
+                                                                const std::uint8_t* blocks,
+                                                                std::size_t nblocks) {
+  const __m128i hh = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h)));
+  __m128i acc = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(y)));
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const __m128i blk =
+        bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16 * b)));
+    acc = gfmul(_mm_xor_si128(acc, blk), hh);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(y), bswap128(acc));
+}
+
+}  // namespace ecqv::aead::detail
+
+#endif  // ECQV_GHASH_CLMUL

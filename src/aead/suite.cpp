@@ -1,0 +1,71 @@
+#include "aead/suite.hpp"
+
+#include <array>
+
+#include "aead/ccm.hpp"
+#include "aead/gcm.hpp"
+
+namespace ecqv::aead {
+
+namespace {
+
+void gcm_seal_adapter(const aes::Aes128& cipher, const std::uint8_t nonce[12], ByteView aad,
+                      ByteView plaintext, std::uint8_t* ct_out, std::uint8_t* tag_out,
+                      std::size_t tag_len) {
+  gcm_seal(cipher, ByteView(nonce, kGcmNonceSize), aad, plaintext,
+           ByteSpan(ct_out, plaintext.size()), ByteSpan(tag_out, tag_len));
+}
+
+bool gcm_open_adapter(const aes::Aes128& cipher, const std::uint8_t nonce[12], ByteView aad,
+                      ByteView ciphertext, const std::uint8_t* tag, std::size_t tag_len,
+                      std::uint8_t* pt_out) {
+  return gcm_open(cipher, ByteView(nonce, kGcmNonceSize), aad, ciphertext,
+                  ByteView(tag, tag_len), ByteSpan(pt_out, ciphertext.size()));
+}
+
+void ccm_seal_adapter(const aes::Aes128& cipher, const std::uint8_t nonce[12], ByteView aad,
+                      ByteView plaintext, std::uint8_t* ct_out, std::uint8_t* tag_out,
+                      std::size_t tag_len) {
+  ccm_seal(cipher, ByteView(nonce, 12), aad, plaintext, ByteSpan(ct_out, plaintext.size()),
+           ByteSpan(tag_out, tag_len));
+}
+
+bool ccm_open_adapter(const aes::Aes128& cipher, const std::uint8_t nonce[12], ByteView aad,
+                      ByteView ciphertext, const std::uint8_t* tag, std::size_t tag_len,
+                      std::uint8_t* pt_out) {
+  return ccm_open(cipher, ByteView(nonce, 12), aad, ciphertext, ByteView(tag, tag_len),
+                  ByteSpan(pt_out, ciphertext.size()));
+}
+
+constexpr std::array<Suite, 4> kSuites = {{
+    {SuiteId::kCtrHmac, "ctr-hmac-sha256", 32, nullptr, nullptr},
+    {SuiteId::kGcm128, "aes128-gcm", 16, gcm_seal_adapter, gcm_open_adapter},
+    {SuiteId::kCcm128Tag16, "aes128-ccm", 16, ccm_seal_adapter, ccm_open_adapter},
+    {SuiteId::kCcm128Tag8, "aes128-ccm-8", 8, ccm_seal_adapter, ccm_open_adapter},
+}};
+
+}  // namespace
+
+const Suite* find_suite(std::uint8_t id) {
+  for (const Suite& s : kSuites) {
+    if (static_cast<std::uint8_t>(s.id) == id) return &s;
+  }
+  return nullptr;
+}
+
+bool offered(std::uint8_t mask, SuiteId id) {
+  const auto bit = static_cast<std::uint8_t>(id);
+  if (bit > 7) return false;
+  return id == SuiteId::kCtrHmac || (mask & (1u << bit)) != 0;
+}
+
+SuiteId negotiate(std::uint8_t offered_mask, std::uint8_t supported_mask) {
+  const std::uint8_t common =
+      static_cast<std::uint8_t>((offered_mask & supported_mask & kOfferAll) | kOfferLegacy);
+  for (int bit = 3; bit >= 0; --bit) {
+    if (common & (1u << bit)) return static_cast<SuiteId>(bit);
+  }
+  return SuiteId::kCtrHmac;
+}
+
+}  // namespace ecqv::aead

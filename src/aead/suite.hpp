@@ -1,0 +1,57 @@
+// AEAD suite registry for the record layer.
+//
+// A suite is one byte on the wire. Suite 0x00 is the frozen legacy v2
+// record (AES-128-CTR + HMAC-SHA256, encrypt-then-MAC) whose engine lives
+// in core/secure_channel.cpp — its registry entry carries metadata only.
+// Suites 0x01+ are the v3 AEAD records: the registry supplies seal/open
+// entry points with detached, truncatable tags, and SecureChannel frames
+// suite ‖ epoch ‖ flags ‖ seq as the AAD.
+//
+// Negotiation is a bitmask byte exchanged inside the STS handshake (bit i
+// offers suite id i): the initiator offers, the responder confirms the
+// highest suite common to both masks. Bit 0 (legacy) is always implied, so
+// a peer that predates v3 records — or one configured legacy-only — simply
+// negotiates down to the v2 wire format.
+#pragma once
+
+#include "aes/aes128.hpp"
+
+namespace ecqv::aead {
+
+enum class SuiteId : std::uint8_t {
+  kCtrHmac = 0x00,      // legacy v2 record: AES-128-CTR + HMAC-SHA256 (45 B overhead)
+  kGcm128 = 0x01,       // v3 record: AES-128-GCM, 16-byte tag (30 B overhead)
+  kCcm128Tag16 = 0x02,  // v3 record: AES-128-CCM, 16-byte tag (30 B overhead)
+  kCcm128Tag8 = 0x03,   // v3 record: AES-128-CCM, 8-byte tag (22 B overhead)
+};
+
+/// Offer bitmask: bit i offers suite id i. Legacy is always implied.
+inline constexpr std::uint8_t kOfferLegacy = 0x01;
+inline constexpr std::uint8_t kOfferAll = 0x0F;
+
+struct Suite {
+  using SealFn = void (*)(const aes::Aes128& cipher, const std::uint8_t nonce[12], ByteView aad,
+                          ByteView plaintext, std::uint8_t* ct_out, std::uint8_t* tag_out,
+                          std::size_t tag_len);
+  using OpenFn = bool (*)(const aes::Aes128& cipher, const std::uint8_t nonce[12], ByteView aad,
+                          ByteView ciphertext, const std::uint8_t* tag, std::size_t tag_len,
+                          std::uint8_t* pt_out);
+
+  SuiteId id;
+  const char* name;
+  std::size_t tag_len;  // tag bytes on the wire
+  SealFn seal;          // nullptr for kCtrHmac (legacy path in SecureChannel)
+  OpenFn open;
+};
+
+/// Registry lookup by wire byte; nullptr for unknown ids.
+[[nodiscard]] const Suite* find_suite(std::uint8_t id);
+
+/// True when `mask` offers `id` (legacy counts as always offered).
+[[nodiscard]] bool offered(std::uint8_t mask, SuiteId id);
+
+/// Highest suite id offered by both masks; bit 0 is forced common, so the
+/// result is always a valid suite and never worse than legacy.
+[[nodiscard]] SuiteId negotiate(std::uint8_t offered_mask, std::uint8_t supported_mask);
+
+}  // namespace ecqv::aead

@@ -1,10 +1,32 @@
 #include "aes/aes128.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
+#include "aes/aesni.hpp"
 #include "common/metrics.hpp"
+#include "common/wipe.hpp"
 
 namespace ecqv::aes {
+
+namespace {
+
+bool env_disables_aesni() {
+  const char* env = std::getenv("ECQV_DISABLE_AESNI");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace
+
+bool aes_hw_available() {
+#if defined(ECQV_AES_AESNI)
+  static const bool ok =
+      __builtin_cpu_supports("aes") != 0 && __builtin_cpu_supports("sse2") != 0;
+  return ok && !env_disables_aesni();
+#else
+  return false;
+#endif
+}
 
 namespace {
 
@@ -77,6 +99,12 @@ Aes128::Aes128(ByteView key) {
 void Aes128::encrypt_block(ByteSpan block) const {
   if (block.size() != kBlockSize) throw std::invalid_argument("encrypt_block: need 16 bytes");
   count_op(Op::kAesBlock);
+#if defined(ECQV_AES_AESNI)
+  if (aes_hw_available()) {
+    detail::aesni_encrypt_block(round_keys_.data(), block.data());
+    return;
+  }
+#endif
   std::uint8_t* s = block.data();
   auto add_round_key = [&](std::size_t round) {
     for (std::size_t i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
@@ -149,6 +177,10 @@ void Aes128::decrypt_block(ByteSpan block) const {
   inv_shift_rows();
   inv_sub_bytes();
   add_round_key(0);
+}
+
+void Aes128::wipe() {
+  secure_wipe(ByteSpan(round_keys_));
 }
 
 Key make_key(ByteView key) {

@@ -28,10 +28,27 @@ class Aes128 {
   void encrypt_block(ByteSpan block) const;
   void decrypt_block(ByteSpan block) const;
 
+  /// The expanded FIPS 197 key schedule (11 round keys, 176 bytes). The
+  /// portable expansion produces exactly the bytes the AES-NI encryption
+  /// rounds consume, so the hardware kernels (aes/aesni.cpp) feed on this
+  /// directly — one expansion serves both tiers.
+  [[nodiscard]] const std::uint8_t* round_keys() const { return round_keys_.data(); }
+
+  /// Wipes the expanded key schedule; the cipher is unusable after. Callers
+  /// that cache an Aes128 alongside session keys (SecureChannel) wipe both
+  /// together so no expansion of a retired key outlives its session.
+  void wipe();
+
  private:
   // 11 round keys of 16 bytes.
   std::array<std::uint8_t, 176> round_keys_{};
 };
+
+/// True when the AES-NI block kernels are active: the CPU reports AES-NI
+/// and the ECQV_DISABLE_AESNI environment kill switch is unset/0 (compile
+/// gate ECQV_NO_AESNI, folded into -DECQV_PORTABLE_ONLY). When false every
+/// mode runs the portable S-box body — bit-identical output either way.
+[[nodiscard]] bool aes_hw_available();
 
 /// Builds a Key from a view (size-checked).
 Key make_key(ByteView key);

@@ -1,0 +1,128 @@
+// AES-NI kernels for the AEAD record hot path.
+//
+// This translation unit is the only one that emits AES instructions; the
+// function-level target attribute keeps the rest of the build portable,
+// exactly like bigint/mont8_avx512.cpp does for AVX-512 IFMA. Callers reach
+// these only after aes_hw_available() (CPU probe + ECQV_DISABLE_AESNI kill
+// switch) said yes.
+//
+// The CTR kernel runs four independent counter blocks through the round
+// pipeline at once: aesenc latency is ~4 cycles but throughput is 1/cycle,
+// so four interleaved streams keep the unit saturated — on 64-byte records
+// the whole keystream is one pipelined pass.
+#include "aes/aesni.hpp"
+
+#if defined(ECQV_AES_AESNI)
+
+#include <emmintrin.h>
+#include <wmmintrin.h>
+
+#include <cstring>
+
+namespace ecqv::aes::detail {
+
+namespace {
+
+inline __m128i load_rk(const std::uint8_t* rk, int round) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * round));
+}
+
+/// Big-endian increment across the whole 16-byte block (aes::ctr_crypt).
+inline void inc_wide(std::uint8_t counter[16]) {
+  for (int i = 15; i >= 0; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+/// GCM inc32: big-endian increment of the trailing 4 bytes only.
+inline void inc32(std::uint8_t counter[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+}  // namespace
+
+__attribute__((target("aes,sse2"))) void aesni_encrypt_block(const std::uint8_t* rk,
+                                                             std::uint8_t* block) {
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  s = _mm_xor_si128(s, load_rk(rk, 0));
+  for (int round = 1; round < 10; ++round) s = _mm_aesenc_si128(s, load_rk(rk, round));
+  s = _mm_aesenclast_si128(s, load_rk(rk, 10));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(block), s);
+}
+
+__attribute__((target("aes,sse2"))) void aesni_ctr_xor(const std::uint8_t* rk,
+                                                       std::uint8_t counter[16],
+                                                       std::uint8_t* data, std::size_t len,
+                                                       bool wide_ctr) {
+  __m128i keys[11];
+  for (int round = 0; round <= 10; ++round) keys[round] = load_rk(rk, round);
+
+  const auto advance = [&](std::uint8_t c[16]) { wide_ctr ? inc_wide(c) : inc32(c); };
+
+  // Four-wide pipelined full blocks.
+  while (len >= 64) {
+    alignas(16) std::uint8_t ctrs[4][16];
+    for (auto& ctr : ctrs) {
+      std::memcpy(ctr, counter, 16);
+      advance(counter);
+    }
+    __m128i s0 = _mm_xor_si128(_mm_load_si128(reinterpret_cast<const __m128i*>(ctrs[0])), keys[0]);
+    __m128i s1 = _mm_xor_si128(_mm_load_si128(reinterpret_cast<const __m128i*>(ctrs[1])), keys[0]);
+    __m128i s2 = _mm_xor_si128(_mm_load_si128(reinterpret_cast<const __m128i*>(ctrs[2])), keys[0]);
+    __m128i s3 = _mm_xor_si128(_mm_load_si128(reinterpret_cast<const __m128i*>(ctrs[3])), keys[0]);
+    for (int round = 1; round < 10; ++round) {
+      s0 = _mm_aesenc_si128(s0, keys[round]);
+      s1 = _mm_aesenc_si128(s1, keys[round]);
+      s2 = _mm_aesenc_si128(s2, keys[round]);
+      s3 = _mm_aesenc_si128(s3, keys[round]);
+    }
+    s0 = _mm_aesenclast_si128(s0, keys[10]);
+    s1 = _mm_aesenclast_si128(s1, keys[10]);
+    s2 = _mm_aesenclast_si128(s2, keys[10]);
+    s3 = _mm_aesenclast_si128(s3, keys[10]);
+    __m128i* out = reinterpret_cast<__m128i*>(data);
+    _mm_storeu_si128(out + 0, _mm_xor_si128(_mm_loadu_si128(out + 0), s0));
+    _mm_storeu_si128(out + 1, _mm_xor_si128(_mm_loadu_si128(out + 1), s1));
+    _mm_storeu_si128(out + 2, _mm_xor_si128(_mm_loadu_si128(out + 2), s2));
+    _mm_storeu_si128(out + 3, _mm_xor_si128(_mm_loadu_si128(out + 3), s3));
+    data += 64;
+    len -= 64;
+  }
+
+  // Remaining blocks (including a partial tail) one at a time.
+  while (len > 0) {
+    alignas(16) std::uint8_t ks[16];
+    std::memcpy(ks, counter, 16);
+    advance(counter);
+    __m128i s = _mm_xor_si128(_mm_load_si128(reinterpret_cast<const __m128i*>(ks)), keys[0]);
+    for (int round = 1; round < 10; ++round) s = _mm_aesenc_si128(s, keys[round]);
+    s = _mm_aesenclast_si128(s, keys[10]);
+    _mm_store_si128(reinterpret_cast<__m128i*>(ks), s);
+    const std::size_t take = len < 16 ? len : 16;
+    for (std::size_t i = 0; i < take; ++i) data[i] ^= ks[i];
+    data += take;
+    len -= take;
+  }
+}
+
+__attribute__((target("aes,sse2"))) void aesni_cbc_mac(const std::uint8_t* rk,
+                                                       std::uint8_t state[16],
+                                                       const std::uint8_t* blocks,
+                                                       std::size_t nblocks) {
+  __m128i keys[11];
+  for (int round = 0; round <= 10; ++round) keys[round] = load_rk(rk, round);
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    s = _mm_xor_si128(s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16 * b)));
+    s = _mm_xor_si128(s, keys[0]);
+    for (int round = 1; round < 10; ++round) s = _mm_aesenc_si128(s, keys[round]);
+    s = _mm_aesenclast_si128(s, keys[10]);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), s);
+}
+
+}  // namespace ecqv::aes::detail
+
+#endif  // ECQV_AES_AESNI

@@ -1,0 +1,51 @@
+// AES-NI kernel entry points (aes/aesni.cpp) behind the PR 7-style
+// dispatch ladder: aesni → portable S-box, probed once per process via
+// __builtin_cpu_supports, killed at run time by ECQV_DISABLE_AESNI and at
+// compile time by ECQV_NO_AESNI (folded into -DECQV_PORTABLE_ONLY).
+//
+// Every kernel consumes the PORTABLE FIPS 197 key schedule bytes
+// (Aes128::round_keys()) — the AES-NI encryption rounds use exactly the
+// same round-key layout, so one expansion serves both tiers and the
+// differential tests can pin hw output to the portable body byte-for-byte.
+//
+// This header is always includable; the kernels only exist when the
+// compile gate is open, and callers must check aes_hw_available() (declared
+// in aes/aes128.hpp) before entering them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) && !defined(ECQV_NO_AESNI)
+#define ECQV_AES_AESNI 1
+#endif
+
+namespace ecqv::aes::detail {
+
+#if defined(ECQV_AES_AESNI)
+
+/// One block, in place. rk = 176-byte expanded schedule.
+void aesni_encrypt_block(const std::uint8_t* rk, std::uint8_t* block);
+
+/// CTR keystream XORed over `data` (any length; the tail uses a partial
+/// keystream block). Blocks are pipelined four wide — AES-NI's aesenc has
+/// multi-cycle latency but single-cycle throughput, so independent streams
+/// hide it. `wide_ctr` selects the counter increment:
+///   true  — big-endian increment across the whole 16-byte block
+///           (aes::ctr_crypt semantics; also CCM, whose counter field
+///           never carries past its q trailing bytes for our sizes);
+///   false — GCM inc32: only the last 4 bytes increment, big-endian.
+/// `counter` is the FIRST counter block used and is advanced in place to
+/// one past the last block consumed.
+void aesni_ctr_xor(const std::uint8_t* rk, std::uint8_t counter[16], std::uint8_t* data,
+                   std::size_t len, bool wide_ctr);
+
+/// CBC-MAC absorption: state = E(state ^ block_i) over nblocks full blocks.
+/// Inherently serial (each block depends on the last), but the AES-NI round
+/// function still beats the S-box body ~10x. Used by the CCM suite.
+void aesni_cbc_mac(const std::uint8_t* rk, std::uint8_t state[16], const std::uint8_t* blocks,
+                   std::size_t nblocks);
+
+#endif  // ECQV_AES_AESNI
+
+}  // namespace ecqv::aes::detail

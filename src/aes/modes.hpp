@@ -25,4 +25,9 @@ Result<Bytes> cbc_decrypt_raw(const Aes128& cipher, const Iv& iv, ByteView ciphe
 /// `iv`; the counter increments big-endian over the whole block.
 Bytes ctr_crypt(const Aes128& cipher, const Iv& iv, ByteView data);
 
+/// In-place CTR, same counter semantics as ctr_crypt. Dispatches to the
+/// 4-wide AES-NI kernel when aes_hw_available(); otherwise generates the
+/// keystream into a multi-block scratch and XORs it in word-wise.
+void ctr_xor(const Aes128& cipher, const Iv& iv, ByteSpan data);
+
 }  // namespace ecqv::aes

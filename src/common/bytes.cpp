@@ -23,13 +23,6 @@ Bytes bytes_of(std::string_view text) {
   return Bytes(text.begin(), text.end());
 }
 
-bool ct_equal(ByteView a, ByteView b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
-  return acc == 0;
-}
-
 void xor_into(ByteSpan dst, ByteView src) {
   if (dst.size() != src.size()) throw std::invalid_argument("xor_into: size mismatch");
   for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];

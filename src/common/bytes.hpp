@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/ct_equal.hpp"  // ct_equal and the ct_* mask helpers
+
 namespace ecqv {
 
 using Bytes = std::vector<std::uint8_t>;
@@ -29,9 +31,8 @@ Bytes concat(std::initializer_list<ByteView> parts);
 /// Builds a buffer from a string's raw bytes (no terminator).
 Bytes bytes_of(std::string_view text);
 
-/// Constant-time equality over equally-sized views; returns false on size
-/// mismatch without inspecting contents.
-bool ct_equal(ByteView a, ByteView b);
+// ct_equal(ByteView, ByteView) comes from common/ct_equal.hpp (ByteView is
+// the same std::span<const std::uint8_t> as CtByteView there).
 
 /// XOR `src` into `dst` element-wise; both views must have equal size.
 void xor_into(ByteSpan dst, ByteView src);

@@ -48,6 +48,9 @@ Status ConcurrentSessionBroker::send_data(const cert::DeviceId& peer, ByteView p
                                           std::uint64_t now, DataRekey rekey) {
   auto message = broker_.make_data(peer, plaintext, now, rekey);
   if (!message.ok()) return message.error();
+  ++stats_.data_records;
+  stats_.data_payload_bytes += plaintext.size();
+  stats_.data_wire_bytes += message.value().payload.size();
   return transport_.send(broker_.id(), peer, std::move(message).value());
 }
 

@@ -48,6 +48,14 @@ class ConcurrentSessionBroker {
     StatCounter dispatched = 0;  // datagrams handed to a worker (or inline)
     StatCounter replies = 0;     // messages sent back through the transport
     StatCounter errors = 0;      // on_message / transport failures
+    // Outbound record accounting from send_data: payload vs on-the-wire
+    // bytes. The difference is the record overhead actually paid, so the
+    // per-suite wire savings of the negotiated AEAD format (v3 CCM-8 saves
+    // 23 B/record over the legacy v2 CTR+HMAC frame) show up directly in
+    // fleet stats instead of having to be inferred from frame counts.
+    StatCounter data_records = 0;        // records sealed via send_data
+    StatCounter data_payload_bytes = 0;  // plaintext bytes handed in
+    StatCounter data_wire_bytes = 0;     // sealed record bytes shipped
   };
 
   /// The broker sends and receives through `transport`; the endpoint is

@@ -1,5 +1,8 @@
 #include "core/secure_channel.hpp"
 
+#include <cstring>
+#include <stdexcept>
+
 #include "aes/modes.hpp"
 #include "hash/hmac.hpp"
 
@@ -30,15 +33,69 @@ hash::Digest record_mac(const kdf::SessionKeys& keys, Role sender, std::uint32_t
                                           ByteView(seq_be), ByteView(&dir, 1), ciphertext});
 }
 
+/// v3 nonce: iv_seed[0..11] XOR (epoch_be(4) || seq_be(8)), direction bit
+/// in the top of byte 0. Unique per (epoch, seq, direction) under one key
+/// even before the per-epoch iv_seed refresh, which is what GCM/CCM need.
+std::array<std::uint8_t, 12> record_nonce(const kdf::SessionKeys& keys, Role sender,
+                                          std::uint32_t epoch, std::uint64_t seq) {
+  std::array<std::uint8_t, 12> nonce{};
+  std::memcpy(nonce.data(), keys.iv_seed.data(), 12);
+  std::array<std::uint8_t, 4> epoch_be{};
+  store_be32(ByteSpan(epoch_be), epoch);
+  std::array<std::uint8_t, 8> seq_be{};
+  store_be64(seq_be, seq);
+  for (std::size_t i = 0; i < 4; ++i) nonce[i] ^= epoch_be[i];
+  for (std::size_t i = 0; i < 8; ++i) nonce[4 + i] ^= seq_be[i];
+  if (sender == Role::kResponder) nonce[0] ^= 0x80;
+  return nonce;
+}
+
 }  // namespace
 
 SecureChannel::SecureChannel(const kdf::SessionKeys& keys, Role role, std::uint32_t epoch)
-    : keys_(keys), role_(role), epoch_(epoch) {}
+    : keys_(keys), cipher_(ByteView(keys.enc_key)), role_(role), epoch_(epoch),
+      suite_(keys.suite) {}
+
+void SecureChannel::rekey(const kdf::SessionKeys& keys, std::uint32_t epoch) {
+  keys_.wipe();
+  cipher_.wipe();
+  keys_ = keys;
+  cipher_ = aes::Aes128(ByteView(keys.enc_key));
+  suite_ = keys.suite;
+  epoch_ = epoch;
+  send_seq_ = 0;
+  recv_seq_ = 0;
+}
+
+std::size_t SecureChannel::overhead_for(std::uint8_t suite) {
+  if (suite == 0) return kOverhead;
+  const aead::Suite* s = aead::find_suite(suite);
+  // Unknown ids route through open() and fail authentication there; sizing
+  // them like a tagless v3 record keeps the peeks conservative.
+  return kHeaderSizeV3 + (s != nullptr ? s->tag_len : 0);
+}
 
 Bytes SecureChannel::seal(ByteView plaintext, std::uint8_t flags) {
   const std::uint64_t seq = send_seq_++;
-  const aes::Aes128 cipher(keys_.enc_key);
-  const Bytes ciphertext = aes::ctr_crypt(cipher, record_iv(keys_, role_, seq), plaintext);
+  if (suite_ == 0) return seal_v2(plaintext, flags, seq);
+  const aead::Suite* s = aead::find_suite(suite_);
+  if (s == nullptr || s->seal == nullptr)
+    throw std::logic_error("SecureChannel: unknown AEAD suite");
+  return seal_v3(*s, plaintext, flags, seq);
+}
+
+Result<Bytes> SecureChannel::open(ByteView record) {
+  if (suite_ == 0) return open_v2(record);
+  const aead::Suite* s = aead::find_suite(suite_);
+  if (s == nullptr || s->open == nullptr)
+    throw std::logic_error("SecureChannel: unknown AEAD suite");
+  return open_v3(*s, record);
+}
+
+// ---------------------------------------------------------------- v2 (legacy)
+
+Bytes SecureChannel::seal_v2(ByteView plaintext, std::uint8_t flags, std::uint64_t seq) {
+  const Bytes ciphertext = aes::ctr_crypt(cipher_, record_iv(keys_, role_, seq), plaintext);
   const hash::Digest mac = record_mac(keys_, role_, epoch_, flags, seq, ciphertext);
   Bytes record(kHeaderSize);
   store_be32(ByteSpan(record).subspan(0, 4), epoch_);
@@ -49,17 +106,7 @@ Bytes SecureChannel::seal(ByteView plaintext, std::uint8_t flags) {
   return record;
 }
 
-Result<std::uint32_t> SecureChannel::peek_epoch(ByteView record) {
-  if (record.size() < kOverhead) return Error::kBadLength;
-  return load_be32(record.subspan(0, 4));
-}
-
-Result<std::uint8_t> SecureChannel::peek_flags(ByteView record) {
-  if (record.size() < kOverhead) return Error::kBadLength;
-  return record[4];
-}
-
-Result<Bytes> SecureChannel::open(ByteView record) {
+Result<Bytes> SecureChannel::open_v2(ByteView record) {
   if (record.size() < kOverhead) return Error::kBadLength;
   const std::uint32_t epoch = load_be32(record.subspan(0, 4));
   if (epoch != epoch_) return Error::kAuthenticationFailed;  // wrong key epoch
@@ -72,8 +119,57 @@ Result<Bytes> SecureChannel::open(ByteView record) {
   const hash::Digest expected = record_mac(keys_, peer, epoch, flags, seq, ciphertext);
   if (!ct_equal(mac, expected)) return Error::kAuthenticationFailed;
   ++recv_seq_;
-  const aes::Aes128 cipher(keys_.enc_key);
-  return aes::ctr_crypt(cipher, record_iv(keys_, peer, seq), ciphertext);
+  return aes::ctr_crypt(cipher_, record_iv(keys_, peer, seq), ciphertext);
+}
+
+// ------------------------------------------------------------------ v3 (AEAD)
+
+Bytes SecureChannel::seal_v3(const aead::Suite& suite, ByteView plaintext, std::uint8_t flags,
+                             std::uint64_t seq) {
+  Bytes record(kHeaderSizeV3 + plaintext.size() + suite.tag_len);
+  record[0] = suite_;
+  store_be32(ByteSpan(record).subspan(1, 4), epoch_);
+  record[5] = flags;
+  store_be64(ByteSpan(record).subspan(6, 8), seq);
+  const auto nonce = record_nonce(keys_, role_, epoch_, seq);
+  suite.seal(cipher_, nonce.data(), ByteView(record.data(), kHeaderSizeV3), plaintext,
+             record.data() + kHeaderSizeV3, record.data() + kHeaderSizeV3 + plaintext.size(),
+             suite.tag_len);
+  return record;
+}
+
+Result<Bytes> SecureChannel::open_v3(const aead::Suite& suite, ByteView record) {
+  const std::size_t overhead = kHeaderSizeV3 + suite.tag_len;
+  if (record.size() < overhead) return Error::kBadLength;
+  if (record[0] != suite_) return Error::kAuthenticationFailed;  // wrong suite
+  const std::uint32_t epoch = load_be32(record.subspan(1, 4));
+  if (epoch != epoch_) return Error::kAuthenticationFailed;  // wrong key epoch
+  const std::uint8_t flags = record[5];
+  (void)flags;  // authenticated via the AAD; consumers read it post-open
+  const std::uint64_t seq = load_be64(record.subspan(6, 8));
+  if (seq != recv_seq_) return Error::kAuthenticationFailed;  // replay/reorder
+  const ByteView ciphertext = record.subspan(kHeaderSizeV3, record.size() - overhead);
+  const ByteView tag = record.subspan(record.size() - suite.tag_len);
+  const Role peer = role_ == Role::kInitiator ? Role::kResponder : Role::kInitiator;
+  const auto nonce = record_nonce(keys_, peer, epoch, seq);
+  Bytes plaintext(ciphertext.size());
+  if (!suite.open(cipher_, nonce.data(), record.subspan(0, kHeaderSizeV3), ciphertext,
+                  tag.data(), suite.tag_len, plaintext.data()))
+    return Error::kAuthenticationFailed;
+  ++recv_seq_;
+  return plaintext;
+}
+
+// ----------------------------------------------------------------- peeks
+
+Result<std::uint32_t> SecureChannel::peek_epoch(ByteView record, std::uint8_t suite) {
+  if (record.size() < overhead_for(suite)) return Error::kBadLength;
+  return load_be32(record.subspan(suite == 0 ? 0 : 1, 4));
+}
+
+Result<std::uint8_t> SecureChannel::peek_flags(ByteView record, std::uint8_t suite) {
+  if (record.size() < overhead_for(suite)) return Error::kBadLength;
+  return record[suite == 0 ? 4 : 5];
 }
 
 }  // namespace ecqv::proto

@@ -1,24 +1,39 @@
-// Post-handshake secure channel: encrypt-then-MAC record protection under
-// the established session keys (paper Fig. 1 stage 3, "Encrypted Session").
+// Post-handshake secure channel: record protection under the established
+// session keys (paper Fig. 1 stage 3, "Encrypted Session").
 //
-// Record format (v2, epoch-aware for the piggybacked ratchet):
+// Two record generations share this engine, selected by the negotiated
+// AEAD suite byte in kdf::SessionKeys::suite:
 //
-//   epoch(4, BE) || flags(1) || seq(8, BE) || AES-128-CTR ciphertext || HMAC(32)
+//   v2 (suite 0x00, the frozen legacy wire format — golden vectors in
+//   test_wire_vectors.cpp pin it byte-for-byte):
 //
-// The MAC covers epoch || flags || seq || direction || ciphertext, so both
-// the key-epoch the record was sealed under and any in-band control flags
-// are authenticated alongside the payload. Sequence numbers are
-// per-direction, per-epoch, and reject replays/reordering within an epoch;
-// cross-epoch routing (which channel opens which record) is the session
-// store's job — a channel only ever accepts records for its own epoch.
+//     epoch(4, BE) || flags(1) || seq(8, BE) || AES-128-CTR ct || HMAC(32)
+//
+//   encrypt-then-MAC; the MAC covers epoch || flags || seq || direction ||
+//   ciphertext.
+//
+//   v3 (suites 0x01+, negotiated inside the STS handshake):
+//
+//     suite(1) || epoch(4, BE) || flags(1) || seq(8, BE) || ct || tag
+//
+//   the whole 14-byte header is the AEAD's associated data, the nonce is
+//   iv_seed[0..11] XOR (epoch_be || seq_be) with the direction bit folded
+//   into nonce[0] — per-(epoch, seq, direction) unique under one key, and
+//   8–23 bytes less overhead per record than v2 depending on the suite.
+//
+// Sequence numbers are per-direction, per-epoch, and reject replays and
+// reordering within an epoch; cross-epoch routing (which channel opens
+// which record) is the session store's job — a channel only ever accepts
+// records for its own epoch and its own suite.
 //
 // Flags carry piggybacked control signals inside authenticated data
-// records. kFlagRatchet announces, TLS-1.3-KeyUpdate-style, that the sender
-// advanced KS_i -> KS_{i+1} immediately after sealing this record: the
-// receiver ratchets on open and acks implicitly with its own next record —
-// no standalone RK1 round while traffic is flowing.
+// records in both generations. kFlagRatchet announces, TLS-1.3-KeyUpdate-
+// style, that the sender advanced KS_i -> KS_{i+1} immediately after
+// sealing this record: the receiver ratchets on open and acks implicitly
+// with its own next record — no standalone RK1 round while traffic flows.
 #pragma once
 
+#include "aead/suite.hpp"
 #include "common/result.hpp"
 #include "core/message.hpp"
 #include "kdf/session_keys.hpp"
@@ -27,59 +42,75 @@ namespace ecqv::proto {
 
 class SecureChannel {
  public:
-  /// In-band control flags (authenticated by the record MAC).
+  /// In-band control flags (authenticated by the record MAC / AEAD tag).
   static constexpr std::uint8_t kFlagRatchet = 0x01;
 
   /// `role` is this endpoint's handshake role; it selects the send/receive
-  /// IV lanes so the two directions never share keystream. `epoch` is the
-  /// key-chain position these keys belong to; it is written into (and
-  /// checked against) every record.
+  /// IV/nonce lanes so the two directions never share keystream. `epoch` is
+  /// the key-chain position these keys belong to; it is written into (and
+  /// checked against) every record. The record generation and AEAD suite
+  /// come from keys.suite. The AES key schedule is expanded once here and
+  /// cached for the life of the epoch — not per record.
   SecureChannel(const kdf::SessionKeys& keys, Role role, std::uint32_t epoch = 0);
 
-  /// Seals a plaintext into a record (adds kOverhead bytes). `flags` travel
-  /// in the clear but under the MAC.
+  /// Seals a plaintext into a record (adds overhead() bytes). `flags`
+  /// travel in the clear but authenticated.
   Bytes seal(ByteView plaintext, std::uint8_t flags = 0);
 
-  /// Opens a record: authenticates, checks that the record's epoch is this
-  /// channel's epoch and its sequence number the expected one, decrypts.
-  /// kAuthenticationFailed on MAC mismatch, epoch mismatch or replay.
+  /// Opens a record: authenticates, checks that the record's suite and
+  /// epoch are this channel's and its sequence number the expected one,
+  /// decrypts. kAuthenticationFailed on tag/MAC mismatch, suite or epoch
+  /// mismatch, or replay.
   Result<Bytes> open(ByteView record);
 
   /// Header peeks for epoch routing — readable before authentication (the
-  /// MAC check inside open() is what makes the value trustworthy; routing
+  /// tag check inside open() is what makes the value trustworthy; routing
   /// on a forged header only selects which channel rejects the record).
-  static Result<std::uint32_t> peek_epoch(ByteView record);
-  static Result<std::uint8_t> peek_flags(ByteView record);
+  /// `suite` selects the header layout: v2 for 0x00, v3 otherwise.
+  static Result<std::uint32_t> peek_epoch(ByteView record, std::uint8_t suite = 0);
+  static Result<std::uint8_t> peek_flags(ByteView record, std::uint8_t suite = 0);
 
   [[nodiscard]] std::uint64_t sent() const { return send_seq_; }
   [[nodiscard]] std::uint64_t received() const { return recv_seq_; }
   [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint8_t suite() const { return suite_; }
 
-  /// Wipes the channel's internal key copy; the channel is unusable after.
-  /// Session teardown must call this in addition to wiping its own copy so
-  /// no duplicate of the hierarchy outlives the session.
-  void wipe_keys() { keys_.wipe(); }
+  /// Per-record overhead of this channel's suite (header + tag/MAC).
+  [[nodiscard]] std::size_t overhead() const { return overhead_for(suite_); }
+  [[nodiscard]] static std::size_t overhead_for(std::uint8_t suite);
+
+  /// Wipes the channel's internal key copy (and the cached AES schedule);
+  /// the channel is unusable after. Session teardown must call this in
+  /// addition to wiping its own copy so no duplicate of the hierarchy
+  /// outlives the session.
+  void wipe_keys() {
+    keys_.wipe();
+    cipher_.wipe();
+  }
 
   /// Re-keys the channel in place for a new epoch: wipes the current key
   /// copy (for a moved-from channel that is the residual byte copy an
   /// array "move" leaves behind), installs `keys`, resets both sequence
   /// lanes. In-place so no stack temporary ever holds either hierarchy —
   /// the same wipe invariant kdf::ratchet_session_keys_in_place keeps.
-  void rekey(const kdf::SessionKeys& keys, std::uint32_t epoch) {
-    keys_.wipe();
-    keys_ = keys;
-    epoch_ = epoch;
-    send_seq_ = 0;
-    recv_seq_ = 0;
-  }
+  void rekey(const kdf::SessionKeys& keys, std::uint32_t epoch);
 
-  static constexpr std::size_t kHeaderSize = 4 + 1 + 8;  // epoch || flags || seq
-  static constexpr std::size_t kOverhead = kHeaderSize + 32;
+  static constexpr std::size_t kHeaderSize = 4 + 1 + 8;       // v2: epoch || flags || seq
+  static constexpr std::size_t kOverhead = kHeaderSize + 32;  // v2 total
+  static constexpr std::size_t kHeaderSizeV3 = 1 + 4 + 1 + 8;  // + leading suite byte
 
  private:
+  Bytes seal_v2(ByteView plaintext, std::uint8_t flags, std::uint64_t seq);
+  Result<Bytes> open_v2(ByteView record);
+  Bytes seal_v3(const aead::Suite& suite, ByteView plaintext, std::uint8_t flags,
+                std::uint64_t seq);
+  Result<Bytes> open_v3(const aead::Suite& suite, ByteView record);
+
   kdf::SessionKeys keys_;
+  aes::Aes128 cipher_;  // cached schedule for keys_.enc_key
   Role role_;
   std::uint32_t epoch_;
+  std::uint8_t suite_;
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;
 };

@@ -242,7 +242,7 @@ Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, st
   std::lock_guard<OptionalMutex> lock(shard.mutex);
   Session* s = locked_lookup(shard, peer, now);
   if (s == nullptr) return Error::kBadState;
-  const auto epoch = SecureChannel::peek_epoch(record);
+  const auto epoch = SecureChannel::peek_epoch(record, s->keys.suite);
   if (!epoch.ok()) return epoch.error();
 
   if (epoch.value() == s->epoch) {
@@ -252,7 +252,7 @@ Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, st
       // overshoot seal above; both counters track the same record stream,
       // so when the sender hits the limit the receiver is at it too. The
       // flag only steers routing; the record MAC decides authenticity.
-      const auto flags = SecureChannel::peek_flags(record);
+      const auto flags = SecureChannel::peek_flags(record, s->keys.suite);
       if (!flags.ok()) return flags.error();
       if ((flags.value() & SecureChannel::kFlagRatchet) == 0 || !resumable(*s, now))
         return Error::kBadState;
@@ -261,7 +261,7 @@ Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, st
     if (!plaintext.ok()) return plaintext;  // rejected: no budget/counter moves
     ++s->records;
     ++stats_.opens;
-    const std::uint8_t flags = SecureChannel::peek_flags(record).value();
+    const std::uint8_t flags = SecureChannel::peek_flags(record, s->keys.suite).value();
     if ((flags & SecureChannel::kFlagRatchet) != 0) {
       if (resumable(*s, now)) {
         locked_ratchet(*s, now);

@@ -26,8 +26,8 @@ Bytes crypt_resp(const kdf::SessionKeys& keys, Role sender, ByteView resp) {
   return aes::ctr_crypt(cipher, iv, resp);
 }
 
-Bytes resp_sign_input(ByteView own_xg, ByteView peer_xg) {
-  return concat({own_xg, peer_xg});
+Bytes resp_sign_input(ByteView own_xg, ByteView peer_xg, ByteView nego) {
+  return concat({own_xg, peer_xg, nego});
 }
 
 std::size_t resp_size(StsAuthMode mode) {
@@ -150,6 +150,15 @@ std::optional<Message> StsInitiator::start() {
     m.payload =
         concat({ByteView(creds_.id.bytes), ByteView(creds_.certificate.encode()), ByteView(xga_)});
   }
+  // Suite negotiation: one offer byte, only when the config offers more
+  // than the legacy record format (the default leaves A1 byte-identical).
+  const auto offer =
+      static_cast<std::uint8_t>((config_.offered_suites | aead::kOfferLegacy) & aead::kOfferAll);
+  if (offer != aead::kOfferLegacy) {
+    offering_ = true;
+    nego_[0] = offer;
+    m.payload.push_back(offer);
+  }
   state_ = State::kAwaitB1;
   return m;
 }
@@ -157,9 +166,22 @@ std::optional<Message> StsInitiator::start() {
 Result<std::optional<Message>> StsInitiator::on_message(const Message& incoming) {
   if (state_ == State::kAwaitB1 && incoming.step == "B1") {
     const std::size_t resp_bytes = resp_size(config_.auth_mode);
-    if (incoming.payload.size() != kIdSize + kCertSize + kXgSize + resp_bytes) {
+    const std::size_t base = kIdSize + kCertSize + kXgSize + resp_bytes;
+    // An offering initiator requires the confirm byte: a B1 shaped like the
+    // legacy handshake means the offer was stripped in flight — reject
+    // rather than silently downgrade.
+    if (incoming.payload.size() != (offering_ ? base + 1 : base)) {
       state_ = State::kFailed;
       return Error::kBadLength;
+    }
+    if (offering_) {
+      const std::uint8_t confirm = incoming.payload[base];
+      const aead::Suite* suite = aead::find_suite(confirm);
+      if (suite == nullptr || !aead::offered(nego_[0], suite->id)) {
+        state_ = State::kFailed;
+        return Error::kAuthenticationFailed;
+      }
+      nego_[1] = confirm;
     }
     ByteView p(incoming.payload);
     cert::DeviceId claimed_id;
@@ -186,12 +208,14 @@ Result<std::optional<Message>> StsInitiator::on_message(const Message& incoming)
         return;
       }
       keys_ = derive_keys(premaster, creds_.id, claimed_id);
+      if (offering_) keys_.suite = nego_[1];
       xgb_ = Bytes(xgb_bytes.begin(), xgb_bytes.end());
     });
     if (failure != Error::kOk) {
       state_ = State::kFailed;
       return failure;
     }
+    const ByteView nego = offering_ ? ByteView(nego_) : ByteView{};
 
     // Op4: decrypt + implicit public key derivation + verify — exactly
     // Algorithm 2, which folds eq. (1) into verification.
@@ -211,7 +235,7 @@ Result<std::optional<Message>> StsInitiator::on_message(const Message& incoming)
         failure = signature.error();
         return;
       }
-      const Bytes signed_data = resp_sign_input(xgb_, xga_);
+      const Bytes signed_data = resp_sign_input(xgb_, xga_, nego);
       if (!verify_peer(auth.value(), signed_data, signature.value()))
         failure = Error::kAuthenticationFailed;
     });
@@ -226,7 +250,8 @@ Result<std::optional<Message>> StsInitiator::on_message(const Message& incoming)
     Message reply;
     record_segment("Op3", "B1", [&] {
       const sig::PrivateKey key(creds_.private_key);
-      const Bytes dsign = sig::encode_signature(key.sign_batchable(resp_sign_input(xga_, xgb_)));
+      const Bytes dsign =
+          sig::encode_signature(key.sign_batchable(resp_sign_input(xga_, xgb_, nego)));
       const Bytes resp_a = make_resp(keys_, Role::kInitiator, dsign, config_.auth_mode);
       reply.sender = Role::kInitiator;
       reply.step = "A2";
@@ -262,8 +287,15 @@ StsResponder::~StsResponder() {
 
 Result<std::optional<Message>> StsResponder::handle_a1(const Message& incoming) {
   const bool with_cert = config_.variant != StsVariant::kBaseline;
-  const std::size_t expected = with_cert ? kIdSize + kCertSize + kXgSize : kIdSize + kXgSize;
-  if (incoming.payload.size() != expected) return Error::kBadLength;
+  const std::size_t base = with_cert ? kIdSize + kCertSize + kXgSize : kIdSize + kXgSize;
+  // A trailing byte is the initiator's suite offer; its absence is the
+  // legacy handshake. A legacy-configured responder still answers an offer
+  // (confirming whatever it negotiates down to, possibly suite 0) so the
+  // two configurations interoperate.
+  if (incoming.payload.size() != base && incoming.payload.size() != base + 1)
+    return Error::kBadLength;
+  nego_active_ = incoming.payload.size() == base + 1;
+  if (nego_active_) nego_[0] = incoming.payload[base];
   ByteView p(incoming.payload);
   cert::DeviceId claimed_id;
   std::copy_n(p.begin(), kIdSize, claimed_id.bytes.begin());
@@ -299,6 +331,10 @@ Result<std::optional<Message>> StsResponder::handle_a1(const Message& incoming) 
     keys_ = derive_keys(premaster, claimed_id, creds_.id);
   });
   if (failure != Error::kOk) return failure;
+  if (nego_active_) {
+    nego_[1] = static_cast<std::uint8_t>(aead::negotiate(nego_[0], config_.offered_suites));
+    keys_.suite = nego_[1];
+  }
 
   // Opt. I/II: A's certificate arrived with the request, so Q_A derivation
   // (Op2b) runs here — in the slot the scheduler can overlap (§IV-C).
@@ -317,10 +353,12 @@ Result<std::optional<Message>> StsResponder::handle_a1(const Message& incoming) 
   }
 
   // Op3: authentication response Resp_B (Algorithm 1).
+  const ByteView nego = nego_active_ ? ByteView(nego_) : ByteView{};
   Bytes resp_b;
   record_segment("Op3", "A1", [&] {
     const sig::PrivateKey key(creds_.private_key);
-    const Bytes dsign = sig::encode_signature(key.sign_batchable(resp_sign_input(xgb_, xga_)));
+    const Bytes dsign =
+        sig::encode_signature(key.sign_batchable(resp_sign_input(xgb_, xga_, nego)));
     resp_b = make_resp(keys_, Role::kResponder, dsign, config_.auth_mode);
   });
 
@@ -330,6 +368,7 @@ Result<std::optional<Message>> StsResponder::handle_a1(const Message& incoming) 
   reply.step = "B1";
   reply.payload = concat({ByteView(creds_.id.bytes), ByteView(creds_.certificate.encode()),
                           ByteView(xgb_), ByteView(resp_b)});
+  if (nego_active_) reply.payload.push_back(nego_[1]);  // confirm byte
   state_ = State::kAwaitA2;
   return std::optional<Message>(std::move(reply));
 }
@@ -380,7 +419,8 @@ Result<std::optional<Message>> StsResponder::handle_a2(const Message& incoming) 
       failure = signature.error();
       return;
     }
-    const Bytes signed_data = resp_sign_input(xga_, xgb_);
+    const Bytes signed_data =
+        resp_sign_input(xga_, xgb_, nego_active_ ? ByteView(nego_) : ByteView{});
     // Re-fetch the cache entry (a cheap hit) so this verification pins its
     // own reference instead of relying on one held across messages.
     PeerAuth auth{peer_public_, nullptr};

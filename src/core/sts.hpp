@@ -32,6 +32,7 @@
 // the same 491 bytes; the win is scheduling, reproduced by sim/schedule.
 #pragma once
 
+#include "aead/suite.hpp"
 #include "core/credentials.hpp"
 #include "core/party.hpp"
 #include "core/protocol_ids.hpp"
@@ -64,6 +65,14 @@ struct StsConfig {
   /// peer's cached wNAF table. Null keeps the self-contained two-party
   /// behaviour.
   PeerKeyCache* peer_cache = nullptr;
+  /// AEAD record-suite offer bitmask (aead::kOffer*): bit i offers suite id
+  /// i for the post-handshake records. The default keeps every handshake
+  /// byte — and the resulting v2 records — exactly as before; any broader
+  /// mask appends one offer byte to A1 and one confirm byte to B1, and both
+  /// bytes are folded into the data each side signs, so stripping or
+  /// rewriting the negotiation breaks the handshake (no silent downgrade).
+  /// The agreed suite lands in session_keys().suite.
+  std::uint8_t offered_suites = aead::kOfferLegacy;
 };
 
 class StsInitiator final : public Party {
@@ -90,6 +99,8 @@ class StsInitiator final : public Party {
   bi::U256 xa_;               // ephemeral secret X_A
   Bytes xga_;                 // XG_A, raw 64-byte encoding
   Bytes xgb_;                 // XG_B as received
+  bool offering_ = false;     // A1 carried a suite-offer byte
+  std::array<std::uint8_t, 2> nego_{};  // {offer, confirm} when offering_
   kdf::SessionKeys keys_;
   cert::DeviceId peer_id_;
 };
@@ -123,6 +134,8 @@ class StsResponder final : public Party {
   ec::AffinePoint peer_public_;   // Q_A (opt variants derive it early)
   bool have_peer_public_ = false;
   std::optional<cert::Certificate> peer_cert_;  // kept for cached-table verify
+  bool nego_active_ = false;      // peer's A1 carried a suite offer
+  std::array<std::uint8_t, 2> nego_{};  // {offer, confirm} when active
   kdf::SessionKeys keys_;
   cert::DeviceId peer_id_;
 };
@@ -142,8 +155,11 @@ inline constexpr std::string_view kKdfLabel = "ecqv-sts-v1";
 /// a keystream.
 Bytes crypt_resp(const kdf::SessionKeys& keys, Role sender, ByteView resp);
 
-/// Signature input per Algorithm 1: own XG first, peer's second.
-Bytes resp_sign_input(ByteView own_xg, ByteView peer_xg);
+/// Signature input per Algorithm 1: own XG first, peer's second. When the
+/// handshake carries a suite negotiation, the {offer, confirm} byte pair is
+/// appended so both signatures pin the negotiation outcome (empty for the
+/// legacy wire format, keeping those signatures byte-identical).
+Bytes resp_sign_input(ByteView own_xg, ByteView peer_xg, ByteView nego = {});
 
 /// Wire size of one authentication response under a mode (64 or 96).
 std::size_t resp_size(StsAuthMode mode);

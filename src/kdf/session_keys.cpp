@@ -46,6 +46,10 @@ SessionKeys ratchet_session_keys(const SessionKeys& keys, std::uint32_t next_epo
   salt.resize(salt.size() + 4);
   store_be32(ByteSpan(salt).subspan(salt.size() - 4), next_epoch);
   SessionKeys next = derive_session_keys(ikm, salt, bytes_of("ecqv-epoch-ratchet-v1"));
+  // The negotiated suite is a session property, not key material: it rides
+  // across epochs unchanged (and stays out of the IKM so the legacy ratchet
+  // chain — and its golden RK1 vector — is byte-identical for suite 0).
+  next.suite = keys.suite;
   secure_wipe(ikm);
   return next;
 }

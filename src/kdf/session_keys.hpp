@@ -22,8 +22,9 @@ struct SessionKeys {
   aes::Key enc_key{};                                    // AES-128
   std::array<std::uint8_t, 32> mac_key{};                // HMAC-SHA256
   aes::Iv iv_seed{};                                     // per-session IV base
+  std::uint8_t suite = 0;                                // aead::SuiteId wire byte (0 = legacy v2)
 
-  /// Wipes all key material.
+  /// Wipes all key material (the suite byte is public and survives).
   void wipe();
 
   bool operator==(const SessionKeys&) const = default;

@@ -66,6 +66,64 @@ TEST(WireVectors, SecureChannelRecordV2IsByteExact) {
   EXPECT_EQ(record0.size(), bytes_of("record zero").size() + proto::SecureChannel::kOverhead);
 }
 
+// ------------------------------------------------ SecureChannel record v3
+
+TEST(WireVectors, SecureChannelRecordV3IsByteExactPerSuite) {
+  // v3 = suite || epoch || flags || seq || ct || tag, the 14-byte header as
+  // AAD, nonce = iv_seed[0..11] XOR epoch||seq (responder lane flips the
+  // top nonce bit). Same fixed keys and plaintexts as the v2 vector above:
+  // the three records pin seq/flags/epoch handling per suite. Note the two
+  // CCM suites share ciphertext bytes and differ only in the tag — the tag
+  // length M sits in the B0 flags, so a truncated tag is NOT a prefix of
+  // the full one.
+  struct SuiteVector {
+    std::uint8_t suite;
+    const char* r0;  // epoch 0, flags 0, seq 0, "record zero"
+    const char* r1;  // epoch 0, kFlagRatchet, seq 1, "record one"
+    const char* r2;  // responder lane, epoch 3, "responder epoch three"
+  };
+  const SuiteVector vectors[] = {
+      {0x01,  // aes128-gcm, 16-byte tag
+       "01000000000000000000000000005084555c72de81f7fd1b2712a8b028aca5861dc02e70048e920712",
+       "01000000000100000000000000013a377e7e7ae447d8e5aba860ab491d1e72ee17c74e44169a5778",
+       "01000000030000000000000000003f888d4ad29ee050286323af01e233ee5093e749f9910af107ecca"
+       "b62794d4dcc26dcd30cf"},
+      {0x02,  // aes128-ccm, 16-byte tag
+       "0200000000000000000000000000b3d234fdcce61c13c19ab81aadf9e4665fa91bfa8f454fb71511ea",
+       "0200000000010000000000000001c385cbbcb1ce0bb37d3ba1cd3a6c8e00838e42725bd105578e26",
+       "02000000030000000000000000005746d8600824423f6f785771a6f0208ec928e207b064bde9c573cad2"
+       "1a6cbd23e04233856e"},
+      {0x03,  // aes128-ccm-8, 8-byte tag (the 23 B/record saving vs v2)
+       "0300000000000000000000000000b3d234fdcce61c13c19ab88648a3d7c809a0b8",
+       "0300000000010000000000000001c385cbbcb1ce0bb37d3b2fa396b045653b96",
+       "03000000030000000000000000005746d8600824423f6f785771a6f0208ec928e207b0d0e6bed6028002"
+       "ba"},
+  };
+  for (const auto& v : vectors) {
+    auto keys = wire_keys();
+    keys.suite = v.suite;
+    proto::SecureChannel tx(keys, proto::Role::kInitiator, 0);
+    const Bytes record0 = tx.seal(bytes_of("record zero"));
+    EXPECT_EQ(to_hex(record0), v.r0) << "suite=" << int(v.suite);
+    const Bytes record1 = tx.seal(bytes_of("record one"), proto::SecureChannel::kFlagRatchet);
+    EXPECT_EQ(to_hex(record1), v.r1) << "suite=" << int(v.suite);
+    proto::SecureChannel tx_resp(keys, proto::Role::kResponder, 3);
+    EXPECT_EQ(to_hex(tx_resp.seal(bytes_of("responder epoch three"))), v.r2)
+        << "suite=" << int(v.suite);
+
+    // The frozen bytes stay live and the suite-aware peeks see through the
+    // one-byte suite prefix.
+    proto::SecureChannel rx(keys, proto::Role::kResponder, 0);
+    EXPECT_EQ(proto::SecureChannel::peek_epoch(record0, v.suite).value(), 0u);
+    EXPECT_EQ(proto::SecureChannel::peek_flags(record1, v.suite).value(),
+              proto::SecureChannel::kFlagRatchet);
+    EXPECT_EQ(rx.open(record0).value(), bytes_of("record zero"));
+    EXPECT_EQ(rx.open(record1).value(), bytes_of("record one"));
+    EXPECT_EQ(record0.size(),
+              bytes_of("record zero").size() + proto::SecureChannel::overhead_for(v.suite));
+  }
+}
+
 // ------------------------------------------------------ RK1 announcement
 
 TEST(WireVectors, RatchetAnnouncementRk1IsByteExact) {

@@ -14,26 +14,34 @@
 #   BENCH_protocols.json    — bench_protocols_native (STS/SCIANC/PorAmB etc.)
 #   BENCH_fleet.json        — bench_fleet (session fabric: batch extraction,
 #                             cached-table verify, ratchet vs full rekey,
-#                             fleet seal/open throughput, and the PR 7
+#                             fleet seal/open throughput, the PR 7
 #                             throughput rows: BM_FleetEnrollBatch certs/s,
 #                             BM_EcdsaVerifyBatch/{64,256} verifies/s vs the
-#                             cached single baseline, and the worker-pool
-#                             BM_EcdsaVerifyBatchWorkers window)
+#                             cached single baseline, the worker-pool
+#                             BM_EcdsaVerifyBatchWorkers window, and the
+#                             record-layer rows: BM_RecordSealOpen per AEAD
+#                             suite at 64/1500 B — gcm128 vs v2-ctr-hmac is
+#                             the hardware-AEAD acceptance ratio — plus the
+#                             BM_CtrXor1500 before/after rewrite rows)
 #   BENCH_concurrency.json  — bench_concurrency (worker sweep over ideal +
 #                             CAN-FD transports, sharded-store thread sweep;
 #                             the JSON context records hardware_concurrency —
 #                             compare speedups only across equal core counts)
 #   BENCH_fig7.json         — bench_fig7_prototype_timeline (wire-derived
 #                             Fig. 7 timeline, 2/100/1000-peer CAN-FD
-#                             contention matrix, loss-model sweep)
+#                             contention matrix — run under legacy v2
+#                             records AND the negotiated aes128-ccm-8 v3
+#                             suite, with fig7/stream/*/ccm8_delta_bus
+#                             recording the bus-ms the leaner records save —
+#                             and the loss-model sweep)
 #   BENCH_chaos.json        — bench_chaos_soak (p50/p99 establishment
 #                             latency at 0/1/5/20% datagram loss, virtual-
 #                             clock milliseconds; fully deterministic and
 #                             exits 1 on a stuck handshake)
 #
-# Every JSON context embeds a "cpu" block (bmi2/adx/avx512ifma feature
-# flags + which dispatch tiers were live), so a snapshot always carries
-# the provenance needed to compare it fairly against another machine.
+# Every JSON context embeds a "cpu" block (bmi2/adx/avx512ifma/aesni/pclmul
+# feature flags + which dispatch tiers were live), so a snapshot always
+# carries the provenance needed to compare it fairly against another machine.
 #
 # Compare against the committed BENCH_baseline.json (the same suite captured
 # at the pre-fast-path seed) with e.g.:
@@ -58,7 +66,8 @@ snapshots at the repo root:
   BENCH_protocols.json     STS/S-ECDSA/SCIANC/PorAmB handshakes
   BENCH_fleet.json         session fabric (batch extract, cached verify,
                            ratchet ladder, seal/open throughput, batch
-                           enroll certs/s + batch verify verifies/s)
+                           enroll certs/s + batch verify verifies/s,
+                           per-suite record seal/open + CTR rewrite rows)
   BENCH_concurrency.json   worker sweep (ideal + CAN-FD) + store threads
   BENCH_fig7.json          wire-derived Fig. 7 timeline + the CAN-FD
                            contention matrix (2/100/1000 peers) + loss sweep
