@@ -75,7 +75,7 @@ int main() {
   auto pair2 = proto::make_parties(proto::ProtocolKind::kSts, alice, bob, rng, rng, now);
   (void)proto::run_handshake(*pair2.initiator, *pair2.responder);
   std::printf("second session derives a different key: %s\n",
-              pair.initiator->session_keys() == pair2.initiator->session_keys() ? "NO (bug!)"
+              kdf::ct_equal(pair.initiator->session_keys(), pair2.initiator->session_keys()) ? "NO (bug!)"
                                                                                 : "yes");
 
   // --- 5. Dynamic rekeying through the session broker ----------------------

@@ -24,6 +24,13 @@ class Aes128 {
  public:
   explicit Aes128(ByteView key);  // requires key.size() == 16
 
+  /// The 176-byte expansion is equivalent key material: a discarded cipher
+  /// (epoch rekey temporaries, SecureChannel replacement) must not leave it
+  /// on the stack/heap, so destruction routes through the DSE-hardened wipe.
+  ~Aes128() { wipe(); }
+  Aes128(const Aes128&) = default;
+  Aes128& operator=(const Aes128&) = default;
+
   /// Encrypts/decrypts one 16-byte block in place.
   void encrypt_block(ByteSpan block) const;
   void decrypt_block(ByteSpan block) const;

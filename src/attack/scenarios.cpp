@@ -96,14 +96,14 @@ SecurityFacts run_scenarios(ProtocolKind kind, std::uint64_t seed) {
   const SessionRun session2 = run_session(kind, world, seed + 20);
   if (!session2.handshake.success)
     throw std::runtime_error("run_scenarios: second handshake failed");
-  facts.fresh_keys_per_session = !(session1.keys == session2.keys);
+  facts.fresh_keys_per_session = !kdf::ct_equal(session1.keys, session2.keys);
 
   // --- long-term credential leak, then reconstruction attack (T1/T4/T5)
   const LeakedMaterial leaked{world.alice, world.bob};
   const auto reconstructed =
       reconstruct_session_keys(kind, session1.handshake.transcript, leaked);
   facts.keys_derivable_from_longterm =
-      reconstructed.has_value() && *reconstructed == session1.keys;
+      reconstructed.has_value() && kdf::ct_equal(*reconstructed, session1.keys);
 
   if (facts.keys_derivable_from_longterm) {
     proto::SecureChannel adversary(*reconstructed, proto::Role::kResponder);

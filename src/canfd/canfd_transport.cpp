@@ -20,17 +20,25 @@ CanFdTransport::CanFdTransport(Config config)
   // (it never transmits), reassembles per sender arbitration id, and
   // routes completed datagrams to the destination inbox — the acceptance
   // filtering a real controller does in hardware.
-  bus_.attach([this](const CanFdFrame& frame, double now) { on_bus_frame(frame, now); });
+  // The bus only runs from flush(), which holds mutex_ — but the analysis
+  // cannot follow the callback indirection, so each sink re-asserts the
+  // capability at its boundary instead of the sink functions going
+  // unchecked.
+  bus_.attach([this](const CanFdFrame& frame, double now) {
+    mutex_.assert_held();
+    on_bus_frame(frame, now);
+  });
   if (config_.recorder != nullptr) {
     bus_.set_frame_observer(
         [this](CanBus::NodeId, const CanFdFrame& frame, double ready, double start, double end) {
+          mutex_.assert_held();
           on_frame_timed(frame, ready, start, end);
         });
   }
 }
 
 void CanFdTransport::attach(const cert::DeviceId& endpoint) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (by_id_.find(endpoint) != by_id_.end()) return;
   if (next_can_id_ > 0x7ff)
     throw std::length_error("CanFdTransport: 11-bit arbitration id space exhausted");
@@ -49,7 +57,7 @@ void CanFdTransport::attach(const cert::DeviceId& endpoint) {
 
 Status CanFdTransport::send(const cert::DeviceId& src, const cert::DeviceId& dst,
                             const proto::Message& message) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto src_it = by_id_.find(src);
   const auto dst_it = by_id_.find(dst);
   if (src_it == by_id_.end() || dst_it == by_id_.end()) return Error::kBadState;
@@ -266,7 +274,7 @@ void CanFdTransport::on_bus_frame(const CanFdFrame& frame, double now_ms) {
 }
 
 std::optional<proto::Datagram> CanFdTransport::receive(const cert::DeviceId& dst) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   flush();
   const auto it = by_id_.find(dst);
   if (it == by_id_.end() || it->second->inbox.empty()) return std::nullopt;
@@ -276,7 +284,7 @@ std::optional<proto::Datagram> CanFdTransport::receive(const cert::DeviceId& dst
 }
 
 bool CanFdTransport::idle() {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   flush();
   for (const auto& node : nodes_)
     if (!node->inbox.empty()) return false;
@@ -284,19 +292,19 @@ bool CanFdTransport::idle() {
 }
 
 double CanFdTransport::bus_time_ms() {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   flush();
   return bus_.now_ms();
 }
 
 double CanFdTransport::bus_busy_ms() {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   flush();
   return bus_.busy_ms();
 }
 
 void CanFdTransport::charge(const cert::DeviceId& endpoint, double ms) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   flush();  // the charge starts after everything already on the bus
   const auto it = by_id_.find(endpoint);
   if (it == by_id_.end()) return;
@@ -314,7 +322,7 @@ void CanFdTransport::charge(const cert::DeviceId& endpoint, double ms) {
 }
 
 double CanFdTransport::endpoint_time_ms(const cert::DeviceId& endpoint) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   flush();
   const auto it = by_id_.find(endpoint);
   if (it == by_id_.end()) return bus_.now_ms();

@@ -139,27 +139,37 @@ class CanFdTransport final : public proto::Transport {
 
   /// Merges every sender's pending frames onto the bus round-robin (one
   /// frame per sender per turn) and runs the bus until drained. Lock held.
-  void flush();
-  /// Switch-side frame sink (runs inside bus_.run() from flush).
-  void on_bus_frame(const CanFdFrame& frame, double now_ms);
+  void flush() REQUIRES(mutex_);
+  /// Switch-side frame sink (runs inside bus_.run() from flush — the lock
+  /// is held across the run, re-asserted at the lambda boundary because the
+  /// analysis cannot follow the bus's callback indirection).
+  void on_bus_frame(const CanFdFrame& frame, double now_ms) REQUIRES(mutex_);
   /// Bus frame-timing tap (runs inside bus_.run(); recorder configured).
-  void on_frame_timed(const CanFdFrame& frame, double ready_ms, double start_ms, double end_ms);
+  void on_frame_timed(const CanFdFrame& frame, double ready_ms, double start_ms, double end_ms)
+      REQUIRES(mutex_);
   /// Counts one abandoned transfer and emits its kAbort timeline event
   /// (`label` names the failure: gap, short payload, bad header, ...).
-  void record_abort(std::uint32_t can_id, double now_ms, const char* label, std::size_t n = 1);
+  void record_abort(std::uint32_t can_id, double now_ms, const char* label, std::size_t n = 1)
+      REQUIRES(mutex_);
 
   Config config_;
+  // The bus itself is only driven under the lock (flush and its callbacks),
+  // but stays unguarded: frames_delivered() reads a monotone counter for
+  // test assertions after the fabric quiesces.
   CanBus bus_;
   OptionalMutex mutex_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::unordered_map<cert::DeviceId, Node*, proto::DeviceIdHash> by_id_;
-  std::unordered_map<std::uint32_t, Node*> by_can_id_;
-  std::unordered_map<std::uint32_t, IsoTpReassembler> reassembly_;  // keyed by sender can id
-  std::unordered_map<std::uint32_t, RxTiming> rx_timing_;           // keyed by sender can id
-  std::vector<std::deque<OutFrame>> txq_;  // per attached endpoint (Node::txq)
-  std::size_t queued_frames_ = 0;  // frames waiting in txq_ (flush fast path)
-  std::uint64_t next_transfer_ = 1;
-  std::uint32_t next_can_id_ = 0x001;
+  std::vector<std::unique_ptr<Node>> nodes_ GUARDED_BY(mutex_);
+  std::unordered_map<cert::DeviceId, Node*, proto::DeviceIdHash> by_id_ GUARDED_BY(mutex_);
+  std::unordered_map<std::uint32_t, Node*> by_can_id_ GUARDED_BY(mutex_);
+  std::unordered_map<std::uint32_t, IsoTpReassembler> reassembly_
+      GUARDED_BY(mutex_);  // keyed by sender can id
+  std::unordered_map<std::uint32_t, RxTiming> rx_timing_
+      GUARDED_BY(mutex_);  // keyed by sender can id
+  std::vector<std::deque<OutFrame>> txq_
+      GUARDED_BY(mutex_);  // per attached endpoint (Node::txq)
+  std::size_t queued_frames_ GUARDED_BY(mutex_) = 0;  // frames in txq_ (flush fast path)
+  std::uint64_t next_transfer_ GUARDED_BY(mutex_) = 1;
+  std::uint32_t next_can_id_ GUARDED_BY(mutex_) = 0x001;
   Stats stats_;
 };
 

@@ -24,10 +24,10 @@
 // fabrics) worker threads charging compute.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "ecqv/certificate.hpp"
 
 namespace ecqv::can {
@@ -87,8 +87,8 @@ class TimelineRecorder {
   [[nodiscard]] Summary summary() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TimelineEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<TimelineEvent> events_ GUARDED_BY(mutex_);
 };
 
 }  // namespace ecqv::can

@@ -1,0 +1,130 @@
+// Secret-taint types: key material the type system refuses to branch on.
+//
+// The paper's embedded deployment (and every constant-time discipline rule
+// in src/ec, src/aes, src/aead) demands that secret bytes never feed a
+// data-dependent branch, comparison or table index. Until now that rule
+// lived in comments; ct::Secret<T> makes it a compile error. A Secret wraps
+// a trivially-copyable value (an AES key, a MAC key, an IV seed, an ECDSA
+// nonce scalar) and deletes every operator an accidental leak would ride
+// on: ==, !=, <, [], bool. Exactly three escapes exist, all greppable:
+//
+//   * ct_equal(a, b)   — constant-time comparison (the only equality);
+//   * wipe()           — zeroize through the DSE-hardened secure_wipe;
+//   * declassify()     — explicit typed access. Every call site is an
+//     auditable assertion that the use is safe: either the value enters a
+//     constant-time pipeline that needs the underlying type (Montgomery
+//     scalar arithmetic), or the derived value is public by construction.
+//
+// bytes()/mutable_bytes() expose the raw octets for feeding constant-time
+// primitives (HKDF, HMAC, the AES key schedule) and for derivation fills;
+// they return spans, so a misuse (memcmp, operator== on the span contents)
+// is caught by tools/ct_lint.py rather than the type system — the lint and
+// the types are one mechanism split across what C++ can and cannot express.
+//
+// Secrets wipe themselves on destruction: a Secret that goes out of scope
+// — a derivation temporary, an evicted session's hierarchy, a retired
+// epoch — leaves no residue. That is also why Secret is NOT trivially
+// destructible; holders that need trivial destruction keep raw arrays and
+// register with the ct_lint wipe-in-destructor registry instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/bytes.hpp"
+#include "common/ct_equal.hpp"
+#include "common/wipe.hpp"
+
+namespace ecqv::ct {
+
+/// Non-owning view of secret bytes. Same taint rules as Secret<T>:
+/// comparison and indexing are deleted; the raw span escapes only through
+/// declassify(). Use it for function parameters that receive key material
+/// (so the signature documents the taint) without forcing the caller's
+/// storage into a Secret<T>.
+class SecretSpan {
+ public:
+  constexpr SecretSpan(std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit constexpr SecretSpan(ByteSpan bytes) : data_(bytes.data()), size_(bytes.size()) {}
+
+  SecretSpan(const SecretSpan&) = default;
+  SecretSpan& operator=(const SecretSpan&) = default;
+
+  bool operator==(const SecretSpan&) const = delete;
+  bool operator!=(const SecretSpan&) const = delete;
+  std::uint8_t& operator[](std::size_t) const = delete;
+
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+
+  /// Explicit escape: the caller asserts this use is constant-time-safe.
+  [[nodiscard]] constexpr ByteView declassify() const { return ByteView(data_, size_); }
+  [[nodiscard]] constexpr ByteSpan declassify_mut() const { return ByteSpan(data_, size_); }
+
+  void wipe() const { secure_wipe(ByteSpan(data_, size_)); }
+
+  /// Constant-time equality — the ONLY comparison on secret views.
+  friend bool ct_equal(const SecretSpan& a, const SecretSpan& b) {
+    return a.size_ == b.size_ && ecqv::ct_equal(ByteView(a.data_, a.size_), ByteView(b.data_, b.size_));
+  }
+
+ private:
+  std::uint8_t* data_;
+  std::size_t size_;
+};
+
+/// Owning secret value. T must be trivially copyable (byte arrays, POD
+/// scalar limb structs) so bytes() / wipe() can treat it as raw octets.
+template <typename T>
+class Secret {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ct::Secret requires a trivially copyable payload");
+
+ public:
+  Secret() : value_{} {}
+  explicit Secret(const T& value) : value_(value) {}
+
+  Secret(const Secret&) = default;
+  Secret& operator=(const Secret&) = default;
+
+  /// Secrets leave no residue: destruction zeroizes through the
+  /// DSE-hardened wipe path.
+  ~Secret() { wipe(); }
+
+  // No comparisons, no indexing, no truthiness: branching on a secret is a
+  // compile error. tests/compile_fail/secret_compare.cpp pins this.
+  bool operator==(const Secret&) const = delete;
+  bool operator!=(const Secret&) const = delete;
+  bool operator<(const Secret&) const = delete;
+  explicit operator bool() const = delete;
+
+  /// Raw octets for constant-time primitives (HKDF/HMAC input, AES key
+  /// schedule expansion). The span itself is still secret — never memcmp
+  /// or == it (tools/ct_lint.py polices the span escapes).
+  [[nodiscard]] ByteView bytes() const {
+    return ByteView(reinterpret_cast<const std::uint8_t*>(&value_), sizeof(T));
+  }
+  [[nodiscard]] ByteSpan mutable_bytes() {
+    return ByteSpan(reinterpret_cast<std::uint8_t*>(&value_), sizeof(T));
+  }
+  [[nodiscard]] constexpr std::size_t size() const { return sizeof(T); }
+
+  /// Explicit escape hatch: every call site is an audited assertion that
+  /// the typed value enters a constant-time pipeline (e.g. Montgomery
+  /// scalar arithmetic) or is public by construction. Grep for
+  /// `.declassify()` to review the entire taint boundary.
+  [[nodiscard]] const T& declassify() const { return value_; }
+
+  void wipe() { secure_wipe(mutable_bytes()); }
+
+  /// Constant-time equality — the ONLY comparison on secrets.
+  friend bool ct_equal(const Secret& a, const Secret& b) {
+    return ecqv::ct_equal(a.bytes(), b.bytes());
+  }
+
+ private:
+  T value_;
+};
+
+}  // namespace ecqv::ct

@@ -1,10 +1,29 @@
 #include "common/wipe.hpp"
 
+#include <cstring>
+
 namespace ecqv {
 
+namespace {
+
+// The store goes through a volatile function pointer so the optimizer cannot
+// prove the callee is memset and dead-store-eliminate a wipe of a buffer
+// whose lifetime ends right after (the exact pattern of a destructor wiping
+// key material). Same defence OPENSSL_cleanse and sodium_memzero use where
+// no memset_s/explicit_bzero exists.
+using MemsetFn = void* (*)(void*, int, std::size_t);
+volatile MemsetFn memset_fn = std::memset;
+
+}  // namespace
+
 void secure_wipe(ByteSpan data) {
-  volatile std::uint8_t* p = data.data();
-  for (std::size_t i = 0; i < data.size(); ++i) p[i] = 0;
+  if (data.empty()) return;
+  memset_fn(data.data(), 0, data.size());
+#if defined(__GNUC__) || defined(__clang__)
+  // Second line of defence: declare the buffer escaped so the stores stay
+  // observable even if LTO ever devirtualizes the pointer indirection.
+  asm volatile("" : : "r"(data.data()) : "memory");
+#endif
 }
 
 void secure_wipe(Bytes& data) {

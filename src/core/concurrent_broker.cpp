@@ -30,7 +30,7 @@ ConcurrentSessionBroker::~ConcurrentSessionBroker() {
   stop_.store(true);
   for (auto& worker : workers_) {
     {
-      std::lock_guard<std::mutex> lock(worker->mutex);
+      StdMutexLock lock(worker->mutex);  // fence: wait re-checks stop_ under the lock
     }
     worker->cv.notify_all();
   }
@@ -76,7 +76,7 @@ void ConcurrentSessionBroker::worker_loop(Worker& worker) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(worker.mutex);
+      std::unique_lock<std::mutex> lock(worker.mutex.native());
       worker.cv.wait(lock, [&] { return stop_.load() || !worker.queue.empty(); });
       if (worker.queue.empty()) return;  // stop requested, queue drained
       job = std::move(worker.queue.front());
@@ -127,7 +127,7 @@ std::vector<bool> ConcurrentSessionBroker::verify_batch(
     Worker& worker = *workers_[c % w];
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(worker.mutex);
+      StdMutexLock lock(worker.mutex);
       worker.queue.push_back(std::move(job));
     }
     worker.cv.notify_one();
@@ -170,7 +170,7 @@ std::size_t ConcurrentSessionBroker::poll(std::uint64_t now) {
     Worker& worker = *workers_[DeviceIdHash{}(job.from) % workers_.size()];
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(worker.mutex);
+      StdMutexLock lock(worker.mutex);
       worker.queue.push_back(std::move(job));
     }
     worker.cv.notify_one();

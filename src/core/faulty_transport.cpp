@@ -81,7 +81,7 @@ Status FaultyTransport::send(const cert::DeviceId& src, const cert::DeviceId& ds
   Datagram d{src, dst, message};
   std::vector<Datagram> out;
   {
-    std::lock_guard<OptionalMutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.sent;
     Fault fault = pick_fault();
     // Degradations that keep the model well-defined: corrupting an empty
@@ -151,7 +151,7 @@ Status FaultyTransport::send(const cert::DeviceId& src, const cert::DeviceId& ds
 void FaultyTransport::release_ready() {
   std::vector<Datagram> out;
   {
-    std::lock_guard<OptionalMutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (held_.empty()) return;
     const double now = std::max(inner_.now_ms(), clock_floor_);
     auto kept = held_.begin();
@@ -176,25 +176,33 @@ std::optional<Datagram> FaultyTransport::receive(const cert::DeviceId& dst) {
 bool FaultyTransport::idle() {
   release_ready();
   {
-    std::lock_guard<OptionalMutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!held_.empty()) return false;
   }
   return inner_.idle();
 }
 
-double FaultyTransport::now_ms() { return std::max(inner_.now_ms(), clock_floor_); }
+double FaultyTransport::now_ms() {
+  // The floor is guarded: an unlocked read here raced advance_to() on
+  // concurrent fabrics (found by the thread-safety analysis, not TSan —
+  // the window is a single double store). Lock order stays ours → inner's,
+  // same as send().
+  MutexLock lock(mutex_);
+  return std::max(inner_.now_ms(), clock_floor_);
+}
 
 void FaultyTransport::charge(const cert::DeviceId& endpoint, double ms) {
   inner_.charge(endpoint, ms);
 }
 
 double FaultyTransport::endpoint_time_ms(const cert::DeviceId& endpoint) {
+  MutexLock lock(mutex_);
   return std::max(inner_.endpoint_time_ms(endpoint), clock_floor_);
 }
 
 void FaultyTransport::set_fault_probabilities(double drop, double duplicate, double reorder,
                                               double delay, double corrupt) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   config_.p_drop = drop;
   config_.p_duplicate = duplicate;
   config_.p_reorder = reorder;
@@ -204,14 +212,14 @@ void FaultyTransport::set_fault_probabilities(double drop, double duplicate, dou
 
 void FaultyTransport::advance_to(double t_ms) {
   {
-    std::lock_guard<OptionalMutex> lock(mutex_);
+    MutexLock lock(mutex_);
     clock_floor_ = std::max(clock_floor_, t_ms);
   }
   release_ready();
 }
 
 std::optional<double> FaultyTransport::next_release_ms() {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::optional<double> next;
   for (const Held& h : held_)
     if (!h.reorder && (!next || h.due_ms < *next)) next = h.due_ms;

@@ -149,18 +149,21 @@ class FaultyTransport final : public Transport {
     bool reorder = false;
   };
 
-  Fault pick_fault();                      // mutex held
-  void release_ready();                    // mutex NOT held; forwards due holds
-  void emit_event(Fault fault, const Datagram& d);  // mutex held
-  Status forward(const Datagram& d);       // mutex NOT held
+  Fault pick_fault() REQUIRES(mutex_);
+  /// Forwards due holds into the inner transport; takes the lock itself.
+  void release_ready() EXCLUDES(mutex_);
+  void emit_event(Fault fault, const Datagram& d) REQUIRES(mutex_);
+  /// Calls into the inner transport (which locks for itself) — never under
+  /// our own mutex, or a recorder/inner callback could deadlock back in.
+  Status forward(const Datagram& d) EXCLUDES(mutex_);
 
   Transport& inner_;
   Config config_;
   OptionalMutex mutex_;
-  std::uint64_t rng_state_;
-  std::uint64_t serial_ = 0;
-  double clock_floor_ = 0.0;
-  std::vector<Held> held_;
+  std::uint64_t rng_state_ GUARDED_BY(mutex_);
+  std::uint64_t serial_ GUARDED_BY(mutex_) = 0;
+  double clock_floor_ GUARDED_BY(mutex_) = 0.0;
+  std::vector<Held> held_ GUARDED_BY(mutex_);
   Stats stats_;
 };
 

@@ -21,7 +21,7 @@ void PeerKeyCache::locked_insert(const cert::DeviceId& subject, EntryPtr entry) 
 Result<PeerKeyCache::EntryPtr> PeerKeyCache::get(const cert::Certificate& certificate,
                                                  const ec::AffinePoint& q_ca) {
   {
-    std::lock_guard<OptionalMutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto idx = index_.find(certificate.subject);
     // Field-wise comparison (covers every encoded byte) keeps the hit path
     // allocation-free — verification hot paths call this per signature.
@@ -43,13 +43,13 @@ Result<PeerKeyCache::EntryPtr> PeerKeyCache::get(const cert::Certificate& certif
   auto entry = std::make_shared<const Entry>(
       Entry{certificate, public_key.value(), std::move(table).value()});
 
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   locked_insert(certificate.subject, entry);
   return entry;
 }
 
 PeerKeyCache::EntryPtr PeerKeyCache::peek(const cert::DeviceId& subject) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto idx = index_.find(subject);
   if (idx == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, idx->second);
@@ -72,7 +72,7 @@ std::size_t PeerKeyCache::prewarm(const std::vector<cert::Certificate>& certific
   // Phase 2: all verification tables, one shared inversion.
   auto tables = ec::VerifyTable::build_batch(points);
   std::size_t cached = 0;
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::size_t slot = 0; slot < tables.size(); ++slot) {
     if (!tables[slot].ok()) continue;
     const cert::Certificate& certificate = certificates[cert_index[slot]];

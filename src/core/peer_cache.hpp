@@ -77,25 +77,24 @@ class PeerKeyCache {
   [[nodiscard]] EntryPtr peek(const cert::DeviceId& subject);
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<OptionalMutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return index_.size();
   }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void clear() {
-    std::lock_guard<OptionalMutex> lock(mutex_);
+    MutexLock lock(mutex_);
     lru_.clear();
     index_.clear();
   }
 
  private:
   using LruList = std::list<std::pair<cert::DeviceId, EntryPtr>>;
-  /// Lock must be held.
-  void locked_insert(const cert::DeviceId& subject, EntryPtr entry);
+  void locked_insert(const cert::DeviceId& subject, EntryPtr entry) REQUIRES(mutex_);
 
   std::size_t capacity_;
   mutable OptionalMutex mutex_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<cert::DeviceId, LruList::iterator, DeviceIdHash> index_;
+  LruList lru_ GUARDED_BY(mutex_);  // front = most recently used
+  std::unordered_map<cert::DeviceId, LruList::iterator, DeviceIdHash> index_ GUARDED_BY(mutex_);
   Stats stats_;
 };
 

@@ -21,11 +21,11 @@ Bytes make_finish(const kdf::SessionKeys& keys, Role sender, ByteView certificat
                   ByteView hello_a, ByteView hello_b) {
   const std::uint8_t role_byte = sender == Role::kInitiator ? 0x00 : 0x01;
   const hash::Digest mac =
-      hash::hmac_sha256(keys.mac_key, {ByteView(&role_byte, 1), hello_a, hello_b});
+      hash::hmac_sha256(keys.mac_key.bytes(), {ByteView(&role_byte, 1), hello_a, hello_b});
   const Bytes confirm_plain = concat({hello_a, hello_b});
-  aes::Iv iv = keys.iv_seed;
+  aes::Iv iv = keys.iv_seed.declassify();
   iv[0] ^= sender == Role::kInitiator ? 0xF0 : 0xF1;
-  const aes::Aes128 cipher(keys.enc_key);
+  const aes::Aes128 cipher(keys.enc_key.bytes());
   const Bytes confirm = aes::ctr_crypt(cipher, iv, confirm_plain);
   return concat({certificate, mac, ByteView(confirm)});
 }
@@ -37,11 +37,11 @@ bool verify_finish(const kdf::SessionKeys& keys, Role sender, ByteView expected_
   if (!ct_equal(certificate, expected_cert)) return false;
   const std::uint8_t role_byte = sender == Role::kInitiator ? 0x00 : 0x01;
   const hash::Digest mac =
-      hash::hmac_sha256(keys.mac_key, {ByteView(&role_byte, 1), hello_a, hello_b});
+      hash::hmac_sha256(keys.mac_key.bytes(), {ByteView(&role_byte, 1), hello_a, hello_b});
   if (!ct_equal(finish.subspan(cert::kCertificateSize, kMacSize), mac)) return false;
-  aes::Iv iv = keys.iv_seed;
+  aes::Iv iv = keys.iv_seed.declassify();
   iv[0] ^= sender == Role::kInitiator ? 0xF0 : 0xF1;
-  const aes::Aes128 cipher(keys.enc_key);
+  const aes::Aes128 cipher(keys.enc_key.bytes());
   const Bytes confirm_plain =
       aes::ctr_crypt(cipher, iv, finish.subspan(cert::kCertificateSize + kMacSize));
   return ct_equal(confirm_plain, concat({hello_a, hello_b}));

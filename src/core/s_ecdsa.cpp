@@ -18,7 +18,7 @@ Bytes sign_input(const cert::DeviceId& signer, ByteView peer_nonce, ByteView own
 namespace {
 hash::Digest fin_mac(const kdf::SessionKeys& keys, Role sender, const hash::Digest& th) {
   const std::uint8_t role_byte = sender == Role::kInitiator ? 0x00 : 0x01;
-  return hash::hmac_sha256(keys.mac_key, {bytes_of("fin"), ByteView(&role_byte, 1), th});
+  return hash::hmac_sha256(keys.mac_key.bytes(), {bytes_of("fin"), ByteView(&role_byte, 1), th});
 }
 }  // namespace
 
@@ -32,7 +32,7 @@ Bytes make_fin(const kdf::SessionKeys& keys, Role sender, ByteView transcript, r
   plain.insert(plain.end(), 16, 0x00);
   aes::Iv iv{};
   rng.fill(iv);
-  const aes::Aes128 cipher(keys.enc_key);
+  const aes::Aes128 cipher(keys.enc_key.bytes());
   const Bytes ct = aes::cbc_encrypt_raw(cipher, iv, plain);
   return concat({ByteView(iv), ByteView(ct)});
 }
@@ -41,7 +41,7 @@ bool verify_fin(const kdf::SessionKeys& keys, Role sender, ByteView transcript, 
   if (fin.size() != kFinSize) return false;
   aes::Iv iv{};
   std::copy_n(fin.begin(), iv.size(), iv.begin());
-  const aes::Aes128 cipher(keys.enc_key);
+  const aes::Aes128 cipher(keys.enc_key.bytes());
   auto plain = aes::cbc_decrypt_raw(cipher, iv, fin.subspan(iv.size()));
   if (!plain) return false;
   const hash::Digest th = hash::sha256(transcript);

@@ -12,7 +12,7 @@ namespace scianc_detail {
 Bytes auth_mac(const kdf::SessionKeys& keys, Role sender, ByteView transcript) {
   const std::uint8_t role_byte = sender == Role::kInitiator ? 0x00 : 0x01;
   const hash::Digest th = hash::sha256(transcript);
-  const hash::Digest mac = hash::hmac_sha256(keys.mac_key, {ByteView(&role_byte, 1), th});
+  const hash::Digest mac = hash::hmac_sha256(keys.mac_key.bytes(), {ByteView(&role_byte, 1), th});
   return Bytes(mac.begin(), mac.end());
 }
 

@@ -11,7 +11,7 @@ namespace ecqv::proto {
 namespace {
 
 aes::Iv record_iv(const kdf::SessionKeys& keys, Role sender, std::uint64_t seq) {
-  aes::Iv iv = keys.iv_seed;
+  aes::Iv iv = keys.iv_seed.declassify();
   iv[1] ^= sender == Role::kInitiator ? 0x0A : 0x0B;
   // Fold the sequence number into the low half so every record gets a
   // distinct counter prefix; CTR's own 128-bit increment spans the rest.
@@ -29,7 +29,7 @@ hash::Digest record_mac(const kdf::SessionKeys& keys, Role sender, std::uint32_t
   std::array<std::uint8_t, 8> seq_be{};
   store_be64(seq_be, seq);
   const std::uint8_t dir = sender == Role::kInitiator ? 0x00 : 0x01;
-  return hash::hmac_sha256(keys.mac_key, {ByteView(epoch_be), ByteView(&flags, 1),
+  return hash::hmac_sha256(keys.mac_key.bytes(), {ByteView(epoch_be), ByteView(&flags, 1),
                                           ByteView(seq_be), ByteView(&dir, 1), ciphertext});
 }
 
@@ -39,7 +39,7 @@ hash::Digest record_mac(const kdf::SessionKeys& keys, Role sender, std::uint32_t
 std::array<std::uint8_t, 12> record_nonce(const kdf::SessionKeys& keys, Role sender,
                                           std::uint32_t epoch, std::uint64_t seq) {
   std::array<std::uint8_t, 12> nonce{};
-  std::memcpy(nonce.data(), keys.iv_seed.data(), 12);
+  std::memcpy(nonce.data(), keys.iv_seed.bytes().data(), 12);
   std::array<std::uint8_t, 4> epoch_be{};
   store_be32(ByteSpan(epoch_be), epoch);
   std::array<std::uint8_t, 8> seq_be{};
@@ -53,14 +53,14 @@ std::array<std::uint8_t, 12> record_nonce(const kdf::SessionKeys& keys, Role sen
 }  // namespace
 
 SecureChannel::SecureChannel(const kdf::SessionKeys& keys, Role role, std::uint32_t epoch)
-    : keys_(keys), cipher_(ByteView(keys.enc_key)), role_(role), epoch_(epoch),
+    : keys_(keys), cipher_(keys.enc_key.bytes()), role_(role), epoch_(epoch),
       suite_(keys.suite) {}
 
 void SecureChannel::rekey(const kdf::SessionKeys& keys, std::uint32_t epoch) {
   keys_.wipe();
   cipher_.wipe();
   keys_ = keys;
-  cipher_ = aes::Aes128(ByteView(keys.enc_key));
+  cipher_ = aes::Aes128(keys.enc_key.bytes());
   suite_ = keys.suite;
   epoch_ = epoch;
   send_seq_ = 0;

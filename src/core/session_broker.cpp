@@ -109,7 +109,7 @@ void SessionBroker::strike(PendingShard& shard, const cert::DeviceId& peer) {
 
 bool SessionBroker::peer_dead(const cert::DeviceId& peer) {
   PendingShard& shard = pending_shard(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.strikes.find(peer);
   return it != shard.strikes.end() && it->second >= config_.reliability.dead_after;
 }
@@ -131,7 +131,7 @@ bool SessionBroker::ensure_pending_capacity(PendingShard& shard, const cert::Dev
   // not grow the map.
   if (pending_count_.load(std::memory_order_relaxed) < config_.max_pending) return true;
   {
-    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (shard.map.find(peer) != shard.map.end()) return true;
   }
   sweep_pending(now);
@@ -141,7 +141,7 @@ bool SessionBroker::ensure_pending_capacity(PendingShard& shard, const cert::Dev
 Result<Message> SessionBroker::connect(const cert::DeviceId& peer, std::uint64_t now) {
   PendingShard& shard = pending_shard(peer);
   if (!ensure_pending_capacity(shard, peer, now)) return Error::kBadState;
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto party = std::make_unique<StsInitiator>(creds_, rng_, sts_config(now));
   auto first = party->start();
   if (!first.has_value()) return Error::kInternal;
@@ -168,17 +168,17 @@ Result<std::optional<Message>> SessionBroker::drive(PendingShard& shard,
                                                     const cert::DeviceId& peer, Pending& pending,
                                                     const Message& incoming, std::uint64_t now,
                                                     bool resident) {
-  const auto erase_resident = [&] {
-    if (!resident) return;
-    shard.map.erase(peer);
-    pending_count_.fetch_sub(1, std::memory_order_relaxed);
-  };
+  // "Erase the resident entry" is spelled out at each failure/completion
+  // site (not a lambda: the thread-safety analysis cannot see a lambda
+  // body's REQUIRES context). Only drop the map entry when the
+  // failing/completing party IS the map entry; a fresh A1 replacement that
+  // fails must not destroy a healthy in-flight handshake.
   auto reply = pending.party->on_message(incoming);
   if (!reply) {
-    // Only drop the map entry when the failing party IS the map entry; a
-    // fresh A1 replacement that fails must not destroy a healthy in-flight
-    // handshake it never belonged to.
-    erase_resident();
+    if (resident) {
+      shard.map.erase(peer);
+      pending_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
     ++stats_.handshakes_failed;
     return reply.error();
   }
@@ -187,16 +187,22 @@ Result<std::optional<Message>> SessionBroker::drive(PendingShard& shard,
     // session installed under a different id than the certificate subject
     // would route another peer's records to these keys.
     if (!(pending.party->peer_id() == peer)) {
-      erase_resident();
+      if (resident) {
+        shard.map.erase(peer);
+        pending_count_.fetch_sub(1, std::memory_order_relaxed);
+      }
       ++stats_.handshakes_failed;
       return Error::kAuthenticationFailed;
     }
     store_.install(peer, pending.party->session_keys(), pending.role, now);
     // The flight that opened the exchange — saved now because for resident
-    // entries `pending` aliases the map node erase_resident() destroys.
+    // entries `pending` aliases the map node the erase below destroys.
     Message opener;
     if (reliable()) opener = std::move(pending.last_in);
-    erase_resident();
+    if (resident) {
+      shard.map.erase(peer);
+      pending_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
     ++stats_.handshakes_completed;
     if (reliable()) {
       // Afterlife: if our final reply (or silence) is lost, the peer will
@@ -226,7 +232,7 @@ Result<std::optional<Message>> SessionBroker::on_message(const cert::DeviceId& p
   PendingShard& shard = pending_shard(peer);
   if (incoming.step == "A1") {
     if (!ensure_pending_capacity(shard, peer, now)) return Error::kBadState;
-    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto existing = shard.map.find(peer);
     // A byte-identical repeat of the A1 we already answered is the peer's
     // retransmission (our B1 was lost): re-elicit the same B1 without
@@ -293,7 +299,7 @@ Result<std::optional<Message>> SessionBroker::on_message(const cert::DeviceId& p
     return reply;
   }
 
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.map.find(peer);
   if (it == shard.map.end()) {
     if (reliable()) {
@@ -364,10 +370,9 @@ Result<Message> SessionBroker::initiate_ratchet(const cert::DeviceId& peer, std:
   // session may be LRU-evicted by another worker at any point), then
   // advance our own side; if the session vanished in between, ratchet()
   // fails and no announcement leaves.
-  std::array<std::uint8_t, 32> mac_key{};
+  ct::Secret<kdf::SessionKeys::MacKey> mac_key;
   if (!store_.copy_peer_mac_key(peer, mac_key)) return Error::kBadState;
-  const hash::Digest mac = ratchet_mac(ByteView(mac_key), *role, new_epoch);
-  secure_wipe(ByteSpan(mac_key));
+  const hash::Digest mac = ratchet_mac(mac_key.bytes(), *role, new_epoch);
   auto advanced = store_.ratchet(peer, now);
   if (!advanced) return advanced.error();
 
@@ -377,7 +382,7 @@ Result<Message> SessionBroker::initiate_ratchet(const cert::DeviceId& peer, std:
     // Track the announcement until its RK2 ack: the timer retransmits it,
     // and a spent budget escalates to a full rekey (poll_retransmits).
     PendingShard& shard = pending_shard(peer);
-    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     RatchetAwait await;
     await.announce = announce;
     await.new_epoch = new_epoch;
@@ -394,10 +399,9 @@ Result<Message> SessionBroker::initiate_ratchet(const cert::DeviceId& peer, std:
 /// vanished in between (LRU eviction) — nothing to ack with.
 static std::optional<Message> make_ratchet_ack(SessionStore& store, const cert::DeviceId& peer,
                                                std::uint32_t epoch, Role our_role) {
-  std::array<std::uint8_t, 32> mac_key{};
+  ct::Secret<kdf::SessionKeys::MacKey> mac_key;
   if (!store.copy_peer_mac_key(peer, mac_key)) return std::nullopt;
-  const hash::Digest mac = ratchet_ack_mac(ByteView(mac_key), our_role, epoch);
-  secure_wipe(ByteSpan(mac_key));
+  const hash::Digest mac = ratchet_ack_mac(mac_key.bytes(), our_role, epoch);
   return epoch_message(ecqv::proto::kRatchetAckStepLabel, our_role, epoch, mac);
 }
 
@@ -431,10 +435,9 @@ Result<std::optional<Message>> SessionBroker::on_ratchet(const cert::DeviceId& p
   if (announced != *current + 1) return Error::kBadState;  // lockstep only
   const Role sender_role =
       *our_role == Role::kInitiator ? Role::kResponder : Role::kInitiator;
-  std::array<std::uint8_t, 32> mac_key{};
+  ct::Secret<kdf::SessionKeys::MacKey> mac_key;
   if (!store_.copy_peer_mac_key(peer, mac_key)) return Error::kBadState;
-  const hash::Digest expected = ratchet_mac(ByteView(mac_key), sender_role, announced);
-  secure_wipe(ByteSpan(mac_key));
+  const hash::Digest expected = ratchet_mac(mac_key.bytes(), sender_role, announced);
   if (!ct_equal(ByteView(incoming.payload).subspan(4), ByteView(expected)))
     return Error::kAuthenticationFailed;
 
@@ -458,7 +461,7 @@ Result<std::optional<Message>> SessionBroker::on_ratchet_ack(const cert::DeviceI
   const std::uint32_t epoch = load_be32(ByteView(incoming.payload).subspan(0, 4));
 
   PendingShard& shard = pending_shard(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.awaits.find(peer);
   if (it == shard.awaits.end() || it->second.new_epoch != epoch) {
     // Nothing outstanding (already acked, or the await escalated): a
@@ -472,15 +475,14 @@ Result<std::optional<Message>> SessionBroker::on_ratchet_ack(const cert::DeviceI
     return std::optional<Message>(std::nullopt);
   }
   const Role sender_role = *our_role == Role::kInitiator ? Role::kResponder : Role::kInitiator;
-  std::array<std::uint8_t, 32> mac_key{};
+  ct::Secret<kdf::SessionKeys::MacKey> mac_key;
   if (!store_.copy_peer_mac_key(peer, mac_key)) {
     ++stats_.stale_ignored;
     return std::optional<Message>(std::nullopt);
   }
   // We advanced when we announced, so our current MAC key IS the epoch the
   // ack is keyed with.
-  const hash::Digest expected = ratchet_ack_mac(ByteView(mac_key), sender_role, epoch);
-  secure_wipe(ByteSpan(mac_key));
+  const hash::Digest expected = ratchet_ack_mac(mac_key.bytes(), sender_role, epoch);
   if (!ct_equal(ByteView(incoming.payload).subspan(4), ByteView(expected)))
     return Error::kAuthenticationFailed;
   shard.awaits.erase(it);  // timer dies by generation mismatch
@@ -571,7 +573,7 @@ std::size_t SessionBroker::sweep_pending(std::uint64_t now) {
   const double now_ms = clock_ms();
   const double ttl_ms = static_cast<double>(config_.pending_ttl_seconds) * 1000.0;
   for (auto& shard : pending_) {
-    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (reliable()) {
       for (auto fin = shard.finished.begin(); fin != shard.finished.end();)
         fin = now_ms > fin->second.expires_ms ? shard.finished.erase(fin) : std::next(fin);
@@ -608,7 +610,7 @@ std::vector<SessionBroker::Outbound> SessionBroker::poll_retransmits(double now_
   std::vector<cert::DeviceId> escalate;
   for (const TimerQueue::Entry& entry : timers_.expire(now_ms)) {
     PendingShard& shard = pending_shard(entry.peer);
-    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     switch (entry.kind) {
       case TimerQueue::Kind::kHandshake: {
         const auto it = shard.map.find(entry.peer);

@@ -328,10 +328,10 @@ class SessionBroker {
   /// shard and lock.
   struct PendingShard {
     mutable OptionalMutex mutex;
-    std::unordered_map<cert::DeviceId, Pending, DeviceIdHash> map;
-    std::unordered_map<cert::DeviceId, Finished, DeviceIdHash> finished;
-    std::unordered_map<cert::DeviceId, RatchetAwait, DeviceIdHash> awaits;
-    std::unordered_map<cert::DeviceId, std::uint32_t, DeviceIdHash> strikes;
+    std::unordered_map<cert::DeviceId, Pending, DeviceIdHash> map GUARDED_BY(mutex);
+    std::unordered_map<cert::DeviceId, Finished, DeviceIdHash> finished GUARDED_BY(mutex);
+    std::unordered_map<cert::DeviceId, RatchetAwait, DeviceIdHash> awaits GUARDED_BY(mutex);
+    std::unordered_map<cert::DeviceId, std::uint32_t, DeviceIdHash> strikes GUARDED_BY(mutex);
   };
   static constexpr std::size_t kPendingShards = 64;  // power of two
 
@@ -343,13 +343,12 @@ class SessionBroker {
   /// called WITHOUT the shard lock held (it sweeps all shards when full).
   /// False = at capacity even after a sweep; the caller rejects.
   [[nodiscard]] bool ensure_pending_capacity(PendingShard& shard, const cert::DeviceId& peer,
-                                             std::uint64_t now);
-  /// Shard lock held by the caller. `resident` marks whether `pending` is
-  /// the map entry for `peer` (and may be erased on failure) or a
-  /// not-yet-inserted replacement.
+                                             std::uint64_t now) EXCLUDES(shard.mutex);
+  /// `resident` marks whether `pending` is the map entry for `peer` (and
+  /// may be erased on failure) or a not-yet-inserted replacement.
   Result<std::optional<Message>> drive(PendingShard& shard, const cert::DeviceId& peer,
                                        Pending& pending, const Message& incoming,
-                                       std::uint64_t now, bool resident);
+                                       std::uint64_t now, bool resident) REQUIRES(shard.mutex);
   Result<std::optional<Message>> on_ratchet(const cert::DeviceId& peer, const Message& incoming,
                                             std::uint64_t now);
   Result<std::optional<Message>> on_ratchet_ack(const cert::DeviceId& peer,
@@ -369,13 +368,13 @@ class SessionBroker {
   /// counts backpressure instead — the exchange runs uncovered).
   void arm(double due_ms, const cert::DeviceId& peer, TimerQueue::Kind kind, std::uint64_t gen);
   /// Records one aborted exchange against the peer; flips it dead at the
-  /// strike threshold. Shard lock held by the caller.
-  void strike(PendingShard& shard, const cert::DeviceId& peer);
+  /// strike threshold.
+  void strike(PendingShard& shard, const cert::DeviceId& peer) REQUIRES(shard.mutex);
   /// Post-drive bookkeeping for a surviving handshake exchange: remembers
   /// {incoming -> reply}, restarts the retransmission timer (initiator
   /// side only — responders are re-elicited by the peer's retransmits).
   void record_exchange(PendingShard& shard, const cert::DeviceId& peer, const Message& incoming,
-                       const std::optional<Message>& reply);
+                       const std::optional<Message>& reply) REQUIRES(shard.mutex);
 
   const Credentials& creds_;
   rng::Rng& rng_;

@@ -82,7 +82,7 @@ void SessionStore::evict_one(Shard& inserting) {
   // the shard holds more than the session that was just inserted (the tail
   // must be an *old* entry, never the fresh install itself).
   {
-    std::lock_guard<OptionalMutex> lock(inserting.mutex);
+    MutexLock lock(inserting.mutex);
     if (inserting.lru.size() > 1) {
       wipe_and_erase(inserting, std::prev(inserting.lru.end()));
       ++stats_.capacity_evictions;
@@ -98,14 +98,14 @@ void SessionStore::evict_one(Shard& inserting) {
   std::size_t victim_size = 0;
   for (auto& shard : shards_) {
     if (shard.get() == &inserting) continue;
-    std::lock_guard<OptionalMutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     if (shard->lru.size() > victim_size) {
       victim = shard.get();
       victim_size = shard->lru.size();
     }
   }
   if (victim == nullptr) return;
-  std::lock_guard<OptionalMutex> lock(victim->mutex);
+  MutexLock lock(victim->mutex);
   if (victim->lru.empty()) return;
   wipe_and_erase(*victim, std::prev(victim->lru.end()));
   ++stats_.capacity_evictions;
@@ -120,7 +120,7 @@ void SessionStore::install(const cert::DeviceId& peer, const kdf::SessionKeys& k
                            std::uint64_t now) {
   Shard& shard = shard_for(peer);
   {
-    std::lock_guard<OptionalMutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto idx = shard.index.find(peer);
     if (idx != shard.index.end()) wipe_and_erase(shard, idx->second);
     shard.lru.push_front(
@@ -137,19 +137,19 @@ void SessionStore::install(const cert::DeviceId& peer, const kdf::SessionKeys& k
 
 bool SessionStore::needs_rekey(const cert::DeviceId& peer, std::uint64_t now) {
   Shard& shard = shard_for(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const Session* s = locked_lookup(shard, peer, now);
   return s == nullptr || !usable(*s, now);
 }
 
 bool SessionStore::can_ratchet(const cert::DeviceId& peer, std::uint64_t now) {
   Shard& shard = shard_for(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const Session* s = locked_lookup(shard, peer, now);
   return s != nullptr && resumable(*s, now);
 }
 
-std::uint32_t SessionStore::locked_ratchet(Session& s, std::uint64_t now) {
+std::uint32_t SessionStore::locked_ratchet(Shard&, Session& s, std::uint64_t now) {
   // At most one previous epoch is ever retained: key material from epoch
   // i-1 dies the moment epoch i+1 begins, whatever its window had left.
   if (s.prev != nullptr) {
@@ -173,10 +173,10 @@ std::uint32_t SessionStore::locked_ratchet(Session& s, std::uint64_t now) {
 
 Result<std::uint32_t> SessionStore::ratchet(const cert::DeviceId& peer, std::uint64_t now) {
   Shard& shard = shard_for(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   Session* s = locked_lookup(shard, peer, now);
   if (s == nullptr || !resumable(*s, now)) return Error::kBadState;
-  return locked_ratchet(*s, now);
+  return locked_ratchet(shard, *s, now);
 }
 
 Result<Bytes> SessionStore::seal(const cert::DeviceId& peer, ByteView plaintext,
@@ -187,7 +187,7 @@ Result<Bytes> SessionStore::seal(const cert::DeviceId& peer, ByteView plaintext,
 Result<Bytes> SessionStore::seal(const cert::DeviceId& peer, ByteView plaintext,
                                  std::uint64_t now, DataRekey rekey, bool* ratcheted) {
   Shard& shard = shard_for(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   Session* s = locked_lookup(shard, peer, now);
   if (s == nullptr) return Error::kBadState;
   bool signal = false;
@@ -224,7 +224,7 @@ Result<Bytes> SessionStore::seal(const cert::DeviceId& peer, ByteView plaintext,
     // our very next record is already epoch i+1, so the wire never carries
     // two epochs' worth of flagged records for one advance.
     ++stats_.ratchet_signals_sent;
-    locked_ratchet(*s, now);
+    locked_ratchet(shard, *s, now);
     if (ratcheted != nullptr) *ratcheted = true;
   } else {
     ++s->records;
@@ -239,7 +239,7 @@ Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, st
 Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, std::uint64_t now,
                                  OpenInfo* info) {
   Shard& shard = shard_for(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   Session* s = locked_lookup(shard, peer, now);
   if (s == nullptr) return Error::kBadState;
   const auto epoch = SecureChannel::peek_epoch(record, s->keys.suite);
@@ -264,7 +264,7 @@ Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, st
     const std::uint8_t flags = SecureChannel::peek_flags(record, s->keys.suite).value();
     if ((flags & SecureChannel::kFlagRatchet) != 0) {
       if (resumable(*s, now)) {
-        locked_ratchet(*s, now);
+        locked_ratchet(shard, *s, now);
         ++stats_.ratchet_signals_applied;
         if (info != nullptr) info->ratchet_applied = true;
       } else {
@@ -310,7 +310,7 @@ Result<Bytes> SessionStore::open(const cert::DeviceId& peer, ByteView record, st
 
 void SessionStore::retire(const cert::DeviceId& peer) {
   Shard& shard = shard_for(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto idx = shard.index.find(peer);
   if (idx == shard.index.end()) return;
   wipe_and_erase(shard, idx->second);
@@ -319,7 +319,7 @@ void SessionStore::retire(const cert::DeviceId& peer) {
 std::size_t SessionStore::sweep(std::uint64_t now) {
   std::size_t removed = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<OptionalMutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       const auto next = std::next(it);
       if (!usable(*it, now) && !resumable(*it, now)) {
@@ -335,7 +335,7 @@ std::size_t SessionStore::sweep(std::uint64_t now) {
 
 std::optional<std::uint32_t> SessionStore::epoch(const cert::DeviceId& peer) const {
   const Shard& shard = shard_for(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto idx = shard.index.find(peer);
   if (idx == shard.index.end()) return std::nullopt;
   return idx->second->epoch;
@@ -343,16 +343,16 @@ std::optional<std::uint32_t> SessionStore::epoch(const cert::DeviceId& peer) con
 
 std::optional<Role> SessionStore::session_role(const cert::DeviceId& peer) const {
   const Shard& shard = shard_for(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto idx = shard.index.find(peer);
   if (idx == shard.index.end()) return std::nullopt;
   return idx->second->role;
 }
 
 bool SessionStore::copy_peer_mac_key(const cert::DeviceId& peer,
-                                     std::array<std::uint8_t, 32>& out) const {
+                                     ct::Secret<kdf::SessionKeys::MacKey>& out) const {
   const Shard& shard = shard_for(peer);
-  std::lock_guard<OptionalMutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto idx = shard.index.find(peer);
   if (idx == shard.index.end()) return false;
   out = idx->second->keys.mac_key;

@@ -186,9 +186,10 @@ class SessionStore {
   /// Copies `peer`'s current-epoch MAC key into `out` under the shard lock
   /// (ratchet announcements are authenticated under it); false when absent.
   /// A copy rather than a view: a view could dangle the instant another
-  /// worker's install LRU-evicts the session. The caller wipes the copy.
+  /// worker's install LRU-evicts the session. The copy is secret-tainted
+  /// and wipes itself when the caller's Secret dies.
   [[nodiscard]] bool copy_peer_mac_key(const cert::DeviceId& peer,
-                                       std::array<std::uint8_t, 32>& out) const;
+                                       ct::Secret<kdf::SessionKeys::MacKey>& out) const;
 
   [[nodiscard]] std::size_t active_sessions() const {
     return size_.load(std::memory_order_relaxed);
@@ -221,26 +222,31 @@ class SessionStore {
   };
   struct Shard {
     mutable OptionalMutex mutex;
-    std::list<Session> lru;  // front = most recently used
-    std::unordered_map<cert::DeviceId, std::list<Session>::iterator, DeviceIdHash> index;
+    std::list<Session> lru GUARDED_BY(mutex);  // front = most recently used
+    std::unordered_map<cert::DeviceId, std::list<Session>::iterator, DeviceIdHash> index
+        GUARDED_BY(mutex);
   };
 
   [[nodiscard]] Shard& shard_for(const cert::DeviceId& peer);
   [[nodiscard]] const Shard& shard_for(const cert::DeviceId& peer) const;
   [[nodiscard]] bool usable(const Session& s, std::uint64_t now) const;
   [[nodiscard]] bool resumable(const Session& s, std::uint64_t now) const;
-  /// Shard lock held: advances the session one epoch, rolling the retiring
-  /// channel into the acceptance window. Caller checked resumable().
-  std::uint32_t locked_ratchet(Session& s, std::uint64_t now);
-  /// Shard lock must be held.
-  void wipe_and_erase(Shard& shard, std::list<Session>::iterator it);
-  /// Finds `peer` in `shard` (lock held), evicting it when dead; on a hit,
-  /// refreshes LRU order.
-  Session* locked_lookup(Shard& shard, const cert::DeviceId& peer, std::uint64_t now);
+  /// Advances the session one epoch, rolling the retiring channel into the
+  /// acceptance window. Caller checked resumable(). `shard` owns `s`; the
+  /// REQUIRES is the PR 4 invariant — the decision, the seal and this
+  /// advance share ONE critical section.
+  std::uint32_t locked_ratchet(Shard& shard, Session& s, std::uint64_t now)
+      REQUIRES(shard.mutex);
+  void wipe_and_erase(Shard& shard, std::list<Session>::iterator it) REQUIRES(shard.mutex);
+  /// Finds `peer` in `shard`, evicting it when dead; on a hit, refreshes
+  /// LRU order.
+  Session* locked_lookup(Shard& shard, const cert::DeviceId& peer, std::uint64_t now)
+      REQUIRES(shard.mutex);
   /// Evicts one LRU victim while the store is over capacity. Locks at most
   /// one shard at a time; `inserting` is the shard that just grew (its own
   /// tail is the preferred victim, matching the old pre-insert semantics).
-  void evict_one(Shard& inserting);
+  /// Never entered with any shard lock held — it takes them itself.
+  void evict_one(Shard& inserting) EXCLUDES(inserting.mutex);
 
   Role default_role_;
   Config config_;

@@ -20,8 +20,8 @@ Bytes kd_salt(const cert::DeviceId& initiator, const cert::DeviceId& responder) 
 }
 
 Bytes crypt_resp(const kdf::SessionKeys& keys, Role sender, ByteView resp) {
-  const aes::Aes128 cipher(keys.enc_key);
-  aes::Iv iv = keys.iv_seed;
+  const aes::Aes128 cipher(keys.enc_key.bytes());
+  aes::Iv iv = keys.iv_seed.declassify();
   iv[0] ^= sender == Role::kInitiator ? 0xA1 : 0xB1;
   return aes::ctr_crypt(cipher, iv, resp);
 }
@@ -38,7 +38,7 @@ std::size_t resp_size(StsAuthMode mode) {
 namespace {
 hash::Digest resp_mac(const kdf::SessionKeys& keys, Role sender, ByteView signature_bytes) {
   const std::uint8_t role_byte = sender == Role::kInitiator ? 0xA2 : 0xB2;
-  return hash::hmac_sha256(keys.mac_key, {ByteView(&role_byte, 1), signature_bytes});
+  return hash::hmac_sha256(keys.mac_key.bytes(), {ByteView(&role_byte, 1), signature_bytes});
 }
 }  // namespace
 

@@ -4,12 +4,12 @@ namespace ecqv::proto {
 
 void TimerQueue::schedule(double due_ms, const cert::DeviceId& peer, Kind kind,
                           std::uint64_t gen) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   heap_.push(Armed{Entry{due_ms, peer, kind, gen}, seq_++});
 }
 
 std::vector<TimerQueue::Entry> TimerQueue::expire(double now_ms) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Entry> due;
   while (!heap_.empty() && heap_.top().entry.due_ms <= now_ms) {
     due.push_back(heap_.top().entry);
@@ -19,13 +19,13 @@ std::vector<TimerQueue::Entry> TimerQueue::expire(double now_ms) {
 }
 
 std::optional<double> TimerQueue::next_due_ms() const {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (heap_.empty()) return std::nullopt;
   return heap_.top().entry.due_ms;
 }
 
 std::size_t TimerQueue::size() const {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return heap_.size();
 }
 

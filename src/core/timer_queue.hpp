@@ -75,8 +75,8 @@ class TimerQueue {
   };
 
   mutable OptionalMutex mutex_;
-  std::priority_queue<Armed, std::vector<Armed>, Later> heap_;
-  std::uint64_t seq_ = 0;
+  std::priority_queue<Armed, std::vector<Armed>, Later> heap_ GUARDED_BY(mutex_);
+  std::uint64_t seq_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ecqv::proto

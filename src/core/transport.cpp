@@ -9,13 +9,13 @@ void Transport::charge(const cert::DeviceId& /*endpoint*/, double /*ms*/) {}
 double Transport::endpoint_time_ms(const cert::DeviceId& /*endpoint*/) { return now_ms(); }
 
 void IdealLinkTransport::attach(const cert::DeviceId& endpoint) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   inboxes_.try_emplace(endpoint);
 }
 
 Status IdealLinkTransport::send(const cert::DeviceId& src, const cert::DeviceId& dst,
                                 const Message& message) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (inboxes_.find(src) == inboxes_.end()) return Error::kBadState;
   const auto inbox = inboxes_.find(dst);
   if (inbox == inboxes_.end()) return Error::kBadState;
@@ -26,7 +26,7 @@ Status IdealLinkTransport::send(const cert::DeviceId& src, const cert::DeviceId&
 }
 
 std::optional<Datagram> IdealLinkTransport::receive(const cert::DeviceId& dst) {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto inbox = inboxes_.find(dst);
   if (inbox == inboxes_.end() || inbox->second.empty()) return std::nullopt;
   Datagram out = std::move(inbox->second.front());
@@ -35,7 +35,7 @@ std::optional<Datagram> IdealLinkTransport::receive(const cert::DeviceId& dst) {
 }
 
 bool IdealLinkTransport::idle() {
-  std::lock_guard<OptionalMutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [id, inbox] : inboxes_)
     if (!inbox.empty()) return false;
   return true;

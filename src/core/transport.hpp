@@ -103,7 +103,8 @@ class IdealLinkTransport final : public Transport {
 
  private:
   OptionalMutex mutex_;
-  std::unordered_map<cert::DeviceId, std::deque<Datagram>, DeviceIdHash> inboxes_;
+  std::unordered_map<cert::DeviceId, std::deque<Datagram>, DeviceIdHash> inboxes_
+      GUARDED_BY(mutex_);
   Stats stats_;
 };
 

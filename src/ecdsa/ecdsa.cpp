@@ -20,15 +20,19 @@ bi::U256 digest_to_scalar(const hash::Digest& digest) {
   return curve().fn().reduce(bi::from_be_bytes(digest));
 }
 
-Signature sign_with_nonce(const bi::U256& d, const hash::Digest& digest, const bi::U256& k,
-                          bool even_y) {
+Signature sign_with_nonce(const bi::U256& d, const hash::Digest& digest,
+                          const ct::Secret<bi::U256>& k, bool even_y) {
   const auto& fn = curve().fn();
-  const ec::AffinePoint kg = ec::FixedBaseTable::p256().mul(k);
+  // declassify(): the nonce enters the fixed-base comb and the Montgomery
+  // inversion — constant-time pipelines that need the typed scalar. This is
+  // the single escape on the signing path.
+  const bi::U256& kv = k.declassify();
+  const ec::AffinePoint kg = ec::FixedBaseTable::p256().mul(kv);
   const bi::U256 r = fn.reduce(kg.x);
   if (r.is_zero()) return Signature{bi::U256(0), bi::U256(0)};
   const bi::U256 e = digest_to_scalar(digest);
   // s = k^-1 (e + r d) mod n, all in the Montgomery domain of n.
-  const bi::U256 km = fn.to_mont(k);
+  const bi::U256 km = fn.to_mont(kv);
   const bi::U256 rd = fn.mul(fn.to_mont(r), fn.to_mont(d));
   const bi::U256 sum = fn.add(rd, fn.to_mont(e));
   count_op(Op::kModInv);
@@ -74,7 +78,7 @@ ec::AffinePoint PrivateKey::public_point() const {
 
 Signature PrivateKey::sign_digest(const hash::Digest& digest) const {
   for (unsigned retry = 0;; ++retry) {
-    const bi::U256 k = rfc6979_nonce(d_, digest, retry);
+    const ct::Secret<bi::U256> k = rfc6979_nonce(d_, digest, retry);
     const Signature sig = sign_with_nonce(d_, digest, k, /*even_y=*/false);
     if (!sig.r.is_zero() && !sig.s.is_zero()) return sig;
   }
@@ -85,7 +89,7 @@ Signature PrivateKey::sign(ByteView message) const { return sign_digest(hash::sh
 Signature PrivateKey::sign_randomized(ByteView message, rng::Rng& rng) const {
   const hash::Digest digest = hash::sha256(message);
   for (;;) {
-    const bi::U256 k = curve().random_scalar(rng);
+    const ct::Secret<bi::U256> k(curve().random_scalar(rng));
     const Signature sig = sign_with_nonce(d_, digest, k, /*even_y=*/false);
     if (!sig.r.is_zero() && !sig.s.is_zero()) return sig;
   }
@@ -93,7 +97,7 @@ Signature PrivateKey::sign_randomized(ByteView message, rng::Rng& rng) const {
 
 Signature PrivateKey::sign_digest_batchable(const hash::Digest& digest) const {
   for (unsigned retry = 0;; ++retry) {
-    const bi::U256 k = rfc6979_nonce(d_, digest, retry);
+    const ct::Secret<bi::U256> k = rfc6979_nonce(d_, digest, retry);
     const Signature sig = sign_with_nonce(d_, digest, k, /*even_y=*/true);
     if (!sig.r.is_zero() && !sig.s.is_zero()) return sig;
   }

@@ -17,9 +17,10 @@ Bytes bits2octets(const hash::Digest& digest) {
 
 }  // namespace
 
-bi::U256 rfc6979_nonce(const bi::U256& private_key, const hash::Digest& digest, unsigned retry) {
+ct::Secret<bi::U256> rfc6979_nonce(const bi::U256& private_key, const hash::Digest& digest,
+                                   unsigned retry) {
   const auto& curve = ec::Curve::p256();
-  const Bytes x = bi::to_be_bytes(private_key);
+  Bytes x = bi::to_be_bytes(private_key);
   const Bytes h = bits2octets(digest);
 
   std::array<std::uint8_t, 32> v{};
@@ -54,7 +55,15 @@ bi::U256 rfc6979_nonce(const bi::U256& private_key, const hash::Digest& digest, 
     v = hash::hmac_sha256(k, v);
     const bi::U256 candidate = bi::from_be_bytes(v);
     if (!candidate.is_zero() && bi::cmp(candidate, curve.order()) < 0) {
-      if (produced == retry) return candidate;
+      if (produced == retry) {
+        ct::Secret<bi::U256> out(candidate);
+        // x carries the private key, v the nonce bytes, k the chained HMAC
+        // key: none may outlive the call.
+        secure_wipe(x);
+        secure_wipe(ByteSpan(v));
+        secure_wipe(ByteSpan(k));
+        return out;
+      }
       ++produced;
     }
     // Candidate rejected or reserved for an earlier retry: K/V update.

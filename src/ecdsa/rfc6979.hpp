@@ -2,6 +2,7 @@
 #pragma once
 
 #include "bigint/u256.hpp"
+#include "common/secret.hpp"
 #include "hash/sha256.hpp"
 
 namespace ecqv::sig {
@@ -10,7 +11,13 @@ namespace ecqv::sig {
 /// message digest per RFC 6979 §3.2 (HMAC-SHA256 instantiation). The
 /// `retry` counter requests the retry-th candidate (0 for the first); the
 /// ECDSA layer increments it when a candidate yields r == 0 or s == 0.
-bi::U256 rfc6979_nonce(const bi::U256& private_key, const hash::Digest& digest,
-                       unsigned retry = 0);
+///
+/// The nonce is THE ECDSA secret — one leaked k recovers the private key
+/// from a single signature — so it comes back secret-tainted: no ==, no
+/// branching, declassified only at the mouth of the constant-time scalar
+/// pipeline (sign_with_nonce). The derivation's internal K/V/x buffers are
+/// wiped before returning.
+ct::Secret<bi::U256> rfc6979_nonce(const bi::U256& private_key, const hash::Digest& digest,
+                                   unsigned retry = 0);
 
 }  // namespace ecqv::sig

@@ -7,19 +7,30 @@
 namespace ecqv::kdf {
 
 void SessionKeys::wipe() {
-  secure_wipe(ByteSpan(enc_key));
-  secure_wipe(ByteSpan(mac_key));
-  secure_wipe(ByteSpan(iv_seed));
+  enc_key.wipe();
+  mac_key.wipe();
+  iv_seed.wipe();
+}
+
+bool ct_equal(const SessionKeys& a, const SessionKeys& b) {
+  // Bitwise & keeps the verdict accumulation branch-free across fields.
+  const bool keys_equal = static_cast<bool>(
+      static_cast<unsigned>(ct_equal(a.enc_key, b.enc_key)) &
+      static_cast<unsigned>(ct_equal(a.mac_key, b.mac_key)) &
+      static_cast<unsigned>(ct_equal(a.iv_seed, b.iv_seed)));
+  return keys_equal && a.suite == b.suite;  // suite is public
 }
 
 namespace {
 SessionKeys split(const Bytes& okm) {
   SessionKeys keys;
-  std::copy_n(okm.begin(), keys.enc_key.size(), keys.enc_key.begin());
-  std::copy_n(okm.begin() + static_cast<std::ptrdiff_t>(keys.enc_key.size()),
-              keys.mac_key.size(), keys.mac_key.begin());
-  std::copy_n(okm.begin() + static_cast<std::ptrdiff_t>(keys.enc_key.size() + keys.mac_key.size()),
-              keys.iv_seed.size(), keys.iv_seed.begin());
+  const ByteSpan enc = keys.enc_key.mutable_bytes();
+  const ByteSpan mac = keys.mac_key.mutable_bytes();
+  const ByteSpan iv = keys.iv_seed.mutable_bytes();
+  std::copy_n(okm.begin(), enc.size(), enc.begin());
+  std::copy_n(okm.begin() + static_cast<std::ptrdiff_t>(enc.size()), mac.size(), mac.begin());
+  std::copy_n(okm.begin() + static_cast<std::ptrdiff_t>(enc.size() + mac.size()), iv.size(),
+              iv.begin());
   return keys;
 }
 }  // namespace
@@ -41,7 +52,7 @@ SessionKeys derive_session_keys(ByteView secret, ByteView salt, ByteView info_la
 SessionKeys ratchet_session_keys(const SessionKeys& keys, std::uint32_t next_epoch) {
   // IKM is the full current hierarchy so no single sub-key determines the
   // next epoch; the epoch index in the salt pins the chain position.
-  Bytes ikm = concat({ByteView(keys.enc_key), ByteView(keys.mac_key), ByteView(keys.iv_seed)});
+  Bytes ikm = concat({keys.enc_key.bytes(), keys.mac_key.bytes(), keys.iv_seed.bytes()});
   Bytes salt = bytes_of("epoch");
   salt.resize(salt.size() + 4);
   store_be32(ByteSpan(salt).subspan(salt.size() - 4), next_epoch);

@@ -13,22 +13,35 @@
 
 #include "aes/aes128.hpp"
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "common/wipe.hpp"
 #include "ec/curve.hpp"
 
 namespace ecqv::kdf {
 
+/// The derived hierarchy is secret-tainted (common/secret.hpp): the key
+/// fields have no ==, no [], no bool — code that wants to compare
+/// hierarchies goes through ct_equal(a, b) below, and code that feeds a
+/// primitive reads `.bytes()`. Each field also wipes itself when the
+/// struct dies, so hierarchy temporaries (derivation, ratchet, eviction)
+/// leave no residue even on paths that forget to call wipe().
 struct SessionKeys {
-  aes::Key enc_key{};                                    // AES-128
-  std::array<std::uint8_t, 32> mac_key{};                // HMAC-SHA256
-  aes::Iv iv_seed{};                                     // per-session IV base
-  std::uint8_t suite = 0;                                // aead::SuiteId wire byte (0 = legacy v2)
+  using MacKey = std::array<std::uint8_t, 32>;
+
+  ct::Secret<aes::Key> enc_key{};          // AES-128
+  ct::Secret<MacKey> mac_key{};            // HMAC-SHA256
+  ct::Secret<aes::Iv> iv_seed{};           // per-session IV base
+  std::uint8_t suite = 0;                  // aead::SuiteId wire byte (0 = legacy v2)
 
   /// Wipes all key material (the suite byte is public and survives).
   void wipe();
-
-  bool operator==(const SessionKeys&) const = default;
 };
+
+/// Constant-time hierarchy comparison — the ONLY equality over SessionKeys
+/// (the member Secrets delete operator==). The suite byte is public and
+/// compares normally; key material compares without data-dependent
+/// branches.
+[[nodiscard]] bool ct_equal(const SessionKeys& a, const SessionKeys& b);
 
 /// The paper's KDF(KPM, salt): premaster point -> session key hierarchy.
 /// The premaster enters as the x-coordinate (SEC1 §3.3.1 field-element

@@ -10,8 +10,7 @@
 // shared hardware TRNG would have.
 #pragma once
 
-#include <mutex>
-
+#include "common/sync.hpp"
 #include "rng/rng.hpp"
 
 namespace ecqv::rng {
@@ -21,13 +20,16 @@ class LockedRng final : public Rng {
   explicit LockedRng(Rng& inner) : inner_(inner) {}
 
   void fill(ByteSpan out) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    StdMutexLock lock(mutex_);
     inner_.fill(out);
   }
 
  private:
+  // The inner generator's mutable state is what the lock protects; the
+  // reference itself is immutable, so the capability guards the fill()
+  // call, not a field.
   Rng& inner_;
-  std::mutex mutex_;
+  Mutex mutex_;
 };
 
 }  // namespace ecqv::rng

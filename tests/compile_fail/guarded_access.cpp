@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: reads a GUARDED_BY
+// field without holding its mutex. Under gcc the annotations are no-ops and
+// this file compiles — the CMake harness only runs it on clang.
+#include "common/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int unsafe_read() const { return value_; }  // no lock held: analysis error
+
+ private:
+  mutable ecqv::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.unsafe_read();
+}

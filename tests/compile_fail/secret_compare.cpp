@@ -1,0 +1,10 @@
+// MUST NOT COMPILE (any compiler): operator== on ct::Secret is deleted.
+// If this file ever compiles, the secret-taint boundary has a hole.
+#include <array>
+
+#include "common/secret.hpp"
+
+int main() {
+  ecqv::ct::Secret<std::array<std::uint8_t, 32>> a, b;
+  return a == b;  // deleted: secrets have no branchable equality
+}

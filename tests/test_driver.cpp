@@ -33,7 +33,8 @@ TEST(Driver, AllSevenVariantsEstablish) {
   for (const auto kind : sim::kTable1Rows) {
     const auto outcome = ecqv::testing::run(kind, world);
     EXPECT_TRUE(outcome.result.success) << protocol_name(kind);
-    EXPECT_EQ(outcome.initiator_keys, outcome.responder_keys) << protocol_name(kind);
+    EXPECT_TRUE(kdf::ct_equal(outcome.initiator_keys, outcome.responder_keys))
+        << protocol_name(kind);
   }
 }
 
@@ -56,7 +57,7 @@ TEST(Driver, CrossProtocolKeysDiffer) {
   const auto poramb = ecqv::testing::run(ProtocolKind::kPoramb, world);
   ASSERT_TRUE(secdsa.result.success && poramb.result.success);
   // Both are static DH over the same pair — only the KDF context differs.
-  EXPECT_FALSE(secdsa.initiator_keys == poramb.initiator_keys);
+  EXPECT_FALSE(kdf::ct_equal(secdsa.initiator_keys, poramb.initiator_keys));
 }
 
 TEST(Driver, ProtocolNamesAndClassification) {

@@ -27,21 +27,21 @@ TEST(EpochRatchet, DerivesDistinctKeysPerEpoch) {
   const kdf::SessionKeys ks0 = keys_for("ratchet");
   const kdf::SessionKeys ks1 = kdf::ratchet_session_keys(ks0, 1);
   const kdf::SessionKeys ks2 = kdf::ratchet_session_keys(ks1, 2);
-  EXPECT_NE(ks0, ks1);
-  EXPECT_NE(ks1, ks2);
-  EXPECT_NE(ks0, ks2);
+  EXPECT_FALSE(ct_equal(ks0, ks1));
+  EXPECT_FALSE(ct_equal(ks1, ks2));
+  EXPECT_FALSE(ct_equal(ks0, ks2));
   // Every sub-key must change: the ratchet rolls the whole hierarchy.
-  EXPECT_NE(ks0.enc_key, ks1.enc_key);
-  EXPECT_NE(ks0.mac_key, ks1.mac_key);
-  EXPECT_NE(ks0.iv_seed, ks1.iv_seed);
+  EXPECT_FALSE(ct_equal(ks0.enc_key, ks1.enc_key));
+  EXPECT_FALSE(ct_equal(ks0.mac_key, ks1.mac_key));
+  EXPECT_FALSE(ct_equal(ks0.iv_seed, ks1.iv_seed));
 }
 
 TEST(EpochRatchet, DeterministicAndEpochBound) {
   const kdf::SessionKeys ks0 = keys_for("ratchet");
   // Both peers advancing from the same state agree...
-  EXPECT_EQ(kdf::ratchet_session_keys(ks0, 1), kdf::ratchet_session_keys(ks0, 1));
+  EXPECT_TRUE(ct_equal(kdf::ratchet_session_keys(ks0, 1), kdf::ratchet_session_keys(ks0, 1)));
   // ...but the epoch index domain-separates the chain position.
-  EXPECT_NE(kdf::ratchet_session_keys(ks0, 1), kdf::ratchet_session_keys(ks0, 2));
+  EXPECT_FALSE(ct_equal(kdf::ratchet_session_keys(ks0, 1), kdf::ratchet_session_keys(ks0, 2)));
 }
 
 TEST(EpochRatchet, ChainIsOrderSensitive) {
@@ -49,7 +49,7 @@ TEST(EpochRatchet, ChainIsOrderSensitive) {
   const kdf::SessionKeys ks0 = keys_for("chain");
   const kdf::SessionKeys two_steps =
       kdf::ratchet_session_keys(kdf::ratchet_session_keys(ks0, 1), 2);
-  EXPECT_NE(two_steps, kdf::ratchet_session_keys(ks0, 2));
+  EXPECT_FALSE(ct_equal(two_steps, kdf::ratchet_session_keys(ks0, 2)));
 }
 
 // ------------------------------------------------- batch public key extract

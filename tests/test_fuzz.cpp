@@ -411,9 +411,9 @@ TEST_P(HandshakeBitFlip, AnySingleBitFlipPreventsAgreement) {
         in_flight = std::move(reply.value());
         to_responder = !to_responder;
       }
-      const bool agreed = !failed && pair.initiator->established() &&
-                          pair.responder->established() &&
-                          pair.initiator->session_keys() == pair.responder->session_keys();
+      const bool agreed =
+          !failed && pair.initiator->established() && pair.responder->established() &&
+          kdf::ct_equal(pair.initiator->session_keys(), pair.responder->session_keys());
       EXPECT_FALSE(agreed) << "message " << msg_index << " bit " << bit
                            << " flipped yet the handshake completed";
     }

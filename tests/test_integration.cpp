@@ -58,7 +58,7 @@ TEST(Integration, HandshakeOverIsoTpStack) {
   }
   EXPECT_TRUE(pair.initiator->established());
   EXPECT_TRUE(pair.responder->established());
-  EXPECT_EQ(pair.initiator->session_keys(), pair.responder->session_keys());
+  EXPECT_TRUE(kdf::ct_equal(pair.initiator->session_keys(), pair.responder->session_keys()));
 }
 
 TEST(Integration, EncryptedSessionAfterHandshake) {
@@ -98,7 +98,7 @@ TEST(Integration, CertificateRotationStartsNewCertificateSession) {
 
   const auto after = ecqv::testing::run(proto::ProtocolKind::kSEcdsa, world);
   ASSERT_TRUE(after.result.success);
-  EXPECT_FALSE(before.initiator_keys == after.initiator_keys);
+  EXPECT_FALSE(kdf::ct_equal(before.initiator_keys, after.initiator_keys));
 }
 
 TEST(Integration, HandshakeTimeDominatedByComputeNotTransfer) {
@@ -227,7 +227,7 @@ TEST(Integration, FleetProvisioningScales) {
           proto::make_parties(proto::ProtocolKind::kSts, fleet[i], fleet[j], ra, rb, kNow);
       const auto result = proto::run_handshake(*pair.initiator, *pair.responder);
       EXPECT_TRUE(result.success) << i << "-" << j;
-      EXPECT_EQ(pair.initiator->session_keys(), pair.responder->session_keys());
+      EXPECT_TRUE(kdf::ct_equal(pair.initiator->session_keys(), pair.responder->session_keys()));
     }
   }
 }

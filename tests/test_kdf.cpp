@@ -16,32 +16,35 @@ TEST(SessionKeys, DeterministicForSameInputs) {
   const ec::AffinePoint premaster = random_point(1);
   const SessionKeys a = derive_session_keys(premaster, bytes_of("salt"), bytes_of("label"));
   const SessionKeys b = derive_session_keys(premaster, bytes_of("salt"), bytes_of("label"));
-  EXPECT_EQ(a, b);
+  EXPECT_TRUE(ct_equal(a, b));
 }
 
 TEST(SessionKeys, SaltSeparates) {
   const ec::AffinePoint premaster = random_point(2);
-  EXPECT_FALSE(derive_session_keys(premaster, bytes_of("salt-1"), bytes_of("l")) ==
-               derive_session_keys(premaster, bytes_of("salt-2"), bytes_of("l")));
+  EXPECT_FALSE(ct_equal(derive_session_keys(premaster, bytes_of("salt-1"), bytes_of("l")),
+                        derive_session_keys(premaster, bytes_of("salt-2"), bytes_of("l"))));
 }
 
 TEST(SessionKeys, LabelSeparates) {
   const ec::AffinePoint premaster = random_point(3);
-  EXPECT_FALSE(derive_session_keys(premaster, bytes_of("s"), bytes_of("proto-a")) ==
-               derive_session_keys(premaster, bytes_of("s"), bytes_of("proto-b")));
+  EXPECT_FALSE(ct_equal(derive_session_keys(premaster, bytes_of("s"), bytes_of("proto-a")),
+                        derive_session_keys(premaster, bytes_of("s"), bytes_of("proto-b"))));
 }
 
 TEST(SessionKeys, PremasterSeparates) {
-  EXPECT_FALSE(derive_session_keys(random_point(4), bytes_of("s"), bytes_of("l")) ==
-               derive_session_keys(random_point(5), bytes_of("s"), bytes_of("l")));
+  EXPECT_FALSE(ct_equal(derive_session_keys(random_point(4), bytes_of("s"), bytes_of("l")),
+                        derive_session_keys(random_point(5), bytes_of("s"), bytes_of("l"))));
 }
 
 TEST(SessionKeys, SubkeysAreDistinct) {
   const SessionKeys keys = derive_session_keys(random_point(6), bytes_of("s"), bytes_of("l"));
   // enc key must not equal the head of the MAC key or IV seed (split, not
   // reuse).
-  EXPECT_FALSE(std::equal(keys.enc_key.begin(), keys.enc_key.end(), keys.mac_key.begin()));
-  EXPECT_FALSE(std::equal(keys.iv_seed.begin(), keys.iv_seed.end(), keys.enc_key.begin()));
+  const ByteView enc = keys.enc_key.bytes();
+  const ByteView mac = keys.mac_key.bytes();
+  const ByteView iv = keys.iv_seed.bytes();
+  EXPECT_FALSE(std::equal(enc.begin(), enc.end(), mac.begin()));
+  EXPECT_FALSE(std::equal(iv.begin(), iv.end(), enc.begin()));
 }
 
 TEST(SessionKeys, DhSymmetryYieldsSameSessionKeys) {
@@ -55,22 +58,22 @@ TEST(SessionKeys, DhSymmetryYieldsSameSessionKeys) {
   const ec::AffinePoint k1 = c.mul(xa, xgb);
   const ec::AffinePoint k2 = c.mul(xb, xga);
   EXPECT_EQ(k1, k2);
-  EXPECT_EQ(derive_session_keys(k1, bytes_of("s"), bytes_of("l")),
-            derive_session_keys(k2, bytes_of("s"), bytes_of("l")));
+  EXPECT_TRUE(ct_equal(derive_session_keys(k1, bytes_of("s"), bytes_of("l")),
+                       derive_session_keys(k2, bytes_of("s"), bytes_of("l"))));
 }
 
 TEST(SessionKeys, WipeZeroesMaterial) {
   SessionKeys keys = derive_session_keys(random_point(8), bytes_of("s"), bytes_of("l"));
   keys.wipe();
   const SessionKeys zeroed{};
-  EXPECT_EQ(keys, zeroed);
+  EXPECT_TRUE(ct_equal(keys, zeroed));
 }
 
 TEST(SessionKeys, RawSecretOverloadMatchesPointOverload) {
   const ec::AffinePoint premaster = random_point(9);
   const Bytes x = bi::to_be_bytes(premaster.x);
-  EXPECT_EQ(derive_session_keys(premaster, bytes_of("s"), bytes_of("l")),
-            derive_session_keys(x, bytes_of("s"), bytes_of("l")));
+  EXPECT_TRUE(ct_equal(derive_session_keys(premaster, bytes_of("s"), bytes_of("l")),
+                       derive_session_keys(x, bytes_of("s"), bytes_of("l"))));
 }
 
 }  // namespace

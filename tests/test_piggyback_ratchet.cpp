@@ -78,11 +78,11 @@ TEST(PiggybackRatchet, SealRatchetAdvancesSenderAndReceiverToKdfChain) {
   // Both MAC keys equal the KDF ratchet output — the piggyback is the same
   // chain step RK1 would have taken.
   const kdf::SessionKeys expected = kdf::ratchet_session_keys(keys, 1);
-  std::array<std::uint8_t, 32> mac_a{}, mac_b{};
+  ct::Secret<kdf::SessionKeys::MacKey> mac_a, mac_b;
   ASSERT_TRUE(a.copy_peer_mac_key(peer(1), mac_a));
   ASSERT_TRUE(b.copy_peer_mac_key(peer(1), mac_b));
-  EXPECT_EQ(mac_a, expected.mac_key);
-  EXPECT_EQ(mac_b, expected.mac_key);
+  EXPECT_TRUE(ct_equal(mac_a, expected.mac_key));
+  EXPECT_TRUE(ct_equal(mac_b, expected.mac_key));
 
   // Epoch-1 records flow in both directions on the new keys.
   auto reply = b.seal(peer(1), bytes_of("acked"), kT0);
@@ -396,7 +396,7 @@ TEST(PiggybackRatchet, BrokerKeysMatchKdfChainAfterPiggyback) {
   SessionBroker bob(world.bob, rng_b, broker_config());
   establish(alice, bob, world.bob.id);
 
-  std::array<std::uint8_t, 32> epoch0_mac{};
+  ct::Secret<kdf::SessionKeys::MacKey> epoch0_mac;
   ASSERT_TRUE(alice.store().copy_peer_mac_key(world.bob.id, epoch0_mac));
   kdf::SessionKeys epoch0;  // only the MAC key is observable; that suffices
   epoch0.mac_key = epoch0_mac;
@@ -407,11 +407,11 @@ TEST(PiggybackRatchet, BrokerKeysMatchKdfChainAfterPiggyback) {
 
   // Both sides advanced; the chains agree with each other (full hierarchy,
   // by sealing under it) and the MAC keys differ from epoch 0.
-  std::array<std::uint8_t, 32> mac_a{}, mac_b{};
+  ct::Secret<kdf::SessionKeys::MacKey> mac_a, mac_b;
   ASSERT_TRUE(alice.store().copy_peer_mac_key(world.bob.id, mac_a));
   ASSERT_TRUE(bob.store().copy_peer_mac_key(world.alice.id, mac_b));
-  EXPECT_EQ(mac_a, mac_b);
-  EXPECT_NE(mac_a, epoch0_mac);
+  EXPECT_TRUE(ct_equal(mac_a, mac_b));
+  EXPECT_FALSE(ct_equal(mac_a, epoch0_mac));
   auto record = bob.seal(world.alice.id, bytes_of("epoch1 ok"), kNow);
   ASSERT_TRUE(record.ok());
   EXPECT_TRUE(alice.open(world.bob.id, record.value(), kNow).ok());

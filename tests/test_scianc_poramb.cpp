@@ -17,7 +17,7 @@ TEST(Scianc, HandshakeEstablishesMatchingKeys) {
   World world;
   const auto outcome = ecqv::testing::run(ProtocolKind::kScianc, world);
   ASSERT_TRUE(outcome.result.success) << error_name(outcome.result.error);
-  EXPECT_EQ(outcome.initiator_keys, outcome.responder_keys);
+  EXPECT_TRUE(kdf::ct_equal(outcome.initiator_keys, outcome.responder_keys));
   EXPECT_EQ(outcome.result.transcript.size(), 4u);
   EXPECT_EQ(outcome.result.total_bytes(), 362u);  // Table II
 }
@@ -39,7 +39,7 @@ TEST(Scianc, NoncesDiversifyKeysAcrossSessions) {
   const auto s1 = ecqv::testing::run(ProtocolKind::kScianc, world, 8000);
   const auto s2 = ecqv::testing::run(ProtocolKind::kScianc, world, 8001);
   ASSERT_TRUE(s1.result.success && s2.result.success);
-  EXPECT_FALSE(s1.initiator_keys == s2.initiator_keys);
+  EXPECT_FALSE(kdf::ct_equal(s1.initiator_keys, s2.initiator_keys));
 }
 
 TEST(Scianc, PublicKeyCacheWarmsAcrossSessions) {
@@ -107,7 +107,7 @@ TEST(Poramb, HandshakeEstablishesMatchingKeys) {
   World world;
   const auto outcome = ecqv::testing::run(ProtocolKind::kPoramb, world);
   ASSERT_TRUE(outcome.result.success) << error_name(outcome.result.error);
-  EXPECT_EQ(outcome.initiator_keys, outcome.responder_keys);
+  EXPECT_TRUE(kdf::ct_equal(outcome.initiator_keys, outcome.responder_keys));
   EXPECT_EQ(outcome.result.transcript.size(), 6u);
   EXPECT_EQ(outcome.result.total_bytes(), 820u);  // Table II
 }
@@ -129,7 +129,7 @@ TEST(Poramb, StaticKeysReusedAcrossSessions) {
   const auto s1 = ecqv::testing::run(ProtocolKind::kPoramb, world, 9000);
   const auto s2 = ecqv::testing::run(ProtocolKind::kPoramb, world, 9001);
   ASSERT_TRUE(s1.result.success && s2.result.success);
-  EXPECT_EQ(s1.initiator_keys, s2.initiator_keys);  // the ✗ in Table III
+  EXPECT_TRUE(kdf::ct_equal(s1.initiator_keys, s2.initiator_keys));  // the ✗ in Table III
 }
 
 TEST(Poramb, FailsWithoutPairwiseKey) {
@@ -191,8 +191,12 @@ TEST(Poramb, RejectsTamperedFinish) {
 
 TEST(Poramb, FinishConfirmationIsRoleBound) {
   kdf::SessionKeys keys{};
-  keys.mac_key.fill(0x11);
-  keys.enc_key.fill(0x22);
+  {
+    const ByteSpan mac = keys.mac_key.mutable_bytes();
+    std::fill(mac.begin(), mac.end(), std::uint8_t{0x11});
+    const ByteSpan enc = keys.enc_key.mutable_bytes();
+    std::fill(enc.begin(), enc.end(), std::uint8_t{0x22});
+  }
   const Bytes cert_bytes(cert::kCertificateSize, 0xcc);
   const Bytes ha(32, 0xaa), hb(32, 0xbb);
   const Bytes fin = poramb_detail::make_finish(keys, Role::kInitiator, cert_bytes, ha, hb);

@@ -16,7 +16,7 @@ TEST_P(StsVariantTest, HandshakeEstablishesMatchingKeys) {
   World world;
   const auto outcome = ecqv::testing::run(GetParam(), world);
   ASSERT_TRUE(outcome.result.success) << error_name(outcome.result.error);
-  EXPECT_EQ(outcome.initiator_keys, outcome.responder_keys);
+  EXPECT_TRUE(kdf::ct_equal(outcome.initiator_keys, outcome.responder_keys));
   EXPECT_EQ(outcome.result.transcript.size(), 4u);
   EXPECT_EQ(outcome.result.total_bytes(), 491u);  // Table II
 }
@@ -27,7 +27,7 @@ TEST_P(StsVariantTest, FreshKeysEverySession) {
   const auto s1 = ecqv::testing::run(GetParam(), world, 6000);
   const auto s2 = ecqv::testing::run(GetParam(), world, 6001);
   ASSERT_TRUE(s1.result.success && s2.result.success);
-  EXPECT_FALSE(s1.initiator_keys == s2.initiator_keys);
+  EXPECT_FALSE(kdf::ct_equal(s1.initiator_keys, s2.initiator_keys));
 }
 
 TEST_P(StsVariantTest, AuthenticatedPeerIdentity) {
@@ -217,7 +217,7 @@ TEST(StsMac, HandshakeEstablishesMatchingKeys) {
   StsResponder bob(world.bob, rb, config);
   const auto result = run_handshake(alice, bob);
   ASSERT_TRUE(result.success) << error_name(result.error);
-  EXPECT_EQ(alice.session_keys(), bob.session_keys());
+  EXPECT_TRUE(kdf::ct_equal(alice.session_keys(), bob.session_keys()));
   // Responses grow by one 32-byte MAC each: 491 + 64 total.
   EXPECT_EQ(result.transcript[1].size(), 245u + 32u);
   EXPECT_EQ(result.transcript[2].size(), 165u + 32u);
@@ -299,7 +299,7 @@ TEST(Sts, ResponderSessionKeysWipeCleanly) {
   const auto outcome = ecqv::testing::run(ProtocolKind::kSts, world);
   kdf::SessionKeys keys = outcome.initiator_keys;
   keys.wipe();
-  EXPECT_FALSE(keys == outcome.responder_keys);
+  EXPECT_FALSE(kdf::ct_equal(keys, outcome.responder_keys));
 }
 
 }  // namespace

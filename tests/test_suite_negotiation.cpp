@@ -49,7 +49,7 @@ TEST(SuiteNegotiation, HighestCommonSuiteWins) {
   World world;
   const auto both_all = handshake(world, aead::kOfferAll, aead::kOfferAll);
   ASSERT_TRUE(both_all.result.success);
-  EXPECT_EQ(both_all.alice_keys, both_all.bob_keys);
+  EXPECT_TRUE(kdf::ct_equal(both_all.alice_keys, both_all.bob_keys));
   EXPECT_EQ(both_all.alice_keys.suite, std::uint8_t(aead::SuiteId::kCcm128Tag8));
 
   const auto gcm_only = handshake(world, aead::kOfferAll, aead::kOfferLegacy | 0x02);
@@ -64,7 +64,7 @@ TEST(SuiteNegotiation, LegacyPeersInteroperate) {
   // v2 record format instead of failing.
   const auto down = handshake(world, aead::kOfferAll, aead::kOfferLegacy);
   ASSERT_TRUE(down.result.success);
-  EXPECT_EQ(down.alice_keys, down.bob_keys);
+  EXPECT_TRUE(kdf::ct_equal(down.alice_keys, down.bob_keys));
   EXPECT_EQ(down.alice_keys.suite, 0);
 
   // Legacy initiator, offering responder: no offer byte ever leaves the
