@@ -28,6 +28,7 @@
 
 #include "canfd/canfd_transport.hpp"
 #include "core/concurrent_broker.hpp"
+#include "net/loopback_soak.hpp"
 #include "report.hpp"
 #include "rng/test_rng.hpp"
 
@@ -243,6 +244,37 @@ void bench_store_threads(Fleet& fleet) {
   }
 }
 
+/// The same fleet workload through REAL kernel sockets on loopback: one
+/// socket-backed broker behind an epoll driver, waves of clients
+/// handshaking + streaming records with mid-burst piggyback rekeys (see
+/// net/loopback_soak.hpp). The delta against BM_FleetHandshakeData/ideal/w1
+/// is the measured kernel/socket cost of the data plane.
+void bench_socket_loopback() {
+  for (const bool tcp : {false, true}) {
+    net::SoakConfig config;
+    config.sessions = 2000;
+    config.wave = 128;
+    config.records_per_session = kRecords;
+    config.records_budget = kRecords / 2;  // forces a mid-burst piggyback rekey
+    config.tcp = tcp;
+    auto result = net::run_loopback_soak(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench_concurrency: socket soak failed (%s)\n",
+                   error_name(result.error()));
+      std::abort();
+    }
+    const std::size_t ops = config.sessions * (1 + kRecords);
+    char note[160];
+    std::snprintf(note, sizeof note,
+                  "%lld handshakes/s incl. telemetry, %zu rekeys, %zu retransmits",
+                  static_cast<long long>(config.sessions * 1e6 /
+                                         (result->elapsed_ms * 1000.0)),
+                  result->rekeys, result->retransmits);
+    report(std::string("BM_FleetHandshakeData/") + (tcp ? "tcp" : "udp") + "-loopback", ops,
+           result->elapsed_ms * 1000.0 / static_cast<double>(ops), note);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +288,8 @@ int main(int argc, char** argv) {
   bench_broker_sweep(fleet, /*canfd=*/true);
   std::printf("\n-- sharded store, thread sweep --\n");
   bench_store_threads(fleet);
+  std::printf("\n-- real sockets, loopback --\n");
+  bench_socket_loopback();
 
   // hardware_concurrency now rides in the shared "cpu" provenance block.
   g_snapshot.write(argc > 1 ? argv[1] : "BENCH_concurrency.json", "bench_concurrency",

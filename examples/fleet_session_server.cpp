@@ -21,15 +21,34 @@
 // Build & run:  ./examples/fleet_session_server
 //               ./examples/fleet_session_server --transport canfd --workers 4
 //               ./examples/fleet_session_server --loss 0.30
+//               ./examples/fleet_session_server --transport udp            (adds §7)
+//               ./examples/fleet_session_server --transport tcp --listen 4711
+//               ./examples/fleet_session_server --transport tcp --connect 4711
 //
-//   --transport ideal|canfd   link for section 5 (default: ideal). canfd
-//                             frames every message through session-layer
-//                             PDUs + ISO-TP on the simulated CAN-FD bus and
-//                             reports the measured wire overhead.
-//   --workers N               worker threads on the section-5/6 server
+//   --transport ideal|canfd|udp|tcp
+//                             ideal|canfd pick the section-5 link (default:
+//                             ideal). udp|tcp additionally run section 7:
+//                             the same fleet workload through REAL kernel
+//                             sockets on loopback.
+//   --workers N               worker threads on the section-5/6/7 server
 //                             brokers (default: 0 = inline dispatch).
 //   --loss P                  datagram drop probability for the section-6
 //                             lossy link (default: 0.15).
+//   --listen PORT             (udp|tcp only) skip the walkthrough and run a
+//                             bare socket server on PORT until --serve
+//                             seconds elapse — a second process can
+//                             --connect to it.
+//   --connect PORT            (udp|tcp only) run a client fleet against a
+//                             --listen server on PORT.
+//   --fleet N                 vehicles in --connect mode (default: 32).
+//   --serve SECONDS           lifetime of --listen mode (default: 30).
+//
+// The --listen/--connect pair derive the same certificate authority from a
+// fixed seed, so certificates provisioned in the client process verify in
+// the server process — a real cross-process ECQV handshake over the
+// kernel's loopback stack.
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +61,11 @@
 #include "core/concurrent_broker.hpp"
 #include "core/faulty_transport.hpp"
 #include "core/session_broker.hpp"
+#include "net/event_loop.hpp"
+#include "net/loopback_soak.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/udp_transport.hpp"
+#include "rng/locked_rng.hpp"
 #include "rng/test_rng.hpp"
 
 using namespace ecqv;
@@ -60,24 +84,238 @@ bool handshake(proto::SessionBroker& client, proto::SessionBroker& server,
   return server.session_ready(client_id, now);
 }
 
+// --- cross-process socket modes -------------------------------------------
+// Both processes derive the SAME certificate authority from a fixed seed,
+// so the client process provisions certificates the server process
+// verifies — the trust anchor is shared out of band, the sessions are
+// negotiated over the real socket.
+
+constexpr std::uint64_t kSharedCaSeed = 90;
+constexpr const char* kBackendId = "fleet-backend";
+
+cert::CertificateAuthority shared_ca() {
+  rng::TestRng boot(kSharedCaSeed);
+  return cert::CertificateAuthority(cert::DeviceId::from_string("fleet-ca"), boot);
+}
+
+/// --listen mode: a bare socket server. Terminates every handshake, opens
+/// every record, retransmits on its own wall-clock timers, and reports what
+/// the fleet did to it when the clock runs out.
+int run_socket_server(bool tcp, std::uint16_t port, std::size_t workers, int serve_seconds) {
+  cert::CertificateAuthority ca = shared_ca();
+  rng::TestRng server_rng(kSharedCaSeed + 1);
+  const proto::Credentials creds = proto::provision_device(
+      ca, cert::DeviceId::from_string(kBackendId), kNow, kDay, server_rng);
+
+  std::unique_ptr<net::FdTransport> transport;
+  if (tcp) {
+    auto opened = net::TcpStreamTransport::listen({.port = port, .concurrent = workers > 0});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot listen on tcp %u: %s\n", port, error_name(opened.error()));
+      return 1;
+    }
+    transport = std::move(opened).value();
+  } else {
+    auto opened = net::UdpTransport::open({.port = port, .concurrent = workers > 0});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot bind udp %u: %s\n", port, error_name(opened.error()));
+      return 1;
+    }
+    transport = std::move(opened).value();
+  }
+  std::printf("%s server %s on 127.0.0.1:%u (%zu workers), serving %d s\n",
+              tcp ? "tcp" : "udp", creds.id.to_string().c_str(), port, workers,
+              serve_seconds);
+
+  proto::ConcurrentSessionBroker::Config config;
+  config.workers = workers;
+  config.broker.store.capacity = 1 << 18;
+  config.broker.store.shards = 64;
+  config.broker.store.policy = proto::RekeyPolicy{4, /*max_age_seconds=*/0xffffffff};
+  config.broker.reliability.enabled = true;
+  StatCounter records;
+  config.broker.on_data = [&records](const cert::DeviceId&, Bytes) { ++records; };
+  rng::TestRng broker_rng(kSharedCaSeed + 2);
+  proto::ConcurrentSessionBroker server(creds, broker_rng, *transport, config);
+  net::BrokerDriver driver(server, *transport);
+
+  const double end_ms = net::FdTransport::steady_now_ms() + serve_seconds * 1000.0;
+  double next_report_ms = net::FdTransport::steady_now_ms() + 2000.0;
+  while (net::FdTransport::steady_now_ms() < end_ms) {
+    if (!driver.step(kNow).ok()) break;
+    if (net::FdTransport::steady_now_ms() >= next_report_ms) {
+      next_report_ms += 2000.0;
+      std::printf("  sessions=%zu handshakes=%llu records=%llu retransmits=%llu\n",
+                  server.broker().store().active_sessions(),
+                  static_cast<unsigned long long>(
+                      server.broker().stats().handshakes_completed.load()),
+                  static_cast<unsigned long long>(records.load()),
+                  static_cast<unsigned long long>(server.broker().stats().retransmits.load()));
+    }
+  }
+  const auto& wire = transport->wire_stats();
+  std::printf("served: %llu handshakes, %zu resident sessions, %llu records opened, "
+              "%llu rekeys applied\n",
+              static_cast<unsigned long long>(
+                  server.broker().stats().handshakes_completed.load()),
+              server.broker().store().active_sessions(),
+              static_cast<unsigned long long>(records.load()),
+              static_cast<unsigned long long>(
+                  server.broker().store().stats().ratchet_signals_applied.load()));
+  std::printf("wire: %llu datagrams in / %llu out, %llu bytes in / %llu out, "
+              "%llu decode errors\n",
+              static_cast<unsigned long long>(wire.datagrams_received.load()),
+              static_cast<unsigned long long>(wire.datagrams_sent.load()),
+              static_cast<unsigned long long>(wire.bytes_received.load()),
+              static_cast<unsigned long long>(wire.bytes_sent.load()),
+              static_cast<unsigned long long>(wire.decode_errors.load()));
+  return 0;
+}
+
+/// --connect mode: a client fleet against a --listen server. Every vehicle
+/// handshakes, streams four records (piggyback-rekeying past the budget)
+/// and reports.
+int run_socket_fleet(bool tcp, std::uint16_t port, std::size_t fleet_size) {
+  cert::CertificateAuthority ca = shared_ca();
+  const cert::DeviceId server_id = cert::DeviceId::from_string(kBackendId);
+
+  std::unique_ptr<net::FdTransport> transport;
+  net::UdpTransport* udp = nullptr;
+  if (tcp) {
+    auto opened = net::TcpStreamTransport::connect_to({.port = port});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot connect tcp %u: %s\n", port, error_name(opened.error()));
+      return 1;
+    }
+    transport = std::move(opened).value();
+  } else {
+    auto opened = net::UdpTransport::open({});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open udp socket: %s\n", error_name(opened.error()));
+      return 1;
+    }
+    udp = opened->get();
+    transport = std::move(opened).value();
+    udp->add_route(server_id, port);
+  }
+  std::printf("%s fleet of %zu vehicles -> 127.0.0.1:%u\n", tcp ? "tcp" : "udp", fleet_size,
+              port);
+
+  struct Vehicle {
+    std::unique_ptr<proto::Credentials> creds;
+    std::unique_ptr<rng::TestRng> rng;
+    std::unique_ptr<rng::LockedRng> locked;
+    std::unique_ptr<proto::SessionBroker> broker;
+    std::size_t sent = 0;
+    bool done = false;
+  };
+  proto::BrokerConfig config;
+  config.store.capacity = 4;
+  config.store.policy = proto::RekeyPolicy{2, /*max_age_seconds=*/0xffffffff};
+  config.reliability.enabled = true;
+  rng::TestRng provision_rng(kSharedCaSeed + 3);
+  std::vector<Vehicle> fleet(fleet_size);
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    Vehicle& v = fleet[i];
+    v.creds = std::make_unique<proto::Credentials>(proto::provision_device(
+        ca, cert::DeviceId::from_string("vehicle-" + std::to_string(i)), kNow, kDay,
+        provision_rng));
+    v.rng = std::make_unique<rng::TestRng>(kSharedCaSeed + 100 + i);
+    v.locked = std::make_unique<rng::LockedRng>(*v.rng);
+    v.broker = std::make_unique<proto::SessionBroker>(*v.creds, *v.locked, config);
+    v.broker->bind_clock(transport.get());
+    transport->attach(v.creds->id);
+    auto first = v.broker->connect(server_id, kNow);
+    if (!first.ok()) return 1;
+    (void)transport->send(v.creds->id, server_id, std::move(first).value());
+  }
+
+  constexpr std::size_t kRecords = 4;
+  std::size_t done = 0;
+  const double deadline = net::FdTransport::steady_now_ms() + 30000.0;
+  while (done < fleet_size && net::FdTransport::steady_now_ms() < deadline) {
+    transport->service();
+    for (Vehicle& v : fleet) {
+      if (v.done) continue;
+      proto::SessionBroker& broker = *v.broker;
+      for (proto::SessionBroker::Outbound& out :
+           broker.poll_retransmits(transport->now_ms(), kNow))
+        (void)transport->send(broker.id(), out.peer, std::move(out.message));
+      while (auto datagram = transport->receive(broker.id())) {
+        auto reply = broker.on_message(datagram->src, datagram->message, kNow);
+        if (reply.ok() && reply->has_value())
+          (void)transport->send(broker.id(), datagram->src, **reply);
+      }
+      if (v.sent < kRecords && broker.session_ready(server_id, kNow)) {
+        while (v.sent < kRecords) {
+          auto record = broker.make_data(server_id, bytes_of("soc=74% t=21C"), kNow);
+          if (!record.ok()) break;
+          (void)transport->send(broker.id(), server_id, std::move(record).value());
+          ++v.sent;
+        }
+        v.done = true;
+        ++done;
+      }
+    }
+    ::usleep(500);
+  }
+  std::size_t retransmits = 0;
+  for (const Vehicle& v : fleet) retransmits += v.broker->stats().retransmits.load();
+  std::printf("fleet: %zu/%zu vehicles established + streamed %zu records each "
+              "(%zu retransmits, %llu wire datagrams sent)\n",
+              done, fleet_size, kRecords, retransmits,
+              static_cast<unsigned long long>(
+                  transport->wire_stats().datagrams_sent.load()));
+  return done == fleet_size ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool use_canfd = false;
+  bool use_udp = false;
+  bool use_tcp = false;
   std::size_t workers = 0;
   double loss = 0.15;
+  int listen_port = -1;
+  int connect_port = -1;
+  std::size_t fleet_size = 32;
+  int serve_seconds = 30;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
-      use_canfd = std::strcmp(argv[++i], "canfd") == 0;
+      const char* name = argv[++i];
+      use_canfd = std::strcmp(name, "canfd") == 0;
+      use_udp = std::strcmp(name, "udp") == 0;
+      use_tcp = std::strcmp(name, "tcp") == 0;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc) {
       loss = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      fleet_size = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_seconds = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--transport ideal|canfd] [--workers N] [--loss P]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--transport ideal|canfd|udp|tcp] [--workers N] [--loss P]\n"
+                   "          [--listen PORT [--serve S]] [--connect PORT [--fleet N]]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (listen_port >= 0 || connect_port >= 0) {
+    if (!use_udp && !use_tcp) {
+      std::fprintf(stderr, "--listen/--connect need --transport udp or tcp\n");
+      return 2;
+    }
+    if (listen_port >= 0)
+      return run_socket_server(use_tcp, static_cast<std::uint16_t>(listen_port), workers,
+                               serve_seconds);
+    return run_socket_fleet(use_tcp, static_cast<std::uint16_t>(connect_port), fleet_size);
   }
 
   std::printf("ECQV fleet session server (broker + sharded store + ratchet)\n");
@@ -359,5 +597,37 @@ int main(int argc, char** argv) {
   std::printf("timeline: %zu drops + %zu other faults witnessed over %.1f virtual ms; "
               "%zu/%zu telemetry records survived the data plane\n",
               seen.drops, seen.faults, seen.end_ms, survivor_records.load(), kLossyFleet);
+
+  // --- 7. the real data plane ------------------------------------------------
+  // The same workload once more, but nothing is simulated: handshakes,
+  // sealed records and mid-stream piggyback rekeys ride kernel sockets on
+  // loopback, the server blocks in epoll between events, and the
+  // reliability engine runs on the actual wall clock.
+  if (use_udp || use_tcp) {
+    net::SoakConfig soak;
+    soak.sessions = 500;
+    soak.wave = 128;
+    soak.records_per_session = 4;
+    soak.records_budget = 2;
+    soak.server_workers = workers;
+    soak.tcp = use_tcp;
+    std::printf("\nreal sockets: %zu sessions over kernel %s on loopback, %zu worker(s)\n",
+                soak.sessions, use_tcp ? "TCP streams" : "UDP datagrams", workers);
+    auto report = net::run_loopback_soak(soak);
+    if (!report.ok()) {
+      std::fprintf(stderr, "socket soak failed: %s\n", error_name(report.error()));
+      return 1;
+    }
+    std::printf("sockets: %zu handshakes -> %zu concurrent sessions in %.0f ms "
+                "(%.0f sessions/s)\n",
+                report->handshakes, report->server_sessions, report->elapsed_ms,
+                report->handshakes * 1000.0 / report->elapsed_ms);
+    std::printf("traffic: %zu records opened, %zu piggybacked rekeys, %zu retransmits, "
+                "%llu datagrams / %llu wire bytes at the server, %llu kernel drops\n",
+                report->records, report->rekeys, report->retransmits,
+                static_cast<unsigned long long>(report->wire_datagrams),
+                static_cast<unsigned long long>(report->wire_bytes),
+                static_cast<unsigned long long>(report->send_drops));
+  }
   return 0;
 }

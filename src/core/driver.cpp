@@ -51,6 +51,13 @@ HandshakeResult run_handshake(Party& initiator, Party& responder) {
       result.error = pumped.error();
       return result;
     }
+    // A two-party handshake cannot survive a single casualty: the first
+    // party rejection (tampered message, bad MAC, wrong state) is THE
+    // handshake failure, exactly as when the pump aborted on it.
+    if (!pumped->clean()) {
+      result.error = pumped->first_error;
+      return result;
+    }
   }
   result.success = initiator.established() && responder.established();
   if (!result.success && result.error == Error::kOk) result.error = Error::kBadState;

@@ -688,7 +688,13 @@ Result<std::size_t> SessionBroker::pump(SessionBroker& sender, SessionBroker& re
                       return broker.on_message(from, m, now);
                     }};
   };
-  return pump_endpoints(link, {endpoint_for(receiver), endpoint_for(sender)});
+  auto pumped = pump_endpoints(link, {endpoint_for(receiver), endpoint_for(sender)});
+  if (!pumped.ok()) return pumped.error();
+  // Preserve the historical two-broker contract: the first rejection of
+  // this exchange surfaces as the pump's failure (a replayed RK1, a record
+  // for a dead session, ...), with everything already drained.
+  if (!pumped->clean()) return pumped->first_error;
+  return pumped->delivered;
 }
 
 }  // namespace ecqv::proto

@@ -76,6 +76,9 @@ class SessionManager {
           transport, {endpoint_for(b_party, b_id), endpoint_for(a_party, a_id)},
           /*max_messages=*/16);
       if (!pumped.ok()) return pumped.error();
+      // Two-party establishment: any party rejection is the handshake's
+      // failure (fault isolation only helps multi-peer fabrics).
+      if (!pumped->clean()) return pumped->first_error;
     }
     if (!a_party.established() || !b_party.established()) return Error::kBadState;
     a_manager.install(b_id, a_party.session_keys(), now);

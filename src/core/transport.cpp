@@ -41,26 +41,46 @@ bool IdealLinkTransport::idle() {
   return true;
 }
 
-Result<std::size_t> pump_endpoints(Transport& transport, const std::vector<Endpoint>& endpoints,
-                                   std::size_t max_messages) {
-  std::size_t delivered = 0;
+Result<PumpStats> pump_endpoints(Transport& transport, const std::vector<Endpoint>& endpoints,
+                                 std::size_t max_messages) {
+  PumpStats stats;
   bool progress = true;
   while (progress) {
     progress = false;
     for (const auto& endpoint : endpoints) {
-      while (auto datagram = transport.receive(endpoint.id)) {
-        if (++delivered > max_messages) return Error::kBadState;
+      for (;;) {
+        if (stats.delivered >= max_messages) {
+          // Budget spent: stop BEFORE consuming another datagram, so the
+          // boundary loses nothing — refused traffic stays queued in the
+          // transport. Anything still deliverable means the state machines
+          // are ping-ponging past the guard: transport misuse, the one
+          // early return left.
+          if (!transport.idle()) return Error::kBadState;
+          return stats;
+        }
+        auto datagram = transport.receive(endpoint.id);
+        if (!datagram.has_value()) break;
+        ++stats.delivered;
         progress = true;
         auto reply = endpoint.handler(datagram->src, datagram->message);
-        if (!reply.ok()) return reply.error();
+        if (!reply.ok()) {
+          // One peer's poisoned datagram is that peer's problem: count it
+          // and keep draining everyone else.
+          ++stats.handler_errors;
+          if (stats.first_error == Error::kOk) stats.first_error = reply.error();
+          continue;
+        }
         if (reply->has_value()) {
           const Status sent = transport.send(endpoint.id, datagram->src, **reply);
-          if (!sent.ok()) return sent.error();
+          if (!sent.ok()) {
+            ++stats.send_errors;
+            if (stats.first_error == Error::kOk) stats.first_error = sent.error();
+          }
         }
       }
     }
   }
-  return delivered;
+  return stats;
 }
 
 }  // namespace ecqv::proto

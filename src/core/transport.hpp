@@ -117,14 +117,35 @@ struct Endpoint {
       handler;
 };
 
+/// What one pump_endpoints() run did. Per-datagram failures are isolated:
+/// a handler rejecting one malformed message (or one reply failing to
+/// send) is counted here and the loop keeps draining every other endpoint
+/// — one poisoned datagram from one peer must not starve the fabric.
+struct PumpStats {
+  std::size_t delivered = 0;       // datagrams handed to handlers
+  std::size_t handler_errors = 0;  // handler rejections (datagram consumed, loop continued)
+  std::size_t send_errors = 0;     // reply send failures (loop continued)
+  /// First handler/send failure, for callers that treat any casualty as
+  /// fatal (the two-party driver does: its handshake cannot survive one).
+  Error first_error = Error::kOk;
+
+  [[nodiscard]] bool clean() const { return handler_errors == 0 && send_errors == 0; }
+};
+
 /// THE message loop — drains `transport`, dispatching every datagram to its
 /// endpoint's handler and sending replies back through the transport, until
 /// the link is idle. Replaces the hand-rolled shuttling loops that used to
 /// live in core/driver, SessionBroker::pump, the benches and the examples.
-/// Returns the number of datagrams delivered; the first handler or send
-/// error aborts the loop. `max_messages` guards against a protocol state
-/// machine that ping-pongs forever.
-Result<std::size_t> pump_endpoints(Transport& transport, const std::vector<Endpoint>& endpoints,
-                                   std::size_t max_messages = 100000);
+///
+/// Per-datagram handler/send failures do NOT abort the loop — they are
+/// counted in the returned PumpStats (see above) and draining continues, so
+/// one corrupted datagram cannot stall healthy peers. The error return is
+/// reserved for transport misuse: kBadState when `max_messages` datagrams
+/// have been delivered and traffic is still queued (a protocol state
+/// machine ping-ponging forever). The budget is checked BEFORE receiving,
+/// so no datagram is ever consumed and then silently dropped at the
+/// boundary — whatever the budget refuses stays queued in the transport.
+Result<PumpStats> pump_endpoints(Transport& transport, const std::vector<Endpoint>& endpoints,
+                                 std::size_t max_messages = 100000);
 
 }  // namespace ecqv::proto

@@ -1,0 +1,47 @@
+#include "net/gateway.hpp"
+
+#include <algorithm>
+
+namespace ecqv::net {
+
+FleetGateway::FleetGateway(proto::Transport& bus, proto::Transport& backhaul, Config config)
+    : bus_(bus), backhaul_(backhaul), config_(config) {
+  bus_.attach(config_.backend_id);
+}
+
+void FleetGateway::add_ecu(const cert::DeviceId& ecu) { learn_ecu(ecu); }
+
+void FleetGateway::learn_ecu(const cert::DeviceId& ecu) {
+  if (std::find(ecus_.begin(), ecus_.end(), ecu) != ecus_.end()) return;
+  ecus_.push_back(ecu);
+  backhaul_.attach(ecu);
+  ++stats_.ecus_learned;
+}
+
+std::size_t FleetGateway::pump() {
+  std::size_t moved = 0;
+  // Bus → backhaul: everything the ECUs addressed to the backend.
+  while (auto datagram = bus_.receive(config_.backend_id)) {
+    learn_ecu(datagram->src);
+    if (backhaul_.send(datagram->src, datagram->dst, datagram->message).ok()) {
+      ++stats_.to_backhaul;
+      ++moved;
+    } else {
+      ++stats_.send_errors;
+    }
+  }
+  // Backhaul → bus: everything the backend addressed to a known ECU.
+  for (const cert::DeviceId& ecu : ecus_) {
+    while (auto datagram = backhaul_.receive(ecu)) {
+      if (bus_.send(datagram->src, datagram->dst, datagram->message).ok()) {
+        ++stats_.to_bus;
+        ++moved;
+      } else {
+        ++stats_.send_errors;
+      }
+    }
+  }
+  return moved;
+}
+
+}  // namespace ecqv::net

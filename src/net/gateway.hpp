@@ -1,0 +1,67 @@
+// Fleet gateway: bridges a vehicle-side CAN-FD domain onto IP backhaul.
+//
+// The paper's deployment picture (§V) has ECUs speaking the session
+// protocol on the in-vehicle bus while the fleet backend lives across a
+// network link. This gateway is that edge box: on the bus it impersonates
+// the backend's fabric address (ECUs address the backend directly, unaware
+// of any bridging); on the backhaul it impersonates each ECU it has seen.
+// Because the CAN-FD session layer and the IP wire format carry the SAME
+// fabric bytes (net/wire.hpp == src/canfd framing above ISO-TP), bridging
+// is pure re-framing — the gateway never parses, buffers, or re-encodes
+// protocol payload, and end-to-end security is untouched: handshake
+// transcripts and sealed records cross it opaquely (a malicious gateway is
+// just a MITM the STS handshake already defeats).
+//
+// Direction by address, not by port: anything the bus delivers FOR the
+// backend goes out the backhaul; anything the backhaul delivers FOR a
+// known ECU goes onto the bus.
+#pragma once
+
+#include <vector>
+
+#include "core/transport.hpp"
+
+namespace ecqv::net {
+
+class FleetGateway {
+ public:
+  struct Config {
+    /// The remote backend's fabric id — the address the gateway claims on
+    /// the bus side.
+    cert::DeviceId backend_id;
+  };
+
+  struct Stats {
+    StatCounter to_backhaul = 0;  // bus → IP datagrams bridged
+    StatCounter to_bus = 0;       // IP → bus datagrams bridged
+    StatCounter ecus_learned = 0;
+    StatCounter send_errors = 0;  // a leg refused a bridged datagram
+  };
+
+  /// Attaches the backend's address on the bus side. The backhaul
+  /// transport must already be able to route to `backend_id` (static
+  /// route or learned).
+  FleetGateway(proto::Transport& bus, proto::Transport& backhaul, Config config);
+
+  /// Pre-registers an ECU (attached on the backhaul so backend replies can
+  /// land). ECUs are otherwise learned from their first bus-side datagram.
+  void add_ecu(const cert::DeviceId& ecu);
+
+  /// Bridges everything currently deliverable, both directions. Returns
+  /// the number of datagrams moved.
+  std::size_t pump();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<cert::DeviceId>& ecus() const { return ecus_; }
+
+ private:
+  void learn_ecu(const cert::DeviceId& ecu);
+
+  proto::Transport& bus_;
+  proto::Transport& backhaul_;
+  Config config_;
+  std::vector<cert::DeviceId> ecus_;
+  Stats stats_;
+};
+
+}  // namespace ecqv::net

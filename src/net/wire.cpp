@@ -1,0 +1,95 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecqv::net {
+
+Bytes encode_datagram(const proto::Datagram& datagram, std::uint16_t session_id) {
+  Bytes out;
+  const Bytes pdu = can::wrap_fabric(datagram.message, session_id).encode();
+  out.reserve(2 * cert::kDeviceIdSize + pdu.size());
+  out.insert(out.end(), datagram.src.bytes.begin(), datagram.src.bytes.end());
+  out.insert(out.end(), datagram.dst.bytes.begin(), datagram.dst.bytes.end());
+  out.insert(out.end(), pdu.begin(), pdu.end());
+  return out;
+}
+
+Result<proto::Datagram> decode_datagram(ByteView bytes) {
+  if (bytes.size() < kDatagramHeaderSize) return Error::kBadLength;
+  if (bytes.size() > kMaxDatagramBytes) return Error::kBadLength;
+  proto::Datagram datagram;
+  std::copy_n(bytes.begin(), cert::kDeviceIdSize, datagram.src.bytes.begin());
+  std::copy_n(bytes.begin() + cert::kDeviceIdSize, cert::kDeviceIdSize,
+              datagram.dst.bytes.begin());
+  auto pdu = can::AppPdu::decode(bytes.subspan(2 * cert::kDeviceIdSize));
+  if (!pdu.ok()) return pdu.error();
+  // step_for_op_code throws on op codes outside the fabric vocabulary —
+  // for socket-facing decode of untrusted bytes that is a decode failure,
+  // not a programming error (same stance as the CAN-FD receive path).
+  try {
+    auto message = can::unwrap_fabric(pdu.value());
+    if (!message.ok()) return message.error();
+    datagram.message = std::move(message).value();
+  } catch (const std::invalid_argument&) {
+    return Error::kDecodeFailed;
+  }
+  return datagram;
+}
+
+void append_frame(Bytes& out, ByteView payload) {
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(n >> 24));
+  out.push_back(static_cast<std::uint8_t>(n >> 16));
+  out.push_back(static_cast<std::uint8_t>(n >> 8));
+  out.push_back(static_cast<std::uint8_t>(n));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+Status StreamDecoder::feed(ByteView chunk) {
+  if (poisoned_) return Error::kBadLength;
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  extract_frames();
+  if (poisoned_) return Error::kBadLength;
+  return {};
+}
+
+std::optional<Bytes> StreamDecoder::next_frame() {
+  if (frames_.empty()) return std::nullopt;
+  Bytes out = std::move(frames_.front());
+  frames_.pop_front();
+  return out;
+}
+
+void StreamDecoder::extract_frames() {
+  while (buffer_.size() - consumed_ >= kFramePrefixSize) {
+    const std::uint8_t* p = buffer_.data() + consumed_;
+    const std::uint32_t declared = (static_cast<std::uint32_t>(p[0]) << 24) |
+                                   (static_cast<std::uint32_t>(p[1]) << 16) |
+                                   (static_cast<std::uint32_t>(p[2]) << 8) |
+                                   static_cast<std::uint32_t>(p[3]);
+    if (declared == 0 || declared > max_frame_bytes_) {
+      // Framing violation: nothing downstream of a bad length can be
+      // trusted to re-synchronize, so the decoder refuses everything from
+      // here on and the owner drops the connection.
+      poisoned_ = true;
+      return;
+    }
+    if (buffer_.size() - consumed_ < kFramePrefixSize + declared) break;
+    frames_.emplace_back(p + kFramePrefixSize, p + kFramePrefixSize + declared);
+    consumed_ += kFramePrefixSize + declared;
+    ++frames_decoded_;
+  }
+  compact();
+}
+
+void StreamDecoder::compact() {
+  // Reclaim the parsed prefix only once it dominates the buffer, so a
+  // steady frame stream does not pay a memmove per frame.
+  if (consumed_ == 0) return;
+  if (consumed_ < buffer_.size() / 2 && buffer_.size() < 64 * 1024) return;
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  consumed_ = 0;
+}
+
+}  // namespace ecqv::net

@@ -1,0 +1,93 @@
+// IP fabric wire format: how one addressed protocol datagram travels on a
+// real socket.
+//
+// The encoding is deliberately byte-identical to the fabric payload the
+// CAN-FD transport segments through ISO-TP (src/canfd):
+//
+//   src id (16) || dst id (16) || AppPdu(comm code 1, session id 2, op 1, data)
+//
+// so the fleet gateway bridges a CAN domain onto IP backhaul by re-framing
+// only — the session-layer bytes cross the gateway untouched, and wire
+// accounting on either leg measures the same protocol payload.
+//
+// Framing per transport:
+//   * UDP      — one fabric datagram per UDP datagram, no extra bytes.
+//   * TCP      — u32 big-endian length prefix || fabric datagram, decoded
+//                incrementally by StreamDecoder (partial reads land at any
+//                byte boundary; short writes are the sender's problem).
+#pragma once
+
+#include <optional>
+
+#include "canfd/session_layer.hpp"
+#include "core/transport.hpp"
+
+namespace ecqv::net {
+
+/// Fixed prefix of every fabric datagram: the two 16-byte device ids plus
+/// the session-layer PDU header.
+inline constexpr std::size_t kDatagramHeaderSize =
+    2 * cert::kDeviceIdSize + can::kAppHeaderSize;
+
+/// Hard bound on one encoded fabric datagram. No protocol message comes
+/// near this (the largest handshake step is < 1 KiB), so any frame
+/// declaring more is an attack or a desynced stream, never real traffic.
+inline constexpr std::size_t kMaxDatagramBytes = 16 * 1024;
+
+/// TCP stream framing: u32 big-endian payload length, then the payload.
+inline constexpr std::size_t kFramePrefixSize = 4;
+
+/// Encodes one addressed fabric datagram. `session_id` is a wire-level
+/// correlation tag (the CAN-FD transport uses its transfer counter); it is
+/// not consulted on decode.
+Bytes encode_datagram(const proto::Datagram& datagram, std::uint16_t session_id = 0);
+
+/// Decodes a full fabric datagram. kBadLength when shorter than the fixed
+/// header, kDecodeFailed on a malformed PDU or an op code outside the
+/// fabric vocabulary — hostile bytes never throw.
+Result<proto::Datagram> decode_datagram(ByteView bytes);
+
+/// Appends `payload` to `out` framed for a TCP stream (length prefix +
+/// bytes).
+void append_frame(Bytes& out, ByteView payload);
+
+/// Incremental TCP frame reassembler. Feed arbitrary chunks (whatever
+/// read() produced, split at any byte boundary); pop complete frames with
+/// next_frame(). A declared length of zero or beyond `max_frame_bytes`
+/// poisons the decoder — after a framing violation the stream has no
+/// recoverable synchronization point, so the connection must be dropped.
+class StreamDecoder {
+ public:
+  explicit StreamDecoder(std::size_t max_frame_bytes = kMaxDatagramBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Buffers `chunk` and extracts any frames it completes. Returns
+  /// kBadLength on a framing violation (decoder poisoned, chunk dropped).
+  Status feed(ByteView chunk);
+
+  /// Next complete frame payload (prefix stripped), FIFO. nullopt when no
+  /// full frame is buffered.
+  std::optional<Bytes> next_frame();
+
+  /// True after a framing violation; feed() keeps failing, the owner must
+  /// tear the connection down.
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+  /// Bytes buffered toward an incomplete frame (diagnostics/tests).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  [[nodiscard]] std::size_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  void extract_frames();
+  void compact();
+
+  std::size_t max_frame_bytes_;
+  Bytes buffer_;
+  std::size_t consumed_ = 0;  // parsed prefix of buffer_, reclaimed by compact()
+  std::deque<Bytes> frames_;
+  bool poisoned_ = false;
+  std::size_t frames_decoded_ = 0;
+};
+
+}  // namespace ecqv::net

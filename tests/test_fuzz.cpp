@@ -17,6 +17,7 @@
 #include "core/session_broker.hpp"
 #include "ecdsa/der.hpp"
 #include "ecqv/enrollment_wire.hpp"
+#include "net/wire.hpp"
 #include "protocol_fixture.hpp"
 
 namespace ecqv {
@@ -125,6 +126,40 @@ TEST_P(DecoderFuzz, AppPduAndIsoTpNeverMisbehave) {
       mutated.data = mutator.mutate(frame.data);
       if (mutated.data.size() > can::kMaxDataBytes) mutated.data.resize(can::kMaxDataBytes);
       (void)rx.feed(mutated);
+    }
+  }
+}
+
+TEST_P(DecoderFuzz, StreamReassemblerNeverMisbehaves) {
+  // TCP frame reassembly under mutation: mutated streams (hostile length
+  // prefixes, truncations, random garbage) re-fed in random chunk sizes
+  // must yield frames or a poisoned decoder — never a crash, a hang, or
+  // an allocation sized by the attacker's declared length. Every frame
+  // that does come out must survive datagram decoding without throwing.
+  Mutator mutator(GetParam() + 77);
+  proto::Datagram valid;
+  valid.src = cert::DeviceId::from_string("fuzz-src");
+  valid.dst = cert::DeviceId::from_string("fuzz-dst");
+  valid.message = proto::Message{proto::Role::kInitiator, "A1", Bytes(64, 0x42)};
+  Bytes stream;
+  for (std::uint16_t i = 0; i < 4; ++i)
+    net::append_frame(stream, net::encode_datagram(valid, i));
+
+  for (int i = 0; i < 300; ++i) {
+    const Bytes input = mutator.mutate(stream);
+    net::StreamDecoder decoder;
+    std::size_t offset = 0;
+    while (offset < input.size()) {
+      const std::size_t n = std::min(1 + mutator.pick(97), input.size() - offset);
+      if (!decoder.feed(ByteView(input.data() + offset, n)).ok()) {
+        EXPECT_TRUE(decoder.poisoned());
+        break;
+      }
+      offset += n;
+    }
+    while (auto frame = decoder.next_frame()) {
+      EXPECT_LE(frame->size(), net::kMaxDatagramBytes);
+      (void)net::decode_datagram(*frame);  // total: error or value, no throw
     }
   }
 }

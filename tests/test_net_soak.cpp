@@ -1,0 +1,62 @@
+// Loopback soak, tier-1 sized: real handshakes, sealed records and
+// mid-stream piggyback rekeys through kernel sockets, UDP and TCP. The
+// 100k+ capture lives in bench_net_soak; this keeps the same harness
+// honest on every CI run (and under TSan with a worker pool).
+#include <gtest/gtest.h>
+
+#include "net/loopback_soak.hpp"
+
+namespace ecqv {
+namespace {
+
+TEST(NetSoak, UdpFleetHoldsEverySessionConcurrently) {
+  net::SoakConfig config;
+  config.sessions = 1200;
+  config.wave = 128;
+  config.records_per_session = 4;
+  config.records_budget = 2;  // burst crosses the epoch budget mid-stream
+  auto report = net::run_loopback_soak(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->handshakes, config.sessions);
+  EXPECT_EQ(report->server_sessions, config.sessions)
+      << "server must hold every negotiated session concurrently";
+  EXPECT_EQ(report->records, config.sessions * config.records_per_session);
+  // Every session's burst spends the 2-record budget at least once, so a
+  // piggybacked epoch advance crossed the socket for each.
+  EXPECT_GE(report->rekeys, config.sessions);
+  EXPECT_GT(report->wire_bytes, 0u);
+}
+
+TEST(NetSoak, TcpFleetHoldsEverySessionConcurrently) {
+  net::SoakConfig config;
+  config.sessions = 300;
+  config.wave = 64;
+  config.records_per_session = 4;
+  config.records_budget = 2;
+  config.tcp = true;
+  auto report = net::run_loopback_soak(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->handshakes, config.sessions);
+  EXPECT_EQ(report->server_sessions, config.sessions);
+  EXPECT_EQ(report->records, config.sessions * config.records_per_session);
+  EXPECT_GE(report->rekeys, config.sessions);
+}
+
+TEST(NetSoak, WorkerPoolSoaksCleanUnderRealSockets) {
+  // Small but threaded: the TSan job runs this to race-check the socket
+  // transports against a real worker pool.
+  net::SoakConfig config;
+  config.sessions = 96;
+  config.wave = 32;
+  config.records_per_session = 3;
+  config.records_budget = 2;
+  config.server_workers = 2;
+  auto report = net::run_loopback_soak(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->handshakes, config.sessions);
+  EXPECT_EQ(report->server_sessions, config.sessions);
+  EXPECT_EQ(report->records, config.sessions * config.records_per_session);
+}
+
+}  // namespace
+}  // namespace ecqv

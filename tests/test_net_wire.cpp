@@ -1,0 +1,213 @@
+// IP fabric wire conformance + adversarial framing suite.
+//
+// Golden vectors freeze the socket encoding byte-for-byte (the same
+// discipline test_wire_vectors applies to records and ISO-TP): a refactor
+// that moves ANY committed byte fails here first. The adversarial half
+// attacks the TCP reassembler the way a network does — truncated length
+// prefixes, oversized declared lengths, frames split at every byte
+// boundary — and the way an attacker does: hostile lengths and garbage
+// payloads must come back as error codes, never exceptions or hangs.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "net/wire.hpp"
+
+namespace ecqv {
+namespace {
+
+proto::Datagram a1_datagram() {
+  proto::Datagram d;
+  d.src = cert::DeviceId::from_string("ecu-front-left");
+  d.dst = cert::DeviceId::from_string("fleet-backend");
+  d.message = proto::Message{proto::Role::kInitiator, "A1", bytes_of("hello over ip")};
+  return d;
+}
+
+// ------------------------------------------------------- golden vectors
+
+TEST(NetWire, UdpHandshakeDatagramIsByteExact) {
+  // src id (16, zero-padded ascii) || dst id (16) ||
+  // comm 0x10 (key derivation) || session 0x0102 || op 0x01 ("A1") || data.
+  const Bytes wire = net::encode_datagram(a1_datagram(), 0x0102);
+  EXPECT_EQ(to_hex(wire),
+            "6563752d66726f6e742d6c6566740000"   // "ecu-front-left"
+            "666c6565742d6261636b656e64000000"   // "fleet-backend"
+            "10"                                 // CommCode::kKeyDerivation
+            "0102"                               // session id
+            "01"                                 // op: A1
+            "68656c6c6f206f766572206970");       // "hello over ip"
+
+  const auto decoded = net::decode_datagram(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->src, a1_datagram().src);
+  EXPECT_EQ(decoded->dst, a1_datagram().dst);
+  EXPECT_EQ(decoded->message.step, "A1");
+  EXPECT_EQ(decoded->message.sender, proto::Role::kInitiator);
+  EXPECT_EQ(decoded->message.payload, bytes_of("hello over ip"));
+}
+
+TEST(NetWire, UdpDataRecordDatagramIsByteExact) {
+  // Reply direction: comm 0x20 (session data), op 0x12 = data record
+  // (0x02) with the responder bit (0x10).
+  proto::Datagram d;
+  d.src = cert::DeviceId::from_string("fleet-backend");
+  d.dst = cert::DeviceId::from_string("ecu-front-left");
+  d.message =
+      proto::Message{proto::Role::kResponder, "DT1", bytes_of("sealed-record-bytes")};
+  EXPECT_EQ(to_hex(net::encode_datagram(d, 0xBEEF)),
+            "666c6565742d6261636b656e64000000"
+            "6563752d66726f6e742d6c6566740000"
+            "20"
+            "beef"
+            "12"
+            "7365616c65642d7265636f72642d6279746573");
+}
+
+TEST(NetWire, TcpFrameIsLengthPrefixedBigEndian) {
+  const Bytes wire = net::encode_datagram(a1_datagram(), 0x0102);
+  Bytes frame;
+  net::append_frame(frame, wire);
+  ASSERT_EQ(frame.size(), wire.size() + net::kFramePrefixSize);
+  // 0x31 = 49 payload bytes, big-endian u32.
+  EXPECT_EQ(to_hex(Bytes(frame.begin(), frame.begin() + 4)), "00000031");
+  EXPECT_EQ(Bytes(frame.begin() + 4, frame.end()), wire);
+}
+
+TEST(NetWire, EncodingMatchesCanFabricPayload) {
+  // The gateway's whole contract: the IP datagram IS the CAN-FD fabric
+  // payload (ids + wrap_fabric PDU) that ISO-TP would segment. Build both
+  // from the same message and compare bytes.
+  const proto::Datagram d = a1_datagram();
+  Bytes can_payload;
+  can_payload.insert(can_payload.end(), d.src.bytes.begin(), d.src.bytes.end());
+  can_payload.insert(can_payload.end(), d.dst.bytes.begin(), d.dst.bytes.end());
+  append(can_payload, can::wrap_fabric(d.message, 0x0102).encode());
+  EXPECT_EQ(net::encode_datagram(d, 0x0102), can_payload);
+}
+
+// ------------------------------------------------- adversarial decoding
+
+TEST(NetWire, DecodeRejectsTruncatedAndOversized) {
+  const Bytes wire = net::encode_datagram(a1_datagram(), 7);
+  // Every truncation inside the fixed header is kBadLength.
+  for (std::size_t n = 0; n < net::kDatagramHeaderSize; ++n)
+    EXPECT_EQ(net::decode_datagram(ByteView(wire.data(), n)).error(), Error::kBadLength)
+        << "truncated to " << n;
+  // Oversized input is refused before any parsing.
+  const Bytes huge(net::kMaxDatagramBytes + 1, 0xAA);
+  EXPECT_EQ(net::decode_datagram(huge).error(), Error::kBadLength);
+}
+
+TEST(NetWire, DecodeRejectsHostileOpAndCommCodes) {
+  // A datagram whose PDU claims an op code outside the fabric vocabulary
+  // must decode-fail, not throw (step_for_op_code throws on programmer
+  // misuse; network bytes are not programmer input).
+  Bytes wire = net::encode_datagram(a1_datagram(), 7);
+  const std::size_t op_at = 2 * cert::kDeviceIdSize + 3;
+  for (const std::uint8_t hostile : {0x00, 0x0f, 0x1f, 0x7b, 0xff}) {
+    wire[op_at] = hostile;
+    EXPECT_FALSE(net::decode_datagram(wire).ok()) << "op " << int(hostile);
+  }
+  // Unknown comm code.
+  wire = net::encode_datagram(a1_datagram(), 7);
+  wire[2 * cert::kDeviceIdSize] = 0x77;
+  EXPECT_FALSE(net::decode_datagram(wire).ok());
+}
+
+TEST(NetWire, StreamDecoderSplitAtEveryByteBoundary) {
+  // Three frames back to back, then delivered in two chunks split at every
+  // possible byte position: reassembly must produce the identical frame
+  // sequence regardless of where the kernel cut the stream.
+  const Bytes w1 = net::encode_datagram(a1_datagram(), 1);
+  const Bytes w2 = net::encode_datagram(a1_datagram(), 2);
+  const Bytes w3 = net::encode_datagram(a1_datagram(), 3);
+  Bytes stream;
+  net::append_frame(stream, w1);
+  net::append_frame(stream, w2);
+  net::append_frame(stream, w3);
+
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    net::StreamDecoder decoder;
+    ASSERT_TRUE(decoder.feed(ByteView(stream.data(), cut)).ok());
+    ASSERT_TRUE(decoder.feed(ByteView(stream.data() + cut, stream.size() - cut)).ok());
+    EXPECT_EQ(decoder.next_frame(), w1) << "cut at " << cut;
+    EXPECT_EQ(decoder.next_frame(), w2) << "cut at " << cut;
+    EXPECT_EQ(decoder.next_frame(), w3) << "cut at " << cut;
+    EXPECT_EQ(decoder.next_frame(), std::nullopt);
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(NetWire, StreamDecoderByteAtATime) {
+  // The pathological read() pattern: one byte per chunk.
+  const Bytes w = net::encode_datagram(a1_datagram(), 9);
+  Bytes stream;
+  net::append_frame(stream, w);
+  net::StreamDecoder decoder;
+  for (const std::uint8_t byte : stream) ASSERT_TRUE(decoder.feed(ByteView(&byte, 1)).ok());
+  EXPECT_EQ(decoder.next_frame(), w);
+  EXPECT_EQ(decoder.next_frame(), std::nullopt);
+}
+
+TEST(NetWire, StreamDecoderTruncatedPrefixStaysPending) {
+  // A partial length prefix is not an error — it is an incomplete read.
+  net::StreamDecoder decoder;
+  const std::uint8_t partial[] = {0x00, 0x00};
+  ASSERT_TRUE(decoder.feed(ByteView(partial, 2)).ok());
+  EXPECT_EQ(decoder.next_frame(), std::nullopt);
+  EXPECT_EQ(decoder.buffered(), 2u);
+  EXPECT_FALSE(decoder.poisoned());
+}
+
+TEST(NetWire, StreamDecoderPoisonsOnOversizedDeclaredLength) {
+  // A declared length beyond the bound is an attack (or a desynced
+  // stream): the decoder must refuse it WITHOUT allocating the claimed
+  // 4 GiB, and stay dead afterwards.
+  net::StreamDecoder decoder;
+  const std::uint8_t hostile[] = {0xff, 0xff, 0xff, 0xff, 0x41};
+  EXPECT_EQ(decoder.feed(ByteView(hostile, 5)).error(), Error::kBadLength);
+  EXPECT_TRUE(decoder.poisoned());
+  const std::uint8_t more[] = {0x00};
+  EXPECT_EQ(decoder.feed(ByteView(more, 1)).error(), Error::kBadLength);
+  EXPECT_EQ(decoder.next_frame(), std::nullopt);
+}
+
+TEST(NetWire, StreamDecoderPoisonsOnZeroLength) {
+  // Zero-length frames cannot carry a fabric datagram; a zero prefix is a
+  // desync marker, not an empty message.
+  net::StreamDecoder decoder;
+  const std::uint8_t zero[] = {0x00, 0x00, 0x00, 0x00};
+  EXPECT_EQ(decoder.feed(ByteView(zero, 4)).error(), Error::kBadLength);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(NetWire, StreamDecoderHonorsCustomBound) {
+  net::StreamDecoder decoder(/*max_frame_bytes=*/8);
+  Bytes frame;
+  net::append_frame(frame, Bytes(9, 0x42));  // one byte over the bound
+  EXPECT_EQ(decoder.feed(frame).error(), Error::kBadLength);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(NetWire, StreamDecoderInterleavesFeedAndPop) {
+  // Long-running connection shape: frames fed and popped alternately with
+  // compaction happening under the hood; contents must never shear.
+  net::StreamDecoder decoder;
+  for (std::uint16_t i = 0; i < 200; ++i) {
+    proto::Datagram d = a1_datagram();
+    d.message.payload = Bytes(static_cast<std::size_t>(i % 61) + 1,
+                              static_cast<std::uint8_t>(i));
+    const Bytes wire = net::encode_datagram(d, i);
+    Bytes frame;
+    net::append_frame(frame, wire);
+    ASSERT_TRUE(decoder.feed(frame).ok());
+    const auto out = decoder.next_frame();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, wire);
+  }
+  EXPECT_EQ(decoder.frames_decoded(), 200u);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace ecqv

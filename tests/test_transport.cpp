@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "canfd/canfd_transport.hpp"
+#include "core/faulty_transport.hpp"
 #include "core/session_broker.hpp"
 #include "protocol_fixture.hpp"
 
@@ -77,7 +78,8 @@ TEST(Pump, DrivesBrokerHandshakeOverExplicitTransport) {
   };
   auto pumped = pump_endpoints(link, {endpoint(bob), endpoint(alice)});
   ASSERT_TRUE(pumped.ok());
-  EXPECT_EQ(pumped.value(), 4u);  // A1 B1 A2 B2
+  EXPECT_EQ(pumped->delivered, 4u);  // A1 B1 A2 B2
+  EXPECT_TRUE(pumped->clean());
   EXPECT_TRUE(alice.session_ready(bob.id(), kNow));
   EXPECT_TRUE(bob.session_ready(alice.id(), kNow));
 }
@@ -95,6 +97,94 @@ TEST(Pump, GuardsAgainstPingPongStorms) {
   };
   auto pumped = pump_endpoints(link, {echo(id_of("a")), echo(id_of("b"))}, /*max_messages=*/64);
   EXPECT_EQ(pumped.error(), Error::kBadState);
+}
+
+TEST(Pump, OneCorruptPeerCannotStarveTheFabric) {
+  // Regression: the pump used to return on the FIRST handler error,
+  // abandoning every other endpoint's queued datagrams mid-drain. Script
+  // the fault exactly — carol's A1 (the second send() on the link) gets
+  // one payload bit flipped — and the healthy handshake must still finish.
+  testing::World world;
+  rng::TestRng rng_bob(1), rng_alice(2), rng_carol(3);
+  rng::TestRng provision(4);
+  const Credentials carol_creds = provision_device(
+      world.ca, id_of("carol"), kNow, testing::kLifetime, provision);
+  BrokerConfig config;
+  config.store.policy = RekeyPolicy::unlimited();
+  SessionBroker bob(world.bob, rng_bob, config);
+  SessionBroker alice(world.alice, rng_alice, config);
+  SessionBroker carol(carol_creds, rng_carol, config);
+
+  IdealLinkTransport inner;
+  FaultyTransport::Config faults;
+  faults.plan[1] = FaultyTransport::Fault::kCorrupt;  // carol's A1, exactly
+  FaultyTransport link(inner, faults);
+  link.attach(bob.id());
+  link.attach(alice.id());
+  link.attach(carol.id());
+
+  auto alice_first = alice.connect(bob.id(), kNow);
+  ASSERT_TRUE(alice_first.ok());
+  ASSERT_TRUE(link.send(alice.id(), bob.id(), std::move(alice_first).value()).ok());
+  auto carol_first = carol.connect(bob.id(), kNow);
+  ASSERT_TRUE(carol_first.ok());
+  ASSERT_TRUE(link.send(carol.id(), bob.id(), std::move(carol_first).value()).ok());
+
+  const auto endpoint = [&](SessionBroker& broker) {
+    return Endpoint{broker.id(), [&broker](const cert::DeviceId& from, const Message& m) {
+                      return broker.on_message(from, m, kNow);
+                    }};
+  };
+  auto pumped = pump_endpoints(link, {endpoint(bob), endpoint(alice), endpoint(carol)});
+  ASSERT_TRUE(pumped.ok());
+  EXPECT_EQ(link.stats().corrupted.load(), 1u);
+  // The casualty is counted, not fatal...
+  EXPECT_EQ(pumped->handler_errors, 1u);
+  EXPECT_FALSE(pumped->clean());
+  EXPECT_NE(pumped->first_error, Error::kOk);
+  // ...and the healthy peer's handshake completed through the same drain.
+  EXPECT_TRUE(alice.session_ready(bob.id(), kNow));
+  EXPECT_TRUE(bob.session_ready(alice.id(), kNow));
+  EXPECT_FALSE(carol.session_ready(bob.id(), kNow));
+}
+
+TEST(Pump, BudgetIsCheckedBeforeConsumingADatagram) {
+  // Regression: the budget used to be enforced AFTER receive(), so the
+  // boundary datagram was consumed and silently dropped. Now the refusal
+  // happens first: whatever the budget turns away stays queued.
+  IdealLinkTransport link;
+  link.attach(id_of("src"));
+  link.attach(id_of("sink"));
+  ASSERT_TRUE(link.send(id_of("src"), id_of("sink"), text_message("DT1", "one")).ok());
+  ASSERT_TRUE(link.send(id_of("src"), id_of("sink"), text_message("DT1", "two")).ok());
+  ASSERT_TRUE(link.send(id_of("src"), id_of("sink"), text_message("DT1", "three")).ok());
+  const Endpoint sink{id_of("sink"), [](const cert::DeviceId&, const Message&) {
+                        return Result<std::optional<Message>>(std::optional<Message>{});
+                      }};
+
+  auto pumped = pump_endpoints(link, {sink}, /*max_messages=*/2);
+  EXPECT_EQ(pumped.error(), Error::kBadState);  // budget hit with traffic queued
+  auto survivor = link.receive(id_of("sink"));
+  ASSERT_TRUE(survivor.has_value()) << "boundary datagram was consumed and lost";
+  EXPECT_EQ(survivor->message.payload, bytes_of("three"));
+}
+
+TEST(Pump, ExactBudgetDrainsCleanly) {
+  // Spending the budget to the last datagram with nothing left over is
+  // success, not misuse.
+  IdealLinkTransport link;
+  link.attach(id_of("src"));
+  link.attach(id_of("sink"));
+  ASSERT_TRUE(link.send(id_of("src"), id_of("sink"), text_message("DT1", "one")).ok());
+  ASSERT_TRUE(link.send(id_of("src"), id_of("sink"), text_message("DT1", "two")).ok());
+  const Endpoint sink{id_of("sink"), [](const cert::DeviceId&, const Message&) {
+                        return Result<std::optional<Message>>(std::optional<Message>{});
+                      }};
+  auto pumped = pump_endpoints(link, {sink}, /*max_messages=*/2);
+  ASSERT_TRUE(pumped.ok());
+  EXPECT_EQ(pumped->delivered, 2u);
+  EXPECT_TRUE(pumped->clean());
+  EXPECT_TRUE(link.idle());
 }
 
 // ---------------------------------------------------------------- CAN-FD
@@ -285,7 +375,7 @@ TEST(CanFdTransport, BrokerHandshakeOverTheBus) {
   };
   auto pumped = pump_endpoints(canfd, {endpoint(bob), endpoint(alice)});
   ASSERT_TRUE(pumped.ok());
-  EXPECT_EQ(pumped.value(), 4u);
+  EXPECT_EQ(pumped->delivered, 4u);
   EXPECT_TRUE(alice.session_ready(bob.id(), kNow));
   EXPECT_TRUE(bob.session_ready(alice.id(), kNow));
   EXPECT_GT(canfd.stats().flow_controls, 0u);  // B1/A2 fragment

@@ -38,6 +38,11 @@
 #                             latency at 0/1/5/20% datagram loss, virtual-
 #                             clock milliseconds; fully deterministic and
 #                             exits 1 on a stuck handshake)
+#   BENCH_net.json          — bench_net_soak (100k concurrent sessions over
+#                             a real UDP socket + epoll on loopback, 10k
+#                             over one framed TCP stream; wall-clock — these
+#                             rows vary run to run unlike the virtual-clock
+#                             suites)
 #
 # Every JSON context embeds a "cpu" block (bmi2/adx/avx512ifma/aesni/pclmul
 # feature flags + which dispatch tiers were live), so a snapshot always
@@ -73,6 +78,8 @@ snapshots at the repo root:
                            contention matrix (2/100/1000 peers) + loss sweep
   BENCH_chaos.json         p50/p99 establishment latency vs loss rate
                            (virtual-clock ms, deterministic seeded faults)
+  BENCH_net.json           100k concurrent sessions over a real UDP socket
+                           + 10k over one TCP stream (wall-clock loopback)
 
 Multi-core capture procedure (ROADMAP item (h)):
   The committed BENCH_concurrency.json was captured inside a 1-core
@@ -94,7 +101,7 @@ build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target bench_primitives_native bench_protocols_native bench_fleet \
-  bench_concurrency bench_fig7_prototype_timeline bench_chaos_soak -j"$(nproc)"
+  bench_concurrency bench_fig7_prototype_timeline bench_chaos_soak bench_net_soak -j"$(nproc)"
 
 "$build_dir/bench_primitives_native" \
   --benchmark_format=json \
@@ -114,4 +121,6 @@ cmake --build "$build_dir" --target bench_primitives_native bench_protocols_nati
 
 "$build_dir/bench_chaos_soak" "$repo_root/BENCH_chaos.json"
 
-echo "Wrote $repo_root/BENCH_primitives.json, BENCH_protocols.json, BENCH_fleet.json, BENCH_concurrency.json, BENCH_fig7.json and BENCH_chaos.json"
+"$build_dir/bench_net_soak" "$repo_root/BENCH_net.json"
+
+echo "Wrote $repo_root/BENCH_primitives.json, BENCH_protocols.json, BENCH_fleet.json, BENCH_concurrency.json, BENCH_fig7.json, BENCH_chaos.json and BENCH_net.json"
